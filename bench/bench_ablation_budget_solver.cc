@@ -1,0 +1,104 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Ablation A1: the grouped closed-form budgets (Section 3.1's Lagrange
+// solution) against the generic interior-point convex solver on the same
+// budgeting program. Validates that (a) the objectives agree, and (b) the
+// closed form is orders of magnitude faster — the paper's efficiency
+// argument against solving the general program (or the matrix
+// mechanism's SDP) directly.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "budget/grouped_budget.h"
+#include "data/synthetic.h"
+#include "opt/convex_budget_solver.h"
+#include "strategy/range_strategies.h"
+#include "transform/hierarchy.h"
+
+namespace {
+
+using namespace dpcube;
+
+void RunCase(const char* label, const linalg::Matrix& s,
+             const linalg::Vector& b,
+             const std::vector<budget::GroupSummary>& groups) {
+  dp::PrivacyParams params;
+  params.epsilon = 1.0;
+  params.neighbour = dp::NeighbourModel::kAddRemove;
+
+  double closed_obj = 0.0, convex_obj = 0.0;
+  const double closed_seconds = bench::TimeSeconds([&] {
+    for (int i = 0; i < 1000; ++i) {
+      auto result = budget::OptimalGroupBudgets(groups, params);
+      if (result.ok()) closed_obj = result.value().variance_objective;
+    }
+  }) / 1000.0;
+  const double convex_seconds = bench::TimeSeconds([&] {
+    auto result = opt::SolveConvexBudget(s, b, params.epsilon);
+    if (result.ok()) convex_obj = result.value().objective;
+  });
+  std::printf("a1 case=%-16s rows=%-5zu groups=%-4zu closed_obj=%-12.5g "
+              "convex_obj=%-12.5g ratio=%.4f closed_us=%.2f convex_ms=%.2f\n",
+              label, s.rows(), groups.size(), closed_obj, convex_obj,
+              convex_obj / closed_obj, closed_seconds * 1e6,
+              convex_seconds * 1e3);
+}
+
+}  // namespace
+
+int main() {
+  using namespace dpcube;
+  std::printf("# A1: grouped closed-form vs generic convex solver\n");
+
+  // Case 1: marginal workloads of growing size (Q strategy over d bits).
+  for (int d : {4, 6, 8}) {
+    const data::Schema schema = data::BinarySchema(d);
+    const marginal::Workload w = marginal::WorkloadQkStar(schema, 1);
+    strategy::QueryStrategy strat(w);
+    auto s = strat.DenseStrategyMatrix();
+    if (!s.ok()) return 1;
+    // Per-row b: 2 per row (R = I).
+    const linalg::Vector b(s.value().rows(), 2.0);
+    char label[32];
+    std::snprintf(label, sizeof(label), "Q1*_d%d", d);
+    RunCase(label, s.value(), b, strat.groups());
+  }
+
+  // Case 2: Fourier strategy (singleton groups, dense rows).
+  {
+    const data::Schema schema = data::BinarySchema(6);
+    const marginal::Workload w = marginal::WorkloadQk(schema, 2);
+    strategy::FourierStrategy strat(w);
+    auto s = strat.DenseStrategyMatrix();
+    if (!s.ok()) return 1;
+    linalg::Vector b;
+    for (const auto& g : strat.groups()) b.push_back(g.weight_sum);
+    RunCase("Fourier_d6_k2", s.value(), b, strat.groups());
+  }
+
+  // Case 3: hierarchical strategy over a range workload.
+  {
+    Rng rng(3);
+    const std::size_t n = 256;
+    const auto queries = strategy::RandomRanges(n, 100, &rng);
+    strategy::HierarchyRangeStrategy strat(n, queries);
+    auto s = strat.DenseStrategyMatrix();
+    if (!s.ok()) return 1;
+    // Reconstruct per-row b from the group summaries is not possible
+    // (weights differ per node); recompute directly.
+    transform::DyadicHierarchy tree(n);
+    linalg::Vector b(tree.num_nodes(), 0.0);
+    for (const auto& q : queries) {
+      for (std::size_t node : tree.DecomposeRange(q.lo, q.hi)) {
+        b[node] += 2.0;
+      }
+    }
+    // NOTE: per-node weights are not constant within a level, so the
+    // grouped solution is the optimum of the *grouped* relaxation; the
+    // convex solver can do slightly better. The printed ratio quantifies
+    // that gap (Definition 3.2's consistency condition at work).
+    RunCase("Hier_n256", s.value(), b, strat.groups());
+  }
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Ablation A6: the Section 6 remark quantified. Three ways to obtain a
+// release usable as a dataset (non-negative and/or integral), across
+// domain widths that sweep the table from dense to sparse:
+//   * geometric base counts, clamped   (integral, non-negative, consistent)
+//   * geometric base counts, unclamped (integral, consistent, unbiased)
+//   * Fourier + optimal budgets + non-negative LS fit (real-valued)
+// Reported per configuration: relative error and the total-count bias.
+// Expected shape: clamping is free on dense tables and increasingly
+// biased as 2^d outgrows the row count (bias ~ #empty cells * alpha /
+// (1 - alpha^2)); the Fourier path is immune to d but pays the noise of
+// its strategy; unclamped base counts are unbiased everywhere but can go
+// negative.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "common/stats.h"
+#include "data/contingency_table.h"
+#include "data/synthetic.h"
+#include "dp/geometric.h"
+#include "engine/metrics.h"
+#include "engine/release_engine.h"
+#include "recovery/integral.h"
+#include "recovery/nonnegative.h"
+#include "strategy/fourier_strategy.h"
+
+namespace {
+
+using namespace dpcube;
+
+struct Outcome {
+  double rel_err = -1.0;
+  double total_bias = 0.0;
+};
+
+Outcome Evaluate(const marginal::Workload& workload,
+                 const data::SparseCounts& counts,
+                 const std::vector<marginal::MarginalTable>& released) {
+  Outcome out;
+  auto report = engine::EvaluateRelease(workload, counts, released);
+  if (!report.ok()) return out;
+  out.rel_err = report.value().relative_error;
+  // Bias of the grand total, averaged over the released marginals.
+  double bias = 0.0;
+  for (const auto& m : released) bias += m.Total() - counts.Total();
+  out.total_bias = bias / double(released.size());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# A6: Section-6 integral/non-negative release trade-offs\n");
+  std::printf("# rows fixed at 4096; d sweeps density (rows per cell = "
+              "4096 / 2^d)\n");
+  dp::PrivacyParams params;
+  params.epsilon = 0.5;
+  params.neighbour = dp::NeighbourModel::kAddRemove;
+  Rng rng(77);
+
+  for (int d : {8, 12, 16}) {
+    const data::Dataset ds = data::MakeProductBernoulli(d, 0.35, 4096, &rng);
+    const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+    const marginal::Workload workload = marginal::AllKWayBits(d, 2);
+
+    // (a) clamped geometric base counts.
+    Outcome clamped;
+    {
+      auto rel =
+          recovery::IntegralBaseCountRelease(workload, counts, params, &rng);
+      if (rel.ok()) clamped = Evaluate(workload, counts, rel->marginals);
+    }
+    // (b) unclamped geometric base counts.
+    Outcome unclamped;
+    std::size_t negative_cells = 0;
+    {
+      recovery::IntegralReleaseOptions options;
+      options.clamp_nonnegative = false;
+      auto rel = recovery::IntegralBaseCountRelease(workload, counts, params,
+                                                    &rng, options);
+      if (rel.ok()) {
+        unclamped = Evaluate(workload, counts, rel->marginals);
+        for (const auto& m : rel->marginals) {
+          for (double v : m.values()) {
+            if (v < 0.0) ++negative_cells;
+          }
+        }
+      }
+    }
+    // (c) Fourier + optimal budgets, then the non-negative LS fit.
+    Outcome fitted;
+    {
+      strategy::FourierStrategy fourier(workload);
+      engine::ReleaseOptions options;
+      options.params = params;
+      options.budget_mode = engine::BudgetMode::kOptimal;
+      auto out = engine::ReleaseWorkload(fourier, counts, options, &rng);
+      if (out.ok()) {
+        auto cell_vars = fourier.PredictCellVariances(
+            out.value().group_budgets, params);
+        if (cell_vars.ok()) {
+          auto fit = recovery::FitNonNegativeTable(
+              workload, out.value().marginals, cell_vars.value());
+          if (fit.ok()) fitted = Evaluate(workload, counts, fit->marginals);
+        }
+      }
+    }
+    const double expected_bias_per_marginal =
+        [&] {
+          const double eps_cell = params.epsilon / params.SensitivityFactor();
+          const double alpha = dp::GeometricAlpha(eps_cell);
+          // Empty cells alone contribute the clamp mean — a floor on the
+          // realised bias (low-count occupied cells also clamp).
+          const double empty =
+              double((std::uint64_t{1} << d) - counts.num_occupied());
+          return empty * alpha / (1.0 - alpha * alpha);
+        }();
+    std::printf(
+        "a6 d=%-3d occupied=%-6zu | clamped: err=%-8.4f bias=%-9.1f "
+        "(floor ~%-9.1f) | unclamped: err=%-8.4f bias=%-8.1f "
+        "neg_cells=%-5zu | nonneg-LS: err=%-8.4f bias=%.1f\n",
+        d, counts.num_occupied(), clamped.rel_err, clamped.total_bias,
+        expected_bias_per_marginal, unclamped.rel_err, unclamped.total_bias,
+        negative_cells, fitted.rel_err, fitted.total_bias);
+  }
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Shared plumbing for the figure/table reproduction benches: the seven
+// method configurations of the paper's Section 5 (I, Q, Q+, F, F+, C, C+)
+// and a runner that measures relative error over repetitions.
+
+#ifndef DPCUBE_BENCH_BENCH_COMMON_H_
+#define DPCUBE_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/contingency_table.h"
+#include "engine/metrics.h"
+#include "engine/release_engine.h"
+#include "strategy/cluster_strategy.h"
+#include "strategy/fourier_strategy.h"
+#include "strategy/identity_strategy.h"
+#include "strategy/query_strategy.h"
+
+namespace dpcube {
+namespace bench {
+
+/// One of the paper's evaluated methods: a strategy plus a budget mode.
+struct Method {
+  std::string label;                           // "F+", "C", ...
+  const strategy::MarginalStrategy* strategy;  // Not owned.
+  engine::BudgetMode mode;
+};
+
+/// Owns the four strategy instances for one workload and exposes the
+/// paper's seven method configurations over them. Construction runs the
+/// cluster search, which is deliberately part of the setup cost (the
+/// paper's Figure 6 times it explicitly).
+class MethodSuite {
+ public:
+  MethodSuite(const marginal::Workload& workload, bool include_cluster) {
+    identity_ = std::make_unique<strategy::IdentityStrategy>(workload);
+    query_ = std::make_unique<strategy::QueryStrategy>(workload);
+    fourier_ = std::make_unique<strategy::FourierStrategy>(workload);
+    methods_.push_back({"F", fourier_.get(), engine::BudgetMode::kUniform});
+    methods_.push_back({"F+", fourier_.get(), engine::BudgetMode::kOptimal});
+    if (include_cluster) {
+      cluster_ = std::make_unique<strategy::ClusterStrategy>(workload);
+      methods_.push_back({"C", cluster_.get(), engine::BudgetMode::kUniform});
+      methods_.push_back(
+          {"C+", cluster_.get(), engine::BudgetMode::kOptimal});
+    }
+    methods_.push_back({"Q", query_.get(), engine::BudgetMode::kUniform});
+    methods_.push_back({"Q+", query_.get(), engine::BudgetMode::kOptimal});
+    methods_.push_back({"I", identity_.get(), engine::BudgetMode::kUniform});
+  }
+
+  const std::vector<Method>& methods() const { return methods_; }
+
+ private:
+  std::unique_ptr<strategy::IdentityStrategy> identity_;
+  std::unique_ptr<strategy::QueryStrategy> query_;
+  std::unique_ptr<strategy::FourierStrategy> fourier_;
+  std::unique_ptr<strategy::ClusterStrategy> cluster_;
+  std::vector<Method> methods_;
+};
+
+/// Mean relative error of `method` over `reps` repetitions at epsilon.
+inline double MeasureRelativeError(const Method& method,
+                                   const marginal::Workload& workload,
+                                   const data::SparseCounts& counts,
+                                   double epsilon, int reps, Rng* rng) {
+  engine::ReleaseOptions options;
+  options.params.epsilon = epsilon;
+  options.budget_mode = method.mode;
+  double total = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    auto outcome =
+        engine::ReleaseWorkload(*method.strategy, counts, options, rng);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "method %s failed: %s\n", method.label.c_str(),
+                   outcome.status().ToString().c_str());
+      return -1.0;
+    }
+    auto report =
+        engine::EvaluateRelease(workload, counts, outcome.value().marginals);
+    if (!report.ok()) return -1.0;
+    total += report.value().relative_error;
+  }
+  return total / reps;
+}
+
+/// Wall-clock seconds of a callable.
+template <typename Fn>
+double TimeSeconds(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace bench
+}  // namespace dpcube
+
+#endif  // DPCUBE_BENCH_BENCH_COMMON_H_

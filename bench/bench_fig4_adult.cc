@@ -1,0 +1,34 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Experiment F4 (paper Figure 4 a-f): relative error vs epsilon for the
+// seven methods over the six workloads on the Adult-like dataset
+// (32561 rows, 8 attributes, encoded d = 23; see DESIGN.md for the
+// synthetic substitution of the UCI extract). The epsilon grid is thinned
+// to 6 points to keep single-core runtime reasonable; the series shapes
+// are unaffected.
+//
+// Expected shapes (paper): I never competitive; Q/Q+ generally best;
+// S+ <= S for every strategy; relative error ~ 1/eps; accuracy degrades
+// from Q1-family to Q2-family workloads.
+
+#include <cstdio>
+
+#include "bench/bench_fig_marginals.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace dpcube;
+  Rng data_rng(42);
+  const data::Dataset dataset = data::MakeAdultLike(32'561, &data_rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(dataset);
+  std::printf("# F4: Adult-like, %zu rows, d=%d, occupied=%zu\n",
+              dataset.num_rows(), dataset.schema().TotalBits(),
+              counts.num_occupied());
+
+  bench::FigureConfig config;
+  config.figure_id = "fig4";
+  config.epsilons = {0.1, 0.2, 0.4, 0.6, 0.8, 1.0};
+  config.reps = 3;
+  bench::RunMarginalFigure(config, dataset.schema(), counts, /*seed=*/1);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Experiment F6 (paper Figure 6): end-to-end running time of each method
+// (F, C, Q, I) per workload on the NLTCS-like data, including strategy
+// construction — which is the point of the figure: the clustering search
+// behind C dominates everything else by orders of magnitude, while
+// F/Q/I stay near-instant. Uses google-benchmark with one iteration per
+// measurement (the cluster search is deterministic and expensive).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "data/synthetic.h"
+
+namespace {
+
+using namespace dpcube;
+
+const char* const kWorkloads[] = {"Q1", "Q1a", "Q1*", "Q2", "Q2a", "Q2*"};
+
+const data::SparseCounts& NltcsCounts() {
+  static const data::SparseCounts* counts = [] {
+    Rng rng(44);
+    const data::Dataset ds = data::MakeNltcsLike(21'576, &rng);
+    return new data::SparseCounts(data::SparseCounts::FromDataset(ds));
+  }();
+  return *counts;
+}
+
+marginal::Workload WorkloadFor(int index) {
+  Rng rng(0);
+  data::Schema schema = data::NltcsSchema();
+  auto workload = marginal::WorkloadByName(schema, kWorkloads[index]);
+  return workload.value();
+}
+
+template <typename StrategyT>
+void RunEndToEnd(benchmark::State& state) {
+  const marginal::Workload workload = WorkloadFor(state.range(0));
+  const data::SparseCounts& counts = NltcsCounts();
+  Rng rng(17);
+  engine::ReleaseOptions options;
+  options.params.epsilon = 0.5;
+  options.budget_mode = engine::BudgetMode::kOptimal;
+  for (auto _ : state) {
+    // End to end: strategy construction + budgets + measure + recover.
+    StrategyT strat(workload);
+    auto outcome = engine::ReleaseWorkload(strat, counts, options, &rng);
+    if (!outcome.ok()) state.SkipWithError("release failed");
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.SetLabel(kWorkloads[state.range(0)]);
+}
+
+void BM_Fourier(benchmark::State& state) {
+  RunEndToEnd<strategy::FourierStrategy>(state);
+}
+void BM_Cluster(benchmark::State& state) {
+  RunEndToEnd<strategy::ClusterStrategy>(state);
+}
+void BM_Query(benchmark::State& state) {
+  RunEndToEnd<strategy::QueryStrategy>(state);
+}
+void BM_Identity(benchmark::State& state) {
+  RunEndToEnd<strategy::IdentityStrategy>(state);
+}
+
+}  // namespace
+
+BENCHMARK(BM_Fourier)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Cluster)
+    ->DenseRange(0, 5)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_Query)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Identity)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Shared driver for the Figure 4 / Figure 5 reproductions: for each of
+// the paper's six workloads (Q1, Q1*, Q1a, Q2, Q2*, Q2a) and each of the
+// seven methods (F, F+, C, C+, Q, Q+, I), sweep epsilon and print one
+// CSV-ish series row per point:
+//   fig=<id> workload=<name> method=<label> eps=<e> relerr=<r>
+// These are exactly the series the paper plots.
+
+#ifndef DPCUBE_BENCH_BENCH_FIG_MARGINALS_H_
+#define DPCUBE_BENCH_BENCH_FIG_MARGINALS_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "marginal/workload.h"
+
+namespace dpcube {
+namespace bench {
+
+struct FigureConfig {
+  std::string figure_id;          // "fig4" / "fig5".
+  std::vector<double> epsilons;   // The x axis.
+  int reps = 3;                   // Repetitions per point.
+  bool include_cluster = true;    // C/C+ can be disabled for speed.
+};
+
+inline void RunMarginalFigure(const FigureConfig& config,
+                              const data::Schema& schema,
+                              const data::SparseCounts& counts,
+                              std::uint64_t seed) {
+  const char* workload_names[] = {"Q1", "Q1a", "Q1*", "Q2", "Q2a", "Q2*"};
+  Rng rng(seed);
+  for (const char* name : workload_names) {
+    auto workload = marginal::WorkloadByName(schema, name);
+    if (!workload.ok()) {
+      std::fprintf(stderr, "bad workload %s\n", name);
+      return;
+    }
+    const double suite_seconds = TimeSeconds([&] {
+      MethodSuite suite(workload.value(), config.include_cluster);
+      for (const Method& method : suite.methods()) {
+        for (double eps : config.epsilons) {
+          const double err = MeasureRelativeError(
+              method, workload.value(), counts, eps, config.reps, &rng);
+          std::printf("%s workload=%s method=%s eps=%.2f relerr=%.6f\n",
+                      config.figure_id.c_str(), name, method.label.c_str(),
+                      eps, err);
+          std::fflush(stdout);
+        }
+      }
+    });
+    std::printf("%s workload=%s total_seconds=%.1f\n",
+                config.figure_id.c_str(), name, suite_seconds);
+  }
+}
+
+}  // namespace bench
+}  // namespace dpcube
+
+#endif  // DPCUBE_BENCH_BENCH_FIG_MARGINALS_H_

@@ -1,0 +1,108 @@
+// Copyright 2026 The dpcube Authors.
+//
+// End-to-end ingestion of a raw CSV extract, UCI-Adult style: quoted
+// fields, padded whitespace, "?" for missing values, and a numeric column
+// that must be discretised before the Section 4.1 binary encoding. The
+// example writes a small extract to /tmp, runs the full pipeline — parse,
+// bin, dictionary-encode, release under eps-DP — and prints the released
+// marginal with its original category labels.
+//
+// Build & run:  ./build/examples/csv_ingestion
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/rng.h"
+#include "data/contingency_table.h"
+#include "data/csv.h"
+#include "data/discretize.h"
+#include "data/string_table.h"
+#include "engine/release_engine.h"
+#include "strategy/query_strategy.h"
+
+int main() {
+  using namespace dpcube;
+
+  // 1. A raw extract the way real exports look (note the padding, the
+  //    quoted comma, and the missing workclass).
+  const char* path = "/tmp/dpcube_example_extract.csv";
+  {
+    std::ofstream out(path);
+    out << "age, workclass, occupation\n";
+    out << "39, State-gov, Adm-clerical\n";
+    out << "50, Self-emp, \"Exec, managerial\"\n";
+    out << "38, Private, Handlers-cleaners\n";
+    out << "53, ?, Handlers-cleaners\n";
+    out << "28, Private, Adm-clerical\n";
+    out << "37, Private, \"Exec, managerial\"\n";
+    out << "49, Self-emp, Adm-clerical\n";
+    out << "52, State-gov, \"Exec, managerial\"\n";
+  }
+
+  // 2. Parse; route missing fields to an explicit category.
+  data::CsvOptions csv_options;
+  csv_options.missing_policy = data::CsvOptions::MissingPolicy::kSentinel;
+  auto table = data::ReadCsvFile(path, csv_options);
+  if (!table.ok()) {
+    std::fprintf(stderr, "parse failed: %s\n",
+                 table.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("parsed %zu rows x %zu columns\n", table->rows.size(),
+              table->header.size());
+
+  // 3. Discretise the numeric age column with a-priori edges (the edges
+  //    must not depend on the data for the DP guarantee to be end-to-end).
+  std::vector<std::string> age_strings;
+  for (const auto& row : table->rows) age_strings.push_back(row[0]);
+  auto ages = data::ParseNumericColumn(age_strings);
+  auto edges = data::EqualWidthEdges(15.0, 95.0, 4);
+  if (!ages.ok() || !edges.ok()) return 1;
+  auto binned = data::DiscretizeWithEdges(ages.value(), edges.value());
+  if (!binned.ok()) return 1;
+
+  // 4. Swap the raw ages for their bin labels and dictionary-encode.
+  std::vector<std::vector<std::string>> rows = table->rows;
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    rows[r][0] = binned->labels[binned->codes[r]];
+  }
+  auto encoded = data::EncodeStringRows(table->header, rows);
+  if (!encoded.ok()) return 1;
+  const data::Schema& schema = encoded->dataset.schema();
+  std::printf("encoded domain: 2^%d cells (age bins %u, workclass %u, "
+              "occupation %u)\n",
+              schema.TotalBits(), binned->num_bins(),
+              encoded->dictionaries[1].size(),
+              encoded->dictionaries[2].size());
+
+  // 5. Release the workclass x occupation marginal under eps = 1.
+  const data::SparseCounts counts =
+      data::SparseCounts::FromDataset(encoded->dataset);
+  const marginal::Workload workload = marginal::WorkloadQk(schema, 2);
+  strategy::QueryStrategy strat(workload);
+  engine::ReleaseOptions options;
+  options.params.epsilon = 1.0;
+  options.budget_mode = engine::BudgetMode::kOptimal;
+  Rng rng(11);
+  auto outcome = engine::ReleaseWorkload(strat, counts, options, &rng);
+  if (!outcome.ok()) return 1;
+
+  // 6. Print the released cells with their original labels. The marginal
+  //    over attributes {1, 2} is the last of the three 2-way marginals.
+  const auto& released = outcome.value().marginals.back();
+  std::printf("\nnoisy workclass x occupation marginal (eps = 1):\n");
+  for (std::size_t local = 0; local < released.num_cells(); ++local) {
+    const auto values =
+        data::DecodeCell(schema, released.GlobalCell(local));
+    if (values[1] >= encoded->dictionaries[1].size() ||
+        values[2] >= encoded->dictionaries[2].size()) {
+      continue;  // Structurally empty code combination.
+    }
+    std::printf("  %-12s x %-18s : %7.2f\n",
+                encoded->dictionaries[1].LabelOf(values[1]).c_str(),
+                encoded->dictionaries[2].LabelOf(values[2]).c_str(),
+                released.value(local));
+  }
+  std::remove(path);
+  return 0;
+}

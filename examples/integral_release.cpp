@@ -1,0 +1,108 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Integral, non-negative, consistent release (the paper's Section 6
+// remark): a census-style publication where every released count must be
+// a whole number, no count may be negative, and every marginal must
+// aggregate from one underlying (synthetic) population. Uses the
+// geometric mechanism over base counts and contrasts the result with the
+// standard Laplace + Fourier release, which returns fractional (and
+// occasionally negative) values.
+//
+// Build & run:  ./build/examples/integral_release
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "data/contingency_table.h"
+#include "data/microdata.h"
+#include "data/synthetic.h"
+#include "engine/metrics.h"
+#include "engine/release_engine.h"
+#include "recovery/integral.h"
+#include "strategy/fourier_strategy.h"
+
+int main() {
+  using namespace dpcube;
+
+  // A small municipal census: district(8) x household-size-band(4) x
+  // owns-home(2). 12 bits total.
+  data::Schema schema({{"district", 8}, {"hh_size", 4}, {"owns_home", 2}});
+  Rng rng(2026);
+  data::Dataset dataset = data::MakeUniform(schema, 40'000, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(dataset);
+
+  const marginal::Workload workload =
+      marginal::WorkloadQk(schema, /*k=*/2);
+  dp::PrivacyParams params;
+  params.epsilon = 0.5;
+
+  // Publication-grade path: geometric noise on base counts, clamped.
+  auto integral =
+      recovery::IntegralBaseCountRelease(workload, counts, params, &rng);
+  if (!integral.ok()) {
+    std::fprintf(stderr, "integral release failed: %s\n",
+                 integral.status().ToString().c_str());
+    return 1;
+  }
+
+  // Reference path: Fourier strategy + optimal budgets (real-valued).
+  strategy::FourierStrategy fourier(workload);
+  engine::ReleaseOptions options;
+  options.params = params;
+  options.budget_mode = engine::BudgetMode::kOptimal;
+  auto real_valued = engine::ReleaseWorkload(fourier, counts, options, &rng);
+  if (!real_valued.ok()) return 1;
+
+  // Show the first marginal side by side.
+  const marginal::MarginalTable truth =
+      marginal::ComputeMarginal(counts, workload.mask(0));
+  std::printf("district x hh_size marginal, first 8 cells "
+              "(true / integral / Laplace+Fourier):\n");
+  for (std::size_t c = 0; c < 8; ++c) {
+    std::printf("  cell %zu: %6.0f  /  %6.0f  /  %9.2f\n", c, truth.value(c),
+                integral->marginals[0].value(c),
+                real_valued.value().marginals[0].value(c));
+  }
+
+  // Validity properties of the integral release.
+  bool any_fractional = false, any_negative = false;
+  for (const auto& m : integral->marginals) {
+    for (double v : m.values()) {
+      if (v != std::floor(v)) any_fractional = true;
+      if (v < 0.0) any_negative = true;
+    }
+  }
+  std::printf("\nintegral release: fractional cells: %s, negative cells: %s\n",
+              any_fractional ? "YES (bug!)" : "none",
+              any_negative ? "YES (bug!)" : "none");
+
+  // Accuracy comparison.
+  auto err_int =
+      engine::EvaluateRelease(workload, counts, integral->marginals);
+  auto err_real =
+      engine::EvaluateRelease(workload, counts, real_valued.value().marginals);
+  if (!err_int.ok() || !err_real.ok()) return 1;
+  std::printf("relative error: integral base counts %.4f vs "
+              "Fourier+optimal %.4f\n",
+              err_int.value().relative_error, err_real.value().relative_error);
+  std::printf(
+      "(a marginal cell aggregates 2^{d-k} noisy base cells, so on this\n"
+      " small 6-bit domain the integral path is also the more accurate\n"
+      " one — matching the paper's finding that base counts win for\n"
+      " high-order workloads; on wide domains like Adult's 2^23 cells the\n"
+      " base-count noise blows up and the Fourier path dominates)\n");
+
+  // Finally, materialise the release as microdata: an actual tuple file
+  // whose marginals equal the published ones exactly (Section 6's "data
+  // set" made literal).
+  const std::vector<double> cells(integral->table.begin(),
+                                  integral->table.end());
+  auto microdata =
+      data::GenerateMicrodata(schema, cells, data::MicrodataOptions{}, &rng);
+  if (!microdata.ok()) return 1;
+  std::printf("\nmicrodata file: %zu synthetic tuples (skipped mass on "
+              "padding cells: %.0f)\n",
+              microdata->dataset.num_rows(), microdata->skipped_mass);
+  return 0;
+}

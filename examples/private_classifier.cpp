@@ -1,0 +1,141 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Model fitting from private marginals — the use case the paper's
+// introduction motivates ("to build efficient classifiers from the
+// data"). A naive-Bayes classifier predicting salary on the Adult-like
+// census data needs exactly the 2-way marginals (feature, salary) plus
+// the salary 1-way marginal. We release those privately (F+ with optimal
+// budgets + consistency), train one classifier from the private
+// marginals and one from the exact marginals, and compare accuracy on
+// held-out data.
+//
+// Build & run:  ./build/examples/private_classifier
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/contingency_table.h"
+#include "data/synthetic.h"
+#include "engine/release_engine.h"
+#include "marginal/marginal_ops.h"
+#include "strategy/fourier_strategy.h"
+
+namespace {
+
+using namespace dpcube;
+
+// Predicts the salary bit for one row via naive Bayes over the given
+// per-feature joint marginals P(feature, salary).
+std::uint32_t Predict(const data::Dataset& ds, std::size_t row,
+                      const data::Schema& schema,
+                      const std::vector<marginal::MarginalTable>& joints,
+                      const marginal::MarginalTable& salary_prior,
+                      const std::vector<std::size_t>& features,
+                      std::size_t salary_attr) {
+  const bits::Mask salary_mask = schema.AttributeMask(salary_attr);
+  double best_score = -1e300;
+  std::uint32_t best_label = 0;
+  for (std::uint32_t label = 0; label < 2; ++label) {
+    const bits::Mask label_bits =
+        static_cast<bits::Mask>(label) << schema.BitOffset(salary_attr);
+    const marginal::MarginalTable prior_dist =
+        marginal::ToDistribution(salary_prior, 1.0);
+    double score = std::log(std::max(
+        1e-12,
+        prior_dist.value(bits::CompressFromMask(label_bits, salary_mask))));
+    for (std::size_t f = 0; f < features.size(); ++f) {
+      const bits::Mask feature_mask = schema.AttributeMask(features[f]);
+      const bits::Mask feature_bits =
+          static_cast<bits::Mask>(ds.At(row, features[f]))
+          << schema.BitOffset(features[f]);
+      auto p = marginal::ConditionalProbability(
+          joints[f], feature_mask, feature_bits, salary_mask, label_bits,
+          /*smoothing=*/1.0);
+      if (p.ok()) score += std::log(std::max(1e-12, p.value()));
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+double Accuracy(const data::Dataset& test, const data::Schema& schema,
+                const std::vector<marginal::MarginalTable>& joints,
+                const marginal::MarginalTable& prior,
+                const std::vector<std::size_t>& features,
+                std::size_t salary_attr) {
+  std::size_t correct = 0;
+  for (std::size_t row = 0; row < test.num_rows(); ++row) {
+    if (Predict(test, row, schema, joints, prior, features, salary_attr) ==
+        test.At(row, salary_attr)) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / test.num_rows();
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(77);
+  const data::Dataset train = data::MakeAdultLike(30'000, &rng);
+  const data::Dataset test = data::MakeAdultLike(5'000, &rng);
+  const data::Schema& schema = train.schema();
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(train);
+
+  // Features: everything but salary (attribute 7).
+  const std::size_t salary_attr = 7;
+  std::vector<std::size_t> features = {0, 1, 2, 3, 4, 5, 6};
+
+  // Workload: P(salary) plus P(feature, salary) for every feature.
+  std::vector<bits::Mask> masks = {schema.AttributeMask(salary_attr)};
+  for (std::size_t f : features) {
+    masks.push_back(schema.MarginalMask({f, salary_attr}));
+  }
+  const marginal::Workload workload(schema.TotalBits(), masks);
+
+  // Exact marginals (the non-private upper bound).
+  std::vector<marginal::MarginalTable> exact;
+  for (bits::Mask m : workload.masks()) {
+    exact.push_back(marginal::ComputeMarginal(counts, m));
+  }
+  std::vector<marginal::MarginalTable> exact_joints(exact.begin() + 1,
+                                                    exact.end());
+  const double exact_acc = Accuracy(test, schema, exact_joints, exact[0],
+                                    features, salary_attr);
+
+  std::printf("naive Bayes on Adult-like salary prediction "
+              "(%zu train / %zu test rows)\n",
+              train.num_rows(), test.num_rows());
+  std::printf("%-26s %s\n", "marginal source", "test accuracy");
+  std::printf("%-26s %.4f\n", "exact (non-private)", exact_acc);
+
+  strategy::FourierStrategy strategy(workload);
+  for (double eps : {0.05, 0.1, 0.5, 1.0}) {
+    engine::ReleaseOptions options;
+    options.params.epsilon = eps;
+    options.budget_mode = engine::BudgetMode::kOptimal;
+    auto outcome = engine::ReleaseWorkload(strategy, counts, options, &rng);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "release failed: %s\n",
+                   outcome.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<marginal::MarginalTable> joints(
+        outcome.value().marginals.begin() + 1,
+        outcome.value().marginals.end());
+    const double acc =
+        Accuracy(test, schema, joints, outcome.value().marginals[0],
+                 features, salary_attr);
+    std::printf("private F+ at eps=%-8.2f %.4f\n", eps, acc);
+  }
+  std::printf("\nExpected: private accuracy approaches the exact model as "
+              "epsilon grows;\neven small budgets retain most of the "
+              "signal because naive Bayes only\nneeds low-order marginals "
+              "— the paper's motivating scenario.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Range queries over a linearised 1-D domain: the other strategy family
+// covered by the paper's budgeting framework (Section 3.1 applies to any
+// groupable strategy). Compares noisy base counts, the dyadic hierarchy
+// of Hay et al. and the Haar wavelet of Xiao et al., each with uniform
+// and with optimal non-uniform budgets.
+//
+// Build & run:  ./build/examples/range_queries
+
+#include <cmath>
+#include <cstdio>
+
+#include "budget/grouped_budget.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "strategy/range_strategies.h"
+
+int main() {
+  using namespace dpcube;
+
+  const std::size_t n = 1024;
+  Rng rng(5);
+  // A bursty histogram: mixture of two populations.
+  std::vector<double> x(n, 0.0);
+  for (int i = 0; i < 50'000; ++i) {
+    const double z = rng.NextGaussian(n / 4.0, n / 32.0);
+    const double w = rng.NextGaussian(3.0 * n / 4.0, n / 16.0);
+    const std::size_t cell = static_cast<std::size_t>(
+        std::min(n - 1.0, std::max(0.0, rng.NextBernoulli(0.5) ? z : w)));
+    x[cell] += 1.0;
+  }
+
+  const auto queries = strategy::RandomRanges(n, 200, &rng);
+  dp::PrivacyParams params;
+  params.epsilon = 0.5;
+
+  const strategy::BaseCountRangeStrategy base(n, queries);
+  const strategy::HierarchyRangeStrategy hier(n, queries);
+  const strategy::WaveletRangeStrategy wave(n, queries);
+
+  std::printf("%zu random range queries over %zu cells, eps = %.2f\n\n",
+              queries.size(), n, params.epsilon);
+  std::printf("%-10s %-8s %14s %14s\n", "strategy", "budget", "pred.var",
+              "mean |err|");
+  for (const strategy::RangeStrategy* strat :
+       {static_cast<const strategy::RangeStrategy*>(&base),
+        static_cast<const strategy::RangeStrategy*>(&hier),
+        static_cast<const strategy::RangeStrategy*>(&wave)}) {
+    for (bool optimal : {false, true}) {
+      auto budgets =
+          optimal ? budget::OptimalGroupBudgets(strat->groups(), params)
+                  : budget::UniformGroupBudgets(strat->groups(), params);
+      if (!budgets.ok()) return 1;
+      stats::RunningStats err;
+      for (int rep = 0; rep < 5; ++rep) {
+        auto release = strat->Run(x, budgets.value().eta, params, &rng);
+        if (!release.ok()) {
+          std::fprintf(stderr, "%s failed: %s\n", strat->name().c_str(),
+                       release.status().ToString().c_str());
+          return 1;
+        }
+        for (std::size_t q = 0; q < queries.size(); ++q) {
+          double truth = 0.0;
+          for (std::size_t j = queries[q].lo; j < queries[q].hi; ++j) {
+            truth += x[j];
+          }
+          err.Add(std::fabs(release.value().answers[q] - truth));
+        }
+      }
+      std::printf("%-10s %-8s %14.4g %14.2f\n", strat->name().c_str(),
+                  optimal ? "optimal" : "uniform",
+                  budgets.value().variance_objective, err.mean());
+    }
+  }
+  std::printf("\nExpected: hierarchy/wavelet beat base counts on long "
+              "ranges; optimal <= uniform everywhere.\n");
+  return 0;
+}

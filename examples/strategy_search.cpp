@@ -1,0 +1,93 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Fixed strategies with optimal budgets vs the matrix-mechanism strategy
+// search (Li et al., PODS 2010) on a small domain — the trade-off the
+// paper's introduction frames: search is accurate but "impractical even
+// for moderate size problems", while the framework's budgeting step costs
+// microseconds on any strategy. This example runs both on the same
+// workload and prints the variance and wall-clock of each.
+//
+// Build & run:  ./build/examples/strategy_search
+
+#include <chrono>
+#include <memory>
+#include <cstdio>
+
+#include "budget/grouped_budget.h"
+#include "marginal/query_matrix.h"
+#include "marginal/workload.h"
+#include "opt/matrix_mechanism.h"
+#include "recovery/gls_recovery.h"
+#include "strategy/fourier_strategy.h"
+#include "strategy/query_strategy.h"
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace dpcube;
+
+  // Workload: all 1-way and 2-way marginals over 6 binary attributes
+  // (N = 64 — small enough that the search still runs).
+  const int d = 6;
+  marginal::Workload w1 = marginal::AllKWayBits(d, 1);
+  marginal::Workload w2 = marginal::AllKWayBits(d, 2);
+  std::vector<bits::Mask> masks = w1.masks();
+  masks.insert(masks.end(), w2.masks().begin(), w2.masks().end());
+  const marginal::Workload workload(d, masks);
+  const linalg::Matrix q = marginal::BuildQueryMatrix(workload);
+  std::printf("workload: %zu marginal queries over N = %zu cells\n",
+              q.rows(), q.cols());
+
+  dp::PrivacyParams params;
+  params.epsilon = 1.0;
+  params.delta = 1e-6;  // Gaussian noise: the search's smooth setting.
+  params.neighbour = dp::NeighbourModel::kAddRemove;
+
+  // --- The paper's framework on two fixed strategies. -----------------
+  for (const char* which : {"Fourier", "Query"}) {
+    const auto start = std::chrono::steady_clock::now();
+    std::unique_ptr<strategy::MarginalStrategy> strat;
+    if (which[0] == 'F') {
+      strat = std::make_unique<strategy::FourierStrategy>(workload);
+    } else {
+      strat = std::make_unique<strategy::QueryStrategy>(workload);
+    }
+    auto budgets = budget::OptimalGroupBudgets(strat->groups(), params);
+    if (!budgets.ok()) return 1;
+    std::printf("%-18s + optimal budgets: variance %10.1f   (%.3f ms)\n",
+                which, budgets.value().variance_objective,
+                1e3 * SecondsSince(start));
+  }
+
+  // --- The matrix-mechanism search. ------------------------------------
+  const auto start = std::chrono::steady_clock::now();
+  opt::MatrixMechanismOptions options;
+  options.max_iterations = 200;
+  auto searched =
+      opt::OptimizeStrategy(q, opt::DefaultInitialStrategy(q), options);
+  if (!searched.ok()) {
+    std::fprintf(stderr, "search failed: %s\n",
+                 searched.status().ToString().c_str());
+    return 1;
+  }
+  auto var = opt::MatrixMechanismTotalVariance(searched->strategy, q, params);
+  if (!var.ok()) return 1;
+  std::printf("matrix mechanism  (%3d iterations):  variance %10.1f   "
+              "(%.1f ms)\n",
+              searched->iterations, var.value(), 1e3 * SecondsSince(start));
+
+  std::printf(
+      "\ntakeaway: the searched strategy roughly matches the best fixed\n"
+      "strategy here, at orders of magnitude more compute — and the gap\n"
+      "in time grows exponentially with d (see "
+      "bench_ablation_matrix_mechanism).\n");
+  return 0;
+}

@@ -1,0 +1,189 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "budget/grouped_budget.h"
+
+#include <cmath>
+#include <string>
+
+namespace dpcube {
+namespace budget {
+namespace {
+
+constexpr double kZeroGroupShare = 1e-6;
+
+Status ValidateGroups(const std::vector<GroupSummary>& groups) {
+  if (groups.empty()) {
+    return Status::InvalidArgument("no groups");
+  }
+  for (const GroupSummary& g : groups) {
+    if (!(g.column_norm > 0.0)) {
+      return Status::InvalidArgument("group column_norm must be positive");
+    }
+    if (g.weight_sum < 0.0) {
+      return Status::InvalidArgument("group weight_sum must be >= 0");
+    }
+  }
+  return Status::OK();
+}
+
+double DistributionFactor(const dp::PrivacyParams& params) {
+  return params.IsPureDp() ? 1.0 : std::log(2.0 / params.delta);
+}
+
+}  // namespace
+
+Result<GroupBudgets> OptimalGroupBudgets(const std::vector<GroupSummary>& groups,
+                                         const dp::PrivacyParams& params) {
+  DPCUBE_RETURN_NOT_OK(params.Validate());
+  DPCUBE_RETURN_NOT_OK(ValidateGroups(groups));
+  const double eps_prime = params.epsilon / params.SensitivityFactor();
+  const std::size_t g = groups.size();
+
+  bool any_weighted = false;
+  bool any_zero = false;
+  for (const GroupSummary& grp : groups) {
+    (grp.weight_sum > 0.0 ? any_weighted : any_zero) = true;
+  }
+  if (!any_weighted) {
+    return Status::InvalidArgument(
+        "all group weights are zero; nothing to optimize");
+  }
+
+  GroupBudgets out;
+  out.eta.assign(g, 0.0);
+
+  if (params.IsPureDp()) {
+    // Constraint: sum_r C_r eta_r = eps'. Zero-weight groups share a
+    // vanishing slice so their measurements stay well-defined.
+    double zero_slice = any_zero ? kZeroGroupShare * eps_prime : 0.0;
+    double zero_c_sum = 0.0;
+    for (const GroupSummary& grp : groups) {
+      if (grp.weight_sum == 0.0) zero_c_sum += grp.column_norm;
+    }
+    const double eps_opt = eps_prime - zero_slice;
+    // eta_r = eps_opt * (s_r / C_r)^{1/3} / T with
+    // T = sum_q C_q^{2/3} s_q^{1/3}.
+    double t = 0.0;
+    for (const GroupSummary& grp : groups) {
+      if (grp.weight_sum > 0.0) {
+        t += std::pow(grp.column_norm, 2.0 / 3.0) *
+             std::cbrt(grp.weight_sum);
+      }
+    }
+    for (std::size_t r = 0; r < g; ++r) {
+      if (groups[r].weight_sum > 0.0) {
+        out.eta[r] = eps_opt *
+                     std::cbrt(groups[r].weight_sum / groups[r].column_norm) /
+                     t;
+      } else {
+        out.eta[r] = zero_slice / zero_c_sum;
+      }
+    }
+    out.variance_objective = t * t * t / (eps_opt * eps_opt);
+  } else {
+    // Constraint: sum_r C_r^2 eta_r^2 = eps'^2.
+    double zero_slice_sq =
+        any_zero ? (kZeroGroupShare * eps_prime) * (kZeroGroupShare * eps_prime)
+                 : 0.0;
+    double zero_c2_sum = 0.0;
+    for (const GroupSummary& grp : groups) {
+      if (grp.weight_sum == 0.0) {
+        zero_c2_sum += grp.column_norm * grp.column_norm;
+      }
+    }
+    const double eps_opt_sq = eps_prime * eps_prime - zero_slice_sq;
+    // eta_r^2 = eps_opt^2 * (sqrt(s_r)/C_r) / T with T = sum_q C_q sqrt(s_q).
+    double t = 0.0;
+    for (const GroupSummary& grp : groups) {
+      if (grp.weight_sum > 0.0) {
+        t += grp.column_norm * std::sqrt(grp.weight_sum);
+      }
+    }
+    for (std::size_t r = 0; r < g; ++r) {
+      if (groups[r].weight_sum > 0.0) {
+        const double eta_sq = eps_opt_sq *
+                              std::sqrt(groups[r].weight_sum) /
+                              (groups[r].column_norm * t);
+        out.eta[r] = std::sqrt(eta_sq);
+      } else {
+        out.eta[r] = std::sqrt(zero_slice_sq / zero_c2_sum);
+      }
+    }
+    out.variance_objective =
+        DistributionFactor(params) * t * t / eps_opt_sq;
+  }
+  return out;
+}
+
+Result<GroupBudgets> UniformGroupBudgets(const std::vector<GroupSummary>& groups,
+                                         const dp::PrivacyParams& params) {
+  DPCUBE_RETURN_NOT_OK(params.Validate());
+  DPCUBE_RETURN_NOT_OK(ValidateGroups(groups));
+  const double eps_prime = params.epsilon / params.SensitivityFactor();
+
+  double eps_row;
+  if (params.IsPureDp()) {
+    double c_sum = 0.0;
+    for (const GroupSummary& grp : groups) c_sum += grp.column_norm;
+    eps_row = eps_prime / c_sum;
+  } else {
+    double c2_sum = 0.0;
+    for (const GroupSummary& grp : groups) {
+      c2_sum += grp.column_norm * grp.column_norm;
+    }
+    eps_row = eps_prime / std::sqrt(c2_sum);
+  }
+
+  GroupBudgets out;
+  out.eta.assign(groups.size(), eps_row);
+  out.variance_objective = VarianceObjective(groups, out.eta, params);
+  return out;
+}
+
+double VarianceObjective(const std::vector<GroupSummary>& groups,
+                         const linalg::Vector& eta,
+                         const dp::PrivacyParams& params) {
+  double core = 0.0;
+  for (std::size_t r = 0; r < groups.size(); ++r) {
+    if (groups[r].weight_sum == 0.0) continue;
+    core += groups[r].weight_sum / (eta[r] * eta[r]);
+  }
+  return DistributionFactor(params) * core;
+}
+
+linalg::Vector RecoveryRowWeights(const linalg::Matrix& r,
+                                  const linalg::Vector& a) {
+  linalg::Vector b(r.cols(), 0.0);
+  for (std::size_t j = 0; j < r.rows(); ++j) {
+    const double aj = a.empty() ? 1.0 : a[j];
+    const double* row = r.RowData(j);
+    for (std::size_t i = 0; i < r.cols(); ++i) {
+      b[i] += 2.0 * aj * row[i] * row[i];
+    }
+  }
+  return b;
+}
+
+Status CheckRecoveryConsistentWithGrouping(const RowGrouping& grouping,
+                                           const linalg::Vector& row_weights,
+                                           double tol) {
+  if (grouping.group_of_row.size() != row_weights.size()) {
+    return Status::InvalidArgument("row weight size mismatch");
+  }
+  std::vector<double> first(grouping.num_groups(), -1.0);
+  for (std::size_t i = 0; i < row_weights.size(); ++i) {
+    const int r = grouping.group_of_row[i];
+    if (first[r] < 0.0) {
+      first[r] = row_weights[i];
+    } else if (std::fabs(first[r] - row_weights[i]) >
+               tol * std::max(1.0, first[r])) {
+      return Status::FailedPrecondition(
+          "recovery weights differ within group " + std::to_string(r) +
+          " (Definition 3.2 violated)");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace budget
+}  // namespace dpcube

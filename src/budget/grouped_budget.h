@@ -1,0 +1,82 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Optimal noise budgeting for grouped strategies — the closed-form solution
+// of the paper's optimization problem (4)-(6) (Section 3.1, Corollary 3.3).
+//
+// Under a grouping with column norms C_r and group weight sums
+// s_r = sum_{rows i in group r} b_i, with b_i = 2 sum_j a_j R_ji^2:
+//
+//  * pure eps-DP (Laplace): minimize sum_r s_r / eta_r^2 subject to
+//    sum_r C_r eta_r = eps', giving eta_r ∝ (s_r / C_r)^{1/3} and optimum
+//    (sum_r C_r^{2/3} s_r^{1/3})^3 / eps'^2;
+//  * (eps, delta)-DP (Gaussian): the constraint is
+//    sum_r C_r^2 eta_r^2 = eps'^2, giving eta_r^2 ∝ sqrt(s_r)/C_r and
+//    optimum ln(2/delta) * (sum_r C_r sqrt(s_r))^2 / eps'^2,
+//
+// where eps' = eps / SensitivityFactor() accounts for the neighbour model.
+// The reported `variance_objective` is the total weighted output variance
+// a^T Var(y) = sum_i b_i Var(nu_i) / 2 — directly comparable across
+// mechanisms and budgeting schemes.
+
+#ifndef DPCUBE_BUDGET_GROUPED_BUDGET_H_
+#define DPCUBE_BUDGET_GROUPED_BUDGET_H_
+
+#include <vector>
+
+#include "budget/grouping.h"
+#include "common/status.h"
+#include "dp/privacy.h"
+#include "linalg/matrix.h"
+
+namespace dpcube {
+namespace budget {
+
+/// How the privacy budget is allocated across strategy groups.
+enum class BudgetMode {
+  kUniform,  ///< Same per-row budget everywhere (prior work; "S").
+  kOptimal,  ///< Closed-form non-uniform budgets ("S+", Section 3.1).
+};
+
+/// Per-group budgets plus the predicted total output variance.
+struct GroupBudgets {
+  linalg::Vector eta;              ///< Budget eta_r for every row of group r.
+  double variance_objective = 0.0; ///< Predicted a^T Var(y).
+};
+
+/// Closed-form optimal non-uniform budgets (the paper's "S+" variants).
+/// Groups with weight_sum == 0 contribute nothing to the objective; they
+/// are assigned a vanishing share (1e-6 of the budget, split evenly) so
+/// their measurements remain well-defined, and the remaining budget is
+/// allotted optimally. Fails if all weight sums are zero or any
+/// column_norm is non-positive.
+Result<GroupBudgets> OptimalGroupBudgets(const std::vector<GroupSummary>& groups,
+                                         const dp::PrivacyParams& params);
+
+/// Uniform budgets (the prior-work baseline): every strategy row gets the
+/// same eps_row = eps' / sum_r C_r (Laplace) or the L2 analogue
+/// eps' / sqrt(sum_r C_r^2) (Gaussian), saturating the privacy constraint.
+Result<GroupBudgets> UniformGroupBudgets(const std::vector<GroupSummary>& groups,
+                                         const dp::PrivacyParams& params);
+
+/// Total output variance a^T Var(y) for arbitrary per-group budgets
+/// (used to cross-check the closed forms against the convex solver).
+double VarianceObjective(const std::vector<GroupSummary>& groups,
+                         const linalg::Vector& eta,
+                         const dp::PrivacyParams& params);
+
+/// Per-row recovery weights b_i = 2 * sum_j a_j R_ji^2 for a dense recovery
+/// matrix R and query weighting a (pass empty `a` for all-ones).
+linalg::Vector RecoveryRowWeights(const linalg::Matrix& r,
+                                  const linalg::Vector& a = {});
+
+/// Checks Definition 3.2: R is consistent with the grouping if b_i is
+/// constant within every group (within tolerance). When this holds the
+/// grouped optimum is optimal for the full problem (Theorem 3.4).
+Status CheckRecoveryConsistentWithGrouping(const RowGrouping& grouping,
+                                           const linalg::Vector& row_weights,
+                                           double tol = 1e-9);
+
+}  // namespace budget
+}  // namespace dpcube
+
+#endif  // DPCUBE_BUDGET_GROUPED_BUDGET_H_

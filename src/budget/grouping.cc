@@ -1,0 +1,141 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "budget/grouping.h"
+
+#include <cmath>
+#include <string>
+
+namespace dpcube {
+namespace budget {
+namespace {
+
+constexpr double kMagTol = 1e-9;
+
+// The uniform non-zero magnitude of a row, or an error if entries differ.
+Result<double> RowMagnitude(const linalg::Matrix& s, std::size_t row) {
+  double mag = 0.0;
+  for (std::size_t j = 0; j < s.cols(); ++j) {
+    const double v = std::fabs(s(row, j));
+    if (v == 0.0) continue;
+    if (mag == 0.0) {
+      mag = v;
+    } else if (std::fabs(v - mag) > kMagTol * mag) {
+      return Status::FailedPrecondition(
+          "row " + std::to_string(row) +
+          " has non-uniform magnitudes; not groupable (Definition 3.1)");
+    }
+  }
+  if (mag == 0.0) {
+    return Status::FailedPrecondition("row " + std::to_string(row) +
+                                      " is identically zero");
+  }
+  return mag;
+}
+
+}  // namespace
+
+Result<RowGrouping> DetectGrouping(const linalg::Matrix& s) {
+  const std::size_t m = s.rows();
+  const std::size_t n = s.cols();
+  RowGrouping grouping;
+  grouping.group_of_row.assign(m, -1);
+
+  // Per group: the union of supports (as a bool row) and the magnitude.
+  std::vector<std::vector<bool>> support;
+  for (std::size_t i = 0; i < m; ++i) {
+    DPCUBE_ASSIGN_OR_RETURN(double mag, RowMagnitude(s, i));
+    int placed = -1;
+    for (std::size_t g = 0; g < support.size(); ++g) {
+      if (std::fabs(grouping.column_norms[g] - mag) > kMagTol * mag) continue;
+      bool disjoint = true;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (s(i, j) != 0.0 && support[g][j]) {
+          disjoint = false;
+          break;
+        }
+      }
+      if (disjoint) {
+        placed = static_cast<int>(g);
+        break;
+      }
+    }
+    if (placed < 0) {
+      support.emplace_back(n, false);
+      grouping.column_norms.push_back(mag);
+      placed = static_cast<int>(support.size()) - 1;
+    }
+    grouping.group_of_row[i] = placed;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (s(i, j) != 0.0) support[placed][j] = true;
+    }
+  }
+  return grouping;
+}
+
+Status VerifyGrouping(const linalg::Matrix& s, const RowGrouping& grouping) {
+  const std::size_t m = s.rows();
+  const std::size_t n = s.cols();
+  if (grouping.group_of_row.size() != m) {
+    return Status::InvalidArgument("grouping size does not match S rows");
+  }
+  const int g = grouping.num_groups();
+  for (int r : grouping.group_of_row) {
+    if (r < 0 || r >= g) {
+      return Status::InvalidArgument("row assigned to an out-of-range group");
+    }
+  }
+  // Per column and group: at most one non-zero, attaining exactly C_r.
+  for (std::size_t j = 0; j < n; ++j) {
+    std::vector<int> nonzeros(g, 0);
+    std::vector<double> max_abs(g, 0.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double v = std::fabs(s(i, j));
+      if (v == 0.0) continue;
+      const int r = grouping.group_of_row[i];
+      ++nonzeros[r];
+      max_abs[r] = std::max(max_abs[r], v);
+    }
+    for (int r = 0; r < g; ++r) {
+      if (nonzeros[r] > 1) {
+        return Status::FailedPrecondition(
+            "column " + std::to_string(j) + " hits group " +
+            std::to_string(r) + " more than once (row-wise disjointness)");
+      }
+      const double c = grouping.column_norms[r];
+      if (std::fabs(max_abs[r] - c) > kMagTol * std::max(c, 1.0)) {
+        return Status::FailedPrecondition(
+            "column " + std::to_string(j) + " has max magnitude " +
+            std::to_string(max_abs[r]) + " in group " + std::to_string(r) +
+            ", want C_r = " + std::to_string(c) +
+            " (bounded column norm)");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<GroupSummary> Summarize(const RowGrouping& grouping,
+                                    const linalg::Vector& row_weights) {
+  std::vector<GroupSummary> out(grouping.num_groups());
+  for (int r = 0; r < grouping.num_groups(); ++r) {
+    out[r].column_norm = grouping.column_norms[r];
+  }
+  for (std::size_t i = 0; i < grouping.group_of_row.size(); ++i) {
+    GroupSummary& g = out[grouping.group_of_row[i]];
+    g.weight_sum += row_weights[i];
+    ++g.num_rows;
+  }
+  return out;
+}
+
+linalg::Vector ExpandGroupBudgets(const RowGrouping& grouping,
+                                  const linalg::Vector& group_budgets) {
+  linalg::Vector out(grouping.group_of_row.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = group_budgets[grouping.group_of_row[i]];
+  }
+  return out;
+}
+
+}  // namespace budget
+}  // namespace dpcube

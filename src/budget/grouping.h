@@ -1,0 +1,70 @@
+// Copyright 2026 The dpcube Authors.
+//
+// The grouping property of strategy matrices (Definition 3.1): a grouping
+// function G over the rows of S such that
+//   (row-wise disjointness)  rows in the same group have disjoint support;
+//   (bounded column norm)    within a group, every column's max |S_ij| is
+//                            the same constant C_r.
+// Under a grouping, every privacy constraint sum_i |S_ij| eps_i <= eps
+// collapses to the single constraint sum_r C_r eta_r <= eps, which is what
+// makes the closed-form budgets of grouped_budget.h possible.
+//
+// Two representations are provided: a compact per-group summary (all the
+// optimizer needs — strategies over huge domains never materialise
+// per-row data), and an explicit per-row grouping for dense matrices with
+// a greedy detector and a verifier used in tests.
+
+#ifndef DPCUBE_BUDGET_GROUPING_H_
+#define DPCUBE_BUDGET_GROUPING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace dpcube {
+namespace budget {
+
+/// Everything the budget optimizer needs to know about one group.
+struct GroupSummary {
+  double column_norm = 0.0;   ///< C_r: magnitude of the group's entries.
+  double weight_sum = 0.0;    ///< s_r = sum of b_i over the group's rows.
+  std::uint64_t num_rows = 0; ///< Rows in the group (diagnostics only).
+};
+
+/// Explicit per-row grouping of a dense strategy matrix.
+struct RowGrouping {
+  std::vector<int> group_of_row;     ///< size = rows of S.
+  std::vector<double> column_norms;  ///< C_r per group.
+
+  int num_groups() const { return static_cast<int>(column_norms.size()); }
+};
+
+/// Greedily groups the rows of a dense strategy matrix: each row joins the
+/// first existing group whose rows are support-disjoint from it and whose
+/// non-zero magnitude matches; otherwise it opens a new group. Requires
+/// every row to have uniform non-zero magnitude (a necessary condition of
+/// Definition 3.1); fails otherwise. The greedy result may not attain the
+/// minimum grouping number, which is fine for budgeting purposes.
+Result<RowGrouping> DetectGrouping(const linalg::Matrix& s);
+
+/// Verifies Definition 3.1 for an explicit grouping: per-group row
+/// disjointness and the bounded-column-norm condition (every column must
+/// attain max |S_ij| = C_r inside every group). Used by tests and by
+/// callers that construct groupings structurally.
+Status VerifyGrouping(const linalg::Matrix& s, const RowGrouping& grouping);
+
+/// Condenses an explicit grouping plus per-row weights b into GroupSummary
+/// form for the optimizer.
+std::vector<GroupSummary> Summarize(const RowGrouping& grouping,
+                                    const linalg::Vector& row_weights);
+
+/// Expands per-group budgets eta_r back to per-row budgets eps_i.
+linalg::Vector ExpandGroupBudgets(const RowGrouping& grouping,
+                                  const linalg::Vector& group_budgets);
+
+}  // namespace budget
+}  // namespace dpcube
+
+#endif  // DPCUBE_BUDGET_GROUPING_H_

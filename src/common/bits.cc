@@ -1,0 +1,87 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "common/bits.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dpcube {
+namespace bits {
+
+std::vector<Mask> AllSubmasks(Mask alpha) {
+  std::vector<Mask> out;
+  out.reserve(std::size_t{1} << Popcount(alpha));
+  for (SubmaskIterator it(alpha); !it.done(); it.Next()) {
+    out.push_back(it.mask());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Mask> MasksOfWeight(int d, int k) {
+  assert(d >= 0 && d < 64);
+  assert(k >= 0);
+  std::vector<Mask> out;
+  if (k > d) return out;
+  if (k == 0) {
+    out.push_back(0);
+    return out;
+  }
+  Mask limit = Mask{1} << d;
+  Mask v = (Mask{1} << k) - 1;  // Smallest mask of weight k.
+  while (v < limit) {
+    out.push_back(v);
+    // Gosper's hack: next integer with the same popcount.
+    Mask t = v | (v - 1);
+    v = (t + 1) | (((~t & (t + 1)) - 1) >> (std::countr_zero(v) + 1));
+  }
+  return out;
+}
+
+std::vector<Mask> MasksOfWeightAtMost(int d, int k) {
+  std::vector<Mask> out;
+  for (int w = 0; w <= k && w <= d; ++w) {
+    std::vector<Mask> layer = MasksOfWeight(d, w);
+    out.insert(out.end(), layer.begin(), layer.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Mask ExpandIntoMask(std::uint64_t local, Mask alpha) {
+  Mask out = 0;
+  Mask remaining = alpha;
+  while (remaining != 0) {
+    int pos = std::countr_zero(remaining);
+    if (local & 1) out |= Mask{1} << pos;
+    local >>= 1;
+    remaining &= remaining - 1;  // Clear lowest set bit.
+  }
+  return out;
+}
+
+std::uint64_t CompressFromMask(Mask global, Mask alpha) {
+  std::uint64_t out = 0;
+  int idx = 0;
+  Mask remaining = alpha;
+  while (remaining != 0) {
+    int pos = std::countr_zero(remaining);
+    if (global & (Mask{1} << pos)) out |= std::uint64_t{1} << idx;
+    ++idx;
+    remaining &= remaining - 1;
+  }
+  return out;
+}
+
+double Binomial(int n, int k) {
+  if (k < 0 || k > n) return 0.0;
+  k = std::min(k, n - k);
+  double result = 1.0;
+  for (int i = 1; i <= k; ++i) {
+    result = result * static_cast<double>(n - k + i) / static_cast<double>(i);
+  }
+  return result;
+}
+
+}  // namespace bits
+}  // namespace dpcube

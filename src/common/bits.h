@@ -1,0 +1,100 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Bit-mask utilities over attribute subsets. Throughout the library a
+// marginal over a d-attribute binary domain is identified by a mask
+// alpha in {0,1}^d packed into a uint64 (bit i set <=> attribute i is
+// retained by the marginal). These helpers implement the notation of
+// Section 4.1 of the paper: dominance (alpha "is dominated by" beta),
+// bitwise intersection, inner products <alpha,beta> = popcount(alpha&beta),
+// and enumeration of all submasks of a mask.
+
+#ifndef DPCUBE_COMMON_BITS_H_
+#define DPCUBE_COMMON_BITS_H_
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace dpcube {
+namespace bits {
+
+/// Attribute-subset mask; bit i corresponds to attribute i.
+using Mask = std::uint64_t;
+
+/// Number of set bits, written ||alpha|| in the paper (the dimensionality
+/// of the marginal C^alpha).
+inline int Popcount(Mask alpha) { return std::popcount(alpha); }
+
+/// Parity of <alpha, beta> = ||alpha AND beta||; the sign of the Fourier
+/// basis entry f^alpha_beta is (-1)^InnerParity(alpha, beta).
+inline int InnerParity(Mask alpha, Mask beta) {
+  return std::popcount(alpha & beta) & 1;
+}
+
+/// Sign (-1)^{<alpha,beta>} as a double (+1.0 or -1.0).
+inline double FourierSign(Mask alpha, Mask beta) {
+  return InnerParity(alpha, beta) ? -1.0 : 1.0;
+}
+
+/// True iff alpha is dominated by beta (alpha "⪯" beta): alpha & beta == alpha.
+inline bool IsSubset(Mask alpha, Mask beta) { return (alpha & beta) == alpha; }
+
+/// Mask with the low `d` bits set: the full d-dimensional cube.
+inline Mask FullMask(int d) {
+  return d >= 64 ? ~Mask{0} : ((Mask{1} << d) - 1);
+}
+
+/// Iterates all submasks of `alpha` (including 0 and alpha itself) in
+/// decreasing numeric order, via the classic (sub - 1) & alpha walk.
+///
+///   for (SubmaskIterator it(alpha); !it.done(); it.Next()) use(it.mask());
+class SubmaskIterator {
+ public:
+  explicit SubmaskIterator(Mask alpha)
+      : alpha_(alpha), sub_(alpha), done_(false) {}
+
+  bool done() const { return done_; }
+  Mask mask() const { return sub_; }
+
+  void Next() {
+    if (sub_ == 0) {
+      done_ = true;
+    } else {
+      sub_ = (sub_ - 1) & alpha_;
+    }
+  }
+
+ private:
+  Mask alpha_;
+  Mask sub_;
+  bool done_;
+};
+
+/// All submasks of alpha as a vector (2^||alpha|| entries), ascending order.
+std::vector<Mask> AllSubmasks(Mask alpha);
+
+/// All masks of popcount exactly `k` over `d` attributes, ascending order
+/// (Gosper's hack). There are C(d, k) of them.
+std::vector<Mask> MasksOfWeight(int d, int k);
+
+/// All masks of popcount at most `k` over `d` attributes, ascending order.
+std::vector<Mask> MasksOfWeightAtMost(int d, int k);
+
+/// Expands the ||alpha||-bit local cell index `local` into a d-bit mask whose
+/// set bits land on the set bits of alpha, in ascending bit order. This maps
+/// a cell index beta ⪯ alpha of a marginal table to its global index.
+Mask ExpandIntoMask(std::uint64_t local, Mask alpha);
+
+/// Inverse of ExpandIntoMask: compresses the bits of `global` at the set
+/// positions of alpha into a dense ||alpha||-bit integer. Bits of `global`
+/// outside alpha are ignored.
+std::uint64_t CompressFromMask(Mask global, Mask alpha);
+
+/// Binomial coefficient C(n, k) in double precision (exact for the sizes we
+/// use, n <= 64).
+double Binomial(int n, int k);
+
+}  // namespace bits
+}  // namespace dpcube
+
+#endif  // DPCUBE_COMMON_BITS_H_

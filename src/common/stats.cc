@@ -1,0 +1,84 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dpcube {
+namespace stats {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = Mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - mu) * (x - mu);
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+double StdDev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+double MeanAbs(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += std::fabs(x);
+  return sum / static_cast<double>(xs.size());
+}
+
+double Quantile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  assert(p >= 0.0 && p <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = p * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double SumSquaredError(const std::vector<double>& got,
+                       const std::vector<double>& want) {
+  assert(got.size() == want.size());
+  double ss = 0.0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double diff = got[i] - want[i];
+    ss += diff * diff;
+  }
+  return ss;
+}
+
+double MeanAbsoluteError(const std::vector<double>& got,
+                         const std::vector<double>& want) {
+  assert(got.size() == want.size());
+  if (got.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    sum += std::fabs(got[i] - want[i]);
+  }
+  return sum / static_cast<double>(got.size());
+}
+
+void RunningStats::Add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace stats
+}  // namespace dpcube

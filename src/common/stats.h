@@ -1,0 +1,57 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Small statistics helpers used by tests and the benchmark harness.
+
+#ifndef DPCUBE_COMMON_STATS_H_
+#define DPCUBE_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace dpcube {
+namespace stats {
+
+/// Arithmetic mean; 0 for an empty range.
+double Mean(const std::vector<double>& xs);
+
+/// Unbiased sample variance (divides by n-1); 0 for fewer than 2 samples.
+double Variance(const std::vector<double>& xs);
+
+/// Standard deviation (sqrt of Variance).
+double StdDev(const std::vector<double>& xs);
+
+/// Mean of absolute values.
+double MeanAbs(const std::vector<double>& xs);
+
+/// p-th quantile (0 <= p <= 1) with linear interpolation; input not required
+/// to be sorted. Returns 0 for an empty range.
+double Quantile(std::vector<double> xs, double p);
+
+/// Sum of squared differences against a reference vector (same length).
+double SumSquaredError(const std::vector<double>& got,
+                       const std::vector<double>& want);
+
+/// Mean absolute difference against a reference vector (same length).
+double MeanAbsoluteError(const std::vector<double>& got,
+                         const std::vector<double>& want);
+
+/// Online accumulator of mean/variance (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace stats
+}  // namespace dpcube
+
+#endif  // DPCUBE_COMMON_STATS_H_

@@ -1,0 +1,174 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Minimal Status / Result error-propagation types, in the style used by
+// database engines (Arrow, RocksDB, LevelDB): no exceptions on library
+// paths; fallible operations return Status or Result<T>.
+
+#ifndef DPCUBE_COMMON_STATUS_H_
+#define DPCUBE_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace dpcube {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kFailedPrecondition = 3,
+  kNotFound = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+  kNumericalError = 7,  ///< Singular matrix, non-convergence, infeasible LP...
+};
+
+/// Returns a human-readable name for a StatusCode.
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kUnimplemented: return "Unimplemented";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kNumericalError: return "NumericalError";
+  }
+  return "Unknown";
+}
+
+/// Lightweight success/error indicator carrying a code and message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string out = StatusCodeName(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// A value-or-error holder. `ok()` implies the value is present.
+///
+/// Usage:
+///   Result<Matrix> r = Cholesky(a);
+///   if (!r.ok()) return r.status();
+///   Matrix l = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status (error).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or aborts with the status message (for tests/tools).
+  T ValueOrDie() && {
+    if (!ok()) {
+      assert(false && "Result::ValueOrDie on error");
+    }
+    return *std::move(value_);
+  }
+
+ private:
+  Status status_;  // OK iff value_ present.
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status from an expression.
+#define DPCUBE_RETURN_NOT_OK(expr)                  \
+  do {                                              \
+    ::dpcube::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+/// Assigns the value of a Result expression or propagates its Status.
+#define DPCUBE_ASSIGN_OR_RETURN(lhs, rexpr)         \
+  auto DPCUBE_CONCAT_(_res_, __LINE__) = (rexpr);   \
+  if (!DPCUBE_CONCAT_(_res_, __LINE__).ok())        \
+    return DPCUBE_CONCAT_(_res_, __LINE__).status();\
+  lhs = std::move(DPCUBE_CONCAT_(_res_, __LINE__)).value()
+
+#define DPCUBE_CONCAT_INNER_(a, b) a##b
+#define DPCUBE_CONCAT_(a, b) DPCUBE_CONCAT_INNER_(a, b)
+
+}  // namespace dpcube
+
+#endif  // DPCUBE_COMMON_STATUS_H_

@@ -1,0 +1,92 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "data/contingency_table.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "transform/walsh_hadamard.h"
+
+namespace dpcube {
+namespace data {
+
+namespace {
+constexpr int kMaxDenseBits = 26;  // 64M cells * 8B = 512 MiB ceiling.
+}  // namespace
+
+Result<DenseTable> DenseTable::Zero(int d) {
+  if (d < 0 || d > kMaxDenseBits) {
+    return Status::InvalidArgument("DenseTable: d out of range [0, 26]");
+  }
+  return DenseTable(d, std::vector<double>(std::uint64_t{1} << d, 0.0));
+}
+
+Result<DenseTable> DenseTable::FromDataset(const Dataset& dataset) {
+  const int d = dataset.schema().TotalBits();
+  DPCUBE_ASSIGN_OR_RETURN(DenseTable table, Zero(d));
+  for (std::size_t r = 0; r < dataset.num_rows(); ++r) {
+    table.cell(dataset.EncodeRow(r)) += 1.0;
+  }
+  return table;
+}
+
+Result<DenseTable> DenseTable::FromCells(std::vector<double> cells) {
+  if (!transform::IsPowerOfTwo(cells.size())) {
+    return Status::InvalidArgument("DenseTable: size must be a power of two");
+  }
+  const int d = transform::Log2OfPowerOfTwo(cells.size());
+  if (d > kMaxDenseBits) {
+    return Status::InvalidArgument("DenseTable: domain too large");
+  }
+  return DenseTable(d, std::move(cells));
+}
+
+double DenseTable::Total() const {
+  double total = 0.0;
+  for (double c : cells_) total += c;
+  return total;
+}
+
+SparseCounts SparseCounts::FromDataset(const Dataset& dataset) {
+  std::vector<bits::Mask> cells = dataset.EncodeAll();
+  std::sort(cells.begin(), cells.end());
+  std::vector<Entry> entries;
+  for (std::size_t i = 0; i < cells.size();) {
+    std::size_t j = i;
+    while (j < cells.size() && cells[j] == cells[i]) ++j;
+    entries.push_back(Entry{cells[i], static_cast<double>(j - i)});
+    i = j;
+  }
+  return SparseCounts(dataset.schema().TotalBits(), std::move(entries));
+}
+
+SparseCounts SparseCounts::FromDense(const DenseTable& dense) {
+  std::vector<Entry> entries;
+  for (std::uint64_t c = 0; c < dense.domain_size(); ++c) {
+    if (dense.cell(c) != 0.0) entries.push_back(Entry{c, dense.cell(c)});
+  }
+  return SparseCounts(dense.d(), std::move(entries));
+}
+
+double SparseCounts::Total() const {
+  double total = 0.0;
+  for (const Entry& e : entries_) total += e.count;
+  return total;
+}
+
+Result<DenseTable> SparseCounts::ToDense() const {
+  DPCUBE_ASSIGN_OR_RETURN(DenseTable table, DenseTable::Zero(d_));
+  for (const Entry& e : entries_) table.cell(e.cell) = e.count;
+  return table;
+}
+
+double SparseCounts::FourierCoefficient(bits::Mask alpha) const {
+  double sum = 0.0;
+  for (const Entry& e : entries_) {
+    sum += bits::FourierSign(alpha, e.cell) * e.count;
+  }
+  return sum * std::pow(2.0, -0.5 * d_);
+}
+
+}  // namespace data
+}  // namespace dpcube

@@ -1,0 +1,162 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "data/csv.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace dpcube {
+namespace data {
+
+namespace {
+
+void TrimInPlace(std::string* s) {
+  const auto is_space = [](char c) { return c == ' ' || c == '\t'; };
+  std::size_t begin = 0;
+  while (begin < s->size() && is_space((*s)[begin])) ++begin;
+  std::size_t end = s->size();
+  while (end > begin && is_space((*s)[end - 1])) --end;
+  *s = s->substr(begin, end - begin);
+}
+
+bool IsMissing(const std::string& field, const CsvOptions& options) {
+  return std::find(options.missing_tokens.begin(),
+                   options.missing_tokens.end(),
+                   field) != options.missing_tokens.end();
+}
+
+// Tokenises `text` starting at *pos into the fields of one record,
+// consuming the trailing newline. Quoted fields may contain delimiters,
+// doubled quotes, and newlines. Returns false at end of input.
+Result<bool> NextRecord(const std::string& text, std::size_t* pos,
+                        const CsvOptions& options,
+                        std::vector<std::string>* fields) {
+  fields->clear();
+  if (*pos >= text.size()) return false;
+  std::string field;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+  for (;;) {
+    if (*pos >= text.size()) {
+      if (in_quotes) {
+        return Status::InvalidArgument("CSV: unterminated quoted field");
+      }
+      break;  // End of input terminates the record.
+    }
+    const char c = text[(*pos)++];
+    if (in_quotes) {
+      if (c == '"') {
+        if (*pos < text.size() && text[*pos] == '"') {
+          field.push_back('"');  // Escaped quote.
+          ++*pos;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"' && !field_was_quoted) {
+      // A quote opens the field if nothing (or, leniently, only ignorable
+      // whitespace) precedes it.
+      const bool only_space = std::all_of(
+          field.begin(), field.end(),
+          [](char f) { return f == ' ' || f == '\t'; });
+      if (field.empty() || (options.trim_whitespace && only_space)) {
+        field.clear();
+        in_quotes = true;
+        field_was_quoted = true;
+        continue;
+      }
+    }
+    if (field_was_quoted && options.trim_whitespace &&
+        (c == ' ' || c == '\t')) {
+      continue;  // Ignore padding between a closing quote and the delimiter.
+    }
+    if (c == options.delimiter) {
+      if (options.trim_whitespace && !field_was_quoted) TrimInPlace(&field);
+      fields->push_back(std::move(field));
+      field.clear();
+      field_was_quoted = false;
+      continue;
+    }
+    if (c == '\n') break;
+    if (c == '\r') {
+      if (*pos < text.size() && text[*pos] == '\n') ++*pos;
+      break;
+    }
+    field.push_back(c);
+  }
+  if (options.trim_whitespace && !field_was_quoted) TrimInPlace(&field);
+  fields->push_back(std::move(field));
+  return true;
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> ParseCsvRecord(const std::string& line,
+                                                const CsvOptions& options) {
+  std::size_t pos = 0;
+  std::vector<std::string> fields;
+  DPCUBE_ASSIGN_OR_RETURN(bool got, NextRecord(line, &pos, options, &fields));
+  if (!got) return Status::InvalidArgument("CSV: empty record");
+  return fields;
+}
+
+Result<CsvTable> ParseCsv(const std::string& text, const CsvOptions& options) {
+  CsvTable table;
+  std::size_t pos = 0;
+  DPCUBE_ASSIGN_OR_RETURN(bool got_header,
+                          NextRecord(text, &pos, options, &table.header));
+  if (!got_header || table.header.empty()) {
+    return Status::InvalidArgument("CSV: missing header row");
+  }
+  std::vector<std::string> fields;
+  for (;;) {
+    DPCUBE_ASSIGN_OR_RETURN(bool got, NextRecord(text, &pos, options, &fields));
+    if (!got) break;
+    if (fields.size() == 1 && fields[0].empty()) continue;  // Blank line.
+    if (fields.size() != table.header.size()) {
+      return Status::InvalidArgument(
+          "CSV: row " + std::to_string(table.rows.size() + 1) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(table.header.size()));
+    }
+    bool drop = false;
+    for (auto& field : fields) {
+      if (!IsMissing(field, options)) continue;
+      switch (options.missing_policy) {
+        case CsvOptions::MissingPolicy::kKeep:
+          break;
+        case CsvOptions::MissingPolicy::kDropRow:
+          drop = true;
+          break;
+        case CsvOptions::MissingPolicy::kSentinel:
+          field = options.sentinel;
+          break;
+      }
+      if (drop) break;
+    }
+    if (drop) {
+      ++table.rows_dropped;
+      continue;
+    }
+    table.rows.push_back(fields);
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open CSV file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str(), options);
+}
+
+}  // namespace data
+}  // namespace dpcube

@@ -1,0 +1,65 @@
+// Copyright 2026 The dpcube Authors.
+//
+// RFC-4180-style CSV parsing: quoted fields, escaped quotes ("" inside a
+// quoted field), embedded delimiters and newlines inside quotes, CRLF
+// line endings, configurable delimiter, and missing-value tokens. This is
+// the ingestion layer for real-world extracts like the UCI Adult file
+// (whose fields contain "?" for missing values and commas inside quoted
+// occupation strings); data/string_table.h and data/discretize.h build
+// the encoded dataset on top of the raw string rows produced here.
+
+#ifndef DPCUBE_DATA_CSV_H_
+#define DPCUBE_DATA_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dpcube {
+namespace data {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// Trim ASCII spaces/tabs around unquoted fields (the Adult extract
+  /// pads fields as ", Private").
+  bool trim_whitespace = true;
+  /// Field values treated as missing (after trimming).
+  std::vector<std::string> missing_tokens = {"?", "", "NA"};
+  /// What to do with a row containing a missing field.
+  enum class MissingPolicy {
+    kKeep,      ///< Keep the token as an ordinary category value.
+    kDropRow,   ///< Skip the whole row.
+    kSentinel,  ///< Replace the field with `sentinel`.
+  };
+  MissingPolicy missing_policy = MissingPolicy::kKeep;
+  std::string sentinel = "<missing>";
+};
+
+/// A parsed CSV: the header row and the data rows (all strings).
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+  std::size_t rows_dropped = 0;  ///< Rows removed by kDropRow.
+};
+
+/// Splits one physical CSV record into fields. Fails on an unterminated
+/// quote. (Records with embedded newlines must be assembled by the caller
+/// or read via ParseCsv, which handles them.)
+Result<std::vector<std::string>> ParseCsvRecord(const std::string& line,
+                                                const CsvOptions& options = {});
+
+/// Parses a full CSV document (first record = header). Handles quoted
+/// newlines, CRLF, and a trailing newline. Fails on ragged rows or an
+/// empty document.
+Result<CsvTable> ParseCsv(const std::string& text,
+                          const CsvOptions& options = {});
+
+/// Reads and parses a CSV file.
+Result<CsvTable> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options = {});
+
+}  // namespace data
+}  // namespace dpcube
+
+#endif  // DPCUBE_DATA_CSV_H_

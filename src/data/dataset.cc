@@ -1,0 +1,106 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "data/dataset.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace dpcube {
+namespace data {
+
+Status Dataset::AppendRow(const std::vector<std::uint32_t>& values) {
+  if (values.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument("row width does not match schema");
+  }
+  for (std::size_t a = 0; a < values.size(); ++a) {
+    if (values[a] >= schema_.attribute(a).cardinality) {
+      return Status::OutOfRange("value " + std::to_string(values[a]) +
+                                " out of range for attribute '" +
+                                schema_.attribute(a).name + "'");
+    }
+  }
+  values_.insert(values_.end(), values.begin(), values.end());
+  return Status::OK();
+}
+
+bits::Mask Dataset::EncodeRow(std::size_t r) const {
+  bits::Mask cell = 0;
+  for (std::size_t a = 0; a < schema_.num_attributes(); ++a) {
+    cell |= static_cast<bits::Mask>(At(r, a)) << schema_.BitOffset(a);
+  }
+  return cell;
+}
+
+std::vector<bits::Mask> Dataset::EncodeAll() const {
+  std::vector<bits::Mask> out;
+  out.reserve(num_rows());
+  for (std::size_t r = 0; r < num_rows(); ++r) out.push_back(EncodeRow(r));
+  return out;
+}
+
+std::vector<std::uint32_t> DecodeCell(const Schema& schema, bits::Mask cell) {
+  std::vector<std::uint32_t> values(schema.num_attributes());
+  for (std::size_t a = 0; a < schema.num_attributes(); ++a) {
+    const bits::Mask field = (cell >> schema.BitOffset(a)) &
+                             ((bits::Mask{1} << schema.BitWidth(a)) - 1);
+    values[a] = static_cast<std::uint32_t>(field);
+  }
+  return values;
+}
+
+Status WriteCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open '" + path + "' for writing");
+  const Schema& schema = dataset.schema();
+  for (std::size_t a = 0; a < schema.num_attributes(); ++a) {
+    out << (a ? "," : "") << schema.attribute(a).name;
+  }
+  out << "\n";
+  for (std::size_t r = 0; r < dataset.num_rows(); ++r) {
+    for (std::size_t a = 0; a < schema.num_attributes(); ++a) {
+      out << (a ? "," : "") << dataset.At(r, a);
+    }
+    out << "\n";
+  }
+  if (!out) return Status::Internal("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<Dataset> ReadCsv(const Schema& schema, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  Dataset dataset(schema);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("'" + path + "': missing header");
+  }
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::vector<std::uint32_t> row;
+    row.reserve(schema.num_attributes());
+    std::stringstream ss(line);
+    std::string field;
+    while (std::getline(ss, field, ',')) {
+      try {
+        const unsigned long value = std::stoul(field);
+        row.push_back(static_cast<std::uint32_t>(value));
+      } catch (const std::exception&) {
+        return Status::InvalidArgument("'" + path + "' line " +
+                                       std::to_string(line_no) +
+                                       ": non-integer field '" + field + "'");
+      }
+    }
+    Status st = dataset.AppendRow(row);
+    if (!st.ok()) {
+      return Status::InvalidArgument("'" + path + "' line " +
+                                     std::to_string(line_no) + ": " +
+                                     st.message());
+    }
+  }
+  return dataset;
+}
+
+}  // namespace data
+}  // namespace dpcube

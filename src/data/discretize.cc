@@ -1,0 +1,150 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "data/discretize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dpcube {
+namespace data {
+
+namespace {
+
+std::string IntervalLabel(double lo, double hi, bool last) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), last ? "[%g, %g]" : "[%g, %g)", lo, hi);
+  return buf;
+}
+
+// Bin index of v for strictly increasing edges (see header conventions).
+std::uint32_t BinOf(double v, const std::vector<double>& edges) {
+  const std::size_t b = edges.size() - 1;
+  if (v < edges.front()) return 0;
+  if (v >= edges.back()) return static_cast<std::uint32_t>(b - 1);
+  // upper_bound - 1 gives the bin whose left edge is <= v.
+  const auto it = std::upper_bound(edges.begin(), edges.end(), v);
+  return static_cast<std::uint32_t>(it - edges.begin() - 1);
+}
+
+Status ValidateEdges(const std::vector<double>& edges) {
+  if (edges.size() < 2) {
+    return Status::InvalidArgument("discretize: need at least two edges");
+  }
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    if (!(edges[i] > edges[i - 1])) {
+      return Status::InvalidArgument(
+          "discretize: edges must be strictly increasing");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<double>> EqualWidthEdges(double lo, double hi,
+                                            int num_bins) {
+  if (num_bins < 1) {
+    return Status::InvalidArgument("discretize: num_bins must be >= 1");
+  }
+  if (!(lo < hi)) {
+    return Status::InvalidArgument("discretize: need lo < hi");
+  }
+  std::vector<double> edges(num_bins + 1);
+  for (int i = 0; i <= num_bins; ++i) {
+    edges[i] = lo + (hi - lo) * double(i) / double(num_bins);
+  }
+  edges.back() = hi;  // Avoid rounding drift on the last edge.
+  return edges;
+}
+
+Result<Discretization> DiscretizeWithEdges(const std::vector<double>& values,
+                                           const std::vector<double>& edges) {
+  DPCUBE_RETURN_NOT_OK(ValidateEdges(edges));
+  Discretization out;
+  out.edges = edges;
+  const std::size_t num_bins = edges.size() - 1;
+  out.labels.reserve(num_bins);
+  for (std::size_t i = 0; i < num_bins; ++i) {
+    out.labels.push_back(
+        IntervalLabel(edges[i], edges[i + 1], i + 1 == num_bins));
+  }
+  out.codes.reserve(values.size());
+  for (double v : values) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("discretize: non-finite value");
+    }
+    out.codes.push_back(BinOf(v, edges));
+  }
+  return out;
+}
+
+Result<Discretization> Discretize(const std::vector<double>& values,
+                                  BinningMethod method, int num_bins) {
+  if (values.empty()) {
+    return Status::InvalidArgument("discretize: empty column");
+  }
+  if (num_bins < 1) {
+    return Status::InvalidArgument("discretize: num_bins must be >= 1");
+  }
+  for (double v : values) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("discretize: non-finite value");
+    }
+  }
+  const auto [min_it, max_it] =
+      std::minmax_element(values.begin(), values.end());
+  double lo = *min_it;
+  double hi = *max_it;
+  if (lo == hi) hi = lo + 1.0;  // Constant column: one well-formed bin.
+
+  std::vector<double> edges;
+  if (method == BinningMethod::kEqualWidth) {
+    DPCUBE_ASSIGN_OR_RETURN(edges, EqualWidthEdges(lo, hi, num_bins));
+  } else {
+    // Quantile cuts on the sorted sample; merge duplicate cut points.
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    edges.push_back(lo);
+    for (int i = 1; i < num_bins; ++i) {
+      const std::size_t idx = i * sorted.size() / num_bins;
+      const double cut = sorted[std::min(idx, sorted.size() - 1)];
+      if (cut > edges.back()) edges.push_back(cut);
+    }
+    if (hi > edges.back()) {
+      edges.push_back(hi);
+    } else {
+      // All remaining mass is tied at the top value; widen the last edge
+      // so the bin is a non-degenerate interval.
+      edges.push_back(edges.back() + 1.0);
+    }
+  }
+  return DiscretizeWithEdges(values, edges);
+}
+
+Result<std::vector<double>> ParseNumericColumn(
+    const std::vector<std::string>& fields,
+    const std::vector<std::string>& missing_tokens, double missing_value) {
+  std::vector<double> out;
+  out.reserve(fields.size());
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    const std::string& f = fields[i];
+    if (std::find(missing_tokens.begin(), missing_tokens.end(), f) !=
+        missing_tokens.end()) {
+      out.push_back(missing_value);
+      continue;
+    }
+    char* end = nullptr;
+    const double v = std::strtod(f.c_str(), &end);
+    if (end == f.c_str() || *end != '\0') {
+      return Status::InvalidArgument("discretize: non-numeric field '" + f +
+                                     "' at row " + std::to_string(i));
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace dpcube

@@ -1,0 +1,96 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "data/microdata.h"
+
+#include <cmath>
+
+namespace dpcube {
+namespace data {
+
+namespace {
+
+// True if every attribute field of `cell` is below its cardinality.
+bool IsRepresentable(const Schema& schema, bits::Mask cell) {
+  const std::vector<std::uint32_t> values = DecodeCell(schema, cell);
+  for (std::size_t a = 0; a < schema.num_attributes(); ++a) {
+    if (values[a] >= schema.attribute(a).cardinality) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Microdata> GenerateMicrodata(const Schema& schema,
+                                    const std::vector<double>& cells,
+                                    const MicrodataOptions& options,
+                                    Rng* rng) {
+  DPCUBE_RETURN_NOT_OK(schema.Validate());
+  if (cells.size() != schema.DomainSize()) {
+    return Status::InvalidArgument(
+        "microdata: cell vector does not match the schema's domain size");
+  }
+  if (options.mode == MicrodataOptions::Mode::kSample &&
+      options.sample_rows == 0) {
+    return Status::InvalidArgument(
+        "microdata: sample mode requires sample_rows > 0");
+  }
+
+  Microdata out{Dataset(schema), 0.0};
+  if (options.mode == MicrodataOptions::Mode::kExact) {
+    for (bits::Mask cell = 0; cell < cells.size(); ++cell) {
+      const double value = cells[cell];
+      if (value < 0.0) {
+        return Status::InvalidArgument(
+            "microdata: exact mode requires non-negative cells (clamp or "
+            "use sample mode)");
+      }
+      const std::int64_t copies = std::llround(value);
+      if (copies == 0) continue;
+      if (!IsRepresentable(schema, cell)) {
+        out.skipped_mass += value;
+        continue;
+      }
+      const std::vector<std::uint32_t> values = DecodeCell(schema, cell);
+      for (std::int64_t i = 0; i < copies; ++i) {
+        DPCUBE_RETURN_NOT_OK(out.dataset.AppendRow(values));
+      }
+    }
+    return out;
+  }
+
+  // Sample mode: cumulative distribution over representable positive mass.
+  std::vector<double> cumulative(cells.size(), 0.0);
+  double total = 0.0;
+  for (bits::Mask cell = 0; cell < cells.size(); ++cell) {
+    const double value = std::max(cells[cell], 0.0);
+    if (value > 0.0 && !IsRepresentable(schema, cell)) {
+      out.skipped_mass += value;
+    } else if (value > 0.0) {
+      total += value;
+    }
+    cumulative[cell] = total;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument(
+        "microdata: no representable positive mass to sample from");
+  }
+  for (std::size_t row = 0; row < options.sample_rows; ++row) {
+    const double u = rng->NextDouble() * total;
+    // Binary search the cumulative distribution.
+    std::size_t lo = 0, hi = cumulative.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cumulative[mid] > u) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    DPCUBE_RETURN_NOT_OK(
+        out.dataset.AppendRow(DecodeCell(schema, bits::Mask{lo})));
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace dpcube

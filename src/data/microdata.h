@@ -1,0 +1,66 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Microdata synthesis from a released table — the Section 6 remark taken
+// literally: a consistent release "corresponds to a data set", and this
+// module materialises that data set as tuples. Two modes:
+//
+//  * kExact  — emit exactly round(cell) copies of each cell's tuple.
+//    Applied to the integral release (recovery/integral.h) or a rounded
+//    consistent witness, this is a faithful microdata file whose every
+//    marginal equals the released one.
+//  * kSample — draw `sample_rows` tuples from the cell distribution
+//    (negative cells treated as zero). Useful when the release is
+//    real-valued or when a smaller extract is wanted; marginals then
+//    match in expectation.
+//
+// Cells whose bit pattern decodes outside an attribute's cardinality
+// (structurally empty padding cells — possible when noise put mass
+// there) cannot be represented as tuples; they are skipped and counted
+// in `skipped_mass` so callers can report the discrepancy.
+
+#ifndef DPCUBE_DATA_MICRODATA_H_
+#define DPCUBE_DATA_MICRODATA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/schema.h"
+
+namespace dpcube {
+namespace data {
+
+struct MicrodataOptions {
+  enum class Mode {
+    kExact,   ///< round(cell) copies per cell.
+    kSample,  ///< sample_rows draws proportional to max(cell, 0).
+  };
+  Mode mode = Mode::kExact;
+  std::size_t sample_rows = 0;  ///< Required for kSample.
+};
+
+struct Microdata {
+  Dataset dataset;
+  /// Mass that sat on structurally-empty cells (not representable as
+  /// tuples) and was dropped (kExact) or excluded from the distribution
+  /// (kSample).
+  double skipped_mass = 0.0;
+};
+
+/// Materialises tuples from a cell vector over the schema's encoded
+/// domain. `cells` must have schema.DomainSize() entries and, in kExact
+/// mode, non-negative entries (the integral/clamped release guarantees
+/// this; pass a clamped copy otherwise). Fails on dimension mismatch,
+/// negative cells in kExact mode, sample_rows == 0 in kSample mode, or a
+/// domain with no representable mass.
+Result<Microdata> GenerateMicrodata(const Schema& schema,
+                                    const std::vector<double>& cells,
+                                    const MicrodataOptions& options,
+                                    Rng* rng);
+
+}  // namespace data
+}  // namespace dpcube
+
+#endif  // DPCUBE_DATA_MICRODATA_H_

@@ -1,0 +1,118 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "data/schema.h"
+
+#include <bit>
+
+namespace dpcube {
+namespace data {
+namespace {
+
+int BitsFor(std::uint32_t cardinality) {
+  if (cardinality <= 2) return 1;
+  return std::bit_width(cardinality - 1);
+}
+
+}  // namespace
+
+Schema::Schema(std::vector<Attribute> attributes)
+    : attributes_(std::move(attributes)) {
+  bit_widths_.reserve(attributes_.size());
+  bit_offsets_.reserve(attributes_.size());
+  total_bits_ = 0;
+  for (const Attribute& attr : attributes_) {
+    bit_offsets_.push_back(total_bits_);
+    const int width = BitsFor(attr.cardinality);
+    bit_widths_.push_back(width);
+    total_bits_ += width;
+  }
+}
+
+Status Schema::Validate() const {
+  for (const Attribute& attr : attributes_) {
+    if (attr.cardinality < 1) {
+      return Status::InvalidArgument("attribute '" + attr.name +
+                                     "' has zero cardinality");
+    }
+  }
+  if (total_bits_ > 63) {
+    return Status::InvalidArgument(
+        "encoded domain exceeds 63 bits; too large for a Mask index");
+  }
+  return Status::OK();
+}
+
+bits::Mask Schema::AttributeMask(std::size_t i) const {
+  const int width = BitWidth(i);
+  const int offset = BitOffset(i);
+  return ((bits::Mask{1} << width) - 1) << offset;
+}
+
+bits::Mask Schema::MarginalMask(
+    const std::vector<std::size_t>& attr_indices) const {
+  bits::Mask mask = 0;
+  for (std::size_t i : attr_indices) mask |= AttributeMask(i);
+  return mask;
+}
+
+Result<std::size_t> Schema::AttributeIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return Status::NotFound("no attribute named '" + name + "'");
+}
+
+Result<Schema> ParseSchemaSpec(const std::string& spec) {
+  std::vector<Attribute> attrs;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string field = spec.substr(pos, comma - pos);
+    // Trim whitespace.
+    const std::size_t first = field.find_first_not_of(" \t");
+    const std::size_t last = field.find_last_not_of(" \t");
+    if (first == std::string::npos) {
+      return Status::InvalidArgument("empty attribute in schema spec");
+    }
+    field = field.substr(first, last - first + 1);
+    const std::size_t colon = field.find(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= field.size()) {
+      return Status::InvalidArgument("bad attribute spec '" + field +
+                                     "' (want name:cardinality)");
+    }
+    const std::string name = field.substr(0, colon);
+    unsigned long cardinality = 0;
+    try {
+      cardinality = std::stoul(field.substr(colon + 1));
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("bad cardinality in '" + field + "'");
+    }
+    if (cardinality == 0) {
+      return Status::InvalidArgument("zero cardinality in '" + field + "'");
+    }
+    attrs.push_back(
+        Attribute{name, static_cast<std::uint32_t>(cardinality)});
+    pos = comma + 1;
+    if (comma == spec.size()) break;
+  }
+  if (attrs.empty()) {
+    return Status::InvalidArgument("empty schema spec");
+  }
+  Schema schema(std::move(attrs));
+  DPCUBE_RETURN_NOT_OK(schema.Validate());
+  return schema;
+}
+
+Schema BinarySchema(int d, const std::string& prefix) {
+  std::vector<Attribute> attrs;
+  attrs.reserve(d);
+  for (int i = 0; i < d; ++i) {
+    attrs.push_back(Attribute{prefix + std::to_string(i), 2});
+  }
+  return Schema(std::move(attrs));
+}
+
+}  // namespace data
+}  // namespace dpcube

@@ -1,0 +1,79 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Relational schema over categorical attributes. Following Section 4.1 of
+// the paper, an attribute with |A| distinct values is mapped onto
+// ceil(log2 |A|) binary attributes; the concatenation of all encoded
+// attributes indexes the 2^d-cell contingency-table domain.
+
+#ifndef DPCUBE_DATA_SCHEMA_H_
+#define DPCUBE_DATA_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/status.h"
+
+namespace dpcube {
+namespace data {
+
+/// One categorical attribute.
+struct Attribute {
+  std::string name;
+  std::uint32_t cardinality = 0;  ///< Number of distinct values (>= 1).
+};
+
+/// An ordered list of attributes plus the derived binary encoding layout.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes);
+
+  /// Validates cardinalities (>= 1) and the total bit width (<= 63).
+  Status Validate() const;
+
+  std::size_t num_attributes() const { return attributes_.size(); }
+  const Attribute& attribute(std::size_t i) const { return attributes_.at(i); }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Bits used to encode attribute i: ceil(log2 cardinality), min 1.
+  int BitWidth(std::size_t i) const { return bit_widths_.at(i); }
+
+  /// Bit offset of attribute i inside the encoded d-bit index.
+  int BitOffset(std::size_t i) const { return bit_offsets_.at(i); }
+
+  /// Total encoded dimensionality d = sum of bit widths.
+  int TotalBits() const { return total_bits_; }
+
+  /// Encoded domain size N = 2^d.
+  std::uint64_t DomainSize() const { return std::uint64_t{1} << total_bits_; }
+
+  /// Mask selecting the bits of attribute i (BitWidth(i) ones at BitOffset).
+  bits::Mask AttributeMask(std::size_t i) const;
+
+  /// Union of AttributeMask over a set of attribute indices; this is the
+  /// marginal mask alpha for a marginal over those attributes.
+  bits::Mask MarginalMask(const std::vector<std::size_t>& attr_indices) const;
+
+  /// Index of the attribute named `name`, or error if absent.
+  Result<std::size_t> AttributeIndex(const std::string& name) const;
+
+ private:
+  std::vector<Attribute> attributes_;
+  std::vector<int> bit_widths_;
+  std::vector<int> bit_offsets_;
+  int total_bits_ = 0;
+};
+
+/// Convenience: a schema of `d` binary attributes named prefix0..prefix{d-1}.
+Schema BinarySchema(int d, const std::string& prefix = "b");
+
+/// Parses a schema specification "name:cardinality,name:cardinality,...",
+/// e.g. "age:4,smoker:2,region:8". Whitespace around fields is ignored.
+Result<Schema> ParseSchemaSpec(const std::string& spec);
+
+}  // namespace data
+}  // namespace dpcube
+
+#endif  // DPCUBE_DATA_SCHEMA_H_

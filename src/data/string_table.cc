@@ -1,0 +1,99 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "data/string_table.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace dpcube {
+namespace data {
+
+std::uint32_t ValueDictionary::CodeOf(const std::string& label) {
+  auto it = codes_.find(label);
+  if (it != codes_.end()) return it->second;
+  const std::uint32_t code = static_cast<std::uint32_t>(labels_.size());
+  labels_.push_back(label);
+  codes_.emplace(label, code);
+  return code;
+}
+
+Result<std::uint32_t> ValueDictionary::Find(const std::string& label) const {
+  auto it = codes_.find(label);
+  if (it == codes_.end()) {
+    return Status::NotFound("unknown category '" + label + "'");
+  }
+  return it->second;
+}
+
+Result<StringTable> EncodeStringRows(
+    const std::vector<std::string>& column_names,
+    const std::vector<std::vector<std::string>>& rows) {
+  if (column_names.empty()) {
+    return Status::InvalidArgument("no columns");
+  }
+  const std::size_t width = column_names.size();
+  std::vector<ValueDictionary> dictionaries(width);
+  std::vector<std::vector<std::uint32_t>> coded;
+  coded.reserve(rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != width) {
+      return Status::InvalidArgument("row " + std::to_string(r) +
+                                     " has wrong width");
+    }
+    std::vector<std::uint32_t> code_row(width);
+    for (std::size_t a = 0; a < width; ++a) {
+      code_row[a] = dictionaries[a].CodeOf(rows[r][a]);
+    }
+    coded.push_back(std::move(code_row));
+  }
+
+  // Schema from the observed cardinalities (min 1 to keep a valid width).
+  std::vector<Attribute> attrs;
+  attrs.reserve(width);
+  for (std::size_t a = 0; a < width; ++a) {
+    attrs.push_back(Attribute{
+        column_names[a], std::max<std::uint32_t>(1, dictionaries[a].size())});
+  }
+  Schema schema(std::move(attrs));
+  DPCUBE_RETURN_NOT_OK(schema.Validate());
+
+  StringTable table{Dataset(schema), std::move(dictionaries)};
+  for (const auto& code_row : coded) {
+    DPCUBE_RETURN_NOT_OK(table.dataset.AppendRow(code_row));
+  }
+  return table;
+}
+
+Result<StringTable> ReadStringCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("'" + path + "': empty file");
+  }
+  auto split = [](const std::string& text) {
+    std::vector<std::string> fields;
+    std::stringstream ss(text);
+    std::string field;
+    while (std::getline(ss, field, ',')) fields.push_back(field);
+    if (!text.empty() && text.back() == ',') fields.push_back("");
+    return fields;
+  };
+  const std::vector<std::string> header = split(line);
+  std::vector<std::vector<std::string>> rows;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    rows.push_back(split(line));
+  }
+  auto table = EncodeStringRows(header, rows);
+  if (!table.ok()) {
+    return Status::InvalidArgument("'" + path +
+                                   "': " + table.status().message());
+  }
+  return table;
+}
+
+}  // namespace data
+}  // namespace dpcube

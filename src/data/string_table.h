@@ -1,0 +1,74 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Ingesting real-world categorical CSVs: values are strings ("Private",
+// "Bachelors", ...), not pre-coded integers. StringTableReader builds a
+// per-column dictionary in first-appearance order, yielding a Schema
+// (cardinalities = dictionary sizes) plus the encoded Dataset, and keeps
+// the dictionaries so released marginal cells can be labelled with the
+// original category names.
+
+#ifndef DPCUBE_DATA_STRING_TABLE_H_
+#define DPCUBE_DATA_STRING_TABLE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace dpcube {
+namespace data {
+
+/// A per-attribute value dictionary (code -> label, label -> code).
+class ValueDictionary {
+ public:
+  /// Returns the code of `label`, inserting it if new.
+  std::uint32_t CodeOf(const std::string& label);
+
+  /// Returns the code if present, error otherwise (read-only lookup).
+  Result<std::uint32_t> Find(const std::string& label) const;
+
+  /// The label of a code; code must be < size().
+  const std::string& LabelOf(std::uint32_t code) const {
+    return labels_.at(code);
+  }
+
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(labels_.size());
+  }
+
+ private:
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, std::uint32_t> codes_;
+};
+
+/// The result of ingesting a string-valued CSV.
+struct StringTable {
+  Dataset dataset;                          ///< Dictionary-encoded rows.
+  std::vector<ValueDictionary> dictionaries;  ///< One per attribute.
+
+  /// The label of the dataset value at (row, attribute).
+  const std::string& LabelAt(std::size_t row, std::size_t attribute) const {
+    return dictionaries[attribute].LabelOf(dataset.At(row, attribute));
+  }
+};
+
+/// Reads a string-valued CSV (header row of attribute names, comma
+/// separated, no quoting/escaping — fields must not contain commas).
+/// Builds dictionaries in first-appearance order. Fails on ragged rows
+/// or an empty file; empty fields become the category "" like any other
+/// value. The resulting schema uses the observed cardinalities, so the
+/// encoded domain is as tight as the data allows.
+Result<StringTable> ReadStringCsv(const std::string& path);
+
+/// Parses rows already in memory (header excluded); used by tests and by
+/// callers with their own I/O.
+Result<StringTable> EncodeStringRows(
+    const std::vector<std::string>& column_names,
+    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace data
+}  // namespace dpcube
+
+#endif  // DPCUBE_DATA_STRING_TABLE_H_

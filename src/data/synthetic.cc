@@ -1,0 +1,182 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace dpcube {
+namespace data {
+namespace {
+
+// Zipf-ish decaying weights w_i = 1 / (i + 1)^s over n categories.
+std::vector<double> DecayWeights(int n, double s) {
+  std::vector<double> w(n);
+  for (int i = 0; i < n; ++i) w[i] = std::pow(static_cast<double>(i + 1), -s);
+  return w;
+}
+
+// Weights shifted so that mass concentrates around `center`.
+std::vector<double> PeakedWeights(int n, int center, double spread) {
+  std::vector<double> w(n);
+  for (int i = 0; i < n; ++i) {
+    const double z = (i - center) / spread;
+    w[i] = std::exp(-0.5 * z * z) + 0.02;
+  }
+  return w;
+}
+
+}  // namespace
+
+Schema AdultSchema() {
+  return Schema({
+      Attribute{"workclass", 9},
+      Attribute{"education", 16},
+      Attribute{"marital_status", 7},
+      Attribute{"occupation", 15},
+      Attribute{"relationship", 6},
+      Attribute{"race", 5},
+      Attribute{"sex", 2},
+      Attribute{"salary", 2},
+  });
+}
+
+Dataset MakeAdultLike(std::size_t num_rows, Rng* rng) {
+  Schema schema = AdultSchema();
+  Dataset dataset(schema);
+
+  // Static skewed priors mirroring the census profile: one dominant
+  // workclass (private sector), a handful of common education levels,
+  // married/never-married dominating marital status, etc.
+  const std::vector<double> workclass_w = {0.70, 0.08, 0.06, 0.04, 0.04,
+                                           0.03, 0.03, 0.01, 0.01};
+  const std::vector<double> education_w = DecayWeights(16, 0.9);
+  const std::vector<double> marital_w = {0.46, 0.33, 0.13, 0.04, 0.03,
+                                         0.007, 0.003};
+  const std::vector<double> race_w = {0.85, 0.10, 0.03, 0.01, 0.01};
+
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    const std::uint32_t workclass = static_cast<std::uint32_t>(
+        rng->NextCategorical(workclass_w.data(), 9));
+    const std::uint32_t education = static_cast<std::uint32_t>(
+        rng->NextCategorical(education_w.data(), 16));
+
+    // Occupation correlates with education: higher education shifts the
+    // peak of the occupation distribution.
+    const int occ_center = static_cast<int>(education) * 14 / 15;
+    const std::vector<double> occupation_w = PeakedWeights(15, occ_center, 3.0);
+    const std::uint32_t occupation = static_cast<std::uint32_t>(
+        rng->NextCategorical(occupation_w.data(), 15));
+
+    const std::uint32_t marital = static_cast<std::uint32_t>(
+        rng->NextCategorical(marital_w.data(), 7));
+
+    // Relationship is strongly determined by marital status (husband/wife
+    // for married, own-child/unmarried otherwise).
+    std::vector<double> relationship_w(6, 0.05);
+    if (marital == 0) {          // Married.
+      relationship_w[0] = 0.70;  // Husband.
+      relationship_w[1] = 0.20;  // Wife.
+    } else if (marital == 1) {   // Never married.
+      relationship_w[3] = 0.55;  // Own child.
+      relationship_w[4] = 0.30;  // Not in family.
+    } else {
+      relationship_w[4] = 0.45;
+      relationship_w[5] = 0.25;
+    }
+    const std::uint32_t relationship = static_cast<std::uint32_t>(
+        rng->NextCategorical(relationship_w.data(), 6));
+
+    const std::uint32_t race =
+        static_cast<std::uint32_t>(rng->NextCategorical(race_w.data(), 5));
+    const std::uint32_t sex = rng->NextBernoulli(0.33) ? 1u : 0u;
+
+    // Salary > 50K depends on education, occupation and sex through a
+    // logistic score; overall positive rate ~24% as in the census data.
+    const double score = -2.4 + 0.16 * education + 0.05 * occupation +
+                         (sex == 0 ? 0.55 : 0.0) + (marital == 0 ? 0.8 : 0.0);
+    const double p_high = 1.0 / (1.0 + std::exp(-score));
+    const std::uint32_t salary = rng->NextBernoulli(p_high) ? 1u : 0u;
+
+    const Status st = dataset.AppendRow({workclass, education, marital,
+                                         occupation, relationship, race, sex,
+                                         salary});
+    assert(st.ok());
+    (void)st;
+  }
+  return dataset;
+}
+
+Schema NltcsSchema() {
+  std::vector<Attribute> attrs;
+  // 6 activities of daily living + 10 instrumental activities.
+  for (int i = 0; i < 6; ++i) {
+    attrs.push_back(Attribute{"adl" + std::to_string(i), 2});
+  }
+  for (int i = 0; i < 10; ++i) {
+    attrs.push_back(Attribute{"iadl" + std::to_string(i), 2});
+  }
+  return Schema(std::move(attrs));
+}
+
+Dataset MakeNltcsLike(std::size_t num_rows, Rng* rng) {
+  Schema schema = NltcsSchema();
+  Dataset dataset(schema);
+
+  // Latent severity class: none / moderate / severe. Disability indicators
+  // are rare for healthy respondents and common for severe ones, which
+  // produces the positively correlated, sparse contingency table the real
+  // survey exhibits.
+  const double class_w[3] = {0.55, 0.32, 0.13};
+  // Base activation probability per attribute (ADLs rarer than IADLs).
+  std::vector<double> base(16);
+  for (int a = 0; a < 6; ++a) base[a] = 0.04 + 0.01 * a;
+  for (int a = 6; a < 16; ++a) base[a] = 0.08 + 0.012 * (a - 6);
+  const double lift[3] = {0.0, 0.30, 0.72};
+
+  std::vector<std::uint32_t> row(16);
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    const int severity = rng->NextCategorical(class_w, 3);
+    for (int a = 0; a < 16; ++a) {
+      const double p = std::min(0.97, base[a] + lift[severity]);
+      row[a] = rng->NextBernoulli(p) ? 1u : 0u;
+    }
+    const Status st = dataset.AppendRow(row);
+    assert(st.ok());
+    (void)st;
+  }
+  return dataset;
+}
+
+Dataset MakeUniform(const Schema& schema, std::size_t num_rows, Rng* rng) {
+  Dataset dataset(schema);
+  std::vector<std::uint32_t> row(schema.num_attributes());
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    for (std::size_t a = 0; a < schema.num_attributes(); ++a) {
+      row[a] = static_cast<std::uint32_t>(
+          rng->NextBounded(schema.attribute(a).cardinality));
+    }
+    const Status st = dataset.AppendRow(row);
+    assert(st.ok());
+    (void)st;
+  }
+  return dataset;
+}
+
+Dataset MakeProductBernoulli(int d, double p, std::size_t num_rows, Rng* rng) {
+  Schema schema = BinarySchema(d);
+  Dataset dataset(schema);
+  std::vector<std::uint32_t> row(d);
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    for (int a = 0; a < d; ++a) row[a] = rng->NextBernoulli(p) ? 1u : 0u;
+    const Status st = dataset.AppendRow(row);
+    assert(st.ok());
+    (void)st;
+  }
+  return dataset;
+}
+
+}  // namespace data
+}  // namespace dpcube

@@ -1,0 +1,64 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "dp/accountant.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dpcube {
+namespace dp {
+
+Status PrivacyAccountant::Charge(const PrivacyParams& params,
+                                 std::string label) {
+  DPCUBE_RETURN_NOT_OK(params.Validate());
+  const double new_eps = TotalEpsilonBasic() + params.epsilon;
+  const double new_delta = TotalDeltaBasic() + params.delta;
+  if (new_eps > epsilon_budget_ + 1e-12) {
+    return Status::FailedPrecondition(
+        "privacy budget exhausted: epsilon " + std::to_string(new_eps) +
+        " would exceed " + std::to_string(epsilon_budget_));
+  }
+  if (new_delta > delta_budget_ + 1e-15) {
+    return Status::FailedPrecondition("privacy budget exhausted: delta");
+  }
+  charges_.push_back(
+      PrivacyCharge{params.epsilon, params.delta, std::move(label)});
+  return Status::OK();
+}
+
+double PrivacyAccountant::TotalEpsilonBasic() const {
+  double total = 0.0;
+  for (const PrivacyCharge& c : charges_) total += c.epsilon;
+  return total;
+}
+
+double PrivacyAccountant::TotalDeltaBasic() const {
+  double total = 0.0;
+  for (const PrivacyCharge& c : charges_) total += c.delta;
+  return total;
+}
+
+double PrivacyAccountant::TotalEpsilonAdvanced(double delta_slack) const {
+  if (charges_.empty()) return 0.0;
+  if (!(delta_slack > 0.0)) return TotalEpsilonBasic();
+  double max_eps = 0.0;
+  for (const PrivacyCharge& c : charges_) {
+    max_eps = std::max(max_eps, c.epsilon);
+  }
+  const double k = static_cast<double>(charges_.size());
+  const double advanced =
+      max_eps * std::sqrt(2.0 * k * std::log(1.0 / delta_slack)) +
+      k * max_eps * (std::exp(max_eps) - 1.0);
+  return std::min(advanced, TotalEpsilonBasic());
+}
+
+double PrivacyAccountant::TotalDeltaAdvanced(double delta_slack) const {
+  return TotalDeltaBasic() + std::max(0.0, delta_slack);
+}
+
+double PrivacyAccountant::RemainingEpsilon() const {
+  return std::max(0.0, epsilon_budget_ - TotalEpsilonBasic());
+}
+
+}  // namespace dp
+}  // namespace dpcube

@@ -1,0 +1,70 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Privacy accounting across multiple releases. A single ReleaseWorkload
+// call consumes its stated (epsilon, delta); a data owner answering
+// several workloads over time composes those costs. The accountant
+// implements:
+//  * basic (sequential) composition: epsilons and deltas add;
+//  * advanced composition (Dwork, Rothblum, Vadhan FOCS'10): k releases
+//    of (eps, delta)-DP are jointly
+//    (eps * sqrt(2 k ln(1/delta')) + k eps (e^eps - 1), k delta + delta')
+//    -DP for any slack delta' > 0 — a sqrt(k) rate instead of linear for
+//    small eps.
+
+#ifndef DPCUBE_DP_ACCOUNTANT_H_
+#define DPCUBE_DP_ACCOUNTANT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dp/privacy.h"
+
+namespace dpcube {
+namespace dp {
+
+/// One recorded privacy expenditure.
+struct PrivacyCharge {
+  double epsilon = 0.0;
+  double delta = 0.0;
+  std::string label;  ///< Free-form tag ("Q1* release", ...).
+};
+
+class PrivacyAccountant {
+ public:
+  /// Creates an accountant with a total budget the owner will not exceed.
+  explicit PrivacyAccountant(double epsilon_budget, double delta_budget = 0.0)
+      : epsilon_budget_(epsilon_budget), delta_budget_(delta_budget) {}
+
+  /// Records a charge. Fails (and records nothing) if the charge would
+  /// push the BASIC composition total over the configured budget.
+  Status Charge(const PrivacyParams& params, std::string label = "");
+
+  /// Basic composition totals.
+  double TotalEpsilonBasic() const;
+  double TotalDeltaBasic() const;
+
+  /// Advanced composition: the epsilon of the joint release when the
+  /// caller accepts an extra `delta_slack` of failure probability. Uses
+  /// the per-charge maximum epsilon (charges are heterogeneous; the bound
+  /// instantiates with the worst one, which is safe). Returns the basic
+  /// total when it is smaller (advanced composition only wins for many
+  /// small charges).
+  double TotalEpsilonAdvanced(double delta_slack) const;
+  double TotalDeltaAdvanced(double delta_slack) const;
+
+  /// Remaining budget under basic composition (>= 0).
+  double RemainingEpsilon() const;
+
+  const std::vector<PrivacyCharge>& charges() const { return charges_; }
+
+ private:
+  double epsilon_budget_;
+  double delta_budget_;
+  std::vector<PrivacyCharge> charges_;
+};
+
+}  // namespace dp
+}  // namespace dpcube
+
+#endif  // DPCUBE_DP_ACCOUNTANT_H_

@@ -1,0 +1,63 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "dp/geometric.h"
+
+#include <cmath>
+
+namespace dpcube {
+namespace dp {
+
+namespace {
+
+// One-sided geometric on {0, 1, 2, ...} with ratio alpha:
+// Pr[G = k] = (1 - alpha) alpha^k. Inverse-CDF sampling.
+std::int64_t SampleOneSidedGeometric(double alpha, Rng* rng) {
+  if (alpha <= 0.0) return 0;
+  const double u = rng->NextDoubleOpen();
+  return static_cast<std::int64_t>(std::floor(std::log(u) / std::log(alpha)));
+}
+
+}  // namespace
+
+double GeometricAlpha(double eps_i) { return std::exp(-eps_i); }
+
+double GeometricVariance(double eps_i) {
+  const double alpha = GeometricAlpha(eps_i);
+  const double one_minus = 1.0 - alpha;
+  return 2.0 * alpha / (one_minus * one_minus);
+}
+
+std::int64_t SampleGeometricNoise(double eps_i, Rng* rng) {
+  const double alpha = GeometricAlpha(eps_i);
+  // G1 - G2 for i.i.d. one-sided geometrics is exactly the two-sided
+  // geometric with the same ratio.
+  return SampleOneSidedGeometric(alpha, rng) -
+         SampleOneSidedGeometric(alpha, rng);
+}
+
+Result<std::vector<std::int64_t>> AddGeometricNoise(
+    const std::vector<std::int64_t>& answers,
+    const std::vector<double>& budgets, Rng* rng) {
+  if (answers.size() != budgets.size()) {
+    return Status::InvalidArgument(
+        "geometric mechanism: one budget per answer required");
+  }
+  std::vector<std::int64_t> out(answers.size());
+  for (std::size_t i = 0; i < answers.size(); ++i) {
+    if (!(budgets[i] > 0.0)) {
+      return Status::InvalidArgument(
+          "geometric mechanism: budgets must be positive");
+    }
+    out[i] = answers[i] + SampleGeometricNoise(budgets[i], rng);
+  }
+  return out;
+}
+
+Result<std::vector<std::int64_t>> AddUniformGeometricNoise(
+    const std::vector<std::int64_t>& answers, double eps_row, Rng* rng) {
+  return AddGeometricNoise(answers,
+                           std::vector<double>(answers.size(), eps_row), rng);
+}
+
+}  // namespace dp
+}  // namespace dpcube

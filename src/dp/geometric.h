@@ -1,0 +1,56 @@
+// Copyright 2026 The dpcube Authors.
+//
+// The geometric mechanism (two-sided geometric / discrete Laplace noise)
+// for integer-valued releases — the natural mechanism behind the paper's
+// Section 6 remark that applications sometimes require "a data set in
+// which all counts are integral and non-negative". Adding two-sided
+// geometric noise with ratio alpha = exp(-eps_i) to an integer count
+// gives eps_i-differential privacy per unit of sensitivity (the same
+// budget convention as dp/mechanisms.h: the strategy-level constraint of
+// Proposition 3.1 accounts for column norms and the neighbour model), and
+// the released value is an integer by construction, so the base-count
+// strategy composed with non-negative clamping yields an exactly
+// integral, non-negative, consistent datacube with no post-hoc rounding.
+//
+// Distribution: Pr[Z = k] = (1 - alpha) / (1 + alpha) * alpha^{|k|},
+// variance 2 alpha / (1 - alpha)^2 — strictly smaller than the Laplace
+// variance 2 / eps^2 it discretises, approaching it as eps -> 0.
+
+#ifndef DPCUBE_DP_GEOMETRIC_H_
+#define DPCUBE_DP_GEOMETRIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace dpcube {
+namespace dp {
+
+/// The geometric ratio alpha = exp(-eps_i) for a per-row budget.
+double GeometricAlpha(double eps_i);
+
+/// Variance of the two-sided geometric distribution with ratio
+/// alpha = exp(-eps_i): 2 alpha / (1 - alpha)^2.
+double GeometricVariance(double eps_i);
+
+/// One two-sided geometric draw with ratio alpha = exp(-eps_i), sampled
+/// as the difference of two one-sided geometric variables (an exact
+/// representation of the discrete Laplace distribution).
+std::int64_t SampleGeometricNoise(double eps_i, Rng* rng);
+
+/// Adds independent two-sided geometric noise to each integer answer;
+/// budgets.size() must equal answers.size(), every budget positive.
+Result<std::vector<std::int64_t>> AddGeometricNoise(
+    const std::vector<std::int64_t>& answers,
+    const std::vector<double>& budgets, Rng* rng);
+
+/// Convenience: uniform budget across all answers.
+Result<std::vector<std::int64_t>> AddUniformGeometricNoise(
+    const std::vector<std::int64_t>& answers, double eps_row, Rng* rng);
+
+}  // namespace dp
+}  // namespace dpcube
+
+#endif  // DPCUBE_DP_GEOMETRIC_H_

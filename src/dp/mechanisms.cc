@@ -1,0 +1,65 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "dp/mechanisms.h"
+
+#include <cmath>
+
+namespace dpcube {
+namespace dp {
+
+double SampleNoise(double eps_i, const PrivacyParams& params, Rng* rng) {
+  if (params.IsPureDp()) {
+    return rng->NextLaplace(1.0 / eps_i);
+  }
+  return rng->NextGaussian(0.0, std::sqrt(GaussianVariance(eps_i,
+                                                           params.delta)));
+}
+
+Result<linalg::Vector> AddNoise(const linalg::Vector& answers,
+                                const linalg::Vector& budgets,
+                                const PrivacyParams& params, Rng* rng) {
+  DPCUBE_RETURN_NOT_OK(params.Validate());
+  if (answers.size() != budgets.size()) {
+    return Status::InvalidArgument("AddNoise: budgets size mismatch");
+  }
+  linalg::Vector out(answers);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (!(budgets[i] > 0.0)) {
+      return Status::InvalidArgument("AddNoise: budgets must be positive");
+    }
+    out[i] += SampleNoise(budgets[i], params, rng);
+  }
+  return out;
+}
+
+Result<linalg::Vector> AddUniformNoise(const linalg::Vector& answers,
+                                       double eps_row,
+                                       const PrivacyParams& params, Rng* rng) {
+  return AddNoise(answers, linalg::Vector(answers.size(), eps_row), params,
+                  rng);
+}
+
+double SampleNoiseSum(std::uint64_t count, double eps_i,
+                      const PrivacyParams& params, Rng* rng,
+                      std::uint64_t clt_threshold) {
+  if (count == 0) return 0.0;
+  if (!params.IsPureDp()) {
+    // A sum of independent Gaussians is exactly Gaussian.
+    const double variance =
+        static_cast<double>(count) * GaussianVariance(eps_i, params.delta);
+    return rng->NextGaussian(0.0, std::sqrt(variance));
+  }
+  if (count <= clt_threshold) {
+    double sum = 0.0;
+    const double scale = 1.0 / eps_i;
+    for (std::uint64_t i = 0; i < count; ++i) sum += rng->NextLaplace(scale);
+    return sum;
+  }
+  // CLT approximation for a large sum of i.i.d. Laplace draws.
+  const double variance =
+      static_cast<double>(count) * LaplaceVariance(eps_i);
+  return rng->NextGaussian(0.0, std::sqrt(variance));
+}
+
+}  // namespace dp
+}  // namespace dpcube

@@ -1,0 +1,49 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Noise-addition mechanisms (Theorems 2.1 / 2.2) with per-measurement
+// budgets. Given true answers t and row budgets eps_i, the mechanism
+// releases z_i = t_i + nu_i where nu_i is Laplace of variance 2/eps_i^2
+// (pure DP) or Gaussian of variance 2 ln(2/delta)/eps_i^2. The caller is
+// responsible for the budgets jointly satisfying Proposition 3.1 for the
+// strategy matrix that produced t (see budget/ and dp/privacy.h).
+
+#ifndef DPCUBE_DP_MECHANISMS_H_
+#define DPCUBE_DP_MECHANISMS_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "dp/privacy.h"
+#include "linalg/matrix.h"
+
+namespace dpcube {
+namespace dp {
+
+/// One noise draw of variance matching MeasurementVariance(eps_i, params).
+double SampleNoise(double eps_i, const PrivacyParams& params, Rng* rng);
+
+/// Adds independent noise to each answer; budgets.size() must equal
+/// answers.size() and every budget must be positive.
+Result<linalg::Vector> AddNoise(const linalg::Vector& answers,
+                                const linalg::Vector& budgets,
+                                const PrivacyParams& params, Rng* rng);
+
+/// Uniform-budget convenience: every answer gets budget eps_row.
+Result<linalg::Vector> AddUniformNoise(const linalg::Vector& answers,
+                                       double eps_row,
+                                       const PrivacyParams& params, Rng* rng);
+
+/// Samples the SUM of `count` i.i.d. noise draws of budget eps_i. Used by
+/// the base-count strategy at scale, where a marginal cell aggregates
+/// 2^{d-k} noisy base cells: for large counts the exact sum is replaced by
+/// its CLT normal approximation (mean 0, variance count * per-draw
+/// variance), which is indistinguishable for the error statistics we
+/// report and turns an O(2^d) simulation into O(1). `clt_threshold`
+/// controls the crossover (draws below it are sampled exactly).
+double SampleNoiseSum(std::uint64_t count, double eps_i,
+                      const PrivacyParams& params, Rng* rng,
+                      std::uint64_t clt_threshold = 1024);
+
+}  // namespace dp
+}  // namespace dpcube
+
+#endif  // DPCUBE_DP_MECHANISMS_H_

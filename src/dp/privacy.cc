@@ -1,0 +1,55 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "dp/privacy.h"
+
+#include <algorithm>
+
+namespace dpcube {
+namespace dp {
+namespace {
+
+double Factor(NeighbourModel neighbour) {
+  return neighbour == NeighbourModel::kReplaceOne ? 2.0 : 1.0;
+}
+
+}  // namespace
+
+double L1Sensitivity(const linalg::Matrix& s, NeighbourModel neighbour) {
+  return Factor(neighbour) * s.MaxColumnL1();
+}
+
+double L2Sensitivity(const linalg::Matrix& s, NeighbourModel neighbour) {
+  return Factor(neighbour) * s.MaxColumnL2();
+}
+
+double AchievedEpsilonLaplace(const linalg::Matrix& s,
+                              const linalg::Vector& row_budgets,
+                              NeighbourModel neighbour) {
+  double best = 0.0;
+  for (std::size_t j = 0; j < s.cols(); ++j) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < s.rows(); ++i) {
+      sum += std::fabs(s(i, j)) * row_budgets[i];
+    }
+    best = std::max(best, sum);
+  }
+  return Factor(neighbour) * best;
+}
+
+double AchievedEpsilonGaussian(const linalg::Matrix& s,
+                               const linalg::Vector& row_budgets,
+                               NeighbourModel neighbour) {
+  double best = 0.0;
+  for (std::size_t j = 0; j < s.cols(); ++j) {
+    double ss = 0.0;
+    for (std::size_t i = 0; i < s.rows(); ++i) {
+      const double term = s(i, j) * row_budgets[i];
+      ss += term * term;
+    }
+    best = std::max(best, ss);
+  }
+  return Factor(neighbour) * std::sqrt(best);
+}
+
+}  // namespace dp
+}  // namespace dpcube

@@ -1,0 +1,89 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Privacy accounting primitives: the privacy parameters (epsilon, delta),
+// the neighbouring-database convention, and matrix sensitivities
+// (Definition 2.2). The paper's analysis uses the replace-one-tuple
+// convention, under which changing one tuple moves weight 1 between two
+// contingency-table cells and the sensitivity of a strategy matrix picks
+// up a factor of 2 (Proposition 3.1); the add/remove convention (factor 1)
+// is also supported.
+
+#ifndef DPCUBE_DP_PRIVACY_H_
+#define DPCUBE_DP_PRIVACY_H_
+
+#include <cmath>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace dpcube {
+namespace dp {
+
+/// Which pairs of databases count as neighbours.
+enum class NeighbourModel {
+  kAddRemove,   ///< D' = D plus-or-minus one tuple (sensitivity factor 1).
+  kReplaceOne,  ///< D' = D with one tuple changed (factor 2; paper default).
+};
+
+/// (epsilon, delta)-differential-privacy parameters.
+struct PrivacyParams {
+  double epsilon = 1.0;
+  double delta = 0.0;  ///< 0 for pure epsilon-DP.
+  NeighbourModel neighbour = NeighbourModel::kReplaceOne;
+
+  bool IsPureDp() const { return delta == 0.0; }
+
+  /// The multiplier applied to column norms of the strategy matrix.
+  double SensitivityFactor() const {
+    return neighbour == NeighbourModel::kReplaceOne ? 2.0 : 1.0;
+  }
+
+  Status Validate() const {
+    if (!(epsilon > 0.0)) {
+      return Status::InvalidArgument("epsilon must be positive");
+    }
+    if (delta < 0.0 || delta >= 1.0) {
+      return Status::InvalidArgument("delta must be in [0, 1)");
+    }
+    return Status::OK();
+  }
+};
+
+/// L1-sensitivity of a strategy matrix under the given neighbour model:
+/// factor * max_j sum_i |S_ij|.
+double L1Sensitivity(const linalg::Matrix& s, NeighbourModel neighbour);
+
+/// L2-sensitivity: factor * max_j sqrt(sum_i S_ij^2).
+double L2Sensitivity(const linalg::Matrix& s, NeighbourModel neighbour);
+
+/// The epsilon actually consumed by per-row Laplace budgets (Prop. 3.1(i)):
+/// factor * max_j sum_i |S_ij| eps_i.
+double AchievedEpsilonLaplace(const linalg::Matrix& s,
+                              const linalg::Vector& row_budgets,
+                              NeighbourModel neighbour);
+
+/// The epsilon consumed by per-row Gaussian budgets (Prop. 3.1(ii)):
+/// factor * max_j sqrt(sum_i S_ij^2 eps_i^2).
+double AchievedEpsilonGaussian(const linalg::Matrix& s,
+                               const linalg::Vector& row_budgets,
+                               NeighbourModel neighbour);
+
+/// Per-measurement noise variance for a row budget eps_i:
+/// Laplace (pure DP): 2 / eps_i^2.
+inline double LaplaceVariance(double eps_i) { return 2.0 / (eps_i * eps_i); }
+
+/// Gaussian ((eps, delta)-DP, Theorem 2.2): 2 ln(2/delta) / eps_i^2.
+inline double GaussianVariance(double eps_i, double delta) {
+  return 2.0 * std::log(2.0 / delta) / (eps_i * eps_i);
+}
+
+/// Variance of one noisy measurement for the given parameters.
+inline double MeasurementVariance(double eps_i, const PrivacyParams& params) {
+  return params.IsPureDp() ? LaplaceVariance(eps_i)
+                           : GaussianVariance(eps_i, params.delta);
+}
+
+}  // namespace dp
+}  // namespace dpcube
+
+#endif  // DPCUBE_DP_PRIVACY_H_

@@ -1,0 +1,77 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "engine/budget_planner.h"
+
+#include <cmath>
+
+#include "budget/grouped_budget.h"
+
+namespace dpcube {
+namespace engine {
+
+Result<ReleasePlan> PlanReleases(const std::vector<PlannedRelease>& releases,
+                                 const dp::PrivacyParams& params) {
+  DPCUBE_RETURN_NOT_OK(params.Validate());
+  if (releases.empty()) {
+    return Status::InvalidArgument("no releases to plan");
+  }
+  // Per-release predicted variance at unit epsilon.
+  linalg::Vector unit_variance(releases.size());
+  for (std::size_t i = 0; i < releases.size(); ++i) {
+    if (releases[i].strategy == nullptr) {
+      return Status::InvalidArgument("release '" + releases[i].label +
+                                     "' has no strategy");
+    }
+    if (releases[i].importance < 0.0) {
+      return Status::InvalidArgument("importance must be >= 0");
+    }
+    dp::PrivacyParams unit = params;
+    unit.epsilon = 1.0;
+    auto budgets =
+        releases[i].budget_mode == budget::BudgetMode::kOptimal
+            ? budget::OptimalGroupBudgets(releases[i].strategy->groups(),
+                                          unit)
+            : budget::UniformGroupBudgets(releases[i].strategy->groups(),
+                                          unit);
+    if (!budgets.ok()) return budgets.status();
+    unit_variance[i] = budgets.value().variance_objective;
+  }
+
+  // min sum_i w_i V_i / t_i^2  s.t.  sum t_i = eps: t_i ~ (w_i V_i)^{1/3}.
+  // Zero-importance releases receive a vanishing reserved share so they
+  // stay runnable (mirroring the grouped optimizer's policy); the rest of
+  // the budget is split optimally among the weighted releases.
+  double denom = 0.0;
+  std::size_t zero_weight = 0;
+  for (std::size_t i = 0; i < releases.size(); ++i) {
+    const double w = releases[i].importance * unit_variance[i];
+    if (w > 0.0) {
+      denom += std::cbrt(w);
+    } else {
+      ++zero_weight;
+    }
+  }
+  if (!(denom > 0.0)) {
+    return Status::InvalidArgument(
+        "all planned releases have zero weighted variance");
+  }
+  const double reserved = 1e-6 * params.epsilon;
+  const double usable =
+      params.epsilon - reserved * static_cast<double>(zero_weight);
+
+  ReleasePlan plan;
+  plan.epsilons.resize(releases.size());
+  plan.per_release_variance.resize(releases.size());
+  for (std::size_t i = 0; i < releases.size(); ++i) {
+    const double w = releases[i].importance * unit_variance[i];
+    plan.epsilons[i] = w > 0.0 ? usable * std::cbrt(w) / denom : reserved;
+    plan.per_release_variance[i] =
+        unit_variance[i] / (plan.epsilons[i] * plan.epsilons[i]);
+    plan.total_variance +=
+        releases[i].importance * plan.per_release_variance[i];
+  }
+  return plan;
+}
+
+}  // namespace engine
+}  // namespace dpcube

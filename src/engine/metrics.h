@@ -1,0 +1,42 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Error metrics of the experimental study (Section 5): the average
+// absolute error per marginal cell, scaled by the mean true cell value of
+// the respective marginal ("relative error"); a relative error above 1
+// means the noise dwarfs the data.
+
+#ifndef DPCUBE_ENGINE_METRICS_H_
+#define DPCUBE_ENGINE_METRICS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/contingency_table.h"
+#include "marginal/marginal_table.h"
+#include "marginal/workload.h"
+
+namespace dpcube {
+namespace engine {
+
+struct ErrorReport {
+  /// Mean over marginals of (mean |error| per cell) / (mean true cell).
+  double relative_error = 0.0;
+  /// Mean absolute per-cell error over all cells of all marginals.
+  double absolute_error = 0.0;
+  /// Largest single-cell absolute error.
+  double max_absolute_error = 0.0;
+  /// Per-marginal relative errors, workload order.
+  std::vector<double> per_marginal_relative;
+};
+
+/// Compares a released workload answer against the true marginals of
+/// `data`. Marginals whose mean true cell value is zero are skipped in the
+/// relative aggregate (they carry no mass to compare against).
+Result<ErrorReport> EvaluateRelease(
+    const marginal::Workload& workload, const data::SparseCounts& data,
+    const std::vector<marginal::MarginalTable>& released);
+
+}  // namespace engine
+}  // namespace dpcube
+
+#endif  // DPCUBE_ENGINE_METRICS_H_

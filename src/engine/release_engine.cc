@@ -1,0 +1,55 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "engine/release_engine.h"
+
+#include <chrono>
+
+#include "budget/grouped_budget.h"
+#include "recovery/consistency.h"
+
+namespace dpcube {
+namespace engine {
+
+Result<ReleaseOutcome> ReleaseWorkload(const strategy::MarginalStrategy& strat,
+                                       const data::SparseCounts& data,
+                                       const ReleaseOptions& options,
+                                       Rng* rng) {
+  DPCUBE_RETURN_NOT_OK(options.params.Validate());
+  const auto start = std::chrono::steady_clock::now();
+
+  // Step 2: budgets.
+  Result<budget::GroupBudgets> budgets =
+      options.budget_mode == BudgetMode::kOptimal
+          ? budget::OptimalGroupBudgets(strat.groups(), options.params)
+          : budget::UniformGroupBudgets(strat.groups(), options.params);
+  if (!budgets.ok()) return budgets.status();
+
+  // Measure + default recovery.
+  DPCUBE_ASSIGN_OR_RETURN(
+      strategy::Release release,
+      strat.Run(data, budgets.value().eta, options.params, rng));
+
+  ReleaseOutcome outcome;
+  outcome.predicted_variance = budgets.value().variance_objective;
+  outcome.group_budgets = budgets.value().eta;
+  outcome.consistent = release.consistent;
+
+  // Step 3: consistency projection (doubles as the optimal GLS recovery).
+  if (options.enforce_consistency && !release.consistent) {
+    DPCUBE_ASSIGN_OR_RETURN(
+        outcome.marginals,
+        recovery::ProjectConsistentL2(strat.workload(), release.marginals,
+                                      release.cell_variances));
+    outcome.consistent = true;
+  } else {
+    outcome.marginals = std::move(release.marginals);
+  }
+
+  outcome.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return outcome;
+}
+
+}  // namespace engine
+}  // namespace dpcube

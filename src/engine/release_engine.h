@@ -1,0 +1,62 @@
+// Copyright 2026 The dpcube Authors.
+//
+// The end-to-end pipeline of the paper's Figure 3:
+//   Step 1  pick a strategy (caller supplies a MarginalStrategy);
+//   Step 2  compute noise budgets — uniform (the prior-work baseline) or
+//           the closed-form optimal non-uniform budgets of Section 3.1;
+//   measure z = S x + nu;
+//   Step 3  recover and (optionally) project onto the consistent set via
+//           the Fourier-space GLS of Section 4.3, which doubles as the
+//           optimal recovery for marginal strategies.
+
+#ifndef DPCUBE_ENGINE_RELEASE_ENGINE_H_
+#define DPCUBE_ENGINE_RELEASE_ENGINE_H_
+
+#include <vector>
+
+#include "budget/grouped_budget.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "dp/privacy.h"
+#include "strategy/marginal_strategy.h"
+
+namespace dpcube {
+namespace engine {
+
+/// How Step 2 allocates the privacy budget across strategy groups
+/// (re-exported from budget/ for API convenience).
+using BudgetMode = budget::BudgetMode;
+
+struct ReleaseOptions {
+  dp::PrivacyParams params;
+  BudgetMode budget_mode = BudgetMode::kOptimal;
+  /// Apply the consistency projection when the strategy's raw output is
+  /// not already consistent.
+  bool enforce_consistency = true;
+};
+
+struct ReleaseOutcome {
+  /// Private workload answers, in workload order.
+  std::vector<marginal::MarginalTable> marginals;
+  /// Predicted total output variance a^T Var(y) (a = 1) under the chosen
+  /// budgets and the strategy's default recovery.
+  double predicted_variance = 0.0;
+  /// Per-group budgets actually used.
+  linalg::Vector group_budgets;
+  /// Wall-clock seconds spent inside the pipeline (excludes strategy
+  /// construction, which benches time separately).
+  double elapsed_seconds = 0.0;
+  /// Whether the returned marginals are consistent (Definition 2.3).
+  bool consistent = false;
+};
+
+/// Runs the full pipeline for one strategy over the data.
+Result<ReleaseOutcome> ReleaseWorkload(const strategy::MarginalStrategy& strat,
+                                       const data::SparseCounts& data,
+                                       const ReleaseOptions& options,
+                                       Rng* rng);
+
+}  // namespace engine
+}  // namespace dpcube
+
+#endif  // DPCUBE_ENGINE_RELEASE_ENGINE_H_

@@ -1,0 +1,100 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "engine/release_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dpcube {
+namespace engine {
+
+Status WriteReleaseCsv(const std::string& path,
+                       const std::vector<marginal::MarginalTable>& marginals) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open '" + path + "' for writing");
+  const int d = marginals.empty() ? 0 : marginals.front().d();
+  for (const marginal::MarginalTable& m : marginals) {
+    if (m.d() != d) {
+      return Status::InvalidArgument(
+          "all marginals must share the same domain dimensionality");
+    }
+  }
+  out << "# dpcube-release d=" << d << "\n";
+  out << "mask,cell,value\n";
+  char line[96];
+  for (const marginal::MarginalTable& m : marginals) {
+    for (std::size_t g = 0; g < m.num_cells(); ++g) {
+      std::snprintf(line, sizeof(line), "%" PRIu64 ",%zu,%.17g\n",
+                    static_cast<std::uint64_t>(m.alpha()), g, m.value(g));
+      out << line;
+    }
+  }
+  if (!out) return Status::Internal("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+Result<LoadedRelease> ReadReleaseCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::string line;
+  if (!std::getline(in, line) ||
+      line.rfind("# dpcube-release d=", 0) != 0) {
+    return Status::InvalidArgument("'" + path + "': missing release header");
+  }
+  int d = 0;
+  try {
+    d = std::stoi(line.substr(std::string("# dpcube-release d=").size()));
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("'" + path + "': bad dimensionality");
+  }
+  if (!std::getline(in, line) || line != "mask,cell,value") {
+    return Status::InvalidArgument("'" + path + "': missing column header");
+  }
+
+  LoadedRelease release;
+  std::vector<bits::Mask> masks;
+  std::size_t line_no = 2;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::string mask_field, cell_field, value_field;
+    if (!std::getline(ss, mask_field, ',') ||
+        !std::getline(ss, cell_field, ',') ||
+        !std::getline(ss, value_field)) {
+      return Status::InvalidArgument("'" + path + "' line " +
+                                     std::to_string(line_no) + ": malformed");
+    }
+    bits::Mask mask;
+    std::size_t cell;
+    double value;
+    try {
+      mask = std::stoull(mask_field);
+      cell = std::stoull(cell_field);
+      value = std::stod(value_field);
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("'" + path + "' line " +
+                                     std::to_string(line_no) +
+                                     ": non-numeric field");
+    }
+    if (release.marginals.empty() ||
+        release.marginals.back().alpha() != mask) {
+      masks.push_back(mask);
+      release.marginals.emplace_back(mask, d);
+    }
+    marginal::MarginalTable& table = release.marginals.back();
+    if (cell >= table.num_cells()) {
+      return Status::OutOfRange("'" + path + "' line " +
+                                std::to_string(line_no) +
+                                ": cell index out of range");
+    }
+    table.value(cell) = value;
+  }
+  release.workload = marginal::Workload(d, std::move(masks));
+  return release;
+}
+
+}  // namespace engine
+}  // namespace dpcube

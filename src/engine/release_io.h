@@ -1,0 +1,40 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Serialisation of private releases. A released workload is written as a
+// CSV of (marginal mask, local cell index, value) rows with a header
+// carrying the domain dimensionality, so a release can be archived,
+// diffed, or consumed by downstream tooling without this library.
+
+#ifndef DPCUBE_ENGINE_RELEASE_IO_H_
+#define DPCUBE_ENGINE_RELEASE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "marginal/marginal_table.h"
+#include "marginal/workload.h"
+
+namespace dpcube {
+namespace engine {
+
+/// Writes released marginals as CSV:
+///   # dpcube-release d=<d>
+///   mask,cell,value
+///   5,0,123.4
+///   ...
+Status WriteReleaseCsv(const std::string& path,
+                       const std::vector<marginal::MarginalTable>& marginals);
+
+/// Reads a release written by WriteReleaseCsv. The reconstructed workload
+/// preserves the file's marginal order.
+struct LoadedRelease {
+  marginal::Workload workload{0, {}};
+  std::vector<marginal::MarginalTable> marginals;
+};
+Result<LoadedRelease> ReadReleaseCsv(const std::string& path);
+
+}  // namespace engine
+}  // namespace dpcube
+
+#endif  // DPCUBE_ENGINE_RELEASE_IO_H_

@@ -1,0 +1,56 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "engine/theory_bounds.h"
+
+#include <cmath>
+
+#include "common/bits.h"
+
+namespace dpcube {
+namespace engine {
+namespace {
+using bits::Binomial;
+}  // namespace
+
+double BoundBaseCountsPure(int d, int k, double eps) {
+  return std::pow(2.0, 0.5 * (d + k)) / eps;
+}
+
+double BoundBaseCountsApprox(int d, int k, double eps, double delta) {
+  return std::pow(2.0, 0.5 * (d + k)) * std::sqrt(std::log(1.0 / delta)) /
+         eps;
+}
+
+double BoundMarginalsPure(int d, int k, double eps) {
+  return std::pow(2.0, k) * Binomial(d, k) / eps;
+}
+
+double BoundMarginalsApprox(int d, int k, double eps, double delta) {
+  return std::pow(2.0, k) *
+         std::sqrt(Binomial(d, k) * std::log(1.0 / delta)) / eps;
+}
+
+double BoundFourierUniformPure(int d, int k, double eps) {
+  return k * Binomial(d, k) * std::pow(2.0, 0.5 * k) / eps;
+}
+
+double BoundFourierUniformApprox(int d, int k, double eps, double delta) {
+  return std::sqrt(k * std::pow(2.0, k) * Binomial(d, k) *
+                   std::log(1.0 / delta)) /
+         eps;
+}
+
+double BoundFourierNonUniformPure(int d, int k, double eps) {
+  return k * std::sqrt(Binomial(d, k) * Binomial(d + k, k)) / eps;
+}
+
+double BoundFourierNonUniformApprox(int d, int k, double eps, double delta) {
+  return std::sqrt(k * Binomial(d + k, k) * std::log(1.0 / delta)) / eps;
+}
+
+double BoundLower(int d, int k, double eps) {
+  return std::sqrt(Binomial(d, k)) / eps;
+}
+
+}  // namespace engine
+}  // namespace dpcube

@@ -1,0 +1,50 @@
+// Copyright 2026 The dpcube Authors.
+//
+// The asymptotic bounds of the paper's Table 1: expected L1 noise per
+// marginal, E[||C^beta x - C~^beta||_1], when releasing all k-way
+// marginals of a d-dimensional binary domain (k < d/2). Constants inside
+// the O(.) are dropped; the bench bench_table1_marginal_bounds compares
+// the *shape* of these expressions against measured noise.
+
+#ifndef DPCUBE_ENGINE_THEORY_BOUNDS_H_
+#define DPCUBE_ENGINE_THEORY_BOUNDS_H_
+
+namespace dpcube {
+namespace engine {
+
+/// Base counts, epsilon-DP [Dwork et al. 06]: 2^{(d+k)/2} / eps.
+double BoundBaseCountsPure(int d, int k, double eps);
+
+/// Base counts, (eps, delta)-DP: 2^{(d+k)/2} sqrt(log(1/delta)) / eps.
+double BoundBaseCountsApprox(int d, int k, double eps, double delta);
+
+/// Direct marginals, epsilon-DP [Barak et al. 07]: 2^k C(d,k) / eps.
+double BoundMarginalsPure(int d, int k, double eps);
+
+/// Direct marginals, (eps,delta)-DP: 2^k sqrt(C(d,k) log(1/delta)) / eps.
+double BoundMarginalsApprox(int d, int k, double eps, double delta);
+
+/// Fourier, uniform noise, epsilon-DP (Theorem B.1, the paper's improved
+/// analysis): k C(d,k) sqrt(2^k) / eps.
+double BoundFourierUniformPure(int d, int k, double eps);
+
+/// Fourier, uniform noise, (eps,delta)-DP [Barak et al. 07]:
+/// sqrt(k 2^k C(d,k) log(1/delta)) / eps.
+double BoundFourierUniformApprox(int d, int k, double eps, double delta);
+
+/// Fourier, non-uniform noise, epsilon-DP (Lemma 4.2(1)):
+/// k sqrt(C(d,k) C(d+k,k)) / eps.
+double BoundFourierNonUniformPure(int d, int k, double eps);
+
+/// Fourier, non-uniform noise, (eps,delta)-DP (Lemma 4.2(2)):
+/// sqrt(k C(d+k,k) log(1/delta)) / eps.
+double BoundFourierNonUniformApprox(int d, int k, double eps, double delta);
+
+/// Unconditional lower bound [Kasiviswanathan et al. 10]:
+/// sqrt(C(d,k)) / eps (log factors dropped).
+double BoundLower(int d, int k, double eps);
+
+}  // namespace engine
+}  // namespace dpcube
+
+#endif  // DPCUBE_ENGINE_THEORY_BOUNDS_H_

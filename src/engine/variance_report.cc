@@ -1,0 +1,44 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "engine/variance_report.h"
+
+#include <cmath>
+
+namespace dpcube {
+namespace engine {
+
+Result<VarianceReport> PredictRelease(const strategy::MarginalStrategy& strat,
+                                      const dp::PrivacyParams& params,
+                                      budget::BudgetMode budget_mode) {
+  DPCUBE_RETURN_NOT_OK(params.Validate());
+  auto budgets = budget_mode == budget::BudgetMode::kOptimal
+                     ? budget::OptimalGroupBudgets(strat.groups(), params)
+                     : budget::UniformGroupBudgets(strat.groups(), params);
+  if (!budgets.ok()) return budgets.status();
+
+  VarianceReport report;
+  report.group_budgets = budgets.value().eta;
+  report.total_variance = budgets.value().variance_objective;
+  DPCUBE_ASSIGN_OR_RETURN(
+      report.cell_variances,
+      strat.PredictCellVariances(budgets.value().eta, params));
+
+  // E|X| for the per-cell noise: Laplace with variance V has E|X| =
+  // sqrt(V/2); a Gaussian (and the CLT-aggregated base-count noise,
+  // which is near-Gaussian) has E|X| = sqrt(2 V / pi). Sums of several
+  // independent noises (Fourier, cluster covers) are between the two;
+  // we report the Gaussian value for aggregated cells and the exact
+  // Laplace value for single-measurement cells.
+  report.expected_abs_error.reserve(report.cell_variances.size());
+  const bool single_draw_laplace =
+      params.IsPureDp() && strat.name() == "Q";
+  for (double v : report.cell_variances) {
+    report.expected_abs_error.push_back(
+        single_draw_laplace ? std::sqrt(v / 2.0)
+                            : std::sqrt(2.0 * v / M_PI));
+  }
+  return report;
+}
+
+}  // namespace engine
+}  // namespace dpcube

@@ -1,0 +1,44 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Dry-run accuracy prediction: everything a data owner wants to know
+// about a release BEFORE spending privacy budget. The paper's variance
+// formulas are data-independent, so the per-marginal noise level — and
+// from it the expected absolute error per cell, E|Laplace| = sqrt(V/2),
+// E|Gaussian| = sqrt(2V/pi) — is known exactly in advance.
+
+#ifndef DPCUBE_ENGINE_VARIANCE_REPORT_H_
+#define DPCUBE_ENGINE_VARIANCE_REPORT_H_
+
+#include <vector>
+
+#include "budget/grouped_budget.h"
+#include "common/status.h"
+#include "dp/privacy.h"
+#include "strategy/marginal_strategy.h"
+
+namespace dpcube {
+namespace engine {
+
+struct VarianceReport {
+  /// Per-marginal predicted cell variance, workload order.
+  linalg::Vector cell_variances;
+  /// Per-marginal expected |noise| per cell (exact for the default
+  /// recovery's noise distribution; after the consistency projection the
+  /// true error is weakly smaller, so this is a safe upper bound).
+  linalg::Vector expected_abs_error;
+  /// Predicted total output variance a^T Var(y) (a = 1).
+  double total_variance = 0.0;
+  /// The group budgets the prediction assumed.
+  linalg::Vector group_budgets;
+};
+
+/// Predicts the accuracy of releasing `strat`'s workload at the given
+/// privacy parameters and budget mode, without touching any data.
+Result<VarianceReport> PredictRelease(
+    const strategy::MarginalStrategy& strat, const dp::PrivacyParams& params,
+    budget::BudgetMode budget_mode = budget::BudgetMode::kOptimal);
+
+}  // namespace engine
+}  // namespace dpcube
+
+#endif  // DPCUBE_ENGINE_VARIANCE_REPORT_H_

@@ -1,0 +1,191 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "linalg/decompositions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace dpcube {
+namespace linalg {
+
+Result<LuDecomposition> LuDecomposition::Compute(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("LU requires a square matrix");
+  }
+  const std::size_t n = a.rows();
+  Matrix lu = a;
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  int sign = 1;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest |entry| in column k at/below row k.
+    std::size_t pivot = k;
+    double best = std::fabs(lu(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double cand = std::fabs(lu(i, k));
+      if (cand > best) {
+        best = cand;
+        pivot = i;
+      }
+    }
+    if (best < 1e-12) {
+      return Status::NumericalError("LU: matrix is numerically singular");
+    }
+    if (pivot != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu(k, c), lu(pivot, c));
+      std::swap(perm[k], perm[pivot]);
+      sign = -sign;
+    }
+    const double diag = lu(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double factor = lu(i, k) / diag;
+      lu(i, k) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) lu(i, c) -= factor * lu(k, c);
+    }
+  }
+  return LuDecomposition(std::move(lu), std::move(perm), sign);
+}
+
+Vector LuDecomposition::Solve(const Vector& b) const {
+  const std::size_t n = size();
+  assert(b.size() == n);
+  Vector x(n);
+  // Apply permutation, then forward-substitute through L (unit diagonal).
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) sum -= lu_(i, j) * x[j];
+    x[i] = sum;
+  }
+  // Back-substitute through U.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = x[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) sum -= lu_(ii, j) * x[j];
+    x[ii] = sum / lu_(ii, ii);
+  }
+  return x;
+}
+
+Matrix LuDecomposition::SolveMatrix(const Matrix& b) const {
+  assert(b.rows() == size());
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    Vector col = Solve(b.Col(c));
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = col[r];
+  }
+  return x;
+}
+
+Matrix LuDecomposition::Inverse() const {
+  return SolveMatrix(Matrix::Identity(size()));
+}
+
+double LuDecomposition::Determinant() const {
+  double det = static_cast<double>(sign_);
+  for (std::size_t i = 0; i < size(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Result<CholeskyDecomposition> CholeskyDecomposition::Compute(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  const std::size_t n = a.rows();
+  Matrix l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      return Status::NumericalError(
+          "Cholesky: matrix is not numerically positive definite");
+    }
+    const double ljj = std::sqrt(diag);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      l(i, j) = sum / ljj;
+    }
+  }
+  return CholeskyDecomposition(std::move(l));
+}
+
+Vector CholeskyDecomposition::Solve(const Vector& b) const {
+  const std::size_t n = l_.rows();
+  assert(b.size() == n);
+  Vector y(n);
+  // Forward solve L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t j = 0; j < i; ++j) sum -= l_(i, j) * y[j];
+    y[i] = sum / l_(i, i);
+  }
+  // Back solve L^T x = y.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) sum -= l_(j, ii) * x[j];
+    x[ii] = sum / l_(ii, ii);
+  }
+  return x;
+}
+
+Matrix CholeskyDecomposition::SolveMatrix(const Matrix& b) const {
+  assert(b.rows() == l_.rows());
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    Vector col = Solve(b.Col(c));
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = col[r];
+  }
+  return x;
+}
+
+Result<Vector> SolveLinearSystem(const Matrix& a, const Vector& b) {
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("SolveLinearSystem: dimension mismatch");
+  }
+  DPCUBE_ASSIGN_OR_RETURN(LuDecomposition lu, LuDecomposition::Compute(a));
+  return lu.Solve(b);
+}
+
+Result<Matrix> Inverse(const Matrix& a) {
+  DPCUBE_ASSIGN_OR_RETURN(LuDecomposition lu, LuDecomposition::Compute(a));
+  return lu.Inverse();
+}
+
+std::size_t NumericalRank(Matrix a, double tol) {
+  const std::size_t rows = a.rows();
+  const std::size_t cols = a.cols();
+  std::size_t rank = 0;
+  std::size_t row = 0;
+  const double scale = std::max(a.MaxAbs(), 1.0);
+  for (std::size_t col = 0; col < cols && row < rows; ++col) {
+    std::size_t pivot = row;
+    double best = std::fabs(a(row, col));
+    for (std::size_t i = row + 1; i < rows; ++i) {
+      const double cand = std::fabs(a(i, col));
+      if (cand > best) {
+        best = cand;
+        pivot = i;
+      }
+    }
+    if (best <= tol * scale) continue;
+    if (pivot != row) {
+      for (std::size_t c = 0; c < cols; ++c) std::swap(a(row, c), a(pivot, c));
+    }
+    const double diag = a(row, col);
+    for (std::size_t i = row + 1; i < rows; ++i) {
+      const double factor = a(i, col) / diag;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < cols; ++c) a(i, c) -= factor * a(row, c);
+    }
+    ++rank;
+    ++row;
+  }
+  return rank;
+}
+
+}  // namespace linalg
+}  // namespace dpcube

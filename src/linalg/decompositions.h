@@ -1,0 +1,84 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Matrix factorizations and linear solvers: LU with partial pivoting,
+// Cholesky, triangular solves, inverse, determinant sign/rank probes.
+// All fallible entry points return Result/Status (singularity is a
+// recoverable condition reported to the caller, never an abort).
+
+#ifndef DPCUBE_LINALG_DECOMPOSITIONS_H_
+#define DPCUBE_LINALG_DECOMPOSITIONS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace dpcube {
+namespace linalg {
+
+/// LU factorization with partial pivoting: P*A = L*U, packed storage.
+class LuDecomposition {
+ public:
+  /// Factors a square matrix. Fails with NumericalError if (numerically)
+  /// singular.
+  static Result<LuDecomposition> Compute(const Matrix& a);
+
+  /// Solves A x = b for one right-hand side.
+  Vector Solve(const Vector& b) const;
+
+  /// Solves A X = B column-by-column.
+  Matrix SolveMatrix(const Matrix& b) const;
+
+  /// A^{-1} (solve against the identity).
+  Matrix Inverse() const;
+
+  /// det(A), including pivot sign.
+  double Determinant() const;
+
+  std::size_t size() const { return lu_.rows(); }
+
+ private:
+  LuDecomposition(Matrix lu, std::vector<std::size_t> perm, int sign)
+      : lu_(std::move(lu)), perm_(std::move(perm)), sign_(sign) {}
+
+  Matrix lu_;                       // L (unit diag, below) and U (on/above).
+  std::vector<std::size_t> perm_;   // Row permutation.
+  int sign_;                        // Permutation sign for the determinant.
+};
+
+/// Cholesky factorization A = L * L^T for symmetric positive definite A.
+class CholeskyDecomposition {
+ public:
+  /// Factors an SPD matrix; fails with NumericalError if A is not
+  /// (numerically) positive definite. Only the lower triangle of `a` is read.
+  static Result<CholeskyDecomposition> Compute(const Matrix& a);
+
+  /// Solves A x = b.
+  Vector Solve(const Vector& b) const;
+
+  /// Solves A X = B.
+  Matrix SolveMatrix(const Matrix& b) const;
+
+  /// The lower-triangular factor L.
+  const Matrix& lower() const { return l_; }
+
+ private:
+  explicit CholeskyDecomposition(Matrix l) : l_(std::move(l)) {}
+  Matrix l_;
+};
+
+/// Solves the square system A x = b via LU (convenience wrapper).
+Result<Vector> SolveLinearSystem(const Matrix& a, const Vector& b);
+
+/// Inverse of a square matrix via LU.
+Result<Matrix> Inverse(const Matrix& a);
+
+/// Numerical rank via Gaussian elimination with partial pivoting on a copy;
+/// entries below `tol` (relative to the max pivot) are treated as zero.
+std::size_t NumericalRank(Matrix a, double tol = 1e-9);
+
+}  // namespace linalg
+}  // namespace dpcube
+
+#endif  // DPCUBE_LINALG_DECOMPOSITIONS_H_

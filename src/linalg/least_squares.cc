@@ -1,0 +1,149 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "linalg/least_squares.h"
+
+#include <cmath>
+
+#include "linalg/decompositions.h"
+#include "linalg/svd.h"
+
+namespace dpcube {
+namespace linalg {
+namespace {
+
+// A^T diag(w) A and A^T diag(w) b in one pass over the rows of A.
+void WeightedNormalEquations(const Matrix& a, const Vector* b,
+                             const Vector& weights, Matrix* ata, Vector* atb) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  *ata = Matrix(n, n);
+  if (atb != nullptr) atb->assign(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    const double w = weights.empty() ? 1.0 : weights[r];
+    const double* row = a.RowData(r);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double wri = w * row[i];
+      if (wri == 0.0) continue;
+      for (std::size_t j = i; j < n; ++j) {
+        (*ata)(i, j) += wri * row[j];
+      }
+      if (atb != nullptr) (*atb)[i] += wri * (*b)[r];
+    }
+  }
+  // Mirror the upper triangle.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) (*ata)(j, i) = (*ata)(i, j);
+  }
+}
+
+Result<Vector> SolveNormal(const Matrix& ata, const Vector& atb) {
+  // Prefer Cholesky (the normal matrix is symmetric PSD); fall back to LU
+  // with a tiny ridge if it is borderline definite.
+  Result<CholeskyDecomposition> chol = CholeskyDecomposition::Compute(ata);
+  if (chol.ok()) return chol.value().Solve(atb);
+  Matrix ridged = ata;
+  const double ridge = 1e-10 * std::max(ata.MaxAbs(), 1.0);
+  for (std::size_t i = 0; i < ridged.rows(); ++i) ridged(i, i) += ridge;
+  DPCUBE_ASSIGN_OR_RETURN(LuDecomposition lu, LuDecomposition::Compute(ridged));
+  return lu.Solve(atb);
+}
+
+}  // namespace
+
+Result<Vector> OrdinaryLeastSquares(const Matrix& a, const Vector& b) {
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("OLS: A rows must match b size");
+  }
+  Matrix ata;
+  Vector atb;
+  WeightedNormalEquations(a, &b, /*weights=*/{}, &ata, &atb);
+  return SolveNormal(ata, atb);
+}
+
+Result<Vector> GeneralizedLeastSquares(const Matrix& a, const Vector& b,
+                                       const Vector& variances) {
+  if (a.rows() != b.size() || a.rows() != variances.size()) {
+    return Status::InvalidArgument("GLS: dimension mismatch");
+  }
+  Vector weights(variances.size());
+  for (std::size_t i = 0; i < variances.size(); ++i) {
+    if (!(variances[i] > 0.0)) {
+      return Status::InvalidArgument("GLS: variances must be positive");
+    }
+    weights[i] = 1.0 / variances[i];
+  }
+  Matrix ata;
+  Vector atb;
+  WeightedNormalEquations(a, &b, weights, &ata, &atb);
+  return SolveNormal(ata, atb);
+}
+
+Result<Matrix> GlsEstimatorMatrix(const Matrix& a, const Vector& variances) {
+  if (a.rows() != variances.size()) {
+    return Status::InvalidArgument("GlsEstimatorMatrix: dimension mismatch");
+  }
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  Vector weights(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (!(variances[i] > 0.0)) {
+      return Status::InvalidArgument(
+          "GlsEstimatorMatrix: variances must be positive");
+    }
+    weights[i] = 1.0 / variances[i];
+  }
+  Matrix ata;
+  WeightedNormalEquations(a, /*b=*/nullptr, weights, &ata, /*atb=*/nullptr);
+  DPCUBE_ASSIGN_OR_RETURN(Matrix inv, Inverse(ata));
+  // G = inv * A^T * diag(w): build A^T diag(w) then multiply.
+  Matrix atw(n, m);
+  for (std::size_t r = 0; r < m; ++r) {
+    const double* row = a.RowData(r);
+    for (std::size_t i = 0; i < n; ++i) atw(i, r) = row[i] * weights[r];
+  }
+  return inv.Multiply(atw);
+}
+
+Result<Matrix> RightPseudoInverse(const Matrix& a) {
+  // A^+ = A^T (A A^T)^{-1}; requires full row rank.
+  const Matrix aat = a.Multiply(a.Transpose());
+  DPCUBE_ASSIGN_OR_RETURN(Matrix inv, Inverse(aat));
+  return a.Transpose().Multiply(inv);
+}
+
+Result<Matrix> LeftPseudoInverse(const Matrix& a) {
+  const Matrix ata = a.Transpose().Multiply(a);
+  DPCUBE_ASSIGN_OR_RETURN(Matrix inv, Inverse(ata));
+  return inv.Multiply(a.Transpose());
+}
+
+Result<Matrix> GlsEstimatorMatrixAnyRank(const Matrix& a,
+                                         const Vector& variances,
+                                         double tol) {
+  if (a.rows() != variances.size()) {
+    return Status::InvalidArgument(
+        "GlsEstimatorMatrixAnyRank: dimension mismatch");
+  }
+  const std::size_t m = a.rows();
+  // B = Sigma^{-1/2} A: scale row i by 1/sqrt(var_i).
+  Matrix b = a;
+  Vector inv_sqrt(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (!(variances[i] > 0.0)) {
+      return Status::InvalidArgument(
+          "GlsEstimatorMatrixAnyRank: variances must be positive");
+    }
+    inv_sqrt[i] = 1.0 / std::sqrt(variances[i]);
+    b.ScaleRow(i, inv_sqrt[i]);
+  }
+  DPCUBE_ASSIGN_OR_RETURN(Matrix bpinv, PseudoInverse(b, tol));
+  // G = B^+ Sigma^{-1/2}: scale column i of B^+ by 1/sqrt(var_i).
+  for (std::size_t j = 0; j < bpinv.rows(); ++j) {
+    double* row = bpinv.RowData(j);
+    for (std::size_t i = 0; i < m; ++i) row[i] *= inv_sqrt[i];
+  }
+  return bpinv;
+}
+
+}  // namespace linalg
+}  // namespace dpcube

@@ -1,0 +1,56 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Ordinary and generalized (weighted) least squares. The generalized form
+// with a diagonal noise covariance is the workhorse of the paper's Step 3
+// (Section 3.2): given z = S x + nu with Cov(nu) = diag(2/eps_i^2), the
+// minimum-variance linear unbiased estimate is
+//   x_hat = (S^T Sigma^{-1} S)^{-1} S^T Sigma^{-1} z .
+
+#ifndef DPCUBE_LINALG_LEAST_SQUARES_H_
+#define DPCUBE_LINALG_LEAST_SQUARES_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace dpcube {
+namespace linalg {
+
+/// Solves min_x ||A x - b||_2 via the normal equations (A full column rank).
+/// Fails with NumericalError if A^T A is not invertible.
+Result<Vector> OrdinaryLeastSquares(const Matrix& a, const Vector& b);
+
+/// Solves the generalized least squares problem for diagonal covariance:
+/// min_x (A x - b)^T diag(1/var) (A x - b), i.e. weights w_i = 1 / var_i.
+/// `variances` must be strictly positive, one per row of A.
+Result<Vector> GeneralizedLeastSquares(const Matrix& a, const Vector& b,
+                                       const Vector& variances);
+
+/// The GLS estimator matrix G = (A^T W A)^{-1} A^T W with W = diag(1/var):
+/// x_hat = G b for any right-hand side. This is the matrix the paper
+/// composes with Q to obtain the optimal recovery R = Q G (equation (7)).
+Result<Matrix> GlsEstimatorMatrix(const Matrix& a, const Vector& variances);
+
+/// Moore–Penrose pseudo-inverse for a full-row-rank matrix:
+/// A^+ = A^T (A A^T)^{-1}. Used to exhibit a consistent witness x_c with
+/// Q x_c = y when Q has independent rows (Section 3.3).
+Result<Matrix> RightPseudoInverse(const Matrix& a);
+
+/// Pseudo-inverse for a full-column-rank matrix: A^+ = (A^T A)^{-1} A^T.
+Result<Matrix> LeftPseudoInverse(const Matrix& a);
+
+/// GLS estimator matrix without the full-column-rank requirement: with
+/// B = Sigma^{-1/2} A, returns G = B^+ Sigma^{-1/2} via the Jacobi-SVD
+/// pseudo-inverse, so x_hat = G b is the minimum-norm generalized
+/// least-squares estimate. For full-column-rank A this coincides with
+/// GlsEstimatorMatrix; for rank(A) < cols the estimate is unbiased only
+/// for targets in A's row space (the condition Section 3.2 of the paper
+/// inherits from Li et al. for rank-deficient strategies). Singular values
+/// below tol * sigma_max are truncated.
+Result<Matrix> GlsEstimatorMatrixAnyRank(const Matrix& a,
+                                         const Vector& variances,
+                                         double tol = 1e-10);
+
+}  // namespace linalg
+}  // namespace dpcube
+
+#endif  // DPCUBE_LINALG_LEAST_SQUARES_H_

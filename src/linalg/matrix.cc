@@ -1,0 +1,242 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace dpcube {
+namespace linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+    : rows_(rows.size()), cols_(0) {
+  if (rows_ == 0) return;
+  cols_ = rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    assert(row.size() == cols_ && "ragged initializer list");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Diagonal(const Vector& diag) {
+  Matrix m(diag.size(), diag.size());
+  for (std::size_t i = 0; i < diag.size(); ++i) m(i, i) = diag[i];
+  return m;
+}
+
+Matrix Matrix::Constant(std::size_t rows, std::size_t cols, double value) {
+  Matrix m(rows, cols);
+  std::fill(m.data_.begin(), m.data_.end(), value);
+  return m;
+}
+
+Vector Matrix::Row(std::size_t r) const {
+  assert(r < rows_);
+  return Vector(RowData(r), RowData(r) + cols_);
+}
+
+Vector Matrix::Col(std::size_t c) const {
+  assert(c < cols_);
+  Vector out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+void Matrix::SetRow(std::size_t r, const Vector& v) {
+  assert(v.size() == cols_);
+  std::copy(v.begin(), v.end(), RowData(r));
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* src = RowData(r);
+    for (std::size_t c = 0; c < cols_; ++c) out(c, r) = src[c];
+  }
+  return out;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order for row-major cache friendliness.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* a_row = RowData(i);
+    double* out_row = out.RowData(i);
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a_ik = a_row[k];
+      if (a_ik == 0.0) continue;
+      const double* b_row = other.RowData(k);
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        out_row[j] += a_ik * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Vector Matrix::MultiplyVec(const Vector& v) const {
+  assert(v.size() == cols_);
+  Vector out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = RowData(r);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) sum += row[c] * v[c];
+    out[r] = sum;
+  }
+  return out;
+}
+
+Vector Matrix::TransposeMultiplyVec(const Vector& v) const {
+  assert(v.size() == rows_);
+  Vector out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = RowData(r);
+    const double vr = v[r];
+    if (vr == 0.0) continue;
+    for (std::size_t c = 0; c < cols_; ++c) out[c] += row[c] * vr;
+  }
+  return out;
+}
+
+Matrix Matrix::Add(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Subtract(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Matrix Matrix::Scale(double factor) const {
+  Matrix out = *this;
+  for (double& x : out.data_) x *= factor;
+  return out;
+}
+
+void Matrix::ScaleRow(std::size_t r, double factor) {
+  double* row = RowData(r);
+  for (std::size_t c = 0; c < cols_; ++c) row[c] *= factor;
+}
+
+double Matrix::MaxAbs() const {
+  double best = 0.0;
+  for (double x : data_) best = std::max(best, std::fabs(x));
+  return best;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double ss = 0.0;
+  for (double x : data_) ss += x * x;
+  return std::sqrt(ss);
+}
+
+double Matrix::MaxColumnL1() const {
+  double best = 0.0;
+  for (std::size_t c = 0; c < cols_; ++c) {
+    double sum = 0.0;
+    for (std::size_t r = 0; r < rows_; ++r) sum += std::fabs((*this)(r, c));
+    best = std::max(best, sum);
+  }
+  return best;
+}
+
+double Matrix::MaxColumnL2() const {
+  double best = 0.0;
+  for (std::size_t c = 0; c < cols_; ++c) {
+    double ss = 0.0;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const double x = (*this)(r, c);
+      ss += x * x;
+    }
+    best = std::max(best, ss);
+  }
+  return std::sqrt(best);
+}
+
+bool Matrix::ApproxEquals(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Matrix::ToString() const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_ << " [\n";
+  for (std::size_t r = 0; r < rows_; ++r) {
+    os << "  ";
+    for (std::size_t c = 0; c < cols_; ++c) {
+      os << (*this)(r, c) << (c + 1 < cols_ ? " " : "");
+    }
+    os << "\n";
+  }
+  os << "]";
+  return os.str();
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm2(const Vector& v) { return std::sqrt(Dot(v, v)); }
+
+double Norm1(const Vector& v) {
+  double sum = 0.0;
+  for (double x : v) sum += std::fabs(x);
+  return sum;
+}
+
+double NormInf(const Vector& v) {
+  double best = 0.0;
+  for (double x : v) best = std::max(best, std::fabs(x));
+  return best;
+}
+
+Vector AddVec(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  Vector out(a);
+  for (std::size_t i = 0; i < b.size(); ++i) out[i] += b[i];
+  return out;
+}
+
+Vector SubVec(const Vector& a, const Vector& b) {
+  assert(a.size() == b.size());
+  Vector out(a);
+  for (std::size_t i = 0; i < b.size(); ++i) out[i] -= b[i];
+  return out;
+}
+
+Vector ScaleVec(const Vector& v, double factor) {
+  Vector out(v);
+  for (double& x : out) x *= factor;
+  return out;
+}
+
+bool ApproxEqualsVec(const Vector& a, const Vector& b, double tol) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace linalg
+}  // namespace dpcube

@@ -1,0 +1,153 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Dense row-major matrix and vector types. The library deliberately ships
+// its own small linear-algebra kernel instead of depending on an external
+// BLAS: the matrices arising in the paper's pipeline (recovery matrices,
+// Fourier-space normal equations, LP tableaus) are dense and small-to-medium,
+// and a self-contained kernel keeps the build dependency-free.
+
+#ifndef DPCUBE_LINALG_MATRIX_H_
+#define DPCUBE_LINALG_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dpcube {
+namespace linalg {
+
+/// Dense vector of doubles.
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// rows x cols matrix, zero-initialised.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Constructs from nested initializer lists; all rows must have equal size.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(std::size_t n);
+
+  /// Diagonal matrix from a vector.
+  static Matrix Diagonal(const Vector& diag);
+
+  /// Matrix filled with a constant.
+  static Matrix Constant(std::size_t rows, std::size_t cols, double value);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Pointer to the start of row r (contiguous, cols() entries).
+  double* RowData(std::size_t r) {
+    assert(r < rows_);
+    return data_.data() + r * cols_;
+  }
+  const double* RowData(std::size_t r) const {
+    assert(r < rows_);
+    return data_.data() + r * cols_;
+  }
+
+  /// Copies row r into a Vector.
+  Vector Row(std::size_t r) const;
+  /// Copies column c into a Vector.
+  Vector Col(std::size_t c) const;
+  /// Overwrites row r with v (v.size() == cols()).
+  void SetRow(std::size_t r, const Vector& v);
+
+  Matrix Transpose() const;
+
+  /// Matrix product this * other; dimensions must agree.
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Matrix-vector product this * v; v.size() == cols().
+  Vector MultiplyVec(const Vector& v) const;
+
+  /// Transposed matrix-vector product this^T * v; v.size() == rows().
+  Vector TransposeMultiplyVec(const Vector& v) const;
+
+  /// Elementwise sum / difference; dimensions must agree.
+  Matrix Add(const Matrix& other) const;
+  Matrix Subtract(const Matrix& other) const;
+
+  /// Elementwise scale.
+  Matrix Scale(double factor) const;
+
+  /// Scales row r in place by factor.
+  void ScaleRow(std::size_t r, double factor);
+
+  /// Maximum absolute entry (0 for empty).
+  double MaxAbs() const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Maximum column L1 norm: max_j sum_i |A_ij|. This is exactly the
+  /// L1-sensitivity bound used for strategy matrices (Section 2).
+  double MaxColumnL1() const;
+
+  /// Maximum column L2 norm: max_j sqrt(sum_i A_ij^2) (L2-sensitivity).
+  double MaxColumnL2() const;
+
+  /// True if all entries of both matrices are within tol of each other.
+  bool ApproxEquals(const Matrix& other, double tol) const;
+
+  /// Human-readable rendering (for diagnostics and tests).
+  std::string ToString() const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+// ---- Free vector helpers ---------------------------------------------------
+
+/// Dot product; sizes must agree.
+double Dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+double Norm2(const Vector& v);
+
+/// L1 norm.
+double Norm1(const Vector& v);
+
+/// Max-abs (L-infinity) norm.
+double NormInf(const Vector& v);
+
+/// a + b elementwise.
+Vector AddVec(const Vector& a, const Vector& b);
+
+/// a - b elementwise.
+Vector SubVec(const Vector& a, const Vector& b);
+
+/// v * factor elementwise.
+Vector ScaleVec(const Vector& v, double factor);
+
+/// True if all entries within tol.
+bool ApproxEqualsVec(const Vector& a, const Vector& b, double tol);
+
+}  // namespace linalg
+}  // namespace dpcube
+
+#endif  // DPCUBE_LINALG_MATRIX_H_

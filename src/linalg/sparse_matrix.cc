@@ -1,0 +1,121 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "linalg/sparse_matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dpcube {
+namespace linalg {
+
+Vector SparseMatrix::MultiplyVec(const Vector& x) const {
+  assert(x.size() == cols_);
+  Vector out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      sum += values_[k] * x[col_indices_[k]];
+    }
+    out[r] = sum;
+  }
+  return out;
+}
+
+Vector SparseMatrix::TransposeMultiplyVec(const Vector& x) const {
+  assert(x.size() == rows_);
+  Vector out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      out[col_indices_[k]] += values_[k] * xr;
+    }
+  }
+  return out;
+}
+
+double SparseMatrix::MaxColumnL1() const {
+  Vector sums(cols_, 0.0);
+  for (std::size_t k = 0; k < values_.size(); ++k) {
+    sums[col_indices_[k]] += std::fabs(values_[k]);
+  }
+  double best = 0.0;
+  for (double s : sums) best = std::max(best, s);
+  return best;
+}
+
+double SparseMatrix::MaxColumnL2() const {
+  Vector sums(cols_, 0.0);
+  for (std::size_t k = 0; k < values_.size(); ++k) {
+    sums[col_indices_[k]] += values_[k] * values_[k];
+  }
+  double best = 0.0;
+  for (double s : sums) best = std::max(best, s);
+  return std::sqrt(best);
+}
+
+Vector SparseMatrix::WeightedColumnAbsSums(const Vector& row_weights) const {
+  assert(row_weights.size() == rows_);
+  Vector out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double w = row_weights[r];
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      out[col_indices_[k]] += std::fabs(values_[k]) * w;
+    }
+  }
+  return out;
+}
+
+Matrix SparseMatrix::ToDense() const {
+  Matrix out(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      out(r, col_indices_[k]) = values_[k];
+    }
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::FromDense(const Matrix& dense) {
+  SparseMatrixBuilder builder(dense.rows(), dense.cols());
+  for (std::size_t r = 0; r < dense.rows(); ++r) {
+    for (std::size_t c = 0; c < dense.cols(); ++c) {
+      builder.Add(c, dense(r, c));
+    }
+    builder.FinishRow();
+  }
+  return std::move(builder.Build()).value();
+}
+
+SparseMatrixBuilder::SparseMatrixBuilder(std::size_t rows, std::size_t cols) {
+  m_.rows_ = rows;
+  m_.cols_ = cols;
+  m_.row_offsets_.reserve(rows + 1);
+  m_.row_offsets_.push_back(0);
+}
+
+void SparseMatrixBuilder::Add(std::size_t col, double value) {
+  assert(current_row_ < m_.rows_);
+  assert(col < m_.cols_);
+  if (value == 0.0) return;
+  m_.col_indices_.push_back(col);
+  m_.values_.push_back(value);
+}
+
+void SparseMatrixBuilder::FinishRow() {
+  assert(current_row_ < m_.rows_);
+  ++current_row_;
+  m_.row_offsets_.push_back(m_.col_indices_.size());
+}
+
+Result<SparseMatrix> SparseMatrixBuilder::Build() {
+  if (current_row_ != m_.rows_) {
+    return Status::FailedPrecondition(
+        "SparseMatrixBuilder: not all rows finished");
+  }
+  return std::move(m_);
+}
+
+}  // namespace linalg
+}  // namespace dpcube

@@ -1,0 +1,97 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Compressed sparse row (CSR) matrices. Strategy and query matrices over
+// contingency-table domains are extremely sparse (marginal rows touch
+// N / 2^k cells; hierarchy rows touch an interval), and the sensitivity
+// computations of Section 2 only need column norms — CSR keeps both
+// O(nnz) instead of O(rows * cols).
+
+#ifndef DPCUBE_LINALG_SPARSE_MATRIX_H_
+#define DPCUBE_LINALG_SPARSE_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace dpcube {
+namespace linalg {
+
+/// Immutable CSR matrix built through SparseMatrixBuilder.
+class SparseMatrix {
+ public:
+  SparseMatrix() : rows_(0), cols_(0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return values_.size(); }
+
+  /// y = A x.
+  Vector MultiplyVec(const Vector& x) const;
+
+  /// y = A^T x.
+  Vector TransposeMultiplyVec(const Vector& x) const;
+
+  /// max_j sum_i |A_ij| — the L1 column-norm bound of Section 2.
+  double MaxColumnL1() const;
+
+  /// max_j sqrt(sum_i A_ij^2).
+  double MaxColumnL2() const;
+
+  /// Per-column weighted absolute sums: out_j = sum_i |A_ij| w_i. With
+  /// w = row budgets this is the per-column privacy load of Prop. 3.1(i).
+  Vector WeightedColumnAbsSums(const Vector& row_weights) const;
+
+  /// Dense materialisation (tests / small matrices).
+  Matrix ToDense() const;
+
+  /// Builds from a dense matrix, dropping zeros.
+  static SparseMatrix FromDense(const Matrix& dense);
+
+  /// Entries of row r as (col, value) pairs.
+  struct Entry {
+    std::size_t col;
+    double value;
+  };
+  std::size_t RowNnz(std::size_t r) const {
+    return row_offsets_[r + 1] - row_offsets_[r];
+  }
+  Entry RowEntry(std::size_t r, std::size_t k) const {
+    const std::size_t at = row_offsets_[r] + k;
+    return Entry{col_indices_[at], values_[at]};
+  }
+
+ private:
+  friend class SparseMatrixBuilder;
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::size_t> row_offsets_;  // Size rows + 1.
+  std::vector<std::size_t> col_indices_;  // Size nnz.
+  std::vector<double> values_;            // Size nnz.
+};
+
+/// Row-by-row builder; rows must be appended in order.
+class SparseMatrixBuilder {
+ public:
+  SparseMatrixBuilder(std::size_t rows, std::size_t cols);
+
+  /// Appends an entry to the current row; columns need not be sorted.
+  /// Zero values are dropped.
+  void Add(std::size_t col, double value);
+
+  /// Finishes the current row and starts the next.
+  void FinishRow();
+
+  /// Validates the shape (all rows finished) and returns the matrix.
+  Result<SparseMatrix> Build();
+
+ private:
+  SparseMatrix m_;
+  std::size_t current_row_ = 0;
+};
+
+}  // namespace linalg
+}  // namespace dpcube
+
+#endif  // DPCUBE_LINALG_SPARSE_MATRIX_H_

@@ -1,0 +1,107 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Rank-revealing factorizations: Householder QR with column pivoting and
+// one-sided Jacobi SVD, plus the pseudo-inverse built on the latter.
+// These power the rank-deficient recovery path (Section 3.2 of the paper
+// defers rank(S) < N to the generalized inverse treatment of Li et al.;
+// recovery/gls_recovery.h uses PseudoInverse to implement it exactly).
+// Jacobi SVD is chosen over bidiagonalization for its simplicity and its
+// high relative accuracy on the small/medium dense matrices this library
+// manipulates (recovery matrices, Fourier-space normal equations).
+
+#ifndef DPCUBE_LINALG_SVD_H_
+#define DPCUBE_LINALG_SVD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace dpcube {
+namespace linalg {
+
+/// Householder QR with column pivoting: A * P = Q * R, A of size m x n with
+/// m >= n. The factorization is rank-revealing: |R_11| >= |R_22| >= ... and
+/// the numerical rank is the number of diagonal entries of R above
+/// tol * |R_11|.
+class QrDecomposition {
+ public:
+  /// Factors an m x n matrix with m >= n. Fails with InvalidArgument on a
+  /// wide or empty input.
+  static Result<QrDecomposition> Compute(const Matrix& a);
+
+  /// Numerical rank: diagonal entries of R with magnitude above
+  /// tol * max-diagonal count toward the rank.
+  std::size_t Rank(double tol = 1e-10) const;
+
+  /// Minimum-residual solution of A x = b restricted to the leading
+  /// Rank(tol) pivot columns (remaining components zero) — the "basic"
+  /// least-squares solution. b.size() must equal rows().
+  Result<Vector> Solve(const Vector& b, double tol = 1e-10) const;
+
+  /// The upper-triangular factor R (n x n).
+  Matrix R() const;
+
+  /// Applies Q^T to a vector of length rows() (in place on a copy).
+  Vector ApplyQTranspose(Vector v) const;
+
+  /// Column permutation: factorization column j of R corresponds to
+  /// original column permutation()[j] of A.
+  const std::vector<std::size_t>& permutation() const { return perm_; }
+
+  std::size_t rows() const { return qr_.rows(); }
+  std::size_t cols() const { return qr_.cols(); }
+
+ private:
+  QrDecomposition(Matrix qr, Vector beta, std::vector<std::size_t> perm)
+      : qr_(std::move(qr)), beta_(std::move(beta)), perm_(std::move(perm)) {}
+
+  Matrix qr_;    // R on/above the diagonal, Householder vectors below.
+  Vector beta_;  // Householder scalars (2 / v^T v), one per reflection.
+  std::vector<std::size_t> perm_;
+};
+
+/// Thin singular value decomposition A = U * diag(sigma) * V^T computed by
+/// one-sided Jacobi rotations. For an m x n input, U is m x k, V is n x k
+/// with k = min(m, n), and sigma is non-negative and sorted descending.
+class SvdDecomposition {
+ public:
+  /// Factors any non-empty matrix. Fails with NumericalError only if the
+  /// Jacobi sweeps do not converge (pathological; bounded at 60 sweeps).
+  static Result<SvdDecomposition> Compute(const Matrix& a);
+
+  const Matrix& U() const { return u_; }
+  const Matrix& V() const { return v_; }
+  const Vector& singular_values() const { return sigma_; }
+
+  /// Numerical rank: singular values above tol * sigma_max.
+  std::size_t Rank(double tol = 1e-10) const;
+
+  /// Moore-Penrose pseudo-inverse A^+ = V * diag(1/sigma_i) * U^T with
+  /// singular values below tol * sigma_max treated as zero.
+  Matrix PseudoInverse(double tol = 1e-10) const;
+
+  /// sigma_max / sigma_min over the singular values above tol * sigma_max
+  /// (infinity for the zero matrix).
+  double ConditionNumber(double tol = 1e-10) const;
+
+ private:
+  SvdDecomposition(Matrix u, Vector sigma, Matrix v)
+      : u_(std::move(u)), sigma_(std::move(sigma)), v_(std::move(v)) {}
+
+  Matrix u_;
+  Vector sigma_;
+  Matrix v_;
+};
+
+/// Convenience: A^+ via Jacobi SVD.
+Result<Matrix> PseudoInverse(const Matrix& a, double tol = 1e-10);
+
+/// Convenience: singular values of A, sorted descending.
+Result<Vector> SingularValues(const Matrix& a);
+
+}  // namespace linalg
+}  // namespace dpcube
+
+#endif  // DPCUBE_LINALG_SVD_H_

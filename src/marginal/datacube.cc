@@ -1,0 +1,94 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "marginal/datacube.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dpcube {
+namespace marginal {
+
+DataCube::DataCube(data::Schema schema) : schema_(std::move(schema)) {
+  assert(schema_.num_attributes() < 64);
+}
+
+bits::Mask DataCube::MarginalMaskOf(CuboidId cuboid) const {
+  bits::Mask mask = 0;
+  for (std::size_t a = 0; a < schema_.num_attributes(); ++a) {
+    if (cuboid & (CuboidId{1} << a)) mask |= schema_.AttributeMask(a);
+  }
+  return mask;
+}
+
+std::uint64_t DataCube::CellsOf(CuboidId cuboid) const {
+  return std::uint64_t{1} << bits::Popcount(MarginalMaskOf(cuboid));
+}
+
+std::vector<DataCube::CuboidId> DataCube::ParentsOf(CuboidId cuboid) const {
+  std::vector<CuboidId> out;
+  for (std::size_t a = 0; a < schema_.num_attributes(); ++a) {
+    const CuboidId bit = CuboidId{1} << a;
+    if (!(cuboid & bit)) out.push_back(cuboid | bit);
+  }
+  return out;
+}
+
+std::vector<DataCube::CuboidId> DataCube::ChildrenOf(CuboidId cuboid) const {
+  std::vector<CuboidId> out;
+  for (std::size_t a = 0; a < schema_.num_attributes(); ++a) {
+    const CuboidId bit = CuboidId{1} << a;
+    if (cuboid & bit) out.push_back(cuboid & ~bit);
+  }
+  return out;
+}
+
+std::vector<DataCube::CuboidId> DataCube::CuboidsOfOrder(int order) const {
+  return bits::MasksOfWeight(static_cast<int>(schema_.num_attributes()),
+                             order);
+}
+
+std::string DataCube::NameOf(CuboidId cuboid) const {
+  if (cuboid == 0) return "<apex>";
+  std::string name;
+  for (std::size_t a = 0; a < schema_.num_attributes(); ++a) {
+    if (cuboid & (CuboidId{1} << a)) {
+      if (!name.empty()) name += " x ";
+      name += schema_.attribute(a).name;
+    }
+  }
+  return name;
+}
+
+Workload DataCube::WorkloadUpToOrder(int max_order) const {
+  const int a = static_cast<int>(schema_.num_attributes());
+  const int limit = max_order < 0 ? a : std::min(max_order, a);
+  std::vector<bits::Mask> masks;
+  for (int order = 0; order <= limit; ++order) {
+    for (CuboidId cuboid : CuboidsOfOrder(order)) {
+      masks.push_back(MarginalMaskOf(cuboid));
+    }
+  }
+  return Workload(schema_.TotalBits(), std::move(masks));
+}
+
+Workload DataCube::WorkloadOf(const std::vector<CuboidId>& cuboids) const {
+  std::vector<bits::Mask> masks;
+  masks.reserve(cuboids.size());
+  for (CuboidId cuboid : cuboids) masks.push_back(MarginalMaskOf(cuboid));
+  return Workload(schema_.TotalBits(), std::move(masks));
+}
+
+std::uint64_t DataCube::TotalCellsUpToOrder(int max_order) const {
+  const int a = static_cast<int>(schema_.num_attributes());
+  const int limit = max_order < 0 ? a : std::min(max_order, a);
+  std::uint64_t total = 0;
+  for (int order = 0; order <= limit; ++order) {
+    for (CuboidId cuboid : CuboidsOfOrder(order)) {
+      total += CellsOf(cuboid);
+    }
+  }
+  return total;
+}
+
+}  // namespace marginal
+}  // namespace dpcube

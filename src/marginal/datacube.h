@@ -1,0 +1,89 @@
+// Copyright 2026 The dpcube Authors.
+//
+// The datacube: the lattice of all 2^a cuboids (marginals) of a schema,
+// ordered by attribute-set inclusion — the paper's titular object ("the
+// set of all possible marginals for a relation is captured by the data
+// cube"). Provides lattice navigation (parents / children / descendants),
+// cuboid workload construction, and helpers for releasing an entire cube
+// or a slice of it through the strategy/budget/recovery pipeline.
+
+#ifndef DPCUBE_MARGINAL_DATACUBE_H_
+#define DPCUBE_MARGINAL_DATACUBE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/status.h"
+#include "data/schema.h"
+#include "marginal/workload.h"
+
+namespace dpcube {
+namespace marginal {
+
+/// The cuboid lattice of a schema. A cuboid is identified by the set of
+/// attribute indices it retains; the apex (empty set) is the grand total
+/// and the base cuboid retains every attribute.
+class DataCube {
+ public:
+  explicit DataCube(data::Schema schema);
+
+  const data::Schema& schema() const { return schema_; }
+  std::size_t num_attributes() const { return schema_.num_attributes(); }
+
+  /// Number of cuboids in the lattice: 2^num_attributes.
+  std::uint64_t num_cuboids() const {
+    return std::uint64_t{1} << schema_.num_attributes();
+  }
+
+  /// A cuboid id is a bitmask over ATTRIBUTE indices (not domain bits).
+  using CuboidId = std::uint64_t;
+
+  /// The encoded-domain marginal mask of a cuboid.
+  bits::Mask MarginalMaskOf(CuboidId cuboid) const;
+
+  /// Number of attributes a cuboid retains.
+  int OrderOf(CuboidId cuboid) const { return bits::Popcount(cuboid); }
+
+  /// Number of cells in a cuboid's marginal table.
+  std::uint64_t CellsOf(CuboidId cuboid) const;
+
+  /// Direct parents: cuboids with exactly one more attribute.
+  std::vector<CuboidId> ParentsOf(CuboidId cuboid) const;
+
+  /// Direct children: cuboids with exactly one attribute removed.
+  std::vector<CuboidId> ChildrenOf(CuboidId cuboid) const;
+
+  /// True iff `coarse` can be computed from `fine` by aggregation.
+  bool IsDerivable(CuboidId coarse, CuboidId fine) const {
+    return bits::IsSubset(coarse, fine);
+  }
+
+  /// All cuboids of the given order, ascending id order.
+  std::vector<CuboidId> CuboidsOfOrder(int order) const;
+
+  /// Human-readable name: attribute names joined by 'x' ("age x region"),
+  /// "<apex>" for the empty cuboid.
+  std::string NameOf(CuboidId cuboid) const;
+
+  /// Workload of the cuboids up to (and including) `max_order` — the
+  /// standard "release the bottom of the cube" task. max_order < 0 means
+  /// the whole lattice.
+  Workload WorkloadUpToOrder(int max_order) const;
+
+  /// Workload for an explicit cuboid list, in the given order.
+  Workload WorkloadOf(const std::vector<CuboidId>& cuboids) const;
+
+  /// Total number of released cells for the cube up to max_order — the
+  /// quantity that drives the release's noise budget.
+  std::uint64_t TotalCellsUpToOrder(int max_order) const;
+
+ private:
+  data::Schema schema_;
+};
+
+}  // namespace marginal
+}  // namespace dpcube
+
+#endif  // DPCUBE_MARGINAL_DATACUBE_H_

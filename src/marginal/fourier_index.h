@@ -1,0 +1,63 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Indexing of the Fourier coefficients F = union_i {beta ⪯ alpha_i} needed
+// by a marginal workload, plus the Fourier recovery matrix R of Section 4.3
+// with entries R_{(i,gamma), beta} = (C^{alpha_i} f^beta)_gamma =
+// (-1)^{<beta, gamma>} 2^{d/2 - ||alpha_i||} for beta ⪯ alpha_i (else 0).
+
+#ifndef DPCUBE_MARGINAL_FOURIER_INDEX_H_
+#define DPCUBE_MARGINAL_FOURIER_INDEX_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bits.h"
+#include "linalg/matrix.h"
+#include "marginal/query_matrix.h"
+#include "marginal/workload.h"
+
+namespace dpcube {
+namespace marginal {
+
+/// Bidirectional map between coefficient masks in F and dense indices.
+class FourierIndex {
+ public:
+  explicit FourierIndex(const Workload& workload);
+
+  std::size_t size() const { return masks_.size(); }
+  bits::Mask mask(std::size_t index) const { return masks_[index]; }
+  const std::vector<bits::Mask>& masks() const { return masks_; }
+
+  /// Dense index of a coefficient mask; asserts membership.
+  std::size_t IndexOf(bits::Mask beta) const;
+
+  /// True iff beta is in F.
+  bool Contains(bits::Mask beta) const;
+
+  int d() const { return d_; }
+
+ private:
+  int d_;
+  std::vector<bits::Mask> masks_;
+  std::unordered_map<bits::Mask, std::size_t> index_;
+};
+
+/// Dense K x |F| Fourier recovery matrix for the workload (K = total cells).
+/// Satisfies: stacked marginal answers = R * (coefficients in F order).
+linalg::Matrix BuildFourierRecoveryMatrix(const Workload& workload,
+                                          const FourierIndex& index);
+
+/// The per-coefficient weights b_beta = 2 * sum_{i : beta ⪯ alpha_i}
+/// a_i * 2^{d - ||alpha_i||} of the budgeting objective (Section 3.1) for
+/// the Fourier strategy under per-marginal query weights a (empty =
+/// all ones). Computed analytically in O(|F| * #marginals) without
+/// materialising R.
+linalg::Vector FourierBudgetWeights(const Workload& workload,
+                                    const FourierIndex& index,
+                                    const linalg::Vector& query_weights = {});
+
+}  // namespace marginal
+}  // namespace dpcube
+
+#endif  // DPCUBE_MARGINAL_FOURIER_INDEX_H_

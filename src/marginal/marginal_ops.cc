@@ -1,0 +1,135 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "marginal/marginal_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dpcube {
+namespace marginal {
+namespace {
+
+Status CheckAligned(const MarginalTable& a, const MarginalTable& b) {
+  if (a.alpha() != b.alpha() || a.d() != b.d()) {
+    return Status::InvalidArgument("marginals are not aligned");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<MarginalTable> AggregateTo(const MarginalTable& table,
+                                  bits::Mask beta) {
+  if (!bits::IsSubset(beta, table.alpha())) {
+    return Status::InvalidArgument(
+        "target mask is not dominated by the marginal");
+  }
+  MarginalTable out(beta, table.d());
+  for (std::size_t g = 0; g < table.num_cells(); ++g) {
+    out.value(bits::CompressFromMask(table.GlobalCell(g), beta)) +=
+        table.value(g);
+  }
+  return out;
+}
+
+Result<MarginalTable> AddScaled(const MarginalTable& a,
+                                const MarginalTable& b, double scale) {
+  DPCUBE_RETURN_NOT_OK(CheckAligned(a, b));
+  MarginalTable out = a;
+  for (std::size_t g = 0; g < out.num_cells(); ++g) {
+    out.value(g) += scale * b.value(g);
+  }
+  return out;
+}
+
+Result<double> L1Distance(const MarginalTable& a, const MarginalTable& b) {
+  DPCUBE_RETURN_NOT_OK(CheckAligned(a, b));
+  double total = 0.0;
+  for (std::size_t g = 0; g < a.num_cells(); ++g) {
+    total += std::fabs(a.value(g) - b.value(g));
+  }
+  return total;
+}
+
+Result<double> TotalVariationDistance(const MarginalTable& a,
+                                      const MarginalTable& b) {
+  DPCUBE_RETURN_NOT_OK(CheckAligned(a, b));
+  const MarginalTable pa = ToDistribution(a);
+  const MarginalTable pb = ToDistribution(b);
+  double total = 0.0;
+  for (std::size_t g = 0; g < pa.num_cells(); ++g) {
+    total += std::fabs(pa.value(g) - pb.value(g));
+  }
+  return 0.5 * total;
+}
+
+MarginalTable ToDistribution(const MarginalTable& table, double smoothing) {
+  MarginalTable out = table;
+  double total = 0.0;
+  for (std::size_t g = 0; g < out.num_cells(); ++g) {
+    out.value(g) = std::max(0.0, out.value(g)) + smoothing;
+    total += out.value(g);
+  }
+  if (total <= 0.0) {
+    const double uniform = 1.0 / static_cast<double>(out.num_cells());
+    for (std::size_t g = 0; g < out.num_cells(); ++g) out.value(g) = uniform;
+    return out;
+  }
+  for (std::size_t g = 0; g < out.num_cells(); ++g) out.value(g) /= total;
+  return out;
+}
+
+Result<double> ConditionalProbability(const MarginalTable& table,
+                                      bits::Mask target, bits::Mask t,
+                                      bits::Mask given, bits::Mask g,
+                                      double smoothing) {
+  if (!bits::IsSubset(target | given, table.alpha()) ||
+      (target & given) != 0) {
+    return Status::InvalidArgument(
+        "target/given must be disjoint submasks of the marginal");
+  }
+  if (!bits::IsSubset(t, target) || !bits::IsSubset(g, given)) {
+    return Status::InvalidArgument("values must lie within their masks");
+  }
+  // Sum clamped counts matching (t, g) and matching g alone.
+  double joint = 0.0;
+  double conditioning = 0.0;
+  for (std::size_t cell = 0; cell < table.num_cells(); ++cell) {
+    const bits::Mask global = table.GlobalCell(cell);
+    if ((global & given) != g) continue;
+    const double count = std::max(0.0, table.value(cell));
+    conditioning += count;
+    if ((global & target) == t) joint += count;
+  }
+  const double target_cells = std::pow(2.0, bits::Popcount(target));
+  return (joint + smoothing) / (conditioning + smoothing * target_cells);
+}
+
+Result<double> MutualInformation(const MarginalTable& table, bits::Mask x,
+                                 bits::Mask y) {
+  if (!bits::IsSubset(x | y, table.alpha()) || (x & y) != 0) {
+    return Status::InvalidArgument(
+        "x/y must be disjoint submasks of the marginal");
+  }
+  // Work from the normalised joint over (x, y).
+  DPCUBE_ASSIGN_OR_RETURN(MarginalTable joint_counts,
+                          AggregateTo(table, x | y));
+  const MarginalTable joint = ToDistribution(joint_counts);
+  DPCUBE_ASSIGN_OR_RETURN(MarginalTable px_counts, AggregateTo(joint, x));
+  DPCUBE_ASSIGN_OR_RETURN(MarginalTable py_counts, AggregateTo(joint, y));
+  double mi = 0.0;
+  for (std::size_t cell = 0; cell < joint.num_cells(); ++cell) {
+    const double pxy = joint.value(cell);
+    if (pxy <= 0.0) continue;
+    const bits::Mask global = joint.GlobalCell(cell);
+    const double px =
+        px_counts.value(bits::CompressFromMask(global, x));
+    const double py =
+        py_counts.value(bits::CompressFromMask(global, y));
+    mi += pxy * std::log(pxy / (px * py));
+  }
+  return std::max(0.0, mi);
+}
+
+}  // namespace marginal
+}  // namespace dpcube

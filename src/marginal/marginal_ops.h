@@ -1,0 +1,60 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Algebra and analysis over marginal tables: aggregation to sub-marginals,
+// elementwise arithmetic, distances, and probability-estimation helpers
+// used by downstream consumers of a private release (the paper motivates
+// low-order marginals precisely for "building efficient classifiers" and
+// visualising dependencies).
+
+#ifndef DPCUBE_MARGINAL_MARGINAL_OPS_H_
+#define DPCUBE_MARGINAL_MARGINAL_OPS_H_
+
+#include "common/status.h"
+#include "marginal/marginal_table.h"
+
+namespace dpcube {
+namespace marginal {
+
+/// Aggregates a marginal down to a sub-marginal: beta must be dominated by
+/// table.alpha(). Each output cell sums the input cells agreeing on beta.
+Result<MarginalTable> AggregateTo(const MarginalTable& table,
+                                  bits::Mask beta);
+
+/// Elementwise a + scale * b; the tables must share alpha and d.
+Result<MarginalTable> AddScaled(const MarginalTable& a,
+                                const MarginalTable& b, double scale);
+
+/// L1 distance between two aligned marginals.
+Result<double> L1Distance(const MarginalTable& a, const MarginalTable& b);
+
+/// Total variation distance between the normalised distributions of two
+/// aligned marginals (0 if either has non-positive total mass).
+Result<double> TotalVariationDistance(const MarginalTable& a,
+                                      const MarginalTable& b);
+
+/// Converts a (possibly noisy) marginal into a probability distribution:
+/// clamps negatives to zero, then normalises; adds `smoothing` pseudo-count
+/// per cell first (Laplace smoothing). Returns uniform if all mass
+/// vanishes.
+MarginalTable ToDistribution(const MarginalTable& table,
+                             double smoothing = 0.0);
+
+/// Conditional probability P(target-bits = t | given-bits = g) estimated
+/// from a marginal whose alpha covers both masks. `target` and `given`
+/// must be disjoint submasks of table.alpha(); `t` ⪯ target, `g` ⪯ given.
+/// Uses clamped counts with `smoothing` pseudo-counts.
+Result<double> ConditionalProbability(const MarginalTable& table,
+                                      bits::Mask target, bits::Mask t,
+                                      bits::Mask given, bits::Mask g,
+                                      double smoothing = 0.5);
+
+/// G-test style mutual information (in nats) between two disjoint
+/// attribute groups within one marginal: I(X; Y) over the normalised
+/// table. Useful for dependency exploration on private releases.
+Result<double> MutualInformation(const MarginalTable& table, bits::Mask x,
+                                 bits::Mask y);
+
+}  // namespace marginal
+}  // namespace dpcube
+
+#endif  // DPCUBE_MARGINAL_MARGINAL_OPS_H_

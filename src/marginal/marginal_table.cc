@@ -1,0 +1,64 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "marginal/marginal_table.h"
+
+#include <cmath>
+
+#include "transform/walsh_hadamard.h"
+
+namespace dpcube {
+namespace marginal {
+
+double MarginalTable::Total() const {
+  double total = 0.0;
+  for (double v : values_) total += v;
+  return total;
+}
+
+double MarginalTable::MeanCellValue() const {
+  if (values_.empty()) return 0.0;
+  return Total() / static_cast<double>(values_.size());
+}
+
+MarginalTable ComputeMarginal(const data::DenseTable& table, bits::Mask alpha) {
+  MarginalTable out(alpha, table.d());
+  for (std::uint64_t cell = 0; cell < table.domain_size(); ++cell) {
+    const double v = table.cell(cell);
+    if (v == 0.0) continue;
+    out.value(bits::CompressFromMask(cell, alpha)) += v;
+  }
+  return out;
+}
+
+MarginalTable ComputeMarginal(const data::SparseCounts& counts,
+                              bits::Mask alpha) {
+  MarginalTable out(alpha, counts.d());
+  for (const auto& entry : counts.entries()) {
+    out.value(bits::CompressFromMask(entry.cell, alpha)) += entry.count;
+  }
+  return out;
+}
+
+MarginalTable MarginalFromFourier(
+    bits::Mask alpha, int d,
+    const std::function<double(bits::Mask)>& coefficient) {
+  MarginalTable out(alpha, d);
+  const int k = out.k();
+  // Collect the 2^k coefficients in local-index order. Local index l of a
+  // coefficient mask beta ⪯ alpha is CompressFromMask(beta, alpha); the
+  // local WHT sign (-1)^{<local(beta), local(gamma)>} equals the global
+  // (-1)^{<beta, gamma>} because both masks live inside alpha.
+  std::vector<double> local(out.num_cells());
+  for (std::size_t l = 0; l < local.size(); ++l) {
+    local[l] = coefficient(bits::ExpandIntoMask(l, alpha));
+  }
+  transform::WalshHadamard(&local);
+  const double scale = std::pow(2.0, 0.5 * (d - k));
+  for (std::size_t g = 0; g < local.size(); ++g) {
+    out.value(g) = scale * local[g];
+  }
+  return out;
+}
+
+}  // namespace marginal
+}  // namespace dpcube

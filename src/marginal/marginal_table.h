@@ -1,0 +1,77 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Marginal tables C^alpha (Section 4.1). A marginal over the attribute-bit
+// mask alpha has 2^||alpha|| cells; cell gamma (gamma ⪯ alpha) holds
+//   (C^alpha x)_gamma = sum_{cell : cell AND alpha == gamma} x_cell .
+// Cells are stored in "local index" order: local index g in [0, 2^k)
+// corresponds to the global mask ExpandIntoMask(g, alpha).
+
+#ifndef DPCUBE_MARGINAL_MARGINAL_TABLE_H_
+#define DPCUBE_MARGINAL_MARGINAL_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/status.h"
+#include "data/contingency_table.h"
+
+namespace dpcube {
+namespace marginal {
+
+/// One marginal table: the mask, the ambient dimensionality d, and the
+/// 2^||alpha|| cell values in local-index order.
+class MarginalTable {
+ public:
+  MarginalTable(bits::Mask alpha, int d)
+      : alpha_(alpha), d_(d),
+        values_(std::size_t{1} << bits::Popcount(alpha), 0.0) {}
+
+  bits::Mask alpha() const { return alpha_; }
+  int d() const { return d_; }
+  int k() const { return bits::Popcount(alpha_); }
+  std::size_t num_cells() const { return values_.size(); }
+
+  double value(std::size_t local) const { return values_[local]; }
+  double& value(std::size_t local) { return values_[local]; }
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& mutable_values() { return values_; }
+
+  /// Global cell mask of local index `local`.
+  bits::Mask GlobalCell(std::size_t local) const {
+    return bits::ExpandIntoMask(local, alpha_);
+  }
+
+  /// Sum of all cells (equals the dataset size for a true marginal).
+  double Total() const;
+
+  /// Mean cell value — the denominator of the paper's relative-error metric.
+  double MeanCellValue() const;
+
+ private:
+  bits::Mask alpha_;
+  int d_;
+  std::vector<double> values_;
+};
+
+/// Exact marginal from a dense contingency table, O(N).
+MarginalTable ComputeMarginal(const data::DenseTable& table, bits::Mask alpha);
+
+/// Exact marginal from sparse counts, O(num_occupied).
+MarginalTable ComputeMarginal(const data::SparseCounts& counts,
+                              bits::Mask alpha);
+
+/// Reconstructs C^alpha x from the Fourier coefficients {f_hat(beta)}
+/// for beta ⪯ alpha, via Theorem 4.1(2):
+///   (C^alpha x)_gamma = 2^{(d-k)/2} * WHT_k(local coefficients)_gamma ,
+/// where WHT_k is the orthonormal 2^k-point Walsh-Hadamard transform.
+/// `coefficient(beta)` must return f_hat(beta) for every beta ⪯ alpha.
+MarginalTable MarginalFromFourier(
+    bits::Mask alpha, int d,
+    const std::function<double(bits::Mask)>& coefficient);
+
+}  // namespace marginal
+}  // namespace dpcube
+
+#endif  // DPCUBE_MARGINAL_MARGINAL_TABLE_H_

@@ -1,0 +1,64 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "marginal/query_matrix.h"
+
+#include <cassert>
+
+namespace dpcube {
+namespace marginal {
+
+RowLayout::RowLayout(const Workload& workload) {
+  offsets_.reserve(workload.num_marginals());
+  for (std::size_t i = 0; i < workload.num_marginals(); ++i) {
+    offsets_.push_back(total_rows_);
+    total_rows_ += std::size_t{1} << bits::Popcount(workload.mask(i));
+  }
+}
+
+std::pair<std::size_t, std::size_t> RowLayout::Locate(std::size_t row) const {
+  assert(row < total_rows_);
+  // Linear scan is fine: workloads have at most a few hundred marginals.
+  std::size_t i = offsets_.size() - 1;
+  while (offsets_[i] > row) --i;
+  return {i, row - offsets_[i]};
+}
+
+linalg::Matrix BuildQueryMatrix(const Workload& workload) {
+  assert(workload.d() <= 20 && "dense query matrix only for small domains");
+  const std::uint64_t n = std::uint64_t{1} << workload.d();
+  RowLayout layout(workload);
+  linalg::Matrix q(layout.total_rows(), n);
+  for (std::size_t i = 0; i < workload.num_marginals(); ++i) {
+    const bits::Mask alpha = workload.mask(i);
+    const std::size_t base = layout.offset(i);
+    for (std::uint64_t cell = 0; cell < n; ++cell) {
+      q(base + bits::CompressFromMask(cell, alpha), cell) = 1.0;
+    }
+  }
+  return q;
+}
+
+linalg::Vector StackMarginals(const std::vector<MarginalTable>& tables) {
+  linalg::Vector flat;
+  for (const MarginalTable& t : tables) {
+    flat.insert(flat.end(), t.values().begin(), t.values().end());
+  }
+  return flat;
+}
+
+std::vector<MarginalTable> UnstackMarginals(const Workload& workload,
+                                            const linalg::Vector& flat) {
+  std::vector<MarginalTable> tables;
+  tables.reserve(workload.num_marginals());
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < workload.num_marginals(); ++i) {
+    MarginalTable t(workload.mask(i), workload.d());
+    for (std::size_t g = 0; g < t.num_cells(); ++g) t.value(g) = flat[pos++];
+    tables.push_back(std::move(t));
+  }
+  assert(pos == flat.size());
+  return tables;
+}
+
+}  // namespace marginal
+}  // namespace dpcube

@@ -1,0 +1,59 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Dense materialisations of marginal workloads as linear-query matrices,
+// for the exact small-domain path and for tests: Q in R^{K x N} with
+// Q_{(i,gamma), cell} = 1 iff cell AND alpha_i == gamma (row blocks in
+// workload order, local-index order inside each block).
+
+#ifndef DPCUBE_MARGINAL_QUERY_MATRIX_H_
+#define DPCUBE_MARGINAL_QUERY_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include <utility>
+
+#include "linalg/matrix.h"
+#include "marginal/marginal_table.h"
+#include "marginal/workload.h"
+
+namespace dpcube {
+namespace marginal {
+
+/// Row layout of a stacked marginal-workload answer vector: marginal i's
+/// cells occupy rows [offset(i), offset(i) + 2^{k_i}).
+class RowLayout {
+ public:
+  explicit RowLayout(const Workload& workload);
+
+  std::size_t total_rows() const { return total_rows_; }
+  std::size_t offset(std::size_t marginal_index) const {
+    return offsets_[marginal_index];
+  }
+  std::size_t num_marginals() const { return offsets_.size(); }
+
+  /// Maps a flat row back to (marginal index, local cell index).
+  std::pair<std::size_t, std::size_t> Locate(std::size_t row) const;
+
+ private:
+  std::vector<std::size_t> offsets_;
+  std::size_t total_rows_ = 0;
+};
+
+/// Dense query matrix for the workload over the full 2^d-cell domain.
+/// Only practical for small d (asserts d <= 20; intended for tests and
+/// the worked example).
+linalg::Matrix BuildQueryMatrix(const Workload& workload);
+
+/// Stacks per-marginal tables into the flat answer vector matching
+/// BuildQueryMatrix's row order.
+linalg::Vector StackMarginals(const std::vector<MarginalTable>& tables);
+
+/// Splits a flat answer vector back into per-marginal tables.
+std::vector<MarginalTable> UnstackMarginals(const Workload& workload,
+                                            const linalg::Vector& flat);
+
+}  // namespace marginal
+}  // namespace dpcube
+
+#endif  // DPCUBE_MARGINAL_QUERY_MATRIX_H_

@@ -1,0 +1,83 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Marginal query workloads. A workload is an ordered list of marginal masks
+// over a schema's encoded bit domain. The builders reproduce the three
+// workload families of the paper's experimental study (Section 5):
+//   Q_k  — all k-way marginals (over attributes),
+//   Q*_k — all k-way marginals plus half of the (k+1)-way marginals,
+//   Q^a_k — all k-way marginals plus every (k+1)-way marginal that
+//           includes a fixed attribute.
+
+#ifndef DPCUBE_MARGINAL_WORKLOAD_H_
+#define DPCUBE_MARGINAL_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/status.h"
+#include "data/schema.h"
+
+namespace dpcube {
+namespace marginal {
+
+/// An ordered collection of marginal masks over a d-bit domain.
+class Workload {
+ public:
+  Workload(int d, std::vector<bits::Mask> masks)
+      : d_(d), masks_(std::move(masks)) {}
+
+  int d() const { return d_; }
+  std::size_t num_marginals() const { return masks_.size(); }
+  bits::Mask mask(std::size_t i) const { return masks_[i]; }
+  const std::vector<bits::Mask>& masks() const { return masks_; }
+
+  /// Total number of released cells K = sum_i 2^{||alpha_i||}.
+  std::uint64_t TotalCells() const;
+
+  /// The Fourier support F = union_i { beta : beta ⪯ alpha_i }, sorted
+  /// ascending. |F| is the strategy size of the Fourier approach.
+  std::vector<bits::Mask> FourierSupport() const;
+
+  /// Largest marginal dimensionality max_i ||alpha_i||.
+  int MaxOrder() const;
+
+  /// True if some workload marginal dominates `beta`.
+  bool Covers(bits::Mask beta) const;
+
+ private:
+  int d_;
+  std::vector<bits::Mask> masks_;
+};
+
+/// All C(a, k) k-way marginals over the schema's attributes (masks are
+/// unions of whole attribute bit-fields). k = 0 gives the grand total.
+Workload AllKWayAttributes(const data::Schema& schema, int k);
+
+/// Q_k of the paper (alias of AllKWayAttributes).
+Workload WorkloadQk(const data::Schema& schema, int k);
+
+/// Q*_k: all k-way marginals plus every second (k+1)-way marginal in
+/// enumeration order (the paper says "half of all (k+1)-way marginals";
+/// we take a deterministic half for reproducibility).
+Workload WorkloadQkStar(const data::Schema& schema, int k);
+
+/// Q^a_k: all k-way marginals plus all (k+1)-way marginals that include
+/// attribute `fixed_attribute`.
+Workload WorkloadQkA(const data::Schema& schema, int k,
+                     std::size_t fixed_attribute = 0);
+
+/// All k-way marginals over raw bits of a d-bit binary domain (used by the
+/// theory benches where attributes are individual bits).
+Workload AllKWayBits(int d, int k);
+
+/// Parses names "Q1", "Q1*", "Q1a", "Q2", ... into workloads; errors on
+/// unknown syntax. Used by benches and examples.
+Result<Workload> WorkloadByName(const data::Schema& schema,
+                                const std::string& name);
+
+}  // namespace marginal
+}  // namespace dpcube
+
+#endif  // DPCUBE_MARGINAL_WORKLOAD_H_

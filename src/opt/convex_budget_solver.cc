@@ -1,0 +1,141 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "opt/convex_budget_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace dpcube {
+namespace opt {
+namespace {
+
+// Sparse column view of |S|: for column j, the (row, |S_ij|) pairs.
+struct SparseColumns {
+  std::vector<std::vector<std::pair<std::size_t, double>>> cols;
+};
+
+SparseColumns BuildColumns(const linalg::Matrix& s) {
+  SparseColumns sc;
+  for (std::size_t j = 0; j < s.cols(); ++j) {
+    std::vector<std::pair<std::size_t, double>> col;
+    for (std::size_t i = 0; i < s.rows(); ++i) {
+      const double v = std::fabs(s(i, j));
+      if (v > 0.0) col.emplace_back(i, v);
+    }
+    if (!col.empty()) sc.cols.push_back(std::move(col));
+  }
+  return sc;
+}
+
+// slack_j = eps_total - sum_i A_ji eps_i; returns min slack.
+double ComputeSlacks(const SparseColumns& sc, const linalg::Vector& eps,
+                     double eps_total, linalg::Vector* slacks) {
+  slacks->assign(sc.cols.size(), eps_total);
+  double min_slack = eps_total;
+  for (std::size_t j = 0; j < sc.cols.size(); ++j) {
+    double used = 0.0;
+    for (const auto& [i, a] : sc.cols[j]) used += a * eps[i];
+    (*slacks)[j] = eps_total - used;
+    min_slack = std::min(min_slack, (*slacks)[j]);
+  }
+  return min_slack;
+}
+
+double BarrierObjective(const SparseColumns& sc, const linalg::Vector& b,
+                        const linalg::Vector& eps, double eps_total,
+                        double mu) {
+  double f = 0.0;
+  for (std::size_t i = 0; i < eps.size(); ++i) {
+    if (eps[i] <= 0.0) return std::numeric_limits<double>::infinity();
+    f += b[i] / (eps[i] * eps[i]);
+    f -= mu * std::log(eps[i]);
+  }
+  linalg::Vector slacks;
+  const double min_slack = ComputeSlacks(sc, eps, eps_total, &slacks);
+  if (min_slack <= 0.0) return std::numeric_limits<double>::infinity();
+  for (double sl : slacks) f -= mu * std::log(sl);
+  return f;
+}
+
+}  // namespace
+
+Result<ConvexBudgetResult> SolveConvexBudget(
+    const linalg::Matrix& s, const linalg::Vector& b, double eps_total,
+    const ConvexBudgetOptions& options) {
+  const std::size_t m = s.rows();
+  if (b.size() != m) {
+    return Status::InvalidArgument("SolveConvexBudget: b size mismatch");
+  }
+  if (!(eps_total > 0.0)) {
+    return Status::InvalidArgument("SolveConvexBudget: eps_total must be > 0");
+  }
+  for (double bi : b) {
+    if (bi < 0.0) {
+      return Status::InvalidArgument("SolveConvexBudget: b must be >= 0");
+    }
+  }
+  const SparseColumns sc = BuildColumns(s);
+  if (sc.cols.empty()) {
+    return Status::InvalidArgument("SolveConvexBudget: strategy is all-zero");
+  }
+
+  // Strictly feasible uniform start: half the uniform-budget allocation.
+  double max_col_sum = 0.0;
+  for (const auto& col : sc.cols) {
+    double sum = 0.0;
+    for (const auto& [i, a] : col) sum += a;
+    max_col_sum = std::max(max_col_sum, sum);
+  }
+  linalg::Vector eps(m, 0.5 * eps_total / max_col_sum);
+
+  linalg::Vector slacks;
+  linalg::Vector grad(m);
+  double mu = options.initial_barrier;
+  for (int round = 0; round < options.outer_rounds; ++round) {
+    for (int iter = 0; iter < options.inner_iterations; ++iter) {
+      ComputeSlacks(sc, eps, eps_total, &slacks);
+      // Gradient of the barrier objective.
+      for (std::size_t i = 0; i < m; ++i) {
+        grad[i] = -2.0 * b[i] / (eps[i] * eps[i] * eps[i]) - mu / eps[i];
+      }
+      for (std::size_t j = 0; j < sc.cols.size(); ++j) {
+        const double inv_slack = mu / slacks[j];
+        for (const auto& [i, a] : sc.cols[j]) grad[i] += a * inv_slack;
+      }
+      const double gnorm = linalg::Norm2(grad);
+      if (gnorm < options.tolerance) break;
+
+      // Backtracking line search along -grad (Armijo, feasibility-aware).
+      const double f0 = BarrierObjective(sc, b, eps, eps_total, mu);
+      double step = 0.25 * eps_total / (gnorm + 1e-30);
+      bool moved = false;
+      for (int bt = 0; bt < 60; ++bt) {
+        linalg::Vector cand(m);
+        for (std::size_t i = 0; i < m; ++i) cand[i] = eps[i] - step * grad[i];
+        const double f1 = BarrierObjective(sc, b, cand, eps_total, mu);
+        if (f1 < f0 - 1e-4 * step * gnorm * gnorm) {
+          eps = std::move(cand);
+          moved = true;
+          break;
+        }
+        step *= 0.5;
+      }
+      if (!moved) break;  // Stuck at this barrier level; shrink mu.
+    }
+    mu *= options.barrier_decay;
+  }
+
+  ConvexBudgetResult result;
+  result.epsilons = eps;
+  result.objective = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    result.objective += b[i] / (eps[i] * eps[i]);
+  }
+  return result;
+}
+
+}  // namespace opt
+}  // namespace dpcube

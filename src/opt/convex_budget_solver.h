@@ -1,0 +1,51 @@
+// Copyright 2026 The dpcube Authors.
+//
+// General-purpose solver for the paper's noise-budgeting program (1)-(3):
+//
+//   minimize   sum_i  b_i / eps_i^2
+//   subject to sum_i |S_ij| eps_i <= eps_total   for every column j,
+//              eps_i >= 0.
+//
+// For strategies with the grouping property the closed form in
+// budget/grouped_budget.h is exact and should be preferred; this solver is
+// the fallback for arbitrary (non-groupable) strategy matrices, and is used
+// by tests/benches to validate the closed form against an independent
+// method. It implements a log-barrier interior-point scheme with gradient
+// descent + backtracking line search, which is ample for the problem sizes
+// that arise (m up to a few thousand rows).
+
+#ifndef DPCUBE_OPT_CONVEX_BUDGET_SOLVER_H_
+#define DPCUBE_OPT_CONVEX_BUDGET_SOLVER_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace dpcube {
+namespace opt {
+
+struct ConvexBudgetOptions {
+  double initial_barrier = 1.0;    ///< Starting barrier weight mu.
+  double barrier_decay = 0.2;      ///< mu <- mu * decay per outer round.
+  int outer_rounds = 12;           ///< Barrier reduction rounds.
+  int inner_iterations = 400;      ///< Gradient steps per round.
+  double tolerance = 1e-10;        ///< Gradient-norm stopping tolerance.
+};
+
+struct ConvexBudgetResult {
+  linalg::Vector epsilons;  ///< Per-row budgets eps_i.
+  double objective = 0.0;   ///< sum_i b_i / eps_i^2 at the solution.
+};
+
+/// Solves the budgeting program for strategy matrix `s` (m x N), per-row
+/// weights `b` (size m, non-negative; rows with b_i = 0 still receive a
+/// small budget so the iterate stays interior), and total budget
+/// `eps_total` > 0. Columns of `s` that are entirely zero impose no
+/// constraint. Fails if no row has a non-zero entry.
+Result<ConvexBudgetResult> SolveConvexBudget(
+    const linalg::Matrix& s, const linalg::Vector& b, double eps_total,
+    const ConvexBudgetOptions& options = {});
+
+}  // namespace opt
+}  // namespace dpcube
+
+#endif  // DPCUBE_OPT_CONVEX_BUDGET_SOLVER_H_

@@ -1,0 +1,151 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "opt/matrix_mechanism.h"
+
+#include <cmath>
+#include <utility>
+
+#include "linalg/decompositions.h"
+
+namespace dpcube {
+namespace opt {
+
+namespace {
+
+using linalg::CholeskyDecomposition;
+using linalg::Matrix;
+
+// Normalises every column of s to unit norm (L2 or L1). Zero columns are
+// left untouched (they contribute nothing to any measurement).
+void NormaliseColumns(Matrix* s, bool l2) {
+  const std::size_t m = s->rows();
+  const std::size_t n = s->cols();
+  for (std::size_t c = 0; c < n; ++c) {
+    double norm = 0.0;
+    for (std::size_t r = 0; r < m; ++r) {
+      const double v = (*s)(r, c);
+      norm += l2 ? v * v : std::fabs(v);
+    }
+    if (l2) norm = std::sqrt(norm);
+    if (norm == 0.0) continue;
+    for (std::size_t r = 0; r < m; ++r) (*s)(r, c) /= norm;
+  }
+}
+
+// trace((S^T S)^{-1} A) via Cholesky of the (ridged if necessary) normal
+// matrix; also returns the factor for gradient reuse. Fails if S^T S is
+// numerically singular even after a tiny ridge.
+Result<std::pair<double, CholeskyDecomposition>> ObjectiveAndFactor(
+    const Matrix& s, const Matrix& a) {
+  Matrix m = s.Transpose().Multiply(s);
+  Result<CholeskyDecomposition> chol = CholeskyDecomposition::Compute(m);
+  if (!chol.ok()) {
+    const double ridge = 1e-10 * std::max(m.MaxAbs(), 1.0);
+    for (std::size_t i = 0; i < m.rows(); ++i) m(i, i) += ridge;
+    chol = CholeskyDecomposition::Compute(m);
+    if (!chol.ok()) {
+      return Status::NumericalError(
+          "matrix mechanism: strategy lost full column rank");
+    }
+  }
+  const Matrix minv_a = chol.value().SolveMatrix(a);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < minv_a.rows(); ++i) trace += minv_a(i, i);
+  return std::make_pair(trace, std::move(chol).value());
+}
+
+}  // namespace
+
+Matrix DefaultInitialStrategy(const linalg::Matrix& q) {
+  const std::size_t n = q.cols();
+  Matrix s(q.rows() + n, n);
+  for (std::size_t r = 0; r < q.rows(); ++r) {
+    for (std::size_t c = 0; c < n; ++c) s(r, c) = q(r, c);
+  }
+  for (std::size_t i = 0; i < n; ++i) s(q.rows() + i, i) = 1.0;
+  return s;
+}
+
+Result<MatrixMechanismResult> OptimizeStrategy(
+    const linalg::Matrix& q, const linalg::Matrix& initial,
+    const MatrixMechanismOptions& options) {
+  if (q.rows() == 0 || q.cols() == 0) {
+    return Status::InvalidArgument("matrix mechanism: empty workload");
+  }
+  if (initial.cols() != q.cols()) {
+    return Status::InvalidArgument(
+        "matrix mechanism: initial strategy has wrong domain dimension");
+  }
+  if (options.max_iterations < 0 || !(options.initial_step > 0.0)) {
+    return Status::InvalidArgument("matrix mechanism: bad options");
+  }
+  const Matrix a = q.Transpose().Multiply(q);
+
+  Matrix s = initial;
+  NormaliseColumns(&s, options.l2_sensitivity);
+  DPCUBE_ASSIGN_OR_RETURN(auto obj_factor, ObjectiveAndFactor(s, a));
+  double objective = obj_factor.first;
+
+  MatrixMechanismResult result;
+  result.initial_objective = objective;
+  double step = options.initial_step;
+  int performed = 0;
+  bool converged = false;
+  for (int iter = 0; iter < options.max_iterations && !converged; ++iter) {
+    // Gradient of trace(M^{-1} A): -2 S M^{-1} A M^{-1}. The descent
+    // direction is therefore +2 S Z with Z = M^{-1} A M^{-1}.
+    const CholeskyDecomposition& chol = obj_factor.second;
+    const Matrix minv_a = chol.SolveMatrix(a);
+    const Matrix z = chol.SolveMatrix(minv_a.Transpose()).Transpose();
+    const Matrix direction = s.Multiply(z);  // -(1/2) * gradient.
+
+    // Backtracking line search on the projected iterate.
+    bool improved = false;
+    for (int bt = 0; bt < 30; ++bt) {
+      Matrix candidate = s.Add(direction.Scale(step));
+      NormaliseColumns(&candidate, options.l2_sensitivity);
+      auto cand_obj = ObjectiveAndFactor(candidate, a);
+      if (cand_obj.ok() && cand_obj->first < objective) {
+        const double improvement = (objective - cand_obj->first) / objective;
+        s = std::move(candidate);
+        obj_factor = std::move(cand_obj).value();
+        objective = obj_factor.first;
+        step *= 1.5;  // Reward: try a bolder step next time.
+        improved = true;
+        converged = improvement < options.tolerance;
+        break;
+      }
+      step *= 0.5;
+    }
+    ++performed;
+    if (!improved) break;  // Line search exhausted: local minimum.
+  }
+  result.strategy = std::move(s);
+  result.objective = objective;
+  result.iterations = performed;
+  return result;
+}
+
+Result<double> MatrixMechanismTotalVariance(const linalg::Matrix& s,
+                                            const linalg::Matrix& q,
+                                            const dp::PrivacyParams& params) {
+  if (s.cols() != q.cols()) {
+    return Status::InvalidArgument(
+        "matrix mechanism variance: domain dimension mismatch");
+  }
+  DPCUBE_RETURN_NOT_OK(params.Validate());
+  const Matrix a = q.Transpose().Multiply(q);
+  DPCUBE_ASSIGN_OR_RETURN(auto obj_factor, ObjectiveAndFactor(s, a));
+  const double trace = obj_factor.first;
+  const double eps = params.epsilon;
+  if (params.IsPureDp()) {
+    const double sens = dp::L1Sensitivity(s, params.neighbour);
+    return 2.0 * sens * sens / (eps * eps) * trace;
+  }
+  const double sens = dp::L2Sensitivity(s, params.neighbour);
+  return 2.0 * std::log(2.0 / params.delta) * sens * sens / (eps * eps) *
+         trace;
+}
+
+}  // namespace opt
+}  // namespace dpcube

@@ -1,0 +1,307 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "opt/simplex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace dpcube {
+namespace opt {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Dense simplex tableau. Rows: one per constraint plus the objective row.
+// Columns: structural + slack/artificial + rhs.
+class Tableau {
+ public:
+  Tableau(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  void Pivot(std::size_t pivot_row, std::size_t pivot_col) {
+    const double pivot = at(pivot_row, pivot_col);
+    assert(std::fabs(pivot) > kEps);
+    for (std::size_t c = 0; c < cols_; ++c) at(pivot_row, c) /= pivot;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      if (r == pivot_row) continue;
+      const double factor = at(r, pivot_col);
+      if (factor == 0.0) continue;
+      for (std::size_t c = 0; c < cols_; ++c) {
+        at(r, c) -= factor * at(pivot_row, c);
+      }
+    }
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+// Runs simplex iterations on `t`. Rows [0, m) are constraint rows;
+// `obj_row` holds the active (reduced-cost) objective; the last column is
+// the rhs. `basis[r]` is the basic column of constraint row r. Uses Bland's
+// rule. Returns false if unbounded. Pivots update every row of the tableau,
+// so an inactive secondary objective row stays consistent.
+bool RunSimplex(Tableau* t, std::vector<std::size_t>* basis, std::size_t m,
+                std::size_t obj_row, std::size_t num_cols_usable) {
+  const std::size_t rhs_col = t->cols() - 1;
+  // Bland's rule guarantees termination; cap iterations defensively anyway.
+  const std::size_t max_iters = 50'000 + 200 * (m + num_cols_usable);
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    // Entering column: smallest index with negative reduced cost (Bland).
+    std::size_t enter = num_cols_usable;
+    for (std::size_t c = 0; c < num_cols_usable; ++c) {
+      if (t->at(obj_row, c) < -kEps) {
+        enter = c;
+        break;
+      }
+    }
+    if (enter == num_cols_usable) return true;  // Optimal.
+
+    // Leaving row: min ratio rhs / column among positive entries;
+    // ties broken by smallest basis index (Bland).
+    std::size_t leave = m;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < m; ++r) {
+      const double a = t->at(r, enter);
+      if (a > kEps) {
+        const double ratio = t->at(r, rhs_col) / a;
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps &&
+             (leave == m || (*basis)[r] < (*basis)[leave]))) {
+          best_ratio = ratio;
+          leave = r;
+        }
+      }
+    }
+    if (leave == m) return false;  // Unbounded.
+    t->Pivot(leave, enter);
+    (*basis)[leave] = enter;
+  }
+  return true;  // Iteration cap: treat as converged (defensive).
+}
+
+}  // namespace
+
+Result<LpSolution> SolveLp(const LpProblem& problem) {
+  const std::size_t n = problem.objective.size();
+  const std::size_t m = problem.constraints.size();
+  for (const LpConstraint& c : problem.constraints) {
+    if (c.coeffs.size() != n) {
+      return Status::InvalidArgument("SolveLp: constraint width mismatch");
+    }
+  }
+
+  // Normalise to rhs >= 0 and count auxiliary columns.
+  std::vector<LpConstraint> cons = problem.constraints;
+  for (LpConstraint& c : cons) {
+    if (c.rhs < 0.0) {
+      for (double& v : c.coeffs) v = -v;
+      c.rhs = -c.rhs;
+      if (c.sense == ConstraintSense::kLessEqual) {
+        c.sense = ConstraintSense::kGreaterEqual;
+      } else if (c.sense == ConstraintSense::kGreaterEqual) {
+        c.sense = ConstraintSense::kLessEqual;
+      }
+    }
+  }
+  std::size_t num_slack = 0;
+  std::size_t num_artificial = 0;
+  for (const LpConstraint& c : cons) {
+    if (c.sense == ConstraintSense::kLessEqual) {
+      ++num_slack;
+    } else if (c.sense == ConstraintSense::kGreaterEqual) {
+      ++num_slack;       // Surplus column.
+      ++num_artificial;
+    } else {
+      ++num_artificial;
+    }
+  }
+
+  const std::size_t total_cols = n + num_slack + num_artificial;
+  // Rows: constraints + phase-2 objective + phase-1 objective.
+  Tableau t(m + 2, total_cols + 1);
+  const std::size_t obj2_row = m;      // Original objective.
+  const std::size_t obj1_row = m + 1;  // Artificial objective.
+  const std::size_t rhs_col = total_cols;
+
+  std::vector<std::size_t> basis(m);
+  std::size_t next_slack = n;
+  std::size_t next_art = n + num_slack;
+  std::vector<bool> is_artificial(total_cols, false);
+
+  for (std::size_t r = 0; r < m; ++r) {
+    const LpConstraint& c = cons[r];
+    for (std::size_t j = 0; j < n; ++j) t.at(r, j) = c.coeffs[j];
+    t.at(r, rhs_col) = c.rhs;
+    switch (c.sense) {
+      case ConstraintSense::kLessEqual:
+        t.at(r, next_slack) = 1.0;
+        basis[r] = next_slack++;
+        break;
+      case ConstraintSense::kGreaterEqual:
+        t.at(r, next_slack) = -1.0;
+        ++next_slack;
+        t.at(r, next_art) = 1.0;
+        is_artificial[next_art] = true;
+        basis[r] = next_art++;
+        break;
+      case ConstraintSense::kEqual:
+        t.at(r, next_art) = 1.0;
+        is_artificial[next_art] = true;
+        basis[r] = next_art++;
+        break;
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) t.at(obj2_row, j) = problem.objective[j];
+
+  // Phase 1: minimise the sum of artificials. The phase-1 objective row is
+  // -(sum of rows whose basic variable is artificial), expressed so reduced
+  // costs of basic variables are zero.
+  if (num_artificial > 0) {
+    for (std::size_t r = 0; r < m; ++r) {
+      if (!is_artificial[basis[r]]) continue;
+      for (std::size_t c = 0; c <= total_cols; ++c) {
+        t.at(obj1_row, c) -= t.at(r, c);
+      }
+    }
+    // Zero out artificial columns in the phase-1 objective (they cost 1 and
+    // are basic, already handled by the subtraction above which leaves their
+    // reduced cost at -1 + 1 = 0 after adding the unit cost).
+    for (std::size_t c = 0; c < total_cols; ++c) {
+      if (is_artificial[c]) t.at(obj1_row, c) += 1.0;
+    }
+
+    if (!RunSimplex(&t, &basis, m, obj1_row, total_cols)) {
+      return Status::NumericalError("SolveLp: phase-1 unbounded (internal)");
+    }
+    if (t.at(obj1_row, rhs_col) < -1e-6) {
+      return Status::NumericalError("SolveLp: infeasible");
+    }
+    // Drive any remaining artificial variables out of the basis if possible.
+    for (std::size_t r = 0; r < m; ++r) {
+      if (!is_artificial[basis[r]]) continue;
+      bool pivoted = false;
+      for (std::size_t c = 0; c < n + num_slack; ++c) {
+        if (std::fabs(t.at(r, c)) > kEps) {
+          t.Pivot(r, c);
+          basis[r] = c;
+          pivoted = true;
+          break;
+        }
+      }
+      if (!pivoted) {
+        // Redundant constraint row; leave the artificial at value ~0.
+      }
+    }
+  }
+
+  // Phase 2: zero out reduced costs of basic columns in the original
+  // objective row, then run with artificial columns frozen.
+  for (std::size_t r = 0; r < m; ++r) {
+    const double cost = t.at(obj2_row, basis[r]);
+    if (std::fabs(cost) > 0.0) {
+      for (std::size_t c = 0; c <= total_cols; ++c) {
+        t.at(obj2_row, c) -= cost * t.at(r, c);
+      }
+    }
+  }
+  // Freeze artificials by making them unattractive: exclude them from the
+  // usable column range. Artificial columns are contiguous at the end.
+  {
+    // Build a compact tableau without the phase-1 row and artificial cols.
+    const std::size_t usable = n + num_slack;
+    Tableau t2(m + 1, usable + 1);
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = 0; c < usable; ++c) t2.at(r, c) = t.at(r, c);
+      t2.at(r, usable) = t.at(r, rhs_col);
+    }
+    for (std::size_t c = 0; c < usable; ++c) {
+      t2.at(m, c) = t.at(obj2_row, c);
+    }
+    t2.at(m, usable) = t.at(obj2_row, rhs_col);
+
+    // Any basis entry still pointing at an artificial column corresponds to a
+    // redundant zero row; give it a synthetic out-of-range basis id so Bland
+    // tie-breaking still works.
+    for (std::size_t r = 0; r < m; ++r) {
+      if (basis[r] >= usable) basis[r] = usable + r;
+    }
+    if (!RunSimplex(&t2, &basis, m, m, usable)) {
+      return Status::NumericalError("SolveLp: unbounded");
+    }
+
+    LpSolution solution;
+    solution.x.assign(n, 0.0);
+    for (std::size_t r = 0; r < m; ++r) {
+      if (basis[r] < n) solution.x[basis[r]] = t2.at(r, usable);
+    }
+    solution.objective = linalg::Dot(problem.objective, solution.x);
+    return solution;
+  }
+}
+
+int LpBuilder::AddVariable(double objective_coeff) {
+  VarColumns vc;
+  vc.positive = num_columns_++;
+  objective_.push_back(objective_coeff);
+  var_columns_.push_back(vc);
+  return static_cast<int>(var_columns_.size()) - 1;
+}
+
+int LpBuilder::AddFreeVariable(double objective_coeff) {
+  VarColumns vc;
+  vc.positive = num_columns_++;
+  vc.negative = num_columns_++;
+  objective_.push_back(objective_coeff);
+  objective_.push_back(-objective_coeff);
+  var_columns_.push_back(vc);
+  return static_cast<int>(var_columns_.size()) - 1;
+}
+
+void LpBuilder::AddConstraint(const std::vector<int>& handles,
+                              const std::vector<double>& coeffs,
+                              ConstraintSense sense, double rhs) {
+  assert(handles.size() == coeffs.size());
+  LpConstraint c;
+  c.coeffs.assign(num_columns_, 0.0);
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const VarColumns& vc = var_columns_.at(handles[i]);
+    c.coeffs[vc.positive] += coeffs[i];
+    if (vc.negative >= 0) c.coeffs[vc.negative] -= coeffs[i];
+  }
+  c.sense = sense;
+  c.rhs = rhs;
+  constraints_.push_back(std::move(c));
+}
+
+Result<linalg::Vector> LpBuilder::Solve() const {
+  LpProblem problem;
+  problem.objective = objective_;
+  problem.constraints = constraints_;
+  // Constraints recorded before later variables were added are narrower
+  // than the final column count; pad them with zeros.
+  for (LpConstraint& c : problem.constraints) {
+    c.coeffs.resize(num_columns_, 0.0);
+  }
+  DPCUBE_ASSIGN_OR_RETURN(LpSolution sol, SolveLp(problem));
+  linalg::Vector out(var_columns_.size(), 0.0);
+  for (std::size_t i = 0; i < var_columns_.size(); ++i) {
+    const VarColumns& vc = var_columns_[i];
+    out[i] = sol.x[vc.positive];
+    if (vc.negative >= 0) out[i] -= sol.x[vc.negative];
+  }
+  return out;
+}
+
+}  // namespace opt
+}  // namespace dpcube

@@ -1,0 +1,86 @@
+// Copyright 2026 The dpcube Authors.
+//
+// A self-contained two-phase dense simplex solver. The paper's Section 3.3 /
+// 4.3 consistency step for p = 1 and p = infinity reduces to small linear
+// programs over the Fourier coefficients of the released marginals; this
+// solver is sized for exactly those (tens to a few thousand variables).
+//
+// Canonical form: minimize c^T x subject to per-row {<=, >=, =} constraints
+// and x >= 0. Free variables must be split by the caller (x = x+ - x-);
+// opt::LpBuilder below does this bookkeeping.
+
+#ifndef DPCUBE_OPT_SIMPLEX_H_
+#define DPCUBE_OPT_SIMPLEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace dpcube {
+namespace opt {
+
+enum class ConstraintSense { kLessEqual, kGreaterEqual, kEqual };
+
+/// One linear constraint: coeffs . x  <sense>  rhs.
+struct LpConstraint {
+  linalg::Vector coeffs;
+  ConstraintSense sense = ConstraintSense::kLessEqual;
+  double rhs = 0.0;
+};
+
+/// min objective . x  s.t.  constraints, x >= 0.
+struct LpProblem {
+  linalg::Vector objective;
+  std::vector<LpConstraint> constraints;
+};
+
+struct LpSolution {
+  linalg::Vector x;
+  double objective = 0.0;
+};
+
+/// Solves the LP with the two-phase simplex method (Bland's rule, so it
+/// terminates on degenerate problems). Fails with:
+///  - NumericalError("infeasible") if phase 1 cannot zero the artificials,
+///  - NumericalError("unbounded")  if a pivot column has no positive entry.
+Result<LpSolution> SolveLp(const LpProblem& problem);
+
+/// Convenience builder that supports free (sign-unrestricted) variables by
+/// transparent splitting, and assembles LpProblem instances.
+class LpBuilder {
+ public:
+  /// Adds a non-negative variable with the given objective coefficient;
+  /// returns its handle.
+  int AddVariable(double objective_coeff);
+
+  /// Adds a free variable (internally split into a difference of two
+  /// non-negative columns); returns its handle.
+  int AddFreeVariable(double objective_coeff);
+
+  /// Adds a constraint sum_i coeffs[i] * var(handles[i]) <sense> rhs.
+  void AddConstraint(const std::vector<int>& handles,
+                     const std::vector<double>& coeffs, ConstraintSense sense,
+                     double rhs);
+
+  /// Solves and maps the solution back to the caller's variable handles.
+  Result<linalg::Vector> Solve() const;
+
+  std::size_t num_variables() const { return var_columns_.size(); }
+
+ private:
+  struct VarColumns {
+    int positive = -1;  // Column index of the positive part.
+    int negative = -1;  // Column of the negative part; -1 if non-negative var.
+  };
+  std::vector<VarColumns> var_columns_;
+  int num_columns_ = 0;
+  linalg::Vector objective_;  // Per internal column.
+  std::vector<LpConstraint> constraints_;  // Over internal columns.
+};
+
+}  // namespace opt
+}  // namespace dpcube
+
+#endif  // DPCUBE_OPT_SIMPLEX_H_

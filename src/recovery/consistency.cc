@@ -1,0 +1,175 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "recovery/consistency.h"
+
+#include <cmath>
+
+#include "opt/simplex.h"
+#include "transform/walsh_hadamard.h"
+
+namespace dpcube {
+namespace recovery {
+namespace {
+
+Status ValidateInputs(const marginal::Workload& workload,
+                      const std::vector<marginal::MarginalTable>& noisy,
+                      const linalg::Vector& cell_variances) {
+  if (noisy.size() != workload.num_marginals()) {
+    return Status::InvalidArgument("marginal count does not match workload");
+  }
+  if (cell_variances.size() != noisy.size()) {
+    return Status::InvalidArgument("one cell variance per marginal required");
+  }
+  for (std::size_t i = 0; i < noisy.size(); ++i) {
+    if (noisy[i].alpha() != workload.mask(i)) {
+      return Status::InvalidArgument("marginal masks out of workload order");
+    }
+    if (!(cell_variances[i] > 0.0)) {
+      return Status::InvalidArgument("cell variances must be positive");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<linalg::Vector> FitFourierCoefficients(
+    const marginal::Workload& workload, const marginal::FourierIndex& index,
+    const std::vector<marginal::MarginalTable>& noisy,
+    const linalg::Vector& cell_variances) {
+  DPCUBE_RETURN_NOT_OK(ValidateInputs(workload, noisy, cell_variances));
+  const int d = workload.d();
+  linalg::Vector numerator(index.size(), 0.0);
+  linalg::Vector denominator(index.size(), 0.0);
+
+  for (std::size_t i = 0; i < noisy.size(); ++i) {
+    const marginal::MarginalTable& table = noisy[i];
+    const int k = table.k();
+    // Local WHT of the marginal gives, per coefficient beta ⪯ alpha,
+    // 2^{-k/2} sum_gamma (-1)^{<beta,gamma>} y_gamma; the implied
+    // coefficient estimate is 2^{(k-d)/2} times that.
+    std::vector<double> local = table.values();
+    transform::WalshHadamard(&local);
+    const double estimate_scale = std::pow(2.0, 0.5 * (k - d));
+    const double weight = std::pow(2.0, d - k) / cell_variances[i];
+    const bits::Mask alpha = table.alpha();
+    for (std::size_t l = 0; l < local.size(); ++l) {
+      const std::size_t coef = index.IndexOf(bits::ExpandIntoMask(l, alpha));
+      numerator[coef] += weight * estimate_scale * local[l];
+      denominator[coef] += weight;
+    }
+  }
+  for (std::size_t c = 0; c < numerator.size(); ++c) {
+    // Every coefficient in F is dominated by at least one marginal, so the
+    // denominator is positive by construction.
+    numerator[c] /= denominator[c];
+  }
+  return numerator;
+}
+
+Result<std::vector<marginal::MarginalTable>> ProjectConsistentL2(
+    const marginal::Workload& workload,
+    const std::vector<marginal::MarginalTable>& noisy,
+    const linalg::Vector& cell_variances) {
+  marginal::FourierIndex index(workload);
+  DPCUBE_ASSIGN_OR_RETURN(
+      linalg::Vector coeffs,
+      FitFourierCoefficients(workload, index, noisy, cell_variances));
+  std::vector<marginal::MarginalTable> out;
+  out.reserve(workload.num_marginals());
+  for (std::size_t i = 0; i < workload.num_marginals(); ++i) {
+    out.push_back(marginal::MarginalFromFourier(
+        workload.mask(i), workload.d(),
+        [&](bits::Mask beta) { return coeffs[index.IndexOf(beta)]; }));
+  }
+  return out;
+}
+
+Result<std::vector<marginal::MarginalTable>> ProjectConsistentLp(
+    const marginal::Workload& workload,
+    const std::vector<marginal::MarginalTable>& noisy, LpNorm norm) {
+  DPCUBE_RETURN_NOT_OK(ValidateInputs(
+      workload, noisy, linalg::Vector(noisy.size(), 1.0)));
+  marginal::FourierIndex index(workload);
+  const linalg::Matrix r = marginal::BuildFourierRecoveryMatrix(workload,
+                                                                index);
+  const linalg::Vector target = marginal::StackMarginals(noisy);
+
+  // Variables: coefficients (free) + residual bounds t (one per row for L1,
+  // a single t for L-infinity).
+  opt::LpBuilder builder;
+  std::vector<int> coef_vars(index.size());
+  for (std::size_t c = 0; c < index.size(); ++c) {
+    coef_vars[c] = builder.AddFreeVariable(0.0);
+  }
+  std::vector<int> bound_vars;
+  if (norm == LpNorm::kL1) {
+    bound_vars.resize(r.rows());
+    for (std::size_t row = 0; row < r.rows(); ++row) {
+      bound_vars[row] = builder.AddVariable(1.0);
+    }
+  } else {
+    bound_vars.assign(r.rows(), builder.AddVariable(1.0));
+  }
+
+  for (std::size_t row = 0; row < r.rows(); ++row) {
+    std::vector<int> handles;
+    std::vector<double> coeffs;
+    for (std::size_t c = 0; c < index.size(); ++c) {
+      const double v = r(row, c);
+      if (v == 0.0) continue;
+      handles.push_back(coef_vars[c]);
+      coeffs.push_back(v);
+    }
+    // (R f)_row - t <= y_row   and   (R f)_row + t >= y_row.
+    handles.push_back(bound_vars[row]);
+    coeffs.push_back(-1.0);
+    builder.AddConstraint(handles, coeffs, opt::ConstraintSense::kLessEqual,
+                          target[row]);
+    coeffs.back() = 1.0;
+    builder.AddConstraint(handles, coeffs, opt::ConstraintSense::kGreaterEqual,
+                          target[row]);
+  }
+  DPCUBE_ASSIGN_OR_RETURN(linalg::Vector solution, builder.Solve());
+
+  std::vector<marginal::MarginalTable> out;
+  out.reserve(workload.num_marginals());
+  for (std::size_t i = 0; i < workload.num_marginals(); ++i) {
+    out.push_back(marginal::MarginalFromFourier(
+        workload.mask(i), workload.d(), [&](bits::Mask beta) {
+          return solution[coef_vars[index.IndexOf(beta)]];
+        }));
+  }
+  return out;
+}
+
+Result<std::vector<double>> ConsistentWitness(
+    const marginal::Workload& workload,
+    const std::vector<marginal::MarginalTable>& noisy,
+    const linalg::Vector& cell_variances, bool clamp_nonnegative,
+    bool round_to_integer) {
+  if (workload.d() > 20) {
+    return Status::InvalidArgument("domain too large for an explicit witness");
+  }
+  marginal::FourierIndex index(workload);
+  DPCUBE_ASSIGN_OR_RETURN(
+      linalg::Vector coeffs,
+      FitFourierCoefficients(workload, index, noisy, cell_variances));
+  std::vector<double> full(std::size_t{1} << workload.d(), 0.0);
+  for (std::size_t c = 0; c < index.size(); ++c) {
+    full[index.mask(c)] = coeffs[c];
+  }
+  // The WHT is an involution, so applying it to the coefficient vector
+  // reconstructs the witness table.
+  transform::WalshHadamard(&full);
+  if (clamp_nonnegative) {
+    for (double& v : full) v = std::max(0.0, v);
+  }
+  if (round_to_integer) {
+    for (double& v : full) v = std::nearbyint(v);
+  }
+  return full;
+}
+
+}  // namespace recovery
+}  // namespace dpcube

@@ -1,0 +1,78 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Consistency and optimal recovery for marginal releases via Fourier
+// coefficients (Sections 3.2, 3.3 and 4.3).
+//
+// Given noisy marginals y~ with per-cell variances, the weighted
+// least-squares projection onto the consistent set
+//   { y : y = R f for some coefficient vector f }
+// decomposes coefficient-by-coefficient, because the Fourier rows within
+// a marginal are orthogonal: RtWR is diagonal and the optimal coefficient
+// is the inverse-variance-weighted average of each containing marginal's
+// implied estimate
+//   theta_hat(beta | marginal i) = 2^{-d/2} sum_gamma (-1)^{<beta,gamma>}
+//                                  y~_{i,gamma},
+// with weight w_i 2^{d-k_i} (w_i = 1 / cell variance of marginal i).
+// Reconstructing the marginals from theta_hat yields simultaneously
+//  * a consistent release (witness x_c = inverse WHT of the padded
+//    coefficients), and
+//  * the minimum-variance (GLS) recovery of Step 3 for marginal
+//    strategies, computed in O(sum_i k_i 2^{k_i}) instead of an
+//    N-variable least squares — the paper's main efficiency point.
+//
+// For p = 1 / p = infinity, ProjectConsistentLp solves the corresponding
+// LP over the coefficients (small: |F| variables), as in Section 4.3.
+
+#ifndef DPCUBE_RECOVERY_CONSISTENCY_H_
+#define DPCUBE_RECOVERY_CONSISTENCY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "marginal/fourier_index.h"
+#include "marginal/marginal_table.h"
+#include "marginal/workload.h"
+
+namespace dpcube {
+namespace recovery {
+
+/// Weighted-L2 consistency projection / GLS recovery. `cell_variances`
+/// has one strictly positive entry per marginal (every cell of marginal i
+/// carries variance cell_variances[i]); pass all-ones for the unweighted
+/// projection. Returns the consistent marginals in workload order.
+Result<std::vector<marginal::MarginalTable>> ProjectConsistentL2(
+    const marginal::Workload& workload,
+    const std::vector<marginal::MarginalTable>& noisy,
+    const linalg::Vector& cell_variances);
+
+/// The fitted Fourier coefficients of the projection (same computation as
+/// ProjectConsistentL2, exposed for callers that want the coefficient
+/// vector, e.g. to materialise a synthetic consistent table).
+Result<linalg::Vector> FitFourierCoefficients(
+    const marginal::Workload& workload, const marginal::FourierIndex& index,
+    const std::vector<marginal::MarginalTable>& noisy,
+    const linalg::Vector& cell_variances);
+
+/// Lp-norm consistency for p = 1 or p = infinity via LP over the Fourier
+/// coefficients (Section 4.3). Exact but slower than the L2 projection;
+/// intended for small workloads.
+enum class LpNorm { kL1, kLInf };
+Result<std::vector<marginal::MarginalTable>> ProjectConsistentLp(
+    const marginal::Workload& workload,
+    const std::vector<marginal::MarginalTable>& noisy, LpNorm norm);
+
+/// Materialises the consistent witness x_c (inverse WHT of the fitted
+/// coefficients, zero-padded) over a small domain. Optionally clamps
+/// negatives to zero and rounds to integers (the paper's Section 6
+/// remarks on integral non-negative outputs).
+Result<std::vector<double>> ConsistentWitness(
+    const marginal::Workload& workload,
+    const std::vector<marginal::MarginalTable>& noisy,
+    const linalg::Vector& cell_variances, bool clamp_nonnegative = false,
+    bool round_to_integer = false);
+
+}  // namespace recovery
+}  // namespace dpcube
+
+#endif  // DPCUBE_RECOVERY_CONSISTENCY_H_

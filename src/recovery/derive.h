@@ -1,0 +1,83 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Derived cuboids at zero extra privacy cost. Differential privacy is
+// closed under post-processing, and the Fourier coefficients fitted by
+// the consistency step (Section 4.3) determine every marginal whose
+// coefficient support they cover — so releasing, say, the k-way cuboids
+// makes the ENTIRE lower datacube queryable, consistently, for free.
+// This realises the paper's framing that "the set of all possible
+// marginals for a relation is captured by the data cube": one budgeted
+// release of a generating workload, then arbitrary derived slices.
+//
+// DerivedCube fits the coefficients (and their GLS variances) once from
+// a noisy release; Derive(beta) reconstructs any covered marginal via
+// Theorem 4.1(2) in O(k 2^k), and DerivedCellVariance predicts its
+// accuracy analytically.
+
+#ifndef DPCUBE_RECOVERY_DERIVE_H_
+#define DPCUBE_RECOVERY_DERIVE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+#include "marginal/fourier_index.h"
+#include "marginal/marginal_table.h"
+#include "marginal/workload.h"
+
+namespace dpcube {
+namespace recovery {
+
+class DerivedCube {
+ public:
+  /// Fits the Fourier coefficients of the released workload by the
+  /// weighted-L2 consistency projection. `cell_variances`: one strictly
+  /// positive entry per marginal (as in ProjectConsistentL2).
+  ///
+  /// The derived VALUES are valid post-processing of any release. The
+  /// variance PREDICTIONS additionally assume the noise is independent
+  /// across released marginals — true for the strategies that measure
+  /// each marginal separately (I, Q/Q+, C/C+), but not for the Fourier
+  /// strategy, whose marginals share noisy coefficients; there the GLS
+  /// fit recovers those coefficients without pooling gain, and the true
+  /// derived variance is larger by the number of marginals containing
+  /// each coefficient (use the strategy's own coefficient variances for
+  /// exact numbers in that case).
+  static Result<DerivedCube> Fit(
+      const marginal::Workload& workload,
+      const std::vector<marginal::MarginalTable>& noisy,
+      const linalg::Vector& cell_variances);
+
+  /// True iff every coefficient of C^beta is covered by the release,
+  /// i.e. beta is dominated by some released marginal.
+  bool CanDerive(bits::Mask beta) const;
+
+  /// Reconstructs the marginal over `beta` from the fitted coefficients.
+  /// Fails with FailedPrecondition if beta is not derivable.
+  Result<marginal::MarginalTable> Derive(bits::Mask beta) const;
+
+  /// Predicted noise variance of every cell of the derived marginal:
+  /// 2^{d-2k} * sum_{eta ⪯ beta} Var(theta_eta).
+  Result<double> DerivedCellVariance(bits::Mask beta) const;
+
+  int d() const { return index_.d(); }
+
+  /// The fitted coefficient for a covered mask (exposed for diagnostics).
+  Result<double> Coefficient(bits::Mask beta) const;
+
+ private:
+  DerivedCube(marginal::FourierIndex index, linalg::Vector coefficients,
+              linalg::Vector variances)
+      : index_(std::move(index)),
+        coefficients_(std::move(coefficients)),
+        variances_(std::move(variances)) {}
+
+  marginal::FourierIndex index_;
+  linalg::Vector coefficients_;  ///< Fitted theta_hat, index order.
+  linalg::Vector variances_;     ///< Var(theta_hat), index order.
+};
+
+}  // namespace recovery
+}  // namespace dpcube
+
+#endif  // DPCUBE_RECOVERY_DERIVE_H_

@@ -1,0 +1,102 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "recovery/gls_recovery.h"
+
+#include <cmath>
+
+#include "linalg/least_squares.h"
+
+namespace dpcube {
+namespace recovery {
+
+Result<linalg::Matrix> OptimalRecoveryMatrix(const linalg::Matrix& q,
+                                             const linalg::Matrix& s,
+                                             const linalg::Vector& variances) {
+  if (q.cols() != s.cols()) {
+    return Status::InvalidArgument("Q and S must share the domain dimension");
+  }
+  if (variances.size() != s.rows()) {
+    return Status::InvalidArgument("one variance per strategy row required");
+  }
+  // G = (S^T Sigma^{-1} S)^{-1} S^T Sigma^{-1}; R = Q G.
+  DPCUBE_ASSIGN_OR_RETURN(linalg::Matrix g,
+                          linalg::GlsEstimatorMatrix(s, variances));
+  return q.Multiply(g);
+}
+
+Result<linalg::Matrix> OptimalRecoveryMatrixAnyRank(
+    const linalg::Matrix& q, const linalg::Matrix& s,
+    const linalg::Vector& variances, double tol) {
+  if (q.cols() != s.cols()) {
+    return Status::InvalidArgument("Q and S must share the domain dimension");
+  }
+  if (variances.size() != s.rows()) {
+    return Status::InvalidArgument("one variance per strategy row required");
+  }
+  DPCUBE_ASSIGN_OR_RETURN(
+      linalg::Matrix g, linalg::GlsEstimatorMatrixAnyRank(s, variances, tol));
+  linalg::Matrix r = q.Multiply(g);
+  // R S = Q * Proj_rowspace(S); unbiasedness requires this to reproduce Q,
+  // i.e. every query row must lie in S's row space.
+  const linalg::Matrix rs = r.Multiply(s);
+  double worst = 0.0;
+  std::size_t worst_row = 0;
+  for (std::size_t i = 0; i < q.rows(); ++i) {
+    double err = 0.0;
+    double mag = 0.0;
+    for (std::size_t j = 0; j < q.cols(); ++j) {
+      err = std::max(err, std::fabs(rs(i, j) - q(i, j)));
+      mag = std::max(mag, std::fabs(q(i, j)));
+    }
+    const double rel = err / std::max(mag, 1.0);
+    if (rel > worst) {
+      worst = rel;
+      worst_row = i;
+    }
+  }
+  if (worst > 1e-6) {
+    return Status::FailedPrecondition(
+        "query row " + std::to_string(worst_row) +
+        " is outside the strategy's row space (relative residual " +
+        std::to_string(worst) + "); no unbiased recovery exists");
+  }
+  return r;
+}
+
+linalg::Vector RecoveryVariances(const linalg::Matrix& r,
+                                 const linalg::Vector& variances) {
+  linalg::Vector out(r.rows(), 0.0);
+  for (std::size_t j = 0; j < r.rows(); ++j) {
+    const double* row = r.RowData(j);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < r.cols(); ++i) {
+      sum += row[i] * row[i] * variances[i];
+    }
+    out[j] = sum;
+  }
+  return out;
+}
+
+double TotalRecoveryVariance(const linalg::Matrix& r,
+                             const linalg::Vector& variances,
+                             const linalg::Vector& a) {
+  const linalg::Vector per_query = RecoveryVariances(r, variances);
+  double total = 0.0;
+  for (std::size_t j = 0; j < per_query.size(); ++j) {
+    total += (a.empty() ? 1.0 : a[j]) * per_query[j];
+  }
+  return total;
+}
+
+Status VerifyRecoveryFactorisation(const linalg::Matrix& q,
+                                   const linalg::Matrix& r,
+                                   const linalg::Matrix& s, double tol) {
+  const linalg::Matrix rs = r.Multiply(s);
+  if (!rs.ApproxEquals(q, tol)) {
+    return Status::FailedPrecondition("R * S does not reproduce Q");
+  }
+  return Status::OK();
+}
+
+}  // namespace recovery
+}  // namespace dpcube

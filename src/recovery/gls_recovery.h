@@ -1,0 +1,58 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Dense optimal recovery (equation (7), Section 3.2): given the query
+// matrix Q, a strategy S with rank N, and the per-row noise variances of
+// the measurements z = S x + nu, the generalized-least-squares recovery
+//   R = Q (S^T Sigma^{-1} S)^{-1} S^T Sigma^{-1}
+// minimises every query's variance among linear unbiased recoveries and
+// produces consistent answers (y = Q x_hat). This is the exact
+// small-domain path used by tests, the worked example, and the ablation
+// benches; recovery/consistency.h is the scalable equivalent for marginal
+// workloads.
+
+#ifndef DPCUBE_RECOVERY_GLS_RECOVERY_H_
+#define DPCUBE_RECOVERY_GLS_RECOVERY_H_
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace dpcube {
+namespace recovery {
+
+/// The optimal recovery matrix R of equation (7). `variances` holds
+/// Var(nu_i) per strategy row (strictly positive). Requires rank(S) = N.
+Result<linalg::Matrix> OptimalRecoveryMatrix(const linalg::Matrix& q,
+                                             const linalg::Matrix& s,
+                                             const linalg::Vector& variances);
+
+/// Equation (7) without the rank(S) = N requirement, via the Jacobi-SVD
+/// pseudo-inverse (the rank(S) < N treatment Section 3.2 inherits from
+/// Li et al.). An unbiased recovery exists iff every row of Q lies in the
+/// row space of S; when it does not, the call fails with
+/// FailedPrecondition and names the worst-covered query row. Costs an SVD
+/// of an m x N matrix, so this is a small-domain (tests / worked example /
+/// matrix-mechanism search) path like OptimalRecoveryMatrix.
+Result<linalg::Matrix> OptimalRecoveryMatrixAnyRank(
+    const linalg::Matrix& q, const linalg::Matrix& s,
+    const linalg::Vector& variances, double tol = 1e-8);
+
+/// Per-query output variances Var(y_j) = sum_i R_ji^2 Var(nu_i).
+linalg::Vector RecoveryVariances(const linalg::Matrix& r,
+                                 const linalg::Vector& variances);
+
+/// Total weighted variance a^T Var(y); pass empty `a` for all-ones.
+double TotalRecoveryVariance(const linalg::Matrix& r,
+                             const linalg::Vector& variances,
+                             const linalg::Vector& a = {});
+
+/// Verifies Q = R S within tolerance (a recovery must satisfy this
+/// exactly for unbiasedness).
+Status VerifyRecoveryFactorisation(const linalg::Matrix& q,
+                                   const linalg::Matrix& r,
+                                   const linalg::Matrix& s,
+                                   double tol = 1e-6);
+
+}  // namespace recovery
+}  // namespace dpcube
+
+#endif  // DPCUBE_RECOVERY_GLS_RECOVERY_H_

@@ -1,0 +1,124 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "recovery/nonnegative.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "recovery/consistency.h"
+
+namespace dpcube {
+namespace recovery {
+namespace {
+
+// Aggregates x to the marginal over alpha (dense-domain version of
+// marginal::ComputeMarginal, reused in the inner loop without
+// re-allocating tables).
+void Aggregate(const std::vector<double>& x, bits::Mask alpha,
+               std::vector<double>* out) {
+  std::fill(out->begin(), out->end(), 0.0);
+  for (std::size_t cell = 0; cell < x.size(); ++cell) {
+    (*out)[bits::CompressFromMask(cell, alpha)] += x[cell];
+  }
+}
+
+}  // namespace
+
+Result<NonNegativeResult> FitNonNegativeTable(
+    const marginal::Workload& workload,
+    const std::vector<marginal::MarginalTable>& noisy,
+    const linalg::Vector& cell_variances, const NonNegativeOptions& options) {
+  if (workload.d() > 20) {
+    return Status::InvalidArgument(
+        "FitNonNegativeTable: domain too large to materialise");
+  }
+  if (noisy.size() != workload.num_marginals() ||
+      cell_variances.size() != noisy.size()) {
+    return Status::InvalidArgument("FitNonNegativeTable: size mismatch");
+  }
+  for (double v : cell_variances) {
+    if (!(v > 0.0)) {
+      return Status::InvalidArgument("cell variances must be positive");
+    }
+  }
+
+  const std::size_t n = std::size_t{1} << workload.d();
+  // Warm start from the (unconstrained) consistent witness, clamped.
+  DPCUBE_ASSIGN_OR_RETURN(
+      std::vector<double> x,
+      ConsistentWitness(workload, noisy, cell_variances,
+                        /*clamp_nonnegative=*/true,
+                        /*round_to_integer=*/false));
+
+  // Lipschitz constant of the gradient: L = 2 sum_i w_i 2^{d - k_i}.
+  double lipschitz = 0.0;
+  for (std::size_t i = 0; i < noisy.size(); ++i) {
+    lipschitz += 2.0 / cell_variances[i] *
+                 std::pow(2.0, workload.d() - noisy[i].k());
+  }
+  const double step = 1.0 / lipschitz;
+
+  std::vector<std::vector<double>> residuals(noisy.size());
+  std::vector<double> gradient(n);
+  double objective = 0.0;
+  double previous = std::numeric_limits<double>::infinity();
+  int iterations = 0;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Residuals r_i = C^{alpha_i} x - y~_i and the objective.
+    objective = 0.0;
+    for (std::size_t i = 0; i < noisy.size(); ++i) {
+      residuals[i].resize(noisy[i].num_cells());
+      Aggregate(x, noisy[i].alpha(), &residuals[i]);
+      const double w = 1.0 / cell_variances[i];
+      for (std::size_t g = 0; g < residuals[i].size(); ++g) {
+        residuals[i][g] -= noisy[i].value(g);
+        objective += w * residuals[i][g] * residuals[i][g];
+      }
+    }
+    ++iterations;
+    if (previous - objective <= options.tolerance * std::max(1.0, previous)) {
+      break;
+    }
+    previous = objective;
+
+    // Gradient: 2 sum_i w_i Q_i^T r_i — scatter each residual cell back
+    // to its base cells.
+    std::fill(gradient.begin(), gradient.end(), 0.0);
+    for (std::size_t i = 0; i < noisy.size(); ++i) {
+      const double w2 = 2.0 / cell_variances[i];
+      const bits::Mask alpha = noisy[i].alpha();
+      for (std::size_t cell = 0; cell < n; ++cell) {
+        gradient[cell] +=
+            w2 * residuals[i][bits::CompressFromMask(cell, alpha)];
+      }
+    }
+    // Projected gradient step.
+    for (std::size_t cell = 0; cell < n; ++cell) {
+      x[cell] = std::max(0.0, x[cell] - step * gradient[cell]);
+    }
+  }
+
+  if (options.round_to_integer) {
+    for (double& v : x) v = std::nearbyint(v);
+  }
+
+  NonNegativeResult result;
+  result.objective = objective;
+  result.iterations = iterations;
+  result.marginals.reserve(workload.num_marginals());
+  std::vector<double> cells;
+  for (std::size_t i = 0; i < workload.num_marginals(); ++i) {
+    marginal::MarginalTable table(workload.mask(i), workload.d());
+    cells.resize(table.num_cells());
+    Aggregate(x, workload.mask(i), &cells);
+    for (std::size_t g = 0; g < cells.size(); ++g) table.value(g) = cells[g];
+    result.marginals.push_back(std::move(table));
+  }
+  result.table = std::move(x);
+  return result;
+}
+
+}  // namespace recovery
+}  // namespace dpcube

@@ -1,0 +1,222 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "strategy/cluster_strategy.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "dp/mechanisms.h"
+#include "marginal/query_matrix.h"
+
+namespace dpcube {
+namespace strategy {
+
+ClusterStrategy::ClusterStrategy(marginal::Workload workload,
+                                 linalg::Vector query_weights)
+    : workload_(std::move(workload)) {
+  assert(query_weights.empty() ||
+         query_weights.size() == workload_.num_marginals());
+  RunClustering();
+  // Group summaries: one group per materialised marginal.
+  std::vector<double> assigned_weight(materialized_.size(), 0.0);
+  for (std::size_t q = 0; q < cover_of_.size(); ++q) {
+    assigned_weight[cover_of_[q]] +=
+        query_weights.empty() ? 1.0 : query_weights[q];
+  }
+  groups_.reserve(materialized_.size());
+  for (std::size_t m = 0; m < materialized_.size(); ++m) {
+    budget::GroupSummary g;
+    g.column_norm = 1.0;
+    g.num_rows = std::uint64_t{1} << bits::Popcount(materialized_[m]);
+    // Each cell of the centroid feeds exactly one cell of every assigned
+    // query: b_cell = 2 * sum of assigned query weights.
+    g.weight_sum = 2.0 * assigned_weight[m] *
+                   static_cast<double>(g.num_rows);
+    groups_.push_back(g);
+  }
+}
+
+void ClusterStrategy::AssignCovers(const std::vector<bits::Mask>& centroids,
+                                   std::vector<std::size_t>* cover_of) const {
+  cover_of->assign(workload_.num_marginals(), 0);
+  for (std::size_t q = 0; q < workload_.num_marginals(); ++q) {
+    const bits::Mask alpha = workload_.mask(q);
+    std::size_t best = centroids.size();
+    int best_width = std::numeric_limits<int>::max();
+    for (std::size_t m = 0; m < centroids.size(); ++m) {
+      if (!bits::IsSubset(alpha, centroids[m])) continue;
+      const int width = bits::Popcount(centroids[m]);
+      if (width < best_width) {
+        best_width = width;
+        best = m;
+      }
+    }
+    // Every query is dominated by at least one centroid by construction.
+    (*cover_of)[q] = best;
+  }
+}
+
+double ClusterStrategy::PredictedCost(
+    const std::vector<bits::Mask>& centroids,
+    const std::vector<std::size_t>& cover_of) const {
+  // Uniform-budget epsilon-DP cost model: with |M| unit-column-norm groups,
+  // each row budget is eps' / |M|, so a query covered by beta accumulates
+  // per-cell variance 2^{||beta|| - ||alpha||} * 2 (|M| / eps')^2 over its
+  // 2^{||alpha||} cells. Dropping constants: |M|^2 * sum_q 2^{||cover(q)||}.
+  double spread = 0.0;
+  for (std::size_t q = 0; q < cover_of.size(); ++q) {
+    spread += std::pow(2.0, bits::Popcount(centroids[cover_of[q]]));
+  }
+  const double m = static_cast<double>(centroids.size());
+  return m * m * spread;
+}
+
+void ClusterStrategy::RunClustering() {
+  // Start from the distinct query masks.
+  std::set<bits::Mask> unique(workload_.masks().begin(),
+                              workload_.masks().end());
+  std::vector<bits::Mask> centroids(unique.begin(), unique.end());
+  std::vector<std::size_t> cover_of;
+  AssignCovers(centroids, &cover_of);
+  double cost = PredictedCost(centroids, cover_of);
+
+  bool improved = true;
+  while (improved && centroids.size() > 1) {
+    improved = false;
+    double best_cost = cost;
+    std::vector<bits::Mask> best_centroids;
+    std::vector<std::size_t> best_cover;
+    for (std::size_t i = 0; i < centroids.size(); ++i) {
+      for (std::size_t j = i + 1; j < centroids.size(); ++j) {
+        std::set<bits::Mask> merged_set(centroids.begin(), centroids.end());
+        merged_set.erase(centroids[i]);
+        merged_set.erase(centroids[j]);
+        merged_set.insert(centroids[i] | centroids[j]);
+        std::vector<bits::Mask> candidate(merged_set.begin(),
+                                          merged_set.end());
+        std::vector<std::size_t> candidate_cover;
+        AssignCovers(candidate, &candidate_cover);
+        // Drop centroids no query uses (a merge can strand them).
+        std::vector<bool> used(candidate.size(), false);
+        for (std::size_t c : candidate_cover) used[c] = true;
+        std::vector<bits::Mask> pruned;
+        for (std::size_t m = 0; m < candidate.size(); ++m) {
+          if (used[m]) pruned.push_back(candidate[m]);
+        }
+        if (pruned.size() != candidate.size()) {
+          AssignCovers(pruned, &candidate_cover);
+          candidate = std::move(pruned);
+        }
+        const double candidate_cost = PredictedCost(candidate,
+                                                    candidate_cover);
+        if (candidate_cost < best_cost) {
+          best_cost = candidate_cost;
+          best_centroids = candidate;
+          best_cover = candidate_cover;
+          improved = true;
+        }
+      }
+    }
+    if (improved) {
+      centroids = std::move(best_centroids);
+      cover_of = std::move(best_cover);
+      cost = best_cost;
+    }
+  }
+  materialized_ = std::move(centroids);
+  cover_of_ = std::move(cover_of);
+}
+
+Result<Release> ClusterStrategy::Run(const data::SparseCounts& data,
+                                     const linalg::Vector& group_budgets,
+                                     const dp::PrivacyParams& params,
+                                     Rng* rng) const {
+  if (group_budgets.size() != materialized_.size()) {
+    return Status::InvalidArgument("ClusterStrategy: budget count mismatch");
+  }
+  DPCUBE_RETURN_NOT_OK(params.Validate());
+
+  // Measure the centroid marginals.
+  std::vector<marginal::MarginalTable> noisy;
+  noisy.reserve(materialized_.size());
+  for (std::size_t m = 0; m < materialized_.size(); ++m) {
+    const double eta = group_budgets[m];
+    if (!(eta > 0.0)) {
+      return Status::InvalidArgument("group budgets must be positive");
+    }
+    marginal::MarginalTable table =
+        marginal::ComputeMarginal(data, materialized_[m]);
+    for (std::size_t g = 0; g < table.num_cells(); ++g) {
+      table.value(g) += dp::SampleNoise(eta, params, rng);
+    }
+    noisy.push_back(std::move(table));
+  }
+
+  // Aggregate each query marginal from its cover.
+  Release release;
+  release.consistent = false;
+  for (std::size_t q = 0; q < workload_.num_marginals(); ++q) {
+    const bits::Mask alpha = workload_.mask(q);
+    const marginal::MarginalTable& cover = noisy[cover_of_[q]];
+    marginal::MarginalTable out(alpha, workload_.d());
+    for (std::size_t g = 0; g < cover.num_cells(); ++g) {
+      const bits::Mask cell = cover.GlobalCell(g);
+      out.value(bits::CompressFromMask(cell, alpha)) += cover.value(g);
+    }
+    const int spread = bits::Popcount(materialized_[cover_of_[q]]) -
+                       bits::Popcount(alpha);
+    release.cell_variances.push_back(
+        std::pow(2.0, spread) *
+        dp::MeasurementVariance(group_budgets[cover_of_[q]], params));
+    release.marginals.push_back(std::move(out));
+  }
+  return release;
+}
+
+Result<linalg::Matrix> ClusterStrategy::DenseStrategyMatrix() const {
+  if (workload_.d() > 14) {
+    return Status::InvalidArgument("domain too large to materialise C");
+  }
+  marginal::Workload strategy_workload(workload_.d(), materialized_);
+  return marginal::BuildQueryMatrix(strategy_workload);
+}
+
+Result<int> ClusterStrategy::RowGroupOfDenseRow(std::size_t row) const {
+  marginal::Workload strategy_workload(workload_.d(), materialized_);
+  marginal::RowLayout layout(strategy_workload);
+  if (row >= layout.total_rows()) {
+    return Status::OutOfRange("dense row out of range");
+  }
+  return static_cast<int>(layout.Locate(row).first);
+}
+
+
+Result<linalg::Vector> ClusterStrategy::PredictCellVariances(
+    const linalg::Vector& group_budgets,
+    const dp::PrivacyParams& params) const {
+  if (group_budgets.size() != materialized_.size()) {
+    return Status::InvalidArgument("ClusterStrategy: budget count mismatch");
+  }
+  DPCUBE_RETURN_NOT_OK(params.Validate());
+  for (double eta : group_budgets) {
+    if (!(eta > 0.0)) {
+      return Status::InvalidArgument("group budgets must be positive");
+    }
+  }
+  linalg::Vector out;
+  out.reserve(workload_.num_marginals());
+  for (std::size_t q = 0; q < workload_.num_marginals(); ++q) {
+    const int spread = bits::Popcount(materialized_[cover_of_[q]]) -
+                       bits::Popcount(workload_.mask(q));
+    out.push_back(
+        std::pow(2.0, spread) *
+        dp::MeasurementVariance(group_budgets[cover_of_[q]], params));
+  }
+  return out;
+}
+
+}  // namespace strategy
+}  // namespace dpcube

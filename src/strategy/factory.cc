@@ -1,0 +1,60 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "strategy/factory.h"
+
+#include "strategy/cluster_strategy.h"
+#include "strategy/fourier_strategy.h"
+#include "strategy/identity_strategy.h"
+#include "strategy/query_strategy.h"
+
+namespace dpcube {
+namespace strategy {
+
+Result<MethodInstance> MakeMethod(const std::string& method,
+                                  const marginal::Workload& workload,
+                                  const linalg::Vector& query_weights) {
+  if (method.empty()) {
+    return Status::InvalidArgument("empty method name");
+  }
+  std::string base = method;
+  bool optimal = false;
+  if (base.back() == '+') {
+    optimal = true;
+    base.pop_back();
+  }
+  MethodInstance instance;
+  instance.label = method;
+  instance.budget_mode = optimal ? budget::BudgetMode::kOptimal
+                                 : budget::BudgetMode::kUniform;
+  if (base == "I") {
+    if (optimal) {
+      // The optimal allocation for a single group is uniform; "I+" is
+      // accepted but identical to "I".
+      instance.budget_mode = budget::BudgetMode::kUniform;
+    }
+    instance.strategy =
+        std::make_unique<IdentityStrategy>(workload, query_weights);
+  } else if (base == "Q") {
+    instance.strategy =
+        std::make_unique<QueryStrategy>(workload, query_weights);
+  } else if (base == "F") {
+    instance.strategy =
+        std::make_unique<FourierStrategy>(workload, query_weights);
+  } else if (base == "C") {
+    instance.strategy =
+        std::make_unique<ClusterStrategy>(workload, query_weights);
+  } else {
+    return Status::InvalidArgument("unknown method '" + method +
+                                   "' (expected I, Q[+], F[+] or C[+])");
+  }
+  return instance;
+}
+
+const std::vector<std::string>& PaperMethodNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "F", "F+", "C", "C+", "Q", "Q+", "I"};
+  return *names;
+}
+
+}  // namespace strategy
+}  // namespace dpcube

@@ -1,0 +1,44 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Name-based construction of the paper's evaluated methods. A method
+// string is a strategy letter from Section 5 — "I", "Q", "F", "C" —
+// optionally followed by "+" for optimal non-uniform budgets (the
+// paper's S+ notation). Used by tools, benches and examples.
+
+#ifndef DPCUBE_STRATEGY_FACTORY_H_
+#define DPCUBE_STRATEGY_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "budget/grouped_budget.h"
+#include "common/status.h"
+#include "strategy/marginal_strategy.h"
+
+namespace dpcube {
+namespace strategy {
+
+/// A parsed method: the strategy instance plus the budget mode.
+struct MethodInstance {
+  std::string label;
+  std::unique_ptr<MarginalStrategy> strategy;
+  budget::BudgetMode budget_mode = budget::BudgetMode::kUniform;
+};
+
+/// Builds the strategy named by `method` ("F+", "C", "Q+", "I", ...) over
+/// the workload. `query_weights` (empty = all ones) is forwarded to the
+/// strategy's budgeting. Fails on unknown names. Note: "C"/"C+" runs the
+/// clustering search, which can take a while on large workloads.
+Result<MethodInstance> MakeMethod(const std::string& method,
+                                  const marginal::Workload& workload,
+                                  const linalg::Vector& query_weights = {});
+
+/// The seven method names of the paper's experimental study, in plot
+/// order: F, F+, C, C+, Q, Q+, I.
+const std::vector<std::string>& PaperMethodNames();
+
+}  // namespace strategy
+}  // namespace dpcube
+
+#endif  // DPCUBE_STRATEGY_FACTORY_H_

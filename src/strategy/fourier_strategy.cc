@@ -1,0 +1,121 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "strategy/fourier_strategy.h"
+
+#include <cmath>
+
+#include "dp/mechanisms.h"
+
+namespace dpcube {
+namespace strategy {
+
+FourierStrategy::FourierStrategy(marginal::Workload workload,
+                                 linalg::Vector query_weights)
+    : workload_(std::move(workload)), index_(workload_) {
+  const linalg::Vector b =
+      marginal::FourierBudgetWeights(workload_, index_, query_weights);
+  const double column_norm = std::pow(2.0, -0.5 * workload_.d());
+  groups_.reserve(index_.size());
+  for (std::size_t i = 0; i < index_.size(); ++i) {
+    budget::GroupSummary g;
+    g.column_norm = column_norm;
+    g.weight_sum = b[i];
+    g.num_rows = 1;
+    groups_.push_back(g);
+  }
+}
+
+Result<Release> FourierStrategy::Run(const data::SparseCounts& data,
+                                     const linalg::Vector& group_budgets,
+                                     const dp::PrivacyParams& params,
+                                     Rng* rng) const {
+  if (group_budgets.size() != groups_.size()) {
+    return Status::InvalidArgument("FourierStrategy: budget count mismatch");
+  }
+  DPCUBE_RETURN_NOT_OK(params.Validate());
+
+  // Measure every needed coefficient once.
+  linalg::Vector noisy(index_.size());
+  linalg::Vector coeff_variance(index_.size());
+  for (std::size_t i = 0; i < index_.size(); ++i) {
+    const double eta = group_budgets[i];
+    if (!(eta > 0.0)) {
+      return Status::InvalidArgument("group budgets must be positive");
+    }
+    noisy[i] = data.FourierCoefficient(index_.mask(i)) +
+               dp::SampleNoise(eta, params, rng);
+    coeff_variance[i] = dp::MeasurementVariance(eta, params);
+  }
+
+  Release release;
+  release.consistent = true;
+  const int d = workload_.d();
+  for (std::size_t i = 0; i < workload_.num_marginals(); ++i) {
+    const bits::Mask alpha = workload_.mask(i);
+    const int k = bits::Popcount(alpha);
+    release.marginals.push_back(marginal::MarginalFromFourier(
+        alpha, d,
+        [&](bits::Mask beta) { return noisy[index_.IndexOf(beta)]; }));
+    // Var(cell) = 2^{d - 2k} * sum_{beta ⪯ alpha} Var(coefficient beta).
+    double var_sum = 0.0;
+    for (bits::SubmaskIterator it(alpha); !it.done(); it.Next()) {
+      var_sum += coeff_variance[index_.IndexOf(it.mask())];
+    }
+    release.cell_variances.push_back(std::pow(2.0, d - 2 * k) * var_sum);
+  }
+  return release;
+}
+
+Result<linalg::Matrix> FourierStrategy::DenseStrategyMatrix() const {
+  const int d = workload_.d();
+  if (d > 14) {
+    return Status::InvalidArgument("domain too large to materialise F");
+  }
+  const std::uint64_t n = std::uint64_t{1} << d;
+  const double scale = std::pow(2.0, -0.5 * d);
+  linalg::Matrix s(index_.size(), n);
+  for (std::size_t i = 0; i < index_.size(); ++i) {
+    const bits::Mask beta = index_.mask(i);
+    for (std::uint64_t cell = 0; cell < n; ++cell) {
+      s(i, cell) = bits::FourierSign(beta, cell) * scale;
+    }
+  }
+  return s;
+}
+
+Result<int> FourierStrategy::RowGroupOfDenseRow(std::size_t row) const {
+  if (row >= index_.size()) return Status::OutOfRange("row out of range");
+  return static_cast<int>(row);
+}
+
+
+Result<linalg::Vector> FourierStrategy::PredictCellVariances(
+    const linalg::Vector& group_budgets,
+    const dp::PrivacyParams& params) const {
+  if (group_budgets.size() != groups_.size()) {
+    return Status::InvalidArgument("FourierStrategy: budget count mismatch");
+  }
+  DPCUBE_RETURN_NOT_OK(params.Validate());
+  for (double eta : group_budgets) {
+    if (!(eta > 0.0)) {
+      return Status::InvalidArgument("group budgets must be positive");
+    }
+  }
+  linalg::Vector out;
+  out.reserve(workload_.num_marginals());
+  const int d = workload_.d();
+  for (std::size_t i = 0; i < workload_.num_marginals(); ++i) {
+    const bits::Mask alpha = workload_.mask(i);
+    const int k = bits::Popcount(alpha);
+    double var_sum = 0.0;
+    for (bits::SubmaskIterator it(alpha); !it.done(); it.Next()) {
+      var_sum += dp::MeasurementVariance(
+          group_budgets[index_.IndexOf(it.mask())], params);
+    }
+    out.push_back(std::pow(2.0, d - 2 * k) * var_sum);
+  }
+  return out;
+}
+
+}  // namespace strategy
+}  // namespace dpcube

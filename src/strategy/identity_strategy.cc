@@ -1,0 +1,98 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "strategy/identity_strategy.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "dp/mechanisms.h"
+
+namespace dpcube {
+namespace strategy {
+
+IdentityStrategy::IdentityStrategy(marginal::Workload workload,
+                                   linalg::Vector query_weights)
+    : workload_(std::move(workload)) {
+  assert(query_weights.empty() ||
+         query_weights.size() == workload_.num_marginals());
+  // One group covering all N rows. Recovery R = Q: base cell j is used by
+  // exactly one cell of every workload marginal with coefficient 1, so
+  // b_j = 2 * sum_i a_i and s_1 = 2 * (sum_i a_i) * N.
+  double weight_total = 0.0;
+  for (std::size_t i = 0; i < workload_.num_marginals(); ++i) {
+    weight_total += query_weights.empty() ? 1.0 : query_weights[i];
+  }
+  budget::GroupSummary g;
+  g.column_norm = 1.0;
+  const double n = std::pow(2.0, workload_.d());
+  g.weight_sum = 2.0 * weight_total * n;
+  g.num_rows = std::uint64_t{1} << workload_.d();
+  groups_ = {g};
+}
+
+Result<Release> IdentityStrategy::Run(const data::SparseCounts& data,
+                                      const linalg::Vector& group_budgets,
+                                      const dp::PrivacyParams& params,
+                                      Rng* rng) const {
+  if (group_budgets.size() != 1) {
+    return Status::InvalidArgument("IdentityStrategy expects 1 group budget");
+  }
+  DPCUBE_RETURN_NOT_OK(params.Validate());
+  const double eta = group_budgets[0];
+  if (!(eta > 0.0)) {
+    return Status::InvalidArgument("group budget must be positive");
+  }
+  Release release;
+  release.consistent = false;
+  release.cell_variances.reserve(workload_.num_marginals());
+  for (std::size_t i = 0; i < workload_.num_marginals(); ++i) {
+    const bits::Mask alpha = workload_.mask(i);
+    marginal::MarginalTable table =
+        marginal::ComputeMarginal(data, alpha);
+    const std::uint64_t base_cells_per_output =
+        std::uint64_t{1} << (workload_.d() - bits::Popcount(alpha));
+    for (std::size_t g = 0; g < table.num_cells(); ++g) {
+      table.value(g) +=
+          dp::SampleNoiseSum(base_cells_per_output, eta, params, rng);
+    }
+    release.cell_variances.push_back(
+        static_cast<double>(base_cells_per_output) *
+        dp::MeasurementVariance(eta, params));
+    release.marginals.push_back(std::move(table));
+  }
+  return release;
+}
+
+Result<linalg::Matrix> IdentityStrategy::DenseStrategyMatrix() const {
+  if (workload_.d() > 14) {
+    return Status::InvalidArgument("domain too large to materialise I");
+  }
+  return linalg::Matrix::Identity(std::size_t{1} << workload_.d());
+}
+
+Result<int> IdentityStrategy::RowGroupOfDenseRow(std::size_t row) const {
+  (void)row;
+  return 0;
+}
+
+
+Result<linalg::Vector> IdentityStrategy::PredictCellVariances(
+    const linalg::Vector& group_budgets,
+    const dp::PrivacyParams& params) const {
+  if (group_budgets.size() != 1 || !(group_budgets[0] > 0.0)) {
+    return Status::InvalidArgument("IdentityStrategy: bad group budgets");
+  }
+  DPCUBE_RETURN_NOT_OK(params.Validate());
+  linalg::Vector out;
+  out.reserve(workload_.num_marginals());
+  for (std::size_t i = 0; i < workload_.num_marginals(); ++i) {
+    const std::uint64_t base_cells =
+        std::uint64_t{1} << (workload_.d() - bits::Popcount(workload_.mask(i)));
+    out.push_back(static_cast<double>(base_cells) *
+                  dp::MeasurementVariance(group_budgets[0], params));
+  }
+  return out;
+}
+
+}  // namespace strategy
+}  // namespace dpcube

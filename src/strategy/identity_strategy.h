@@ -1,0 +1,64 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Strategy I: noisy base counts (S = I, R = Q). Every contingency-table
+// cell is measured once; marginals aggregate the noisy cells. A single
+// budget group (g = 1, C_1 = 1), for which the optimal allocation is
+// always uniform, as the paper notes.
+//
+// Scale note: a marginal cell aggregates 2^{d-k} independent noisy base
+// cells. Rather than materialising 2^d noise draws, each output cell's
+// noise is sampled as the SUM of 2^{d-k} i.i.d. draws (exactly for small
+// counts, via the CLT normal approximation above dp::SampleNoiseSum's
+// threshold). Within a marginal this matches the exact distribution; the
+// correlation of noise ACROSS marginals that share base cells is not
+// simulated, which leaves per-marginal error statistics (what the paper
+// reports) unchanged. See DESIGN.md.
+
+#ifndef DPCUBE_STRATEGY_IDENTITY_STRATEGY_H_
+#define DPCUBE_STRATEGY_IDENTITY_STRATEGY_H_
+
+#include <string>
+#include <vector>
+
+#include "strategy/marginal_strategy.h"
+
+namespace dpcube {
+namespace strategy {
+
+class IdentityStrategy : public MarginalStrategy {
+ public:
+  /// `query_weights` is the paper's per-query weighting a >= 0 in the
+  /// objective a^T Var(y), one entry per workload marginal (applied to
+  /// all of that marginal's cells); empty means all-ones. Weights shape
+  /// the budget optimisation only — measurement is unaffected.
+  explicit IdentityStrategy(marginal::Workload workload,
+                            linalg::Vector query_weights = {});
+
+  const std::string& name() const override { return name_; }
+  const marginal::Workload& workload() const override { return workload_; }
+  const std::vector<budget::GroupSummary>& groups() const override {
+    return groups_;
+  }
+
+  Result<Release> Run(const data::SparseCounts& data,
+                      const linalg::Vector& group_budgets,
+                      const dp::PrivacyParams& params,
+                      Rng* rng) const override;
+
+  Result<linalg::Vector> PredictCellVariances(
+      const linalg::Vector& group_budgets,
+      const dp::PrivacyParams& params) const override;
+
+  Result<linalg::Matrix> DenseStrategyMatrix() const override;
+  Result<int> RowGroupOfDenseRow(std::size_t row) const override;
+
+ private:
+  std::string name_ = "I";
+  marginal::Workload workload_;
+  std::vector<budget::GroupSummary> groups_;
+};
+
+}  // namespace strategy
+}  // namespace dpcube
+
+#endif  // DPCUBE_STRATEGY_IDENTITY_STRATEGY_H_

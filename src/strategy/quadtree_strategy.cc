@@ -1,0 +1,199 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "strategy/quadtree_strategy.h"
+
+#include <cassert>
+
+#include "dp/mechanisms.h"
+#include "transform/walsh_hadamard.h"
+
+namespace dpcube {
+namespace strategy {
+
+QuadtreeStrategy::QuadtreeStrategy(std::size_t grid_side,
+                                   std::vector<RectangleQuery> queries)
+    : n_(grid_side), queries_(std::move(queries)) {
+  assert(transform::IsPowerOfTwo(n_));
+  levels_ = transform::Log2OfPowerOfTwo(n_) + 1;
+  // Level l has 4^l nodes; total (4^levels - 1) / 3.
+  num_nodes_ = ((std::size_t{1} << (2 * levels_)) - 1) / 3;
+
+  std::vector<double> node_weight(num_nodes_, 0.0);
+  decompositions_.reserve(queries_.size());
+  for (const RectangleQuery& q : queries_) {
+    decompositions_.push_back(DecomposeRectangle(q));
+    for (std::size_t node : decompositions_.back()) {
+      node_weight[node] += 2.0;
+    }
+  }
+  groups_.assign(levels_, budget::GroupSummary{});
+  for (int level = 0; level < levels_; ++level) {
+    groups_[level].column_norm = 1.0;
+  }
+  for (std::size_t node = 0; node < num_nodes_; ++node) {
+    budget::GroupSummary& g = groups_[LevelOfNode(node)];
+    g.weight_sum += node_weight[node];
+    ++g.num_rows;
+  }
+}
+
+std::size_t QuadtreeStrategy::FirstNodeOfLevel(int level) const {
+  // Sum of 4^j for j < level = (4^level - 1) / 3.
+  return ((std::size_t{1} << (2 * level)) - 1) / 3;
+}
+
+int QuadtreeStrategy::LevelOfNode(std::size_t node) const {
+  assert(node < num_nodes_);
+  int level = 0;
+  while (FirstNodeOfLevel(level + 1) <= node) ++level;
+  return level;
+}
+
+QuadtreeStrategy::NodeRegion QuadtreeStrategy::RegionOfNode(
+    std::size_t node) const {
+  const int level = LevelOfNode(node);
+  const std::size_t index = node - FirstNodeOfLevel(level);
+  const std::size_t per_side = std::size_t{1} << level;
+  const std::size_t width = n_ / per_side;
+  const std::size_t row = index / per_side;
+  const std::size_t col = index % per_side;
+  return NodeRegion{row * width, (row + 1) * width, col * width,
+                    (col + 1) * width};
+}
+
+std::vector<std::size_t> QuadtreeStrategy::DecomposeRectangle(
+    const RectangleQuery& q) const {
+  assert(q.row_lo <= q.row_hi && q.row_hi <= n_);
+  assert(q.col_lo <= q.col_hi && q.col_hi <= n_);
+  std::vector<std::size_t> out;
+  if (q.row_lo == q.row_hi || q.col_lo == q.col_hi) return out;
+  std::vector<std::size_t> stack = {0};
+  while (!stack.empty()) {
+    const std::size_t node = stack.back();
+    stack.pop_back();
+    const NodeRegion r = RegionOfNode(node);
+    if (r.row_hi <= q.row_lo || r.row_lo >= q.row_hi ||
+        r.col_hi <= q.col_lo || r.col_lo >= q.col_hi) {
+      continue;  // Disjoint.
+    }
+    if (q.row_lo <= r.row_lo && r.row_hi <= q.row_hi &&
+        q.col_lo <= r.col_lo && r.col_hi <= q.col_hi) {
+      out.push_back(node);  // Fully contained.
+      continue;
+    }
+    const int level = LevelOfNode(node);
+    if (level + 1 >= levels_) continue;  // Leaf partially overlapping: none.
+    // Children at level + 1 within the node's quadrant.
+    const std::size_t index = node - FirstNodeOfLevel(level);
+    const std::size_t per_side = std::size_t{1} << level;
+    const std::size_t row = index / per_side;
+    const std::size_t col = index % per_side;
+    const std::size_t child_per_side = per_side * 2;
+    const std::size_t child_base = FirstNodeOfLevel(level + 1);
+    for (std::size_t dr = 0; dr < 2; ++dr) {
+      for (std::size_t dc = 0; dc < 2; ++dc) {
+        stack.push_back(child_base + (2 * row + dr) * child_per_side +
+                        (2 * col + dc));
+      }
+    }
+  }
+  return out;
+}
+
+Result<QuadtreeRelease> QuadtreeStrategy::Run(
+    const std::vector<double>& grid, const linalg::Vector& group_budgets,
+    const dp::PrivacyParams& params, Rng* rng) const {
+  if (grid.size() != n_ * n_) {
+    return Status::InvalidArgument("Quadtree: grid size mismatch");
+  }
+  if (group_budgets.size() != groups_.size()) {
+    return Status::InvalidArgument("Quadtree: budget count mismatch");
+  }
+  DPCUBE_RETURN_NOT_OK(params.Validate());
+
+  // Node sums, bottom-up: leaves are the cells; parents sum 4 children.
+  std::vector<double> sums(num_nodes_, 0.0);
+  const std::size_t leaf_base = FirstNodeOfLevel(levels_ - 1);
+  for (std::size_t row = 0; row < n_; ++row) {
+    for (std::size_t col = 0; col < n_; ++col) {
+      sums[leaf_base + row * n_ + col] = grid[row * n_ + col];
+    }
+  }
+  for (int level = levels_ - 2; level >= 0; --level) {
+    const std::size_t base = FirstNodeOfLevel(level);
+    const std::size_t per_side = std::size_t{1} << level;
+    const std::size_t child_base = FirstNodeOfLevel(level + 1);
+    const std::size_t child_per_side = per_side * 2;
+    for (std::size_t row = 0; row < per_side; ++row) {
+      for (std::size_t col = 0; col < per_side; ++col) {
+        double total = 0.0;
+        for (std::size_t dr = 0; dr < 2; ++dr) {
+          for (std::size_t dc = 0; dc < 2; ++dc) {
+            total += sums[child_base + (2 * row + dr) * child_per_side +
+                          (2 * col + dc)];
+          }
+        }
+        sums[base + row * per_side + col] = total;
+      }
+    }
+  }
+
+  std::vector<double> node_variance(num_nodes_);
+  for (std::size_t node = 0; node < num_nodes_; ++node) {
+    const double eta = group_budgets[LevelOfNode(node)];
+    if (!(eta > 0.0)) {
+      return Status::InvalidArgument("budgets must be positive");
+    }
+    sums[node] += dp::SampleNoise(eta, params, rng);
+    node_variance[node] = dp::MeasurementVariance(eta, params);
+  }
+
+  QuadtreeRelease release;
+  release.answers.reserve(queries_.size());
+  release.variances.reserve(queries_.size());
+  for (std::size_t q = 0; q < queries_.size(); ++q) {
+    double answer = 0.0;
+    double variance = 0.0;
+    for (std::size_t node : decompositions_[q]) {
+      answer += sums[node];
+      variance += node_variance[node];
+    }
+    release.answers.push_back(answer);
+    release.variances.push_back(variance);
+  }
+  return release;
+}
+
+Result<linalg::Matrix> QuadtreeStrategy::DenseStrategyMatrix() const {
+  if (n_ > 64) {
+    return Status::InvalidArgument("grid too large to materialise");
+  }
+  linalg::Matrix s(num_nodes_, n_ * n_);
+  for (std::size_t node = 0; node < num_nodes_; ++node) {
+    const NodeRegion r = RegionOfNode(node);
+    for (std::size_t row = r.row_lo; row < r.row_hi; ++row) {
+      for (std::size_t col = r.col_lo; col < r.col_hi; ++col) {
+        s(node, row * n_ + col) = 1.0;
+      }
+    }
+  }
+  return s;
+}
+
+std::vector<RectangleQuery> RandomRectangles(std::size_t n, std::size_t count,
+                                             Rng* rng) {
+  std::vector<RectangleQuery> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    RectangleQuery q;
+    q.row_lo = rng->NextBounded(n);
+    q.row_hi = q.row_lo + 1 + rng->NextBounded(n - q.row_lo);
+    q.col_lo = rng->NextBounded(n);
+    q.col_hi = q.col_lo + 1 + rng->NextBounded(n - q.col_lo);
+    out.push_back(q);
+  }
+  return out;
+}
+
+}  // namespace strategy
+}  // namespace dpcube

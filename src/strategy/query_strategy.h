@@ -1,0 +1,56 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Strategy Q: measure each workload marginal directly (S = Q, R = I), the
+// approach of Dwork (ICALP 2006) applied per marginal. One budget group
+// per marginal (C_r = 1): a tuple lands in exactly one cell of every
+// marginal, so the grouping property holds with the rows of each marginal
+// forming a group. The paper's Q+ variant is this strategy under
+// budget::OptimalGroupBudgets, which favours marginals with fewer cells.
+
+#ifndef DPCUBE_STRATEGY_QUERY_STRATEGY_H_
+#define DPCUBE_STRATEGY_QUERY_STRATEGY_H_
+
+#include <string>
+#include <vector>
+
+#include "strategy/marginal_strategy.h"
+
+namespace dpcube {
+namespace strategy {
+
+class QueryStrategy : public MarginalStrategy {
+ public:
+  /// `query_weights`: per-marginal importance a >= 0 in the objective
+  /// a^T Var(y) (empty = all ones). Weighted budgeting gives important
+  /// marginals larger budgets; measurement itself is unaffected.
+  explicit QueryStrategy(marginal::Workload workload,
+                         linalg::Vector query_weights = {});
+
+  const std::string& name() const override { return name_; }
+  const marginal::Workload& workload() const override { return workload_; }
+  const std::vector<budget::GroupSummary>& groups() const override {
+    return groups_;
+  }
+
+  Result<Release> Run(const data::SparseCounts& data,
+                      const linalg::Vector& group_budgets,
+                      const dp::PrivacyParams& params,
+                      Rng* rng) const override;
+
+  Result<linalg::Vector> PredictCellVariances(
+      const linalg::Vector& group_budgets,
+      const dp::PrivacyParams& params) const override;
+
+  Result<linalg::Matrix> DenseStrategyMatrix() const override;
+  Result<int> RowGroupOfDenseRow(std::size_t row) const override;
+
+ private:
+  std::string name_ = "Q";
+  marginal::Workload workload_;
+  std::vector<budget::GroupSummary> groups_;
+};
+
+}  // namespace strategy
+}  // namespace dpcube
+
+#endif  // DPCUBE_STRATEGY_QUERY_STRATEGY_H_

@@ -1,0 +1,241 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "strategy/range_strategies.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "dp/mechanisms.h"
+#include "transform/walsh_hadamard.h"
+
+namespace dpcube {
+namespace strategy {
+
+// ---- Hierarchy --------------------------------------------------------------
+
+HierarchyRangeStrategy::HierarchyRangeStrategy(std::size_t domain_size,
+                                               std::vector<RangeQuery> queries)
+    : tree_(domain_size), queries_(std::move(queries)) {
+  decompositions_.reserve(queries_.size());
+  // b_node = 2 * (number of queries whose decomposition uses the node).
+  std::vector<double> node_weight(tree_.num_nodes(), 0.0);
+  for (const RangeQuery& q : queries_) {
+    decompositions_.push_back(tree_.DecomposeRange(q.lo, q.hi));
+    for (std::size_t node : decompositions_.back()) {
+      node_weight[node] += 2.0;
+    }
+  }
+  groups_.assign(tree_.depth(), budget::GroupSummary{});
+  for (int level = 0; level < tree_.depth(); ++level) {
+    groups_[level].column_norm = 1.0;
+  }
+  for (std::size_t node = 0; node < tree_.num_nodes(); ++node) {
+    budget::GroupSummary& g = groups_[tree_.LevelOfNode(node)];
+    g.weight_sum += node_weight[node];
+    ++g.num_rows;
+  }
+}
+
+Result<RangeRelease> HierarchyRangeStrategy::Run(
+    const std::vector<double>& x, const linalg::Vector& group_budgets,
+    const dp::PrivacyParams& params, Rng* rng) const {
+  if (x.size() != tree_.domain_size()) {
+    return Status::InvalidArgument("Hierarchy: data size mismatch");
+  }
+  if (group_budgets.size() != groups_.size()) {
+    return Status::InvalidArgument("Hierarchy: budget count mismatch");
+  }
+  DPCUBE_RETURN_NOT_OK(params.Validate());
+  std::vector<double> sums = tree_.NodeSums(x);
+  std::vector<double> node_variance(sums.size());
+  for (std::size_t node = 0; node < sums.size(); ++node) {
+    const double eta = group_budgets[tree_.LevelOfNode(node)];
+    if (!(eta > 0.0)) {
+      return Status::InvalidArgument("budgets must be positive");
+    }
+    sums[node] += dp::SampleNoise(eta, params, rng);
+    node_variance[node] = dp::MeasurementVariance(eta, params);
+  }
+  RangeRelease release;
+  release.answers.reserve(queries_.size());
+  release.variances.reserve(queries_.size());
+  for (std::size_t q = 0; q < queries_.size(); ++q) {
+    double answer = 0.0;
+    double variance = 0.0;
+    for (std::size_t node : decompositions_[q]) {
+      answer += sums[node];
+      variance += node_variance[node];
+    }
+    release.answers.push_back(answer);
+    release.variances.push_back(variance);
+  }
+  return release;
+}
+
+Result<linalg::Matrix> HierarchyRangeStrategy::DenseStrategyMatrix() const {
+  if (tree_.domain_size() > 4096) {
+    return Status::InvalidArgument("domain too large to materialise");
+  }
+  return tree_.StrategyMatrix();
+}
+
+// ---- Wavelet ----------------------------------------------------------------
+
+WaveletRangeStrategy::WaveletRangeStrategy(std::size_t domain_size,
+                                           std::vector<RangeQuery> queries)
+    : n_(domain_size),
+      log2_n_(transform::Log2OfPowerOfTwo(domain_size)),
+      queries_(std::move(queries)),
+      query_wavelet_(queries_.size(), domain_size) {
+  // Haar-transform each query indicator; q . x = <Haar(q), Haar(x)>.
+  std::vector<double> indicator(n_);
+  for (std::size_t q = 0; q < queries_.size(); ++q) {
+    indicator.assign(n_, 0.0);
+    for (std::size_t j = queries_[q].lo; j < queries_[q].hi; ++j) {
+      indicator[j] = 1.0;
+    }
+    transform::HaarForward(&indicator);
+    query_wavelet_.SetRow(q, indicator);
+  }
+  // b_coef = 2 * sum_q Haar(q)_coef^2; groups are wavelet levels.
+  groups_.assign(log2_n_ + 1, budget::GroupSummary{});
+  for (int level = 0; level <= log2_n_; ++level) {
+    groups_[level].column_norm =
+        transform::HaarLevelMagnitude(level, log2_n_);
+  }
+  for (std::size_t coef = 0; coef < n_; ++coef) {
+    double b = 0.0;
+    for (std::size_t q = 0; q < queries_.size(); ++q) {
+      const double w = query_wavelet_(q, coef);
+      b += 2.0 * w * w;
+    }
+    budget::GroupSummary& g =
+        groups_[transform::HaarLevelOfIndex(coef, n_)];
+    g.weight_sum += b;
+    ++g.num_rows;
+  }
+}
+
+Result<RangeRelease> WaveletRangeStrategy::Run(
+    const std::vector<double>& x, const linalg::Vector& group_budgets,
+    const dp::PrivacyParams& params, Rng* rng) const {
+  if (x.size() != n_) {
+    return Status::InvalidArgument("Wavelet: data size mismatch");
+  }
+  if (group_budgets.size() != groups_.size()) {
+    return Status::InvalidArgument("Wavelet: budget count mismatch");
+  }
+  DPCUBE_RETURN_NOT_OK(params.Validate());
+  std::vector<double> coeffs = x;
+  transform::HaarForward(&coeffs);
+  std::vector<double> coef_variance(n_);
+  for (std::size_t coef = 0; coef < n_; ++coef) {
+    const double eta =
+        group_budgets[transform::HaarLevelOfIndex(coef, n_)];
+    if (!(eta > 0.0)) {
+      return Status::InvalidArgument("budgets must be positive");
+    }
+    coeffs[coef] += dp::SampleNoise(eta, params, rng);
+    coef_variance[coef] = dp::MeasurementVariance(eta, params);
+  }
+  RangeRelease release;
+  release.answers.reserve(queries_.size());
+  release.variances.reserve(queries_.size());
+  for (std::size_t q = 0; q < queries_.size(); ++q) {
+    double answer = 0.0;
+    double variance = 0.0;
+    const double* w = query_wavelet_.RowData(q);
+    for (std::size_t coef = 0; coef < n_; ++coef) {
+      answer += w[coef] * coeffs[coef];
+      variance += w[coef] * w[coef] * coef_variance[coef];
+    }
+    release.answers.push_back(answer);
+    release.variances.push_back(variance);
+  }
+  return release;
+}
+
+Result<linalg::Matrix> WaveletRangeStrategy::DenseStrategyMatrix() const {
+  if (n_ > 4096) {
+    return Status::InvalidArgument("domain too large to materialise");
+  }
+  return transform::HaarMatrix(log2_n_);
+}
+
+// ---- Base counts ------------------------------------------------------------
+
+BaseCountRangeStrategy::BaseCountRangeStrategy(std::size_t domain_size,
+                                               std::vector<RangeQuery> queries)
+    : n_(domain_size), queries_(std::move(queries)) {
+  budget::GroupSummary g;
+  g.column_norm = 1.0;
+  g.num_rows = n_;
+  // b_cell = 2 * (number of queries containing the cell).
+  for (const RangeQuery& q : queries_) {
+    g.weight_sum += 2.0 * static_cast<double>(q.hi - q.lo);
+  }
+  groups_ = {g};
+}
+
+Result<RangeRelease> BaseCountRangeStrategy::Run(
+    const std::vector<double>& x, const linalg::Vector& group_budgets,
+    const dp::PrivacyParams& params, Rng* rng) const {
+  if (x.size() != n_) {
+    return Status::InvalidArgument("Base: data size mismatch");
+  }
+  if (group_budgets.size() != 1) {
+    return Status::InvalidArgument("Base: expects one group budget");
+  }
+  DPCUBE_RETURN_NOT_OK(params.Validate());
+  const double eta = group_budgets[0];
+  if (!(eta > 0.0)) {
+    return Status::InvalidArgument("budgets must be positive");
+  }
+  std::vector<double> noisy = x;
+  for (double& v : noisy) v += dp::SampleNoise(eta, params, rng);
+  const double cell_variance = dp::MeasurementVariance(eta, params);
+  RangeRelease release;
+  release.answers.reserve(queries_.size());
+  release.variances.reserve(queries_.size());
+  for (const RangeQuery& q : queries_) {
+    double answer = 0.0;
+    for (std::size_t j = q.lo; j < q.hi; ++j) answer += noisy[j];
+    release.answers.push_back(answer);
+    release.variances.push_back(cell_variance *
+                                static_cast<double>(q.hi - q.lo));
+  }
+  return release;
+}
+
+Result<linalg::Matrix> BaseCountRangeStrategy::DenseStrategyMatrix() const {
+  if (n_ > 4096) {
+    return Status::InvalidArgument("domain too large to materialise");
+  }
+  return linalg::Matrix::Identity(n_);
+}
+
+// ---- Workload helpers -------------------------------------------------------
+
+std::vector<RangeQuery> AllPrefixRanges(std::size_t n) {
+  std::vector<RangeQuery> out;
+  out.reserve(n);
+  for (std::size_t hi = 1; hi <= n; ++hi) out.push_back(RangeQuery{0, hi});
+  return out;
+}
+
+std::vector<RangeQuery> RandomRanges(std::size_t n, std::size_t count,
+                                     Rng* rng) {
+  std::vector<RangeQuery> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t a = rng->NextBounded(n);
+    std::size_t b = rng->NextBounded(n) + 1;
+    if (a > b) std::swap(a, b);
+    if (a == b) b = std::min(n, b + 1);
+    out.push_back(RangeQuery{a, b});
+  }
+  return out;
+}
+
+}  // namespace strategy
+}  // namespace dpcube

@@ -1,0 +1,137 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Strategies for 1-D range-query workloads over a linearised domain —
+// the other strategy families Section 3.1 shows to be groupable:
+//   * the dyadic hierarchy of Hay et al. (one group per tree level),
+//   * the Haar wavelet of Xiao et al. (one group per wavelet level),
+//   * noisy base counts as the baseline (one group).
+// The ablation bench A3 exercises these with uniform vs optimal budgets.
+
+#ifndef DPCUBE_STRATEGY_RANGE_STRATEGIES_H_
+#define DPCUBE_STRATEGY_RANGE_STRATEGIES_H_
+
+#include <string>
+#include <vector>
+
+#include "budget/grouping.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "dp/privacy.h"
+#include "linalg/matrix.h"
+#include "transform/haar_wavelet.h"
+#include "transform/hierarchy.h"
+
+namespace dpcube {
+namespace strategy {
+
+/// Half-open interval count query: sum of x[lo..hi).
+struct RangeQuery {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+};
+
+/// Noisy answers plus their predicted variances, in query order.
+struct RangeRelease {
+  linalg::Vector answers;
+  linalg::Vector variances;
+};
+
+/// Common interface for range strategies.
+class RangeStrategy {
+ public:
+  virtual ~RangeStrategy() = default;
+  virtual const std::string& name() const = 0;
+  /// One summary per budget group (weights already reflect the workload).
+  virtual const std::vector<budget::GroupSummary>& groups() const = 0;
+  /// Measures and recovers the workload answers over the data vector x.
+  virtual Result<RangeRelease> Run(const std::vector<double>& x,
+                                   const linalg::Vector& group_budgets,
+                                   const dp::PrivacyParams& params,
+                                   Rng* rng) const = 0;
+  /// Dense strategy matrix (for tests / sensitivity checks).
+  virtual Result<linalg::Matrix> DenseStrategyMatrix() const = 0;
+};
+
+/// Dyadic-tree strategy: measures every tree node; a query is recovered
+/// from its greedy dyadic decomposition (<= 2 nodes per level).
+class HierarchyRangeStrategy : public RangeStrategy {
+ public:
+  HierarchyRangeStrategy(std::size_t domain_size,
+                         std::vector<RangeQuery> queries);
+
+  const std::string& name() const override { return name_; }
+  const std::vector<budget::GroupSummary>& groups() const override {
+    return groups_;
+  }
+  Result<RangeRelease> Run(const std::vector<double>& x,
+                           const linalg::Vector& group_budgets,
+                           const dp::PrivacyParams& params,
+                           Rng* rng) const override;
+  Result<linalg::Matrix> DenseStrategyMatrix() const override;
+
+ private:
+  std::string name_ = "Hier";
+  transform::DyadicHierarchy tree_;
+  std::vector<RangeQuery> queries_;
+  std::vector<std::vector<std::size_t>> decompositions_;
+  std::vector<budget::GroupSummary> groups_;
+};
+
+/// Haar-wavelet strategy: measures all N orthonormal wavelet coefficients;
+/// a query q is recovered as <Haar(q), noisy coefficients>.
+class WaveletRangeStrategy : public RangeStrategy {
+ public:
+  WaveletRangeStrategy(std::size_t domain_size,
+                       std::vector<RangeQuery> queries);
+
+  const std::string& name() const override { return name_; }
+  const std::vector<budget::GroupSummary>& groups() const override {
+    return groups_;
+  }
+  Result<RangeRelease> Run(const std::vector<double>& x,
+                           const linalg::Vector& group_budgets,
+                           const dp::PrivacyParams& params,
+                           Rng* rng) const override;
+  Result<linalg::Matrix> DenseStrategyMatrix() const override;
+
+ private:
+  std::size_t n_;
+  int log2_n_;
+  std::string name_ = "Wave";
+  std::vector<RangeQuery> queries_;
+  linalg::Matrix query_wavelet_;  // Per query: Haar transform of indicator.
+  std::vector<budget::GroupSummary> groups_;
+};
+
+/// Baseline: noisy base counts aggregated per range (single group).
+class BaseCountRangeStrategy : public RangeStrategy {
+ public:
+  BaseCountRangeStrategy(std::size_t domain_size,
+                         std::vector<RangeQuery> queries);
+
+  const std::string& name() const override { return name_; }
+  const std::vector<budget::GroupSummary>& groups() const override {
+    return groups_;
+  }
+  Result<RangeRelease> Run(const std::vector<double>& x,
+                           const linalg::Vector& group_budgets,
+                           const dp::PrivacyParams& params,
+                           Rng* rng) const override;
+  Result<linalg::Matrix> DenseStrategyMatrix() const override;
+
+ private:
+  std::size_t n_;
+  std::string name_ = "Base";
+  std::vector<RangeQuery> queries_;
+  std::vector<budget::GroupSummary> groups_;
+};
+
+/// Workload helpers for benches/tests.
+std::vector<RangeQuery> AllPrefixRanges(std::size_t n);
+std::vector<RangeQuery> RandomRanges(std::size_t n, std::size_t count,
+                                     Rng* rng);
+
+}  // namespace strategy
+}  // namespace dpcube
+
+#endif  // DPCUBE_STRATEGY_RANGE_STRATEGIES_H_

@@ -1,0 +1,109 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "strategy/sketch_strategy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dp/mechanisms.h"
+
+namespace dpcube {
+namespace strategy {
+namespace {
+
+// SplitMix64-style mix for per-(rep, cell) hashing.
+std::uint64_t Mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+SketchStrategy::SketchStrategy(int d, std::size_t buckets,
+                               std::size_t repetitions, std::uint64_t seed)
+    : d_(d), buckets_(buckets), repetitions_(repetitions), seed_(seed) {
+  groups_.reserve(repetitions_);
+  for (std::size_t rep = 0; rep < repetitions_; ++rep) {
+    budget::GroupSummary g;
+    g.column_norm = 1.0;
+    g.num_rows = buckets_;
+    // Each point estimate reads one bucket per repetition with coefficient
+    // +-1: under a full point-query workload b_bucket = 2 * cells hashed to
+    // the bucket; summed over the repetition that is 2 * 2^d.
+    g.weight_sum = 2.0 * std::pow(2.0, d_);
+    groups_.push_back(g);
+  }
+}
+
+std::size_t SketchStrategy::BucketOf(std::size_t rep, bits::Mask cell) const {
+  return Mix(seed_ ^ (rep * 0x9e3779b97f4a7c15ULL) ^ cell) % buckets_;
+}
+
+double SketchStrategy::SignOf(std::size_t rep, bits::Mask cell) const {
+  return (Mix(seed_ ^ 0xda3e39cb94b95bdbULL ^ (rep * 0xd1b54a32d192ed03ULL) ^
+              cell) &
+          1)
+             ? 1.0
+             : -1.0;
+}
+
+Result<linalg::Vector> SketchStrategy::EstimatePoints(
+    const data::SparseCounts& data, const std::vector<bits::Mask>& cells,
+    const linalg::Vector& group_budgets, const dp::PrivacyParams& params,
+    Rng* rng) const {
+  if (group_budgets.size() != repetitions_) {
+    return Status::InvalidArgument("SketchStrategy: budget count mismatch");
+  }
+  DPCUBE_RETURN_NOT_OK(params.Validate());
+  if (data.d() != d_) {
+    return Status::InvalidArgument("SketchStrategy: dimension mismatch");
+  }
+
+  // Build all noisy counters.
+  std::vector<double> counters(repetitions_ * buckets_, 0.0);
+  for (std::size_t rep = 0; rep < repetitions_; ++rep) {
+    for (const auto& entry : data.entries()) {
+      counters[rep * buckets_ + BucketOf(rep, entry.cell)] +=
+          SignOf(rep, entry.cell) * entry.count;
+    }
+    const double eta = group_budgets[rep];
+    if (!(eta > 0.0)) {
+      return Status::InvalidArgument("budgets must be positive");
+    }
+    for (std::size_t b = 0; b < buckets_; ++b) {
+      counters[rep * buckets_ + b] += dp::SampleNoise(eta, params, rng);
+    }
+  }
+
+  // Median-of-repetitions point estimates.
+  linalg::Vector out(cells.size());
+  std::vector<double> estimates(repetitions_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    for (std::size_t rep = 0; rep < repetitions_; ++rep) {
+      estimates[rep] = SignOf(rep, cells[i]) *
+                       counters[rep * buckets_ + BucketOf(rep, cells[i])];
+    }
+    std::nth_element(estimates.begin(),
+                     estimates.begin() + repetitions_ / 2, estimates.end());
+    out[i] = estimates[repetitions_ / 2];
+  }
+  return out;
+}
+
+Result<linalg::Matrix> SketchStrategy::DenseStrategyMatrix() const {
+  if (d_ > 14) {
+    return Status::InvalidArgument("domain too large to materialise sketch");
+  }
+  const std::uint64_t n = std::uint64_t{1} << d_;
+  linalg::Matrix s(repetitions_ * buckets_, n);
+  for (std::size_t rep = 0; rep < repetitions_; ++rep) {
+    for (std::uint64_t cell = 0; cell < n; ++cell) {
+      s(rep * buckets_ + BucketOf(rep, cell), cell) = SignOf(rep, cell);
+    }
+  }
+  return s;
+}
+
+}  // namespace strategy
+}  // namespace dpcube

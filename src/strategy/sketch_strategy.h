@@ -1,0 +1,78 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Sparse random projections ("sketches", Cormode et al. ICDT 2012) — the
+// last strategy family the paper lists as groupable: t independent random
+// partitions of the domain into buckets with +/-1 signs. All rows of one
+// repetition have disjoint support and magnitude 1, so the grouping number
+// is t (Section 3.1). Point estimates are recovered count-sketch style by
+// the median over repetitions; the recovery is non-linear, so this
+// strategy demonstrates grouping + budgeting rather than GLS recovery.
+
+#ifndef DPCUBE_STRATEGY_SKETCH_STRATEGY_H_
+#define DPCUBE_STRATEGY_SKETCH_STRATEGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "budget/grouping.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "data/contingency_table.h"
+#include "dp/privacy.h"
+#include "linalg/matrix.h"
+
+namespace dpcube {
+namespace strategy {
+
+class SketchStrategy {
+ public:
+  /// t repetitions of a random partition of the 2^d domain into `buckets`
+  /// buckets with random signs, seeded deterministically from `seed`.
+  SketchStrategy(int d, std::size_t buckets, std::size_t repetitions,
+                 std::uint64_t seed);
+
+  const std::string& name() const { return name_; }
+  int d() const { return d_; }
+  std::size_t buckets() const { return buckets_; }
+  std::size_t repetitions() const { return repetitions_; }
+
+  /// One group per repetition, C_r = 1; weight_sum = 2 * (bucket usage by
+  /// the point-query recovery) = 2 * buckets per repetition.
+  const std::vector<budget::GroupSummary>& groups() const { return groups_; }
+
+  /// Bucket index and sign of a cell in repetition `rep` (hash-derived,
+  /// deterministic).
+  std::size_t BucketOf(std::size_t rep, bits::Mask cell) const;
+  double SignOf(std::size_t rep, bits::Mask cell) const;
+
+  /// Measures all t * buckets sketch counters over the data with the given
+  /// per-repetition budgets, then returns point estimates for the
+  /// requested cells (median over repetitions of sign * bucket value).
+  Result<linalg::Vector> EstimatePoints(const data::SparseCounts& data,
+                                        const std::vector<bits::Mask>& cells,
+                                        const linalg::Vector& group_budgets,
+                                        const dp::PrivacyParams& params,
+                                        Rng* rng) const;
+
+  /// Dense (t * buckets) x 2^d strategy matrix for small d (tests).
+  Result<linalg::Matrix> DenseStrategyMatrix() const;
+
+  /// Group (repetition) of dense-matrix row i.
+  int RowGroupOfDenseRow(std::size_t row) const {
+    return static_cast<int>(row / buckets_);
+  }
+
+ private:
+  std::string name_ = "Sketch";
+  int d_;
+  std::size_t buckets_;
+  std::size_t repetitions_;
+  std::uint64_t seed_;
+  std::vector<budget::GroupSummary> groups_;
+};
+
+}  // namespace strategy
+}  // namespace dpcube
+
+#endif  // DPCUBE_STRATEGY_SKETCH_STRATEGY_H_

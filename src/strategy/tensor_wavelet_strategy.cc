@@ -1,0 +1,123 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "strategy/tensor_wavelet_strategy.h"
+
+#include <cassert>
+#include <utility>
+
+#include "dp/mechanisms.h"
+#include "transform/tensor_haar.h"
+
+namespace dpcube {
+namespace strategy {
+
+namespace {
+
+int Log2OfPowerOfTwo(std::size_t n) {
+  int g = 0;
+  while ((std::size_t{1} << g) < n) ++g;
+  assert((std::size_t{1} << g) == n && "grid side must be a power of two");
+  return g;
+}
+
+}  // namespace
+
+TensorWaveletStrategy::TensorWaveletStrategy(
+    std::size_t grid_side, std::vector<RectangleQuery> queries)
+    : n_(grid_side), queries_(std::move(queries)) {
+  const int g = Log2OfPowerOfTwo(n_);
+  log2_dims_ = {g, g};
+  const std::size_t cells = n_ * n_;
+
+  // Transform every query's indicator: row q holds the coefficients
+  // recovering query q from the measured coefficient vector.
+  query_coeffs_ = linalg::Matrix(queries_.size(), cells);
+  std::vector<double> indicator(cells);
+  for (std::size_t q = 0; q < queries_.size(); ++q) {
+    const RectangleQuery& rect = queries_[q];
+    indicator.assign(cells, 0.0);
+    for (std::size_t r = rect.row_lo; r < rect.row_hi; ++r) {
+      for (std::size_t c = rect.col_lo; c < rect.col_hi; ++c) {
+        indicator[r * n_ + c] = 1.0;
+      }
+    }
+    transform::TensorHaarForward(&indicator, log2_dims_);
+    query_coeffs_.SetRow(q, indicator);
+  }
+
+  // Group summaries: b_i = 2 sum_q coeff_{q,i}^2.
+  const int num_groups = transform::TensorHaarNumGroups(log2_dims_);
+  groups_.assign(num_groups, budget::GroupSummary{});
+  for (int r = 0; r < num_groups; ++r) {
+    groups_[r].column_norm = transform::TensorHaarGroupMagnitude(r, log2_dims_);
+  }
+  for (std::size_t i = 0; i < cells; ++i) {
+    const int group = transform::TensorHaarGroupOfIndex(i, log2_dims_);
+    double b = 0.0;
+    for (std::size_t q = 0; q < queries_.size(); ++q) {
+      const double w = query_coeffs_(q, i);
+      b += w * w;
+    }
+    groups_[group].weight_sum += 2.0 * b;
+    groups_[group].num_rows += 1;
+  }
+}
+
+int TensorWaveletStrategy::GroupOfCoefficient(std::size_t index) const {
+  return transform::TensorHaarGroupOfIndex(index, log2_dims_);
+}
+
+Result<QuadtreeRelease> TensorWaveletStrategy::Run(
+    const std::vector<double>& grid, const linalg::Vector& group_budgets,
+    const dp::PrivacyParams& params, Rng* rng) const {
+  const std::size_t cells = n_ * n_;
+  if (grid.size() != cells) {
+    return Status::InvalidArgument("tensor wavelet: grid size mismatch");
+  }
+  if (group_budgets.size() != groups_.size()) {
+    return Status::InvalidArgument("tensor wavelet: one budget per group");
+  }
+  DPCUBE_RETURN_NOT_OK(params.Validate());
+
+  // Measure: transform, then per-coefficient noise at its group budget.
+  std::vector<double> coeffs = grid;
+  transform::TensorHaarForward(&coeffs, log2_dims_);
+  linalg::Vector coeff_vars(cells, 0.0);
+  for (std::size_t i = 0; i < cells; ++i) {
+    const int group = transform::TensorHaarGroupOfIndex(i, log2_dims_);
+    const double eps_i = group_budgets[group];
+    if (!(eps_i > 0.0)) {
+      return Status::InvalidArgument("tensor wavelet: budgets must be > 0");
+    }
+    coeffs[i] += dp::SampleNoise(eps_i, params, rng);
+    coeff_vars[i] = dp::MeasurementVariance(eps_i, params);
+  }
+
+  // Recover each rectangle from its transformed indicator.
+  QuadtreeRelease out;
+  out.answers.assign(queries_.size(), 0.0);
+  out.variances.assign(queries_.size(), 0.0);
+  for (std::size_t q = 0; q < queries_.size(); ++q) {
+    const double* w = query_coeffs_.RowData(q);
+    double answer = 0.0;
+    double variance = 0.0;
+    for (std::size_t i = 0; i < cells; ++i) {
+      answer += w[i] * coeffs[i];
+      variance += w[i] * w[i] * coeff_vars[i];
+    }
+    out.answers[q] = answer;
+    out.variances[q] = variance;
+  }
+  return out;
+}
+
+Result<linalg::Matrix> TensorWaveletStrategy::DenseStrategyMatrix() const {
+  if (n_ > 64) {
+    return Status::InvalidArgument(
+        "tensor wavelet: dense materialisation limited to side <= 64");
+  }
+  return transform::TensorHaarMatrix(log2_dims_);
+}
+
+}  // namespace strategy
+}  // namespace dpcube

@@ -1,0 +1,68 @@
+// Copyright 2026 The dpcube Authors.
+//
+// 2-D tensor-Haar wavelet strategy for rectangle-count queries over an
+// n x n grid — the "higher dimensional wavelets" case of Section 3.1,
+// where the grouping number (g + 1)^2 grows with the square of the depth
+// rather than linearly. Together with QuadtreeStrategy this lets the
+// range-strategy ablation compare hierarchical vs wavelet decompositions
+// in 2-D under both uniform and optimal budgets.
+
+#ifndef DPCUBE_STRATEGY_TENSOR_WAVELET_STRATEGY_H_
+#define DPCUBE_STRATEGY_TENSOR_WAVELET_STRATEGY_H_
+
+#include <string>
+#include <vector>
+
+#include "budget/grouping.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "dp/privacy.h"
+#include "linalg/matrix.h"
+#include "strategy/quadtree_strategy.h"
+
+namespace dpcube {
+namespace strategy {
+
+/// Measures all n^2 tensor-Haar coefficients of the grid; each rectangle
+/// query is recovered as the inner product of its transformed indicator
+/// with the noisy coefficients (orthonormality). Budget groups are the
+/// per-axis level pairs of transform/tensor_haar.h.
+class TensorWaveletStrategy {
+ public:
+  /// Grid side must be a power of two. Transforms every query indicator
+  /// up front (O(n^2) each).
+  TensorWaveletStrategy(std::size_t grid_side,
+                        std::vector<RectangleQuery> queries);
+
+  const std::string& name() const { return name_; }
+  std::size_t grid_side() const { return n_; }
+
+  /// (g + 1)^2 groups for side 2^g.
+  const std::vector<budget::GroupSummary>& groups() const { return groups_; }
+
+  /// Measures the coefficients over the row-major grid (size n*n) with
+  /// per-group budgets and recovers the query answers.
+  Result<QuadtreeRelease> Run(const std::vector<double>& grid,
+                              const linalg::Vector& group_budgets,
+                              const dp::PrivacyParams& params,
+                              Rng* rng) const;
+
+  /// Dense (n^2 x n^2) strategy matrix in coefficient layout (tests).
+  Result<linalg::Matrix> DenseStrategyMatrix() const;
+
+  /// Group index of dense-matrix row (= coefficient flat index).
+  int GroupOfCoefficient(std::size_t index) const;
+
+ private:
+  std::string name_ = "TWave";
+  std::size_t n_;
+  std::vector<int> log2_dims_;  // {g, g}.
+  std::vector<RectangleQuery> queries_;
+  linalg::Matrix query_coeffs_;  // Per query: transformed indicator.
+  std::vector<budget::GroupSummary> groups_;
+};
+
+}  // namespace strategy
+}  // namespace dpcube
+
+#endif  // DPCUBE_STRATEGY_TENSOR_WAVELET_STRATEGY_H_

@@ -1,0 +1,80 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "transform/haar_wavelet.h"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+#include "transform/walsh_hadamard.h"
+
+namespace dpcube {
+namespace transform {
+namespace {
+const double kInvSqrt2 = 1.0 / std::sqrt(2.0);
+}  // namespace
+
+void HaarForward(std::vector<double>* x) {
+  const std::size_t n = x->size();
+  assert(IsPowerOfTwo(n));
+  std::vector<double>& v = *x;
+  std::vector<double> tmp(n);
+  for (std::size_t len = n; len > 1; len >>= 1) {
+    const std::size_t half = len >> 1;
+    for (std::size_t i = 0; i < half; ++i) {
+      tmp[i] = (v[2 * i] + v[2 * i + 1]) * kInvSqrt2;
+      tmp[half + i] = (v[2 * i] - v[2 * i + 1]) * kInvSqrt2;
+    }
+    for (std::size_t i = 0; i < len; ++i) v[i] = tmp[i];
+  }
+}
+
+void HaarInverse(std::vector<double>* x) {
+  const std::size_t n = x->size();
+  assert(IsPowerOfTwo(n));
+  std::vector<double>& v = *x;
+  std::vector<double> tmp(n);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len >> 1;
+    for (std::size_t i = 0; i < half; ++i) {
+      tmp[2 * i] = (v[i] + v[half + i]) * kInvSqrt2;
+      tmp[2 * i + 1] = (v[i] - v[half + i]) * kInvSqrt2;
+    }
+    for (std::size_t i = 0; i < len; ++i) v[i] = tmp[i];
+  }
+}
+
+linalg::Matrix HaarMatrix(int log2_n) {
+  assert(log2_n >= 0 && log2_n < 24);
+  const std::size_t n = std::size_t{1} << log2_n;
+  linalg::Matrix h(n, n);
+  std::vector<double> unit(n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    // Row r of the orthonormal analysis matrix equals the synthesis of e_r.
+    unit.assign(n, 0.0);
+    unit[r] = 1.0;
+    HaarInverse(&unit);
+    h.SetRow(r, unit);
+  }
+  return h;
+}
+
+int HaarLevelOfIndex(std::size_t index, std::size_t n) {
+  (void)n;
+  assert(IsPowerOfTwo(n) && index < n);
+  if (index == 0) return 0;
+  // Level l >= 1 occupies indices [2^{l-1}, 2^l).
+  return std::bit_width(index);
+}
+
+double HaarLevelMagnitude(int level, int log2_n) {
+  assert(level >= 0 && level <= log2_n);
+  if (level == 0) {
+    return std::pow(2.0, -0.5 * log2_n);
+  }
+  // Detail level l has support 2^{g - l + 1} and magnitude 2^{-(g-l+1)/2}.
+  return std::pow(2.0, -0.5 * (log2_n - level + 1));
+}
+
+}  // namespace transform
+}  // namespace dpcube

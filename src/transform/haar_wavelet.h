@@ -1,0 +1,48 @@
+// Copyright 2026 The dpcube Authors.
+//
+// 1-D Haar wavelet transform — the strategy matrix of Xiao, Wang & Gehrke
+// (ICDE 2010, "Differential privacy via wavelet transforms"), one of the
+// prior-work strategies whose accuracy the paper improves with non-uniform
+// budgets. The orthonormal Haar basis over a length-2^g domain has
+// g + 1 "levels": the overall average plus g detail levels; rows within a
+// level have disjoint support and equal magnitude, which is exactly the
+// grouping property of Definition 3.1 (grouping number g + 1).
+
+#ifndef DPCUBE_TRANSFORM_HAAR_WAVELET_H_
+#define DPCUBE_TRANSFORM_HAAR_WAVELET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dpcube {
+namespace transform {
+
+/// In-place orthonormal Haar analysis transform of a length-2^g vector.
+/// Output layout: index 0 holds the scaling (average) coefficient, then
+/// detail coefficients from the coarsest level (1 coefficient) to the
+/// finest (N/2 coefficients).
+void HaarForward(std::vector<double>* x);
+
+/// Inverse of HaarForward (orthonormal, so this is the transpose).
+void HaarInverse(std::vector<double>* x);
+
+/// Dense orthonormal Haar analysis matrix (rows = wavelet basis vectors,
+/// same layout as HaarForward). Only practical for small domains.
+linalg::Matrix HaarMatrix(int log2_n);
+
+/// Level of coefficient `index` in the HaarForward layout:
+/// 0 for the scaling coefficient, then 1..g from coarsest to finest detail.
+/// All coefficients of a level form one group under Definition 3.1.
+int HaarLevelOfIndex(std::size_t index, std::size_t n);
+
+/// Magnitude of the non-zero entries of a level's basis rows:
+/// 2^{-(g - level + 1)/2} for detail levels, 2^{-g/2} for the scaling row.
+/// This is the bounded column norm C_r of the level's group.
+double HaarLevelMagnitude(int level, int log2_n);
+
+}  // namespace transform
+}  // namespace dpcube
+
+#endif  // DPCUBE_TRANSFORM_HAAR_WAVELET_H_

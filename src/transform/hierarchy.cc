@@ -1,0 +1,77 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "transform/hierarchy.h"
+
+#include <bit>
+#include <cassert>
+
+#include "transform/walsh_hadamard.h"
+
+namespace dpcube {
+namespace transform {
+
+DyadicHierarchy::DyadicHierarchy(std::size_t domain_size) : n_(domain_size) {
+  assert(IsPowerOfTwo(n_));
+  levels_ = Log2OfPowerOfTwo(n_) + 1;
+}
+
+int DyadicHierarchy::LevelOfNode(std::size_t row) const {
+  assert(row < num_nodes());
+  // Heap numbering: node i sits at level bit_width(i + 1) - 1.
+  return std::bit_width(row + 1) - 1;
+}
+
+std::pair<std::size_t, std::size_t> DyadicHierarchy::NodeInterval(
+    std::size_t row) const {
+  const int level = LevelOfNode(row);
+  const std::size_t first_at_level = (std::size_t{1} << level) - 1;
+  const std::size_t idx = row - first_at_level;
+  const std::size_t width = n_ >> level;
+  return {idx * width, (idx + 1) * width};
+}
+
+std::vector<std::size_t> DyadicHierarchy::DecomposeRange(std::size_t lo,
+                                                         std::size_t hi) const {
+  assert(lo <= hi && hi <= n_);
+  std::vector<std::size_t> out;
+  if (lo == hi) return out;
+  // Iterative DFS from the root, taking whole nodes when fully contained.
+  std::vector<std::size_t> stack = {0};
+  while (!stack.empty()) {
+    const std::size_t node = stack.back();
+    stack.pop_back();
+    const auto [node_lo, node_hi] = NodeInterval(node);
+    if (node_hi <= lo || node_lo >= hi) continue;  // Disjoint.
+    if (lo <= node_lo && node_hi <= hi) {
+      out.push_back(node);  // Fully contained: take the node.
+      continue;
+    }
+    stack.push_back(2 * node + 1);
+    stack.push_back(2 * node + 2);
+  }
+  return out;
+}
+
+std::vector<double> DyadicHierarchy::NodeSums(
+    const std::vector<double>& x) const {
+  assert(x.size() == n_);
+  std::vector<double> sums(num_nodes(), 0.0);
+  const std::size_t first_leaf = n_ - 1;
+  for (std::size_t j = 0; j < n_; ++j) sums[first_leaf + j] = x[j];
+  for (std::size_t i = first_leaf; i-- > 0;) {
+    sums[i] = sums[2 * i + 1] + sums[2 * i + 2];
+  }
+  return sums;
+}
+
+linalg::Matrix DyadicHierarchy::StrategyMatrix() const {
+  linalg::Matrix s(num_nodes(), n_);
+  for (std::size_t row = 0; row < num_nodes(); ++row) {
+    const auto [lo, hi] = NodeInterval(row);
+    for (std::size_t j = lo; j < hi; ++j) s(row, j) = 1.0;
+  }
+  return s;
+}
+
+}  // namespace transform
+}  // namespace dpcube

@@ -1,0 +1,61 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Dyadic hierarchical strategy over a linearised 1-D domain — the binary
+// tree of Hay et al. (VLDB 2010, "Boosting the accuracy of differentially
+// private histograms through consistency"). Every node stores the sum of
+// its dyadic interval; any range query decomposes into O(log N) nodes.
+// All nodes at the same depth have disjoint support with coefficient 1,
+// so the tree satisfies the grouping property with one group per level
+// (grouping number log2(N) + 1, Section 3.1 of the paper).
+
+#ifndef DPCUBE_TRANSFORM_HIERARCHY_H_
+#define DPCUBE_TRANSFORM_HIERARCHY_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dpcube {
+namespace transform {
+
+/// The dyadic tree over a domain of size n = 2^g.
+class DyadicHierarchy {
+ public:
+  /// Builds the index structure for a power-of-two domain size.
+  explicit DyadicHierarchy(std::size_t domain_size);
+
+  std::size_t domain_size() const { return n_; }
+  int depth() const { return levels_; }  ///< Number of levels, g + 1.
+
+  /// Total number of tree nodes (strategy rows): 2n - 1.
+  std::size_t num_nodes() const { return 2 * n_ - 1; }
+
+  /// Level of node `row` (0 = root). Each level is one budget group.
+  int LevelOfNode(std::size_t row) const;
+
+  /// Half-open interval [lo, hi) covered by node `row`.
+  std::pair<std::size_t, std::size_t> NodeInterval(std::size_t row) const;
+
+  /// Node ids whose disjoint intervals exactly cover [lo, hi) — the greedy
+  /// dyadic decomposition, at most 2 per level.
+  std::vector<std::size_t> DecomposeRange(std::size_t lo,
+                                          std::size_t hi) const;
+
+  /// Evaluates all node sums for a data vector x (size n_) in O(n).
+  /// Output indexed by node id (level order: root first).
+  std::vector<double> NodeSums(const std::vector<double>& x) const;
+
+  /// Dense (2n-1) x n strategy matrix (0/1 interval indicators).
+  linalg::Matrix StrategyMatrix() const;
+
+ private:
+  std::size_t n_;
+  int levels_;
+};
+
+}  // namespace transform
+}  // namespace dpcube
+
+#endif  // DPCUBE_TRANSFORM_HIERARCHY_H_

@@ -1,0 +1,128 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "transform/tensor_haar.h"
+
+#include <cassert>
+
+#include "transform/haar_wavelet.h"
+
+namespace dpcube {
+namespace transform {
+
+namespace {
+
+// Applies `fn` (a 1-D in-place transform) along axis `axis` of the
+// row-major tensor x with the given log2 dimensions.
+template <typename Fn>
+void ApplyAlongAxis(std::vector<double>* x, const std::vector<int>& log2_dims,
+                    std::size_t axis, Fn fn) {
+  const std::size_t p = log2_dims.size();
+  const std::size_t n_axis = std::size_t{1} << log2_dims[axis];
+  // Row-major, axis 0 slowest: stride of `axis` is the product of the
+  // sizes of all later axes.
+  std::size_t stride = 1;
+  for (std::size_t a = axis + 1; a < p; ++a) {
+    stride <<= log2_dims[a];
+  }
+  const std::size_t outer = x->size() / (n_axis * stride);
+  std::vector<double> line(n_axis);
+  for (std::size_t o = 0; o < outer; ++o) {
+    for (std::size_t s = 0; s < stride; ++s) {
+      const std::size_t base = o * n_axis * stride + s;
+      for (std::size_t i = 0; i < n_axis; ++i) {
+        line[i] = (*x)[base + i * stride];
+      }
+      fn(&line);
+      for (std::size_t i = 0; i < n_axis; ++i) {
+        (*x)[base + i * stride] = line[i];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t TensorDomainSize(const std::vector<int>& log2_dims) {
+  int total = 0;
+  for (int g : log2_dims) total += g;
+  return std::uint64_t{1} << total;
+}
+
+void TensorHaarForward(std::vector<double>* x,
+                       const std::vector<int>& log2_dims) {
+  assert(x->size() == TensorDomainSize(log2_dims));
+  for (std::size_t axis = 0; axis < log2_dims.size(); ++axis) {
+    ApplyAlongAxis(x, log2_dims, axis, HaarForward);
+  }
+}
+
+void TensorHaarInverse(std::vector<double>* x,
+                       const std::vector<int>& log2_dims) {
+  assert(x->size() == TensorDomainSize(log2_dims));
+  for (std::size_t axis = 0; axis < log2_dims.size(); ++axis) {
+    ApplyAlongAxis(x, log2_dims, axis, HaarInverse);
+  }
+}
+
+int TensorHaarNumGroups(const std::vector<int>& log2_dims) {
+  int groups = 1;
+  for (int g : log2_dims) groups *= g + 1;
+  return groups;
+}
+
+int TensorHaarGroupOfIndex(std::uint64_t index,
+                           const std::vector<int>& log2_dims) {
+  // Decompose the flat index into per-axis coefficient indices (axis 0
+  // most significant), then mix the per-axis levels in the same radix.
+  const std::size_t p = log2_dims.size();
+  int group = 0;
+  // Walk axes from slowest (0) to fastest: peel off high-order digits.
+  std::uint64_t rest = index;
+  std::uint64_t scale = TensorDomainSize(log2_dims);
+  for (std::size_t a = 0; a < p; ++a) {
+    const std::uint64_t n_axis = std::uint64_t{1} << log2_dims[a];
+    scale /= n_axis;
+    const std::uint64_t axis_index = rest / scale;
+    rest %= scale;
+    const int level =
+        HaarLevelOfIndex(axis_index, static_cast<std::size_t>(n_axis));
+    group = group * (log2_dims[a] + 1) + level;
+  }
+  return group;
+}
+
+double TensorHaarGroupMagnitude(int group,
+                                const std::vector<int>& log2_dims) {
+  // Decode the mixed-radix level tuple (axis 0 most significant) and
+  // multiply the per-axis magnitudes.
+  const std::size_t p = log2_dims.size();
+  std::vector<int> levels(p, 0);
+  int rest = group;
+  for (std::size_t a = p; a-- > 0;) {
+    levels[a] = rest % (log2_dims[a] + 1);
+    rest /= log2_dims[a] + 1;
+  }
+  double magnitude = 1.0;
+  for (std::size_t a = 0; a < p; ++a) {
+    magnitude *= HaarLevelMagnitude(levels[a], log2_dims[a]);
+  }
+  return magnitude;
+}
+
+linalg::Matrix TensorHaarMatrix(const std::vector<int>& log2_dims) {
+  const std::uint64_t n = TensorDomainSize(log2_dims);
+  linalg::Matrix m(n, n);
+  // Column c of the analysis matrix is the transform of the c-th
+  // indicator vector.
+  std::vector<double> e(n, 0.0);
+  for (std::uint64_t c = 0; c < n; ++c) {
+    e.assign(n, 0.0);
+    e[c] = 1.0;
+    TensorHaarForward(&e, log2_dims);
+    for (std::uint64_t r = 0; r < n; ++r) m(r, c) = e[r];
+  }
+  return m;
+}
+
+}  // namespace transform
+}  // namespace dpcube

@@ -1,0 +1,61 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Multi-dimensional (tensor-product) Haar wavelet transform. Section 3.1
+// of the paper notes that "for higher dimensional wavelets, the grouping
+// number grows exponentially with the dimension of the wavelet
+// transform": a p-dimensional tensor Haar basis over a 2^{g_1} x ... x
+// 2^{g_p} grid groups by the tuple of per-axis levels, giving
+// prod_i (g_i + 1) groups. Rows sharing a level tuple have disjoint
+// support (their per-axis supports are disjoint on at least one axis) and
+// constant magnitude (the product of per-axis level magnitudes), so
+// Definition 3.1 holds and the closed-form optimal budgets apply. This
+// module provides the transform, its inverse, and the grouping metadata;
+// strategy/tensor_wavelet_strategy.h builds the 2-D rectangle-query
+// strategy on top.
+
+#ifndef DPCUBE_TRANSFORM_TENSOR_HAAR_H_
+#define DPCUBE_TRANSFORM_TENSOR_HAAR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dpcube {
+namespace transform {
+
+/// Total domain size 2^{sum of log2_dims}.
+std::uint64_t TensorDomainSize(const std::vector<int>& log2_dims);
+
+/// In-place forward tensor Haar transform: the 1-D orthonormal Haar
+/// analysis applied along every axis (axis order does not matter; the
+/// per-axis transforms commute). `x` is row-major with axis 0 slowest;
+/// x->size() must equal TensorDomainSize(log2_dims).
+void TensorHaarForward(std::vector<double>* x,
+                       const std::vector<int>& log2_dims);
+
+/// Inverse of TensorHaarForward (orthonormal transpose per axis).
+void TensorHaarInverse(std::vector<double>* x,
+                       const std::vector<int>& log2_dims);
+
+/// Number of budget groups: prod_i (g_i + 1). Exponential in the number
+/// of axes for fixed per-axis depth — the paper's Section 3.1 remark.
+int TensorHaarNumGroups(const std::vector<int>& log2_dims);
+
+/// Group of the coefficient at flat index `index`: the mixed-radix code of
+/// the per-axis levels (axis 0 most significant).
+int TensorHaarGroupOfIndex(std::uint64_t index,
+                           const std::vector<int>& log2_dims);
+
+/// Magnitude of the non-zero entries of the group's basis rows: the
+/// product of the per-axis level magnitudes (the group's column norm C_r).
+double TensorHaarGroupMagnitude(int group, const std::vector<int>& log2_dims);
+
+/// Dense tensor Haar analysis matrix; rows follow the flat coefficient
+/// layout of TensorHaarForward. Small domains only (tests).
+linalg::Matrix TensorHaarMatrix(const std::vector<int>& log2_dims);
+
+}  // namespace transform
+}  // namespace dpcube
+
+#endif  // DPCUBE_TRANSFORM_TENSOR_HAAR_H_

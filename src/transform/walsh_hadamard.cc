@@ -1,0 +1,66 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "transform/walsh_hadamard.h"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace dpcube {
+namespace transform {
+
+bool IsPowerOfTwo(std::size_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+int Log2OfPowerOfTwo(std::size_t n) {
+  assert(IsPowerOfTwo(n));
+  return std::countr_zero(n);
+}
+
+void WalshHadamard(std::vector<double>* x) {
+  const std::size_t n = x->size();
+  assert(IsPowerOfTwo(n));
+  std::vector<double>& v = *x;
+  for (std::size_t len = 1; len < n; len <<= 1) {
+    for (std::size_t base = 0; base < n; base += len << 1) {
+      for (std::size_t k = base; k < base + len; ++k) {
+        const double a = v[k];
+        const double b = v[k + len];
+        v[k] = a + b;
+        v[k + len] = a - b;
+      }
+    }
+  }
+  // Orthonormal scaling 2^{-d/2}.
+  const double scale = 1.0 / std::sqrt(static_cast<double>(n));
+  for (double& value : v) value *= scale;
+}
+
+std::vector<double> WalshHadamardCopy(std::vector<double> x) {
+  WalshHadamard(&x);
+  return x;
+}
+
+double FourierCoefficient(const std::vector<double>& x, bits::Mask alpha) {
+  assert(IsPowerOfTwo(x.size()));
+  double sum = 0.0;
+  for (std::size_t beta = 0; beta < x.size(); ++beta) {
+    sum += bits::FourierSign(alpha, beta) * x[beta];
+  }
+  return sum / std::sqrt(static_cast<double>(x.size()));
+}
+
+linalg::Matrix HadamardMatrix(int d) {
+  assert(d >= 0 && d < 28);
+  const std::size_t n = std::size_t{1} << d;
+  const double scale = 1.0 / std::sqrt(static_cast<double>(n));
+  linalg::Matrix h(n, n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      h(a, b) = bits::FourierSign(a, b) * scale;
+    }
+  }
+  return h;
+}
+
+}  // namespace transform
+}  // namespace dpcube

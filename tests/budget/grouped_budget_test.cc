@@ -1,0 +1,245 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "budget/grouped_budget.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "opt/convex_budget_solver.h"
+
+namespace dpcube {
+namespace budget {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+dp::PrivacyParams Pure(double eps) {
+  dp::PrivacyParams p;
+  p.epsilon = eps;
+  p.neighbour = dp::NeighbourModel::kAddRemove;
+  return p;
+}
+
+dp::PrivacyParams Approx(double eps, double delta) {
+  dp::PrivacyParams p = Pure(eps);
+  p.delta = delta;
+  return p;
+}
+
+std::vector<GroupSummary> TwoGroups(double s1, double s2, double c1 = 1.0,
+                                    double c2 = 1.0) {
+  return {GroupSummary{c1, s1, 1}, GroupSummary{c2, s2, 1}};
+}
+
+TEST(OptimalBudgetTest, CubeRootRuleLaplace) {
+  // eta_r proportional to (s_r / C_r)^{1/3}; with C = 1:
+  const auto groups = TwoGroups(1.0, 8.0);
+  auto result = OptimalGroupBudgets(groups, Pure(1.0));
+  ASSERT_TRUE(result.ok());
+  const double t = std::cbrt(1.0) + std::cbrt(8.0);  // = 3.
+  EXPECT_NEAR(result.value().eta[0], 1.0 / t, 1e-12);
+  EXPECT_NEAR(result.value().eta[1], 2.0 / t, 1e-12);
+  // Optimum objective = (sum s^{1/3})^3 / eps^2 = 27.
+  EXPECT_NEAR(result.value().variance_objective, 27.0, 1e-9);
+}
+
+TEST(OptimalBudgetTest, PrivacyConstraintSaturated) {
+  const auto groups = TwoGroups(3.0, 5.0, 0.5, 2.0);
+  auto result = OptimalGroupBudgets(groups, Pure(0.7));
+  ASSERT_TRUE(result.ok());
+  double used = 0.0;
+  for (std::size_t r = 0; r < 2; ++r) {
+    used += groups[r].column_norm * result.value().eta[r];
+  }
+  EXPECT_NEAR(used, 0.7, 1e-9);  // eps' = eps under add/remove.
+}
+
+TEST(OptimalBudgetTest, ReplaceModelHalvesBudget) {
+  const auto groups = TwoGroups(1.0, 1.0);
+  dp::PrivacyParams replace;
+  replace.epsilon = 1.0;  // Default neighbour = kReplaceOne.
+  auto result = OptimalGroupBudgets(groups, replace);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().eta[0] + result.value().eta[1], 0.5, 1e-9);
+}
+
+TEST(OptimalBudgetTest, ObjectiveMatchesDirectEvaluation) {
+  const auto groups = TwoGroups(2.0, 10.0, 1.0, 3.0);
+  const auto params = Pure(0.4);
+  auto result = OptimalGroupBudgets(groups, params);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().variance_objective,
+              VarianceObjective(groups, result.value().eta, params), 1e-9);
+}
+
+TEST(OptimalBudgetTest, NeverWorseThanUniform) {
+  for (double s2 : {1.0, 4.0, 100.0, 10000.0}) {
+    const auto groups = TwoGroups(1.0, s2);
+    auto opt = OptimalGroupBudgets(groups, Pure(1.0));
+    auto uni = UniformGroupBudgets(groups, Pure(1.0));
+    ASSERT_TRUE(opt.ok());
+    ASSERT_TRUE(uni.ok());
+    EXPECT_LE(opt.value().variance_objective,
+              uni.value().variance_objective + 1e-9)
+        << "s2=" << s2;
+  }
+}
+
+TEST(OptimalBudgetTest, EqualWeightsReduceToUniform) {
+  const auto groups = TwoGroups(5.0, 5.0);
+  auto opt = OptimalGroupBudgets(groups, Pure(1.0));
+  auto uni = UniformGroupBudgets(groups, Pure(1.0));
+  ASSERT_TRUE(opt.ok());
+  ASSERT_TRUE(uni.ok());
+  EXPECT_NEAR(opt.value().eta[0], uni.value().eta[0], 1e-12);
+  EXPECT_NEAR(opt.value().variance_objective,
+              uni.value().variance_objective, 1e-9);
+}
+
+TEST(OptimalBudgetTest, MatchesConvexSolverOnGroupableMatrix) {
+  // Strategy: two marginal-like groups over 4 columns. The grouped closed
+  // form must agree with the generic convex solver (ablation A1's claim).
+  const Matrix s = {{1, 1, 0, 0},
+                    {0, 0, 1, 1},
+                    {1, 0, 0, 0},
+                    {0, 1, 0, 0},
+                    {0, 0, 1, 0},
+                    {0, 0, 0, 1}};
+  const Vector b = {3.0, 3.0, 1.0, 1.0, 1.0, 1.0};
+  const std::vector<GroupSummary> groups = {GroupSummary{1.0, 6.0, 2},
+                                            GroupSummary{1.0, 4.0, 4}};
+  auto grouped = OptimalGroupBudgets(groups, Pure(1.0));
+  auto convex = opt::SolveConvexBudget(s, b, 1.0);
+  ASSERT_TRUE(grouped.ok());
+  ASSERT_TRUE(convex.ok());
+  EXPECT_NEAR(grouped.value().variance_objective, convex.value().objective,
+              0.02 * grouped.value().variance_objective);
+  // The convex solver's per-row budgets should approximate the group ones.
+  EXPECT_NEAR(convex.value().epsilons[0], grouped.value().eta[0], 0.02);
+  EXPECT_NEAR(convex.value().epsilons[2], grouped.value().eta[1], 0.02);
+}
+
+TEST(OptimalBudgetTest, GaussianSqrtRule) {
+  // eta_r^2 proportional to sqrt(s_r)/C_r; with C = 1 and s = {1, 16}:
+  const auto groups = TwoGroups(1.0, 16.0);
+  const auto params = Approx(1.0, 1e-6);
+  auto result = OptimalGroupBudgets(groups, params);
+  ASSERT_TRUE(result.ok());
+  const double t = 1.0 + 4.0;  // sum sqrt(s).
+  EXPECT_NEAR(result.value().eta[0] * result.value().eta[0], 1.0 / t, 1e-9);
+  EXPECT_NEAR(result.value().eta[1] * result.value().eta[1], 4.0 / t, 1e-9);
+  // Objective = ln(2/delta) (sum C sqrt(s))^2 / eps'^2.
+  EXPECT_NEAR(result.value().variance_objective,
+              std::log(2.0 / 1e-6) * 25.0, 1e-6);
+}
+
+TEST(OptimalBudgetTest, GaussianConstraintSaturated) {
+  const auto groups = TwoGroups(2.0, 3.0, 0.7, 1.3);
+  const auto params = Approx(0.9, 1e-5);
+  auto result = OptimalGroupBudgets(groups, params);
+  ASSERT_TRUE(result.ok());
+  double used = 0.0;
+  for (std::size_t r = 0; r < 2; ++r) {
+    const double c = groups[r].column_norm;
+    used += c * c * result.value().eta[r] * result.value().eta[r];
+  }
+  EXPECT_NEAR(used, 0.81, 1e-9);
+}
+
+TEST(OptimalBudgetTest, ZeroWeightGroupGetsTinyBudget) {
+  const auto groups = TwoGroups(0.0, 1.0);
+  auto result = OptimalGroupBudgets(groups, Pure(1.0));
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.value().eta[0], 0.0);
+  EXPECT_LT(result.value().eta[0], 1e-5);
+  EXPECT_NEAR(result.value().eta[1], 1.0, 1e-4);
+}
+
+TEST(OptimalBudgetTest, RejectsDegenerateInputs) {
+  EXPECT_FALSE(OptimalGroupBudgets({}, Pure(1.0)).ok());
+  EXPECT_FALSE(
+      OptimalGroupBudgets(TwoGroups(0.0, 0.0), Pure(1.0)).ok());
+  EXPECT_FALSE(
+      OptimalGroupBudgets(TwoGroups(1.0, 1.0, 0.0, 1.0), Pure(1.0)).ok());
+  EXPECT_FALSE(
+      OptimalGroupBudgets(TwoGroups(1.0, -1.0), Pure(1.0)).ok());
+  EXPECT_FALSE(OptimalGroupBudgets(TwoGroups(1.0, 1.0), Pure(0.0)).ok());
+}
+
+TEST(UniformBudgetTest, LaplaceSplitsByColumnNormSum) {
+  const auto groups = TwoGroups(1.0, 1.0, 1.0, 3.0);
+  auto result = UniformGroupBudgets(groups, Pure(1.0));
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().eta[0], 0.25, 1e-12);
+  EXPECT_NEAR(result.value().eta[1], 0.25, 1e-12);
+}
+
+TEST(UniformBudgetTest, GaussianSplitsByL2) {
+  const auto groups = TwoGroups(1.0, 1.0, 3.0, 4.0);
+  auto result = UniformGroupBudgets(groups, Approx(1.0, 1e-6));
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result.value().eta[0], 1.0 / 5.0, 1e-12);
+}
+
+TEST(RecoveryRowWeightsTest, MatchesDefinition) {
+  const Matrix r = {{1.0, 0.5}, {0.0, 2.0}};
+  const Vector b = RecoveryRowWeights(r);
+  // b_i = 2 sum_j R_ji^2 (columns of R index strategy rows).
+  EXPECT_DOUBLE_EQ(b[0], 2.0 * 1.0);
+  EXPECT_DOUBLE_EQ(b[1], 2.0 * (0.25 + 4.0));
+  const Vector weighted = RecoveryRowWeights(r, {1.0, 3.0});
+  EXPECT_DOUBLE_EQ(weighted[1], 2.0 * (0.25 + 3.0 * 4.0));
+}
+
+TEST(RecoveryConsistencyTest, Definition32Check) {
+  RowGrouping grouping;
+  grouping.group_of_row = {0, 0, 1};
+  grouping.column_norms = {1.0, 1.0};
+  EXPECT_TRUE(CheckRecoveryConsistentWithGrouping(grouping, {2.0, 2.0, 5.0})
+                  .ok());
+  EXPECT_FALSE(CheckRecoveryConsistentWithGrouping(grouping, {2.0, 3.0, 5.0})
+                   .ok());
+  EXPECT_FALSE(
+      CheckRecoveryConsistentWithGrouping(grouping, {2.0, 2.0}).ok());
+}
+
+// Property sweep: for random group weights, the closed form beats any
+// perturbed feasible allocation (local optimality certificate).
+class OptimalityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimalityProperty, PerturbationsNeverImprove) {
+  Rng rng(200 + GetParam());
+  std::vector<GroupSummary> groups;
+  const int g = 2 + GetParam() % 5;
+  for (int r = 0; r < g; ++r) {
+    groups.push_back(GroupSummary{0.5 + rng.NextDouble(),
+                                  0.1 + 10.0 * rng.NextDouble(), 1});
+  }
+  const auto params = Pure(1.0);
+  auto result = OptimalGroupBudgets(groups, params);
+  ASSERT_TRUE(result.ok());
+  const double best = result.value().variance_objective;
+  // Move C-weighted budget between random pairs of groups; the constraint
+  // sum_r C_r eta_r stays constant, so the perturbation remains feasible
+  // and must not beat the closed-form optimum.
+  for (int trial = 0; trial < 20; ++trial) {
+    Vector eta = result.value().eta;
+    const int i = static_cast<int>(rng.NextBounded(g));
+    const int j = static_cast<int>(rng.NextBounded(g));
+    if (i == j) continue;
+    const double delta =
+        0.2 * groups[i].column_norm * eta[i] * rng.NextDouble();
+    eta[i] -= delta / groups[i].column_norm;
+    eta[j] += delta / groups[j].column_norm;
+    EXPECT_GE(VarianceObjective(groups, eta, params), best - 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OptimalityProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace budget
+}  // namespace dpcube

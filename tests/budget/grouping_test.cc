@@ -1,0 +1,140 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "budget/grouping.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "transform/haar_wavelet.h"
+#include "transform/hierarchy.h"
+#include "transform/walsh_hadamard.h"
+
+namespace dpcube {
+namespace budget {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(DetectGroupingTest, IdentityIsOneGroup) {
+  auto grouping = DetectGrouping(Matrix::Identity(6));
+  ASSERT_TRUE(grouping.ok());
+  EXPECT_EQ(grouping.value().num_groups(), 1);
+  EXPECT_DOUBLE_EQ(grouping.value().column_norms[0], 1.0);
+  EXPECT_TRUE(VerifyGrouping(Matrix::Identity(6), grouping.value()).ok());
+}
+
+TEST(DetectGroupingTest, Figure1QueryMatrixHasTwoGroups) {
+  // The paper's example: the A-marginal rows and the AB-marginal rows.
+  const Matrix q = {{1, 1, 1, 1, 0, 0, 0, 0},
+                    {0, 0, 0, 0, 1, 1, 1, 1},
+                    {1, 1, 0, 0, 0, 0, 0, 0},
+                    {0, 0, 1, 1, 0, 0, 0, 0},
+                    {0, 0, 0, 0, 1, 1, 0, 0},
+                    {0, 0, 0, 0, 0, 0, 1, 1}};
+  auto grouping = DetectGrouping(q);
+  ASSERT_TRUE(grouping.ok());
+  EXPECT_EQ(grouping.value().num_groups(), 2);
+  EXPECT_EQ(grouping.value().group_of_row[0],
+            grouping.value().group_of_row[1]);
+  EXPECT_EQ(grouping.value().group_of_row[2],
+            grouping.value().group_of_row[5]);
+  EXPECT_NE(grouping.value().group_of_row[0],
+            grouping.value().group_of_row[2]);
+  EXPECT_TRUE(VerifyGrouping(q, grouping.value()).ok());
+}
+
+TEST(DetectGroupingTest, FourierMatrixGetsSingletonGroups) {
+  // Dense rows are pairwise non-disjoint: every row is its own group.
+  const Matrix h = transform::HadamardMatrix(3);
+  auto grouping = DetectGrouping(h);
+  ASSERT_TRUE(grouping.ok());
+  EXPECT_EQ(grouping.value().num_groups(), 8);
+  EXPECT_TRUE(VerifyGrouping(h, grouping.value()).ok());
+  for (double c : grouping.value().column_norms) {
+    EXPECT_NEAR(c, std::pow(2.0, -1.5), 1e-12);
+  }
+}
+
+TEST(DetectGroupingTest, HierarchyGroupsByLevel) {
+  transform::DyadicHierarchy tree(8);
+  auto grouping = DetectGrouping(tree.StrategyMatrix());
+  ASSERT_TRUE(grouping.ok());
+  EXPECT_EQ(grouping.value().num_groups(), tree.depth());
+  EXPECT_TRUE(VerifyGrouping(tree.StrategyMatrix(), grouping.value()).ok());
+  // Greedy grouping must match the structural level grouping.
+  for (std::size_t node = 0; node < tree.num_nodes(); ++node) {
+    EXPECT_EQ(grouping.value().group_of_row[node], tree.LevelOfNode(node));
+  }
+}
+
+TEST(DetectGroupingTest, WaveletGroupsByLevel) {
+  const int g = 4;
+  const Matrix h = transform::HaarMatrix(g);
+  auto grouping = DetectGrouping(h);
+  ASSERT_TRUE(grouping.ok());
+  EXPECT_EQ(grouping.value().num_groups(), g + 1);
+  EXPECT_TRUE(VerifyGrouping(h, grouping.value()).ok());
+}
+
+TEST(DetectGroupingTest, RejectsNonUniformRowMagnitudes) {
+  const Matrix s = {{1.0, 2.0}};
+  auto grouping = DetectGrouping(s);
+  ASSERT_FALSE(grouping.ok());
+  EXPECT_EQ(grouping.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DetectGroupingTest, RejectsZeroRow) {
+  const Matrix s = {{0.0, 0.0}, {1.0, 0.0}};
+  EXPECT_FALSE(DetectGrouping(s).ok());
+}
+
+TEST(VerifyGroupingTest, CatchesDisjointnessViolation) {
+  const Matrix s = {{1.0, 0.0}, {1.0, 0.0}};
+  RowGrouping bad;
+  bad.group_of_row = {0, 0};  // Both rows hit column 0.
+  bad.column_norms = {1.0};
+  EXPECT_FALSE(VerifyGrouping(s, bad).ok());
+}
+
+TEST(VerifyGroupingTest, CatchesColumnNormViolation) {
+  // Group covers only column 0; column 1 has max 0 != C_r.
+  const Matrix s = {{1.0, 0.0}};
+  RowGrouping bad;
+  bad.group_of_row = {0};
+  bad.column_norms = {1.0};
+  EXPECT_FALSE(VerifyGrouping(s, bad).ok());
+}
+
+TEST(VerifyGroupingTest, SizeMismatch) {
+  RowGrouping g;
+  g.group_of_row = {0};
+  g.column_norms = {1.0};
+  EXPECT_FALSE(VerifyGrouping(Matrix::Identity(2), g).ok());
+}
+
+TEST(SummarizeTest, AggregatesWeights) {
+  RowGrouping grouping;
+  grouping.group_of_row = {0, 1, 0, 1};
+  grouping.column_norms = {1.0, 0.5};
+  const Vector b = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<GroupSummary> summary = Summarize(grouping, b);
+  ASSERT_EQ(summary.size(), 2u);
+  EXPECT_DOUBLE_EQ(summary[0].weight_sum, 4.0);
+  EXPECT_DOUBLE_EQ(summary[1].weight_sum, 6.0);
+  EXPECT_EQ(summary[0].num_rows, 2u);
+  EXPECT_DOUBLE_EQ(summary[1].column_norm, 0.5);
+}
+
+TEST(ExpandGroupBudgetsTest, MapsPerRow) {
+  RowGrouping grouping;
+  grouping.group_of_row = {1, 0, 1};
+  grouping.column_norms = {1.0, 1.0};
+  const Vector expanded = ExpandGroupBudgets(grouping, {0.2, 0.7});
+  EXPECT_EQ(expanded, (Vector{0.7, 0.2, 0.7}));
+}
+
+}  // namespace
+}  // namespace budget
+}  // namespace dpcube

@@ -1,0 +1,149 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "common/bits.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace dpcube {
+namespace bits {
+namespace {
+
+TEST(BitsTest, PopcountBasics) {
+  EXPECT_EQ(Popcount(0), 0);
+  EXPECT_EQ(Popcount(1), 1);
+  EXPECT_EQ(Popcount(0b1011), 3);
+  EXPECT_EQ(Popcount(~Mask{0}), 64);
+}
+
+TEST(BitsTest, InnerParityMatchesPopcountOfIntersection) {
+  EXPECT_EQ(InnerParity(0b1100, 0b1010), 1);  // Intersection 0b1000.
+  EXPECT_EQ(InnerParity(0b1100, 0b0011), 0);  // Disjoint.
+  EXPECT_EQ(InnerParity(0b111, 0b111), 1);    // Intersection weight 3.
+}
+
+TEST(BitsTest, FourierSignValues) {
+  EXPECT_DOUBLE_EQ(FourierSign(0, 0b1011), 1.0);
+  EXPECT_DOUBLE_EQ(FourierSign(0b1, 0b1), -1.0);
+  EXPECT_DOUBLE_EQ(FourierSign(0b11, 0b11), 1.0);
+}
+
+TEST(BitsTest, IsSubsetReflexiveAndEmpty) {
+  EXPECT_TRUE(IsSubset(0, 0));
+  EXPECT_TRUE(IsSubset(0, 0b101));
+  EXPECT_TRUE(IsSubset(0b101, 0b101));
+  EXPECT_FALSE(IsSubset(0b101, 0b100));
+  EXPECT_TRUE(IsSubset(0b100, 0b110));
+  EXPECT_FALSE(IsSubset(0b010, 0b101));
+}
+
+TEST(BitsTest, FullMask) {
+  EXPECT_EQ(FullMask(0), 0u);
+  EXPECT_EQ(FullMask(3), 0b111u);
+  EXPECT_EQ(FullMask(64), ~Mask{0});
+}
+
+TEST(BitsTest, SubmaskIteratorEnumeratesAll) {
+  const Mask alpha = 0b1010;
+  std::set<Mask> seen;
+  for (SubmaskIterator it(alpha); !it.done(); it.Next()) {
+    EXPECT_TRUE(IsSubset(it.mask(), alpha));
+    seen.insert(it.mask());
+  }
+  EXPECT_EQ(seen.size(), 4u);  // 2^2 submasks.
+  EXPECT_TRUE(seen.count(0));
+  EXPECT_TRUE(seen.count(0b1010));
+}
+
+TEST(BitsTest, SubmaskIteratorOfZero) {
+  SubmaskIterator it(0);
+  EXPECT_FALSE(it.done());
+  EXPECT_EQ(it.mask(), 0u);
+  it.Next();
+  EXPECT_TRUE(it.done());
+}
+
+TEST(BitsTest, AllSubmasksSortedAndComplete) {
+  const std::vector<Mask> subs = AllSubmasks(0b110);
+  ASSERT_EQ(subs.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(subs.begin(), subs.end()));
+  EXPECT_EQ(subs[0], 0u);
+  EXPECT_EQ(subs[3], 0b110u);
+}
+
+TEST(BitsTest, MasksOfWeightCounts) {
+  EXPECT_EQ(MasksOfWeight(5, 0).size(), 1u);
+  EXPECT_EQ(MasksOfWeight(5, 2).size(), 10u);
+  EXPECT_EQ(MasksOfWeight(5, 5).size(), 1u);
+  EXPECT_EQ(MasksOfWeight(5, 6).size(), 0u);
+}
+
+TEST(BitsTest, MasksOfWeightAllHaveRightWeightAndAreSorted) {
+  const std::vector<Mask> masks = MasksOfWeight(8, 3);
+  EXPECT_EQ(masks.size(), 56u);
+  EXPECT_TRUE(std::is_sorted(masks.begin(), masks.end()));
+  for (Mask m : masks) {
+    EXPECT_EQ(Popcount(m), 3);
+    EXPECT_LT(m, Mask{1} << 8);
+  }
+}
+
+TEST(BitsTest, MasksOfWeightAtMost) {
+  const std::vector<Mask> masks = MasksOfWeightAtMost(6, 2);
+  EXPECT_EQ(masks.size(), 1u + 6u + 15u);
+  EXPECT_TRUE(std::is_sorted(masks.begin(), masks.end()));
+}
+
+TEST(BitsTest, ExpandCompressRoundTrip) {
+  const Mask alpha = 0b101100;
+  for (std::uint64_t local = 0; local < 8; ++local) {
+    const Mask global = ExpandIntoMask(local, alpha);
+    EXPECT_TRUE(IsSubset(global, alpha));
+    EXPECT_EQ(CompressFromMask(global, alpha), local);
+  }
+}
+
+TEST(BitsTest, ExpandIntoMaskPlacesBitsInAscendingOrder) {
+  // alpha has bits 1 and 3; local bit 0 -> bit 1, local bit 1 -> bit 3.
+  EXPECT_EQ(ExpandIntoMask(0b01, 0b1010), 0b0010u);
+  EXPECT_EQ(ExpandIntoMask(0b10, 0b1010), 0b1000u);
+  EXPECT_EQ(ExpandIntoMask(0b11, 0b1010), 0b1010u);
+}
+
+TEST(BitsTest, CompressIgnoresBitsOutsideAlpha) {
+  EXPECT_EQ(CompressFromMask(0b1111, 0b1010), 0b11u);
+  EXPECT_EQ(CompressFromMask(0b0101, 0b1010), 0b00u);
+}
+
+TEST(BitsTest, BinomialValues) {
+  EXPECT_DOUBLE_EQ(Binomial(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Binomial(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(Binomial(10, 5), 252.0);
+  EXPECT_DOUBLE_EQ(Binomial(5, 6), 0.0);
+  EXPECT_DOUBLE_EQ(Binomial(5, -1), 0.0);
+  EXPECT_DOUBLE_EQ(Binomial(52, 5), 2598960.0);
+}
+
+TEST(BitsTest, BinomialSymmetry) {
+  for (int n = 1; n <= 20; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      EXPECT_DOUBLE_EQ(Binomial(n, k), Binomial(n, n - k)) << n << " " << k;
+    }
+  }
+}
+
+// Property: Pascal's rule.
+TEST(BitsTest, BinomialPascal) {
+  for (int n = 2; n <= 30; ++n) {
+    for (int k = 1; k < n; ++k) {
+      EXPECT_NEAR(Binomial(n, k), Binomial(n - 1, k - 1) + Binomial(n - 1, k),
+                  1e-6 * Binomial(n, k));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bits
+}  // namespace dpcube

@@ -1,0 +1,70 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "common/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dpcube {
+namespace stats {
+namespace {
+
+TEST(StatsTest, MeanBasics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(StatsTest, VarianceBasics) {
+  EXPECT_DOUBLE_EQ(Variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({1.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Variance({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+                   32.0 / 7.0);
+}
+
+TEST(StatsTest, StdDevIsSqrtVariance) {
+  EXPECT_DOUBLE_EQ(StdDev({1.0, 3.0}), std::sqrt(2.0));
+}
+
+TEST(StatsTest, MeanAbs) {
+  EXPECT_DOUBLE_EQ(MeanAbs({-1.0, 2.0, -3.0}), 2.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 2.5);
+}
+
+TEST(StatsTest, SumSquaredError) {
+  EXPECT_DOUBLE_EQ(SumSquaredError({1.0, 2.0}, {0.0, 4.0}), 1.0 + 4.0);
+}
+
+TEST(StatsTest, MeanAbsoluteError) {
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({1.0, 5.0}, {2.0, 3.0}), 1.5);
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({}, {}), 0.0);
+}
+
+TEST(StatsTest, RunningStatsMatchesBatch) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats rs;
+  for (double x : xs) rs.Add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_DOUBLE_EQ(rs.mean(), Mean(xs));
+  EXPECT_NEAR(rs.variance(), Variance(xs), 1e-12);
+}
+
+TEST(StatsTest, RunningStatsSmallCounts) {
+  RunningStats rs;
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  rs.Add(3.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace dpcube

@@ -1,0 +1,104 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "data/contingency_table.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "transform/walsh_hadamard.h"
+
+namespace dpcube {
+namespace data {
+namespace {
+
+Dataset SmallDataset() {
+  // The paper's Figure 1(a) table: 3 binary attributes, 5 tuples, with
+  // x = (1, 2, 0, 1, 0, 0, 1, 0) in linearisation order ABC -> index CBA?
+  // We encode attribute A at bit 2, B at bit 1, C at bit 0 by building the
+  // schema in order (C, B, A) so that index 0b(A B C) matches the paper.
+  Schema schema({{"C", 2}, {"B", 2}, {"A", 2}});
+  Dataset ds(schema);
+  // Tuples (A,B,C): (0,0,1), (0,1,1), (0,0,0), (0,0,1), (1,1,0).
+  EXPECT_TRUE(ds.AppendRow({1, 0, 0}).ok());
+  EXPECT_TRUE(ds.AppendRow({1, 1, 0}).ok());
+  EXPECT_TRUE(ds.AppendRow({0, 0, 0}).ok());
+  EXPECT_TRUE(ds.AppendRow({1, 0, 0}).ok());
+  EXPECT_TRUE(ds.AppendRow({0, 1, 1}).ok());
+  return ds;
+}
+
+TEST(DenseTableTest, Figure1Vector) {
+  auto table = DenseTable::FromDataset(SmallDataset());
+  ASSERT_TRUE(table.ok());
+  const std::vector<double> want = {1, 2, 0, 1, 0, 0, 1, 0};
+  EXPECT_EQ(table.value().cells(), want);
+  EXPECT_DOUBLE_EQ(table.value().Total(), 5.0);
+}
+
+TEST(DenseTableTest, ZeroAndBounds) {
+  auto z = DenseTable::Zero(3);
+  ASSERT_TRUE(z.ok());
+  EXPECT_EQ(z.value().domain_size(), 8u);
+  EXPECT_DOUBLE_EQ(z.value().Total(), 0.0);
+  EXPECT_FALSE(DenseTable::Zero(-1).ok());
+  EXPECT_FALSE(DenseTable::Zero(30).ok());
+}
+
+TEST(DenseTableTest, FromCellsValidatesPowerOfTwo) {
+  EXPECT_TRUE(DenseTable::FromCells({1.0, 2.0, 3.0, 4.0}).ok());
+  EXPECT_FALSE(DenseTable::FromCells({1.0, 2.0, 3.0}).ok());
+}
+
+TEST(SparseCountsTest, AggregatesDuplicates) {
+  const SparseCounts counts = SparseCounts::FromDataset(SmallDataset());
+  EXPECT_EQ(counts.d(), 3);
+  EXPECT_EQ(counts.num_occupied(), 4u);
+  EXPECT_DOUBLE_EQ(counts.Total(), 5.0);
+  // Cell 001 (A=0,B=0,C=1) holds two tuples.
+  bool found = false;
+  for (const auto& e : counts.entries()) {
+    if (e.cell == 1) {
+      EXPECT_DOUBLE_EQ(e.count, 2.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SparseCountsTest, DenseRoundTrip) {
+  auto dense = DenseTable::FromDataset(SmallDataset());
+  ASSERT_TRUE(dense.ok());
+  const SparseCounts sparse = SparseCounts::FromDense(dense.value());
+  auto back = sparse.ToDense();
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().cells(), dense.value().cells());
+}
+
+TEST(SparseCountsTest, FourierCoefficientMatchesDenseTransform) {
+  Rng rng(5);
+  Dataset ds = MakeProductBernoulli(6, 0.4, 300, &rng);
+  const SparseCounts sparse = SparseCounts::FromDataset(ds);
+  auto dense = DenseTable::FromDataset(ds);
+  ASSERT_TRUE(dense.ok());
+  const std::vector<double> coeffs =
+      transform::WalshHadamardCopy(dense.value().cells());
+  for (bits::Mask alpha = 0; alpha < 64; ++alpha) {
+    EXPECT_NEAR(sparse.FourierCoefficient(alpha), coeffs[alpha], 1e-9)
+        << "alpha=" << alpha;
+  }
+}
+
+TEST(SparseCountsTest, ZerothCoefficientIsScaledTotal) {
+  Rng rng(6);
+  Dataset ds = MakeProductBernoulli(8, 0.3, 500, &rng);
+  const SparseCounts sparse = SparseCounts::FromDataset(ds);
+  EXPECT_NEAR(sparse.FourierCoefficient(0),
+              500.0 / std::sqrt(256.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace dpcube

@@ -1,0 +1,138 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "data/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace dpcube {
+namespace data {
+namespace {
+
+TEST(CsvTest, ParsesSimpleDocument) {
+  auto table = ParseCsv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(table->header, (std::vector<std::string>{"a", "b", "c"}));
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[1][2], "6");
+}
+
+TEST(CsvTest, HandlesQuotedFieldsWithDelimiters) {
+  auto table = ParseCsv("name,job\nalice,\"cook, chief\"\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][1], "cook, chief");
+}
+
+TEST(CsvTest, HandlesEscapedQuotes) {
+  auto table = ParseCsv("q\n\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][0], "say \"hi\"");
+}
+
+TEST(CsvTest, HandlesQuotedNewlines) {
+  auto table = ParseCsv("note\n\"line one\nline two\"\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][0], "line one\nline two");
+}
+
+TEST(CsvTest, HandlesCrlfAndMissingTrailingNewline) {
+  auto table = ParseCsv("a,b\r\n1,2\r\n3,4");
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[1][1], "4");
+}
+
+TEST(CsvTest, TrimsUnquotedWhitespaceLikeAdultExtract) {
+  auto table = ParseCsv("workclass, education\n Private,  Bachelors\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->header[1], "education");
+  EXPECT_EQ(table->rows[0][0], "Private");
+  EXPECT_EQ(table->rows[0][1], "Bachelors");
+}
+
+TEST(CsvTest, QuotedFieldsKeepWhitespace) {
+  auto table = ParseCsv("a\n\" padded \"\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][0], " padded ");
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  CsvOptions options;
+  options.delimiter = ';';
+  auto table = ParseCsv("a;b\n1;2\n", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][1], "2");
+}
+
+TEST(CsvTest, MissingPolicyDropRow) {
+  CsvOptions options;
+  options.missing_policy = CsvOptions::MissingPolicy::kDropRow;
+  auto table = ParseCsv("a,b\n1,?\n2,3\n", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows.size(), 1u);
+  EXPECT_EQ(table->rows_dropped, 1u);
+  EXPECT_EQ(table->rows[0][0], "2");
+}
+
+TEST(CsvTest, MissingPolicySentinel) {
+  CsvOptions options;
+  options.missing_policy = CsvOptions::MissingPolicy::kSentinel;
+  auto table = ParseCsv("a,b\n1,?\n", options);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][1], "<missing>");
+}
+
+TEST(CsvTest, MissingPolicyKeepIsDefault) {
+  auto table = ParseCsv("a,b\n1,?\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][1], "?");
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  auto table = ParseCsv("a,b\n1,2\n\n3,4\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows.size(), 2u);
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  auto table = ParseCsv("a,b\n1,2,3\n");
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(ParseCsv("a\n\"oops\n").ok());
+}
+
+TEST(CsvTest, RejectsEmptyDocument) { EXPECT_FALSE(ParseCsv("").ok()); }
+
+TEST(CsvTest, ParseRecordStandalone) {
+  auto fields = ParseCsvRecord("x, \"a,b\" ,z");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(fields->size(), 3u);
+  EXPECT_EQ((*fields)[1], "a,b");
+}
+
+TEST(CsvTest, ReadsFromFile) {
+  const char* path = "/tmp/dpcube_csv_test.csv";
+  {
+    std::ofstream out(path);
+    out << "a,b\n\"x,y\",2\n";
+  }
+  auto table = ReadCsvFile(path);
+  std::remove(path);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][0], "x,y");
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  auto table = ReadCsvFile("/nonexistent/definitely/not/here.csv");
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace dpcube

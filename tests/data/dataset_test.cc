@@ -1,0 +1,102 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "data/dataset.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace dpcube {
+namespace data {
+namespace {
+
+Schema TestSchema() { return Schema({{"a", 3}, {"b", 2}, {"c", 5}}); }
+
+TEST(DatasetTest, AppendAndAccess) {
+  Dataset ds(TestSchema());
+  ASSERT_TRUE(ds.AppendRow({2, 1, 4}).ok());
+  ASSERT_TRUE(ds.AppendRow({0, 0, 0}).ok());
+  EXPECT_EQ(ds.num_rows(), 2u);
+  EXPECT_EQ(ds.At(0, 2), 4u);
+  EXPECT_EQ(ds.At(1, 0), 0u);
+}
+
+TEST(DatasetTest, AppendRejectsBadRows) {
+  Dataset ds(TestSchema());
+  EXPECT_FALSE(ds.AppendRow({1, 1}).ok());        // Too narrow.
+  EXPECT_FALSE(ds.AppendRow({3, 0, 0}).ok());     // a out of range.
+  EXPECT_FALSE(ds.AppendRow({0, 2, 0}).ok());     // b out of range.
+  EXPECT_EQ(ds.num_rows(), 0u);
+}
+
+TEST(DatasetTest, EncodeRowPacksAtOffsets) {
+  // a: 2 bits at offset 0; b: 1 bit at offset 2; c: 3 bits at offset 3.
+  Dataset ds(TestSchema());
+  ASSERT_TRUE(ds.AppendRow({2, 1, 4}).ok());
+  EXPECT_EQ(ds.EncodeRow(0), (4u << 3) | (1u << 2) | 2u);
+}
+
+TEST(DatasetTest, EncodeDecodeRoundTrip) {
+  const Schema schema = TestSchema();
+  Dataset ds(schema);
+  ASSERT_TRUE(ds.AppendRow({1, 0, 3}).ok());
+  const std::vector<std::uint32_t> decoded =
+      DecodeCell(schema, ds.EncodeRow(0));
+  EXPECT_EQ(decoded, (std::vector<std::uint32_t>{1, 0, 3}));
+}
+
+TEST(DatasetTest, EncodeAllMatchesPerRow) {
+  Dataset ds(TestSchema());
+  ASSERT_TRUE(ds.AppendRow({1, 1, 1}).ok());
+  ASSERT_TRUE(ds.AppendRow({2, 0, 4}).ok());
+  const std::vector<bits::Mask> all = ds.EncodeAll();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], ds.EncodeRow(0));
+  EXPECT_EQ(all[1], ds.EncodeRow(1));
+}
+
+TEST(DatasetCsvTest, WriteReadRoundTrip) {
+  const Schema schema = TestSchema();
+  Dataset ds(schema);
+  ASSERT_TRUE(ds.AppendRow({1, 0, 2}).ok());
+  ASSERT_TRUE(ds.AppendRow({2, 1, 4}).ok());
+  const std::string path = ::testing::TempDir() + "/dpcube_dataset_test.csv";
+  ASSERT_TRUE(WriteCsv(ds, path).ok());
+  auto back = ReadCsv(schema, path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().num_rows(), 2u);
+  EXPECT_EQ(back.value().At(1, 2), 4u);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCsvTest, ReadRejectsMissingFile) {
+  EXPECT_FALSE(ReadCsv(TestSchema(), "/nonexistent/nope.csv").ok());
+}
+
+TEST(DatasetCsvTest, ReadRejectsOutOfRangeValue) {
+  const std::string path = ::testing::TempDir() + "/dpcube_bad.csv";
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("a,b,c\n9,0,0\n", f);
+    std::fclose(f);
+  }
+  auto r = ReadCsv(TestSchema(), path);
+  EXPECT_FALSE(r.ok());
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCsvTest, ReadRejectsNonInteger) {
+  const std::string path = ::testing::TempDir() + "/dpcube_nonint.csv";
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("a,b,c\nx,0,0\n", f);
+    std::fclose(f);
+  }
+  auto r = ReadCsv(TestSchema(), path);
+  EXPECT_FALSE(r.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace dpcube

@@ -1,0 +1,149 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "data/discretize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dpcube {
+namespace data {
+namespace {
+
+TEST(DiscretizeTest, EqualWidthEdgesEvenlySpaced) {
+  auto edges = EqualWidthEdges(0.0, 10.0, 5);
+  ASSERT_TRUE(edges.ok());
+  ASSERT_EQ(edges->size(), 6u);
+  for (int i = 0; i <= 5; ++i) EXPECT_NEAR((*edges)[i], 2.0 * i, 1e-12);
+}
+
+TEST(DiscretizeTest, EqualWidthAssignsCorrectBins) {
+  const std::vector<double> values = {0.0, 1.9, 2.0, 9.9, 10.0};
+  auto d = DiscretizeWithEdges(values, {0.0, 2.0, 4.0, 6.0, 8.0, 10.0});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->codes, (std::vector<std::uint32_t>{0, 0, 1, 4, 4}));
+}
+
+TEST(DiscretizeTest, ValuesOutsideRangeClampToEndBins) {
+  auto d = DiscretizeWithEdges({-5.0, 100.0}, {0.0, 1.0, 2.0});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->codes[0], 0u);
+  EXPECT_EQ(d->codes[1], 1u);
+}
+
+TEST(DiscretizeTest, LabelsDescribeIntervals) {
+  auto d = DiscretizeWithEdges({0.5}, {0.0, 1.0, 2.0});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->labels[0], "[0, 1)");
+  EXPECT_EQ(d->labels[1], "[1, 2]");  // Last bin closed.
+}
+
+TEST(DiscretizeTest, EqualDepthBalancesCounts) {
+  // 1000 skewed values: equal-depth bins should hold ~250 each.
+  Rng rng(5);
+  std::vector<double> values(1000);
+  for (auto& v : values) {
+    const double u = rng.NextDoubleOpen();
+    v = u * u * 100.0;  // Quadratic skew toward zero.
+  }
+  auto d = Discretize(values, BinningMethod::kEqualDepth, 4);
+  ASSERT_TRUE(d.ok());
+  ASSERT_EQ(d->num_bins(), 4u);
+  std::vector<int> counts(4, 0);
+  for (auto code : d->codes) ++counts[code];
+  for (int c : counts) EXPECT_NEAR(c, 250, 30);
+}
+
+TEST(DiscretizeTest, EqualWidthOnSkewIsUnbalanced) {
+  // Same skewed data under equal width: the first bin dominates —
+  // the motivation for offering equal-depth at all.
+  Rng rng(5);
+  std::vector<double> values(1000);
+  for (auto& v : values) {
+    const double u = rng.NextDoubleOpen();
+    v = u * u * 100.0;
+  }
+  auto d = Discretize(values, BinningMethod::kEqualWidth, 4);
+  ASSERT_TRUE(d.ok());
+  std::vector<int> counts(4, 0);
+  for (auto code : d->codes) ++counts[code];
+  EXPECT_GT(counts[0], 400);
+}
+
+TEST(DiscretizeTest, EqualDepthMergesTiedCuts) {
+  // 50% zeros (capital-gain-like): the quantile cuts that land on zero
+  // collapse, so the realised bin count shrinks but the surviving cuts
+  // still separate the non-zero mass.
+  std::vector<double> values(100, 0.0);
+  for (int i = 0; i < 50; ++i) values[50 + i] = 1000.0 + i;
+  auto d = Discretize(values, BinningMethod::kEqualDepth, 4);
+  ASSERT_TRUE(d.ok());
+  EXPECT_GE(d->num_bins(), 2u);
+  EXPECT_LT(d->num_bins(), 4u);  // At least the 25% cut (0) merged away.
+  // All zeros land in bin 0; large values in later bins.
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(d->codes[i], 0u);
+  EXPECT_GT(d->codes[99], 0u);
+}
+
+TEST(DiscretizeTest, EqualDepthFullyTiedCollapsesToOneBin) {
+  // 90% zeros: every quantile cut is zero, so everything merges into a
+  // single bin — documented (and safe) degenerate behaviour.
+  std::vector<double> values(100, 0.0);
+  for (int i = 0; i < 10; ++i) values[90 + i] = 1000.0 + i;
+  auto d = Discretize(values, BinningMethod::kEqualDepth, 5);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->num_bins(), 1u);
+  for (auto code : d->codes) EXPECT_EQ(code, 0u);
+}
+
+TEST(DiscretizeTest, ConstantColumnYieldsOneUsableBin) {
+  auto d = Discretize(std::vector<double>(50, 7.0),
+                      BinningMethod::kEqualWidth, 4);
+  ASSERT_TRUE(d.ok());
+  for (auto code : d->codes) EXPECT_LT(code, d->num_bins());
+}
+
+TEST(DiscretizeTest, RejectsBadInputs) {
+  EXPECT_FALSE(Discretize({}, BinningMethod::kEqualWidth, 3).ok());
+  EXPECT_FALSE(Discretize({1.0}, BinningMethod::kEqualWidth, 0).ok());
+  EXPECT_FALSE(
+      Discretize({1.0, std::nan("")}, BinningMethod::kEqualWidth, 2).ok());
+  EXPECT_FALSE(EqualWidthEdges(5.0, 5.0, 3).ok());
+  EXPECT_FALSE(DiscretizeWithEdges({1.0}, {0.0, 0.0, 1.0}).ok());
+  EXPECT_FALSE(DiscretizeWithEdges({1.0}, {0.0}).ok());
+}
+
+TEST(DiscretizeTest, ParsesNumericColumn) {
+  auto values = ParseNumericColumn({"3", "-1.5", "2e3", "?"});
+  ASSERT_TRUE(values.ok());
+  EXPECT_EQ((*values)[0], 3.0);
+  EXPECT_EQ((*values)[1], -1.5);
+  EXPECT_EQ((*values)[2], 2000.0);
+  EXPECT_EQ((*values)[3], 0.0);  // Missing token -> default fill.
+}
+
+TEST(DiscretizeTest, ParseRejectsNonNumeric) {
+  auto values = ParseNumericColumn({"3", "abc"});
+  ASSERT_FALSE(values.ok());
+  EXPECT_EQ(values.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DiscretizeTest, EndToEndCsvNumericPipeline) {
+  // The full Adult-style flow: parse strings -> numeric -> bin codes
+  // usable as a categorical attribute.
+  const std::vector<std::string> age = {"25", "38", "52", "17", "90"};
+  auto numeric = ParseNumericColumn(age);
+  ASSERT_TRUE(numeric.ok());
+  auto edges = EqualWidthEdges(0.0, 100.0, 10);  // A-priori range: DP-safe.
+  ASSERT_TRUE(edges.ok());
+  auto d = DiscretizeWithEdges(numeric.value(), edges.value());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->codes, (std::vector<std::uint32_t>{2, 3, 5, 1, 9}));
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace dpcube

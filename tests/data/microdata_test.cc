@@ -1,0 +1,133 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "data/microdata.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/contingency_table.h"
+#include "data/synthetic.h"
+#include "dp/privacy.h"
+#include "marginal/marginal_table.h"
+#include "marginal/workload.h"
+#include "recovery/integral.h"
+
+namespace dpcube {
+namespace data {
+namespace {
+
+TEST(MicrodataTest, ExactModeReproducesCellsExactly) {
+  Rng rng(1);
+  const Schema schema({{"a", 2}, {"b", 2}});  // Domain 4, no padding.
+  const std::vector<double> cells = {3.0, 0.0, 2.0, 5.0};
+  MicrodataOptions options;
+  auto md = GenerateMicrodata(schema, cells, options, &rng);
+  ASSERT_TRUE(md.ok()) << md.status();
+  EXPECT_EQ(md->dataset.num_rows(), 10u);
+  EXPECT_EQ(md->skipped_mass, 0.0);
+  auto dense = DenseTable::FromDataset(md->dataset);
+  ASSERT_TRUE(dense.ok());
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(dense->cell(c), cells[c]) << "cell " << c;
+  }
+}
+
+TEST(MicrodataTest, ExactModeSkipsStructurallyEmptyCells) {
+  Rng rng(2);
+  // Cardinality 3 uses 2 bits: value 3 is structurally empty.
+  const Schema schema({{"tri", 3}});
+  const std::vector<double> cells = {1.0, 2.0, 3.0, 4.0};
+  MicrodataOptions options;
+  auto md = GenerateMicrodata(schema, cells, options, &rng);
+  ASSERT_TRUE(md.ok());
+  EXPECT_EQ(md->dataset.num_rows(), 6u);   // 1 + 2 + 3.
+  EXPECT_EQ(md->skipped_mass, 4.0);        // The padding cell's mass.
+}
+
+TEST(MicrodataTest, ExactModeRejectsNegativeCells) {
+  Rng rng(3);
+  const Schema schema({{"a", 2}});
+  auto md = GenerateMicrodata(schema, {1.0, -1.0}, {}, &rng);
+  ASSERT_FALSE(md.ok());
+  EXPECT_EQ(md.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MicrodataTest, SampleModeMatchesDistribution) {
+  Rng rng(5);
+  const Schema schema({{"a", 2}, {"b", 2}});
+  const std::vector<double> cells = {10.0, 30.0, 0.0, 60.0};
+  MicrodataOptions options;
+  options.mode = MicrodataOptions::Mode::kSample;
+  options.sample_rows = 20000;
+  auto md = GenerateMicrodata(schema, cells, options, &rng);
+  ASSERT_TRUE(md.ok()) << md.status();
+  EXPECT_EQ(md->dataset.num_rows(), 20000u);
+  auto dense = DenseTable::FromDataset(md->dataset);
+  ASSERT_TRUE(dense.ok());
+  EXPECT_NEAR(dense->cell(0) / 20000.0, 0.1, 0.01);
+  EXPECT_NEAR(dense->cell(1) / 20000.0, 0.3, 0.015);
+  EXPECT_EQ(dense->cell(2), 0.0);
+  EXPECT_NEAR(dense->cell(3) / 20000.0, 0.6, 0.015);
+}
+
+TEST(MicrodataTest, SampleModeIgnoresNegativeMass) {
+  Rng rng(7);
+  const Schema schema({{"a", 2}});
+  MicrodataOptions options;
+  options.mode = MicrodataOptions::Mode::kSample;
+  options.sample_rows = 1000;
+  auto md = GenerateMicrodata(schema, {-50.0, 10.0}, options, &rng);
+  ASSERT_TRUE(md.ok());
+  auto dense = DenseTable::FromDataset(md->dataset);
+  ASSERT_TRUE(dense.ok());
+  EXPECT_EQ(dense->cell(0), 0.0);
+  EXPECT_EQ(dense->cell(1), 1000.0);
+}
+
+TEST(MicrodataTest, RejectsBadInputs) {
+  Rng rng(9);
+  const Schema schema({{"a", 2}});
+  EXPECT_FALSE(GenerateMicrodata(schema, {1.0, 2.0, 3.0}, {}, &rng).ok());
+  MicrodataOptions sample_zero;
+  sample_zero.mode = MicrodataOptions::Mode::kSample;
+  EXPECT_FALSE(GenerateMicrodata(schema, {1.0, 2.0}, sample_zero, &rng).ok());
+  MicrodataOptions sample;
+  sample.mode = MicrodataOptions::Mode::kSample;
+  sample.sample_rows = 10;
+  EXPECT_FALSE(GenerateMicrodata(schema, {0.0, 0.0}, sample, &rng).ok());
+}
+
+TEST(MicrodataTest, IntegralReleaseRoundTripsToMicrodata) {
+  // End-to-end Section 6: private integral release -> microdata file ->
+  // recomputed marginals equal the released ones exactly.
+  Rng rng(11);
+  const int d = 6;
+  const Dataset ds = MakeProductBernoulli(d, 0.4, 800, &rng);
+  const SparseCounts counts = SparseCounts::FromDataset(ds);
+  const marginal::Workload load = marginal::AllKWayBits(d, 2);
+  dp::PrivacyParams params;
+  params.epsilon = 1.0;
+  auto rel = recovery::IntegralBaseCountRelease(load, counts, params, &rng);
+  ASSERT_TRUE(rel.ok());
+
+  const Schema schema = BinarySchema(d);
+  std::vector<double> cells(rel->table.begin(), rel->table.end());
+  auto md = GenerateMicrodata(schema, cells, {}, &rng);
+  ASSERT_TRUE(md.ok()) << md.status();
+  EXPECT_EQ(md->skipped_mass, 0.0);  // Binary attrs: no padding cells.
+
+  const SparseCounts regenerated = SparseCounts::FromDataset(md->dataset);
+  for (std::size_t i = 0; i < load.num_marginals(); ++i) {
+    const marginal::MarginalTable recomputed =
+        marginal::ComputeMarginal(regenerated, load.mask(i));
+    for (std::size_t c = 0; c < recomputed.num_cells(); ++c) {
+      EXPECT_EQ(recomputed.value(c), rel->marginals[i].value(c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace dpcube

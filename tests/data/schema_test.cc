@@ -1,0 +1,103 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "data/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace dpcube {
+namespace data {
+namespace {
+
+TEST(SchemaTest, BitWidthsCeilLog2) {
+  Schema schema({{"a", 2}, {"b", 3}, {"c", 9}, {"d", 16}, {"e", 1}});
+  EXPECT_EQ(schema.BitWidth(0), 1);
+  EXPECT_EQ(schema.BitWidth(1), 2);
+  EXPECT_EQ(schema.BitWidth(2), 4);
+  EXPECT_EQ(schema.BitWidth(3), 4);
+  EXPECT_EQ(schema.BitWidth(4), 1);  // Cardinality 1 still takes one bit.
+  EXPECT_EQ(schema.TotalBits(), 12);
+  EXPECT_EQ(schema.DomainSize(), 4096u);
+}
+
+TEST(SchemaTest, OffsetsArePrefixSums) {
+  Schema schema({{"a", 4}, {"b", 8}, {"c", 2}});
+  EXPECT_EQ(schema.BitOffset(0), 0);
+  EXPECT_EQ(schema.BitOffset(1), 2);
+  EXPECT_EQ(schema.BitOffset(2), 5);
+}
+
+TEST(SchemaTest, AttributeMasks) {
+  Schema schema({{"a", 4}, {"b", 8}, {"c", 2}});
+  EXPECT_EQ(schema.AttributeMask(0), 0b000011u);
+  EXPECT_EQ(schema.AttributeMask(1), 0b011100u);
+  EXPECT_EQ(schema.AttributeMask(2), 0b100000u);
+  EXPECT_EQ(schema.MarginalMask({0, 2}), 0b100011u);
+  EXPECT_EQ(schema.MarginalMask({}), 0u);
+}
+
+TEST(SchemaTest, ValidateRejectsZeroCardinality) {
+  Schema schema({{"bad", 0}});
+  EXPECT_FALSE(schema.Validate().ok());
+}
+
+TEST(SchemaTest, ValidateRejectsHugeDomain) {
+  std::vector<Attribute> attrs;
+  for (int i = 0; i < 64; ++i) attrs.push_back({"a" + std::to_string(i), 4});
+  EXPECT_FALSE(Schema(attrs).Validate().ok());
+}
+
+TEST(SchemaTest, AttributeIndexLookup) {
+  Schema schema({{"x", 2}, {"y", 2}});
+  auto idx = schema.AttributeIndex("y");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx.value(), 1u);
+  EXPECT_FALSE(schema.AttributeIndex("z").ok());
+}
+
+TEST(SchemaTest, BinarySchemaShape) {
+  Schema schema = BinarySchema(5);
+  EXPECT_EQ(schema.num_attributes(), 5u);
+  EXPECT_EQ(schema.TotalBits(), 5);
+  EXPECT_EQ(schema.attribute(3).name, "b3");
+  EXPECT_TRUE(schema.Validate().ok());
+}
+
+
+TEST(ParseSchemaSpecTest, ParsesValidSpec) {
+  auto schema = ParseSchemaSpec("age:4, smoker:2,region:8");
+  ASSERT_TRUE(schema.ok());
+  ASSERT_EQ(schema.value().num_attributes(), 3u);
+  EXPECT_EQ(schema.value().attribute(0).name, "age");
+  EXPECT_EQ(schema.value().attribute(1).cardinality, 2u);
+  EXPECT_EQ(schema.value().attribute(2).name, "region");
+  EXPECT_EQ(schema.value().TotalBits(), 2 + 1 + 3);
+}
+
+TEST(ParseSchemaSpecTest, SingleAttribute) {
+  auto schema = ParseSchemaSpec("x:16");
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema.value().BitWidth(0), 4);
+}
+
+TEST(ParseSchemaSpecTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(ParseSchemaSpec("").ok());
+  EXPECT_FALSE(ParseSchemaSpec("age").ok());
+  EXPECT_FALSE(ParseSchemaSpec("age:").ok());
+  EXPECT_FALSE(ParseSchemaSpec(":4").ok());
+  EXPECT_FALSE(ParseSchemaSpec("age:zero").ok());
+  EXPECT_FALSE(ParseSchemaSpec("age:0").ok());
+  EXPECT_FALSE(ParseSchemaSpec("a:4,,b:2").ok());
+}
+
+TEST(ParseSchemaSpecTest, RejectsOversizedDomain) {
+  std::string spec;
+  for (int i = 0; i < 40; ++i) {
+    spec += (i ? "," : "");
+    spec += "a" + std::to_string(i) + ":4";
+  }
+  EXPECT_FALSE(ParseSchemaSpec(spec).ok());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace dpcube

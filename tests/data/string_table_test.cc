@@ -1,0 +1,102 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "data/string_table.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+namespace dpcube {
+namespace data {
+namespace {
+
+TEST(ValueDictionaryTest, FirstAppearanceOrder) {
+  ValueDictionary dict;
+  EXPECT_EQ(dict.CodeOf("red"), 0u);
+  EXPECT_EQ(dict.CodeOf("green"), 1u);
+  EXPECT_EQ(dict.CodeOf("red"), 0u);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.LabelOf(1), "green");
+  EXPECT_TRUE(dict.Find("green").ok());
+  EXPECT_FALSE(dict.Find("blue").ok());
+}
+
+TEST(EncodeStringRowsTest, BuildsSchemaFromObservedCardinalities) {
+  auto table = EncodeStringRows(
+      {"color", "size"},
+      {{"red", "S"}, {"green", "M"}, {"red", "L"}, {"blue", "S"}});
+  ASSERT_TRUE(table.ok());
+  const Schema& schema = table.value().dataset.schema();
+  EXPECT_EQ(schema.attribute(0).name, "color");
+  EXPECT_EQ(schema.attribute(0).cardinality, 3u);
+  EXPECT_EQ(schema.attribute(1).cardinality, 3u);
+  EXPECT_EQ(table.value().dataset.num_rows(), 4u);
+  // Codes follow first appearance.
+  EXPECT_EQ(table.value().dataset.At(0, 0), 0u);  // red.
+  EXPECT_EQ(table.value().dataset.At(1, 0), 1u);  // green.
+  EXPECT_EQ(table.value().dataset.At(3, 0), 2u);  // blue.
+  EXPECT_EQ(table.value().LabelAt(3, 0), "blue");
+  EXPECT_EQ(table.value().LabelAt(2, 1), "L");
+}
+
+TEST(EncodeStringRowsTest, RejectsRaggedRows) {
+  EXPECT_FALSE(EncodeStringRows({"a", "b"}, {{"x"}}).ok());
+  EXPECT_FALSE(EncodeStringRows({}, {}).ok());
+}
+
+TEST(EncodeStringRowsTest, EmptyRowsGiveCardinalityOne) {
+  auto table = EncodeStringRows({"a"}, {});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value().dataset.schema().attribute(0).cardinality, 1u);
+  EXPECT_EQ(table.value().dataset.num_rows(), 0u);
+}
+
+TEST(ReadStringCsvTest, ParsesFile) {
+  const std::string path = ::testing::TempDir() + "/dpcube_strings.csv";
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("workclass,salary\nPrivate,<=50K\nSelf-emp,>50K\n"
+               "Private,>50K\n",
+               f);
+    std::fclose(f);
+  }
+  auto table = ReadStringCsv(path);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value().dataset.num_rows(), 3u);
+  EXPECT_EQ(table.value().dataset.schema().attribute(0).name, "workclass");
+  EXPECT_EQ(table.value().LabelAt(1, 0), "Self-emp");
+  EXPECT_EQ(table.value().LabelAt(2, 1), ">50K");
+  // Encoded domain: 1 bit per 2-category attribute.
+  EXPECT_EQ(table.value().dataset.schema().TotalBits(), 2);
+  std::remove(path.c_str());
+}
+
+TEST(ReadStringCsvTest, EmptyFieldsAreCategories) {
+  const std::string path = ::testing::TempDir() + "/dpcube_empty_fields.csv";
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("a,b\nx,\ny,z\n", f);
+    std::fclose(f);
+  }
+  auto table = ReadStringCsv(path);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value().dataset.num_rows(), 2u);
+  EXPECT_EQ(table.value().LabelAt(0, 1), "");
+  std::remove(path.c_str());
+}
+
+TEST(ReadStringCsvTest, ErrorsPropagate) {
+  EXPECT_FALSE(ReadStringCsv("/nonexistent/x.csv").ok());
+  const std::string path = ::testing::TempDir() + "/dpcube_ragged.csv";
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("a,b\nonlyone\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(ReadStringCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace dpcube

@@ -1,0 +1,145 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "data/synthetic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/contingency_table.h"
+
+namespace dpcube {
+namespace data {
+namespace {
+
+TEST(AdultLikeTest, SchemaMatchesPaperCardinalities) {
+  const Schema schema = AdultSchema();
+  ASSERT_EQ(schema.num_attributes(), 8u);
+  EXPECT_EQ(schema.attribute(0).cardinality, 9u);   // workclass
+  EXPECT_EQ(schema.attribute(1).cardinality, 16u);  // education
+  EXPECT_EQ(schema.attribute(2).cardinality, 7u);   // marital
+  EXPECT_EQ(schema.attribute(3).cardinality, 15u);  // occupation
+  EXPECT_EQ(schema.attribute(4).cardinality, 6u);   // relationship
+  EXPECT_EQ(schema.attribute(5).cardinality, 5u);   // race
+  EXPECT_EQ(schema.attribute(6).cardinality, 2u);   // sex
+  EXPECT_EQ(schema.attribute(7).cardinality, 2u);   // salary
+  EXPECT_EQ(schema.TotalBits(), 23);                // Encoded d.
+}
+
+TEST(AdultLikeTest, GeneratesRequestedRowsInRange) {
+  Rng rng(1);
+  const Dataset ds = MakeAdultLike(2000, &rng);
+  EXPECT_EQ(ds.num_rows(), 2000u);
+  for (std::size_t r = 0; r < ds.num_rows(); ++r) {
+    for (std::size_t a = 0; a < ds.schema().num_attributes(); ++a) {
+      EXPECT_LT(ds.At(r, a), ds.schema().attribute(a).cardinality);
+    }
+  }
+}
+
+TEST(AdultLikeTest, DeterministicUnderSeed) {
+  Rng a(9), b(9);
+  const Dataset d1 = MakeAdultLike(200, &a);
+  const Dataset d2 = MakeAdultLike(200, &b);
+  for (std::size_t r = 0; r < 200; ++r) {
+    EXPECT_EQ(d1.EncodeRow(r), d2.EncodeRow(r));
+  }
+}
+
+TEST(AdultLikeTest, SkewAndCorrelationPresent) {
+  Rng rng(2);
+  const Dataset ds = MakeAdultLike(20000, &rng);
+  // Workclass 0 dominates.
+  std::size_t wc0 = 0, salary_hi = 0;
+  for (std::size_t r = 0; r < ds.num_rows(); ++r) {
+    if (ds.At(r, 0) == 0) ++wc0;
+    if (ds.At(r, 7) == 1) ++salary_hi;
+  }
+  EXPECT_GT(wc0, ds.num_rows() / 2);
+  // Salary positive rate in a plausible census-like band.
+  const double rate = static_cast<double>(salary_hi) / ds.num_rows();
+  EXPECT_GT(rate, 0.10);
+  EXPECT_LT(rate, 0.45);
+  // Education-salary correlation: high education -> higher salary rate.
+  std::size_t lo_n = 0, lo_hi = 0, hi_n = 0, hi_hi = 0;
+  for (std::size_t r = 0; r < ds.num_rows(); ++r) {
+    if (ds.At(r, 1) < 4) {
+      ++lo_n;
+      lo_hi += ds.At(r, 7);
+    } else if (ds.At(r, 1) >= 12) {
+      ++hi_n;
+      hi_hi += ds.At(r, 7);
+    }
+  }
+  ASSERT_GT(lo_n, 100u);
+  ASSERT_GT(hi_n, 100u);
+  EXPECT_GT(static_cast<double>(hi_hi) / hi_n,
+            static_cast<double>(lo_hi) / lo_n + 0.1);
+}
+
+TEST(NltcsLikeTest, SchemaIs16Binary) {
+  const Schema schema = NltcsSchema();
+  EXPECT_EQ(schema.num_attributes(), 16u);
+  EXPECT_EQ(schema.TotalBits(), 16);
+  for (std::size_t a = 0; a < 16; ++a) {
+    EXPECT_EQ(schema.attribute(a).cardinality, 2u);
+  }
+}
+
+TEST(NltcsLikeTest, SparseAndPositivelyCorrelated) {
+  Rng rng(3);
+  const Dataset ds = MakeNltcsLike(20000, &rng);
+  EXPECT_EQ(ds.num_rows(), 20000u);
+  // Disability indicators are mostly off.
+  double ones = 0.0;
+  for (std::size_t r = 0; r < ds.num_rows(); ++r) {
+    for (std::size_t a = 0; a < 16; ++a) ones += ds.At(r, a);
+  }
+  const double rate = ones / (16.0 * ds.num_rows());
+  EXPECT_GT(rate, 0.05);
+  EXPECT_LT(rate, 0.5);
+  // Positive pairwise correlation from the latent severity class:
+  // P(a0=1 | a1=1) should clearly exceed P(a0=1).
+  std::size_t a1 = 0, both = 0, a0 = 0;
+  for (std::size_t r = 0; r < ds.num_rows(); ++r) {
+    a0 += ds.At(r, 0);
+    if (ds.At(r, 1) == 1) {
+      ++a1;
+      both += ds.At(r, 0);
+    }
+  }
+  const double marginal_rate = static_cast<double>(a0) / ds.num_rows();
+  const double conditional = static_cast<double>(both) / a1;
+  EXPECT_GT(conditional, marginal_rate * 1.5);
+}
+
+TEST(NltcsLikeTest, OccupiedCellsFarBelowDomain) {
+  Rng rng(4);
+  const Dataset ds = MakeNltcsLike(20000, &rng);
+  const SparseCounts counts = SparseCounts::FromDataset(ds);
+  EXPECT_LT(counts.num_occupied(), 20000u);
+  EXPECT_LT(counts.num_occupied(), std::size_t{1} << 16);
+}
+
+TEST(UniformTest, CoversDomain) {
+  Rng rng(5);
+  const Schema schema({{"a", 3}, {"b", 4}});
+  const Dataset ds = MakeUniform(schema, 5000, &rng);
+  std::vector<int> counts_a(3, 0);
+  for (std::size_t r = 0; r < ds.num_rows(); ++r) ++counts_a[ds.At(r, 0)];
+  for (int c : counts_a) EXPECT_NEAR(c, 5000 / 3, 200);
+}
+
+TEST(ProductBernoulliTest, MatchesProbability) {
+  Rng rng(6);
+  const Dataset ds = MakeProductBernoulli(10, 0.25, 8000, &rng);
+  double ones = 0.0;
+  for (std::size_t r = 0; r < ds.num_rows(); ++r) {
+    for (std::size_t a = 0; a < 10; ++a) ones += ds.At(r, a);
+  }
+  EXPECT_NEAR(ones / (10.0 * 8000.0), 0.25, 0.01);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace dpcube

@@ -1,0 +1,97 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "dp/accountant.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dpcube {
+namespace dp {
+namespace {
+
+PrivacyParams Params(double eps, double delta = 0.0) {
+  PrivacyParams p;
+  p.epsilon = eps;
+  p.delta = delta;
+  return p;
+}
+
+TEST(AccountantTest, BasicCompositionAdds) {
+  PrivacyAccountant accountant(1.0, 1e-4);
+  EXPECT_TRUE(accountant.Charge(Params(0.3), "first").ok());
+  EXPECT_TRUE(accountant.Charge(Params(0.4, 1e-6), "second").ok());
+  EXPECT_NEAR(accountant.TotalEpsilonBasic(), 0.7, 1e-12);
+  EXPECT_NEAR(accountant.TotalDeltaBasic(), 1e-6, 1e-15);
+  EXPECT_NEAR(accountant.RemainingEpsilon(), 0.3, 1e-12);
+  EXPECT_EQ(accountant.charges().size(), 2u);
+  EXPECT_EQ(accountant.charges()[0].label, "first");
+}
+
+TEST(AccountantTest, RefusesOverBudget) {
+  PrivacyAccountant accountant(0.5);
+  EXPECT_TRUE(accountant.Charge(Params(0.4)).ok());
+  Status over = accountant.Charge(Params(0.2));
+  EXPECT_FALSE(over.ok());
+  EXPECT_EQ(over.code(), StatusCode::kFailedPrecondition);
+  // The refused charge must not have been recorded.
+  EXPECT_NEAR(accountant.TotalEpsilonBasic(), 0.4, 1e-12);
+  // A charge that fits still works.
+  EXPECT_TRUE(accountant.Charge(Params(0.1)).ok());
+}
+
+TEST(AccountantTest, RefusesDeltaOverBudget) {
+  PrivacyAccountant accountant(10.0, 1e-6);
+  EXPECT_FALSE(accountant.Charge(Params(0.1, 1e-5)).ok());
+}
+
+TEST(AccountantTest, RejectsInvalidParams) {
+  PrivacyAccountant accountant(1.0);
+  EXPECT_FALSE(accountant.Charge(Params(0.0)).ok());
+  EXPECT_FALSE(accountant.Charge(Params(-1.0)).ok());
+}
+
+TEST(AccountantTest, AdvancedCompositionBeatsBasicForManySmallCharges) {
+  // 100 charges of eps = 0.01: basic gives 1.0; advanced with slack 1e-6
+  // gives ~0.01 sqrt(2 * 100 * ln 1e6) + 100 * 0.01 * (e^0.01 - 1) ~ 0.54.
+  PrivacyAccountant accountant(10.0);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(accountant.Charge(Params(0.01)).ok());
+  }
+  const double basic = accountant.TotalEpsilonBasic();
+  const double advanced = accountant.TotalEpsilonAdvanced(1e-6);
+  EXPECT_NEAR(basic, 1.0, 1e-9);
+  EXPECT_LT(advanced, basic);
+  const double expected =
+      0.01 * std::sqrt(2.0 * 100.0 * std::log(1e6)) +
+      100.0 * 0.01 * (std::exp(0.01) - 1.0);
+  EXPECT_NEAR(advanced, expected, 1e-9);
+  EXPECT_NEAR(accountant.TotalDeltaAdvanced(1e-6), 1e-6, 1e-15);
+}
+
+TEST(AccountantTest, AdvancedNeverWorseThanBasic) {
+  // For one large charge, the advanced bound exceeds basic; the API
+  // returns the minimum.
+  PrivacyAccountant accountant(10.0);
+  ASSERT_TRUE(accountant.Charge(Params(2.0)).ok());
+  EXPECT_NEAR(accountant.TotalEpsilonAdvanced(1e-6),
+              accountant.TotalEpsilonBasic(), 1e-12);
+}
+
+TEST(AccountantTest, AdvancedWithZeroSlackFallsBackToBasic) {
+  PrivacyAccountant accountant(10.0);
+  ASSERT_TRUE(accountant.Charge(Params(0.1)).ok());
+  EXPECT_NEAR(accountant.TotalEpsilonAdvanced(0.0),
+              accountant.TotalEpsilonBasic(), 1e-12);
+}
+
+TEST(AccountantTest, EmptyAccountant) {
+  PrivacyAccountant accountant(1.0);
+  EXPECT_DOUBLE_EQ(accountant.TotalEpsilonBasic(), 0.0);
+  EXPECT_DOUBLE_EQ(accountant.TotalEpsilonAdvanced(1e-6), 0.0);
+  EXPECT_DOUBLE_EQ(accountant.RemainingEpsilon(), 1.0);
+}
+
+}  // namespace
+}  // namespace dp
+}  // namespace dpcube

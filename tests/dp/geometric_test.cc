@@ -1,0 +1,121 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "dp/geometric.h"
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "dp/privacy.h"
+
+namespace dpcube {
+namespace dp {
+namespace {
+
+TEST(GeometricTest, VarianceFormula) {
+  // alpha = e^{-1}: var = 2 e^{-1} / (1 - e^{-1})^2.
+  const double alpha = std::exp(-1.0);
+  EXPECT_NEAR(GeometricVariance(1.0),
+              2.0 * alpha / ((1.0 - alpha) * (1.0 - alpha)), 1e-12);
+}
+
+TEST(GeometricTest, VarianceBelowLaplaceAndConvergesAtSmallEps) {
+  // The discrete mechanism is never noisier than the Laplace mechanism at
+  // the same budget, and matches it in the small-eps limit.
+  for (double eps : {0.05, 0.1, 0.5, 1.0, 2.0}) {
+    EXPECT_LT(GeometricVariance(eps), LaplaceVariance(eps)) << eps;
+  }
+  EXPECT_NEAR(GeometricVariance(0.01) / LaplaceVariance(0.01), 1.0, 1e-3);
+}
+
+TEST(GeometricTest, SampleMomentsMatchFormula) {
+  Rng rng(99);
+  const double eps = 0.8;
+  const int kDraws = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double z = static_cast<double>(SampleGeometricNoise(eps, &rng));
+    sum += z;
+    sum_sq += z * z;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, GeometricVariance(eps), 0.1 * GeometricVariance(eps));
+}
+
+TEST(GeometricTest, EmpiricalPmfIsGeometricAndSymmetric) {
+  Rng rng(7);
+  const double eps = 1.0;
+  const double alpha = GeometricAlpha(eps);
+  const int kDraws = 400000;
+  std::map<std::int64_t, int> histogram;
+  for (int i = 0; i < kDraws; ++i) ++histogram[SampleGeometricNoise(eps, &rng)];
+  // Pr[Z = k] = (1-a)/(1+a) a^{|k|}; check k in [-2, 2] within 5% rel.
+  for (std::int64_t k = -2; k <= 2; ++k) {
+    const double expected =
+        (1.0 - alpha) / (1.0 + alpha) * std::pow(alpha, std::abs(double(k)));
+    const double observed = double(histogram[k]) / kDraws;
+    EXPECT_NEAR(observed, expected, 0.05 * expected) << "k=" << k;
+  }
+}
+
+TEST(GeometricTest, SuccessiveProbabilityRatioBoundedByEps) {
+  // The DP guarantee in pmf form: p(k) / p(k+1) = 1/alpha = e^{eps}
+  // exactly, for k >= 0. Verified on the analytic pmf.
+  const double eps = 0.7;
+  const double alpha = GeometricAlpha(eps);
+  EXPECT_NEAR(1.0 / alpha, std::exp(eps), 1e-12);
+}
+
+TEST(GeometricTest, AddNoiseKeepsIntegrality) {
+  Rng rng(3);
+  std::vector<std::int64_t> answers = {10, 0, 123456, -5};
+  auto noisy = AddUniformGeometricNoise(answers, 0.5, &rng);
+  ASSERT_TRUE(noisy.ok());
+  EXPECT_EQ(noisy->size(), answers.size());
+  // Integrality is guaranteed by the type; check the values moved by a
+  // plausible amount (scale ~ 1/eps = 2).
+  for (std::size_t i = 0; i < answers.size(); ++i) {
+    EXPECT_LT(std::abs(double((*noisy)[i] - answers[i])), 100.0);
+  }
+}
+
+TEST(GeometricTest, RejectsBadBudgets) {
+  Rng rng(1);
+  EXPECT_FALSE(AddGeometricNoise({1, 2}, {1.0}, &rng).ok());
+  EXPECT_FALSE(AddGeometricNoise({1, 2}, {1.0, 0.0}, &rng).ok());
+  EXPECT_FALSE(AddGeometricNoise({1, 2}, {1.0, -2.0}, &rng).ok());
+}
+
+TEST(GeometricTest, ClampingBiasMatchesFormula) {
+  // E[max(Z, 0)] = alpha / (1 - alpha^2) — the per-empty-cell positive
+  // bias the integral release's clamping option documents.
+  Rng rng(31);
+  const double eps = 0.5;
+  const double alpha = GeometricAlpha(eps);
+  const double expected = alpha / (1.0 - alpha * alpha);
+  const int kDraws = 300000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const std::int64_t z = SampleGeometricNoise(eps, &rng);
+    if (z > 0) sum += static_cast<double>(z);
+  }
+  EXPECT_NEAR(sum / kDraws, expected, 0.03 * expected);
+}
+
+TEST(GeometricTest, LargeEpsilonIsNearlyNoiseless) {
+  Rng rng(11);
+  int nonzero = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (SampleGeometricNoise(20.0, &rng) != 0) ++nonzero;
+  }
+  // Pr[Z != 0] = 2 alpha / (1 + alpha) ~ 4e-9 at eps = 20.
+  EXPECT_EQ(nonzero, 0);
+}
+
+}  // namespace
+}  // namespace dp
+}  // namespace dpcube

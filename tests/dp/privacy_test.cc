@@ -1,0 +1,90 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "dp/privacy.h"
+
+#include <gtest/gtest.h>
+
+namespace dpcube {
+namespace dp {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(PrivacyParamsTest, Validation) {
+  PrivacyParams good{.epsilon = 0.5};
+  EXPECT_TRUE(good.Validate().ok());
+  EXPECT_TRUE(good.IsPureDp());
+  PrivacyParams approx{.epsilon = 0.5, .delta = 1e-6};
+  EXPECT_TRUE(approx.Validate().ok());
+  EXPECT_FALSE(approx.IsPureDp());
+  EXPECT_FALSE(PrivacyParams{.epsilon = 0.0}.Validate().ok());
+  EXPECT_FALSE(PrivacyParams{.epsilon = -1.0}.Validate().ok());
+  EXPECT_FALSE((PrivacyParams{.epsilon = 1.0, .delta = 1.0}).Validate().ok());
+  EXPECT_FALSE((PrivacyParams{.epsilon = 1.0, .delta = -0.1}).Validate().ok());
+}
+
+TEST(PrivacyParamsTest, SensitivityFactorByModel) {
+  PrivacyParams replace;
+  EXPECT_DOUBLE_EQ(replace.SensitivityFactor(), 2.0);  // Paper default.
+  PrivacyParams add_remove;
+  add_remove.neighbour = NeighbourModel::kAddRemove;
+  EXPECT_DOUBLE_EQ(add_remove.SensitivityFactor(), 1.0);
+}
+
+TEST(SensitivityTest, L1MatrixSensitivity) {
+  const Matrix s = {{1.0, 0.0}, {1.0, -2.0}};
+  // Max column L1 = max(2, 2) = 2.
+  EXPECT_DOUBLE_EQ(L1Sensitivity(s, NeighbourModel::kAddRemove), 2.0);
+  EXPECT_DOUBLE_EQ(L1Sensitivity(s, NeighbourModel::kReplaceOne), 4.0);
+}
+
+TEST(SensitivityTest, L2MatrixSensitivity) {
+  const Matrix s = {{3.0, 0.0}, {4.0, 1.0}};
+  EXPECT_DOUBLE_EQ(L2Sensitivity(s, NeighbourModel::kAddRemove), 5.0);
+  EXPECT_DOUBLE_EQ(L2Sensitivity(s, NeighbourModel::kReplaceOne), 10.0);
+}
+
+TEST(AchievedEpsilonTest, LaplaceWeightedColumns) {
+  // Proposition 3.1(i): alpha = factor * max_j sum_i |S_ij| eps_i.
+  const Matrix s = {{1.0, 1.0}, {1.0, 0.0}};
+  const Vector budgets = {0.3, 0.5};
+  EXPECT_DOUBLE_EQ(
+      AchievedEpsilonLaplace(s, budgets, NeighbourModel::kAddRemove), 0.8);
+  EXPECT_DOUBLE_EQ(
+      AchievedEpsilonLaplace(s, budgets, NeighbourModel::kReplaceOne), 1.6);
+}
+
+TEST(AchievedEpsilonTest, GaussianWeightedColumns) {
+  const Matrix s = {{1.0}, {1.0}};
+  const Vector budgets = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(
+      AchievedEpsilonGaussian(s, budgets, NeighbourModel::kAddRemove), 5.0);
+}
+
+TEST(AchievedEpsilonTest, UniformBudgetsMatchSensitivity) {
+  // With all budgets e, achieved epsilon = e * Delta_1(S).
+  const Matrix s = {{1.0, 0.0, 1.0}, {0.0, 1.0, 1.0}, {1.0, 1.0, 0.0}};
+  const double e = 0.25;
+  EXPECT_NEAR(AchievedEpsilonLaplace(s, Vector(3, e),
+                                     NeighbourModel::kAddRemove),
+              e * s.MaxColumnL1(), 1e-12);
+  EXPECT_NEAR(AchievedEpsilonGaussian(s, Vector(3, e),
+                                      NeighbourModel::kAddRemove),
+              e * s.MaxColumnL2(), 1e-12);
+}
+
+TEST(VarianceTest, MeasurementVariances) {
+  EXPECT_DOUBLE_EQ(LaplaceVariance(0.5), 8.0);
+  const double delta = 1e-5;
+  EXPECT_DOUBLE_EQ(GaussianVariance(1.0, delta), 2.0 * std::log(2.0 / delta));
+  PrivacyParams pure{.epsilon = 1.0};
+  EXPECT_DOUBLE_EQ(MeasurementVariance(0.5, pure), 8.0);
+  PrivacyParams approx{.epsilon = 1.0, .delta = delta};
+  EXPECT_DOUBLE_EQ(MeasurementVariance(1.0, approx),
+                   2.0 * std::log(2.0 / delta));
+}
+
+}  // namespace
+}  // namespace dp
+}  // namespace dpcube

@@ -1,0 +1,139 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "engine/budget_planner.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "budget/grouped_budget.h"
+#include "data/synthetic.h"
+#include "strategy/fourier_strategy.h"
+#include "strategy/query_strategy.h"
+
+namespace dpcube {
+namespace engine {
+namespace {
+
+dp::PrivacyParams Pure(double eps) {
+  dp::PrivacyParams p;
+  p.epsilon = eps;
+  p.neighbour = dp::NeighbourModel::kAddRemove;
+  return p;
+}
+
+TEST(BudgetPlannerTest, CubeRootSplitAcrossReleases) {
+  const data::Schema schema = data::BinarySchema(6);
+  strategy::QueryStrategy small(marginal::WorkloadQk(schema, 1));
+  strategy::QueryStrategy big(marginal::WorkloadQk(schema, 2));
+  std::vector<PlannedRelease> releases = {
+      {"small", &small, budget::BudgetMode::kOptimal, 1.0},
+      {"big", &big, budget::BudgetMode::kOptimal, 1.0},
+  };
+  auto plan = PlanReleases(releases, Pure(1.0));
+  ASSERT_TRUE(plan.ok());
+  // Budgets sum to the total and the bigger (noisier) workload gets more.
+  EXPECT_NEAR(plan.value().epsilons[0] + plan.value().epsilons[1], 1.0,
+              1e-9);
+  EXPECT_GT(plan.value().epsilons[1], plan.value().epsilons[0]);
+  // Cube-root rule: eps_i / eps_j = (V_i / V_j)^{1/3} with V from the
+  // closed-form objective at unit epsilon.
+  auto v_small =
+      budget::OptimalGroupBudgets(small.groups(), Pure(1.0));
+  auto v_big = budget::OptimalGroupBudgets(big.groups(), Pure(1.0));
+  ASSERT_TRUE(v_small.ok());
+  ASSERT_TRUE(v_big.ok());
+  const double want_ratio = std::cbrt(v_big.value().variance_objective /
+                                      v_small.value().variance_objective);
+  EXPECT_NEAR(plan.value().epsilons[1] / plan.value().epsilons[0],
+              want_ratio, 1e-9);
+}
+
+TEST(BudgetPlannerTest, EqualReleasesSplitEvenly) {
+  const data::Schema schema = data::BinarySchema(5);
+  strategy::QueryStrategy a(marginal::WorkloadQk(schema, 1));
+  strategy::QueryStrategy b(marginal::WorkloadQk(schema, 1));
+  std::vector<PlannedRelease> releases = {
+      {"a", &a, budget::BudgetMode::kOptimal, 1.0},
+      {"b", &b, budget::BudgetMode::kOptimal, 1.0},
+  };
+  auto plan = PlanReleases(releases, Pure(0.8));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NEAR(plan.value().epsilons[0], 0.4, 1e-9);
+  EXPECT_NEAR(plan.value().epsilons[1], 0.4, 1e-9);
+}
+
+TEST(BudgetPlannerTest, ImportanceShiftsBudget) {
+  const data::Schema schema = data::BinarySchema(5);
+  strategy::QueryStrategy a(marginal::WorkloadQk(schema, 1));
+  strategy::QueryStrategy b(marginal::WorkloadQk(schema, 1));
+  std::vector<PlannedRelease> neutral = {
+      {"a", &a, budget::BudgetMode::kOptimal, 1.0},
+      {"b", &b, budget::BudgetMode::kOptimal, 1.0},
+  };
+  std::vector<PlannedRelease> biased = neutral;
+  biased[0].importance = 8.0;
+  auto p_neutral = PlanReleases(neutral, Pure(1.0));
+  auto p_biased = PlanReleases(biased, Pure(1.0));
+  ASSERT_TRUE(p_neutral.ok());
+  ASSERT_TRUE(p_biased.ok());
+  EXPECT_GT(p_biased.value().epsilons[0], p_neutral.value().epsilons[0]);
+  // 8x importance -> 2x budget under the cube-root rule.
+  EXPECT_NEAR(p_biased.value().epsilons[0] / p_biased.value().epsilons[1],
+              2.0, 1e-9);
+}
+
+TEST(BudgetPlannerTest, PlanBeatsEvenSplit) {
+  const data::Schema schema = data::BinarySchema(6);
+  strategy::QueryStrategy small(marginal::WorkloadQk(schema, 1));
+  strategy::FourierStrategy big(marginal::WorkloadQk(schema, 3));
+  std::vector<PlannedRelease> releases = {
+      {"small", &small, budget::BudgetMode::kOptimal, 1.0},
+      {"big", &big, budget::BudgetMode::kOptimal, 1.0},
+  };
+  auto plan = PlanReleases(releases, Pure(1.0));
+  ASSERT_TRUE(plan.ok());
+  // Even split total variance:
+  double even_total = 0.0;
+  for (const auto& r : releases) {
+    auto v = budget::OptimalGroupBudgets(r.strategy->groups(), Pure(0.5));
+    ASSERT_TRUE(v.ok());
+    even_total += v.value().variance_objective;
+  }
+  EXPECT_LT(plan.value().total_variance, even_total);
+}
+
+TEST(BudgetPlannerTest, ZeroImportanceGetsVanishingShare) {
+  const data::Schema schema = data::BinarySchema(5);
+  strategy::QueryStrategy a(marginal::WorkloadQk(schema, 1));
+  strategy::QueryStrategy b(marginal::WorkloadQk(schema, 1));
+  std::vector<PlannedRelease> releases = {
+      {"a", &a, budget::BudgetMode::kOptimal, 0.0},
+      {"b", &b, budget::BudgetMode::kOptimal, 1.0},
+  };
+  auto plan = PlanReleases(releases, Pure(1.0));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GT(plan.value().epsilons[0], 0.0);
+  EXPECT_LT(plan.value().epsilons[0], 1e-5);
+  EXPECT_LE(plan.value().epsilons[0] + plan.value().epsilons[1],
+            1.0 + 1e-12);
+}
+
+TEST(BudgetPlannerTest, Validation) {
+  EXPECT_FALSE(PlanReleases({}, Pure(1.0)).ok());
+  const data::Schema schema = data::BinarySchema(4);
+  strategy::QueryStrategy a(marginal::WorkloadQk(schema, 1));
+  std::vector<PlannedRelease> no_strategy = {
+      {"x", nullptr, budget::BudgetMode::kOptimal, 1.0}};
+  EXPECT_FALSE(PlanReleases(no_strategy, Pure(1.0)).ok());
+  std::vector<PlannedRelease> negative = {
+      {"x", &a, budget::BudgetMode::kOptimal, -1.0}};
+  EXPECT_FALSE(PlanReleases(negative, Pure(1.0)).ok());
+  std::vector<PlannedRelease> ok_release = {
+      {"x", &a, budget::BudgetMode::kOptimal, 1.0}};
+  EXPECT_FALSE(PlanReleases(ok_release, Pure(0.0)).ok());
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace dpcube

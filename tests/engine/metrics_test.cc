@@ -1,0 +1,77 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "engine/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+
+namespace dpcube {
+namespace engine {
+namespace {
+
+TEST(MetricsTest, PerfectReleaseHasZeroError) {
+  Rng rng(1);
+  const data::Dataset ds = data::MakeProductBernoulli(5, 0.5, 200, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  const data::Schema schema = data::BinarySchema(5);
+  const marginal::Workload w = marginal::WorkloadQk(schema, 2);
+  std::vector<marginal::MarginalTable> released;
+  for (std::size_t i = 0; i < w.num_marginals(); ++i) {
+    released.push_back(marginal::ComputeMarginal(counts, w.mask(i)));
+  }
+  auto report = EvaluateRelease(w, counts, released);
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report.value().relative_error, 0.0);
+  EXPECT_DOUBLE_EQ(report.value().absolute_error, 0.0);
+  EXPECT_DOUBLE_EQ(report.value().max_absolute_error, 0.0);
+}
+
+TEST(MetricsTest, KnownOffsetGivesKnownError) {
+  Rng rng(2);
+  const data::Dataset ds = data::MakeProductBernoulli(4, 0.5, 160, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  const marginal::Workload w(4, {bits::Mask{0b0001}});
+  marginal::MarginalTable shifted = marginal::ComputeMarginal(counts, 0b0001);
+  shifted.value(0) += 8.0;
+  shifted.value(1) -= 4.0;
+  auto report = EvaluateRelease(w, counts, {shifted});
+  ASSERT_TRUE(report.ok());
+  EXPECT_DOUBLE_EQ(report.value().absolute_error, 6.0);
+  EXPECT_DOUBLE_EQ(report.value().max_absolute_error, 8.0);
+  // Mean true cell = 160 / 2 = 80; relative = 6 / 80.
+  EXPECT_DOUBLE_EQ(report.value().relative_error, 6.0 / 80.0);
+  ASSERT_EQ(report.value().per_marginal_relative.size(), 1u);
+}
+
+TEST(MetricsTest, AveragesAcrossMarginals) {
+  Rng rng(3);
+  const data::Dataset ds = data::MakeProductBernoulli(4, 0.5, 100, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  const marginal::Workload w(4, {bits::Mask{0b0001}, bits::Mask{0b0010}});
+  marginal::MarginalTable a = marginal::ComputeMarginal(counts, 0b0001);
+  marginal::MarginalTable b = marginal::ComputeMarginal(counts, 0b0010);
+  a.value(0) += 10.0;  // Mean abs error 5, mean true 50 -> rel 0.1.
+  auto report = EvaluateRelease(w, counts, {a, b});
+  ASSERT_TRUE(report.ok());
+  EXPECT_NEAR(report.value().relative_error, 0.05, 1e-12);
+  EXPECT_DOUBLE_EQ(report.value().per_marginal_relative[1], 0.0);
+}
+
+TEST(MetricsTest, ValidationErrors) {
+  Rng rng(4);
+  const data::Dataset ds = data::MakeProductBernoulli(4, 0.5, 50, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  const marginal::Workload w(4, {bits::Mask{0b0001}});
+  EXPECT_FALSE(EvaluateRelease(w, counts, {}).ok());
+  std::vector<marginal::MarginalTable> wrong;
+  wrong.emplace_back(bits::Mask{0b0010}, 4);
+  EXPECT_FALSE(EvaluateRelease(w, counts, wrong).ok());
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace dpcube

@@ -1,0 +1,106 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Randomised end-to-end trials over the whole pipeline: random domains,
+// random workloads (duplicates and nesting allowed), random methods,
+// both mechanisms — asserting structural invariants that must hold for
+// every configuration:
+//   * the release succeeds and has the workload's shape,
+//   * every value is finite,
+//   * consistent outputs really are consistent (they match the
+//     aggregations of an explicit witness table),
+//   * predicted variance is positive and finite.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/contingency_table.h"
+#include "data/synthetic.h"
+#include "engine/release_engine.h"
+#include "recovery/consistency.h"
+#include "strategy/factory.h"
+
+namespace dpcube {
+namespace engine {
+namespace {
+
+class PipelineFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineFuzz, InvariantsHold) {
+  Rng rng(1000 + GetParam());
+  const int d = 4 + static_cast<int>(rng.NextBounded(5));  // 4..8.
+  const std::size_t rows = 50 + rng.NextBounded(400);
+  const data::Dataset ds =
+      data::MakeProductBernoulli(d, 0.2 + 0.6 * rng.NextDouble(), rows,
+                                 &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+
+  // Random workload: 1..6 random non-empty masks (repeats allowed).
+  const std::size_t num_marginals = 1 + rng.NextBounded(6);
+  std::vector<bits::Mask> masks;
+  for (std::size_t i = 0; i < num_marginals; ++i) {
+    bits::Mask m = rng.NextBounded((1u << d) - 1) + 1;
+    // Cap the order at 4 to keep cells small.
+    while (bits::Popcount(m) > 4) m &= m - 1;
+    masks.push_back(m);
+  }
+  const marginal::Workload workload(d, masks);
+
+  const auto& names = strategy::PaperMethodNames();
+  const std::string method_name = names[rng.NextBounded(names.size())];
+  auto method = strategy::MakeMethod(method_name, workload);
+  ASSERT_TRUE(method.ok()) << method_name;
+
+  ReleaseOptions options;
+  options.params.epsilon = 0.1 + 2.0 * rng.NextDouble();
+  options.params.delta = rng.NextBernoulli(0.5) ? 0.0 : 1e-6;
+  options.params.neighbour = rng.NextBernoulli(0.5)
+                                 ? dp::NeighbourModel::kAddRemove
+                                 : dp::NeighbourModel::kReplaceOne;
+  options.budget_mode = method.value().budget_mode;
+  options.enforce_consistency = rng.NextBernoulli(0.7);
+
+  auto outcome =
+      ReleaseWorkload(*method.value().strategy, counts, options, &rng);
+  ASSERT_TRUE(outcome.ok()) << method_name << ": "
+                            << outcome.status().ToString();
+
+  // Shape and finiteness.
+  ASSERT_EQ(outcome.value().marginals.size(), workload.num_marginals());
+  for (std::size_t i = 0; i < workload.num_marginals(); ++i) {
+    const auto& m = outcome.value().marginals[i];
+    EXPECT_EQ(m.alpha(), workload.mask(i));
+    EXPECT_EQ(m.num_cells(), std::size_t{1} << bits::Popcount(m.alpha()));
+    for (std::size_t g = 0; g < m.num_cells(); ++g) {
+      EXPECT_TRUE(std::isfinite(m.value(g)))
+          << method_name << " marginal " << i << " cell " << g;
+    }
+  }
+  EXPECT_TRUE(std::isfinite(outcome.value().predicted_variance));
+  EXPECT_GT(outcome.value().predicted_variance, 0.0);
+
+  // Consistency: the released answers must be aggregations of one table.
+  if (outcome.value().consistent) {
+    auto witness = recovery::ConsistentWitness(
+        workload, outcome.value().marginals,
+        linalg::Vector(workload.num_marginals(), 1.0));
+    ASSERT_TRUE(witness.ok());
+    auto dense = data::DenseTable::FromCells(witness.value());
+    ASSERT_TRUE(dense.ok());
+    for (std::size_t i = 0; i < workload.num_marginals(); ++i) {
+      const marginal::MarginalTable agg =
+          marginal::ComputeMarginal(dense.value(), workload.mask(i));
+      for (std::size_t g = 0; g < agg.num_cells(); ++g) {
+        EXPECT_NEAR(outcome.value().marginals[i].value(g), agg.value(g),
+                    1e-5 * (1.0 + std::fabs(agg.value(g))))
+            << method_name;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Trials, PipelineFuzz, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace engine
+}  // namespace dpcube

@@ -1,0 +1,121 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "engine/release_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "engine/release_engine.h"
+#include "strategy/query_strategy.h"
+
+namespace dpcube {
+namespace engine {
+namespace {
+
+std::vector<marginal::MarginalTable> SampleRelease(
+    const marginal::Workload& w, Rng* rng) {
+  std::vector<marginal::MarginalTable> out;
+  for (std::size_t i = 0; i < w.num_marginals(); ++i) {
+    marginal::MarginalTable t(w.mask(i), w.d());
+    for (std::size_t g = 0; g < t.num_cells(); ++g) {
+      t.value(g) = rng->NextGaussian(100.0, 30.0);
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+TEST(ReleaseIoTest, WriteReadRoundTrip) {
+  Rng rng(1);
+  const marginal::Workload w(6, {bits::Mask{0b11}, bits::Mask{0b110000},
+                                 bits::Mask{0b001100}});
+  const auto release = SampleRelease(w, &rng);
+  const std::string path = ::testing::TempDir() + "/dpcube_release.csv";
+  ASSERT_TRUE(WriteReleaseCsv(path, release).ok());
+  auto loaded = ReadReleaseCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().workload.d(), 6);
+  ASSERT_EQ(loaded.value().marginals.size(), release.size());
+  for (std::size_t i = 0; i < release.size(); ++i) {
+    EXPECT_EQ(loaded.value().marginals[i].alpha(), release[i].alpha());
+    for (std::size_t g = 0; g < release[i].num_cells(); ++g) {
+      EXPECT_DOUBLE_EQ(loaded.value().marginals[i].value(g),
+                       release[i].value(g));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ReleaseIoTest, ValuesSurviveExactly) {
+  // %.17g round-trips doubles bit-exactly.
+  marginal::MarginalTable t(bits::Mask{0b1}, 3);
+  t.value(0) = 1.0 / 3.0;
+  t.value(1) = -2.7182818284590452;
+  const std::string path = ::testing::TempDir() + "/dpcube_exact.csv";
+  ASSERT_TRUE(WriteReleaseCsv(path, {t}).ok());
+  auto loaded = ReadReleaseCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().marginals[0].value(0), 1.0 / 3.0);
+  EXPECT_EQ(loaded.value().marginals[0].value(1), -2.7182818284590452);
+  std::remove(path.c_str());
+}
+
+TEST(ReleaseIoTest, EndToEndWithEngine) {
+  Rng rng(2);
+  const data::Dataset ds = data::MakeProductBernoulli(6, 0.4, 300, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  const marginal::Workload w =
+      marginal::WorkloadQk(data::BinarySchema(6), 2);
+  strategy::QueryStrategy strat(w);
+  ReleaseOptions options;
+  options.params.epsilon = 1.0;
+  auto outcome = ReleaseWorkload(strat, counts, options, &rng);
+  ASSERT_TRUE(outcome.ok());
+  const std::string path = ::testing::TempDir() + "/dpcube_e2e.csv";
+  ASSERT_TRUE(WriteReleaseCsv(path, outcome.value().marginals).ok());
+  auto loaded = ReadReleaseCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().workload.num_marginals(), w.num_marginals());
+  std::remove(path.c_str());
+}
+
+TEST(ReleaseIoTest, ReadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/dpcube_bad_release.csv";
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("not a release\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(ReadReleaseCsv(path).ok());
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("# dpcube-release d=3\nmask,cell,value\n1,99,5.0\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(ReadReleaseCsv(path).ok());  // Cell out of range.
+  {
+    FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("# dpcube-release d=3\nmask,cell,value\n1,x,5.0\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(ReadReleaseCsv(path).ok());  // Non-numeric.
+  std::remove(path.c_str());
+}
+
+TEST(ReleaseIoTest, ReadRejectsMissingFile) {
+  EXPECT_FALSE(ReadReleaseCsv("/nonexistent/release.csv").ok());
+}
+
+TEST(ReleaseIoTest, WriteRejectsMixedDimensionality) {
+  marginal::MarginalTable a(bits::Mask{0b1}, 3);
+  marginal::MarginalTable b(bits::Mask{0b1}, 4);
+  const std::string path = ::testing::TempDir() + "/dpcube_mixed.csv";
+  EXPECT_FALSE(WriteReleaseCsv(path, {a, b}).ok());
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace dpcube

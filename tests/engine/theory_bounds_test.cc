@@ -1,0 +1,104 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "engine/theory_bounds.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+
+namespace dpcube {
+namespace engine {
+namespace {
+
+TEST(TheoryBoundsTest, AllScaleInverselyWithEpsilon) {
+  const int d = 12, k = 2;
+  const double delta = 1e-6;
+  for (double eps : {0.1, 0.5, 1.0}) {
+    EXPECT_NEAR(BoundBaseCountsPure(d, k, eps) * eps,
+                BoundBaseCountsPure(d, k, 1.0), 1e-9);
+    EXPECT_NEAR(BoundMarginalsPure(d, k, eps) * eps,
+                BoundMarginalsPure(d, k, 1.0), 1e-9);
+    EXPECT_NEAR(BoundFourierUniformPure(d, k, eps) * eps,
+                BoundFourierUniformPure(d, k, 1.0), 1e-6);
+    EXPECT_NEAR(BoundFourierNonUniformPure(d, k, eps) * eps,
+                BoundFourierNonUniformPure(d, k, 1.0), 1e-6);
+    EXPECT_NEAR(BoundBaseCountsApprox(d, k, eps, delta) * eps,
+                BoundBaseCountsApprox(d, k, 1.0, delta), 1e-6);
+    EXPECT_NEAR(BoundLower(d, k, eps) * eps, BoundLower(d, k, 1.0), 1e-9);
+  }
+}
+
+TEST(TheoryBoundsTest, Table1OrderingForHighDimensions) {
+  // Table 1's key comparison: the non-uniform Fourier bound always beats
+  // the uniform one (the paper's improvement), and the lower bound sits
+  // below both.
+  const double eps = 1.0;
+  for (int d : {16, 20, 24, 30}) {
+    for (int k : {1, 2, 3}) {
+      const double fourier_uniform = BoundFourierUniformPure(d, k, eps);
+      const double fourier_nonuniform = BoundFourierNonUniformPure(d, k, eps);
+      const double lower = BoundLower(d, k, eps);
+      EXPECT_LT(fourier_nonuniform, fourier_uniform) << d << "," << k;
+      EXPECT_LT(lower, fourier_nonuniform) << d << "," << k;
+    }
+  }
+}
+
+TEST(TheoryBoundsTest, BaseCountsCrossover) {
+  // Base counts pay 2^{(d+k)/2}, exponential in d, while the Fourier
+  // bounds are polynomial in d for fixed k: base must eventually lose as
+  // d grows. Conversely on small domains with high-order marginals the
+  // base-count bound wins — exactly the paper's empirical observation
+  // that strategy I dominates for high-degree workloads (Section 5.2).
+  EXPECT_GT(BoundBaseCountsPure(30, 3, 1.0),
+            BoundFourierUniformPure(30, 3, 1.0));
+  EXPECT_LT(BoundBaseCountsPure(8, 3, 1.0),
+            BoundFourierUniformPure(8, 3, 1.0));
+}
+
+TEST(TheoryBoundsTest, NonUniformGainGrowsWithK) {
+  // The uniform/non-uniform ratio grows roughly like sqrt(2^k C(d,k) /
+  // C(d+k,k)) * sqrt(k); check monotone growth in k for fixed d.
+  const int d = 20;
+  double prev_ratio = 0.0;
+  for (int k = 1; k <= 4; ++k) {
+    const double ratio = BoundFourierUniformPure(d, k, 1.0) /
+                         BoundFourierNonUniformPure(d, k, 1.0);
+    EXPECT_GT(ratio, prev_ratio);
+    prev_ratio = ratio;
+  }
+  EXPECT_GT(prev_ratio, 2.0);
+}
+
+TEST(TheoryBoundsTest, ApproxBoundsDependOnDelta) {
+  const int d = 14, k = 2;
+  EXPECT_GT(BoundMarginalsApprox(d, k, 1.0, 1e-9),
+            BoundMarginalsApprox(d, k, 1.0, 1e-3));
+  EXPECT_GT(BoundFourierNonUniformApprox(d, k, 1.0, 1e-9),
+            BoundFourierNonUniformApprox(d, k, 1.0, 1e-3));
+}
+
+TEST(TheoryBoundsTest, ApproxBeatsPureForFourier) {
+  // (eps, delta)-DP pays sqrt factors instead of linear ones: for
+  // reasonable delta the approx bound is far below the pure bound.
+  const int d = 20, k = 3;
+  EXPECT_LT(BoundFourierNonUniformApprox(d, k, 1.0, 1e-6),
+            BoundFourierNonUniformPure(d, k, 1.0));
+}
+
+TEST(TheoryBoundsTest, ExplicitValues) {
+  // Spot-check formulas against hand computation.
+  EXPECT_DOUBLE_EQ(BoundBaseCountsPure(10, 2, 1.0), std::pow(2.0, 6.0));
+  EXPECT_DOUBLE_EQ(BoundMarginalsPure(5, 2, 0.5), 4.0 * 10.0 / 0.5);
+  EXPECT_DOUBLE_EQ(BoundFourierUniformPure(5, 2, 1.0),
+                   2.0 * 10.0 * std::sqrt(4.0));
+  EXPECT_DOUBLE_EQ(BoundFourierNonUniformPure(5, 2, 1.0),
+                   2.0 * std::sqrt(10.0 * bits::Binomial(7, 2)));
+  EXPECT_DOUBLE_EQ(BoundLower(9, 2, 2.0), std::sqrt(36.0) / 2.0);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace dpcube

@@ -1,0 +1,119 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "engine/variance_report.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "data/synthetic.h"
+#include "engine/metrics.h"
+#include "engine/release_engine.h"
+#include "strategy/cluster_strategy.h"
+#include "strategy/fourier_strategy.h"
+#include "strategy/identity_strategy.h"
+#include "strategy/query_strategy.h"
+
+namespace dpcube {
+namespace engine {
+namespace {
+
+dp::PrivacyParams Pure(double eps) {
+  dp::PrivacyParams p;
+  p.epsilon = eps;
+  p.neighbour = dp::NeighbourModel::kAddRemove;
+  return p;
+}
+
+TEST(VarianceReportTest, PredictionMatchesRunReportedVariances) {
+  // PredictCellVariances must equal what Run() reports, for every
+  // strategy, without data access.
+  Rng rng(1);
+  const data::Dataset ds = data::MakeProductBernoulli(6, 0.4, 100, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  const marginal::Workload w =
+      marginal::WorkloadQkStar(data::BinarySchema(6), 1);
+  const strategy::IdentityStrategy identity(w);
+  const strategy::QueryStrategy query(w);
+  const strategy::FourierStrategy fourier(w);
+  const strategy::ClusterStrategy cluster(w);
+  for (const strategy::MarginalStrategy* strat :
+       std::initializer_list<const strategy::MarginalStrategy*>{
+           &identity, &query, &fourier, &cluster}) {
+    auto report = PredictRelease(*strat, Pure(0.8));
+    ASSERT_TRUE(report.ok()) << strat->name();
+    auto release = strat->Run(counts, report.value().group_budgets,
+                              Pure(0.8), &rng);
+    ASSERT_TRUE(release.ok()) << strat->name();
+    ASSERT_EQ(report.value().cell_variances.size(),
+              release.value().cell_variances.size());
+    for (std::size_t i = 0; i < report.value().cell_variances.size(); ++i) {
+      EXPECT_NEAR(report.value().cell_variances[i],
+                  release.value().cell_variances[i],
+                  1e-9 * release.value().cell_variances[i])
+          << strat->name() << " marginal " << i;
+    }
+  }
+}
+
+TEST(VarianceReportTest, ExpectedAbsErrorMatchesEmpirical) {
+  // For the Q strategy (single Laplace draw per cell) the predicted
+  // E|noise| = sqrt(V/2) must match the measured mean absolute error.
+  Rng rng(2);
+  const data::Dataset ds = data::MakeProductBernoulli(5, 0.5, 200, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  const marginal::Workload w(5, {bits::Mask{0b11}});
+  const strategy::QueryStrategy query(w);
+  auto report = PredictRelease(query, Pure(0.5));
+  ASSERT_TRUE(report.ok());
+  const marginal::MarginalTable truth =
+      marginal::ComputeMarginal(counts, 0b11);
+  stats::RunningStats abs_err;
+  for (int rep = 0; rep < 3000; ++rep) {
+    auto release =
+        query.Run(counts, report.value().group_budgets, Pure(0.5), &rng);
+    ASSERT_TRUE(release.ok());
+    for (std::size_t g = 0; g < truth.num_cells(); ++g) {
+      abs_err.Add(std::fabs(release.value().marginals[0].value(g) -
+                            truth.value(g)));
+    }
+  }
+  EXPECT_NEAR(abs_err.mean(), report.value().expected_abs_error[0],
+              0.05 * report.value().expected_abs_error[0]);
+}
+
+TEST(VarianceReportTest, OptimalModePredictsLessThanUniform) {
+  const marginal::Workload w =
+      marginal::WorkloadQkStar(data::BinarySchema(7), 1);
+  const strategy::FourierStrategy fourier(w);
+  auto opt = PredictRelease(fourier, Pure(1.0), budget::BudgetMode::kOptimal);
+  auto uni = PredictRelease(fourier, Pure(1.0), budget::BudgetMode::kUniform);
+  ASSERT_TRUE(opt.ok());
+  ASSERT_TRUE(uni.ok());
+  EXPECT_LT(opt.value().total_variance, uni.value().total_variance);
+}
+
+TEST(VarianceReportTest, PredictionIsDataFree) {
+  // Same strategy, two different datasets: identical predictions.
+  const marginal::Workload w = marginal::WorkloadQk(data::BinarySchema(6), 2);
+  const strategy::QueryStrategy query(w);
+  auto a = PredictRelease(query, Pure(0.3));
+  auto b = PredictRelease(query, Pure(0.3));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (std::size_t i = 0; i < a.value().cell_variances.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.value().cell_variances[i],
+                     b.value().cell_variances[i]);
+  }
+}
+
+TEST(VarianceReportTest, RejectsBadParams) {
+  const marginal::Workload w = marginal::WorkloadQk(data::BinarySchema(4), 1);
+  const strategy::QueryStrategy query(w);
+  EXPECT_FALSE(PredictRelease(query, Pure(0.0)).ok());
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace dpcube

@@ -1,0 +1,158 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "linalg/decompositions.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dpcube {
+namespace linalg {
+namespace {
+
+Matrix RandomMatrix(std::size_t n, Rng* rng) {
+  Matrix m(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      m(r, c) = rng->NextGaussian();
+    }
+  }
+  return m;
+}
+
+Matrix RandomSpd(std::size_t n, Rng* rng) {
+  Matrix a = RandomMatrix(n, rng);
+  Matrix spd = a.Transpose().Multiply(a);
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += n;  // Well-conditioned.
+  return spd;
+}
+
+TEST(LuTest, SolvesKnownSystem) {
+  Matrix a = {{2.0, 1.0}, {1.0, 3.0}};
+  auto lu = LuDecomposition::Compute(a);
+  ASSERT_TRUE(lu.ok());
+  Vector x = lu.value().Solve({5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuTest, RejectsNonSquare) {
+  EXPECT_FALSE(LuDecomposition::Compute(Matrix(2, 3)).ok());
+}
+
+TEST(LuTest, RejectsSingular) {
+  Matrix a = {{1.0, 2.0}, {2.0, 4.0}};
+  Result<LuDecomposition> lu = LuDecomposition::Compute(a);
+  ASSERT_FALSE(lu.ok());
+  EXPECT_EQ(lu.status().code(), StatusCode::kNumericalError);
+}
+
+TEST(LuTest, PivotingHandlesZeroLeadingEntry) {
+  Matrix a = {{0.0, 1.0}, {1.0, 0.0}};
+  auto lu = LuDecomposition::Compute(a);
+  ASSERT_TRUE(lu.ok());
+  Vector x = lu.value().Solve({2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  EXPECT_NEAR(lu.value().Determinant(), -1.0, 1e-12);
+}
+
+TEST(LuTest, DeterminantKnown) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  auto lu = LuDecomposition::Compute(a);
+  ASSERT_TRUE(lu.ok());
+  EXPECT_NEAR(lu.value().Determinant(), -2.0, 1e-12);
+}
+
+TEST(LuTest, InverseTimesOriginalIsIdentity) {
+  Rng rng(5);
+  for (std::size_t n : {2u, 5u, 12u}) {
+    Matrix a = RandomMatrix(n, &rng);
+    auto lu = LuDecomposition::Compute(a);
+    ASSERT_TRUE(lu.ok());
+    Matrix prod = a.Multiply(lu.value().Inverse());
+    EXPECT_TRUE(prod.ApproxEquals(Matrix::Identity(n), 1e-8)) << "n=" << n;
+  }
+}
+
+// Property sweep: random systems round-trip through Solve.
+class LuSolveProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuSolveProperty, SolveRoundTrip) {
+  Rng rng(100 + GetParam());
+  const std::size_t n = 3 + GetParam() % 9;
+  Matrix a = RandomMatrix(n, &rng);
+  Vector want(n);
+  for (double& v : want) v = rng.NextGaussian();
+  auto lu = LuDecomposition::Compute(a);
+  ASSERT_TRUE(lu.ok());
+  Vector got = lu.value().Solve(a.MultiplyVec(want));
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(got[i], want[i], 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LuSolveProperty, ::testing::Range(0, 12));
+
+TEST(CholeskyTest, FactorsKnownSpd) {
+  Matrix a = {{4.0, 2.0}, {2.0, 5.0}};
+  auto chol = CholeskyDecomposition::Compute(a);
+  ASSERT_TRUE(chol.ok());
+  const Matrix& l = chol.value().lower();
+  EXPECT_NEAR(l(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(l(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(l(1, 1), 2.0, 1e-12);
+  // L L^T == A.
+  EXPECT_TRUE(l.Multiply(l.Transpose()).ApproxEquals(a, 1e-12));
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a = {{1.0, 2.0}, {2.0, 1.0}};  // Eigenvalues 3 and -1.
+  EXPECT_FALSE(CholeskyDecomposition::Compute(a).ok());
+}
+
+TEST(CholeskyTest, SolveMatchesLu) {
+  Rng rng(9);
+  Matrix a = RandomSpd(8, &rng);
+  Vector b(8);
+  for (double& v : b) v = rng.NextGaussian();
+  auto chol = CholeskyDecomposition::Compute(a);
+  auto lu = LuDecomposition::Compute(a);
+  ASSERT_TRUE(chol.ok());
+  ASSERT_TRUE(lu.ok());
+  Vector x1 = chol.value().Solve(b);
+  Vector x2 = lu.value().Solve(b);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(x1[i], x2[i], 1e-9);
+}
+
+TEST(CholeskyTest, SolveMatrixColumns) {
+  Rng rng(10);
+  Matrix a = RandomSpd(5, &rng);
+  auto chol = CholeskyDecomposition::Compute(a);
+  ASSERT_TRUE(chol.ok());
+  Matrix inv = chol.value().SolveMatrix(Matrix::Identity(5));
+  EXPECT_TRUE(a.Multiply(inv).ApproxEquals(Matrix::Identity(5), 1e-9));
+}
+
+TEST(SolveHelpersTest, SolveLinearSystem) {
+  auto x = SolveLinearSystem({{1.0, 1.0}, {1.0, -1.0}}, {3.0, 1.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 2.0, 1e-12);
+  EXPECT_NEAR(x.value()[1], 1.0, 1e-12);
+}
+
+TEST(SolveHelpersTest, SolveDimensionMismatch) {
+  EXPECT_FALSE(SolveLinearSystem(Matrix(2, 2), {1.0, 2.0, 3.0}).ok());
+}
+
+TEST(RankTest, FullAndDeficient) {
+  EXPECT_EQ(NumericalRank(Matrix::Identity(4)), 4u);
+  Matrix rank1 = {{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_EQ(NumericalRank(rank1), 1u);
+  EXPECT_EQ(NumericalRank(Matrix(3, 3)), 0u);
+  // Wide matrix: rank bounded by rows.
+  Matrix wide = {{1.0, 0.0, 1.0}, {0.0, 1.0, 1.0}};
+  EXPECT_EQ(NumericalRank(wide), 2u);
+}
+
+}  // namespace
+}  // namespace linalg
+}  // namespace dpcube

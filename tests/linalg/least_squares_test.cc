@@ -1,0 +1,140 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "linalg/least_squares.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dpcube {
+namespace linalg {
+namespace {
+
+TEST(OlsTest, ExactSystemRecovered) {
+  // Square invertible A: OLS solves exactly.
+  Matrix a = {{2.0, 0.0}, {0.0, 4.0}};
+  auto x = OrdinaryLeastSquares(a, {6.0, 8.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 3.0, 1e-10);
+  EXPECT_NEAR(x.value()[1], 2.0, 1e-10);
+}
+
+TEST(OlsTest, OverdeterminedLineFit) {
+  // Fit y = 2t + 1 through noisy-free points: exact recovery.
+  Matrix a = {{1.0, 0.0}, {1.0, 1.0}, {1.0, 2.0}, {1.0, 3.0}};
+  Vector b = {1.0, 3.0, 5.0, 7.0};
+  auto x = OrdinaryLeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 1.0, 1e-10);
+  EXPECT_NEAR(x.value()[1], 2.0, 1e-10);
+}
+
+TEST(OlsTest, ResidualOrthogonalToColumns) {
+  Rng rng(3);
+  Matrix a(10, 3);
+  Vector b(10);
+  for (std::size_t r = 0; r < 10; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = rng.NextGaussian();
+    b[r] = rng.NextGaussian();
+  }
+  auto x = OrdinaryLeastSquares(a, b);
+  ASSERT_TRUE(x.ok());
+  const Vector residual = SubVec(a.MultiplyVec(x.value()), b);
+  const Vector atr = a.TransposeMultiplyVec(residual);
+  for (double v : atr) EXPECT_NEAR(v, 0.0, 1e-8);
+}
+
+TEST(OlsTest, DimensionMismatch) {
+  EXPECT_FALSE(OrdinaryLeastSquares(Matrix(3, 2), {1.0}).ok());
+}
+
+TEST(GlsTest, ReducesToOlsWithUnitVariances) {
+  Rng rng(7);
+  Matrix a(8, 3);
+  Vector b(8);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = rng.NextGaussian();
+    b[r] = rng.NextGaussian();
+  }
+  auto ols = OrdinaryLeastSquares(a, b);
+  auto gls = GeneralizedLeastSquares(a, b, Vector(8, 1.0));
+  ASSERT_TRUE(ols.ok());
+  ASSERT_TRUE(gls.ok());
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(ols.value()[i], gls.value()[i], 1e-9);
+  }
+}
+
+TEST(GlsTest, DownweightsHighVarianceRows) {
+  // Two measurements of a scalar: x measured as 10 (variance 1) and as 0
+  // (variance 100). GLS estimate = (10/1 + 0/100) / (1/1 + 1/100).
+  Matrix a = {{1.0}, {1.0}};
+  auto x = GeneralizedLeastSquares(a, {10.0, 0.0}, {1.0, 100.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 10.0 / 1.01, 1e-9);
+}
+
+TEST(GlsTest, RejectsNonPositiveVariance) {
+  Matrix a = {{1.0}, {1.0}};
+  EXPECT_FALSE(GeneralizedLeastSquares(a, {1.0, 2.0}, {1.0, 0.0}).ok());
+  EXPECT_FALSE(GeneralizedLeastSquares(a, {1.0, 2.0}, {1.0, -2.0}).ok());
+}
+
+TEST(GlsEstimatorTest, MatchesDirectSolve) {
+  Rng rng(11);
+  Matrix a(6, 2);
+  Vector b(6), variances(6);
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) a(r, c) = rng.NextGaussian();
+    b[r] = rng.NextGaussian();
+    variances[r] = 0.5 + rng.NextDouble();
+  }
+  auto g = GlsEstimatorMatrix(a, variances);
+  auto direct = GeneralizedLeastSquares(a, b, variances);
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(direct.ok());
+  const Vector via_matrix = g.value().MultiplyVec(b);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(via_matrix[i], direct.value()[i], 1e-9);
+  }
+}
+
+TEST(GlsEstimatorTest, UnbiasednessGA_equals_I) {
+  // G A = I: the estimator reproduces any x exactly from noiseless data.
+  Rng rng(13);
+  Matrix a(7, 3);
+  Vector variances(7);
+  for (std::size_t r = 0; r < 7; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = rng.NextGaussian();
+    variances[r] = 0.1 + rng.NextDouble();
+  }
+  auto g = GlsEstimatorMatrix(a, variances);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(
+      g.value().Multiply(a).ApproxEquals(Matrix::Identity(3), 1e-8));
+}
+
+TEST(PseudoInverseTest, RightInverse) {
+  Matrix a = {{1.0, 0.0, 1.0}, {0.0, 1.0, 1.0}};  // Full row rank.
+  auto pinv = RightPseudoInverse(a);
+  ASSERT_TRUE(pinv.ok());
+  EXPECT_TRUE(
+      a.Multiply(pinv.value()).ApproxEquals(Matrix::Identity(2), 1e-9));
+}
+
+TEST(PseudoInverseTest, LeftInverse) {
+  Matrix a = {{1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}};  // Full column rank.
+  auto pinv = LeftPseudoInverse(a);
+  ASSERT_TRUE(pinv.ok());
+  EXPECT_TRUE(
+      pinv.value().Multiply(a).ApproxEquals(Matrix::Identity(2), 1e-9));
+}
+
+TEST(PseudoInverseTest, RightInverseFailsOnRankDeficient) {
+  Matrix a = {{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_FALSE(RightPseudoInverse(a).ok());
+}
+
+}  // namespace
+}  // namespace linalg
+}  // namespace dpcube

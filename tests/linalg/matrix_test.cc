@@ -1,0 +1,121 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dpcube {
+namespace linalg {
+namespace {
+
+TEST(MatrixTest, ZeroInitialised) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 0.0);
+  }
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(MatrixTest, IdentityAndDiagonal) {
+  Matrix i = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(i(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 2), 0.0);
+  Matrix d = Matrix::Diagonal({2.0, 3.0});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(MatrixTest, RowColAccessors) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.Row(1), (Vector{3.0, 4.0}));
+  EXPECT_EQ(m.Col(0), (Vector{1.0, 3.0}));
+  m.SetRow(0, {9.0, 8.0});
+  EXPECT_DOUBLE_EQ(m(0, 1), 8.0);
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Matrix m = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  Matrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_TRUE(t.Transpose().ApproxEquals(m, 0.0));
+}
+
+TEST(MatrixTest, Multiply) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b = {{5.0, 6.0}, {7.0, 8.0}};
+  Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplyByIdentity) {
+  Matrix a = {{1.0, -2.0, 0.5}, {0.0, 3.0, 4.0}};
+  EXPECT_TRUE(a.Multiply(Matrix::Identity(3)).ApproxEquals(a, 1e-15));
+  EXPECT_TRUE(Matrix::Identity(2).Multiply(a).ApproxEquals(a, 1e-15));
+}
+
+TEST(MatrixTest, MultiplyVec) {
+  Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(a.MultiplyVec({1.0, 1.0}), (Vector{3.0, 7.0}));
+  EXPECT_EQ(a.TransposeMultiplyVec({1.0, 1.0}), (Vector{4.0, 6.0}));
+}
+
+TEST(MatrixTest, AddSubtractScale) {
+  Matrix a = {{1.0, 2.0}};
+  Matrix b = {{10.0, 20.0}};
+  EXPECT_TRUE(a.Add(b).ApproxEquals(Matrix{{11.0, 22.0}}, 0.0));
+  EXPECT_TRUE(b.Subtract(a).ApproxEquals(Matrix{{9.0, 18.0}}, 0.0));
+  EXPECT_TRUE(a.Scale(3.0).ApproxEquals(Matrix{{3.0, 6.0}}, 0.0));
+  Matrix c = a;
+  c.ScaleRow(0, -1.0);
+  EXPECT_DOUBLE_EQ(c(0, 0), -1.0);
+}
+
+TEST(MatrixTest, Norms) {
+  Matrix m = {{1.0, -2.0}, {-3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m.MaxAbs(), 4.0);
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), std::sqrt(30.0));
+  EXPECT_DOUBLE_EQ(m.MaxColumnL1(), 6.0);              // Column 1: 2 + 4.
+  EXPECT_DOUBLE_EQ(m.MaxColumnL2(), std::sqrt(20.0));  // Column 1.
+}
+
+TEST(MatrixTest, ApproxEqualsTolerance) {
+  Matrix a = {{1.0}};
+  Matrix b = {{1.0 + 1e-9}};
+  EXPECT_TRUE(a.ApproxEquals(b, 1e-8));
+  EXPECT_FALSE(a.ApproxEquals(b, 1e-10));
+  EXPECT_FALSE(a.ApproxEquals(Matrix(1, 2), 1.0));
+}
+
+TEST(VectorHelpersTest, DotAndNorms) {
+  EXPECT_DOUBLE_EQ(Dot({1.0, 2.0}, {3.0, 4.0}), 11.0);
+  EXPECT_DOUBLE_EQ(Norm2({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Norm1({-1.0, 2.0}), 3.0);
+  EXPECT_DOUBLE_EQ(NormInf({-5.0, 2.0}), 5.0);
+}
+
+TEST(VectorHelpersTest, Arithmetic) {
+  EXPECT_EQ(AddVec({1.0, 2.0}, {3.0, 4.0}), (Vector{4.0, 6.0}));
+  EXPECT_EQ(SubVec({1.0, 2.0}, {3.0, 4.0}), (Vector{-2.0, -2.0}));
+  EXPECT_EQ(ScaleVec({1.0, -2.0}, 2.0), (Vector{2.0, -4.0}));
+  EXPECT_TRUE(ApproxEqualsVec({1.0}, {1.0 + 1e-12}, 1e-9));
+  EXPECT_FALSE(ApproxEqualsVec({1.0}, {1.0, 2.0}, 1.0));
+}
+
+}  // namespace
+}  // namespace linalg
+}  // namespace dpcube

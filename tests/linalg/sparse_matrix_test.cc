@@ -1,0 +1,118 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "linalg/sparse_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dpcube {
+namespace linalg {
+namespace {
+
+Matrix RandomSparseDense(std::size_t rows, std::size_t cols, double density,
+                         Rng* rng) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (rng->NextBernoulli(density)) m(r, c) = rng->NextGaussian();
+    }
+  }
+  return m;
+}
+
+TEST(SparseMatrixTest, BuilderBasics) {
+  SparseMatrixBuilder builder(2, 3);
+  builder.Add(0, 1.0);
+  builder.Add(2, -2.0);
+  builder.FinishRow();
+  builder.Add(1, 3.0);
+  builder.FinishRow();
+  auto m = builder.Build();
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.value().rows(), 2u);
+  EXPECT_EQ(m.value().cols(), 3u);
+  EXPECT_EQ(m.value().nnz(), 3u);
+  EXPECT_EQ(m.value().RowNnz(0), 2u);
+  EXPECT_EQ(m.value().RowEntry(1, 0).col, 1u);
+  EXPECT_DOUBLE_EQ(m.value().RowEntry(1, 0).value, 3.0);
+}
+
+TEST(SparseMatrixTest, BuilderDropsZeros) {
+  SparseMatrixBuilder builder(1, 2);
+  builder.Add(0, 0.0);
+  builder.Add(1, 5.0);
+  builder.FinishRow();
+  auto m = builder.Build();
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.value().nnz(), 1u);
+}
+
+TEST(SparseMatrixTest, BuilderRejectsUnfinishedRows) {
+  SparseMatrixBuilder builder(2, 2);
+  builder.Add(0, 1.0);
+  builder.FinishRow();
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(SparseMatrixTest, DenseRoundTrip) {
+  Rng rng(1);
+  const Matrix dense = RandomSparseDense(7, 11, 0.3, &rng);
+  const SparseMatrix sparse = SparseMatrix::FromDense(dense);
+  EXPECT_TRUE(sparse.ToDense().ApproxEquals(dense, 0.0));
+}
+
+TEST(SparseMatrixTest, MultiplyMatchesDense) {
+  Rng rng(2);
+  const Matrix dense = RandomSparseDense(9, 6, 0.4, &rng);
+  const SparseMatrix sparse = SparseMatrix::FromDense(dense);
+  Vector x(6);
+  for (double& v : x) v = rng.NextGaussian();
+  const Vector want = dense.MultiplyVec(x);
+  const Vector got = sparse.MultiplyVec(x);
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], 1e-12);
+  }
+}
+
+TEST(SparseMatrixTest, TransposeMultiplyMatchesDense) {
+  Rng rng(3);
+  const Matrix dense = RandomSparseDense(9, 6, 0.4, &rng);
+  const SparseMatrix sparse = SparseMatrix::FromDense(dense);
+  Vector x(9);
+  for (double& v : x) v = rng.NextGaussian();
+  const Vector want = dense.TransposeMultiplyVec(x);
+  const Vector got = sparse.TransposeMultiplyVec(x);
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], 1e-12);
+  }
+}
+
+TEST(SparseMatrixTest, ColumnNormsMatchDense) {
+  Rng rng(4);
+  const Matrix dense = RandomSparseDense(12, 8, 0.35, &rng);
+  const SparseMatrix sparse = SparseMatrix::FromDense(dense);
+  EXPECT_NEAR(sparse.MaxColumnL1(), dense.MaxColumnL1(), 1e-12);
+  EXPECT_NEAR(sparse.MaxColumnL2(), dense.MaxColumnL2(), 1e-12);
+}
+
+TEST(SparseMatrixTest, WeightedColumnAbsSums) {
+  // Proposition 3.1(i)'s per-column privacy load.
+  Matrix dense = {{1.0, -1.0}, {2.0, 0.0}};
+  const SparseMatrix sparse = SparseMatrix::FromDense(dense);
+  const Vector loads = sparse.WeightedColumnAbsSums({0.5, 0.25});
+  EXPECT_DOUBLE_EQ(loads[0], 0.5 * 1.0 + 0.25 * 2.0);
+  EXPECT_DOUBLE_EQ(loads[1], 0.5 * 1.0);
+}
+
+TEST(SparseMatrixTest, EmptyMatrix) {
+  SparseMatrixBuilder builder(0, 0);
+  auto m = builder.Build();
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.value().nnz(), 0u);
+  EXPECT_DOUBLE_EQ(m.value().MaxColumnL1(), 0.0);
+}
+
+}  // namespace
+}  // namespace linalg
+}  // namespace dpcube

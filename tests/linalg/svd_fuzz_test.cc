@@ -1,0 +1,96 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Randomised trials for the rank-revealing factorizations: for random
+// shapes and planted ranks, the SVD must reconstruct, agree with QR on
+// the rank, produce orthonormal factors and a Moore-Penrose-valid
+// pseudo-inverse, and the QR least-squares solution must match the
+// pseudo-inverse solution on full-rank systems.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+#include "linalg/svd.h"
+
+namespace dpcube {
+namespace linalg {
+namespace {
+
+Matrix RandomMatrix(std::size_t m, std::size_t n, Rng* rng) {
+  Matrix a(m, n);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng->NextGaussian();
+  }
+  return a;
+}
+
+double MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      worst = std::max(worst, std::fabs(a(i, j) - b(i, j)));
+    }
+  }
+  return worst;
+}
+
+class SvdFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SvdFuzz, PlantedRankRecoveredAndFactorsValid) {
+  Rng rng(9000 + GetParam());
+  const std::size_t m = 2 + rng.NextBounded(10);
+  const std::size_t n = 2 + rng.NextBounded(10);
+  const std::size_t rank = 1 + rng.NextBounded(std::min(m, n));
+  const Matrix a =
+      RandomMatrix(m, rank, &rng).Multiply(RandomMatrix(rank, n, &rng));
+
+  auto svd = SvdDecomposition::Compute(a);
+  ASSERT_TRUE(svd.ok()) << svd.status();
+  EXPECT_EQ(svd->Rank(1e-8), rank) << "m=" << m << " n=" << n;
+
+  // Reconstruction: A = U diag(sigma) V^T.
+  const std::size_t k = svd->singular_values().size();
+  Matrix sigma(k, k);
+  for (std::size_t i = 0; i < k; ++i) sigma(i, i) = svd->singular_values()[i];
+  const Matrix rebuilt =
+      svd->U().Multiply(sigma).Multiply(svd->V().Transpose());
+  EXPECT_LT(MaxAbsDiff(rebuilt, a), 1e-8);
+
+  // Moore-Penrose conditions for the pseudo-inverse.
+  const Matrix p = svd->PseudoInverse(1e-8);
+  EXPECT_LT(MaxAbsDiff(a.Multiply(p).Multiply(a), a), 1e-7);
+  EXPECT_LT(MaxAbsDiff(p.Multiply(a).Multiply(p), p), 1e-7);
+  const Matrix aap = a.Multiply(p);
+  const Matrix apa = p.Multiply(a);
+  EXPECT_LT(MaxAbsDiff(aap, aap.Transpose()), 1e-7);
+  EXPECT_LT(MaxAbsDiff(apa, apa.Transpose()), 1e-7);
+}
+
+TEST_P(SvdFuzz, QrAgreesWithSvdOnRankAndSolution) {
+  Rng rng(10000 + GetParam());
+  const std::size_t n = 2 + rng.NextBounded(6);
+  const std::size_t m = n + rng.NextBounded(6);  // Tall.
+  const Matrix a = RandomMatrix(m, n, &rng);     // Full column rank (a.s.).
+
+  auto qr = QrDecomposition::Compute(a);
+  auto svd = SvdDecomposition::Compute(a);
+  ASSERT_TRUE(qr.ok() && svd.ok());
+  EXPECT_EQ(qr->Rank(1e-8), svd->Rank(1e-8));
+
+  Vector b(m);
+  for (auto& v : b) v = rng.NextGaussian();
+  auto x_qr = qr->Solve(b);
+  ASSERT_TRUE(x_qr.ok());
+  const Vector x_pinv = svd->PseudoInverse().MultiplyVec(b);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(x_qr.value()[i], x_pinv[i], 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Trials, SvdFuzz, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace linalg
+}  // namespace dpcube

@@ -1,0 +1,219 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "linalg/svd.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace dpcube {
+namespace linalg {
+namespace {
+
+Matrix RandomMatrix(std::size_t m, std::size_t n, Rng* rng) {
+  Matrix a(m, n);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng->NextGaussian();
+  }
+  return a;
+}
+
+// || A - U diag(sigma) V^T ||_max.
+double ReconstructionError(const Matrix& a, const SvdDecomposition& svd) {
+  const std::size_t k = svd.singular_values().size();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      double sum = 0.0;
+      for (std::size_t l = 0; l < k; ++l) {
+        sum += svd.U()(i, l) * svd.singular_values()[l] * svd.V()(j, l);
+      }
+      worst = std::max(worst, std::fabs(sum - a(i, j)));
+    }
+  }
+  return worst;
+}
+
+double MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      worst = std::max(worst, std::fabs(a(i, j) - b(i, j)));
+    }
+  }
+  return worst;
+}
+
+TEST(SvdTest, DiagonalMatrix) {
+  Matrix a = {{3.0, 0.0}, {0.0, 4.0}};
+  auto svd = SvdDecomposition::Compute(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_NEAR(svd->singular_values()[0], 4.0, 1e-12);
+  EXPECT_NEAR(svd->singular_values()[1], 3.0, 1e-12);
+}
+
+TEST(SvdTest, SingularValuesSortedDescending) {
+  Rng rng(7);
+  Matrix a = RandomMatrix(8, 5, &rng);
+  auto svd = SvdDecomposition::Compute(a);
+  ASSERT_TRUE(svd.ok());
+  const Vector& s = svd->singular_values();
+  for (std::size_t i = 1; i < s.size(); ++i) EXPECT_LE(s[i], s[i - 1]);
+}
+
+TEST(SvdTest, ReconstructsTallMatrix) {
+  Rng rng(11);
+  Matrix a = RandomMatrix(9, 4, &rng);
+  auto svd = SvdDecomposition::Compute(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_LT(ReconstructionError(a, svd.value()), 1e-10);
+}
+
+TEST(SvdTest, ReconstructsWideMatrix) {
+  Rng rng(13);
+  Matrix a = RandomMatrix(3, 7, &rng);
+  auto svd = SvdDecomposition::Compute(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_LT(ReconstructionError(a, svd.value()), 1e-10);
+}
+
+TEST(SvdTest, OrthonormalFactors) {
+  Rng rng(17);
+  Matrix a = RandomMatrix(6, 6, &rng);
+  auto svd = SvdDecomposition::Compute(a);
+  ASSERT_TRUE(svd.ok());
+  const Matrix utu = svd->U().Transpose().Multiply(svd->U());
+  const Matrix vtv = svd->V().Transpose().Multiply(svd->V());
+  EXPECT_LT(MaxAbsDiff(utu, Matrix::Identity(6)), 1e-10);
+  EXPECT_LT(MaxAbsDiff(vtv, Matrix::Identity(6)), 1e-10);
+}
+
+TEST(SvdTest, RankOfRankDeficientMatrix) {
+  // Third row = first + second: rank 2.
+  Matrix a = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}, {5.0, 7.0, 9.0}};
+  auto svd = SvdDecomposition::Compute(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_EQ(svd->Rank(), 2u);
+}
+
+TEST(SvdTest, RankOfZeroMatrix) {
+  auto svd = SvdDecomposition::Compute(Matrix(3, 3));
+  ASSERT_TRUE(svd.ok());
+  EXPECT_EQ(svd->Rank(), 0u);
+  EXPECT_TRUE(std::isinf(svd->ConditionNumber()));
+}
+
+TEST(SvdTest, RejectsEmpty) {
+  EXPECT_FALSE(SvdDecomposition::Compute(Matrix()).ok());
+}
+
+TEST(SvdTest, ConditionNumberOfScaledIdentity) {
+  Matrix a = {{2.0, 0.0}, {0.0, 8.0}};
+  auto svd = SvdDecomposition::Compute(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_NEAR(svd->ConditionNumber(), 4.0, 1e-12);
+}
+
+TEST(PseudoInverseTest, InvertibleMatrixMatchesInverse) {
+  Matrix a = {{2.0, 1.0}, {1.0, 3.0}};
+  auto pinv = PseudoInverse(a);
+  ASSERT_TRUE(pinv.ok());
+  EXPECT_LT(MaxAbsDiff(a.Multiply(pinv.value()), Matrix::Identity(2)), 1e-10);
+}
+
+TEST(PseudoInverseTest, MoorePenroseConditions) {
+  // Rank-deficient 4x3 (third column = sum of the first two).
+  Rng rng(23);
+  Matrix a(4, 3);
+  for (std::size_t r = 0; r < 4; ++r) {
+    a(r, 0) = rng.NextGaussian();
+    a(r, 1) = rng.NextGaussian();
+    a(r, 2) = a(r, 0) + a(r, 1);
+  }
+  auto pinv_r = PseudoInverse(a);
+  ASSERT_TRUE(pinv_r.ok());
+  const Matrix& p = pinv_r.value();
+  // 1. A A^+ A = A.
+  EXPECT_LT(MaxAbsDiff(a.Multiply(p).Multiply(a), a), 1e-9);
+  // 2. A^+ A A^+ = A^+.
+  EXPECT_LT(MaxAbsDiff(p.Multiply(a).Multiply(p), p), 1e-9);
+  // 3. (A A^+) symmetric.
+  const Matrix aap = a.Multiply(p);
+  EXPECT_LT(MaxAbsDiff(aap, aap.Transpose()), 1e-9);
+  // 4. (A^+ A) symmetric.
+  const Matrix apa = p.Multiply(a);
+  EXPECT_LT(MaxAbsDiff(apa, apa.Transpose()), 1e-9);
+}
+
+TEST(QrTest, ReconstructsRankAndSolves) {
+  Matrix a = {{1.0, 0.0}, {0.0, 1.0}, {1.0, 1.0}};
+  auto qr = QrDecomposition::Compute(a);
+  ASSERT_TRUE(qr.ok());
+  EXPECT_EQ(qr->Rank(), 2u);
+  // Least squares against b = A [2, 3]^T.
+  auto x = qr->Solve({2.0, 3.0, 5.0});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 2.0, 1e-10);
+  EXPECT_NEAR(x.value()[1], 3.0, 1e-10);
+}
+
+TEST(QrTest, DetectsRankDeficiency) {
+  // Second column = 2 * first.
+  Matrix a = {{1.0, 2.0}, {2.0, 4.0}, {3.0, 6.0}};
+  auto qr = QrDecomposition::Compute(a);
+  ASSERT_TRUE(qr.ok());
+  EXPECT_EQ(qr->Rank(), 1u);
+}
+
+TEST(QrTest, RejectsWideMatrix) {
+  EXPECT_FALSE(QrDecomposition::Compute(Matrix(2, 3)).ok());
+}
+
+TEST(QrTest, LeastSquaresResidualOrthogonal) {
+  Rng rng(31);
+  Matrix a = RandomMatrix(10, 4, &rng);
+  Vector b(10);
+  for (auto& v : b) v = rng.NextGaussian();
+  auto qr = QrDecomposition::Compute(a);
+  ASSERT_TRUE(qr.ok());
+  auto x = qr->Solve(b);
+  ASSERT_TRUE(x.ok());
+  // Residual r = b - A x must be orthogonal to every column of A.
+  Vector ax = a.MultiplyVec(x.value());
+  Vector resid = SubVec(b, ax);
+  Vector atr = a.TransposeMultiplyVec(resid);
+  for (double v : atr) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(QrTest, RandomRankSweep) {
+  // Random m x n products of rank r factors have rank min(r, m, n).
+  Rng rng(41);
+  for (std::size_t rank = 1; rank <= 4; ++rank) {
+    Matrix left = RandomMatrix(8, rank, &rng);
+    Matrix right = RandomMatrix(rank, 5, &rng);
+    Matrix a = left.Multiply(right);
+    auto qr = QrDecomposition::Compute(a);
+    ASSERT_TRUE(qr.ok());
+    EXPECT_EQ(qr->Rank(1e-8), rank);
+    auto svd = SvdDecomposition::Compute(a);
+    ASSERT_TRUE(svd.ok());
+    EXPECT_EQ(svd->Rank(1e-8), rank);
+  }
+}
+
+TEST(SingularValuesTest, MatchFrobeniusNorm) {
+  Rng rng(43);
+  Matrix a = RandomMatrix(5, 5, &rng);
+  auto sv = SingularValues(a);
+  ASSERT_TRUE(sv.ok());
+  double sum_sq = 0.0;
+  for (double s : sv.value()) sum_sq += s * s;
+  EXPECT_NEAR(std::sqrt(sum_sq), a.FrobeniusNorm(), 1e-10);
+}
+
+}  // namespace
+}  // namespace linalg
+}  // namespace dpcube

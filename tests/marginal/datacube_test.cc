@@ -1,0 +1,102 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "marginal/datacube.h"
+
+#include <gtest/gtest.h>
+
+namespace dpcube {
+namespace marginal {
+namespace {
+
+data::Schema TestSchema() {
+  return data::Schema({{"a", 4}, {"b", 2}, {"c", 8}});
+}
+
+TEST(DataCubeTest, LatticeSize) {
+  DataCube cube(TestSchema());
+  EXPECT_EQ(cube.num_attributes(), 3u);
+  EXPECT_EQ(cube.num_cuboids(), 8u);
+}
+
+TEST(DataCubeTest, MarginalMasksUnionAttributeFields) {
+  DataCube cube(TestSchema());
+  // a: bits 0-1, b: bit 2, c: bits 3-5.
+  EXPECT_EQ(cube.MarginalMaskOf(0b000), 0u);
+  EXPECT_EQ(cube.MarginalMaskOf(0b001), 0b000011u);
+  EXPECT_EQ(cube.MarginalMaskOf(0b010), 0b000100u);
+  EXPECT_EQ(cube.MarginalMaskOf(0b100), 0b111000u);
+  EXPECT_EQ(cube.MarginalMaskOf(0b101), 0b111011u);
+}
+
+TEST(DataCubeTest, CellsAndOrder) {
+  DataCube cube(TestSchema());
+  EXPECT_EQ(cube.OrderOf(0b101), 2);
+  EXPECT_EQ(cube.CellsOf(0b000), 1u);
+  EXPECT_EQ(cube.CellsOf(0b001), 4u);   // 2 bits.
+  EXPECT_EQ(cube.CellsOf(0b101), 32u);  // 5 bits.
+}
+
+TEST(DataCubeTest, ParentsAndChildren) {
+  DataCube cube(TestSchema());
+  const auto parents = cube.ParentsOf(0b001);
+  EXPECT_EQ(parents, (std::vector<DataCube::CuboidId>{0b011, 0b101}));
+  const auto children = cube.ChildrenOf(0b011);
+  EXPECT_EQ(children, (std::vector<DataCube::CuboidId>{0b010, 0b001}));
+  EXPECT_TRUE(cube.ParentsOf(0b111).empty());
+  EXPECT_TRUE(cube.ChildrenOf(0b000).empty());
+}
+
+TEST(DataCubeTest, DerivabilityIsInclusion) {
+  DataCube cube(TestSchema());
+  EXPECT_TRUE(cube.IsDerivable(0b001, 0b011));
+  EXPECT_TRUE(cube.IsDerivable(0b000, 0b111));
+  EXPECT_FALSE(cube.IsDerivable(0b011, 0b001));
+  EXPECT_FALSE(cube.IsDerivable(0b010, 0b101));
+}
+
+TEST(DataCubeTest, CuboidsOfOrder) {
+  DataCube cube(TestSchema());
+  EXPECT_EQ(cube.CuboidsOfOrder(0).size(), 1u);
+  EXPECT_EQ(cube.CuboidsOfOrder(1).size(), 3u);
+  EXPECT_EQ(cube.CuboidsOfOrder(2).size(), 3u);
+  EXPECT_EQ(cube.CuboidsOfOrder(3).size(), 1u);
+}
+
+TEST(DataCubeTest, Names) {
+  DataCube cube(TestSchema());
+  EXPECT_EQ(cube.NameOf(0b000), "<apex>");
+  EXPECT_EQ(cube.NameOf(0b001), "a");
+  EXPECT_EQ(cube.NameOf(0b101), "a x c");
+  EXPECT_EQ(cube.NameOf(0b111), "a x b x c");
+}
+
+TEST(DataCubeTest, WorkloadUpToOrder) {
+  DataCube cube(TestSchema());
+  const Workload w1 = cube.WorkloadUpToOrder(1);
+  EXPECT_EQ(w1.num_marginals(), 1u + 3u);
+  const Workload all = cube.WorkloadUpToOrder(-1);
+  EXPECT_EQ(all.num_marginals(), 8u);
+  // Full lattice Fourier support = the whole encoded domain's submasks of
+  // the base cuboid = all masks.
+  EXPECT_EQ(all.FourierSupport().size(), std::size_t{1} << 6);
+}
+
+TEST(DataCubeTest, TotalCells) {
+  DataCube cube(TestSchema());
+  // Order 0: 1; order 1: 4 + 2 + 8 = 14.
+  EXPECT_EQ(cube.TotalCellsUpToOrder(1), 15u);
+  // Order 2: 4*2 + 4*8 + 2*8 = 56. Order 3: 64.
+  EXPECT_EQ(cube.TotalCellsUpToOrder(-1), 15u + 56u + 64u);
+}
+
+TEST(DataCubeTest, WorkloadOfExplicitCuboids) {
+  DataCube cube(TestSchema());
+  const Workload w = cube.WorkloadOf({0b011, 0b100});
+  ASSERT_EQ(w.num_marginals(), 2u);
+  EXPECT_EQ(w.mask(0), cube.MarginalMaskOf(0b011));
+  EXPECT_EQ(w.mask(1), cube.MarginalMaskOf(0b100));
+}
+
+}  // namespace
+}  // namespace marginal
+}  // namespace dpcube

@@ -1,0 +1,110 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "marginal/fourier_index.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "transform/walsh_hadamard.h"
+
+namespace dpcube {
+namespace marginal {
+namespace {
+
+TEST(FourierIndexTest, ContainsExactlyTheSupport) {
+  const Workload w(5, {0b00011, 0b00110});
+  FourierIndex index(w);
+  EXPECT_EQ(index.size(), 6u);  // {0,1,2,3} union {0,2,4,6}.
+  EXPECT_TRUE(index.Contains(0));
+  EXPECT_TRUE(index.Contains(0b110));
+  EXPECT_FALSE(index.Contains(0b101));
+  EXPECT_FALSE(index.Contains(0b11000));
+}
+
+TEST(FourierIndexTest, IndexRoundTrip) {
+  const data::Schema schema = data::BinarySchema(6);
+  const Workload w = WorkloadQk(schema, 2);
+  FourierIndex index(w);
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    EXPECT_EQ(index.IndexOf(index.mask(i)), i);
+  }
+}
+
+TEST(FourierRecoveryMatrixTest, ReconstructsMarginalsExactly) {
+  // R * (true coefficients) must equal the stacked true marginals.
+  Rng rng(1);
+  const data::Dataset ds = data::MakeProductBernoulli(6, 0.4, 500, &rng);
+  const data::SparseCounts sparse = data::SparseCounts::FromDataset(ds);
+  const data::Schema schema = data::BinarySchema(6);
+  const Workload w = WorkloadQkStar(schema, 1);
+  FourierIndex index(w);
+  const linalg::Matrix r = BuildFourierRecoveryMatrix(w, index);
+
+  linalg::Vector coeffs(index.size());
+  for (std::size_t c = 0; c < index.size(); ++c) {
+    coeffs[c] = sparse.FourierCoefficient(index.mask(c));
+  }
+  const linalg::Vector reconstructed = r.MultiplyVec(coeffs);
+
+  std::vector<MarginalTable> tables;
+  for (std::size_t i = 0; i < w.num_marginals(); ++i) {
+    tables.push_back(ComputeMarginal(sparse, w.mask(i)));
+  }
+  const linalg::Vector truth = StackMarginals(tables);
+  ASSERT_EQ(reconstructed.size(), truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_NEAR(reconstructed[i], truth[i], 1e-8);
+  }
+}
+
+TEST(FourierRecoveryMatrixTest, EntryMagnitudes) {
+  // Entries of marginal i's block are +-2^{d/2 - k_i} on dominated
+  // coefficients and 0 elsewhere.
+  const Workload w(4, {0b0011});
+  FourierIndex index(w);
+  const linalg::Matrix r = BuildFourierRecoveryMatrix(w, index);
+  const double magnitude = std::pow(2.0, 0.5 * 4 - 2);
+  for (std::size_t row = 0; row < r.rows(); ++row) {
+    for (std::size_t col = 0; col < r.cols(); ++col) {
+      const double v = std::fabs(r(row, col));
+      EXPECT_TRUE(v == 0.0 || std::fabs(v - magnitude) < 1e-12);
+    }
+  }
+}
+
+TEST(FourierBudgetWeightsTest, MatchesDenseRecoveryWeights) {
+  // The analytic b_beta must equal 2 * sum_j R_{j,beta}^2 from the dense
+  // recovery matrix.
+  const data::Schema schema = data::BinarySchema(5);
+  const Workload w = WorkloadQkStar(schema, 1);
+  FourierIndex index(w);
+  const linalg::Matrix r = BuildFourierRecoveryMatrix(w, index);
+  const linalg::Vector b = FourierBudgetWeights(w, index);
+  ASSERT_EQ(b.size(), index.size());
+  for (std::size_t c = 0; c < index.size(); ++c) {
+    double want = 0.0;
+    for (std::size_t row = 0; row < r.rows(); ++row) {
+      want += 2.0 * r(row, c) * r(row, c);
+    }
+    EXPECT_NEAR(b[c], want, 1e-8) << "coef " << c;
+  }
+}
+
+TEST(FourierBudgetWeightsTest, LowOrderCoefficientsWeighMore) {
+  // For all 2-way marginals, the empty coefficient is shared by every
+  // marginal while weight-2 coefficients belong to exactly one.
+  const data::Schema schema = data::BinarySchema(6);
+  const Workload w = WorkloadQk(schema, 2);
+  FourierIndex index(w);
+  const linalg::Vector b = FourierBudgetWeights(w, index);
+  const double b_empty = b[index.IndexOf(0)];
+  const double b_pair = b[index.IndexOf(0b11)];
+  EXPECT_GT(b_empty, b_pair * 10.0);
+}
+
+}  // namespace
+}  // namespace marginal
+}  // namespace dpcube

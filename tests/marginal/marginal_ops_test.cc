@@ -1,0 +1,163 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "marginal/marginal_ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+
+namespace dpcube {
+namespace marginal {
+namespace {
+
+MarginalTable SampleMarginal(int d, bits::Mask alpha, Rng* rng,
+                             std::size_t rows = 500) {
+  const data::Dataset ds = data::MakeProductBernoulli(d, 0.4, rows, rng);
+  return ComputeMarginal(data::SparseCounts::FromDataset(ds), alpha);
+}
+
+TEST(AggregateToTest, MatchesDirectComputation) {
+  Rng rng(1);
+  const data::Dataset ds = data::MakeProductBernoulli(6, 0.4, 400, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  const MarginalTable wide = ComputeMarginal(counts, 0b111100);
+  auto narrow = AggregateTo(wide, 0b011000);
+  ASSERT_TRUE(narrow.ok());
+  const MarginalTable direct = ComputeMarginal(counts, 0b011000);
+  for (std::size_t g = 0; g < direct.num_cells(); ++g) {
+    EXPECT_DOUBLE_EQ(narrow.value().value(g), direct.value(g));
+  }
+}
+
+TEST(AggregateToTest, RejectsNonSubmask) {
+  Rng rng(2);
+  const MarginalTable t = SampleMarginal(5, 0b00011, &rng);
+  EXPECT_FALSE(AggregateTo(t, 0b00110).ok());
+}
+
+TEST(AddScaledTest, ElementwiseArithmetic) {
+  MarginalTable a(0b11, 4), b(0b11, 4);
+  for (std::size_t g = 0; g < 4; ++g) {
+    a.value(g) = static_cast<double>(g);
+    b.value(g) = 10.0;
+  }
+  auto sum = AddScaled(a, b, -0.5);
+  ASSERT_TRUE(sum.ok());
+  for (std::size_t g = 0; g < 4; ++g) {
+    EXPECT_DOUBLE_EQ(sum.value().value(g), static_cast<double>(g) - 5.0);
+  }
+  MarginalTable misaligned(0b110, 4);
+  EXPECT_FALSE(AddScaled(a, misaligned, 1.0).ok());
+}
+
+TEST(DistanceTest, L1AndTv) {
+  MarginalTable a(0b1, 3), b(0b1, 3);
+  a.value(0) = 30.0;
+  a.value(1) = 10.0;
+  b.value(0) = 10.0;
+  b.value(1) = 30.0;
+  auto l1 = L1Distance(a, b);
+  ASSERT_TRUE(l1.ok());
+  EXPECT_DOUBLE_EQ(l1.value(), 40.0);
+  auto tv = TotalVariationDistance(a, b);
+  ASSERT_TRUE(tv.ok());
+  EXPECT_DOUBLE_EQ(tv.value(), 0.5);  // 0.75/0.25 vs 0.25/0.75.
+}
+
+TEST(ToDistributionTest, ClampsAndNormalises) {
+  MarginalTable t(0b11, 4);
+  t.value(0) = -5.0;  // Noisy negative: clamped.
+  t.value(1) = 3.0;
+  t.value(2) = 1.0;
+  t.value(3) = 0.0;
+  const MarginalTable p = ToDistribution(t);
+  EXPECT_DOUBLE_EQ(p.value(0), 0.0);
+  EXPECT_DOUBLE_EQ(p.value(1), 0.75);
+  EXPECT_DOUBLE_EQ(p.value(2), 0.25);
+  double total = 0.0;
+  for (std::size_t g = 0; g < 4; ++g) total += p.value(g);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ToDistributionTest, UniformFallbackAndSmoothing) {
+  MarginalTable zero(0b11, 4);
+  const MarginalTable p = ToDistribution(zero);
+  for (std::size_t g = 0; g < 4; ++g) EXPECT_DOUBLE_EQ(p.value(g), 0.25);
+  const MarginalTable smoothed = ToDistribution(zero, 1.0);
+  for (std::size_t g = 0; g < 4; ++g) {
+    EXPECT_DOUBLE_EQ(smoothed.value(g), 0.25);
+  }
+}
+
+TEST(ConditionalProbabilityTest, MatchesCounts) {
+  // Joint over bits {0,1}: counts 000->40, 01->10, 10->20, 11->30
+  // (local index = bit1<<1 | bit0).
+  MarginalTable t(0b11, 4);
+  t.value(0b00) = 40.0;
+  t.value(0b01) = 10.0;
+  t.value(0b10) = 20.0;
+  t.value(0b11) = 30.0;
+  // P(bit0 = 1 | bit1 = 1) = 30 / 50 (ignoring smoothing).
+  auto p = ConditionalProbability(t, /*target=*/0b01, /*t=*/0b01,
+                                  /*given=*/0b10, /*g=*/0b10,
+                                  /*smoothing=*/0.0);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p.value(), 0.6, 1e-12);
+  // Smoothing pulls towards uniform.
+  auto smoothed = ConditionalProbability(t, 0b01, 0b01, 0b10, 0b10, 10.0);
+  ASSERT_TRUE(smoothed.ok());
+  EXPECT_LT(smoothed.value(), 0.6);
+  EXPECT_GT(smoothed.value(), 0.5);
+}
+
+TEST(ConditionalProbabilityTest, Validation) {
+  MarginalTable t(0b11, 4);
+  EXPECT_FALSE(ConditionalProbability(t, 0b100, 0, 0b01, 0).ok());
+  EXPECT_FALSE(ConditionalProbability(t, 0b01, 0, 0b01, 0).ok());
+  EXPECT_FALSE(ConditionalProbability(t, 0b01, 0b10, 0b10, 0).ok());
+}
+
+TEST(MutualInformationTest, IndependentBitsNearZero) {
+  Rng rng(3);
+  const data::Dataset ds = data::MakeProductBernoulli(8, 0.5, 50'000, &rng);
+  const MarginalTable joint =
+      ComputeMarginal(data::SparseCounts::FromDataset(ds), 0b11);
+  auto mi = MutualInformation(joint, 0b01, 0b10);
+  ASSERT_TRUE(mi.ok());
+  EXPECT_LT(mi.value(), 0.001);  // Independent bits.
+}
+
+TEST(MutualInformationTest, PerfectlyCorrelatedBitsNearLog2) {
+  // A dataset where bit1 == bit0 always: I = H(bit) = ln 2 for p = 1/2.
+  data::Schema schema = data::BinarySchema(2);
+  data::Dataset ds(schema);
+  Rng rng(4);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint32_t b = rng.NextBernoulli(0.5) ? 1u : 0u;
+    ASSERT_TRUE(ds.AppendRow({b, b}).ok());
+  }
+  const MarginalTable joint =
+      ComputeMarginal(data::SparseCounts::FromDataset(ds), 0b11);
+  auto mi = MutualInformation(joint, 0b01, 0b10);
+  ASSERT_TRUE(mi.ok());
+  EXPECT_NEAR(mi.value(), std::log(2.0), 0.01);
+}
+
+TEST(MutualInformationTest, NltcsAttributesCorrelated) {
+  // The latent-severity construction of the NLTCS generator induces
+  // positive dependence between disability indicators.
+  Rng rng(5);
+  const data::Dataset ds = data::MakeNltcsLike(20'000, &rng);
+  const MarginalTable joint =
+      ComputeMarginal(data::SparseCounts::FromDataset(ds), 0b11);
+  auto mi = MutualInformation(joint, 0b01, 0b10);
+  ASSERT_TRUE(mi.ok());
+  EXPECT_GT(mi.value(), 0.02);
+}
+
+}  // namespace
+}  // namespace marginal
+}  // namespace dpcube

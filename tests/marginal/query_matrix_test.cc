@@ -1,0 +1,90 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "marginal/query_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+
+namespace dpcube {
+namespace marginal {
+namespace {
+
+TEST(RowLayoutTest, OffsetsAndLocate) {
+  const Workload w(4, {0b0001, 0b0110, 0b1111});
+  RowLayout layout(w);
+  EXPECT_EQ(layout.total_rows(), 2u + 4u + 16u);
+  EXPECT_EQ(layout.offset(0), 0u);
+  EXPECT_EQ(layout.offset(1), 2u);
+  EXPECT_EQ(layout.offset(2), 6u);
+  EXPECT_EQ(layout.Locate(0), (std::pair<std::size_t, std::size_t>(0, 0)));
+  EXPECT_EQ(layout.Locate(3), (std::pair<std::size_t, std::size_t>(1, 1)));
+  EXPECT_EQ(layout.Locate(21), (std::pair<std::size_t, std::size_t>(2, 15)));
+}
+
+TEST(QueryMatrixTest, RowsAreZeroOneIndicators) {
+  const Workload w(3, {0b011, 0b100});
+  const linalg::Matrix q = BuildQueryMatrix(w);
+  EXPECT_EQ(q.rows(), 4u + 2u);
+  EXPECT_EQ(q.cols(), 8u);
+  // Every column sums to the number of marginals (each cell contributes to
+  // exactly one row per marginal).
+  for (std::size_t c = 0; c < 8; ++c) {
+    double sum = 0.0;
+    for (std::size_t r = 0; r < q.rows(); ++r) {
+      EXPECT_TRUE(q(r, c) == 0.0 || q(r, c) == 1.0);
+      sum += q(r, c);
+    }
+    EXPECT_DOUBLE_EQ(sum, 2.0);
+  }
+}
+
+TEST(QueryMatrixTest, MatchesDirectMarginalComputation) {
+  Rng rng(1);
+  const data::Dataset ds = data::MakeProductBernoulli(6, 0.4, 300, &rng);
+  auto dense = data::DenseTable::FromDataset(ds);
+  ASSERT_TRUE(dense.ok());
+  const data::Schema schema = data::BinarySchema(6);
+  const Workload w = WorkloadQk(schema, 2);
+  const linalg::Matrix q = BuildQueryMatrix(w);
+  const linalg::Vector flat = q.MultiplyVec(dense.value().cells());
+
+  std::vector<MarginalTable> tables;
+  const data::SparseCounts sparse = data::SparseCounts::FromDataset(ds);
+  for (std::size_t i = 0; i < w.num_marginals(); ++i) {
+    tables.push_back(ComputeMarginal(sparse, w.mask(i)));
+  }
+  const linalg::Vector stacked = StackMarginals(tables);
+  ASSERT_EQ(flat.size(), stacked.size());
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    EXPECT_NEAR(flat[i], stacked[i], 1e-10);
+  }
+}
+
+TEST(StackUnstackTest, RoundTrip) {
+  Rng rng(2);
+  const data::Schema schema = data::BinarySchema(5);
+  const Workload w = WorkloadQkStar(schema, 1);
+  std::vector<MarginalTable> tables;
+  for (std::size_t i = 0; i < w.num_marginals(); ++i) {
+    MarginalTable t(w.mask(i), 5);
+    for (std::size_t g = 0; g < t.num_cells(); ++g) {
+      t.value(g) = rng.NextGaussian();
+    }
+    tables.push_back(std::move(t));
+  }
+  const linalg::Vector flat = StackMarginals(tables);
+  const std::vector<MarginalTable> back = UnstackMarginals(w, flat);
+  ASSERT_EQ(back.size(), tables.size());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].alpha(), tables[i].alpha());
+    for (std::size_t g = 0; g < back[i].num_cells(); ++g) {
+      EXPECT_DOUBLE_EQ(back[i].value(g), tables[i].value(g));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace marginal
+}  // namespace dpcube

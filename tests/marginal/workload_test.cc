@@ -1,0 +1,139 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "marginal/workload.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/bits.h"
+#include "data/synthetic.h"
+
+namespace dpcube {
+namespace marginal {
+namespace {
+
+TEST(WorkloadTest, AllKWayBinaryCounts) {
+  const data::Schema schema = data::BinarySchema(6);
+  EXPECT_EQ(WorkloadQk(schema, 1).num_marginals(), 6u);
+  EXPECT_EQ(WorkloadQk(schema, 2).num_marginals(), 15u);
+  EXPECT_EQ(WorkloadQk(schema, 3).num_marginals(), 20u);
+  EXPECT_EQ(WorkloadQk(schema, 0).num_marginals(), 1u);
+}
+
+TEST(WorkloadTest, MasksUnionWholeAttributes) {
+  // Non-binary attributes contribute their whole bit-field to the mask.
+  const data::Schema schema({{"a", 4}, {"b", 8}, {"c", 2}});
+  const Workload w = WorkloadQk(schema, 1);
+  ASSERT_EQ(w.num_marginals(), 3u);
+  EXPECT_EQ(w.mask(0), 0b000011u);
+  EXPECT_EQ(w.mask(1), 0b011100u);
+  EXPECT_EQ(w.mask(2), 0b100000u);
+}
+
+TEST(WorkloadTest, QkStarAddsHalfOfNextOrder) {
+  const data::Schema schema = data::BinarySchema(6);
+  const Workload w = WorkloadQkStar(schema, 1);
+  // 6 one-way + ceil(15 / 2) = 8 two-way.
+  EXPECT_EQ(w.num_marginals(), 6u + 8u);
+  EXPECT_EQ(w.MaxOrder(), 2);
+}
+
+TEST(WorkloadTest, QkAIncludesOnlyFixedAttribute) {
+  const data::Schema schema = data::BinarySchema(5);
+  const Workload w = WorkloadQkA(schema, 1, 2);
+  // 5 one-way + 4 two-way containing attribute 2.
+  EXPECT_EQ(w.num_marginals(), 9u);
+  const bits::Mask fixed = schema.AttributeMask(2);
+  std::size_t two_way = 0;
+  for (bits::Mask m : w.masks()) {
+    if (bits::Popcount(m) == 2) {
+      EXPECT_EQ(m & fixed, fixed);
+      ++two_way;
+    }
+  }
+  EXPECT_EQ(two_way, 4u);
+}
+
+TEST(WorkloadTest, TotalCells) {
+  const data::Schema schema = data::BinarySchema(4);
+  EXPECT_EQ(WorkloadQk(schema, 2).TotalCells(), 6u * 4u);
+  EXPECT_EQ(WorkloadQk(schema, 1).TotalCells(), 4u * 2u);
+}
+
+TEST(WorkloadTest, FourierSupportOfAllKWay) {
+  // F for all k-way marginals over d bits = all masks of weight <= k.
+  const data::Schema schema = data::BinarySchema(6);
+  const Workload w = WorkloadQk(schema, 2);
+  const std::vector<bits::Mask> support = w.FourierSupport();
+  EXPECT_EQ(support.size(), 1u + 6u + 15u);
+  const std::vector<bits::Mask> expected = bits::MasksOfWeightAtMost(6, 2);
+  EXPECT_EQ(support, expected);
+}
+
+TEST(WorkloadTest, FourierSupportDeduplicates) {
+  // Overlapping marginals share low-order coefficients.
+  const Workload w(4, {0b0011, 0b0110});
+  const std::vector<bits::Mask> support = w.FourierSupport();
+  // {0, 1, 2, 3, 2, 4, 6} -> unique {0,1,2,3,4,6}.
+  EXPECT_EQ(support.size(), 6u);
+}
+
+TEST(WorkloadTest, Covers) {
+  const Workload w(4, {0b0011, 0b1100});
+  EXPECT_TRUE(w.Covers(0b0001));
+  EXPECT_TRUE(w.Covers(0b1100));
+  EXPECT_FALSE(w.Covers(0b0101));
+}
+
+TEST(WorkloadTest, AllKWayBits) {
+  const Workload w = AllKWayBits(5, 2);
+  EXPECT_EQ(w.num_marginals(), 10u);
+  for (bits::Mask m : w.masks()) EXPECT_EQ(bits::Popcount(m), 2);
+}
+
+TEST(WorkloadByNameTest, ParsesAllForms) {
+  const data::Schema schema = data::BinarySchema(5);
+  auto q1 = WorkloadByName(schema, "Q1");
+  ASSERT_TRUE(q1.ok());
+  EXPECT_EQ(q1.value().num_marginals(), 5u);
+  auto q2s = WorkloadByName(schema, "Q2*");
+  ASSERT_TRUE(q2s.ok());
+  EXPECT_EQ(q2s.value().num_marginals(), 10u + 5u);
+  auto q1a = WorkloadByName(schema, "Q1a");
+  ASSERT_TRUE(q1a.ok());
+  EXPECT_EQ(q1a.value().num_marginals(), 5u + 4u);
+}
+
+TEST(WorkloadByNameTest, RejectsGarbage) {
+  const data::Schema schema = data::BinarySchema(4);
+  EXPECT_FALSE(WorkloadByName(schema, "R1").ok());
+  EXPECT_FALSE(WorkloadByName(schema, "Q").ok());
+  EXPECT_FALSE(WorkloadByName(schema, "Q1x").ok());
+}
+
+// Property: every Q*_k and Q^a_k workload contains Q_k as a prefix.
+class WorkloadFamilyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkloadFamilyProperty, ExtensionsContainBase) {
+  const int k = GetParam();
+  const data::Schema schema = data::BinarySchema(7);
+  const Workload base = WorkloadQk(schema, k);
+  for (const Workload& ext :
+       {WorkloadQkStar(schema, k), WorkloadQkA(schema, k)}) {
+    ASSERT_GE(ext.num_marginals(), base.num_marginals());
+    for (std::size_t i = 0; i < base.num_marginals(); ++i) {
+      EXPECT_EQ(ext.mask(i), base.mask(i));
+    }
+    for (std::size_t i = base.num_marginals(); i < ext.num_marginals(); ++i) {
+      EXPECT_EQ(bits::Popcount(ext.mask(i)), k + 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, WorkloadFamilyProperty,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace marginal
+}  // namespace dpcube

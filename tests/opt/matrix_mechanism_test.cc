@@ -1,0 +1,170 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "opt/matrix_mechanism.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+#include "marginal/query_matrix.h"
+#include "marginal/workload.h"
+#include "transform/walsh_hadamard.h"
+
+namespace dpcube {
+namespace opt {
+namespace {
+
+using linalg::Matrix;
+
+// All range queries [i, j] over a 1-D domain of size n: the workload for
+// which hierarchical strategies beat both identity and workload strategies,
+// so the search has real room to improve.
+Matrix AllRangesWorkload(std::size_t n) {
+  Matrix q(n * (n + 1) / 2, n);
+  std::size_t row = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      for (std::size_t c = i; c <= j; ++c) q(row, c) = 1.0;
+      ++row;
+    }
+  }
+  return q;
+}
+
+TEST(MatrixMechanismTest, RejectsEmptyWorkload) {
+  EXPECT_FALSE(OptimizeStrategy(Matrix(), Matrix()).ok());
+}
+
+TEST(MatrixMechanismTest, RejectsMismatchedInitial) {
+  EXPECT_FALSE(OptimizeStrategy(Matrix(2, 4), Matrix(4, 3)).ok());
+}
+
+TEST(MatrixMechanismTest, IdentityWorkloadIsAlreadyOptimal) {
+  // For Q = I the identity strategy is optimal: objective N.
+  const std::size_t n = 6;
+  const Matrix q = Matrix::Identity(n);
+  auto res = OptimizeStrategy(q, Matrix::Identity(n));
+  ASSERT_TRUE(res.ok()) << res.status();
+  EXPECT_NEAR(res->objective, double(n), 1e-6);
+}
+
+TEST(MatrixMechanismTest, NeverWorseThanInitial) {
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    Matrix q(8, 6);
+    for (std::size_t r = 0; r < 8; ++r) {
+      for (std::size_t c = 0; c < 6; ++c) q(r, c) = rng.NextGaussian();
+    }
+    auto res = OptimizeStrategy(q, DefaultInitialStrategy(q));
+    ASSERT_TRUE(res.ok()) << res.status();
+    EXPECT_LE(res->objective, res->initial_objective * (1.0 + 1e-12));
+  }
+}
+
+TEST(MatrixMechanismTest, ImprovesOnIdentityForRangeQueries) {
+  const Matrix q = AllRangesWorkload(8);
+  auto res = OptimizeStrategy(q, DefaultInitialStrategy(q));
+  ASSERT_TRUE(res.ok()) << res.status();
+  // Identity strategy objective = trace(Q^T Q) = total query "mass".
+  const Matrix a = q.Transpose().Multiply(q);
+  double identity_obj = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) identity_obj += a(i, i);
+  EXPECT_LT(res->objective, identity_obj);
+  // The searched strategy should also beat simply asking Q (normalised):
+  auto res_from_q = OptimizeStrategy(q, q);
+  ASSERT_TRUE(res_from_q.ok());
+  EXPECT_LT(res->objective, res_from_q->initial_objective);
+}
+
+TEST(MatrixMechanismTest, StrategyColumnsHaveUnitNorm) {
+  const Matrix q = AllRangesWorkload(6);
+  auto res = OptimizeStrategy(q, DefaultInitialStrategy(q));
+  ASSERT_TRUE(res.ok());
+  const Matrix& s = res->strategy;
+  for (std::size_t c = 0; c < s.cols(); ++c) {
+    double norm_sq = 0.0;
+    for (std::size_t r = 0; r < s.rows(); ++r) norm_sq += s(r, c) * s(r, c);
+    EXPECT_NEAR(std::sqrt(norm_sq), 1.0, 1e-9);
+  }
+}
+
+TEST(MatrixMechanismTest, L1ModeNormalisesInL1) {
+  const Matrix q = AllRangesWorkload(5);
+  MatrixMechanismOptions options;
+  options.l2_sensitivity = false;
+  auto res = OptimizeStrategy(q, DefaultInitialStrategy(q), options);
+  ASSERT_TRUE(res.ok());
+  const Matrix& s = res->strategy;
+  for (std::size_t c = 0; c < s.cols(); ++c) {
+    double norm = 0.0;
+    for (std::size_t r = 0; r < s.rows(); ++r) norm += std::fabs(s(r, c));
+    EXPECT_NEAR(norm, 1.0, 1e-9);
+  }
+}
+
+TEST(MatrixMechanismTest, ObjectiveInvariantUnderOrthonormalStrategy) {
+  // Any orthonormal basis has S^T S = I: objective = trace(Q^T Q).
+  // The Hadamard basis over d = 3 is one.
+  const int d = 3;
+  marginal::Workload load = marginal::AllKWayBits(d, 1);
+  const Matrix q = marginal::BuildQueryMatrix(load);
+  const Matrix h = transform::HadamardMatrix(d);
+  dp::PrivacyParams params;
+  params.epsilon = 1.0;
+  params.delta = 1e-6;
+  params.neighbour = dp::NeighbourModel::kAddRemove;
+  auto var_h = MatrixMechanismTotalVariance(h, q, params);
+  ASSERT_TRUE(var_h.ok()) << var_h.status();
+  const Matrix a = q.Transpose().Multiply(q);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) trace += a(i, i);
+  // Hadamard columns have L2 norm 1, so sensitivity = 1 and the variance
+  // is just the noise constant times the trace.
+  const double noise_const = 2.0 * std::log(2.0 / params.delta);
+  EXPECT_NEAR(var_h.value(), noise_const * trace, 1e-6);
+}
+
+TEST(MatrixMechanismTest, TotalVarianceScalesInverseEpsilonSquared) {
+  const Matrix q = AllRangesWorkload(4);
+  const Matrix s = DefaultInitialStrategy(q);
+  dp::PrivacyParams p1;
+  p1.epsilon = 0.5;
+  dp::PrivacyParams p2;
+  p2.epsilon = 1.0;
+  auto v1 = MatrixMechanismTotalVariance(s, q, p1);
+  auto v2 = MatrixMechanismTotalVariance(s, q, p2);
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  EXPECT_NEAR(v1.value() / v2.value(), 4.0, 1e-9);
+}
+
+TEST(MatrixMechanismTest, SearchedStrategyBeatsFixedOnesForMarginals) {
+  // Workload: all 1-way and 2-way marginals over d = 4 bits. Compare the
+  // searched strategy's uniform-noise variance against identity and Q.
+  const int d = 4;
+  marginal::Workload w1 = marginal::AllKWayBits(d, 1);
+  marginal::Workload w2 = marginal::AllKWayBits(d, 2);
+  std::vector<bits::Mask> masks = w1.masks();
+  masks.insert(masks.end(), w2.masks().begin(), w2.masks().end());
+  marginal::Workload load(d, masks);
+  const Matrix q = marginal::BuildQueryMatrix(load);
+
+  dp::PrivacyParams params;
+  params.epsilon = 1.0;
+  params.delta = 1e-6;
+
+  auto res = OptimizeStrategy(q, DefaultInitialStrategy(q));
+  ASSERT_TRUE(res.ok());
+  auto var_searched = MatrixMechanismTotalVariance(res->strategy, q, params);
+  auto var_identity =
+      MatrixMechanismTotalVariance(Matrix::Identity(q.cols()), q, params);
+  auto var_q = MatrixMechanismTotalVariance(q, q, params);
+  ASSERT_TRUE(var_searched.ok() && var_identity.ok() && var_q.ok());
+  EXPECT_LT(var_searched.value(), var_identity.value());
+  EXPECT_LT(var_searched.value(), var_q.value());
+}
+
+}  // namespace
+}  // namespace opt
+}  // namespace dpcube

@@ -1,0 +1,153 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "opt/simplex.h"
+
+#include <gtest/gtest.h>
+
+namespace dpcube {
+namespace opt {
+namespace {
+
+using linalg::Vector;
+
+LpConstraint Le(Vector coeffs, double rhs) {
+  return LpConstraint{std::move(coeffs), ConstraintSense::kLessEqual, rhs};
+}
+LpConstraint Ge(Vector coeffs, double rhs) {
+  return LpConstraint{std::move(coeffs), ConstraintSense::kGreaterEqual, rhs};
+}
+LpConstraint Eq(Vector coeffs, double rhs) {
+  return LpConstraint{std::move(coeffs), ConstraintSense::kEqual, rhs};
+}
+
+TEST(SimplexTest, SimpleMaximisationAsMinimisation) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (classic Dantzig).
+  // Optimal x = 2, y = 6, objective 36.
+  LpProblem p;
+  p.objective = {-3.0, -5.0};
+  p.constraints = {Le({1.0, 0.0}, 4.0), Le({0.0, 2.0}, 12.0),
+                   Le({3.0, 2.0}, 18.0)};
+  auto sol = SolveLp(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol.value().x[0], 2.0, 1e-9);
+  EXPECT_NEAR(sol.value().x[1], 6.0, 1e-9);
+  EXPECT_NEAR(sol.value().objective, -36.0, 1e-9);
+}
+
+TEST(SimplexTest, EqualityConstraints) {
+  // min x + y s.t. x + y = 10, x - y = 2 -> x = 6, y = 4.
+  LpProblem p;
+  p.objective = {1.0, 1.0};
+  p.constraints = {Eq({1.0, 1.0}, 10.0), Eq({1.0, -1.0}, 2.0)};
+  auto sol = SolveLp(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol.value().x[0], 6.0, 1e-9);
+  EXPECT_NEAR(sol.value().x[1], 4.0, 1e-9);
+}
+
+TEST(SimplexTest, GreaterEqualWithPhase1) {
+  // min 2x + 3y s.t. x + y >= 4, x >= 1 -> x = 4, y = 0, objective 8.
+  LpProblem p;
+  p.objective = {2.0, 3.0};
+  p.constraints = {Ge({1.0, 1.0}, 4.0), Ge({1.0, 0.0}, 1.0)};
+  auto sol = SolveLp(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol.value().objective, 8.0, 1e-9);
+  EXPECT_NEAR(sol.value().x[0], 4.0, 1e-9);
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  // x <= 1 and x >= 3 cannot hold.
+  LpProblem p;
+  p.objective = {1.0};
+  p.constraints = {Le({1.0}, 1.0), Ge({1.0}, 3.0)};
+  auto sol = SolveLp(p);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_EQ(sol.status().code(), StatusCode::kNumericalError);
+  EXPECT_NE(sol.status().message().find("infeasible"), std::string::npos);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  // min -x with only x >= 0: unbounded below.
+  LpProblem p;
+  p.objective = {-1.0};
+  p.constraints = {Ge({1.0}, 0.0)};
+  auto sol = SolveLp(p);
+  ASSERT_FALSE(sol.ok());
+  EXPECT_NE(sol.status().message().find("unbounded"), std::string::npos);
+}
+
+TEST(SimplexTest, NegativeRhsNormalised) {
+  // -x <= -2  <=>  x >= 2; min x -> 2.
+  LpProblem p;
+  p.objective = {1.0};
+  p.constraints = {Le({-1.0}, -2.0)};
+  auto sol = SolveLp(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol.value().x[0], 2.0, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Multiple constraints active at the optimum (degenerate vertex).
+  LpProblem p;
+  p.objective = {-1.0, -1.0};
+  p.constraints = {Le({1.0, 0.0}, 1.0), Le({0.0, 1.0}, 1.0),
+                   Le({1.0, 1.0}, 2.0), Le({2.0, 2.0}, 4.0)};
+  auto sol = SolveLp(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol.value().objective, -2.0, 1e-9);
+}
+
+TEST(SimplexTest, ZeroWidthProblemRejected) {
+  LpProblem p;
+  p.objective = {1.0, 2.0};
+  p.constraints = {Le({1.0}, 1.0)};  // Wrong width.
+  EXPECT_FALSE(SolveLp(p).ok());
+}
+
+TEST(LpBuilderTest, FreeVariableCanGoNegative) {
+  // min x s.t. x >= -5 with x free -> x = -5.
+  LpBuilder builder;
+  const int x = builder.AddFreeVariable(1.0);
+  builder.AddConstraint({x}, {1.0}, ConstraintSense::kGreaterEqual, -5.0);
+  auto sol = builder.Solve();
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol.value()[0], -5.0, 1e-9);
+}
+
+TEST(LpBuilderTest, MixedVariables) {
+  // min |t| formulation: min t s.t. t >= x - 3, t >= 3 - x, x free = 7.
+  LpBuilder builder;
+  const int x = builder.AddFreeVariable(0.0);
+  const int t = builder.AddVariable(1.0);
+  builder.AddConstraint({x}, {1.0}, ConstraintSense::kEqual, 7.0);
+  builder.AddConstraint({t, x}, {1.0, -1.0}, ConstraintSense::kGreaterEqual,
+                        -3.0);
+  builder.AddConstraint({t, x}, {1.0, 1.0}, ConstraintSense::kGreaterEqual,
+                        3.0);
+  auto sol = builder.Solve();
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol.value()[0], 7.0, 1e-9);
+  EXPECT_NEAR(sol.value()[1], 4.0, 1e-9);  // |7 - 3|.
+}
+
+TEST(LpBuilderTest, LeastAbsoluteDeviationFit) {
+  // Fit scalar c to data {1, 2, 9} minimising sum |c - y_i|: the L1
+  // optimum is the median, c = 2.
+  LpBuilder builder;
+  const int c = builder.AddFreeVariable(0.0);
+  const double ys[3] = {1.0, 2.0, 9.0};
+  for (double y : ys) {
+    const int t = builder.AddVariable(1.0);
+    builder.AddConstraint({c, t}, {1.0, -1.0}, ConstraintSense::kLessEqual, y);
+    builder.AddConstraint({c, t}, {1.0, 1.0}, ConstraintSense::kGreaterEqual,
+                          y);
+  }
+  auto sol = builder.Solve();
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol.value()[0], 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace opt
+}  // namespace dpcube

@@ -1,0 +1,165 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Randomised property trials for the consistency step (Section 3.3): the
+// projection may at most double the error. The paper's argument is the
+// triangle inequality — the projected answer y1 minimises ||y1 - y0||_p
+// over the consistent set, which contains the true answer Qx, so
+// ||y1 - y0||_p <= ||Qx - y0||_p and hence
+// ||y1 - Qx||_p <= 2 ||y0 - Qx||_p. We check both inequalities for every
+// norm the library implements, over random domains / workloads / noise.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "marginal/marginal_table.h"
+#include "marginal/query_matrix.h"
+#include "marginal/workload.h"
+#include "recovery/consistency.h"
+
+namespace dpcube {
+namespace recovery {
+namespace {
+
+using marginal::MarginalTable;
+
+struct Trial {
+  marginal::Workload workload;
+  std::vector<MarginalTable> truth;
+  std::vector<MarginalTable> noisy;
+
+  Trial(int d, Rng* rng) : workload(RandomWorkload(d, rng)) {
+    const data::Dataset ds = data::MakeProductBernoulli(
+        d, 0.25 + 0.5 * rng->NextDouble(), 300, rng);
+    const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+    for (std::size_t i = 0; i < workload.num_marginals(); ++i) {
+      truth.push_back(marginal::ComputeMarginal(counts, workload.mask(i)));
+      MarginalTable noisy_table = truth.back();
+      for (auto& v : noisy_table.mutable_values()) {
+        v += rng->NextLaplace(/*scale=*/4.0);
+      }
+      noisy.push_back(std::move(noisy_table));
+    }
+  }
+
+  static marginal::Workload RandomWorkload(int d, Rng* rng) {
+    const std::size_t count = 1 + rng->NextBounded(4);
+    std::vector<bits::Mask> masks;
+    for (std::size_t i = 0; i < count; ++i) {
+      bits::Mask m = rng->NextBounded((1u << d) - 1) + 1;
+      while (bits::Popcount(m) > 4) m &= m - 1;
+      masks.push_back(m);
+    }
+    return marginal::Workload(d, masks);
+  }
+};
+
+double LpDistance(const std::vector<MarginalTable>& a,
+                  const std::vector<MarginalTable>& b, double p) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t c = 0; c < a[i].num_cells(); ++c) {
+      const double diff = std::fabs(a[i].value(c) - b[i].value(c));
+      if (std::isinf(p)) {
+        acc = std::max(acc, diff);
+      } else {
+        acc += std::pow(diff, p);
+      }
+    }
+  }
+  return std::isinf(p) ? acc : std::pow(acc, 1.0 / p);
+}
+
+class ConsistencyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConsistencyProperty, L2ProjectionErrorAtMostDoubles) {
+  Rng rng(4000 + GetParam());
+  const int d = 4 + static_cast<int>(rng.NextBounded(4));
+  Trial trial(d, &rng);
+  const linalg::Vector variances(trial.workload.num_marginals(), 32.0);
+  auto projected =
+      ProjectConsistentL2(trial.workload, trial.noisy, variances);
+  ASSERT_TRUE(projected.ok()) << projected.status();
+  const double noise_err = LpDistance(trial.noisy, trial.truth, 2.0);
+  const double move = LpDistance(projected.value(), trial.noisy, 2.0);
+  const double final_err = LpDistance(projected.value(), trial.truth, 2.0);
+  EXPECT_LE(move, noise_err * (1.0 + 1e-9));
+  EXPECT_LE(final_err, 2.0 * noise_err * (1.0 + 1e-9));
+}
+
+TEST_P(ConsistencyProperty, LInfProjectionErrorAtMostDoubles) {
+  Rng rng(5000 + GetParam());
+  const int d = 4 + static_cast<int>(rng.NextBounded(2));
+  Trial trial(d, &rng);
+  auto projected =
+      ProjectConsistentLp(trial.workload, trial.noisy, LpNorm::kLInf);
+  ASSERT_TRUE(projected.ok()) << projected.status();
+  const double inf = std::numeric_limits<double>::infinity();
+  const double noise_err = LpDistance(trial.noisy, trial.truth, inf);
+  const double move = LpDistance(projected.value(), trial.noisy, inf);
+  const double final_err = LpDistance(projected.value(), trial.truth, inf);
+  EXPECT_LE(move, noise_err * (1.0 + 1e-6));
+  EXPECT_LE(final_err, 2.0 * noise_err * (1.0 + 1e-6));
+}
+
+TEST_P(ConsistencyProperty, L1ProjectionErrorAtMostDoubles) {
+  Rng rng(6000 + GetParam());
+  const int d = 4;
+  Trial trial(d, &rng);
+  auto projected =
+      ProjectConsistentLp(trial.workload, trial.noisy, LpNorm::kL1);
+  ASSERT_TRUE(projected.ok()) << projected.status();
+  const double noise_err = LpDistance(trial.noisy, trial.truth, 1.0);
+  const double move = LpDistance(projected.value(), trial.noisy, 1.0);
+  const double final_err = LpDistance(projected.value(), trial.truth, 1.0);
+  EXPECT_LE(move, noise_err * (1.0 + 1e-6));
+  EXPECT_LE(final_err, 2.0 * noise_err * (1.0 + 1e-6));
+}
+
+TEST_P(ConsistencyProperty, ProjectionIsIdempotent) {
+  // Projecting a projected release must be a no-op (the output already
+  // lies in the consistent set).
+  Rng rng(7000 + GetParam());
+  const int d = 4 + static_cast<int>(rng.NextBounded(3));
+  Trial trial(d, &rng);
+  const linalg::Vector variances(trial.workload.num_marginals(), 32.0);
+  auto once = ProjectConsistentL2(trial.workload, trial.noisy, variances);
+  ASSERT_TRUE(once.ok());
+  auto twice = ProjectConsistentL2(trial.workload, once.value(), variances);
+  ASSERT_TRUE(twice.ok());
+  EXPECT_NEAR(LpDistance(once.value(), twice.value(), 2.0), 0.0, 1e-8);
+}
+
+TEST_P(ConsistencyProperty, WitnessReproducesProjectedMarginals) {
+  // The materialised witness x_c must aggregate exactly to the projected
+  // marginals (Definition 2.3 made explicit).
+  Rng rng(8000 + GetParam());
+  const int d = 4 + static_cast<int>(rng.NextBounded(3));
+  Trial trial(d, &rng);
+  const linalg::Vector variances(trial.workload.num_marginals(), 32.0);
+  auto projected =
+      ProjectConsistentL2(trial.workload, trial.noisy, variances);
+  auto witness =
+      ConsistentWitness(trial.workload, trial.noisy, variances);
+  ASSERT_TRUE(projected.ok() && witness.ok());
+  for (std::size_t i = 0; i < trial.workload.num_marginals(); ++i) {
+    const bits::Mask alpha = trial.workload.mask(i);
+    MarginalTable from_witness(alpha, d);
+    for (std::size_t cell = 0; cell < witness->size(); ++cell) {
+      from_witness.value(bits::CompressFromMask(cell, alpha)) +=
+          (*witness)[cell];
+    }
+    for (std::size_t c = 0; c < from_witness.num_cells(); ++c) {
+      EXPECT_NEAR(from_witness.value(c), projected.value()[i].value(c), 1e-7);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Trials, ConsistencyProperty,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace recovery
+}  // namespace dpcube

@@ -1,0 +1,247 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "recovery/consistency.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "data/synthetic.h"
+#include "dp/privacy.h"
+#include "linalg/least_squares.h"
+#include "marginal/query_matrix.h"
+
+namespace dpcube {
+namespace recovery {
+namespace {
+
+// Adds iid Gaussian noise of the given std to every cell.
+std::vector<marginal::MarginalTable> Noisy(
+    const marginal::Workload& w, const data::SparseCounts& counts,
+    double noise_std, Rng* rng) {
+  std::vector<marginal::MarginalTable> out;
+  for (std::size_t i = 0; i < w.num_marginals(); ++i) {
+    marginal::MarginalTable t = marginal::ComputeMarginal(counts, w.mask(i));
+    for (std::size_t g = 0; g < t.num_cells(); ++g) {
+      t.value(g) += rng->NextGaussian(0.0, noise_std);
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+TEST(ConsistencyL2Test, NoiselessInputIsFixedPoint) {
+  Rng rng(1);
+  const data::Dataset ds = data::MakeProductBernoulli(6, 0.4, 400, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  const data::Schema schema = data::BinarySchema(6);
+  const marginal::Workload w = marginal::WorkloadQkStar(schema, 1);
+  const auto noiseless = Noisy(w, counts, 0.0, &rng);
+  auto projected =
+      ProjectConsistentL2(w, noiseless, linalg::Vector(noiseless.size(), 1.0));
+  ASSERT_TRUE(projected.ok());
+  for (std::size_t i = 0; i < noiseless.size(); ++i) {
+    for (std::size_t g = 0; g < noiseless[i].num_cells(); ++g) {
+      EXPECT_NEAR(projected.value()[i].value(g), noiseless[i].value(g), 1e-8);
+    }
+  }
+}
+
+TEST(ConsistencyL2Test, OutputSatisfiesConsistencyWitness) {
+  // The projected marginals must equal Q x_c for the explicit witness.
+  Rng rng(2);
+  const data::Dataset ds = data::MakeProductBernoulli(6, 0.5, 300, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  const data::Schema schema = data::BinarySchema(6);
+  const marginal::Workload w = marginal::WorkloadQk(schema, 2);
+  const auto noisy = Noisy(w, counts, 5.0, &rng);
+  const linalg::Vector variances(noisy.size(), 25.0);
+  auto projected = ProjectConsistentL2(w, noisy, variances);
+  ASSERT_TRUE(projected.ok());
+  auto witness = ConsistentWitness(w, noisy, variances);
+  ASSERT_TRUE(witness.ok());
+  auto dense = data::DenseTable::FromCells(witness.value());
+  ASSERT_TRUE(dense.ok());
+  for (std::size_t i = 0; i < w.num_marginals(); ++i) {
+    const marginal::MarginalTable from_witness =
+        marginal::ComputeMarginal(dense.value(), w.mask(i));
+    for (std::size_t g = 0; g < from_witness.num_cells(); ++g) {
+      EXPECT_NEAR(projected.value()[i].value(g), from_witness.value(g), 1e-6);
+    }
+  }
+}
+
+TEST(ConsistencyL2Test, OverlappingMarginalsAgreeAfterProjection) {
+  Rng rng(3);
+  const data::Dataset ds = data::MakeProductBernoulli(5, 0.4, 200, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  const marginal::Workload w(5, {bits::Mask{0b00011}, bits::Mask{0b00110}});
+  const auto noisy = Noisy(w, counts, 3.0, &rng);
+  auto projected =
+      ProjectConsistentL2(w, noisy, linalg::Vector(2, 9.0));
+  ASSERT_TRUE(projected.ok());
+  // Shared attribute bit 1: totals from both marginals must coincide.
+  const auto& m0 = projected.value()[0];
+  const auto& m1 = projected.value()[1];
+  for (int b = 0; b < 2; ++b) {
+    double s0 = 0.0, s1 = 0.0;
+    for (std::size_t g = 0; g < 4; ++g) {
+      if (((m0.GlobalCell(g) >> 1) & 1) == static_cast<bits::Mask>(b)) {
+        s0 += m0.value(g);
+      }
+      if (((m1.GlobalCell(g) >> 1) & 1) == static_cast<bits::Mask>(b)) {
+        s1 += m1.value(g);
+      }
+    }
+    EXPECT_NEAR(s0, s1, 1e-8);
+  }
+}
+
+TEST(ConsistencyL2Test, MatchesDenseWeightedLeastSquares) {
+  // The fast Fourier-space projection must agree with an explicit GLS over
+  // the dense recovery matrix (same normal equations).
+  Rng rng(4);
+  const data::Dataset ds = data::MakeProductBernoulli(5, 0.5, 150, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  const data::Schema schema = data::BinarySchema(5);
+  const marginal::Workload w = marginal::WorkloadQkStar(schema, 1);
+  linalg::Vector variances(w.num_marginals());
+  for (std::size_t i = 0; i < variances.size(); ++i) {
+    variances[i] = 1.0 + static_cast<double>(i % 3);
+  }
+  std::vector<marginal::MarginalTable> noisy;
+  for (std::size_t i = 0; i < w.num_marginals(); ++i) {
+    marginal::MarginalTable t = marginal::ComputeMarginal(counts, w.mask(i));
+    for (std::size_t g = 0; g < t.num_cells(); ++g) {
+      t.value(g) += rng.NextGaussian(0.0, std::sqrt(variances[i]));
+    }
+    noisy.push_back(std::move(t));
+  }
+
+  marginal::FourierIndex index(w);
+  auto fast = FitFourierCoefficients(w, index, noisy, variances);
+  ASSERT_TRUE(fast.ok());
+
+  const linalg::Matrix r = marginal::BuildFourierRecoveryMatrix(w, index);
+  const linalg::Vector target = marginal::StackMarginals(noisy);
+  linalg::Vector row_variances;
+  for (std::size_t i = 0; i < w.num_marginals(); ++i) {
+    const std::size_t cells = std::size_t{1} << bits::Popcount(w.mask(i));
+    row_variances.insert(row_variances.end(), cells, variances[i]);
+  }
+  auto dense = linalg::GeneralizedLeastSquares(r, target, row_variances);
+  ASSERT_TRUE(dense.ok());
+  for (std::size_t c = 0; c < index.size(); ++c) {
+    EXPECT_NEAR(fast.value()[c], dense.value()[c],
+                1e-6 * (1.0 + std::fabs(dense.value()[c])));
+  }
+}
+
+TEST(ConsistencyL2Test, ProjectionReducesError) {
+  // Averaging across overlapping marginals must reduce expected error on
+  // the shared coefficients: total error after projection <= before
+  // (statistically; compare means over repetitions).
+  Rng rng(5);
+  const data::Dataset ds = data::MakeProductBernoulli(6, 0.5, 500, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  const data::Schema schema = data::BinarySchema(6);
+  const marginal::Workload w = marginal::WorkloadQk(schema, 2);
+  std::vector<marginal::MarginalTable> truth;
+  for (std::size_t i = 0; i < w.num_marginals(); ++i) {
+    truth.push_back(marginal::ComputeMarginal(counts, w.mask(i)));
+  }
+  double err_before = 0.0, err_after = 0.0;
+  for (int rep = 0; rep < 40; ++rep) {
+    const auto noisy = Noisy(w, counts, 10.0, &rng);
+    auto projected =
+        ProjectConsistentL2(w, noisy, linalg::Vector(noisy.size(), 100.0));
+    ASSERT_TRUE(projected.ok());
+    for (std::size_t i = 0; i < w.num_marginals(); ++i) {
+      for (std::size_t g = 0; g < truth[i].num_cells(); ++g) {
+        err_before += std::fabs(noisy[i].value(g) - truth[i].value(g));
+        err_after +=
+            std::fabs(projected.value()[i].value(g) - truth[i].value(g));
+      }
+    }
+  }
+  EXPECT_LT(err_after, err_before);
+}
+
+TEST(ConsistencyL2Test, InputValidation) {
+  const marginal::Workload w(4, {bits::Mask{0b0011}});
+  std::vector<marginal::MarginalTable> wrong_order;
+  wrong_order.emplace_back(bits::Mask{0b1100}, 4);
+  EXPECT_FALSE(ProjectConsistentL2(w, wrong_order, {1.0}).ok());
+  std::vector<marginal::MarginalTable> right;
+  right.emplace_back(bits::Mask{0b0011}, 4);
+  EXPECT_FALSE(ProjectConsistentL2(w, right, {0.0}).ok());
+  EXPECT_FALSE(ProjectConsistentL2(w, right, {1.0, 1.0}).ok());
+  EXPECT_FALSE(ProjectConsistentL2(w, {}, {}).ok());
+}
+
+TEST(ConsistencyLpTest, LInfProjectionIsConsistentAndClose) {
+  Rng rng(6);
+  const data::Dataset ds = data::MakeProductBernoulli(4, 0.5, 100, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  const marginal::Workload w(4, {bits::Mask{0b0011}, bits::Mask{0b0110}});
+  const auto noisy = Noisy(w, counts, 2.0, &rng);
+  auto projected = ProjectConsistentLp(w, noisy, LpNorm::kLInf);
+  ASSERT_TRUE(projected.ok());
+  // Consistent: overlapping bit-1 totals agree.
+  const auto& m0 = projected.value()[0];
+  const auto& m1 = projected.value()[1];
+  double s0 = 0.0, s1 = 0.0;
+  for (std::size_t g = 0; g < 4; ++g) {
+    if ((m0.GlobalCell(g) >> 1) & 1) s0 += m0.value(g);
+    if ((m1.GlobalCell(g) >> 1) & 1) s1 += m1.value(g);
+  }
+  EXPECT_NEAR(s0, s1, 1e-6);
+  // The triangle-inequality guarantee (Section 3.3): the projection moves
+  // each entry by at most the max noisy deviation... statistically, stay
+  // within a loose band of the input.
+  for (std::size_t i = 0; i < noisy.size(); ++i) {
+    for (std::size_t g = 0; g < noisy[i].num_cells(); ++g) {
+      EXPECT_NEAR(projected.value()[i].value(g), noisy[i].value(g), 25.0);
+    }
+  }
+}
+
+TEST(ConsistencyLpTest, L1ProjectionNoiselessFixedPoint) {
+  Rng rng(7);
+  const data::Dataset ds = data::MakeProductBernoulli(4, 0.4, 80, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  const marginal::Workload w(4, {bits::Mask{0b0011}, bits::Mask{0b1001}});
+  const auto noiseless = Noisy(w, counts, 0.0, &rng);
+  auto projected = ProjectConsistentLp(w, noiseless, LpNorm::kL1);
+  ASSERT_TRUE(projected.ok());
+  for (std::size_t i = 0; i < noiseless.size(); ++i) {
+    for (std::size_t g = 0; g < noiseless[i].num_cells(); ++g) {
+      EXPECT_NEAR(projected.value()[i].value(g), noiseless[i].value(g),
+                  1e-6);
+    }
+  }
+}
+
+TEST(ConsistentWitnessTest, NonNegativeAndIntegral) {
+  Rng rng(8);
+  const data::Dataset ds = data::MakeProductBernoulli(5, 0.3, 60, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  const data::Schema schema = data::BinarySchema(5);
+  const marginal::Workload w = marginal::WorkloadQk(schema, 1);
+  const auto noisy = Noisy(w, counts, 2.0, &rng);
+  auto witness =
+      ConsistentWitness(w, noisy, linalg::Vector(noisy.size(), 4.0),
+                        /*clamp_nonnegative=*/true,
+                        /*round_to_integer=*/true);
+  ASSERT_TRUE(witness.ok());
+  for (double v : witness.value()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_DOUBLE_EQ(v, std::nearbyint(v));
+  }
+}
+
+}  // namespace
+}  // namespace recovery
+}  // namespace dpcube

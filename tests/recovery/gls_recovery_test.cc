@@ -1,0 +1,105 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "recovery/gls_recovery.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "transform/walsh_hadamard.h"
+
+namespace dpcube {
+namespace recovery {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(GlsRecoveryTest, OrthonormalStrategyGivesQSt) {
+  // Observation 1: for orthonormal S with uniform variance, R = Q S^T.
+  const int d = 3;
+  const Matrix s = transform::HadamardMatrix(d);
+  Rng rng(1);
+  Matrix q(4, 8);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) q(r, c) = rng.NextGaussian();
+  }
+  auto recovery = OptimalRecoveryMatrix(q, s, Vector(8, 2.0));
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_TRUE(recovery.value().ApproxEquals(q.Multiply(s.Transpose()), 1e-8));
+}
+
+TEST(GlsRecoveryTest, FactorisationHolds) {
+  // Q = R S must hold for the optimal recovery (unbiasedness).
+  Rng rng(2);
+  Matrix s(6, 4);  // Overdetermined full-column-rank strategy.
+  for (std::size_t r = 0; r < 6; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) s(r, c) = rng.NextGaussian();
+  }
+  Matrix q(3, 4);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) q(r, c) = rng.NextGaussian();
+  }
+  Vector variances = {1.0, 2.0, 0.5, 1.5, 3.0, 1.0};
+  auto recovery = OptimalRecoveryMatrix(q, s, variances);
+  ASSERT_TRUE(recovery.ok());
+  EXPECT_TRUE(VerifyRecoveryFactorisation(q, recovery.value(), s).ok());
+}
+
+TEST(GlsRecoveryTest, MinimisesVarianceAmongAlternatives) {
+  // Compare the GLS recovery against naive alternatives that also satisfy
+  // Q = R S: the GLS total variance must be minimal.
+  Rng rng(3);
+  // Strategy: each of 2 columns measured 3 times with different variances.
+  Matrix s = {{1.0, 0.0}, {1.0, 0.0}, {1.0, 0.0},
+              {0.0, 1.0}, {0.0, 1.0}, {0.0, 1.0}};
+  Matrix q = Matrix::Identity(2);
+  Vector variances = {1.0, 4.0, 16.0, 1.0, 1.0, 1.0};
+  auto recovery = OptimalRecoveryMatrix(q, s, variances);
+  ASSERT_TRUE(recovery.ok());
+  const double optimal = TotalRecoveryVariance(recovery.value(), variances);
+  // Alternative 1: plain averaging.
+  Matrix average(2, 6);
+  for (int j = 0; j < 3; ++j) {
+    average(0, j) = 1.0 / 3.0;
+    average(1, 3 + j) = 1.0 / 3.0;
+  }
+  // Alternative 2: take only the first measurement.
+  Matrix first(2, 6);
+  first(0, 0) = 1.0;
+  first(1, 3) = 1.0;
+  EXPECT_LT(optimal, TotalRecoveryVariance(average, variances));
+  EXPECT_LT(optimal, TotalRecoveryVariance(first, variances));
+  // Inverse-variance weighting for x0: weights (1, 1/4, 1/16)/(21/16).
+  EXPECT_NEAR(recovery.value()(0, 0), (1.0 / 1.0) / (21.0 / 16.0), 1e-9);
+}
+
+TEST(GlsRecoveryTest, RecoveryVariancesPerQuery) {
+  Matrix r = {{0.5, 0.5}, {1.0, 0.0}};
+  Vector variances = {2.0, 4.0};
+  const Vector v = RecoveryVariances(r, variances);
+  EXPECT_DOUBLE_EQ(v[0], 0.25 * 2.0 + 0.25 * 4.0);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+  EXPECT_DOUBLE_EQ(TotalRecoveryVariance(r, variances), v[0] + v[1]);
+  EXPECT_DOUBLE_EQ(TotalRecoveryVariance(r, variances, {2.0, 0.0}),
+                   2.0 * v[0]);
+}
+
+TEST(GlsRecoveryTest, InputValidation) {
+  EXPECT_FALSE(
+      OptimalRecoveryMatrix(Matrix(2, 3), Matrix(4, 5), Vector(4, 1.0)).ok());
+  EXPECT_FALSE(
+      OptimalRecoveryMatrix(Matrix(2, 3), Matrix(4, 3), Vector(2, 1.0)).ok());
+}
+
+TEST(GlsRecoveryTest, VerifyFactorisationCatchesMismatch) {
+  Matrix q = Matrix::Identity(2);
+  Matrix s = Matrix::Identity(2);
+  Matrix r = {{1.0, 0.0}, {0.0, 2.0}};  // R S != Q.
+  EXPECT_FALSE(VerifyRecoveryFactorisation(q, r, s).ok());
+}
+
+}  // namespace
+}  // namespace recovery
+}  // namespace dpcube

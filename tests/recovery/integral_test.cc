@@ -1,0 +1,137 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "recovery/integral.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "dp/geometric.h"
+#include "marginal/marginal_table.h"
+#include "marginal/workload.h"
+
+namespace dpcube {
+namespace recovery {
+namespace {
+
+data::SparseCounts SmallData(int d, Rng* rng) {
+  data::Dataset ds = data::MakeProductBernoulli(d, 0.3, 500, rng);
+  return data::SparseCounts::FromDataset(ds);
+}
+
+TEST(IntegralReleaseTest, MarginalsAreIntegralAndNonNegative) {
+  Rng rng(42);
+  const int d = 6;
+  data::SparseCounts counts = SmallData(d, &rng);
+  marginal::Workload load = marginal::AllKWayBits(d, 2);
+  dp::PrivacyParams params;
+  params.epsilon = 1.0;
+  auto rel = IntegralBaseCountRelease(load, counts, params, &rng);
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  for (std::int64_t cell : rel->table) EXPECT_GE(cell, 0);
+  for (const auto& m : rel->marginals) {
+    for (double v : m.values()) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_EQ(v, std::floor(v));  // Integral with no rounding step.
+    }
+  }
+}
+
+TEST(IntegralReleaseTest, MarginalsAreMutuallyConsistent) {
+  // All marginals aggregate one witness table, so every marginal must
+  // carry the same total, and any sub-marginal must equal the aggregation
+  // of its parent.
+  Rng rng(17);
+  const int d = 5;
+  data::SparseCounts counts = SmallData(d, &rng);
+  marginal::Workload load(d, {bits::Mask{0b00011}, bits::Mask{0b00001}});
+  dp::PrivacyParams params;
+  params.epsilon = 0.5;
+  auto rel = IntegralBaseCountRelease(load, counts, params, &rng);
+  ASSERT_TRUE(rel.ok()) << rel.status();
+  const auto& ab = rel->marginals[0];  // Over bits {0, 1}.
+  const auto& a = rel->marginals[1];   // Over bit {0}.
+  EXPECT_EQ(ab.Total(), a.Total());
+  // a[0] = ab[00] + ab[10]; a[1] = ab[01] + ab[11] (bit 0 is the low bit
+  // of the local index).
+  EXPECT_EQ(a.value(0), ab.value(0) + ab.value(2));
+  EXPECT_EQ(a.value(1), ab.value(1) + ab.value(3));
+}
+
+TEST(IntegralReleaseTest, HugeEpsilonRecoversExactMarginals) {
+  Rng rng(5);
+  const int d = 6;
+  data::SparseCounts counts = SmallData(d, &rng);
+  marginal::Workload load = marginal::AllKWayBits(d, 1);
+  dp::PrivacyParams params;
+  params.epsilon = 1000.0;
+  auto rel = IntegralBaseCountRelease(load, counts, params, &rng);
+  ASSERT_TRUE(rel.ok());
+  for (std::size_t i = 0; i < load.num_marginals(); ++i) {
+    const marginal::MarginalTable truth =
+        marginal::ComputeMarginal(counts, load.mask(i));
+    for (std::size_t c = 0; c < truth.num_cells(); ++c) {
+      EXPECT_NEAR(rel->marginals[i].value(c), truth.value(c), 1e-9);
+    }
+  }
+}
+
+TEST(IntegralReleaseTest, UnclampedNoiseIsUnbiasedOnMarginalTotals) {
+  // Without clamping the noise is symmetric, so the released total should
+  // track the true total across repetitions.
+  Rng rng(23);
+  const int d = 5;
+  data::SparseCounts counts = SmallData(d, &rng);
+  marginal::Workload load(d, {bits::Mask{0b00001}});
+  dp::PrivacyParams params;
+  params.epsilon = 1.0;
+  IntegralReleaseOptions options;
+  options.clamp_nonnegative = false;
+  double sum_err = 0.0;
+  const int kReps = 300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto rel = IntegralBaseCountRelease(load, counts, params, &rng, options);
+    ASSERT_TRUE(rel.ok());
+    sum_err += rel->marginals[0].Total() - counts.Total();
+  }
+  // Total noise variance per rep: 2^d cells * per-cell variance; the mean
+  // over kReps has std sqrt(var * 2^d / kReps).
+  const double cell_var =
+      dp::GeometricVariance(params.epsilon / params.SensitivityFactor());
+  const double std_total = std::sqrt(cell_var * double(1 << d) / kReps);
+  EXPECT_LT(std::fabs(sum_err / kReps), 5.0 * std_total);
+}
+
+TEST(IntegralReleaseTest, RejectsApproxDpAndBigDomains) {
+  Rng rng(1);
+  data::SparseCounts counts = SmallData(4, &rng);
+  marginal::Workload load = marginal::AllKWayBits(4, 1);
+  dp::PrivacyParams approx;
+  approx.epsilon = 1.0;
+  approx.delta = 1e-6;
+  EXPECT_FALSE(IntegralBaseCountRelease(load, counts, approx, &rng).ok());
+
+  marginal::Workload big = marginal::AllKWayBits(24, 1);
+  dp::PrivacyParams pure;
+  pure.epsilon = 1.0;
+  EXPECT_FALSE(IntegralBaseCountRelease(big, counts, pure, &rng).ok());
+}
+
+TEST(IntegralReleaseTest, PerCellVarianceReported) {
+  Rng rng(2);
+  data::SparseCounts counts = SmallData(4, &rng);
+  marginal::Workload load = marginal::AllKWayBits(4, 1);
+  dp::PrivacyParams params;
+  params.epsilon = 2.0;
+  params.neighbour = dp::NeighbourModel::kReplaceOne;
+  auto rel = IntegralBaseCountRelease(load, counts, params, &rng);
+  ASSERT_TRUE(rel.ok());
+  // eps_cell = 2 / 2 = 1 under replace-one.
+  EXPECT_NEAR(rel->per_cell_variance, dp::GeometricVariance(1.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace recovery
+}  // namespace dpcube

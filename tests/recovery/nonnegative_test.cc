@@ -1,0 +1,135 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "recovery/nonnegative.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "recovery/consistency.h"
+
+namespace dpcube {
+namespace recovery {
+namespace {
+
+std::vector<marginal::MarginalTable> NoisyMarginals(
+    const marginal::Workload& w, const data::SparseCounts& counts,
+    double noise_std, Rng* rng) {
+  std::vector<marginal::MarginalTable> out;
+  for (std::size_t i = 0; i < w.num_marginals(); ++i) {
+    marginal::MarginalTable t = marginal::ComputeMarginal(counts, w.mask(i));
+    for (std::size_t g = 0; g < t.num_cells(); ++g) {
+      t.value(g) += rng->NextGaussian(0.0, noise_std);
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+TEST(NonNegativeTest, TableIsNonNegativeAndMarginalsMatchIt) {
+  Rng rng(1);
+  const data::Dataset ds = data::MakeProductBernoulli(6, 0.3, 300, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  const data::Schema schema = data::BinarySchema(6);
+  const marginal::Workload w = marginal::WorkloadQk(schema, 2);
+  const auto noisy = NoisyMarginals(w, counts, 6.0, &rng);
+  auto fit = FitNonNegativeTable(w, noisy, linalg::Vector(noisy.size(), 36.0));
+  ASSERT_TRUE(fit.ok());
+  for (double v : fit.value().table) EXPECT_GE(v, 0.0);
+  // The returned marginals are exactly the aggregations of the table.
+  auto dense = data::DenseTable::FromCells(fit.value().table);
+  ASSERT_TRUE(dense.ok());
+  for (std::size_t i = 0; i < w.num_marginals(); ++i) {
+    const marginal::MarginalTable from_table =
+        marginal::ComputeMarginal(dense.value(), w.mask(i));
+    for (std::size_t g = 0; g < from_table.num_cells(); ++g) {
+      EXPECT_NEAR(fit.value().marginals[i].value(g), from_table.value(g),
+                  1e-9);
+    }
+  }
+}
+
+TEST(NonNegativeTest, NoiselessInputRecoversTruth) {
+  Rng rng(2);
+  const data::Dataset ds = data::MakeProductBernoulli(5, 0.4, 200, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  const data::Schema schema = data::BinarySchema(5);
+  const marginal::Workload w = marginal::WorkloadQk(schema, 1);
+  const auto noiseless = NoisyMarginals(w, counts, 0.0, &rng);
+  auto fit =
+      FitNonNegativeTable(w, noiseless, linalg::Vector(noiseless.size(), 1.0));
+  ASSERT_TRUE(fit.ok());
+  for (std::size_t i = 0; i < w.num_marginals(); ++i) {
+    for (std::size_t g = 0; g < noiseless[i].num_cells(); ++g) {
+      EXPECT_NEAR(fit.value().marginals[i].value(g), noiseless[i].value(g),
+                  1e-3);
+    }
+  }
+}
+
+TEST(NonNegativeTest, NoWorseThanClampedWitnessOnObjective) {
+  // The projected-gradient fit must (weakly) improve on its warm start,
+  // the clamped unconstrained witness.
+  Rng rng(3);
+  const data::Dataset ds = data::MakeProductBernoulli(6, 0.2, 150, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  const data::Schema schema = data::BinarySchema(6);
+  const marginal::Workload w = marginal::WorkloadQkStar(schema, 1);
+  const auto noisy = NoisyMarginals(w, counts, 8.0, &rng);
+  const linalg::Vector variances(noisy.size(), 64.0);
+  auto fit = FitNonNegativeTable(w, noisy, variances);
+  ASSERT_TRUE(fit.ok());
+
+  auto witness = ConsistentWitness(w, noisy, variances,
+                                   /*clamp_nonnegative=*/true);
+  ASSERT_TRUE(witness.ok());
+  auto dense = data::DenseTable::FromCells(witness.value());
+  ASSERT_TRUE(dense.ok());
+  double witness_objective = 0.0;
+  for (std::size_t i = 0; i < w.num_marginals(); ++i) {
+    const marginal::MarginalTable agg =
+        marginal::ComputeMarginal(dense.value(), w.mask(i));
+    for (std::size_t g = 0; g < agg.num_cells(); ++g) {
+      const double r = agg.value(g) - noisy[i].value(g);
+      witness_objective += r * r / variances[i];
+    }
+  }
+  EXPECT_LE(fit.value().objective, witness_objective + 1e-9);
+}
+
+TEST(NonNegativeTest, IntegerRounding) {
+  Rng rng(4);
+  const data::Dataset ds = data::MakeProductBernoulli(4, 0.5, 400, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  const data::Schema schema = data::BinarySchema(4);
+  const marginal::Workload w = marginal::WorkloadQk(schema, 3);
+  const auto noisy = NoisyMarginals(w, counts, 1.0, &rng);
+  NonNegativeOptions options;
+  options.round_to_integer = true;
+  auto fit = FitNonNegativeTable(w, noisy, linalg::Vector(noisy.size(), 1.0),
+                                 options);
+  ASSERT_TRUE(fit.ok());
+  for (double v : fit.value().table) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_DOUBLE_EQ(v, std::nearbyint(v));
+  }
+}
+
+TEST(NonNegativeTest, InputValidation) {
+  const marginal::Workload w(4, {bits::Mask{0b0011}});
+  std::vector<marginal::MarginalTable> one;
+  one.emplace_back(bits::Mask{0b0011}, 4);
+  EXPECT_FALSE(FitNonNegativeTable(w, one, {0.0}).ok());
+  EXPECT_FALSE(FitNonNegativeTable(w, one, {1.0, 1.0}).ok());
+  EXPECT_FALSE(FitNonNegativeTable(w, {}, {}).ok());
+  const marginal::Workload huge(22, {bits::Mask{0b1}});
+  std::vector<marginal::MarginalTable> huge_tables;
+  huge_tables.emplace_back(bits::Mask{0b1}, 22);
+  EXPECT_FALSE(FitNonNegativeTable(huge, huge_tables, {1.0}).ok());
+}
+
+}  // namespace
+}  // namespace recovery
+}  // namespace dpcube

@@ -1,0 +1,188 @@
+// Copyright 2026 The dpcube Authors.
+//
+// The rank(S) < N recovery path (Section 3.2's deferred case): when the
+// strategy does not span the full domain, an unbiased recovery exists
+// exactly for queries inside the strategy's row space, and the
+// pseudo-inverse GLS recovery is the minimum-variance one among them.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+#include "marginal/query_matrix.h"
+#include "marginal/workload.h"
+#include "recovery/gls_recovery.h"
+
+namespace dpcube {
+namespace recovery {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+// The strategy of Figure 1(c): the AB marginal over the 3-bit domain.
+// rank(S) = 4 < N = 8.
+Matrix AbMarginalStrategy() {
+  marginal::Workload s_load(3, {bits::Mask{0b110}});
+  return marginal::BuildQueryMatrix(s_load);
+}
+
+// The workload of Figure 1(b): marginal on A plus marginal on A,B.
+Matrix FigureOneQuery() {
+  marginal::Workload q_load(3, {bits::Mask{0b100}, bits::Mask{0b110}});
+  return marginal::BuildQueryMatrix(q_load);
+}
+
+TEST(RankDeficientRecoveryTest, RecoversFigureOneExample) {
+  const Matrix q = FigureOneQuery();
+  const Matrix s = AbMarginalStrategy();
+  const Vector variances(4, 2.0);  // Uniform Laplace noise.
+  auto r = OptimalRecoveryMatrixAnyRank(q, s, variances);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(VerifyRecoveryFactorisation(q, r.value(), s).ok());
+  // The A marginal aggregates two AB cells: its variance is 2 * 2 = 4;
+  // the AB rows pass through: variance 2.
+  const Vector var_y = RecoveryVariances(r.value(), variances);
+  EXPECT_NEAR(var_y[0], 4.0, 1e-9);
+  EXPECT_NEAR(var_y[1], 4.0, 1e-9);
+  for (std::size_t i = 2; i < 6; ++i) EXPECT_NEAR(var_y[i], 2.0, 1e-9);
+}
+
+TEST(RankDeficientRecoveryTest, RejectsQueryOutsideRowSpace) {
+  // The C marginal cannot be derived from the AB marginal.
+  marginal::Workload q_load(3, {bits::Mask{0b001}});
+  const Matrix q = marginal::BuildQueryMatrix(q_load);
+  const Matrix s = AbMarginalStrategy();
+  const Vector variances(4, 2.0);
+  auto r = OptimalRecoveryMatrixAnyRank(q, s, variances);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RankDeficientRecoveryTest, MatchesFullRankPathWhenInvertible) {
+  // Full-rank S: identity over the 8-cell domain with varying noise.
+  const Matrix q = FigureOneQuery();
+  const Matrix s = Matrix::Identity(8);
+  Vector variances(8);
+  for (std::size_t i = 0; i < 8; ++i) variances[i] = 1.0 + 0.25 * double(i);
+  auto r_full = OptimalRecoveryMatrix(q, s, variances);
+  auto r_any = OptimalRecoveryMatrixAnyRank(q, s, variances);
+  ASSERT_TRUE(r_full.ok());
+  ASSERT_TRUE(r_any.ok());
+  EXPECT_TRUE(r_full->ApproxEquals(r_any.value(), 1e-8));
+}
+
+TEST(RankDeficientRecoveryTest, NonUniformNoiseFavoursQuietRows) {
+  // Duplicate measurements of a single count with different noise: the
+  // GLS recovery must weight them by inverse variance.
+  Matrix q = {{1.0}};
+  Matrix s = {{1.0}, {1.0}};
+  const Vector variances = {1.0, 4.0};
+  auto r = OptimalRecoveryMatrixAnyRank(q, s, variances);
+  ASSERT_TRUE(r.ok()) << r.status();
+  // Optimal weights are (1/v_i) / sum(1/v_j) = 0.8, 0.2.
+  EXPECT_NEAR(r.value()(0, 0), 0.8, 1e-9);
+  EXPECT_NEAR(r.value()(0, 1), 0.2, 1e-9);
+  EXPECT_NEAR(RecoveryVariances(r.value(), variances)[0], 0.8, 1e-9);
+}
+
+TEST(RankDeficientRecoveryTest, BeatsNaiveRecoveryVariance) {
+  // Strategy: the AB marginal measured twice, second copy noisier.
+  const Matrix ab = AbMarginalStrategy();
+  Matrix s(8, 8);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      s(i, j) = ab(i, j);
+      s(i + 4, j) = ab(i, j);
+    }
+  }
+  Vector variances(8);
+  for (std::size_t i = 0; i < 4; ++i) variances[i] = 1.0;
+  for (std::size_t i = 4; i < 8; ++i) variances[i] = 9.0;
+  const Matrix q = FigureOneQuery();
+  auto r = OptimalRecoveryMatrixAnyRank(q, s, variances);
+  ASSERT_TRUE(r.ok()) << r.status();
+  const double optimal = TotalRecoveryVariance(r.value(), variances);
+  // Naive recovery: use only the first (clean) copy.
+  marginal::Workload s_load(3, {bits::Mask{0b110}});
+  Matrix naive(q.rows(), 8);
+  // A-marginal rows aggregate two AB cells; AB rows pass through.
+  naive(0, 0) = naive(0, 1) = 1.0;
+  naive(1, 2) = naive(1, 3) = 1.0;
+  for (std::size_t i = 0; i < 4; ++i) naive(2 + i, i) = 1.0;
+  ASSERT_TRUE(VerifyRecoveryFactorisation(q, naive, s).ok());
+  const double naive_var = TotalRecoveryVariance(naive, variances);
+  EXPECT_LT(optimal, naive_var);
+  // Averaging with weights 0.9 / 0.1 per row pair: variance scales by
+  // 0.9^2 * 1 + 0.1^2 * 9 = 0.9 per unit, so the total drops by 10%.
+  EXPECT_NEAR(optimal, 0.9 * naive_var, 1e-9);
+}
+
+// Randomised trials: a marginal strategy can answer exactly the queries
+// dominated by one of its masks. For random strategy/query workloads the
+// any-rank recovery must succeed on every dominated query marginal and
+// reject any marginal containing a bit no strategy marginal covers.
+class RankDeficientFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankDeficientFuzz, RecoverabilityMatchesDominance) {
+  Rng rng(11000 + GetParam());
+  const int d = 4 + static_cast<int>(rng.NextBounded(3));
+  // Random strategy: 1-3 marginals of order <= 3.
+  std::vector<bits::Mask> strat_masks;
+  const std::size_t num_strat = 1 + rng.NextBounded(3);
+  for (std::size_t i = 0; i < num_strat; ++i) {
+    bits::Mask m = rng.NextBounded((1u << d) - 1) + 1;
+    while (bits::Popcount(m) > 3) m &= m - 1;
+    strat_masks.push_back(m);
+  }
+  const marginal::Workload s_load(d, strat_masks);
+  const Matrix s = marginal::BuildQueryMatrix(s_load);
+  Vector variances(s.rows());
+  for (auto& v : variances) v = 0.5 + 4.0 * rng.NextDouble();
+
+  // Dominated query: a submask of a random strategy marginal.
+  const bits::Mask parent = strat_masks[rng.NextBounded(strat_masks.size())];
+  bits::Mask dominated = parent;
+  if (bits::Popcount(parent) > 1 && rng.NextBernoulli(0.5)) {
+    dominated &= parent - 1;  // Drop the lowest bit: strictly smaller.
+  }
+  if (dominated == 0) dominated = parent;
+  {
+    const marginal::Workload q_load(d, {dominated});
+    const Matrix q = marginal::BuildQueryMatrix(q_load);
+    auto r = OptimalRecoveryMatrixAnyRank(q, s, variances);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_TRUE(VerifyRecoveryFactorisation(q, r.value(), s).ok());
+  }
+
+  // Undominated query: include a bit that no strategy marginal covers
+  // (skip the trial if the strategy covers every bit).
+  bits::Mask covered = 0;
+  for (bits::Mask m : strat_masks) covered |= m;
+  const bits::Mask all = bits::FullMask(d);
+  if (covered != all) {
+    bits::Mask fresh = all & ~covered;
+    fresh &= ~(fresh - 1);  // Lowest uncovered bit.
+    const marginal::Workload q_load(d, {fresh});
+    const Matrix q = marginal::BuildQueryMatrix(q_load);
+    auto r = OptimalRecoveryMatrixAnyRank(q, s, variances);
+    EXPECT_FALSE(r.ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Trials, RankDeficientFuzz, ::testing::Range(0, 12));
+
+TEST(RankDeficientRecoveryTest, RejectsDimensionMismatch) {
+  EXPECT_FALSE(
+      OptimalRecoveryMatrixAnyRank(Matrix(2, 4), Matrix(3, 8), Vector(3, 1.0))
+          .ok());
+  EXPECT_FALSE(
+      OptimalRecoveryMatrixAnyRank(Matrix(2, 8), Matrix(3, 8), Vector(2, 1.0))
+          .ok());
+}
+
+}  // namespace
+}  // namespace recovery
+}  // namespace dpcube

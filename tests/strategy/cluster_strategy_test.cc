@@ -1,0 +1,151 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "strategy/cluster_strategy.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "dp/privacy.h"
+
+namespace dpcube {
+namespace strategy {
+namespace {
+
+dp::PrivacyParams Pure(double eps) {
+  dp::PrivacyParams p;
+  p.epsilon = eps;
+  p.neighbour = dp::NeighbourModel::kAddRemove;
+  return p;
+}
+
+TEST(ClusterStrategyTest, EveryQueryIsCovered) {
+  const data::Schema schema = data::BinarySchema(8);
+  ClusterStrategy strat(marginal::WorkloadQk(schema, 1));
+  ASSERT_EQ(strat.cover_of().size(), 8u);
+  for (std::size_t q = 0; q < 8; ++q) {
+    const bits::Mask alpha = strat.workload().mask(q);
+    const bits::Mask cover = strat.materialized()[strat.cover_of()[q]];
+    EXPECT_TRUE(bits::IsSubset(alpha, cover));
+  }
+}
+
+TEST(ClusterStrategyTest, MergesOneWayMarginals) {
+  // For all 1-way marginals the cost model favours merging: measuring d
+  // singleton marginals (cost d^2 * 2d) loses to coarser centroids.
+  const data::Schema schema = data::BinarySchema(8);
+  ClusterStrategy strat(marginal::WorkloadQk(schema, 1));
+  EXPECT_LT(strat.materialized().size(), 8u);
+}
+
+TEST(ClusterStrategyTest, DisjointHighOrderMarginalsStaySeparate) {
+  // Two disjoint 3-way marginals: merging to a 6-way marginal costs
+  // 1 * 2 * 2^6 = 128 vs separate 4 * 2 * 2^3 = 64: no merge.
+  marginal::Workload w(6, {bits::Mask{0b000111}, bits::Mask{0b111000}});
+  ClusterStrategy strat(std::move(w));
+  EXPECT_EQ(strat.materialized().size(), 2u);
+}
+
+TEST(ClusterStrategyTest, NestedMarginalsCollapse) {
+  // A marginal dominated by another should never be materialised twice.
+  marginal::Workload w(5, {bits::Mask{0b00011}, bits::Mask{0b11011},
+                           bits::Mask{0b00001}});
+  ClusterStrategy strat(std::move(w));
+  EXPECT_EQ(strat.materialized().size(), 1u);
+  EXPECT_EQ(strat.materialized()[0], bits::Mask{0b11011});
+}
+
+TEST(ClusterStrategyTest, GroupWeightsReflectAssignments) {
+  marginal::Workload w(5, {bits::Mask{0b00011}, bits::Mask{0b00001},
+                           bits::Mask{0b11000}});
+  ClusterStrategy strat(std::move(w));
+  const auto& groups = strat.groups();
+  ASSERT_EQ(groups.size(), strat.materialized().size());
+  for (std::size_t m = 0; m < groups.size(); ++m) {
+    std::size_t assigned = 0;
+    for (std::size_t cover : strat.cover_of()) {
+      if (cover == m) ++assigned;
+    }
+    const double cells = static_cast<double>(groups[m].num_rows);
+    EXPECT_DOUBLE_EQ(groups[m].weight_sum, 2.0 * assigned * cells);
+  }
+}
+
+TEST(ClusterStrategyTest, HugeBudgetsReproduceTruth) {
+  Rng rng(1);
+  const data::Dataset ds = data::MakeProductBernoulli(7, 0.4, 500, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  const data::Schema schema = data::BinarySchema(7);
+  ClusterStrategy strat(marginal::WorkloadQk(schema, 2));
+  const linalg::Vector budgets(strat.groups().size(), 1e9);
+  auto release = strat.Run(counts, budgets, Pure(1.0), &rng);
+  ASSERT_TRUE(release.ok());
+  for (std::size_t i = 0; i < strat.workload().num_marginals(); ++i) {
+    const marginal::MarginalTable truth =
+        marginal::ComputeMarginal(counts, strat.workload().mask(i));
+    for (std::size_t g = 0; g < truth.num_cells(); ++g) {
+      EXPECT_NEAR(release.value().marginals[i].value(g), truth.value(g),
+                  1e-4);
+    }
+  }
+}
+
+TEST(ClusterStrategyTest, CellVarianceGrowsWithCoverSpread) {
+  // A 1-way query recovered from a wider centroid accumulates
+  // 2^{||cover|| - 1} noisy cells.
+  const data::Schema schema = data::BinarySchema(6);
+  ClusterStrategy strat(marginal::WorkloadQk(schema, 1));
+  Rng rng(2);
+  const data::Dataset ds = data::MakeProductBernoulli(6, 0.5, 100, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  const linalg::Vector budgets(strat.groups().size(), 1.0);
+  auto release = strat.Run(counts, budgets, Pure(1.0), &rng);
+  ASSERT_TRUE(release.ok());
+  for (std::size_t q = 0; q < strat.workload().num_marginals(); ++q) {
+    const int spread =
+        bits::Popcount(strat.materialized()[strat.cover_of()[q]]) - 1;
+    EXPECT_DOUBLE_EQ(release.value().cell_variances[q],
+                     std::pow(2.0, spread) * dp::LaplaceVariance(1.0));
+  }
+}
+
+TEST(ClusterStrategyTest, PredictedCostNeverIncreasedByClustering) {
+  // The greedy result must be at least as good under its own cost model
+  // as the no-merge starting point.
+  const data::Schema schema = data::BinarySchema(7);
+  const marginal::Workload w = marginal::WorkloadQkStar(schema, 1);
+  ClusterStrategy strat(w);
+  double start_spread = 0.0;
+  for (bits::Mask alpha : w.masks()) {
+    start_spread += std::pow(2.0, bits::Popcount(alpha));
+  }
+  // Start cost with |M| = number of distinct masks.
+  std::set<bits::Mask> unique(w.masks().begin(), w.masks().end());
+  const double start_cost =
+      static_cast<double>(unique.size() * unique.size()) * start_spread;
+  double end_spread = 0.0;
+  for (std::size_t q = 0; q < w.num_marginals(); ++q) {
+    end_spread += std::pow(
+        2.0, bits::Popcount(strat.materialized()[strat.cover_of()[q]]));
+  }
+  const double end_cost =
+      static_cast<double>(strat.materialized().size() *
+                          strat.materialized().size()) *
+      end_spread;
+  EXPECT_LE(end_cost, start_cost + 1e-9);
+}
+
+TEST(ClusterStrategyTest, RejectsBudgetMismatch) {
+  Rng rng(3);
+  const data::Dataset ds = data::MakeProductBernoulli(4, 0.5, 10, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  const data::Schema schema = data::BinarySchema(4);
+  ClusterStrategy strat(marginal::WorkloadQk(schema, 1));
+  EXPECT_FALSE(strat.Run(counts, {}, Pure(1.0), &rng).ok());
+}
+
+}  // namespace
+}  // namespace strategy
+}  // namespace dpcube

@@ -1,0 +1,77 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "strategy/factory.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace dpcube {
+namespace strategy {
+namespace {
+
+marginal::Workload TestWorkload() {
+  return marginal::WorkloadQk(data::BinarySchema(5), 1);
+}
+
+TEST(FactoryTest, BuildsAllPaperMethods) {
+  const marginal::Workload w = TestWorkload();
+  for (const std::string& name : PaperMethodNames()) {
+    auto method = MakeMethod(name, w);
+    ASSERT_TRUE(method.ok()) << name;
+    EXPECT_EQ(method.value().label, name);
+    ASSERT_NE(method.value().strategy, nullptr);
+    EXPECT_EQ(method.value().strategy->workload().num_marginals(),
+              w.num_marginals());
+  }
+}
+
+TEST(FactoryTest, PlusSuffixSetsOptimalMode) {
+  const marginal::Workload w = TestWorkload();
+  auto plain = MakeMethod("F", w);
+  auto plus = MakeMethod("F+", w);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(plus.ok());
+  EXPECT_EQ(plain.value().budget_mode, budget::BudgetMode::kUniform);
+  EXPECT_EQ(plus.value().budget_mode, budget::BudgetMode::kOptimal);
+}
+
+TEST(FactoryTest, IdentityPlusDegradesToUniform) {
+  // The paper: for S = I the optimal allocation is always uniform.
+  const marginal::Workload w = TestWorkload();
+  auto method = MakeMethod("I+", w);
+  ASSERT_TRUE(method.ok());
+  EXPECT_EQ(method.value().budget_mode, budget::BudgetMode::kUniform);
+}
+
+TEST(FactoryTest, StrategyNamesMatch) {
+  const marginal::Workload w = TestWorkload();
+  EXPECT_EQ(MakeMethod("I", w).value().strategy->name(), "I");
+  EXPECT_EQ(MakeMethod("Q+", w).value().strategy->name(), "Q");
+  EXPECT_EQ(MakeMethod("F", w).value().strategy->name(), "F");
+  EXPECT_EQ(MakeMethod("C+", w).value().strategy->name(), "C");
+}
+
+TEST(FactoryTest, ForwardsQueryWeights) {
+  const marginal::Workload w = TestWorkload();
+  linalg::Vector weights(w.num_marginals(), 1.0);
+  weights[0] = 100.0;
+  auto weighted = MakeMethod("Q", w, weights);
+  auto plain = MakeMethod("Q", w);
+  ASSERT_TRUE(weighted.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_GT(weighted.value().strategy->groups()[0].weight_sum,
+            plain.value().strategy->groups()[0].weight_sum);
+}
+
+TEST(FactoryTest, RejectsUnknownNames) {
+  const marginal::Workload w = TestWorkload();
+  EXPECT_FALSE(MakeMethod("", w).ok());
+  EXPECT_FALSE(MakeMethod("X", w).ok());
+  EXPECT_FALSE(MakeMethod("FF", w).ok());
+  EXPECT_FALSE(MakeMethod("+", w).ok());
+}
+
+}  // namespace
+}  // namespace strategy
+}  // namespace dpcube

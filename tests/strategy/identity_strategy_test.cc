@@ -1,0 +1,120 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "strategy/identity_strategy.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "budget/grouped_budget.h"
+#include "common/stats.h"
+#include "data/synthetic.h"
+
+namespace dpcube {
+namespace strategy {
+namespace {
+
+dp::PrivacyParams Pure(double eps) {
+  dp::PrivacyParams p;
+  p.epsilon = eps;
+  p.neighbour = dp::NeighbourModel::kAddRemove;
+  return p;
+}
+
+marginal::Workload TestWorkload(int d, int k) {
+  return marginal::WorkloadQk(data::BinarySchema(d), k);
+}
+
+TEST(IdentityStrategyTest, SingleGroupSummary) {
+  IdentityStrategy strat(TestWorkload(6, 2));
+  ASSERT_EQ(strat.groups().size(), 1u);
+  EXPECT_DOUBLE_EQ(strat.groups()[0].column_norm, 1.0);
+  EXPECT_EQ(strat.groups()[0].num_rows, 64u);
+  // s = 2 * l * N with l = C(6,2) = 15.
+  EXPECT_DOUBLE_EQ(strat.groups()[0].weight_sum, 2.0 * 15.0 * 64.0);
+}
+
+TEST(IdentityStrategyTest, NoisyMarginalsCenterOnTruth) {
+  Rng rng(1);
+  const data::Dataset ds = data::MakeProductBernoulli(6, 0.4, 2000, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  IdentityStrategy strat(TestWorkload(6, 1));
+  auto release = strat.Run(counts, {50.0}, Pure(1.0), &rng);
+  ASSERT_TRUE(release.ok());
+  ASSERT_EQ(release.value().marginals.size(), 6u);
+  // Budget 50 per cell: noise std per marginal cell ~ sqrt(32 * 2/2500).
+  const marginal::MarginalTable truth =
+      marginal::ComputeMarginal(counts, strat.workload().mask(0));
+  for (std::size_t g = 0; g < truth.num_cells(); ++g) {
+    EXPECT_NEAR(release.value().marginals[0].value(g), truth.value(g), 3.0);
+  }
+}
+
+TEST(IdentityStrategyTest, CellVarianceScalesWithAggregation) {
+  Rng rng(2);
+  const data::Dataset ds = data::MakeProductBernoulli(8, 0.3, 100, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  marginal::Workload w(8, {bits::Mask{0b1}, bits::Mask{0b11}});
+  IdentityStrategy strat(std::move(w));
+  auto release = strat.Run(counts, {1.0}, Pure(1.0), &rng);
+  ASSERT_TRUE(release.ok());
+  // 1-way marginal aggregates 2^7 cells; 2-way aggregates 2^6.
+  EXPECT_DOUBLE_EQ(release.value().cell_variances[0],
+                   128.0 * dp::LaplaceVariance(1.0));
+  EXPECT_DOUBLE_EQ(release.value().cell_variances[1],
+                   64.0 * dp::LaplaceVariance(1.0));
+}
+
+TEST(IdentityStrategyTest, EmpiricalVarianceMatchesPrediction) {
+  Rng rng(3);
+  const data::Dataset ds = data::MakeProductBernoulli(6, 0.5, 50, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  marginal::Workload w(6, {bits::Mask{0b111}});
+  IdentityStrategy strat(std::move(w));
+  const marginal::MarginalTable truth =
+      marginal::ComputeMarginal(counts, 0b111);
+  stats::RunningStats s;
+  const double eta = 2.0;
+  for (int rep = 0; rep < 3000; ++rep) {
+    auto release = strat.Run(counts, {eta}, Pure(1.0), &rng);
+    ASSERT_TRUE(release.ok());
+    s.Add(release.value().marginals[0].value(0) - truth.value(0));
+  }
+  const double want = 8.0 * dp::LaplaceVariance(eta);  // 2^{6-3} draws.
+  EXPECT_NEAR(s.variance(), want, 0.12 * want);
+}
+
+TEST(IdentityStrategyTest, OptimalBudgetEqualsUniform) {
+  // Single group: the closed form must coincide with uniform (the paper
+  // notes the optimal allocation for S = I is always uniform).
+  IdentityStrategy strat(TestWorkload(5, 2));
+  auto opt = budget::OptimalGroupBudgets(strat.groups(), Pure(1.0));
+  auto uni = budget::UniformGroupBudgets(strat.groups(), Pure(1.0));
+  ASSERT_TRUE(opt.ok());
+  ASSERT_TRUE(uni.ok());
+  EXPECT_NEAR(opt.value().eta[0], uni.value().eta[0], 1e-12);
+}
+
+TEST(IdentityStrategyTest, DenseMatrixIsIdentity) {
+  IdentityStrategy strat(TestWorkload(4, 1));
+  auto s = strat.DenseStrategyMatrix();
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s.value().ApproxEquals(linalg::Matrix::Identity(16), 0.0));
+  auto group = strat.RowGroupOfDenseRow(7);
+  ASSERT_TRUE(group.ok());
+  EXPECT_EQ(group.value(), 0);
+}
+
+TEST(IdentityStrategyTest, RejectsBadBudgets) {
+  Rng rng(4);
+  const data::Dataset ds = data::MakeProductBernoulli(4, 0.5, 10, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  IdentityStrategy strat(TestWorkload(4, 1));
+  EXPECT_FALSE(strat.Run(counts, {}, Pure(1.0), &rng).ok());
+  EXPECT_FALSE(strat.Run(counts, {0.0}, Pure(1.0), &rng).ok());
+  EXPECT_FALSE(strat.Run(counts, {1.0, 1.0}, Pure(1.0), &rng).ok());
+}
+
+}  // namespace
+}  // namespace strategy
+}  // namespace dpcube

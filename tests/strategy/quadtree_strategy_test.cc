@@ -1,0 +1,171 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "strategy/quadtree_strategy.h"
+
+#include <gtest/gtest.h>
+
+#include "budget/grouped_budget.h"
+#include "budget/grouping.h"
+#include "common/stats.h"
+
+namespace dpcube {
+namespace strategy {
+namespace {
+
+dp::PrivacyParams Pure(double eps) {
+  dp::PrivacyParams p;
+  p.epsilon = eps;
+  p.neighbour = dp::NeighbourModel::kAddRemove;
+  return p;
+}
+
+std::vector<double> TestGrid(std::size_t n) {
+  std::vector<double> grid(n * n);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    grid[i] = static_cast<double>((i * 7) % 11);
+  }
+  return grid;
+}
+
+double TrueRectangle(const std::vector<double>& grid, std::size_t n,
+                     const RectangleQuery& q) {
+  double total = 0.0;
+  for (std::size_t r = q.row_lo; r < q.row_hi; ++r) {
+    for (std::size_t c = q.col_lo; c < q.col_hi; ++c) {
+      total += grid[r * n + c];
+    }
+  }
+  return total;
+}
+
+TEST(QuadtreeTest, NodeCountsAndLevels) {
+  Rng rng(1);
+  QuadtreeStrategy quad(8, RandomRectangles(8, 5, &rng));
+  EXPECT_EQ(quad.depth(), 4);
+  EXPECT_EQ(quad.num_nodes(), (1u + 4u + 16u + 64u));
+  EXPECT_EQ(quad.LevelOfNode(0), 0);
+  EXPECT_EQ(quad.LevelOfNode(1), 1);
+  EXPECT_EQ(quad.LevelOfNode(4), 1);
+  EXPECT_EQ(quad.LevelOfNode(5), 2);
+  EXPECT_EQ(quad.LevelOfNode(21), 3);
+  ASSERT_EQ(quad.groups().size(), 4u);
+  EXPECT_EQ(quad.groups()[2].num_rows, 16u);
+}
+
+// Property: decompositions cover each queried cell exactly once.
+class QuadDecomposeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuadDecomposeProperty, ExactDisjointCover) {
+  Rng rng(100 + GetParam());
+  const std::size_t n = 16;
+  const auto queries = RandomRectangles(n, 1, &rng);
+  QuadtreeStrategy quad(n, queries);
+  const auto nodes = quad.DecomposeRectangle(queries[0]);
+  // Count coverage through a unit grid.
+  std::vector<double> unit(n * n, 1.0);
+  auto release =
+      quad.Run(unit, linalg::Vector(quad.groups().size(), 1e9), Pure(1.0),
+               &rng);
+  ASSERT_TRUE(release.ok());
+  const double area =
+      static_cast<double>((queries[0].row_hi - queries[0].row_lo) *
+                          (queries[0].col_hi - queries[0].col_lo));
+  EXPECT_NEAR(release.value().answers[0], area, 1e-4);
+  // At most 4 * (2 log n) nodes per level boundary heuristic: just bound
+  // generously and ensure levels are valid.
+  for (std::size_t node : nodes) {
+    EXPECT_LT(quad.LevelOfNode(node), quad.depth());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, QuadDecomposeProperty,
+                         ::testing::Range(0, 15));
+
+TEST(QuadtreeTest, HugeBudgetsGiveExactAnswers) {
+  Rng rng(2);
+  const std::size_t n = 16;
+  const auto queries = RandomRectangles(n, 20, &rng);
+  QuadtreeStrategy quad(n, queries);
+  const std::vector<double> grid = TestGrid(n);
+  auto release = quad.Run(grid, linalg::Vector(quad.groups().size(), 1e9),
+                          Pure(1.0), &rng);
+  ASSERT_TRUE(release.ok());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_NEAR(release.value().answers[q],
+                TrueRectangle(grid, n, queries[q]), 1e-3);
+  }
+}
+
+TEST(QuadtreeTest, DenseMatrixSatisfiesLevelGrouping) {
+  Rng rng(3);
+  QuadtreeStrategy quad(8, RandomRectangles(8, 4, &rng));
+  auto s = quad.DenseStrategyMatrix();
+  ASSERT_TRUE(s.ok());
+  budget::RowGrouping grouping;
+  grouping.column_norms.assign(quad.depth(), 1.0);
+  for (std::size_t node = 0; node < quad.num_nodes(); ++node) {
+    grouping.group_of_row.push_back(quad.LevelOfNode(node));
+  }
+  EXPECT_TRUE(budget::VerifyGrouping(s.value(), grouping).ok());
+}
+
+TEST(QuadtreeTest, VariancePredictionMatchesEmpirical) {
+  const std::vector<RectangleQuery> queries = {{1, 7, 2, 6}};
+  QuadtreeStrategy quad(8, queries);
+  const std::vector<double> grid = TestGrid(8);
+  const double truth = TrueRectangle(grid, 8, queries[0]);
+  Rng rng(4);
+  const linalg::Vector budgets(quad.groups().size(), 1.0);
+  stats::RunningStats s;
+  double predicted = 0.0;
+  for (int rep = 0; rep < 4000; ++rep) {
+    auto release = quad.Run(grid, budgets, Pure(1.0), &rng);
+    ASSERT_TRUE(release.ok());
+    s.Add(release.value().answers[0] - truth);
+    predicted = release.value().variances[0];
+  }
+  EXPECT_NEAR(s.variance(), predicted, 0.12 * predicted);
+}
+
+TEST(QuadtreeTest, OptimalBudgetsBeatUniform) {
+  Rng rng(5);
+  const std::size_t n = 32;
+  QuadtreeStrategy quad(n, RandomRectangles(n, 100, &rng));
+  auto opt = budget::OptimalGroupBudgets(quad.groups(), Pure(1.0));
+  auto uni = budget::UniformGroupBudgets(quad.groups(), Pure(1.0));
+  ASSERT_TRUE(opt.ok());
+  ASSERT_TRUE(uni.ok());
+  EXPECT_LT(opt.value().variance_objective,
+            uni.value().variance_objective);
+}
+
+TEST(QuadtreeTest, SensitivityEqualsDepth) {
+  // Each grid cell appears in exactly one node per level.
+  Rng rng(6);
+  QuadtreeStrategy quad(8, RandomRectangles(8, 3, &rng));
+  auto s = quad.DenseStrategyMatrix();
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s.value().MaxColumnL1(),
+                   static_cast<double>(quad.depth()));
+}
+
+TEST(QuadtreeTest, InputValidation) {
+  Rng rng(7);
+  QuadtreeStrategy quad(8, RandomRectangles(8, 2, &rng));
+  std::vector<double> wrong_size(10, 0.0);
+  EXPECT_FALSE(quad.Run(wrong_size, linalg::Vector(4, 1.0), Pure(1.0), &rng)
+                   .ok());
+  std::vector<double> grid(64, 0.0);
+  EXPECT_FALSE(quad.Run(grid, linalg::Vector(2, 1.0), Pure(1.0), &rng).ok());
+  EXPECT_FALSE(
+      quad.Run(grid, linalg::Vector(4, -1.0), Pure(1.0), &rng).ok());
+}
+
+TEST(QuadtreeTest, EmptyQueryGivesNothing) {
+  QuadtreeStrategy quad(8, {RectangleQuery{2, 2, 0, 8}});
+  EXPECT_TRUE(quad.DecomposeRectangle(RectangleQuery{2, 2, 0, 8}).empty());
+}
+
+}  // namespace
+}  // namespace strategy
+}  // namespace dpcube

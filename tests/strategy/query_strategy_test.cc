@@ -1,0 +1,135 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "strategy/query_strategy.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "budget/grouping.h"
+#include "common/stats.h"
+#include "data/synthetic.h"
+#include "dp/privacy.h"
+
+namespace dpcube {
+namespace strategy {
+namespace {
+
+dp::PrivacyParams Pure(double eps) {
+  dp::PrivacyParams p;
+  p.epsilon = eps;
+  p.neighbour = dp::NeighbourModel::kAddRemove;
+  return p;
+}
+
+TEST(QueryStrategyTest, GroupPerMarginal) {
+  const data::Schema schema = data::BinarySchema(5);
+  QueryStrategy strat(marginal::WorkloadQkStar(schema, 1));
+  const auto& groups = strat.groups();
+  ASSERT_EQ(groups.size(), strat.workload().num_marginals());
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    EXPECT_DOUBLE_EQ(groups[i].column_norm, 1.0);
+    const std::uint64_t cells =
+        std::uint64_t{1} << bits::Popcount(strat.workload().mask(i));
+    EXPECT_EQ(groups[i].num_rows, cells);
+    EXPECT_DOUBLE_EQ(groups[i].weight_sum, 2.0 * cells);
+  }
+}
+
+TEST(QueryStrategyTest, DenseMatrixGroupingVerifies) {
+  // The structural grouping must satisfy Definition 3.1 on the dense S.
+  const data::Schema schema = data::BinarySchema(5);
+  QueryStrategy strat(marginal::WorkloadQk(schema, 2));
+  auto s = strat.DenseStrategyMatrix();
+  ASSERT_TRUE(s.ok());
+  budget::RowGrouping grouping;
+  grouping.column_norms.assign(strat.groups().size(), 1.0);
+  for (std::size_t row = 0; row < s.value().rows(); ++row) {
+    auto g = strat.RowGroupOfDenseRow(row);
+    ASSERT_TRUE(g.ok());
+    grouping.group_of_row.push_back(g.value());
+  }
+  EXPECT_TRUE(budget::VerifyGrouping(s.value(), grouping).ok());
+}
+
+TEST(QueryStrategyTest, SensitivityMatchesGroupCount) {
+  // Each tuple hits one cell per marginal: Delta_1 = number of marginals.
+  const data::Schema schema = data::BinarySchema(4);
+  QueryStrategy strat(marginal::WorkloadQk(schema, 2));
+  auto s = strat.DenseStrategyMatrix();
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(dp::L1Sensitivity(s.value(),
+                                     dp::NeighbourModel::kAddRemove),
+                   static_cast<double>(strat.groups().size()));
+}
+
+TEST(QueryStrategyTest, NoisyMarginalsCenterOnTruth) {
+  Rng rng(1);
+  const data::Dataset ds = data::MakeProductBernoulli(6, 0.4, 3000, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  const data::Schema schema = data::BinarySchema(6);
+  QueryStrategy strat(marginal::WorkloadQk(schema, 1));
+  const linalg::Vector budgets(6, 10.0);
+  auto release = strat.Run(counts, budgets, Pure(1.0), &rng);
+  ASSERT_TRUE(release.ok());
+  for (std::size_t i = 0; i < 6; ++i) {
+    const marginal::MarginalTable truth =
+        marginal::ComputeMarginal(counts, strat.workload().mask(i));
+    for (std::size_t g = 0; g < truth.num_cells(); ++g) {
+      EXPECT_NEAR(release.value().marginals[i].value(g), truth.value(g), 2.0);
+    }
+    EXPECT_DOUBLE_EQ(release.value().cell_variances[i],
+                     dp::LaplaceVariance(10.0));
+  }
+}
+
+TEST(QueryStrategyTest, PerGroupBudgetsApply) {
+  Rng rng(2);
+  const data::Dataset ds = data::MakeProductBernoulli(4, 0.5, 100, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  marginal::Workload w(4, {bits::Mask{0b1}, bits::Mask{0b10}});
+  QueryStrategy strat(std::move(w));
+  const marginal::MarginalTable t0 = marginal::ComputeMarginal(counts, 0b1);
+  stats::RunningStats tight, loose;
+  for (int rep = 0; rep < 4000; ++rep) {
+    auto release = strat.Run(counts, {10.0, 0.5}, Pure(1.0), &rng);
+    ASSERT_TRUE(release.ok());
+    tight.Add(release.value().marginals[0].value(0) - t0.value(0));
+    const marginal::MarginalTable t1 =
+        marginal::ComputeMarginal(counts, 0b10);
+    loose.Add(release.value().marginals[1].value(0) - t1.value(0));
+  }
+  EXPECT_NEAR(tight.variance(), dp::LaplaceVariance(10.0),
+              0.15 * dp::LaplaceVariance(10.0));
+  EXPECT_NEAR(loose.variance(), dp::LaplaceVariance(0.5),
+              0.15 * dp::LaplaceVariance(0.5));
+}
+
+TEST(QueryStrategyTest, GaussianMechanismPath) {
+  Rng rng(3);
+  const data::Dataset ds = data::MakeProductBernoulli(4, 0.5, 100, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  const data::Schema schema = data::BinarySchema(4);
+  QueryStrategy strat(marginal::WorkloadQk(schema, 1));
+  dp::PrivacyParams params = Pure(1.0);
+  params.delta = 1e-6;
+  auto release = strat.Run(counts, linalg::Vector(4, 1.0), params, &rng);
+  ASSERT_TRUE(release.ok());
+  EXPECT_DOUBLE_EQ(release.value().cell_variances[0],
+                   dp::GaussianVariance(1.0, 1e-6));
+}
+
+TEST(QueryStrategyTest, RejectsBudgetMismatch) {
+  Rng rng(4);
+  const data::Dataset ds = data::MakeProductBernoulli(4, 0.5, 10, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  const data::Schema schema = data::BinarySchema(4);
+  QueryStrategy strat(marginal::WorkloadQk(schema, 1));
+  EXPECT_FALSE(strat.Run(counts, {1.0}, Pure(1.0), &rng).ok());
+  EXPECT_FALSE(
+      strat.Run(counts, linalg::Vector(4, -1.0), Pure(1.0), &rng).ok());
+}
+
+}  // namespace
+}  // namespace strategy
+}  // namespace dpcube

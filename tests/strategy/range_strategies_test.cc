@@ -1,0 +1,192 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "strategy/range_strategies.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "budget/grouped_budget.h"
+#include "common/stats.h"
+
+namespace dpcube {
+namespace strategy {
+namespace {
+
+dp::PrivacyParams Pure(double eps) {
+  dp::PrivacyParams p;
+  p.epsilon = eps;
+  p.neighbour = dp::NeighbourModel::kAddRemove;
+  return p;
+}
+
+std::vector<double> TestData(std::size_t n) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = static_cast<double>(i % 7);
+  return x;
+}
+
+double TrueRange(const std::vector<double>& x, const RangeQuery& q) {
+  double sum = 0.0;
+  for (std::size_t j = q.lo; j < q.hi; ++j) sum += x[j];
+  return sum;
+}
+
+template <typename StrategyT>
+void ExpectHugeBudgetsExact(const StrategyT& strat,
+                            const std::vector<RangeQuery>& queries,
+                            const std::vector<double>& x) {
+  Rng rng(1);
+  const linalg::Vector budgets(strat.groups().size(), 1e9);
+  auto release = strat.Run(x, budgets, Pure(1.0), &rng);
+  ASSERT_TRUE(release.ok());
+  ASSERT_EQ(release.value().answers.size(), queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    EXPECT_NEAR(release.value().answers[q], TrueRange(x, queries[q]), 1e-4)
+        << "query " << q;
+  }
+}
+
+TEST(HierarchyRangeTest, GroupsPerLevelWithUnitNorm) {
+  Rng rng(2);
+  const auto queries = RandomRanges(64, 20, &rng);
+  HierarchyRangeStrategy strat(64, queries);
+  EXPECT_EQ(strat.groups().size(), 7u);  // log2(64) + 1 levels.
+  for (const auto& g : strat.groups()) {
+    EXPECT_DOUBLE_EQ(g.column_norm, 1.0);
+  }
+}
+
+TEST(HierarchyRangeTest, ExactWithHugeBudgets) {
+  Rng rng(3);
+  const auto queries = RandomRanges(64, 25, &rng);
+  HierarchyRangeStrategy strat(64, queries);
+  ExpectHugeBudgetsExact(strat, queries, TestData(64));
+}
+
+TEST(HierarchyRangeTest, VariancePredictionMatchesEmpirical) {
+  const std::vector<RangeQuery> queries = {{3, 11}};
+  HierarchyRangeStrategy strat(16, queries);
+  const std::vector<double> x = TestData(16);
+  const double truth = TrueRange(x, queries[0]);
+  Rng rng(4);
+  const linalg::Vector budgets(strat.groups().size(), 1.0);
+  stats::RunningStats s;
+  double predicted = 0.0;
+  for (int rep = 0; rep < 4000; ++rep) {
+    auto release = strat.Run(x, budgets, Pure(1.0), &rng);
+    ASSERT_TRUE(release.ok());
+    s.Add(release.value().answers[0] - truth);
+    predicted = release.value().variances[0];
+  }
+  EXPECT_NEAR(s.variance(), predicted, 0.12 * predicted);
+}
+
+TEST(WaveletRangeTest, GroupsMatchHaarLevels) {
+  Rng rng(5);
+  const auto queries = RandomRanges(32, 10, &rng);
+  WaveletRangeStrategy strat(32, queries);
+  ASSERT_EQ(strat.groups().size(), 6u);
+  EXPECT_NEAR(strat.groups()[0].column_norm, std::pow(2.0, -2.5), 1e-12);
+  EXPECT_NEAR(strat.groups()[5].column_norm, std::pow(2.0, -0.5), 1e-12);
+}
+
+TEST(WaveletRangeTest, ExactWithHugeBudgets) {
+  Rng rng(6);
+  const auto queries = RandomRanges(32, 15, &rng);
+  WaveletRangeStrategy strat(32, queries);
+  ExpectHugeBudgetsExact(strat, queries, TestData(32));
+}
+
+TEST(WaveletRangeTest, PrefixWorkloadBudgetsBeatUniform) {
+  const auto queries = AllPrefixRanges(128);
+  WaveletRangeStrategy strat(128, queries);
+  auto opt = budget::OptimalGroupBudgets(strat.groups(), Pure(1.0));
+  auto uni = budget::UniformGroupBudgets(strat.groups(), Pure(1.0));
+  ASSERT_TRUE(opt.ok());
+  ASSERT_TRUE(uni.ok());
+  EXPECT_LT(opt.value().variance_objective,
+            uni.value().variance_objective);
+}
+
+TEST(BaseCountRangeTest, SingleGroupWeightIsTotalQueryLength) {
+  const std::vector<RangeQuery> queries = {{0, 4}, {2, 10}};
+  BaseCountRangeStrategy strat(16, queries);
+  ASSERT_EQ(strat.groups().size(), 1u);
+  EXPECT_DOUBLE_EQ(strat.groups()[0].weight_sum, 2.0 * (4 + 8));
+}
+
+TEST(BaseCountRangeTest, ExactWithHugeBudgets) {
+  Rng rng(7);
+  const auto queries = RandomRanges(32, 12, &rng);
+  BaseCountRangeStrategy strat(32, queries);
+  ExpectHugeBudgetsExact(strat, queries, TestData(32));
+}
+
+TEST(BaseCountRangeTest, VarianceScalesWithRangeLength) {
+  const std::vector<RangeQuery> queries = {{0, 2}, {0, 16}};
+  BaseCountRangeStrategy strat(16, queries);
+  Rng rng(8);
+  auto release = strat.Run(TestData(16), {1.0}, Pure(1.0), &rng);
+  ASSERT_TRUE(release.ok());
+  EXPECT_DOUBLE_EQ(release.value().variances[1],
+                   8.0 * release.value().variances[0]);
+}
+
+TEST(RangeStrategiesTest, HierarchyBeatsBaseCountsOnLongRanges) {
+  // The classic result: for prefix ranges, O(log N) noisy nodes beat
+  // O(N) noisy cells. The crossover needs average query length above
+  // ~(levels)^2 * avg decomposition size, so use a large domain. Compare
+  // predicted total variances under uniform budgets at the same epsilon.
+  const std::size_t n = 4096;
+  const auto queries = AllPrefixRanges(n);
+  HierarchyRangeStrategy hier(n, queries);
+  BaseCountRangeStrategy base(n, queries);
+  auto hier_budget = budget::UniformGroupBudgets(hier.groups(), Pure(1.0));
+  auto base_budget = budget::UniformGroupBudgets(base.groups(), Pure(1.0));
+  ASSERT_TRUE(hier_budget.ok());
+  ASSERT_TRUE(base_budget.ok());
+  EXPECT_LT(hier_budget.value().variance_objective,
+            base_budget.value().variance_objective);
+}
+
+TEST(RangeStrategiesTest, DenseMatricesHaveExpectedShapes) {
+  Rng rng(9);
+  const auto queries = RandomRanges(16, 4, &rng);
+  HierarchyRangeStrategy hier(16, queries);
+  WaveletRangeStrategy wave(16, queries);
+  BaseCountRangeStrategy base(16, queries);
+  ASSERT_TRUE(hier.DenseStrategyMatrix().ok());
+  EXPECT_EQ(hier.DenseStrategyMatrix().value().rows(), 31u);
+  ASSERT_TRUE(wave.DenseStrategyMatrix().ok());
+  EXPECT_EQ(wave.DenseStrategyMatrix().value().rows(), 16u);
+  ASSERT_TRUE(base.DenseStrategyMatrix().ok());
+  EXPECT_EQ(base.DenseStrategyMatrix().value().rows(), 16u);
+}
+
+TEST(RangeStrategiesTest, InputValidation) {
+  Rng rng(10);
+  const std::vector<RangeQuery> queries = {{0, 4}};
+  HierarchyRangeStrategy strat(16, queries);
+  EXPECT_FALSE(
+      strat.Run(TestData(8), linalg::Vector(5, 1.0), Pure(1.0), &rng).ok());
+  EXPECT_FALSE(
+      strat.Run(TestData(16), linalg::Vector(2, 1.0), Pure(1.0), &rng).ok());
+}
+
+TEST(RangeWorkloadHelpersTest, PrefixAndRandomShapes) {
+  const auto prefixes = AllPrefixRanges(8);
+  ASSERT_EQ(prefixes.size(), 8u);
+  EXPECT_EQ(prefixes[7].hi, 8u);
+  Rng rng(11);
+  const auto random = RandomRanges(32, 50, &rng);
+  ASSERT_EQ(random.size(), 50u);
+  for (const RangeQuery& q : random) {
+    EXPECT_LT(q.lo, q.hi);
+    EXPECT_LE(q.hi, 32u);
+  }
+}
+
+}  // namespace
+}  // namespace strategy
+}  // namespace dpcube

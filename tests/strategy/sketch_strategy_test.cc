@@ -1,0 +1,97 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "strategy/sketch_strategy.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "budget/grouping.h"
+#include "data/synthetic.h"
+
+namespace dpcube {
+namespace strategy {
+namespace {
+
+dp::PrivacyParams Pure(double eps) {
+  dp::PrivacyParams p;
+  p.epsilon = eps;
+  p.neighbour = dp::NeighbourModel::kAddRemove;
+  return p;
+}
+
+TEST(SketchStrategyTest, GroupsPerRepetition) {
+  SketchStrategy sketch(8, 32, 5, /*seed=*/7);
+  ASSERT_EQ(sketch.groups().size(), 5u);
+  for (const auto& g : sketch.groups()) {
+    EXPECT_DOUBLE_EQ(g.column_norm, 1.0);
+    EXPECT_EQ(g.num_rows, 32u);
+  }
+}
+
+TEST(SketchStrategyTest, HashingIsDeterministic) {
+  SketchStrategy a(10, 64, 3, 99), b(10, 64, 3, 99);
+  for (bits::Mask cell = 0; cell < 100; ++cell) {
+    for (std::size_t rep = 0; rep < 3; ++rep) {
+      EXPECT_EQ(a.BucketOf(rep, cell), b.BucketOf(rep, cell));
+      EXPECT_EQ(a.SignOf(rep, cell), b.SignOf(rep, cell));
+    }
+  }
+}
+
+TEST(SketchStrategyTest, DenseMatrixSatisfiesGroupingProperty) {
+  // The central claim of Section 3.1's sketch example: rows of one
+  // repetition are support-disjoint with magnitude 1 (grouping number t).
+  SketchStrategy sketch(6, 8, 3, 5);
+  auto s = sketch.DenseStrategyMatrix();
+  ASSERT_TRUE(s.ok());
+  budget::RowGrouping grouping;
+  grouping.column_norms.assign(3, 1.0);
+  for (std::size_t row = 0; row < s.value().rows(); ++row) {
+    grouping.group_of_row.push_back(sketch.RowGroupOfDenseRow(row));
+  }
+  // Every column (cell) hashes to exactly one bucket per repetition with
+  // a +-1 entry.
+  EXPECT_TRUE(budget::VerifyGrouping(s.value(), grouping).ok());
+}
+
+TEST(SketchStrategyTest, PointEstimatesApproximateHeavyCells) {
+  Rng rng(1);
+  // Data with one heavy cell.
+  data::Schema schema = data::BinarySchema(10);
+  data::Dataset ds(schema);
+  std::vector<std::uint32_t> heavy(10, 1);
+  for (int i = 0; i < 500; ++i) ASSERT_TRUE(ds.AppendRow(heavy).ok());
+  for (int i = 0; i < 100; ++i) {
+    std::vector<std::uint32_t> row(10);
+    for (int a = 0; a < 10; ++a) row[a] = rng.NextBernoulli(0.5) ? 1 : 0;
+    ASSERT_TRUE(ds.AppendRow(row).ok());
+  }
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  SketchStrategy sketch(10, 256, 7, 11);
+  const bits::Mask heavy_cell = ds.EncodeRow(0);
+  auto estimates = sketch.EstimatePoints(
+      counts, {heavy_cell}, linalg::Vector(7, 10.0), Pure(1.0), &rng);
+  ASSERT_TRUE(estimates.ok());
+  EXPECT_NEAR(estimates.value()[0], 500.0, 60.0);
+}
+
+TEST(SketchStrategyTest, ValidationErrors) {
+  Rng rng(2);
+  const data::Dataset ds = data::MakeProductBernoulli(6, 0.5, 10, &rng);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(ds);
+  SketchStrategy sketch(6, 16, 3, 1);
+  EXPECT_FALSE(sketch
+                   .EstimatePoints(counts, {0}, linalg::Vector(2, 1.0),
+                                   Pure(1.0), &rng)
+                   .ok());
+  SketchStrategy wrong_d(7, 16, 3, 1);
+  EXPECT_FALSE(wrong_d
+                   .EstimatePoints(counts, {0}, linalg::Vector(3, 1.0),
+                                   Pure(1.0), &rng)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace strategy
+}  // namespace dpcube

@@ -1,0 +1,125 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "transform/haar_wavelet.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "transform/walsh_hadamard.h"
+
+namespace dpcube {
+namespace transform {
+namespace {
+
+TEST(HaarTest, ForwardInverseRoundTrip) {
+  Rng rng(1);
+  for (int g : {0, 1, 2, 5, 9}) {
+    std::vector<double> x(std::size_t{1} << g);
+    for (double& v : x) v = rng.NextGaussian();
+    const std::vector<double> original = x;
+    HaarForward(&x);
+    HaarInverse(&x);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      EXPECT_NEAR(x[i], original[i], 1e-10) << "g=" << g;
+    }
+  }
+}
+
+TEST(HaarTest, PreservesEnergy) {
+  Rng rng(2);
+  std::vector<double> x(128);
+  for (double& v : x) v = rng.NextGaussian();
+  double before = 0.0;
+  for (double v : x) before += v * v;
+  HaarForward(&x);
+  double after = 0.0;
+  for (double v : x) after += v * v;
+  EXPECT_NEAR(before, after, 1e-8);
+}
+
+TEST(HaarTest, ScalingCoefficientIsScaledSum) {
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0};
+  HaarForward(&x);
+  EXPECT_NEAR(x[0], 10.0 / 2.0, 1e-12);  // sum / sqrt(4).
+}
+
+TEST(HaarTest, ConstantVectorHasOnlyScaling) {
+  std::vector<double> x(64, 2.0);
+  HaarForward(&x);
+  EXPECT_NEAR(x[0], 2.0 * std::sqrt(64.0), 1e-10);
+  for (std::size_t i = 1; i < 64; ++i) EXPECT_NEAR(x[i], 0.0, 1e-12);
+}
+
+TEST(HaarTest, MatrixMatchesTransform) {
+  Rng rng(3);
+  const int g = 4;
+  std::vector<double> x(1 << g);
+  for (double& v : x) v = rng.NextGaussian();
+  const linalg::Matrix h = HaarMatrix(g);
+  const linalg::Vector via_matrix = h.MultiplyVec(x);
+  std::vector<double> via_fast = x;
+  HaarForward(&via_fast);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(via_matrix[i], via_fast[i], 1e-10);
+  }
+}
+
+TEST(HaarTest, MatrixIsOrthonormal) {
+  const linalg::Matrix h = HaarMatrix(4);
+  EXPECT_TRUE(h.Multiply(h.Transpose())
+                  .ApproxEquals(linalg::Matrix::Identity(16), 1e-10));
+}
+
+TEST(HaarTest, LevelOfIndexLayout) {
+  const std::size_t n = 16;
+  EXPECT_EQ(HaarLevelOfIndex(0, n), 0);
+  EXPECT_EQ(HaarLevelOfIndex(1, n), 1);
+  EXPECT_EQ(HaarLevelOfIndex(2, n), 2);
+  EXPECT_EQ(HaarLevelOfIndex(3, n), 2);
+  EXPECT_EQ(HaarLevelOfIndex(4, n), 3);
+  EXPECT_EQ(HaarLevelOfIndex(7, n), 3);
+  EXPECT_EQ(HaarLevelOfIndex(8, n), 4);
+  EXPECT_EQ(HaarLevelOfIndex(15, n), 4);
+}
+
+TEST(HaarTest, LevelMagnitudesMatchMatrixRows) {
+  // Every non-zero entry of a level's basis rows has the advertised
+  // magnitude (bounded column norm of the level group, Definition 3.1).
+  const int g = 4;
+  const std::size_t n = 1 << g;
+  const linalg::Matrix h = HaarMatrix(g);
+  for (std::size_t row = 0; row < n; ++row) {
+    const int level = HaarLevelOfIndex(row, n);
+    const double want = HaarLevelMagnitude(level, g);
+    for (std::size_t col = 0; col < n; ++col) {
+      const double v = std::fabs(h(row, col));
+      if (v > 1e-12) {
+        EXPECT_NEAR(v, want, 1e-12) << row << "," << col;
+      }
+    }
+  }
+}
+
+TEST(HaarTest, RowsWithinLevelAreDisjoint) {
+  // Row-wise disjointness of the level groups (Definition 3.1).
+  const int g = 5;
+  const std::size_t n = 1 << g;
+  const linalg::Matrix h = HaarMatrix(g);
+  for (std::size_t col = 0; col < n; ++col) {
+    std::vector<int> hits(g + 1, 0);
+    for (std::size_t row = 0; row < n; ++row) {
+      if (std::fabs(h(row, col)) > 1e-12) {
+        ++hits[HaarLevelOfIndex(row, n)];
+      }
+    }
+    for (int level = 0; level <= g; ++level) {
+      EXPECT_EQ(hits[level], 1) << "col " << col << " level " << level;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace transform
+}  // namespace dpcube

@@ -1,0 +1,104 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "transform/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dpcube {
+namespace transform {
+namespace {
+
+TEST(HierarchyTest, BasicShape) {
+  DyadicHierarchy tree(8);
+  EXPECT_EQ(tree.domain_size(), 8u);
+  EXPECT_EQ(tree.depth(), 4);
+  EXPECT_EQ(tree.num_nodes(), 15u);
+}
+
+TEST(HierarchyTest, LevelsAndIntervals) {
+  DyadicHierarchy tree(8);
+  EXPECT_EQ(tree.LevelOfNode(0), 0);
+  EXPECT_EQ(tree.NodeInterval(0), (std::pair<std::size_t, std::size_t>(0, 8)));
+  EXPECT_EQ(tree.LevelOfNode(1), 1);
+  EXPECT_EQ(tree.NodeInterval(2), (std::pair<std::size_t, std::size_t>(4, 8)));
+  EXPECT_EQ(tree.LevelOfNode(7), 3);
+  EXPECT_EQ(tree.NodeInterval(7), (std::pair<std::size_t, std::size_t>(0, 1)));
+  EXPECT_EQ(tree.NodeInterval(14), (std::pair<std::size_t, std::size_t>(7, 8)));
+}
+
+TEST(HierarchyTest, ChildrenPartitionParent) {
+  DyadicHierarchy tree(16);
+  for (std::size_t node = 0; node < tree.num_nodes() / 2; ++node) {
+    const auto [lo, hi] = tree.NodeInterval(node);
+    const auto [llo, lhi] = tree.NodeInterval(2 * node + 1);
+    const auto [rlo, rhi] = tree.NodeInterval(2 * node + 2);
+    EXPECT_EQ(llo, lo);
+    EXPECT_EQ(lhi, rlo);
+    EXPECT_EQ(rhi, hi);
+  }
+}
+
+TEST(HierarchyTest, NodeSumsMatchIntervals) {
+  Rng rng(1);
+  DyadicHierarchy tree(32);
+  std::vector<double> x(32);
+  for (double& v : x) v = rng.NextDouble();
+  const std::vector<double> sums = tree.NodeSums(x);
+  for (std::size_t node = 0; node < tree.num_nodes(); ++node) {
+    const auto [lo, hi] = tree.NodeInterval(node);
+    double want = 0.0;
+    for (std::size_t j = lo; j < hi; ++j) want += x[j];
+    EXPECT_NEAR(sums[node], want, 1e-10) << "node " << node;
+  }
+}
+
+// Property sweep: every range decomposes into disjoint covering nodes with
+// at most 2 nodes per level.
+class DecomposeProperty
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(DecomposeProperty, ExactDisjointCover) {
+  const auto [lo, hi] = GetParam();
+  DyadicHierarchy tree(16);
+  const std::vector<std::size_t> nodes = tree.DecomposeRange(lo, hi);
+  std::vector<int> covered(16, 0);
+  std::vector<int> per_level(tree.depth(), 0);
+  for (std::size_t node : nodes) {
+    const auto [nlo, nhi] = tree.NodeInterval(node);
+    for (std::size_t j = nlo; j < nhi; ++j) ++covered[j];
+    ++per_level[tree.LevelOfNode(node)];
+  }
+  for (std::size_t j = 0; j < 16; ++j) {
+    EXPECT_EQ(covered[j], (j >= lo && j < hi) ? 1 : 0) << "cell " << j;
+  }
+  for (int count : per_level) EXPECT_LE(count, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, DecomposeProperty,
+    ::testing::Values(std::make_pair<std::size_t, std::size_t>(0, 16),
+                      std::make_pair<std::size_t, std::size_t>(0, 1),
+                      std::make_pair<std::size_t, std::size_t>(3, 11),
+                      std::make_pair<std::size_t, std::size_t>(1, 16),
+                      std::make_pair<std::size_t, std::size_t>(5, 6),
+                      std::make_pair<std::size_t, std::size_t>(7, 9),
+                      std::make_pair<std::size_t, std::size_t>(2, 2)));
+
+TEST(HierarchyTest, StrategyMatrixRowsAreIntervalIndicators) {
+  DyadicHierarchy tree(8);
+  const linalg::Matrix s = tree.StrategyMatrix();
+  EXPECT_EQ(s.rows(), 15u);
+  EXPECT_EQ(s.cols(), 8u);
+  for (std::size_t node = 0; node < 15; ++node) {
+    const auto [lo, hi] = tree.NodeInterval(node);
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_DOUBLE_EQ(s(node, j), (j >= lo && j < hi) ? 1.0 : 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace transform
+}  // namespace dpcube

@@ -1,0 +1,133 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "transform/tensor_haar.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "budget/grouping.h"
+#include "common/rng.h"
+#include "transform/haar_wavelet.h"
+
+namespace dpcube {
+namespace transform {
+namespace {
+
+std::vector<double> RandomVector(std::size_t n, Rng* rng) {
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng->NextGaussian();
+  return x;
+}
+
+TEST(TensorHaarTest, DomainSize) {
+  EXPECT_EQ(TensorDomainSize({3}), 8u);
+  EXPECT_EQ(TensorDomainSize({2, 3}), 32u);
+  EXPECT_EQ(TensorDomainSize({1, 1, 1}), 8u);
+}
+
+TEST(TensorHaarTest, OneDimMatchesHaar) {
+  Rng rng(3);
+  std::vector<double> x = RandomVector(16, &rng);
+  std::vector<double> y = x;
+  TensorHaarForward(&x, {4});
+  HaarForward(&y);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(x[i], y[i], 1e-12);
+}
+
+TEST(TensorHaarTest, RoundTrip2D) {
+  Rng rng(5);
+  const std::vector<int> dims = {3, 2};
+  std::vector<double> x = RandomVector(TensorDomainSize(dims), &rng);
+  std::vector<double> original = x;
+  TensorHaarForward(&x, dims);
+  TensorHaarInverse(&x, dims);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i], original[i], 1e-12);
+  }
+}
+
+TEST(TensorHaarTest, RoundTrip3D) {
+  Rng rng(7);
+  const std::vector<int> dims = {2, 2, 2};
+  std::vector<double> x = RandomVector(TensorDomainSize(dims), &rng);
+  std::vector<double> original = x;
+  TensorHaarForward(&x, dims);
+  TensorHaarInverse(&x, dims);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i], original[i], 1e-12);
+  }
+}
+
+TEST(TensorHaarTest, PreservesEnergy) {
+  // Orthonormal transform: ||T x||_2 = ||x||_2.
+  Rng rng(11);
+  const std::vector<int> dims = {2, 3};
+  std::vector<double> x = RandomVector(TensorDomainSize(dims), &rng);
+  double before = 0.0;
+  for (double v : x) before += v * v;
+  TensorHaarForward(&x, dims);
+  double after = 0.0;
+  for (double v : x) after += v * v;
+  EXPECT_NEAR(before, after, 1e-10);
+}
+
+TEST(TensorHaarTest, DenseMatrixIsOrthonormal) {
+  const std::vector<int> dims = {2, 2};
+  const linalg::Matrix t = TensorHaarMatrix(dims);
+  const linalg::Matrix ttt = t.Multiply(t.Transpose());
+  EXPECT_TRUE(ttt.ApproxEquals(linalg::Matrix::Identity(16), 1e-10));
+}
+
+TEST(TensorHaarTest, GroupCountIsProductOfLevels) {
+  EXPECT_EQ(TensorHaarNumGroups({3}), 4);
+  EXPECT_EQ(TensorHaarNumGroups({3, 3}), 16);
+  EXPECT_EQ(TensorHaarNumGroups({2, 2, 2}), 27);
+  // The Section 3.1 claim: exponential in the number of axes.
+  EXPECT_EQ(TensorHaarNumGroups({2, 2, 2, 2, 2}), 243);
+}
+
+TEST(TensorHaarTest, GroupAssignmentSatisfiesDefinition31) {
+  // Build the dense matrix, assign groups via TensorHaarGroupOfIndex, and
+  // verify the two grouping conditions with the library's own verifier.
+  const std::vector<int> dims = {2, 2};
+  const linalg::Matrix t = TensorHaarMatrix(dims);
+  budget::RowGrouping grouping;
+  grouping.group_of_row.resize(t.rows());
+  grouping.column_norms.assign(TensorHaarNumGroups(dims), 0.0);
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    const int g = TensorHaarGroupOfIndex(r, dims);
+    grouping.group_of_row[r] = g;
+    grouping.column_norms[g] = TensorHaarGroupMagnitude(g, dims);
+  }
+  EXPECT_TRUE(VerifyGrouping(t, grouping).ok());
+}
+
+TEST(TensorHaarTest, GroupMagnitudesMatchMatrixEntries) {
+  const std::vector<int> dims = {2, 3};
+  const linalg::Matrix t = TensorHaarMatrix(dims);
+  for (std::size_t r = 0; r < t.rows(); ++r) {
+    const int g = TensorHaarGroupOfIndex(r, dims);
+    const double expected = TensorHaarGroupMagnitude(g, dims);
+    double max_abs = 0.0;
+    for (std::size_t c = 0; c < t.cols(); ++c) {
+      max_abs = std::max(max_abs, std::fabs(t(r, c)));
+    }
+    EXPECT_NEAR(max_abs, expected, 1e-12) << "row " << r;
+  }
+}
+
+TEST(TensorHaarTest, ScalingCoefficientIsGridAverage) {
+  Rng rng(13);
+  const std::vector<int> dims = {2, 2};
+  std::vector<double> x = RandomVector(16, &rng);
+  double sum = 0.0;
+  for (double v : x) sum += v;
+  TensorHaarForward(&x, dims);
+  // Coefficient 0 = <x, 1/sqrt(N)> = sum / 4 for N = 16.
+  EXPECT_NEAR(x[0], sum / 4.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace transform
+}  // namespace dpcube

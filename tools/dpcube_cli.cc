@@ -1,0 +1,355 @@
+// Copyright 2026 The dpcube Authors.
+//
+// dpcube command-line tool: private marginal/datacube release from the
+// shell, end to end.
+//
+//   # Generate a synthetic dataset (Adult-like or NLTCS-like):
+//   dpcube synth --dataset adult --rows 32561 --out adult.csv
+//
+//   # Release a workload privately and archive the answers:
+//   dpcube release --schema "workclass:9,education:16,marital:7,..."
+//     --data adult.csv --workload Q2 --method F+ --epsilon 0.5
+//     --out release.csv
+//
+//   # Summarise an archived release:
+//   dpcube inspect --release release.csv
+//
+//   # Data-free accuracy dry-run (no budget spent):
+//   dpcube plan --schema "a:4,b:2,c:8" --workload Q2 --method F+
+//     --epsilon 0.5
+//
+//   # Exactly integral, non-negative, consistent release (Section 6;
+//   # geometric mechanism over base counts, d <= 20), optionally also
+//   # materialised as a synthetic tuple file:
+//   dpcube integral --schema "a:4,b:2" --data t.csv --workload Q1
+//     --epsilon 1.0 --out release.csv --microdata synth.csv
+//
+// Methods: I, Q, Q+, F, F+, C, C+ (the paper's Section 5 notation; "+"
+// means optimal non-uniform budgets). Workloads: Qk, Qk*, Qka.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/bits.h"
+#include "common/rng.h"
+#include "data/contingency_table.h"
+#include "data/dataset.h"
+#include "data/microdata.h"
+#include "data/synthetic.h"
+#include "engine/release_engine.h"
+#include "engine/release_io.h"
+#include "engine/variance_report.h"
+#include "marginal/workload.h"
+#include "recovery/integral.h"
+#include "strategy/factory.h"
+
+namespace {
+
+using namespace dpcube;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  dpcube synth   --dataset adult|nltcs --rows N --out F "
+               "[--seed S]\n"
+               "  dpcube release --schema SPEC --data F --workload W "
+               "--method M --epsilon E --out F\n"
+               "                 [--delta D] [--seed S] "
+               "[--no-consistency]\n"
+               "  dpcube inspect --release F\n"
+               "  dpcube plan    --schema SPEC --workload W --method M "
+               "--epsilon E [--delta D]\n"
+               "  dpcube integral --schema SPEC --data F --workload W "
+               "--epsilon E --out F [--seed S] [--no-clamp] [--microdata F]\n");
+  return 2;
+}
+
+// Minimal flag parsing: --key value pairs plus boolean --no-consistency.
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              bool* ok) {
+  std::map<std::string, std::string> flags;
+  *ok = true;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      *ok = false;
+      return flags;
+    }
+    if (arg == "--no-consistency" || arg == "--no-clamp") {
+      flags[arg.substr(2)] = "true";
+      continue;
+    }
+    if (i + 1 >= argc) {
+      *ok = false;
+      return flags;
+    }
+    flags[arg.substr(2)] = argv[++i];
+  }
+  return flags;
+}
+
+double FlagDouble(const std::map<std::string, std::string>& flags,
+                  const std::string& key, double fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::atof(it->second.c_str());
+}
+
+int RunSynth(const std::map<std::string, std::string>& flags) {
+  const auto dataset_it = flags.find("dataset");
+  const auto out_it = flags.find("out");
+  if (dataset_it == flags.end() || out_it == flags.end()) return Usage();
+  const std::size_t rows =
+      static_cast<std::size_t>(FlagDouble(flags, "rows", 10000));
+  Rng rng(static_cast<std::uint64_t>(FlagDouble(flags, "seed", 42)));
+  data::Dataset dataset = [&] {
+    if (dataset_it->second == "adult") return data::MakeAdultLike(rows, &rng);
+    if (dataset_it->second == "nltcs") return data::MakeNltcsLike(rows, &rng);
+    std::fprintf(stderr, "unknown dataset '%s'\n",
+                 dataset_it->second.c_str());
+    std::exit(2);
+  }();
+  const Status st = data::WriteCsv(dataset, out_it->second);
+  if (!st.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu rows to %s\n", dataset.num_rows(),
+              out_it->second.c_str());
+  return 0;
+}
+
+int RunRelease(const std::map<std::string, std::string>& flags) {
+  for (const char* required : {"schema", "data", "workload", "method",
+                               "out"}) {
+    if (flags.find(required) == flags.end()) {
+      std::fprintf(stderr, "missing --%s\n", required);
+      return Usage();
+    }
+  }
+  auto schema = data::ParseSchemaSpec(flags.at("schema"));
+  if (!schema.ok()) {
+    std::fprintf(stderr, "schema: %s\n", schema.status().ToString().c_str());
+    return 1;
+  }
+  auto dataset = data::ReadCsv(schema.value(), flags.at("data"));
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "data: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  auto workload = marginal::WorkloadByName(schema.value(),
+                                           flags.at("workload"));
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  auto method = strategy::MakeMethod(flags.at("method"), workload.value());
+  if (!method.ok()) {
+    std::fprintf(stderr, "method: %s\n", method.status().ToString().c_str());
+    return 1;
+  }
+
+  engine::ReleaseOptions options;
+  options.params.epsilon = FlagDouble(flags, "epsilon", 1.0);
+  options.params.delta = FlagDouble(flags, "delta", 0.0);
+  options.budget_mode = method.value().budget_mode;
+  options.enforce_consistency = flags.find("no-consistency") == flags.end();
+  Rng rng(static_cast<std::uint64_t>(FlagDouble(flags, "seed", 1)));
+
+  const data::SparseCounts counts =
+      data::SparseCounts::FromDataset(dataset.value());
+  auto outcome = engine::ReleaseWorkload(*method.value().strategy, counts,
+                                         options, &rng);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "release: %s\n",
+                 outcome.status().ToString().c_str());
+    return 1;
+  }
+  const Status st =
+      engine::WriteReleaseCsv(flags.at("out"), outcome.value().marginals);
+  if (!st.ok()) {
+    std::fprintf(stderr, "write: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "released %zu marginals (%llu cells) of %zu-row dataset under "
+      "eps=%.3f%s via %s -> %s\n",
+      outcome.value().marginals.size(),
+      static_cast<unsigned long long>(workload.value().TotalCells()),
+      dataset.value().num_rows(), options.params.epsilon,
+      options.params.delta > 0 ? " (approx-DP)" : "",
+      flags.at("method").c_str(), flags.at("out").c_str());
+  std::printf("predicted total variance: %.4g; consistent: %s\n",
+              outcome.value().predicted_variance,
+              outcome.value().consistent ? "yes" : "no");
+  return 0;
+}
+
+int RunPlan(const std::map<std::string, std::string>& flags) {
+  for (const char* required : {"schema", "workload", "method"}) {
+    if (flags.find(required) == flags.end()) {
+      std::fprintf(stderr, "missing --%s\n", required);
+      return Usage();
+    }
+  }
+  auto schema = data::ParseSchemaSpec(flags.at("schema"));
+  if (!schema.ok()) {
+    std::fprintf(stderr, "schema: %s\n", schema.status().ToString().c_str());
+    return 1;
+  }
+  auto workload =
+      marginal::WorkloadByName(schema.value(), flags.at("workload"));
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  auto method = strategy::MakeMethod(flags.at("method"), workload.value());
+  if (!method.ok()) {
+    std::fprintf(stderr, "method: %s\n", method.status().ToString().c_str());
+    return 1;
+  }
+  dp::PrivacyParams params;
+  params.epsilon = FlagDouble(flags, "epsilon", 1.0);
+  params.delta = FlagDouble(flags, "delta", 0.0);
+  auto report = engine::PredictRelease(*method.value().strategy, params,
+                                       method.value().budget_mode);
+  if (!report.ok()) {
+    std::fprintf(stderr, "plan: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("plan for method %s, eps=%.3f%s (no data touched):\n",
+              flags.at("method").c_str(), params.epsilon,
+              params.delta > 0 ? " (approx-DP)" : "");
+  for (std::size_t i = 0; i < workload.value().num_marginals(); ++i) {
+    std::printf(
+        "  marginal mask=0x%llx order=%d: cell stddev %.2f, "
+        "expected |error| per cell %.2f\n",
+        static_cast<unsigned long long>(workload.value().mask(i)),
+        bits::Popcount(workload.value().mask(i)),
+        std::sqrt(report.value().cell_variances[i]),
+        report.value().expected_abs_error[i]);
+  }
+  std::printf("predicted total output variance: %.4g\n",
+              report.value().total_variance);
+  return 0;
+}
+
+int RunIntegral(const std::map<std::string, std::string>& flags) {
+  for (const char* required : {"schema", "data", "workload", "out"}) {
+    if (flags.find(required) == flags.end()) {
+      std::fprintf(stderr, "missing --%s\n", required);
+      return Usage();
+    }
+  }
+  auto schema = data::ParseSchemaSpec(flags.at("schema"));
+  if (!schema.ok()) {
+    std::fprintf(stderr, "schema: %s\n", schema.status().ToString().c_str());
+    return 1;
+  }
+  auto dataset = data::ReadCsv(schema.value(), flags.at("data"));
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "data: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  auto workload =
+      marginal::WorkloadByName(schema.value(), flags.at("workload"));
+  if (!workload.ok()) {
+    std::fprintf(stderr, "workload: %s\n",
+                 workload.status().ToString().c_str());
+    return 1;
+  }
+  dp::PrivacyParams params;
+  params.epsilon = FlagDouble(flags, "epsilon", 1.0);
+  Rng rng(static_cast<std::uint64_t>(FlagDouble(flags, "seed", 1)));
+  const data::SparseCounts counts =
+      data::SparseCounts::FromDataset(dataset.value());
+  recovery::IntegralReleaseOptions int_options;
+  int_options.clamp_nonnegative = flags.find("no-clamp") == flags.end();
+  auto release = recovery::IntegralBaseCountRelease(workload.value(), counts,
+                                                    params, &rng, int_options);
+  if (!release.ok()) {
+    std::fprintf(stderr, "integral: %s\n",
+                 release.status().ToString().c_str());
+    return 1;
+  }
+  const Status st =
+      engine::WriteReleaseCsv(flags.at("out"), release.value().marginals);
+  if (!st.ok()) {
+    std::fprintf(stderr, "write: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "released %zu integral non-negative consistent marginals under "
+      "eps=%.3f -> %s (per-base-cell variance %.3f)\n",
+      release.value().marginals.size(), params.epsilon,
+      flags.at("out").c_str(), release.value().per_cell_variance);
+  // Optionally materialise the released table as a synthetic tuple file.
+  const auto micro_it = flags.find("microdata");
+  if (micro_it != flags.end()) {
+    if (!int_options.clamp_nonnegative) {
+      std::fprintf(stderr, "microdata requires the clamped release "
+                           "(drop --no-clamp)\n");
+      return 1;
+    }
+    const std::vector<double> cells(release.value().table.begin(),
+                                    release.value().table.end());
+    auto microdata = data::GenerateMicrodata(
+        schema.value(), cells, data::MicrodataOptions{}, &rng);
+    if (!microdata.ok()) {
+      std::fprintf(stderr, "microdata: %s\n",
+                   microdata.status().ToString().c_str());
+      return 1;
+    }
+    const Status ms = data::WriteCsv(microdata.value().dataset,
+                                     micro_it->second);
+    if (!ms.ok()) {
+      std::fprintf(stderr, "microdata write: %s\n", ms.ToString().c_str());
+      return 1;
+    }
+    std::printf("microdata: %zu synthetic tuples -> %s (skipped padding "
+                "mass %.0f)\n",
+                microdata.value().dataset.num_rows(),
+                micro_it->second.c_str(), microdata.value().skipped_mass);
+  }
+  return 0;
+}
+
+int RunInspect(const std::map<std::string, std::string>& flags) {
+  const auto it = flags.find("release");
+  if (it == flags.end()) return Usage();
+  auto loaded = engine::ReadReleaseCsv(it->second);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "read: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("release over d=%d bits, %zu marginals\n",
+              loaded.value().workload.d(),
+              loaded.value().marginals.size());
+  for (const auto& m : loaded.value().marginals) {
+    std::printf("  mask=0x%llx order=%d cells=%zu total=%.1f\n",
+                static_cast<unsigned long long>(m.alpha()), m.k(),
+                m.num_cells(), m.Total());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  bool ok = false;
+  const auto flags = ParseFlags(argc, argv, &ok);
+  if (!ok) return Usage();
+  const std::string command = argv[1];
+  if (command == "synth") return RunSynth(flags);
+  if (command == "release") return RunRelease(flags);
+  if (command == "inspect") return RunInspect(flags);
+  if (command == "plan") return RunPlan(flags);
+  if (command == "integral") return RunIntegral(flags);
+  return Usage();
+}
