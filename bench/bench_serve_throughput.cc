@@ -1,0 +1,128 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Serving-layer throughput: queries/sec against a stored release with a
+// cold vs warm derived-marginal cache, and batch-executor scaling across
+// thread counts. The release is the k-way cuboid cube (the paper's
+// serving story: one budgeted k-way release makes the entire lower
+// datacube derivable) and the query mix sweeps every derivable marginal,
+// re-requested each sweep — the repeated-query regime the MarginalCache
+// targets.
+//
+// Usage: bench_serve_throughput [d] [sweeps] [order]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "service/batch_executor.h"
+#include "service/marginal_cache.h"
+#include "service/query_service.h"
+#include "service/release_store.h"
+
+namespace {
+
+using namespace dpcube;
+
+// One pass over every query; clearing the cache first makes every
+// derivation run, keeping it warm makes every repeat a hash lookup.
+double RunSweeps(const service::QueryService& svc,
+                 const std::vector<service::Query>& queries, int sweeps,
+                 service::MarginalCache* clear_between, double* seconds) {
+  std::size_t answered = 0;
+  *seconds = bench::TimeSeconds([&] {
+    for (int sweep = 0; sweep < sweeps; ++sweep) {
+      if (clear_between != nullptr) clear_between->Clear();
+      for (const service::Query& q : queries) {
+        const service::QueryResponse response = svc.Answer(q);
+        if (!response.status.ok()) {
+          std::fprintf(stderr, "query failed: %s\n",
+                       response.status.ToString().c_str());
+          std::exit(1);
+        }
+        ++answered;
+      }
+    }
+  });
+  return static_cast<double>(answered) / *seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int d = argc > 1 ? std::atoi(argv[1]) : 12;
+  const int sweeps = argc > 2 ? std::atoi(argv[2]) : 40;
+  const int order = argc > 3 ? std::atoi(argv[3]) : 4;
+
+  Rng rng(99);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(
+      data::MakeProductBernoulli(d, 0.35, 20000, &rng));
+  const marginal::Workload workload = marginal::AllKWayBits(d, order);
+  std::vector<marginal::MarginalTable> noisy;
+  for (std::size_t i = 0; i < workload.num_marginals(); ++i) {
+    noisy.push_back(marginal::ComputeMarginal(counts, workload.mask(i)));
+    for (auto& v : noisy.back().mutable_values()) {
+      v += rng.NextLaplace(2.0);
+    }
+  }
+
+  auto store = std::make_shared<service::ReleaseStore>();
+  auto cache = std::make_shared<service::MarginalCache>();
+  const double fit_seconds = bench::TimeSeconds([&] {
+    if (!store->Add("bench", workload, std::move(noisy)).ok()) {
+      std::exit(1);
+    }
+  });
+  auto svc = std::make_shared<const service::QueryService>(store, cache);
+
+  // The repeated-query workload: every derivable marginal (orders 0..order).
+  std::vector<service::Query> queries;
+  for (const bits::Mask beta : bits::MasksOfWeightAtMost(d, order)) {
+    queries.push_back({"bench", service::QueryKind::kMarginal, beta, 0, 0});
+  }
+  std::printf(
+      "serve throughput: d=%d, %zu marginals released, %zu distinct "
+      "queries, %d sweeps (release fit: %.3fs)\n",
+      d, workload.num_marginals(), queries.size(), sweeps, fit_seconds);
+
+  double cold_seconds = 0.0;
+  const double cold_qps =
+      RunSweeps(*svc, queries, sweeps, cache.get(), &cold_seconds);
+  double warm_seconds = 0.0;
+  const double warm_qps =
+      RunSweeps(*svc, queries, sweeps, nullptr, &warm_seconds);
+  const service::CacheStats stats = cache->stats();
+  std::printf("  cold cache: %10.0f q/s  (%.3fs)\n", cold_qps, cold_seconds);
+  std::printf("  warm cache: %10.0f q/s  (%.3fs)  speedup %.1fx\n", warm_qps,
+              warm_seconds, warm_qps / cold_qps);
+  std::printf(
+      "  cache: hits=%llu misses=%llu evictions=%llu entries=%zu\n",
+      static_cast<unsigned long long>(stats.hits),
+      static_cast<unsigned long long>(stats.misses),
+      static_cast<unsigned long long>(stats.evictions), stats.entries);
+
+  // Batch-executor scaling (cold cache each run so the work is real).
+  // Speedup beyond 1 thread requires actual cores; on a 1-core host the
+  // pool only adds coordination overhead.
+  std::printf("batch executor scaling (%zu-query batches, %u hw threads):\n",
+              queries.size(), std::thread::hardware_concurrency());
+  for (const int threads : {1, 2, 4, 8}) {
+    service::BatchExecutor executor(svc, threads);
+    cache->Clear();
+    std::size_t answered = 0;
+    const double seconds = bench::TimeSeconds([&] {
+      for (int sweep = 0; sweep < sweeps; ++sweep) {
+        cache->Clear();
+        const auto responses = executor.ExecuteBatch(queries);
+        answered += responses.size();
+      }
+    });
+    std::printf("  threads=%d: %10.0f q/s\n", threads,
+                static_cast<double>(answered) / seconds);
+  }
+  return 0;
+}

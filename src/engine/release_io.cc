@@ -11,7 +11,12 @@ namespace dpcube {
 namespace engine {
 
 Status WriteReleaseCsv(const std::string& path,
-                       const std::vector<marginal::MarginalTable>& marginals) {
+                       const std::vector<marginal::MarginalTable>& marginals,
+                       const linalg::Vector& cell_variances) {
+  if (!cell_variances.empty() && cell_variances.size() != marginals.size()) {
+    return Status::InvalidArgument(
+        "cell_variances must be empty or have one entry per marginal");
+  }
   std::ofstream out(path);
   if (!out) return Status::NotFound("cannot open '" + path + "' for writing");
   const int d = marginals.empty() ? 0 : marginals.front().d();
@@ -22,6 +27,15 @@ Status WriteReleaseCsv(const std::string& path,
     }
   }
   out << "# dpcube-release d=" << d << "\n";
+  if (!cell_variances.empty()) {
+    out << "# dpcube-cell-variances";
+    char field[32];
+    for (const double v : cell_variances) {
+      std::snprintf(field, sizeof(field), " %.17g", v);
+      out << field;
+    }
+    out << "\n";
+  }
   out << "mask,cell,value\n";
   char line[96];
   for (const marginal::MarginalTable& m : marginals) {
@@ -49,11 +63,23 @@ Result<LoadedRelease> ReadReleaseCsv(const std::string& path) {
   } catch (const std::exception&) {
     return Status::InvalidArgument("'" + path + "': bad dimensionality");
   }
-  if (!std::getline(in, line) || line != "mask,cell,value") {
+  LoadedRelease release;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("'" + path + "': missing column header");
+  }
+  const std::string kVarianceHeader = "# dpcube-cell-variances";
+  if (line.rfind(kVarianceHeader, 0) == 0) {
+    std::stringstream vs(line.substr(kVarianceHeader.size()));
+    double v = 0.0;
+    while (vs >> v) release.cell_variances.push_back(v);
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument("'" + path + "': missing column header");
+    }
+  }
+  if (line != "mask,cell,value") {
     return Status::InvalidArgument("'" + path + "': missing column header");
   }
 
-  LoadedRelease release;
   std::vector<bits::Mask> masks;
   std::size_t line_no = 2;
   while (std::getline(in, line)) {
@@ -91,6 +117,11 @@ Result<LoadedRelease> ReadReleaseCsv(const std::string& path) {
                                 ": cell index out of range");
     }
     table.value(cell) = value;
+  }
+  if (!release.cell_variances.empty() &&
+      release.cell_variances.size() != release.marginals.size()) {
+    return Status::InvalidArgument(
+        "'" + path + "': cell-variance count does not match marginal count");
   }
   release.workload = marginal::Workload(d, std::move(masks));
   return release;

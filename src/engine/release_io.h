@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "linalg/matrix.h"
 #include "marginal/marginal_table.h"
 #include "marginal/workload.h"
 
@@ -20,17 +21,24 @@ namespace engine {
 
 /// Writes released marginals as CSV:
 ///   # dpcube-release d=<d>
+///   # dpcube-cell-variances <v1> <v2> ...        (optional)
 ///   mask,cell,value
 ///   5,0,123.4
 ///   ...
+/// `cell_variances` (one per marginal, the release mechanism's predicted
+/// per-cell noise variance) is archived so downstream serving can report
+/// true accuracy; empty omits the line, preserving the legacy format.
 Status WriteReleaseCsv(const std::string& path,
-                       const std::vector<marginal::MarginalTable>& marginals);
+                       const std::vector<marginal::MarginalTable>& marginals,
+                       const linalg::Vector& cell_variances = {});
 
 /// Reads a release written by WriteReleaseCsv. The reconstructed workload
-/// preserves the file's marginal order.
+/// preserves the file's marginal order. `cell_variances` is empty when
+/// the file predates the variance header.
 struct LoadedRelease {
   marginal::Workload workload{0, {}};
   std::vector<marginal::MarginalTable> marginals;
+  linalg::Vector cell_variances;
 };
 Result<LoadedRelease> ReadReleaseCsv(const std::string& path);
 

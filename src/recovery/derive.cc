@@ -84,5 +84,12 @@ Result<double> DerivedCube::Coefficient(bits::Mask beta) const {
   return coefficients_[index_.IndexOf(beta)];
 }
 
+Result<double> DerivedCube::CoefficientVariance(bits::Mask beta) const {
+  if (!index_.Contains(beta)) {
+    return Status::FailedPrecondition("DerivedCube: coefficient not fitted");
+  }
+  return variances_[index_.IndexOf(beta)];
+}
+
 }  // namespace recovery
 }  // namespace dpcube

@@ -65,6 +65,12 @@ class DerivedCube {
   /// The fitted coefficient for a covered mask (exposed for diagnostics).
   Result<double> Coefficient(bits::Mask beta) const;
 
+  /// Var(theta_hat_beta) for a covered mask. Lets callers propagate the
+  /// coefficient-level uncertainty into linear functionals of derived
+  /// cells (e.g. range sums), where the cells' shared coefficients make
+  /// the per-cell variances alone insufficient.
+  Result<double> CoefficientVariance(bits::Mask beta) const;
+
  private:
   DerivedCube(marginal::FourierIndex index, linalg::Vector coefficients,
               linalg::Vector variances)

@@ -1,0 +1,62 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Concurrent batch execution of independent queries over a fixed thread
+// pool. Queries are grouped by (release, marginal mask) before dispatch:
+// each group becomes one task that derives (or cache-fetches) the shared
+// parent marginal once and answers every query in the group from it, so
+// a batch of N point queries against the same marginal costs one
+// derivation, not N. Groups run concurrently across the pool; response
+// order matches request order.
+
+#ifndef DPCUBE_SERVICE_BATCH_EXECUTOR_H_
+#define DPCUBE_SERVICE_BATCH_EXECUTOR_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/query_service.h"
+
+namespace dpcube {
+namespace service {
+
+class BatchExecutor {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1) bound to `service`.
+  BatchExecutor(std::shared_ptr<const QueryService> service, int num_threads);
+
+  /// Drains the queue and joins the workers.
+  ~BatchExecutor();
+
+  BatchExecutor(const BatchExecutor&) = delete;
+  BatchExecutor& operator=(const BatchExecutor&) = delete;
+
+  /// Answers all queries; `result[i]` corresponds to `queries[i]`.
+  /// Blocks until the whole batch is done. Thread-safe: concurrent
+  /// batches interleave over the shared pool.
+  std::vector<QueryResponse> ExecuteBatch(
+      const std::vector<Query>& queries) const;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+  void Submit(std::function<void()> task) const;
+
+  std::shared_ptr<const QueryService> service_;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable work_available_;
+  mutable std::deque<std::function<void()>> tasks_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace service
+}  // namespace dpcube
+
+#endif  // DPCUBE_SERVICE_BATCH_EXECUTOR_H_

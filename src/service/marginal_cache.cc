@@ -1,0 +1,84 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "service/marginal_cache.h"
+
+namespace dpcube {
+namespace service {
+
+std::shared_ptr<const CachedMarginal> MarginalCache::Get(
+    const std::string& release, bits::Mask beta, std::uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(Key{release, beta});
+  if (it == index_.end() || it->second->epoch != epoch) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->value;
+}
+
+void MarginalCache::Put(const std::string& release, bits::Mask beta,
+                        std::shared_ptr<const CachedMarginal> value,
+                        std::uint64_t epoch) {
+  if (value == nullptr) return;
+  const std::size_t size = value->table.num_cells();
+  if (size > capacity_cells_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const Key key{release, beta};
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    cells_ -= it->second->value->table.num_cells();
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(Entry{key, epoch, std::move(value)});
+  index_.emplace(key, lru_.begin());
+  cells_ += size;
+  EvictToCapacityLocked();
+}
+
+void MarginalCache::EvictToCapacityLocked() {
+  while (cells_ > capacity_cells_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    cells_ -= victim.value->table.num_cells();
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void MarginalCache::EraseRelease(const std::string& release) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.first == release) {
+      cells_ -= it->value->table.num_cells();
+      index_.erase(it->key);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void MarginalCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  cells_ = 0;
+}
+
+CacheStats MarginalCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.entries = index_.size();
+  s.cells = cells_;
+  s.capacity_cells = capacity_cells_;
+  return s;
+}
+
+}  // namespace service
+}  // namespace dpcube

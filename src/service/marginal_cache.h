@@ -1,0 +1,109 @@
+// Copyright 2026 The dpcube Authors.
+//
+// LRU cache of derived marginals, keyed by (release name, attribute-subset
+// mask). Serving traffic is dominated by repeated and overlapping
+// sub-marginal queries; deriving a marginal walks the coefficient index
+// and runs a Walsh-Hadamard transform, whereas a cache hit is a hash
+// lookup. Capacity is budgeted in CELLS (not entries) so one giant
+// marginal cannot masquerade as cheap, mirroring byte-budgeted block
+// caches in storage engines. Thread-safe; entries are immutable
+// shared_ptrs, so a hit stays valid after eviction.
+
+#ifndef DPCUBE_SERVICE_MARGINAL_CACHE_H_
+#define DPCUBE_SERVICE_MARGINAL_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "common/bits.h"
+#include "marginal/marginal_table.h"
+
+namespace dpcube {
+namespace service {
+
+/// A derived marginal plus its predicted per-cell noise variance.
+struct CachedMarginal {
+  marginal::MarginalTable table;
+  double cell_variance = 0.0;
+};
+
+/// Counters exposed for monitoring and benches.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t cells = 0;           ///< Cells currently resident.
+  std::size_t capacity_cells = 0;  ///< Configured budget.
+};
+
+class MarginalCache {
+ public:
+  /// `capacity_cells` bounds the total resident cells; 0 disables caching
+  /// (every Get misses, every Put is dropped).
+  explicit MarginalCache(std::size_t capacity_cells = std::size_t{1} << 20)
+      : capacity_cells_(capacity_cells) {}
+
+  /// The cached marginal for (release, beta), or nullptr on miss.
+  /// A hit moves the entry to most-recently-used. `epoch` must match the
+  /// epoch the entry was stored under (StoredRelease::epoch()): an entry
+  /// derived from a previous incarnation of a re-used release name is a
+  /// miss, never a stale hit.
+  std::shared_ptr<const CachedMarginal> Get(const std::string& release,
+                                            bits::Mask beta,
+                                            std::uint64_t epoch = 0);
+
+  /// Inserts (replacing any existing entry), then evicts least-recently-
+  /// used entries until within capacity. Entries larger than the whole
+  /// budget are not admitted.
+  void Put(const std::string& release, bits::Mask beta,
+           std::shared_ptr<const CachedMarginal> value,
+           std::uint64_t epoch = 0);
+
+  /// Drops every entry belonging to `release` (called on store Remove).
+  void EraseRelease(const std::string& release);
+
+  void Clear();
+
+  CacheStats stats() const;
+
+ private:
+  using Key = std::pair<std::string, bits::Mask>;
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const {
+      const std::size_t h = std::hash<std::string>{}(key.first);
+      // splitmix-style mix of the mask into the string hash.
+      std::uint64_t x = key.second + 0x9e3779b97f4a7c15ULL;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      return h ^ static_cast<std::size_t>(x ^ (x >> 31));
+    }
+  };
+  struct Entry {
+    Key key;
+    std::uint64_t epoch;
+    std::shared_ptr<const CachedMarginal> value;
+  };
+
+  /// Must hold mu_. Evicts from the LRU tail until cells_ <= capacity.
+  void EvictToCapacityLocked();
+
+  const std::size_t capacity_cells_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< Front = most recent.
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  std::size_t cells_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace service
+}  // namespace dpcube
+
+#endif  // DPCUBE_SERVICE_MARGINAL_CACHE_H_

@@ -1,0 +1,139 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "service/query_service.h"
+
+#include <cmath>
+#include <utility>
+
+namespace dpcube {
+namespace service {
+namespace {
+
+/// Exact variance of sum_{c in [lo, hi]} cell_c of the derived marginal
+/// over beta. Each cell is 2^{d/2 - k} * sum_{eta ⪯ beta}
+/// (-1)^{<gamma_c, eta>} theta_eta, so the range sum is a linear
+/// functional of the (independent) fitted coefficients with weight
+/// w_eta = sum_c (-1)^{<gamma_c, eta>}:
+///   Var = 2^{d - 2k} * sum_{eta ⪯ beta} w_eta^2 Var(theta_eta).
+Result<double> RangeSumVariance(const recovery::DerivedCube& cube,
+                                bits::Mask beta, std::size_t lo,
+                                std::size_t hi) {
+  const int k = bits::Popcount(beta);
+  double sum = 0.0;
+  for (bits::SubmaskIterator it(beta); !it.done(); it.Next()) {
+    double weight = 0.0;
+    for (std::size_t c = lo; c <= hi; ++c) {
+      weight += bits::FourierSign(bits::ExpandIntoMask(c, beta), it.mask());
+    }
+    DPCUBE_ASSIGN_OR_RETURN(const double var,
+                            cube.CoefficientVariance(it.mask()));
+    sum += weight * weight * var;
+  }
+  return std::ldexp(sum, cube.d() - 2 * k);
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const CachedMarginal>> QueryService::DeriveFromStored(
+    const StoredRelease& stored, bits::Mask beta, bool* cache_hit) const {
+  // Keyed by (name, beta) but guarded by the release's epoch: an entry
+  // installed by a query racing a remove + re-add of the name is never
+  // served to the other incarnation — a mismatch reads as a miss and
+  // the re-derivation overwrites it.
+  if (auto cached = cache_->Get(stored.name(), beta, stored.epoch())) {
+    if (cache_hit != nullptr) *cache_hit = true;
+    return cached;
+  }
+  if (cache_hit != nullptr) *cache_hit = false;
+  DPCUBE_ASSIGN_OR_RETURN(marginal::MarginalTable table,
+                          stored.cube().Derive(beta));
+  DPCUBE_ASSIGN_OR_RETURN(const double cell_variance,
+                          stored.cube().DerivedCellVariance(beta));
+  auto entry = std::make_shared<const CachedMarginal>(
+      CachedMarginal{std::move(table), cell_variance});
+  cache_->Put(stored.name(), beta, entry, stored.epoch());
+  return entry;
+}
+
+Result<std::shared_ptr<const CachedMarginal>> QueryService::DeriveMarginal(
+    const std::string& release, bits::Mask beta, bool* cache_hit) const {
+  DPCUBE_ASSIGN_OR_RETURN(std::shared_ptr<const StoredRelease> stored,
+                          store_->Get(release));
+  return DeriveFromStored(*stored, beta, cache_hit);
+}
+
+Status QueryService::RemoveRelease(const std::string& name) const {
+  const Status st = store_->Remove(name);
+  // Drop cached tables even if the store had no such release, so a
+  // half-completed earlier removal cannot leave stale entries behind.
+  cache_->EraseRelease(name);
+  return st;
+}
+
+QueryResponse QueryService::Answer(const Query& query) const {
+  QueryResponse response;
+  response.beta = query.beta;
+  // One store lookup per answer; everything below (table, variances,
+  // range cube) comes from this snapshot, so a concurrent remove/re-add
+  // of the name cannot mix releases within one response.
+  auto stored = store_->Get(query.release);
+  if (!stored.ok()) {
+    response.status = stored.status();
+    return response;
+  }
+  const StoredRelease& stored_release = *stored.value();
+  auto derived =
+      DeriveFromStored(stored_release, query.beta, &response.cache_hit);
+  if (!derived.ok()) {
+    response.status = derived.status();
+    return response;
+  }
+  const CachedMarginal& cached = *derived.value();
+  const std::size_t num_cells = cached.table.num_cells();
+  switch (query.kind) {
+    case QueryKind::kMarginal:
+      response.values = cached.table.values();
+      response.variance = cached.cell_variance;
+      break;
+    case QueryKind::kCell: {
+      if (query.cell_lo >= num_cells) {
+        response.status = Status::OutOfRange(
+            "cell " + std::to_string(query.cell_lo) + " out of range (" +
+            std::to_string(num_cells) + " cells)");
+        return response;
+      }
+      response.values.push_back(cached.table.value(query.cell_lo));
+      response.variance = cached.cell_variance;
+      break;
+    }
+    case QueryKind::kRange: {
+      if (query.cell_lo > query.cell_hi || query.cell_hi >= num_cells) {
+        response.status = Status::OutOfRange(
+            "range [" + std::to_string(query.cell_lo) + ", " +
+            std::to_string(query.cell_hi) + "] invalid for " +
+            std::to_string(num_cells) + " cells");
+        return response;
+      }
+      double sum = 0.0;
+      for (std::size_t c = query.cell_lo; c <= query.cell_hi; ++c) {
+        sum += cached.table.value(c);
+      }
+      response.values.push_back(sum);
+      // Recomputed per request: O((hi - lo + 1) * 2^k) sign flips. Cheap
+      // next to a derivation for the small ranges serving traffic asks
+      // for; memoise per (release, beta, lo, hi) if profiles disagree.
+      auto variance = RangeSumVariance(stored_release.cube(), query.beta,
+                                       query.cell_lo, query.cell_hi);
+      if (!variance.ok()) {
+        response.status = variance.status();
+        return response;
+      }
+      response.variance = variance.value();
+      break;
+    }
+  }
+  return response;
+}
+
+}  // namespace service
+}  // namespace dpcube

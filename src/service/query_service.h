@@ -1,0 +1,107 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Online query answering over stored releases. Every answer is pure
+// post-processing of an already-released workload (differential privacy
+// is closed under post-processing), so serving any number of queries
+// costs zero additional privacy budget. Three query kinds:
+//
+//   kMarginal — the full derived marginal table over an attribute mask;
+//   kCell     — one cell of that marginal (a predicate count: the number
+//               of rows whose attributes on the mask equal the cell's
+//               value combination);
+//   kRange    — the sum of a contiguous local-cell range [lo, hi] of the
+//               marginal (a one-dimensional range count when the mask is
+//               a single encoded attribute's bit-field).
+//
+// Each response carries the predicted noise variance of the returned
+// quantity. For ranges the variance is computed exactly in coefficient
+// space — derived cells share fitted Fourier coefficients, so summing
+// per-cell variances would be wrong.
+//
+// Derived tables are memoised in a MarginalCache keyed by
+// (release, mask); repeated and overlapping queries hit the cache
+// instead of re-running the Walsh-Hadamard reconstruction.
+
+#ifndef DPCUBE_SERVICE_QUERY_SERVICE_H_
+#define DPCUBE_SERVICE_QUERY_SERVICE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bits.h"
+#include "common/status.h"
+#include "service/marginal_cache.h"
+#include "service/release_store.h"
+
+namespace dpcube {
+namespace service {
+
+enum class QueryKind {
+  kMarginal = 0,
+  kCell = 1,
+  kRange = 2,
+};
+
+/// One request against a named release.
+struct Query {
+  std::string release;
+  QueryKind kind = QueryKind::kMarginal;
+  bits::Mask beta = 0;       ///< Attribute-subset mask of the marginal.
+  std::size_t cell_lo = 0;   ///< kCell: the cell; kRange: range start.
+  std::size_t cell_hi = 0;   ///< kRange: inclusive range end.
+};
+
+/// The answer: `values` holds the full table for kMarginal and a single
+/// aggregate for kCell/kRange. `variance` is the predicted noise variance
+/// of each returned value (per cell for kMarginal, of the aggregate
+/// otherwise), under the release's cell-variance model.
+struct QueryResponse {
+  Status status;
+  bits::Mask beta = 0;
+  std::vector<double> values;
+  double variance = 0.0;
+  bool cache_hit = false;
+};
+
+class QueryService {
+ public:
+  QueryService(std::shared_ptr<ReleaseStore> store,
+               std::shared_ptr<MarginalCache> cache)
+      : store_(std::move(store)), cache_(std::move(cache)) {}
+
+  /// Answers one query. Never throws; errors land in `response.status`.
+  QueryResponse Answer(const Query& query) const;
+
+  /// Removes a release from the store AND drops its cached marginals.
+  /// Always use this (not ReleaseStore::Remove directly) when the
+  /// service is live: cache entries are keyed by release name, so a
+  /// bare store Remove followed by an Add under the same name would
+  /// serve the old release's tables as cache hits.
+  Status RemoveRelease(const std::string& name) const;
+
+  /// The derived marginal for (release, beta) plus its per-cell variance,
+  /// via the cache. `cache_hit` (optional) reports whether the table was
+  /// served from the cache.
+  Result<std::shared_ptr<const CachedMarginal>> DeriveMarginal(
+      const std::string& release, bits::Mask beta,
+      bool* cache_hit = nullptr) const;
+
+  const ReleaseStore& store() const { return *store_; }
+  const MarginalCache& cache() const { return *cache_; }
+
+ private:
+  /// Cache-or-derive against an already-resolved release snapshot, so a
+  /// caller holding one gets values and variances from the same release
+  /// even if the store is concurrently mutated.
+  Result<std::shared_ptr<const CachedMarginal>> DeriveFromStored(
+      const StoredRelease& stored, bits::Mask beta, bool* cache_hit) const;
+
+  std::shared_ptr<ReleaseStore> store_;
+  std::shared_ptr<MarginalCache> cache_;
+};
+
+}  // namespace service
+}  // namespace dpcube
+
+#endif  // DPCUBE_SERVICE_QUERY_SERVICE_H_

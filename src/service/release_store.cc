@@ -1,0 +1,131 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "service/release_store.h"
+
+#include <atomic>
+#include <utility>
+
+#include "engine/release_io.h"
+
+namespace dpcube {
+namespace service {
+
+namespace {
+std::uint64_t NextEpoch() {
+  static std::atomic<std::uint64_t> counter{0};
+  return ++counter;
+}
+}  // namespace
+
+Result<std::shared_ptr<const StoredRelease>> StoredRelease::Create(
+    std::string name, marginal::Workload workload,
+    std::vector<marginal::MarginalTable> marginals,
+    linalg::Vector cell_variances) {
+  if (name.empty()) {
+    return Status::InvalidArgument("release name must be non-empty");
+  }
+  if (marginals.size() != workload.num_marginals()) {
+    return Status::InvalidArgument(
+        "marginal count does not match the workload");
+  }
+  if (cell_variances.empty()) {
+    cell_variances.assign(workload.num_marginals(), 1.0);
+  }
+  auto cube = recovery::DerivedCube::Fit(workload, marginals, cell_variances);
+  if (!cube.ok()) return cube.status();
+  auto stored = std::shared_ptr<StoredRelease>(
+      new StoredRelease(std::move(name), std::move(workload),
+                        std::move(marginals), std::move(cube).value()));
+  stored->epoch_ = NextEpoch();
+  return std::shared_ptr<const StoredRelease>(std::move(stored));
+}
+
+ReleaseInfo StoredRelease::Info() const {
+  ReleaseInfo info;
+  info.name = name_;
+  info.d = workload_.d();
+  info.num_marginals = workload_.num_marginals();
+  info.total_cells = workload_.TotalCells();
+  return info;
+}
+
+Status ReleaseStore::Add(const std::string& name, marginal::Workload workload,
+                         std::vector<marginal::MarginalTable> marginals,
+                         linalg::Vector cell_variances) {
+  {
+    // Reject taken names before the (expensive) coefficient fit. A
+    // concurrent Add can still win the name in between, so the insert
+    // below re-checks under the same lock.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (releases_.count(name) > 0) {
+      return Status::FailedPrecondition("release '" + name +
+                                        "' already loaded");
+    }
+  }
+  auto stored = StoredRelease::Create(name, std::move(workload),
+                                      std::move(marginals),
+                                      std::move(cell_variances));
+  if (!stored.ok()) return stored.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (releases_.count(name) > 0) {
+    return Status::FailedPrecondition("release '" + name +
+                                      "' already loaded");
+  }
+  releases_.emplace(name, std::move(stored).value());
+  return Status::OK();
+}
+
+Status ReleaseStore::LoadFromFile(const std::string& name,
+                                  const std::string& path,
+                                  linalg::Vector cell_variances) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (releases_.count(name) > 0) {
+      return Status::FailedPrecondition("release '" + name +
+                                        "' already loaded");
+    }
+  }
+  auto loaded = engine::ReadReleaseCsv(path);
+  if (!loaded.ok()) return loaded.status();
+  // Prefer the variances archived in the file (written by the release
+  // mechanism) unless the caller overrides them.
+  if (cell_variances.empty()) {
+    cell_variances = std::move(loaded.value().cell_variances);
+  }
+  return Add(name, std::move(loaded.value().workload),
+             std::move(loaded.value().marginals), std::move(cell_variances));
+}
+
+Status ReleaseStore::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (releases_.erase(name) == 0) {
+    return Status::NotFound("release '" + name + "' not loaded");
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const StoredRelease>> ReleaseStore::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = releases_.find(name);
+  if (it == releases_.end()) {
+    return Status::NotFound("release '" + name + "' not loaded");
+  }
+  return it->second;
+}
+
+std::vector<ReleaseInfo> ReleaseStore::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ReleaseInfo> out;
+  out.reserve(releases_.size());
+  for (const auto& [name, release] : releases_) out.push_back(release->Info());
+  return out;
+}
+
+std::size_t ReleaseStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return releases_.size();
+}
+
+}  // namespace service
+}  // namespace dpcube

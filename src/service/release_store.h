@@ -1,0 +1,120 @@
+// Copyright 2026 The dpcube Authors.
+//
+// In-memory store of named private releases for online serving. Each
+// stored release pairs the archived marginals with a DerivedCube fitted
+// once at load time, so arbitrary covered sub-marginals can be answered
+// by post-processing at zero additional privacy cost. The store is
+// thread-safe and hands out shared_ptr snapshots, so queries in flight
+// keep a release alive across a concurrent Remove/replace.
+
+#ifndef DPCUBE_SERVICE_RELEASE_STORE_H_
+#define DPCUBE_SERVICE_RELEASE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "marginal/marginal_table.h"
+#include "marginal/workload.h"
+#include "recovery/derive.h"
+
+namespace dpcube {
+namespace service {
+
+/// Summary row returned by ReleaseStore::List.
+struct ReleaseInfo {
+  std::string name;
+  int d = 0;
+  std::size_t num_marginals = 0;
+  std::uint64_t total_cells = 0;
+};
+
+/// One loaded release: the workload, its marginals, and the fitted
+/// coefficient cube. Immutable after construction.
+class StoredRelease {
+ public:
+  /// Fits the DerivedCube from the marginals. `cell_variances` gives the
+  /// per-marginal released-cell noise variance (one entry per marginal);
+  /// empty means uniform weight 1.0, which yields the plain L2
+  /// consistency fit and variance predictions in units of one released
+  /// cell's variance.
+  static Result<std::shared_ptr<const StoredRelease>> Create(
+      std::string name, marginal::Workload workload,
+      std::vector<marginal::MarginalTable> marginals,
+      linalg::Vector cell_variances = {});
+
+  const std::string& name() const { return name_; }
+
+  /// Process-unique id of this loaded instance. Two releases loaded
+  /// under the same name (remove + re-add) get different epochs, letting
+  /// caches reject entries derived from a previous incarnation.
+  std::uint64_t epoch() const { return epoch_; }
+
+  const marginal::Workload& workload() const { return workload_; }
+  const std::vector<marginal::MarginalTable>& marginals() const {
+    return marginals_;
+  }
+  const recovery::DerivedCube& cube() const { return cube_; }
+  int d() const { return workload_.d(); }
+
+  /// True iff the release determines the marginal over `beta`.
+  bool Covers(bits::Mask beta) const { return cube_.CanDerive(beta); }
+
+  ReleaseInfo Info() const;
+
+ private:
+  StoredRelease(std::string name, marginal::Workload workload,
+                std::vector<marginal::MarginalTable> marginals,
+                recovery::DerivedCube cube)
+      : name_(std::move(name)),
+        workload_(std::move(workload)),
+        marginals_(std::move(marginals)),
+        cube_(std::move(cube)) {}
+
+  std::string name_;
+  std::uint64_t epoch_ = 0;
+  marginal::Workload workload_;
+  std::vector<marginal::MarginalTable> marginals_;
+  recovery::DerivedCube cube_;
+};
+
+/// Thread-safe name -> release map.
+class ReleaseStore {
+ public:
+  /// Registers in-memory marginals under `name`. Fails with
+  /// FailedPrecondition if the name is already taken.
+  Status Add(const std::string& name, marginal::Workload workload,
+             std::vector<marginal::MarginalTable> marginals,
+             linalg::Vector cell_variances = {});
+
+  /// Loads a release archived by engine::WriteReleaseCsv. When the
+  /// archive carries per-marginal cell variances, those are used unless
+  /// `cell_variances` overrides them; with neither, variances default to
+  /// uniform 1.0 (see StoredRelease::Create).
+  Status LoadFromFile(const std::string& name, const std::string& path,
+                      linalg::Vector cell_variances = {});
+
+  Status Remove(const std::string& name);
+
+  /// The release named `name`, or NotFound.
+  Result<std::shared_ptr<const StoredRelease>> Get(
+      const std::string& name) const;
+
+  /// Summaries of all stored releases, in name order.
+  std::vector<ReleaseInfo> List() const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const StoredRelease>> releases_;
+};
+
+}  // namespace service
+}  // namespace dpcube
+
+#endif  // DPCUBE_SERVICE_RELEASE_STORE_H_

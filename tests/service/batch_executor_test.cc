@@ -1,0 +1,160 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "service/batch_executor.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+
+namespace dpcube {
+namespace service {
+namespace {
+
+struct Fixture {
+  int d;
+  marginal::Workload workload;
+  std::shared_ptr<ReleaseStore> store;
+  std::shared_ptr<MarginalCache> cache;
+  std::shared_ptr<const QueryService> service;
+
+  explicit Fixture(int dim, Rng* rng)
+      : d(dim),
+        workload(marginal::AllKWayBits(dim, 2)),
+        store(std::make_shared<ReleaseStore>()),
+        cache(std::make_shared<MarginalCache>()),
+        service(std::make_shared<const QueryService>(store, cache)) {
+    const data::SparseCounts counts = data::SparseCounts::FromDataset(
+        data::MakeProductBernoulli(dim, 0.4, 600, rng));
+    std::vector<marginal::MarginalTable> noisy;
+    for (std::size_t i = 0; i < workload.num_marginals(); ++i) {
+      noisy.push_back(marginal::ComputeMarginal(counts, workload.mask(i)));
+      for (auto& v : noisy.back().mutable_values()) {
+        v += rng->NextLaplace(1.5);
+      }
+    }
+    EXPECT_TRUE(store->Add("r", workload, std::move(noisy)).ok());
+  }
+
+  // A mixed batch spanning marginal/cell/range kinds plus error cases.
+  std::vector<Query> MixedBatch() const {
+    std::vector<Query> batch;
+    for (const bits::Mask beta : bits::MasksOfWeightAtMost(d, 2)) {
+      batch.push_back({"r", QueryKind::kMarginal, beta, 0, 0});
+      if (bits::Popcount(beta) == 2) {
+        batch.push_back({"r", QueryKind::kCell, beta, 1, 0});
+        batch.push_back({"r", QueryKind::kRange, beta, 0, 2});
+      }
+    }
+    batch.push_back({"r", QueryKind::kMarginal, bits::FullMask(d), 0, 0});
+    batch.push_back({"missing", QueryKind::kCell, 0x1, 0, 0});
+    return batch;
+  }
+};
+
+void ExpectSameResponses(const std::vector<QueryResponse>& got,
+                         const std::vector<QueryResponse>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].status.code(), want[i].status.code()) << "query " << i;
+    EXPECT_EQ(got[i].beta, want[i].beta) << "query " << i;
+    ASSERT_EQ(got[i].values.size(), want[i].values.size()) << "query " << i;
+    for (std::size_t c = 0; c < got[i].values.size(); ++c) {
+      EXPECT_EQ(got[i].values[c], want[i].values[c])  // Bit-exact.
+          << "query " << i << " cell " << c;
+    }
+    EXPECT_EQ(got[i].variance, want[i].variance) << "query " << i;
+  }
+}
+
+TEST(BatchExecutorTest, ConcurrentAnswersMatchSingleThreaded) {
+  Rng rng(71);
+  Fixture fx(6, &rng);
+  const std::vector<Query> batch = fx.MixedBatch();
+
+  // Single-threaded reference on an identical but independent stack, so
+  // the concurrent run shares no cache state with the reference.
+  Rng rng_ref(71);
+  Fixture reference(6, &rng_ref);
+  std::vector<QueryResponse> expected;
+  for (const Query& q : batch) {
+    expected.push_back(reference.service->Answer(q));
+  }
+
+  BatchExecutor executor(fx.service, /*num_threads=*/4);
+  EXPECT_EQ(executor.num_threads(), 4);
+  ExpectSameResponses(executor.ExecuteBatch(batch), expected);
+}
+
+TEST(BatchExecutorTest, RepeatedBatchesAreDeterministic) {
+  Rng rng(73);
+  Fixture fx(5, &rng);
+  const std::vector<Query> batch = fx.MixedBatch();
+  BatchExecutor executor(fx.service, 3);
+  const std::vector<QueryResponse> first = executor.ExecuteBatch(batch);
+  for (int rep = 0; rep < 5; ++rep) {
+    ExpectSameResponses(executor.ExecuteBatch(batch), first);
+  }
+}
+
+TEST(BatchExecutorTest, SharedParentDerivedOnce) {
+  Rng rng(79);
+  Fixture fx(5, &rng);
+  // 32 point queries against the same parent marginal...
+  std::vector<Query> batch;
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (int rep = 0; rep < 8; ++rep) {
+      batch.push_back({"r", QueryKind::kCell, 0x3, c, 0});
+    }
+  }
+  BatchExecutor executor(fx.service, 4);
+  const auto responses = executor.ExecuteBatch(batch);
+  for (const auto& response : responses) {
+    ASSERT_TRUE(response.status.ok());
+  }
+  // ...must cost exactly one derivation: grouping serialises them behind
+  // one cache fill.
+  EXPECT_EQ(fx.cache->stats().misses, 1u);
+  EXPECT_EQ(fx.cache->stats().hits, 31u);
+}
+
+TEST(BatchExecutorTest, EmptyBatchAndSingleThreadClamp) {
+  Rng rng(83);
+  Fixture fx(4, &rng);
+  BatchExecutor executor(fx.service, 0);  // Clamped to 1 worker.
+  EXPECT_EQ(executor.num_threads(), 1);
+  EXPECT_TRUE(executor.ExecuteBatch({}).empty());
+  const auto responses =
+      executor.ExecuteBatch({{"r", QueryKind::kMarginal, 0x1, 0, 0}});
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_TRUE(responses[0].status.ok());
+}
+
+TEST(BatchExecutorTest, LargeFanOutStress) {
+  Rng rng(89);
+  Fixture fx(6, &rng);
+  std::vector<Query> batch;
+  for (int rep = 0; rep < 40; ++rep) {
+    for (const bits::Mask beta : bits::MasksOfWeightAtMost(fx.d, 2)) {
+      batch.push_back({"r", QueryKind::kMarginal, beta, 0, 0});
+    }
+  }
+  BatchExecutor executor(fx.service, 8);
+  const auto responses = executor.ExecuteBatch(batch);
+  ASSERT_EQ(responses.size(), batch.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    ASSERT_TRUE(responses[i].status.ok()) << responses[i].status;
+    // Same mask => identical shared answer.
+    EXPECT_EQ(responses[i].beta, batch[i].beta);
+    EXPECT_EQ(responses[i].values,
+              responses[i % bits::MasksOfWeightAtMost(fx.d, 2).size()]
+                  .values);
+  }
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace dpcube

@@ -1,0 +1,144 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "service/marginal_cache.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dpcube {
+namespace service {
+namespace {
+
+// A cached entry whose table has 2^||alpha|| cells; the first cell is
+// tagged so tests can identify which entry they got back.
+std::shared_ptr<const CachedMarginal> MakeEntry(bits::Mask alpha, int d,
+                                                double tag) {
+  marginal::MarginalTable table(alpha, d);
+  table.value(0) = tag;
+  return std::make_shared<const CachedMarginal>(
+      CachedMarginal{std::move(table), 1.0});
+}
+
+TEST(MarginalCacheTest, MissThenHit) {
+  MarginalCache cache(/*capacity_cells=*/16);
+  EXPECT_EQ(cache.Get("r", 0x3), nullptr);
+  cache.Put("r", 0x3, MakeEntry(0x3, 4, 7.0));
+  auto hit = cache.Get("r", 0x3);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->table.value(0), 7.0);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.cells, 4u);
+}
+
+TEST(MarginalCacheTest, KeysAreReleaseScoped) {
+  MarginalCache cache(16);
+  cache.Put("r1", 0x1, MakeEntry(0x1, 4, 1.0));
+  cache.Put("r2", 0x1, MakeEntry(0x1, 4, 2.0));
+  EXPECT_EQ(cache.Get("r1", 0x1)->table.value(0), 1.0);
+  EXPECT_EQ(cache.Get("r2", 0x1)->table.value(0), 2.0);
+}
+
+TEST(MarginalCacheTest, EvictsLeastRecentlyUsedFirst) {
+  // Three 2-cell entries fit in a 6-cell budget; inserting a fourth must
+  // evict exactly the least recently TOUCHED one.
+  MarginalCache cache(/*capacity_cells=*/6);
+  cache.Put("r", 0x1, MakeEntry(0x1, 4, 1.0));
+  cache.Put("r", 0x2, MakeEntry(0x2, 4, 2.0));
+  cache.Put("r", 0x4, MakeEntry(0x4, 4, 3.0));
+  // Touch 0x1 so 0x2 becomes the LRU entry.
+  EXPECT_NE(cache.Get("r", 0x1), nullptr);
+  cache.Put("r", 0x8, MakeEntry(0x8, 4, 4.0));
+  EXPECT_EQ(cache.Get("r", 0x2), nullptr);  // Evicted.
+  EXPECT_NE(cache.Get("r", 0x1), nullptr);
+  EXPECT_NE(cache.Get("r", 0x4), nullptr);
+  EXPECT_NE(cache.Get("r", 0x8), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(MarginalCacheTest, EvictionIsSizeAware) {
+  MarginalCache cache(/*capacity_cells=*/12);
+  cache.Put("r", 0x1, MakeEntry(0x1, 4, 1.0));  // 2 cells each.
+  cache.Put("r", 0x2, MakeEntry(0x2, 4, 2.0));
+  cache.Put("r", 0x4, MakeEntry(0x4, 4, 3.0));
+  cache.Put("r", 0x7, MakeEntry(0x7, 4, 4.0));  // 8 cells: evicts 0x1.
+  EXPECT_EQ(cache.Get("r", 0x1), nullptr);
+  EXPECT_NE(cache.Get("r", 0x2), nullptr);
+  EXPECT_NE(cache.Get("r", 0x4), nullptr);
+  EXPECT_NE(cache.Get("r", 0x7), nullptr);
+  EXPECT_EQ(cache.stats().cells, 12u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // One big entry displaces several small ones in a single Put.
+  cache.Put("r", 0xB, MakeEntry(0xB, 4, 5.0));  // 8 cells.
+  EXPECT_EQ(cache.Get("r", 0x2), nullptr);
+  EXPECT_EQ(cache.Get("r", 0x4), nullptr);
+  EXPECT_EQ(cache.Get("r", 0x7), nullptr);
+  EXPECT_NE(cache.Get("r", 0xB), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 4u);
+  EXPECT_EQ(cache.stats().cells, 8u);
+}
+
+TEST(MarginalCacheTest, OversizedEntryIsNotAdmitted) {
+  MarginalCache cache(/*capacity_cells=*/4);
+  cache.Put("r", 0x7, MakeEntry(0x7, 4, 1.0));  // 8 cells > 4.
+  EXPECT_EQ(cache.Get("r", 0x7), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(MarginalCacheTest, ZeroCapacityDisablesCaching) {
+  MarginalCache cache(0);
+  cache.Put("r", 0x1, MakeEntry(0x1, 4, 1.0));
+  EXPECT_EQ(cache.Get("r", 0x1), nullptr);
+}
+
+TEST(MarginalCacheTest, PutReplacesExistingEntry) {
+  MarginalCache cache(16);
+  cache.Put("r", 0x1, MakeEntry(0x1, 4, 1.0));
+  cache.Put("r", 0x1, MakeEntry(0x1, 4, 9.0));
+  EXPECT_EQ(cache.Get("r", 0x1)->table.value(0), 9.0);
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().cells, 2u);
+}
+
+TEST(MarginalCacheTest, EraseReleaseDropsOnlyThatRelease) {
+  MarginalCache cache(16);
+  cache.Put("a", 0x1, MakeEntry(0x1, 4, 1.0));
+  cache.Put("a", 0x2, MakeEntry(0x2, 4, 2.0));
+  cache.Put("b", 0x1, MakeEntry(0x1, 4, 3.0));
+  cache.EraseRelease("a");
+  EXPECT_EQ(cache.Get("a", 0x1), nullptr);
+  EXPECT_EQ(cache.Get("a", 0x2), nullptr);
+  EXPECT_NE(cache.Get("b", 0x1), nullptr);
+  EXPECT_EQ(cache.stats().cells, 2u);
+}
+
+TEST(MarginalCacheTest, HeldPointerSurvivesEviction) {
+  MarginalCache cache(/*capacity_cells=*/2);
+  cache.Put("r", 0x1, MakeEntry(0x1, 4, 5.0));
+  auto held = cache.Get("r", 0x1);
+  cache.Put("r", 0x2, MakeEntry(0x2, 4, 6.0));  // Evicts 0x1.
+  EXPECT_EQ(cache.Get("r", 0x1), nullptr);
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(held->table.value(0), 5.0);
+}
+
+TEST(MarginalCacheTest, ClearResetsContentsButKeepsCounters) {
+  MarginalCache cache(16);
+  cache.Put("r", 0x1, MakeEntry(0x1, 4, 1.0));
+  EXPECT_NE(cache.Get("r", 0x1), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.Get("r", 0x1), nullptr);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.cells, 0u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace dpcube

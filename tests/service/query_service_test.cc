@@ -1,0 +1,222 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "service/query_service.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "marginal/marginal_ops.h"
+#include "recovery/derive.h"
+
+namespace dpcube {
+namespace service {
+namespace {
+
+// A noisy 2-way release over d bits plus the service stack around it.
+struct Fixture {
+  int d;
+  marginal::Workload workload;
+  std::vector<marginal::MarginalTable> noisy;
+  linalg::Vector variances;
+  std::shared_ptr<ReleaseStore> store;
+  std::shared_ptr<MarginalCache> cache;
+  QueryService service;
+
+  explicit Fixture(int dim, Rng* rng, double cell_variance = 4.0)
+      : d(dim),
+        workload(marginal::AllKWayBits(dim, 2)),
+        variances(workload.num_marginals(), cell_variance),
+        store(std::make_shared<ReleaseStore>()),
+        cache(std::make_shared<MarginalCache>()),
+        service(store, cache) {
+    const data::SparseCounts counts = data::SparseCounts::FromDataset(
+        data::MakeProductBernoulli(dim, 0.4, 500, rng));
+    for (std::size_t i = 0; i < workload.num_marginals(); ++i) {
+      noisy.push_back(marginal::ComputeMarginal(counts, workload.mask(i)));
+      for (auto& v : noisy.back().mutable_values()) {
+        v += rng->NextLaplace(2.0);
+      }
+    }
+    EXPECT_TRUE(store->Add("r", workload, noisy, variances).ok());
+  }
+
+  recovery::DerivedCube DirectCube() const {
+    return std::move(recovery::DerivedCube::Fit(workload, noisy, variances))
+        .value();
+  }
+};
+
+TEST(QueryServiceTest, MarginalAnswersMatchDirectDerivationExactly) {
+  Rng rng(31);
+  Fixture fx(6, &rng);
+  const recovery::DerivedCube direct = fx.DirectCube();
+  // Every derivable mask (all of weight <= 2), bit-exact against the
+  // recovery-layer derivation.
+  for (int k = 0; k <= 2; ++k) {
+    for (const bits::Mask beta : bits::MasksOfWeight(fx.d, k)) {
+      Query q{"r", QueryKind::kMarginal, beta, 0, 0};
+      const QueryResponse response = fx.service.Answer(q);
+      ASSERT_TRUE(response.status.ok()) << response.status;
+      auto expected = direct.Derive(beta);
+      ASSERT_TRUE(expected.ok());
+      ASSERT_EQ(response.values.size(), expected->num_cells());
+      for (std::size_t c = 0; c < response.values.size(); ++c) {
+        EXPECT_EQ(response.values[c], expected->value(c));  // Bit-exact.
+      }
+      auto expected_var = direct.DerivedCellVariance(beta);
+      ASSERT_TRUE(expected_var.ok());
+      EXPECT_EQ(response.variance, expected_var.value());
+    }
+  }
+}
+
+TEST(QueryServiceTest, SecondQueryHitsCache) {
+  Rng rng(37);
+  Fixture fx(5, &rng);
+  Query q{"r", QueryKind::kMarginal, 0x3, 0, 0};
+  EXPECT_FALSE(fx.service.Answer(q).cache_hit);
+  const QueryResponse second = fx.service.Answer(q);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(fx.cache->stats().hits, 1u);
+}
+
+TEST(QueryServiceTest, CellQueryReturnsOneCell) {
+  Rng rng(41);
+  Fixture fx(5, &rng);
+  const recovery::DerivedCube direct = fx.DirectCube();
+  auto table = direct.Derive(0x5);
+  ASSERT_TRUE(table.ok());
+  for (std::size_t c = 0; c < table->num_cells(); ++c) {
+    Query q{"r", QueryKind::kCell, 0x5, c, 0};
+    const QueryResponse response = fx.service.Answer(q);
+    ASSERT_TRUE(response.status.ok());
+    ASSERT_EQ(response.values.size(), 1u);
+    EXPECT_EQ(response.values[0], table->value(c));
+  }
+}
+
+TEST(QueryServiceTest, RangeSumMatchesManualSum) {
+  Rng rng(43);
+  Fixture fx(5, &rng);
+  const recovery::DerivedCube direct = fx.DirectCube();
+  auto table = direct.Derive(0x3);
+  ASSERT_TRUE(table.ok());
+  Query q{"r", QueryKind::kRange, 0x3, 1, 3};
+  const QueryResponse response = fx.service.Answer(q);
+  ASSERT_TRUE(response.status.ok());
+  ASSERT_EQ(response.values.size(), 1u);
+  EXPECT_DOUBLE_EQ(response.values[0],
+                   table->value(1) + table->value(2) + table->value(3));
+}
+
+TEST(QueryServiceTest, RangeVarianceMatchesAggregatedMarginal) {
+  // Summing the cells of C^{b0,b1} with b1 = 0 (local cells 0 and 1) IS
+  // cell 0 of the derived marginal over {b1}; the exact coefficient-space
+  // range variance must therefore equal DerivedCellVariance({b1}) — and
+  // not the independent-cells estimate 2 * Var(cell).
+  Rng rng(47);
+  Fixture fx(5, &rng);
+  const recovery::DerivedCube direct = fx.DirectCube();
+  Query q{"r", QueryKind::kRange, 0x3, 0, 1};
+  const QueryResponse response = fx.service.Answer(q);
+  ASSERT_TRUE(response.status.ok());
+  auto aggregated = direct.Derive(0x2);
+  ASSERT_TRUE(aggregated.ok());
+  EXPECT_NEAR(response.values[0], aggregated->value(0), 1e-9);
+  auto expected_var = direct.DerivedCellVariance(0x2);
+  ASSERT_TRUE(expected_var.ok());
+  EXPECT_NEAR(response.variance, expected_var.value(),
+              1e-12 * expected_var.value());
+  auto cell_var = direct.DerivedCellVariance(0x3);
+  ASSERT_TRUE(cell_var.ok());
+  EXPECT_NE(response.variance, 2.0 * cell_var.value());
+}
+
+TEST(QueryServiceTest, FullRangeEqualsApex) {
+  Rng rng(53);
+  Fixture fx(5, &rng);
+  const recovery::DerivedCube direct = fx.DirectCube();
+  Query q{"r", QueryKind::kRange, 0x3, 0, 3};
+  const QueryResponse response = fx.service.Answer(q);
+  ASSERT_TRUE(response.status.ok());
+  auto apex = direct.Derive(0);
+  auto apex_var = direct.DerivedCellVariance(0);
+  ASSERT_TRUE(apex.ok() && apex_var.ok());
+  EXPECT_NEAR(response.values[0], apex->value(0), 1e-9);
+  EXPECT_NEAR(response.variance, apex_var.value(),
+              1e-12 * apex_var.value());
+}
+
+TEST(QueryServiceTest, ErrorPaths) {
+  Rng rng(59);
+  Fixture fx(5, &rng);
+  // Unknown release.
+  Query unknown{"nope", QueryKind::kMarginal, 0x1, 0, 0};
+  EXPECT_EQ(fx.service.Answer(unknown).status.code(), StatusCode::kNotFound);
+  // Mask not covered by the 2-way release.
+  Query uncovered{"r", QueryKind::kMarginal, 0x7, 0, 0};
+  EXPECT_EQ(fx.service.Answer(uncovered).status.code(),
+            StatusCode::kFailedPrecondition);
+  // Cell out of range.
+  Query bad_cell{"r", QueryKind::kCell, 0x3, 4, 0};
+  EXPECT_EQ(fx.service.Answer(bad_cell).status.code(),
+            StatusCode::kOutOfRange);
+  // Inverted / oversized range.
+  Query bad_range{"r", QueryKind::kRange, 0x3, 3, 1};
+  EXPECT_EQ(fx.service.Answer(bad_range).status.code(),
+            StatusCode::kOutOfRange);
+  Query long_range{"r", QueryKind::kRange, 0x3, 0, 4};
+  EXPECT_EQ(fx.service.Answer(long_range).status.code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(QueryServiceTest, RemoveReleaseInvalidatesCachedTables) {
+  Rng rng(67);
+  Fixture fx(5, &rng);
+  // Warm the cache with the first release's answer.
+  Query q{"r", QueryKind::kMarginal, 0x3, 0, 0};
+  const QueryResponse before = fx.service.Answer(q);
+  ASSERT_TRUE(before.status.ok());
+  ASSERT_TRUE(fx.service.Answer(q).cache_hit);
+
+  // Replace the release under the same name with shifted values.
+  ASSERT_TRUE(fx.service.RemoveRelease("r").ok());
+  std::vector<marginal::MarginalTable> shifted = fx.noisy;
+  for (auto& table : shifted) {
+    for (auto& v : table.mutable_values()) v += 50.0;
+  }
+  ASSERT_TRUE(
+      fx.store->Add("r", fx.workload, shifted, fx.variances).ok());
+
+  // The stale table must NOT be served as a hit.
+  const QueryResponse after = fx.service.Answer(q);
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_FALSE(after.cache_hit);
+  EXPECT_NE(after.values[0], before.values[0]);
+}
+
+TEST(QueryServiceTest, QueriesAgainstTwoReleasesDoNotMix) {
+  Rng rng(61);
+  Fixture fx(5, &rng);
+  // A second release with different values under another name.
+  std::vector<marginal::MarginalTable> other = fx.noisy;
+  for (auto& table : other) {
+    for (auto& v : table.mutable_values()) v += 100.0;
+  }
+  ASSERT_TRUE(
+      fx.store->Add("other", fx.workload, other, fx.variances).ok());
+  Query q1{"r", QueryKind::kMarginal, 0x3, 0, 0};
+  Query q2{"other", QueryKind::kMarginal, 0x3, 0, 0};
+  const QueryResponse r1 = fx.service.Answer(q1);
+  const QueryResponse r2 = fx.service.Answer(q2);
+  ASSERT_TRUE(r1.status.ok() && r2.status.ok());
+  // The +100 per base cell shifts every 2-way cell by 100 * 2^{d-2}.
+  EXPECT_NE(r1.values[0], r2.values[0]);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace dpcube

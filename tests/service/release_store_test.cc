@@ -1,0 +1,172 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "service/release_store.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "engine/release_io.h"
+#include "marginal/marginal_table.h"
+
+namespace dpcube {
+namespace service {
+namespace {
+
+struct Fixture {
+  int d;
+  data::SparseCounts counts;
+  marginal::Workload workload;
+  std::vector<marginal::MarginalTable> marginals;
+
+  explicit Fixture(int dim, Rng* rng)
+      : d(dim),
+        counts(data::SparseCounts::FromDataset(
+            data::MakeProductBernoulli(dim, 0.3, 400, rng))),
+        workload(marginal::AllKWayBits(dim, 2)) {
+    for (std::size_t i = 0; i < workload.num_marginals(); ++i) {
+      marginals.push_back(
+          marginal::ComputeMarginal(counts, workload.mask(i)));
+    }
+  }
+};
+
+TEST(ReleaseStoreTest, AddGetListRemove) {
+  Rng rng(5);
+  Fixture fx(5, &rng);
+  ReleaseStore store;
+  EXPECT_EQ(store.size(), 0u);
+  ASSERT_TRUE(store.Add("adult", fx.workload, fx.marginals).ok());
+  EXPECT_EQ(store.size(), 1u);
+
+  auto stored = store.Get("adult");
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(stored.value()->name(), "adult");
+  EXPECT_EQ(stored.value()->d(), fx.d);
+  EXPECT_EQ(stored.value()->marginals().size(),
+            fx.workload.num_marginals());
+  EXPECT_TRUE(stored.value()->Covers(0x3));
+  EXPECT_FALSE(stored.value()->Covers(0x7));
+
+  const auto infos = store.List();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].name, "adult");
+  EXPECT_EQ(infos[0].d, fx.d);
+  EXPECT_EQ(infos[0].num_marginals, fx.workload.num_marginals());
+  EXPECT_EQ(infos[0].total_cells, fx.workload.TotalCells());
+
+  ASSERT_TRUE(store.Remove("adult").ok());
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_FALSE(store.Get("adult").ok());
+  EXPECT_EQ(store.Remove("adult").code(), StatusCode::kNotFound);
+}
+
+TEST(ReleaseStoreTest, RejectsDuplicateName) {
+  Rng rng(6);
+  Fixture fx(4, &rng);
+  ReleaseStore store;
+  ASSERT_TRUE(store.Add("r", fx.workload, fx.marginals).ok());
+  EXPECT_EQ(store.Add("r", fx.workload, fx.marginals).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ReleaseStoreTest, RejectsBadInputs) {
+  Rng rng(7);
+  Fixture fx(4, &rng);
+  ReleaseStore store;
+  EXPECT_FALSE(store.Add("", fx.workload, fx.marginals).ok());
+  auto short_marginals = fx.marginals;
+  short_marginals.pop_back();
+  EXPECT_FALSE(store.Add("r", fx.workload, short_marginals).ok());
+  linalg::Vector bad_variances(fx.workload.num_marginals(), -1.0);
+  EXPECT_FALSE(store.Add("r", fx.workload, fx.marginals,
+                         bad_variances).ok());
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(ReleaseStoreTest, HeldReleaseSurvivesRemove) {
+  Rng rng(8);
+  Fixture fx(4, &rng);
+  ReleaseStore store;
+  ASSERT_TRUE(store.Add("r", fx.workload, fx.marginals).ok());
+  auto held = std::move(store.Get("r")).value();
+  ASSERT_TRUE(store.Remove("r").ok());
+  // In-flight queries holding the snapshot keep working.
+  EXPECT_TRUE(held->cube().Derive(0x1).ok());
+}
+
+TEST(ReleaseStoreTest, LoadFromFileRoundTrips) {
+  Rng rng(9);
+  Fixture fx(5, &rng);
+  const std::string path =
+      ::testing::TempDir() + "/dpcube_store_load.csv";
+  ASSERT_TRUE(engine::WriteReleaseCsv(path, fx.marginals).ok());
+
+  ReleaseStore store;
+  ASSERT_TRUE(store.LoadFromFile("loaded", path).ok());
+  auto stored = store.Get("loaded");
+  ASSERT_TRUE(stored.ok());
+  ASSERT_EQ(stored.value()->marginals().size(), fx.marginals.size());
+  for (std::size_t i = 0; i < fx.marginals.size(); ++i) {
+    EXPECT_EQ(stored.value()->workload().mask(i), fx.workload.mask(i));
+    for (std::size_t c = 0; c < fx.marginals[i].num_cells(); ++c) {
+      EXPECT_EQ(stored.value()->marginals()[i].value(c),
+                fx.marginals[i].value(c));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ReleaseStoreTest, ArchivedCellVariancesAreUsed) {
+  // A release archived WITH per-marginal variances must serve variance
+  // predictions computed from those variances, not the uniform default.
+  Rng rng(10);
+  Fixture fx(5, &rng);
+  linalg::Vector variances(fx.workload.num_marginals(), 0.0);
+  for (std::size_t i = 0; i < variances.size(); ++i) {
+    variances[i] = 2.0 + static_cast<double>(i);
+  }
+  const std::string path =
+      ::testing::TempDir() + "/dpcube_store_variances.csv";
+  ASSERT_TRUE(
+      engine::WriteReleaseCsv(path, fx.marginals, variances).ok());
+
+  ReleaseStore store;
+  ASSERT_TRUE(store.LoadFromFile("v", path).ok());
+  auto stored = store.Get("v");
+  ASSERT_TRUE(stored.ok());
+  auto expected = recovery::DerivedCube::Fit(fx.workload, fx.marginals,
+                                             variances);
+  ASSERT_TRUE(expected.ok());
+  for (const bits::Mask beta : {bits::Mask{0x1}, bits::Mask{0x3}}) {
+    auto got = stored.value()->cube().DerivedCellVariance(beta);
+    auto want = expected->DerivedCellVariance(beta);
+    ASSERT_TRUE(got.ok() && want.ok());
+    EXPECT_EQ(got.value(), want.value());
+  }
+  // An explicit override still wins over the archived values.
+  linalg::Vector override_vars(fx.workload.num_marginals(), 7.0);
+  ASSERT_TRUE(store.LoadFromFile("o", path, override_vars).ok());
+  auto overridden = store.Get("o");
+  auto expected_override = recovery::DerivedCube::Fit(
+      fx.workload, fx.marginals, override_vars);
+  ASSERT_TRUE(overridden.ok() && expected_override.ok());
+  EXPECT_EQ(
+      std::move(overridden.value()->cube().DerivedCellVariance(0x3)).value(),
+      std::move(expected_override->DerivedCellVariance(0x3)).value());
+  std::remove(path.c_str());
+}
+
+TEST(ReleaseStoreTest, LoadFromMissingFileFails) {
+  ReleaseStore store;
+  EXPECT_EQ(store.LoadFromFile("r", "/no/such/release.csv").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace dpcube

@@ -1,0 +1,142 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Deterministic-seed smoke test of the full serving path: private
+// release (engine) -> CSV archive (release_io) -> ReleaseStore load ->
+// QueryService answers. The archive stores values with %.17g, which
+// round-trips IEEE doubles exactly, so the served answers must be
+// BIT-EXACT equal to deriving directly from the in-memory release.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "engine/release_engine.h"
+#include "engine/release_io.h"
+#include "recovery/derive.h"
+#include "service/batch_executor.h"
+#include "service/query_service.h"
+#include "service/release_store.h"
+#include "strategy/query_strategy.h"
+
+namespace dpcube {
+namespace service {
+namespace {
+
+TEST(ServeRoundTripTest, ReleaseWriteLoadQueryIsBitExact) {
+  // Fixed seed end to end: the released values are deterministic.
+  Rng rng(12345);
+  const int d = 6;
+  const data::Dataset dataset =
+      data::MakeProductBernoulli(d, 0.35, 800, &rng);
+  const data::SparseCounts counts =
+      data::SparseCounts::FromDataset(dataset);
+  const marginal::Workload workload = marginal::AllKWayBits(d, 2);
+  strategy::QueryStrategy strategy(workload);
+  engine::ReleaseOptions options;
+  options.params.epsilon = 0.8;
+  options.budget_mode = engine::BudgetMode::kOptimal;
+  options.enforce_consistency = false;  // The serving cube projects.
+  auto outcome = engine::ReleaseWorkload(strategy, counts, options, &rng);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+
+  // Archive and load back through the store.
+  const std::string path =
+      ::testing::TempDir() + "/dpcube_serve_roundtrip.csv";
+  ASSERT_TRUE(
+      engine::WriteReleaseCsv(path, outcome.value().marginals).ok());
+  auto store = std::make_shared<ReleaseStore>();
+  ASSERT_TRUE(store->LoadFromFile("rt", path).ok());
+  auto cache = std::make_shared<MarginalCache>();
+  auto service = std::make_shared<const QueryService>(store, cache);
+
+  // Reference: derive directly from the in-memory marginals with the
+  // same uniform cell-variance weighting the store applies by default.
+  const linalg::Vector uniform(workload.num_marginals(), 1.0);
+  auto direct = recovery::DerivedCube::Fit(
+      workload, outcome.value().marginals, uniform);
+  ASSERT_TRUE(direct.ok());
+
+  // Every derivable marginal must be bit-exact, twice (cold then cached).
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const bits::Mask beta : bits::MasksOfWeightAtMost(d, 2)) {
+      Query q{"rt", QueryKind::kMarginal, beta, 0, 0};
+      const QueryResponse response = service->Answer(q);
+      ASSERT_TRUE(response.status.ok()) << response.status;
+      EXPECT_EQ(response.cache_hit, pass == 1);
+      auto expected = direct->Derive(beta);
+      ASSERT_TRUE(expected.ok());
+      ASSERT_EQ(response.values.size(), expected->num_cells());
+      for (std::size_t c = 0; c < response.values.size(); ++c) {
+        EXPECT_EQ(response.values[c], expected->value(c))
+            << "mask 0x" << std::hex << beta << " cell " << std::dec << c;
+      }
+      auto expected_var = direct->DerivedCellVariance(beta);
+      ASSERT_TRUE(expected_var.ok());
+      EXPECT_EQ(response.variance, expected_var.value());
+    }
+  }
+
+  // The concurrent path serves the same bits.
+  std::vector<Query> batch;
+  for (const bits::Mask beta : bits::MasksOfWeightAtMost(d, 2)) {
+    batch.push_back({"rt", QueryKind::kMarginal, beta, 0, 0});
+  }
+  BatchExecutor executor(service, 4);
+  const auto responses = executor.ExecuteBatch(batch);
+  ASSERT_EQ(responses.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_TRUE(responses[i].status.ok());
+    auto expected = direct->Derive(batch[i].beta);
+    ASSERT_TRUE(expected.ok());
+    for (std::size_t c = 0; c < responses[i].values.size(); ++c) {
+      EXPECT_EQ(responses[i].values[c], expected->value(c));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ServeRoundTripTest, TwoRunsWithSameSeedServeIdenticalAnswers) {
+  // The whole pipeline is reproducible from the seed: run it twice and
+  // compare a served answer bit for bit.
+  auto run = [](std::uint64_t seed) {
+    Rng rng(seed);
+    const int d = 5;
+    const data::SparseCounts counts = data::SparseCounts::FromDataset(
+        data::MakeProductBernoulli(d, 0.3, 400, &rng));
+    const marginal::Workload workload = marginal::AllKWayBits(d, 2);
+    strategy::QueryStrategy strategy(workload);
+    engine::ReleaseOptions options;
+    options.params.epsilon = 1.0;
+    auto outcome =
+        engine::ReleaseWorkload(strategy, counts, options, &rng);
+    EXPECT_TRUE(outcome.ok());
+    const std::string path = ::testing::TempDir() +
+                             "/dpcube_serve_seed_" +
+                             std::to_string(seed) + ".csv";
+    EXPECT_TRUE(
+        engine::WriteReleaseCsv(path, outcome.value().marginals).ok());
+    auto store = std::make_shared<ReleaseStore>();
+    EXPECT_TRUE(store->LoadFromFile("r", path).ok());
+    auto cache = std::make_shared<MarginalCache>();
+    const QueryService service(store, cache);
+    const QueryResponse response =
+        service.Answer({"r", QueryKind::kMarginal, 0x3, 0, 0});
+    EXPECT_TRUE(response.status.ok());
+    std::remove(path.c_str());
+    return response.values;
+  };
+  const auto first = run(777);
+  const auto second = run(777);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t c = 0; c < first.size(); ++c) {
+    EXPECT_EQ(first[c], second[c]);
+  }
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace dpcube

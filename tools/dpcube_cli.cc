@@ -24,6 +24,32 @@
 //   dpcube integral --schema "a:4,b:2" --data t.csv --workload Q1
 //     --epsilon 1.0 --out release.csv --microdata synth.csv
 //
+//   # One-shot query against an archived release (zero extra privacy
+//   # cost — pure post-processing). --mask is hex/decimal, or use
+//   # --bits 0,2,5; --cell asks one cell, --range LO:HI a local-index
+//   # range sum:
+//   dpcube query --release release.csv --mask 0x5
+//   dpcube query --release release.csv --bits 0,2 --cell 3
+//   dpcube query --release release.csv --mask 3 --range 0:2
+//
+//   # Long-lived query server: loads releases by name and answers a
+//   # line-oriented request/response protocol on stdin/stdout (one
+//   # response line per request line, suitable for scripting):
+//   dpcube serve --threads 4 [--release release.csv --name adult]
+//     protocol:
+//       load NAME PATH            load a release CSV under NAME
+//       unload NAME               drop a release (and its cached tables)
+//       list                      enumerate loaded releases
+//       query NAME marginal MASK  full derived marginal over MASK
+//       query NAME cell MASK C    one cell of that marginal
+//       query NAME range MASK L H sum of local cells [L, H]
+//       batch N                   read next N query lines, run them
+//                                 concurrently on the executor
+//       stats                     cache hit/miss/eviction counters
+//       quit                      exit
+//     responses: "OK ..." (answers carry mask=, var=, hit=, values) or
+//     "ERR <message>".
+//
 // Methods: I, Q, Q+, F, F+, C, C+ (the paper's Section 5 notation; "+"
 // means optimal non-uniform budgets). Workloads: Qk, Qk*, Qka.
 
@@ -31,8 +57,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <map>
+#include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/bits.h"
 #include "common/rng.h"
@@ -45,6 +75,10 @@
 #include "engine/variance_report.h"
 #include "marginal/workload.h"
 #include "recovery/integral.h"
+#include "service/batch_executor.h"
+#include "service/marginal_cache.h"
+#include "service/query_service.h"
+#include "service/release_store.h"
 #include "strategy/factory.h"
 
 namespace {
@@ -64,7 +98,11 @@ int Usage() {
                "  dpcube plan    --schema SPEC --workload W --method M "
                "--epsilon E [--delta D]\n"
                "  dpcube integral --schema SPEC --data F --workload W "
-               "--epsilon E --out F [--seed S] [--no-clamp] [--microdata F]\n");
+               "--epsilon E --out F [--seed S] [--no-clamp] [--microdata F]\n"
+               "  dpcube query   --release F (--mask M | --bits I,J,...) "
+               "[--cell C | --range LO:HI]\n"
+               "  dpcube serve   [--release F [--name N]] [--threads T] "
+               "[--cache-cells N]\n");
   return 2;
 }
 
@@ -169,8 +207,15 @@ int RunRelease(const std::map<std::string, std::string>& flags) {
                  outcome.status().ToString().c_str());
     return 1;
   }
-  const Status st =
-      engine::WriteReleaseCsv(flags.at("out"), outcome.value().marginals);
+  // Archive the mechanism's predicted per-cell variances alongside the
+  // values so `dpcube query`/`serve` report true accuracy, not the
+  // unit-variance default.
+  linalg::Vector cell_variances;
+  auto predicted = method.value().strategy->PredictCellVariances(
+      outcome.value().group_budgets, options.params);
+  if (predicted.ok()) cell_variances = std::move(predicted).value();
+  const Status st = engine::WriteReleaseCsv(
+      flags.at("out"), outcome.value().marginals, cell_variances);
   if (!st.ok()) {
     std::fprintf(stderr, "write: %s\n", st.ToString().c_str());
     return 1;
@@ -338,6 +383,304 @@ int RunInspect(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// Strict non-negative integer parse, decimal or 0x-hex ONLY (no octal:
+// "010" means ten); rejects empty input, negatives, and trailing
+// garbage, unlike strtoull/atof which would silently yield 0 (or wrap
+// "-1" to 2^64-1).
+bool ParseSize(const std::string& text, std::size_t* out) {
+  if (text.empty() || text[0] == '-' || text[0] == '+') return false;
+  const bool hex = text.rfind("0x", 0) == 0 || text.rfind("0X", 0) == 0;
+  try {
+    std::size_t pos = 0;
+    *out = std::stoull(hex ? text.substr(2) : text, &pos, hex ? 16 : 10);
+    return pos == (hex ? text.size() - 2 : text.size()) &&
+           !(hex && text.size() == 2);
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+// Splits a request line on whitespace (shared by the serve loop and its
+// batch sub-loop, so the two parse identically).
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::stringstream ss(line);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (ss >> token) tokens.push_back(token);
+  return tokens;
+}
+
+// Parses a marginal mask from --mask (decimal or 0x-hex) or --bits
+// (comma-separated bit indices). Returns false and prints on failure.
+bool ParseMask(const std::map<std::string, std::string>& flags,
+               bits::Mask* mask) {
+  const auto mask_it = flags.find("mask");
+  const auto bits_it = flags.find("bits");
+  if ((mask_it == flags.end()) == (bits_it == flags.end())) {
+    std::fprintf(stderr, "need exactly one of --mask or --bits\n");
+    return false;
+  }
+  if (mask_it != flags.end()) {
+    std::size_t parsed = 0;
+    if (!ParseSize(mask_it->second, &parsed)) {
+      std::fprintf(stderr, "bad --mask '%s'\n", mask_it->second.c_str());
+      return false;
+    }
+    *mask = parsed;
+    return true;
+  }
+  *mask = 0;
+  std::stringstream ss(bits_it->second);
+  std::string field;
+  while (std::getline(ss, field, ',')) {
+    try {
+      const int bit = std::stoi(field);
+      if (bit < 0 || bit >= 64) throw std::out_of_range("bit");
+      *mask |= bits::Mask{1} << bit;
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "bad --bits entry '%s'\n", field.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void PrintResponse(const service::QueryResponse& response) {
+  if (!response.status.ok()) {
+    std::printf("ERR %s\n", response.status.ToString().c_str());
+    return;
+  }
+  std::printf("OK query mask=0x%llx var=%.6g hit=%d n=%zu values",
+              static_cast<unsigned long long>(response.beta),
+              response.variance, response.cache_hit ? 1 : 0,
+              response.values.size());
+  for (const double v : response.values) std::printf(" %.17g", v);
+  std::printf("\n");
+}
+
+int RunQuery(const std::map<std::string, std::string>& flags) {
+  const auto release_it = flags.find("release");
+  if (release_it == flags.end()) return Usage();
+  bits::Mask mask = 0;
+  if (!ParseMask(flags, &mask)) return 2;
+
+  service::Query query;
+  query.release = "default";
+  query.beta = mask;
+  const auto cell_it = flags.find("cell");
+  const auto range_it = flags.find("range");
+  if (cell_it != flags.end() && range_it != flags.end()) {
+    std::fprintf(stderr, "--cell and --range are mutually exclusive\n");
+    return 2;
+  }
+  if (cell_it != flags.end()) {
+    query.kind = service::QueryKind::kCell;
+    if (!ParseSize(cell_it->second, &query.cell_lo)) {
+      std::fprintf(stderr, "bad --cell '%s'\n", cell_it->second.c_str());
+      return 2;
+    }
+  } else if (range_it != flags.end()) {
+    query.kind = service::QueryKind::kRange;
+    const auto colon = range_it->second.find(':');
+    if (colon == std::string::npos ||
+        !ParseSize(range_it->second.substr(0, colon), &query.cell_lo) ||
+        !ParseSize(range_it->second.substr(colon + 1), &query.cell_hi)) {
+      std::fprintf(stderr, "--range expects LO:HI, got '%s'\n",
+                   range_it->second.c_str());
+      return 2;
+    }
+  }
+
+  auto store = std::make_shared<service::ReleaseStore>();
+  const Status st = store->LoadFromFile("default", release_it->second);
+  if (!st.ok()) {
+    std::fprintf(stderr, "load: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto cache = std::make_shared<service::MarginalCache>();
+  const service::QueryService svc(store, cache);
+  const service::QueryResponse response = svc.Answer(query);
+  PrintResponse(response);
+  return response.status.ok() ? 0 : 1;
+}
+
+// Parses "query NAME kind MASK [args]" tokens (after "query") into q.
+bool ParseServeQuery(const std::vector<std::string>& tokens,
+                     service::Query* q, std::string* error) {
+  if (tokens.size() < 3) {
+    *error = "query NAME marginal|cell|range MASK [CELL | LO HI]";
+    return false;
+  }
+  q->release = tokens[0];
+  const std::string& kind = tokens[1];
+  std::size_t beta = 0;
+  if (!ParseSize(tokens[2], &beta)) {
+    *error = "bad mask '" + tokens[2] + "'";
+    return false;
+  }
+  q->beta = beta;
+  if (kind == "marginal" && tokens.size() == 3) {
+    q->kind = service::QueryKind::kMarginal;
+  } else if (kind == "cell" && tokens.size() == 4) {
+    q->kind = service::QueryKind::kCell;
+    if (!ParseSize(tokens[3], &q->cell_lo)) {
+      *error = "bad cell '" + tokens[3] + "'";
+      return false;
+    }
+  } else if (kind == "range" && tokens.size() == 5) {
+    q->kind = service::QueryKind::kRange;
+    if (!ParseSize(tokens[3], &q->cell_lo) ||
+        !ParseSize(tokens[4], &q->cell_hi)) {
+      *error = "bad range bounds";
+      return false;
+    }
+  } else {
+    *error = "unknown query form '" + kind + "'";
+    return false;
+  }
+  return true;
+}
+
+int RunServe(const std::map<std::string, std::string>& flags) {
+  std::size_t cache_cells = 1 << 20;
+  std::size_t threads = 2;
+  const auto cache_it = flags.find("cache-cells");
+  if (cache_it != flags.end() && !ParseSize(cache_it->second, &cache_cells)) {
+    std::fprintf(stderr, "bad --cache-cells '%s'\n",
+                 cache_it->second.c_str());
+    return 2;
+  }
+  const auto threads_it = flags.find("threads");
+  if (threads_it != flags.end() &&
+      (!ParseSize(threads_it->second, &threads) || threads == 0 ||
+       threads > 256)) {
+    std::fprintf(stderr, "bad --threads '%s' (want 1..256)\n",
+                 threads_it->second.c_str());
+    return 2;
+  }
+  auto store = std::make_shared<service::ReleaseStore>();
+  auto cache = std::make_shared<service::MarginalCache>(cache_cells);
+  auto svc = std::make_shared<const service::QueryService>(store, cache);
+  service::BatchExecutor executor(svc, static_cast<int>(threads));
+
+  const auto release_it = flags.find("release");
+  if (release_it != flags.end()) {
+    const auto name_it = flags.find("name");
+    const std::string name =
+        name_it == flags.end() ? "default" : name_it->second;
+    const Status st = store->LoadFromFile(name, release_it->second);
+    if (!st.ok()) {
+      std::fprintf(stderr, "load: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("OK loaded %s from %s\n", name.c_str(),
+                release_it->second.c_str());
+  }
+  std::printf("OK dpcube serve ready (threads=%d)\n", executor.num_threads());
+  std::fflush(stdout);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    const std::vector<std::string> tokens = Tokenize(line);
+    if (tokens.empty()) continue;
+    const std::string& command = tokens[0];
+
+    if (command == "quit" || command == "exit") {
+      std::printf("OK bye\n");
+      break;
+    } else if (command == "load" && tokens.size() == 3) {
+      const Status st = store->LoadFromFile(tokens[1], tokens[2]);
+      if (st.ok()) {
+        std::printf("OK loaded %s\n", tokens[1].c_str());
+      } else {
+        std::printf("ERR %s\n", st.ToString().c_str());
+      }
+    } else if (command == "unload" && tokens.size() == 2) {
+      const Status st = svc->RemoveRelease(tokens[1]);
+      if (st.ok()) {
+        std::printf("OK unloaded %s\n", tokens[1].c_str());
+      } else {
+        std::printf("ERR %s\n", st.ToString().c_str());
+      }
+    } else if (command == "list" && tokens.size() == 1) {
+      const auto infos = store->List();
+      std::printf("OK releases n=%zu", infos.size());
+      for (const auto& info : infos) {
+        std::printf(" %s:d=%d:marginals=%zu:cells=%llu", info.name.c_str(),
+                    info.d, info.num_marginals,
+                    static_cast<unsigned long long>(info.total_cells));
+      }
+      std::printf("\n");
+    } else if (command == "query") {
+      service::Query q;
+      std::string error;
+      if (!ParseServeQuery(
+              std::vector<std::string>(tokens.begin() + 1, tokens.end()), &q,
+              &error)) {
+        std::printf("ERR %s\n", error.c_str());
+      } else {
+        PrintResponse(svc->Answer(q));
+      }
+    } else if (command == "batch" && tokens.size() == 2) {
+      // Zero would emit zero response lines and stall a scripted client
+      // waiting for one; an unbounded count (or "-1" wrapping to 2^64-1)
+      // would swallow the rest of stdin.
+      constexpr std::size_t kMaxBatch = 100000;
+      std::size_t n = 0;
+      if (!ParseSize(tokens[1], &n) || n == 0 || n > kMaxBatch) {
+        std::printf("ERR batch expects a count in 1..%zu\n", kMaxBatch);
+        std::fflush(stdout);
+        continue;
+      }
+      std::vector<service::Query> batch;
+      std::string batch_error;
+      // Consume ALL n lines even after a bad one: stopping early would
+      // leave the rest to be re-read as top-level commands and desync
+      // every later request/response pair of a scripted client.
+      for (std::size_t i = 0; i < n; ++i) {
+        std::string request;
+        if (!std::getline(std::cin, request)) {
+          batch_error = "unexpected EOF inside batch";
+          break;
+        }
+        if (!batch_error.empty()) continue;
+        const std::vector<std::string> rtokens = Tokenize(request);
+        if (rtokens.size() < 2 || rtokens[0] != "query") {
+          batch_error = "batch lines must be query requests";
+          continue;
+        }
+        service::Query q;
+        if (!ParseServeQuery(
+                std::vector<std::string>(rtokens.begin() + 1, rtokens.end()),
+                &q, &batch_error)) {
+          continue;
+        }
+        batch.push_back(std::move(q));
+      }
+      if (!batch_error.empty()) {
+        std::printf("ERR %s\n", batch_error.c_str());
+      } else {
+        for (const auto& response : executor.ExecuteBatch(batch)) {
+          PrintResponse(response);
+        }
+      }
+    } else if (command == "stats" && tokens.size() == 1) {
+      const service::CacheStats s = cache->stats();
+      std::printf(
+          "OK stats hits=%llu misses=%llu evictions=%llu entries=%zu "
+          "cells=%zu capacity=%zu releases=%zu\n",
+          static_cast<unsigned long long>(s.hits),
+          static_cast<unsigned long long>(s.misses),
+          static_cast<unsigned long long>(s.evictions), s.entries, s.cells,
+          s.capacity_cells, store->size());
+    } else {
+      std::printf("ERR unknown request '%s'\n", line.c_str());
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -351,5 +694,7 @@ int main(int argc, char** argv) {
   if (command == "inspect") return RunInspect(flags);
   if (command == "plan") return RunPlan(flags);
   if (command == "integral") return RunIntegral(flags);
+  if (command == "query") return RunQuery(flags);
+  if (command == "serve") return RunServe(flags);
   return Usage();
 }
