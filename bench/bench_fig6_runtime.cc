@@ -6,11 +6,25 @@
 // behind C dominates everything else by orders of magnitude, while
 // F/Q/I stay near-instant. Uses google-benchmark with one iteration per
 // measurement (the cluster search is deterministic and expensive).
+//
+// The BM_*ThreadScaling families at the bottom measure the same pipeline
+// under the shared ThreadPool at 1/2/4/8 threads on the largest cuboid
+// workload and report "speedup_vs_1t" (per-iteration time at 1 thread
+// divided by the current per-iteration time) plus the per-phase seconds
+// from engine::PhaseTimings, so a regression in parallel scaling is
+// attributable to a phase. Run on a machine with >= 8 cores to see the
+// full fan-out; the parallel determinism suite guarantees the released
+// values are bit-identical at every point of the sweep.
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <string>
+
 #include "bench/bench_common.h"
+#include "common/thread_pool.h"
 #include "data/synthetic.h"
+#include "transform/walsh_hadamard.h"
 
 namespace {
 
@@ -65,6 +79,86 @@ void BM_Identity(benchmark::State& state) {
   RunEndToEnd<strategy::IdentityStrategy>(state);
 }
 
+// Per-iteration 1-thread baselines, recorded when the Arg(1) member of a
+// family runs (registration order puts it first) and used by the wider
+// members to report their speedup.
+std::map<std::string, double>& BaselineSeconds() {
+  static std::map<std::string, double> baselines;
+  return baselines;
+}
+
+void ReportScaling(benchmark::State& state, const std::string& family,
+                   double total_seconds) {
+  const double per_iter =
+      total_seconds / static_cast<double>(state.iterations());
+  if (state.range(0) == 1) BaselineSeconds()[family] = per_iter;
+  const auto base = BaselineSeconds().find(family);
+  if (base != BaselineSeconds().end() && per_iter > 0.0) {
+    state.counters["speedup_vs_1t"] = base->second / per_iter;
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+
+// Largest cuboid workload the NLTCS benches use: all marginals of up to
+// three attributes (697 cuboids; ~50k occupied cells at 200k rows), heavy
+// enough that the measurement fan-out dominates the budget solve.
+const data::SparseCounts& BigNltcsCounts() {
+  static const data::SparseCounts* counts = [] {
+    Rng rng(45);
+    const data::Dataset ds = data::MakeNltcsLike(200'000, &rng);
+    return new data::SparseCounts(data::SparseCounts::FromDataset(ds));
+  }();
+  return *counts;
+}
+
+// End-to-end private release (budgets + parallel per-cuboid measurement +
+// recovery) at state.range(0) threads.
+void BM_ReleaseThreadScaling(benchmark::State& state) {
+  ThreadPool::SetSharedParallelism(static_cast<int>(state.range(0)));
+  static const strategy::FourierStrategy* strat = [] {
+    return new strategy::FourierStrategy(
+        marginal::WorkloadQk(data::NltcsSchema(), 3));
+  }();
+  const data::SparseCounts& counts = BigNltcsCounts();
+  engine::ReleaseOptions options;
+  options.params.epsilon = 0.5;
+  options.budget_mode = engine::BudgetMode::kOptimal;
+  Rng rng(17);
+  double pipeline = 0.0, measure = 0.0, budget = 0.0;
+  for (auto _ : state) {
+    auto outcome = engine::ReleaseWorkload(*strat, counts, options, &rng);
+    if (!outcome.ok()) {
+      state.SkipWithError("release failed");
+      break;
+    }
+    benchmark::DoNotOptimize(outcome);
+    pipeline += outcome.value().timings.total_seconds;
+    measure += outcome.value().timings.measure_seconds;
+    budget += outcome.value().timings.budget_seconds;
+  }
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["measure_s"] = measure / iters;
+  state.counters["budget_s"] = budget / iters;
+  ReportScaling(state, "release", pipeline);
+  state.SetLabel("Q3 (largest cuboid fan-out)");
+}
+
+// Full-domain 2^22 Walsh–Hadamard butterflies (the transform kernel under
+// consistency recovery and witness materialisation).
+void BM_WalshHadamardThreadScaling(benchmark::State& state) {
+  ThreadPool::SetSharedParallelism(static_cast<int>(state.range(0)));
+  std::vector<double> x(std::size_t{1} << 22);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(i % 97);
+  }
+  double total = 0.0;
+  for (auto _ : state) {
+    total += bench::TimeSeconds([&] { transform::WalshHadamard(&x); });
+    benchmark::DoNotOptimize(x.data());
+  }
+  ReportScaling(state, "wht", total);
+}
+
 }  // namespace
 
 BENCHMARK(BM_Fourier)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
@@ -74,5 +168,24 @@ BENCHMARK(BM_Cluster)
     ->Iterations(1);
 BENCHMARK(BM_Query)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Identity)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
+
+// Thread-scaling sweeps (registered last so the figure's single-thread
+// numbers above are unaffected by pool resizing).
+BENCHMARK(BM_ReleaseThreadScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MinTime(0.5);
+BENCHMARK(BM_WalshHadamardThreadScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MinTime(0.5);
 
 BENCHMARK_MAIN();

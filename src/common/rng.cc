@@ -120,4 +120,12 @@ int Rng::NextCategorical(const double* weights, int n) {
 
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
+Rng Rng::Stream(std::uint64_t base, std::uint64_t index) {
+  // One extra SplitMix64 round over (base, index) so children of adjacent
+  // indices land in unrelated regions of the seed space; the constructor
+  // then expands the result into the four state words.
+  std::uint64_t s = base ^ (index + 1) * 0x9e3779b97f4a7c15ULL;
+  return Rng(SplitMix64(&s));
+}
+
 }  // namespace dpcube

@@ -53,6 +53,16 @@ class Rng {
   /// the parent stream, which is sufficient for our simulation use).
   Rng Fork();
 
+  /// Child stream `index` of the stream family rooted at `base`. This is
+  /// the library's seed-derivation rule for parallel fan-out: a randomized
+  /// parallel stage draws `base` from its master Rng exactly once (one
+  /// NextUint64, regardless of thread count), then work unit i samples
+  /// from Stream(base, i). Unit outputs therefore depend only on the
+  /// master seed and the unit index — never on the thread count or the
+  /// schedule — which makes parallel releases bit-identical to sequential
+  /// ones. Seeds are decorrelated by the constructor's SplitMix64 pass.
+  static Rng Stream(std::uint64_t base, std::uint64_t index);
+
  private:
   std::uint64_t state_[4];
   bool has_cached_gaussian_ = false;

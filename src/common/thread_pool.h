@@ -1,0 +1,94 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Fixed-size shared thread pool with structured fork/join parallel loops.
+// One process-wide pool (ThreadPool::Shared) is threaded through every hot
+// path of the release pipeline — contingency-table construction, per-cuboid
+// measurement, the WHT/tensor-Haar butterflies, consistency sweeps — and
+// the query-serving BatchExecutor, so the CLI's --threads flag governs all
+// of them at once.
+//
+// Determinism contract: ParallelFor partitions work into chunks and runs
+// them on the calling thread plus the pool's workers. Scheduling is NOT
+// deterministic, so loop bodies must write only to per-index (or per-chunk)
+// disjoint state; reductions are done by the caller merging per-index
+// partial results in index order. Under that discipline a loop's output is
+// bit-identical for every pool size, which is what the parallel
+// determinism suite (tests/engine/parallel_determinism_test.cc) locks down.
+//
+// A ParallelFor issued from inside a pool task (nested parallelism) is
+// safe: the nested caller can always finish its own chunks without help,
+// so there is no circular wait even when every worker is busy.
+
+#ifndef DPCUBE_COMMON_THREAD_POOL_H_
+#define DPCUBE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dpcube {
+
+class ThreadPool {
+ public:
+  /// A pool of total `parallelism` compute threads: `parallelism - 1`
+  /// workers are spawned, and the thread calling ParallelFor contributes
+  /// the remaining one. `parallelism` is clamped to >= 1; a 1-thread pool
+  /// spawns no workers and runs every loop inline, sequentially.
+  explicit ThreadPool(int parallelism);
+
+  /// Drains queued tasks and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total compute threads a ParallelFor can engage (workers + caller).
+  int parallelism() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Enqueues a fire-and-forget task. Thread-safe.
+  void Submit(std::function<void()> task);
+
+  /// Runs body(lo, hi) over a partition of [begin, end) into contiguous
+  /// chunks. `grain` is a lower bound on chunk size (the smallest range
+  /// worth forking for); the pool may enlarge chunks to bound scheduling
+  /// overhead on huge ranges, so bodies must size any per-chunk scratch
+  /// from (hi - lo), not from `grain`. Blocks until every chunk has
+  /// finished (structured join). The calling thread participates, so the
+  /// loop makes progress even when all workers are busy. Thread-safe and
+  /// reentrant. If a body throws, the loop still joins every chunk and
+  /// rethrows the first exception on the calling thread.
+  void ParallelForBlocks(std::size_t begin, std::size_t end,
+                         std::size_t grain,
+                         const std::function<void(std::size_t, std::size_t)>&
+                             body);
+
+  /// Element-wise convenience wrapper: body(i) for i in [begin, end).
+  void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                   const std::function<void(std::size_t)>& body);
+
+  /// The process-wide pool shared by the release pipeline and the query
+  /// service. First use creates it with hardware_concurrency threads.
+  static ThreadPool& Shared();
+
+  /// Rebuilds the shared pool with the given parallelism (the CLI's
+  /// --threads flag). Must only be called while no other thread is using
+  /// the shared pool; intended for process startup and tests.
+  static void SetSharedParallelism(int parallelism);
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> tasks_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dpcube
+
+#endif  // DPCUBE_COMMON_THREAD_POOL_H_

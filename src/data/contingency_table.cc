@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "transform/walsh_hadamard.h"
 
 namespace dpcube {
@@ -48,8 +49,44 @@ double DenseTable::Total() const {
 }
 
 SparseCounts SparseCounts::FromDataset(const Dataset& dataset) {
-  std::vector<bits::Mask> cells = dataset.EncodeAll();
-  std::sort(cells.begin(), cells.end());
+  const std::size_t rows = dataset.num_rows();
+  std::vector<bits::Mask> cells(rows);
+  ThreadPool& pool = ThreadPool::Shared();
+  pool.ParallelForBlocks(0, rows, std::size_t{1} << 13,
+                         [&](std::size_t lo, std::size_t hi) {
+                           for (std::size_t r = lo; r < hi; ++r) {
+                             cells[r] = dataset.EncodeRow(r);
+                           }
+                         });
+
+  // Sharded sort: fixed-size shards sorted concurrently, then merged in
+  // rounds of pairwise inplace_merge (merges within a round are disjoint
+  // and also run concurrently). The merged sequence is the same sorted
+  // multiset a single std::sort would produce, so the (cell, count)
+  // output — integer counts, summed exactly — is identical for every
+  // thread count.
+  constexpr std::size_t kShard = std::size_t{1} << 15;
+  if (rows > kShard && pool.parallelism() > 1) {
+    const std::size_t num_shards = (rows + kShard - 1) / kShard;
+    pool.ParallelFor(0, num_shards, 1, [&](std::size_t s) {
+      const std::size_t lo = s * kShard;
+      std::sort(cells.begin() + lo,
+                cells.begin() + std::min(rows, lo + kShard));
+    });
+    for (std::size_t width = kShard; width < rows; width <<= 1) {
+      const std::size_t num_pairs = (rows + 2 * width - 1) / (2 * width);
+      pool.ParallelFor(0, num_pairs, 1, [&](std::size_t p) {
+        const std::size_t base = p * 2 * width;
+        const std::size_t mid = base + width;
+        if (mid >= rows) return;  // Odd tail carries over unmerged.
+        std::inplace_merge(cells.begin() + base, cells.begin() + mid,
+                           cells.begin() + std::min(rows, base + 2 * width));
+      });
+    }
+  } else {
+    std::sort(cells.begin(), cells.end());
+  }
+
   std::vector<Entry> entries;
   for (std::size_t i = 0; i < cells.size();) {
     std::size_t j = i;

@@ -18,6 +18,18 @@
 namespace dpcube {
 namespace engine {
 
+/// Wall-clock breakdown of one ReleaseWorkload run. Phases map to the
+/// pipeline of Figure 3: budget optimisation (Step 2), measurement plus
+/// the strategy's default recovery (z = S x + nu and R z), and the
+/// consistency projection (Step 3). Benches report these so parallel
+/// speedups are attributable to a phase rather than to the aggregate.
+struct PhaseTimings {
+  double budget_seconds = 0.0;
+  double measure_seconds = 0.0;
+  double consistency_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
 struct ErrorReport {
   /// Mean over marginals of (mean |error| per cell) / (mean true cell).
   double relative_error = 0.0;

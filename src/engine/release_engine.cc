@@ -16,6 +16,11 @@ Result<ReleaseOutcome> ReleaseWorkload(const strategy::MarginalStrategy& strat,
                                        Rng* rng) {
   DPCUBE_RETURN_NOT_OK(options.params.Validate());
   const auto start = std::chrono::steady_clock::now();
+  auto seconds_since = [](std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+  };
 
   // Step 2: budgets.
   Result<budget::GroupBudgets> budgets =
@@ -24,30 +29,35 @@ Result<ReleaseOutcome> ReleaseWorkload(const strategy::MarginalStrategy& strat,
           : budget::UniformGroupBudgets(strat.groups(), options.params);
   if (!budgets.ok()) return budgets.status();
 
+  ReleaseOutcome outcome;
+  outcome.timings.budget_seconds = seconds_since(start);
+
   // Measure + default recovery.
+  const auto measure_start = std::chrono::steady_clock::now();
   DPCUBE_ASSIGN_OR_RETURN(
       strategy::Release release,
       strat.Run(data, budgets.value().eta, options.params, rng));
+  outcome.timings.measure_seconds = seconds_since(measure_start);
 
-  ReleaseOutcome outcome;
   outcome.predicted_variance = budgets.value().variance_objective;
   outcome.group_budgets = budgets.value().eta;
   outcome.consistent = release.consistent;
 
   // Step 3: consistency projection (doubles as the optimal GLS recovery).
+  const auto consistency_start = std::chrono::steady_clock::now();
   if (options.enforce_consistency && !release.consistent) {
     DPCUBE_ASSIGN_OR_RETURN(
         outcome.marginals,
         recovery::ProjectConsistentL2(strat.workload(), release.marginals,
                                       release.cell_variances));
     outcome.consistent = true;
+    outcome.timings.consistency_seconds = seconds_since(consistency_start);
   } else {
     outcome.marginals = std::move(release.marginals);
   }
 
-  outcome.elapsed_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
+  outcome.elapsed_seconds = seconds_since(start);
+  outcome.timings.total_seconds = outcome.elapsed_seconds;
   return outcome;
 }
 

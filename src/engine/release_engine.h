@@ -18,6 +18,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "dp/privacy.h"
+#include "engine/metrics.h"
 #include "strategy/marginal_strategy.h"
 
 namespace dpcube {
@@ -46,6 +47,9 @@ struct ReleaseOutcome {
   /// Wall-clock seconds spent inside the pipeline (excludes strategy
   /// construction, which benches time separately).
   double elapsed_seconds = 0.0;
+  /// Per-phase breakdown of elapsed_seconds (timings.total_seconds ==
+  /// elapsed_seconds).
+  PhaseTimings timings;
   /// Whether the returned marginals are consistent (Definition 2.3).
   bool consistent = false;
 };

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "opt/simplex.h"
 #include "transform/walsh_hadamard.h"
 
@@ -42,14 +43,23 @@ Result<linalg::Vector> FitFourierCoefficients(
   linalg::Vector numerator(index.size(), 0.0);
   linalg::Vector denominator(index.size(), 0.0);
 
-  for (std::size_t i = 0; i < noisy.size(); ++i) {
-    const marginal::MarginalTable& table = noisy[i];
-    const int k = table.k();
+  // Per-marginal sweep, two deterministic stages: the local WHTs are
+  // independent and fan out over the shared pool; the shared-coefficient
+  // accumulation then merges the per-marginal contributions sequentially
+  // in marginal-index order, so the fitted coefficients are bit-identical
+  // to the single-threaded sweep for every thread count.
+  std::vector<std::vector<double>> locals(noisy.size());
+  ThreadPool::Shared().ParallelFor(0, noisy.size(), 1, [&](std::size_t i) {
     // Local WHT of the marginal gives, per coefficient beta ⪯ alpha,
     // 2^{-k/2} sum_gamma (-1)^{<beta,gamma>} y_gamma; the implied
     // coefficient estimate is 2^{(k-d)/2} times that.
-    std::vector<double> local = table.values();
-    transform::WalshHadamard(&local);
+    locals[i] = noisy[i].values();
+    transform::WalshHadamard(&locals[i]);
+  });
+  for (std::size_t i = 0; i < noisy.size(); ++i) {
+    const marginal::MarginalTable& table = noisy[i];
+    const int k = table.k();
+    const std::vector<double>& local = locals[i];
     const double estimate_scale = std::pow(2.0, 0.5 * (k - d));
     const double weight = std::pow(2.0, d - k) / cell_variances[i];
     const bits::Mask alpha = table.alpha();
@@ -75,13 +85,17 @@ Result<std::vector<marginal::MarginalTable>> ProjectConsistentL2(
   DPCUBE_ASSIGN_OR_RETURN(
       linalg::Vector coeffs,
       FitFourierCoefficients(workload, index, noisy, cell_variances));
-  std::vector<marginal::MarginalTable> out;
-  out.reserve(workload.num_marginals());
-  for (std::size_t i = 0; i < workload.num_marginals(); ++i) {
-    out.push_back(marginal::MarginalFromFourier(
-        workload.mask(i), workload.d(),
-        [&](bits::Mask beta) { return coeffs[index.IndexOf(beta)]; }));
-  }
+  // Reconstruction touches each output marginal independently. The
+  // 1-cell placeholders are move-assigned by their workers before the
+  // join returns.
+  std::vector<marginal::MarginalTable> out(workload.num_marginals(),
+                                           marginal::MarginalTable(0, 0));
+  ThreadPool::Shared().ParallelFor(
+      0, workload.num_marginals(), 1, [&](std::size_t i) {
+        out[i] = marginal::MarginalFromFourier(
+            workload.mask(i), workload.d(),
+            [&](bits::Mask beta) { return coeffs[index.IndexOf(beta)]; });
+      });
   return out;
 }
 

@@ -4,52 +4,21 @@
 
 #include <algorithm>
 #include <map>
+#include <string>
 #include <utility>
 
 namespace dpcube {
 namespace service {
 
 BatchExecutor::BatchExecutor(std::shared_ptr<const QueryService> service,
+                             ThreadPool* pool)
+    : service_(std::move(service)), pool_(pool) {}
+
+BatchExecutor::BatchExecutor(std::shared_ptr<const QueryService> service,
                              int num_threads)
-    : service_(std::move(service)) {
-  const int n = std::max(1, num_threads);
-  workers_.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
-  }
-}
-
-BatchExecutor::~BatchExecutor() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    shutting_down_ = true;
-  }
-  work_available_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
-}
-
-void BatchExecutor::WorkerLoop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock,
-                           [this] { return shutting_down_ || !tasks_.empty(); });
-      if (tasks_.empty()) return;  // Shutting down and drained.
-      task = std::move(tasks_.front());
-      tasks_.pop_front();
-    }
-    task();
-  }
-}
-
-void BatchExecutor::Submit(std::function<void()> task) const {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    tasks_.push_back(std::move(task));
-  }
-  work_available_.notify_one();
-}
+    : service_(std::move(service)),
+      owned_pool_(std::make_unique<ThreadPool>(num_threads)),
+      pool_(owned_pool_.get()) {}
 
 std::vector<QueryResponse> BatchExecutor::ExecuteBatch(
     const std::vector<Query>& queries) const {
@@ -58,34 +27,23 @@ std::vector<QueryResponse> BatchExecutor::ExecuteBatch(
 
   // Group by shared parent marginal so each group derives it once.
   std::map<std::pair<std::string, bits::Mask>, std::vector<std::size_t>>
-      groups;
+      grouped;
   for (std::size_t i = 0; i < queries.size(); ++i) {
-    groups[{queries[i].release, queries[i].beta}].push_back(i);
+    grouped[{queries[i].release, queries[i].beta}].push_back(i);
+  }
+  std::vector<std::vector<std::size_t>> groups;
+  groups.reserve(grouped.size());
+  for (auto& [key, indices] : grouped) {
+    groups.push_back(std::move(indices));
   }
 
-  struct BatchState {
-    std::mutex mu;
-    std::condition_variable done;
-    std::size_t pending;
-  };
-  auto state = std::make_shared<BatchState>();
-  state->pending = groups.size();
-
-  for (auto& [key, indices] : groups) {
-    Submit([this, state, &queries, &responses,
-            indices = std::move(indices)] {
-      // The first Answer derives (and caches) the group's parent
-      // marginal; the rest are cache hits against it.
-      for (const std::size_t i : indices) {
-        responses[i] = service_->Answer(queries[i]);
-      }
-      std::lock_guard<std::mutex> lock(state->mu);
-      if (--state->pending == 0) state->done.notify_all();
-    });
-  }
-
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done.wait(lock, [&] { return state->pending == 0; });
+  pool_->ParallelFor(0, groups.size(), 1, [&](std::size_t g) {
+    // The first Answer derives (and caches) the group's parent marginal;
+    // the rest are cache hits against it.
+    for (const std::size_t i : groups[g]) {
+      responses[i] = service_->Answer(queries[i]);
+    }
+  });
   return responses;
 }
 

@@ -1,24 +1,26 @@
 // Copyright 2026 The dpcube Authors.
 //
-// Concurrent batch execution of independent queries over a fixed thread
-// pool. Queries are grouped by (release, marginal mask) before dispatch:
-// each group becomes one task that derives (or cache-fetches) the shared
+// Concurrent batch execution of independent queries over a thread pool.
+// Queries are grouped by (release, marginal mask) before dispatch: each
+// group becomes one task that derives (or cache-fetches) the shared
 // parent marginal once and answers every query in the group from it, so
 // a batch of N point queries against the same marginal costs one
 // derivation, not N. Groups run concurrently across the pool; response
 // order matches request order.
+//
+// The executor does not own threads itself: it runs on a ThreadPool —
+// normally ThreadPool::Shared(), the same pool the release pipeline's
+// ParallelFor hot paths use, so one --threads flag governs the whole
+// process. A private pool constructor remains for tests that need an
+// isolated thread count.
 
 #ifndef DPCUBE_SERVICE_BATCH_EXECUTOR_H_
 #define DPCUBE_SERVICE_BATCH_EXECUTOR_H_
 
-#include <condition_variable>
-#include <deque>
-#include <functional>
 #include <memory>
-#include <mutex>
-#include <thread>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "service/query_service.h"
 
 namespace dpcube {
@@ -26,34 +28,31 @@ namespace service {
 
 class BatchExecutor {
  public:
-  /// Spawns `num_threads` workers (clamped to >= 1) bound to `service`.
-  BatchExecutor(std::shared_ptr<const QueryService> service, int num_threads);
+  /// Executor bound to `service`, running batches on `pool` (not owned;
+  /// must outlive the executor).
+  BatchExecutor(std::shared_ptr<const QueryService> service,
+                ThreadPool* pool);
 
-  /// Drains the queue and joins the workers.
-  ~BatchExecutor();
+  /// Convenience: executor with a private pool of `num_threads` total
+  /// threads (clamped to >= 1).
+  BatchExecutor(std::shared_ptr<const QueryService> service, int num_threads);
 
   BatchExecutor(const BatchExecutor&) = delete;
   BatchExecutor& operator=(const BatchExecutor&) = delete;
 
   /// Answers all queries; `result[i]` corresponds to `queries[i]`.
-  /// Blocks until the whole batch is done. Thread-safe: concurrent
-  /// batches interleave over the shared pool.
+  /// Blocks until the whole batch is done; the calling thread joins the
+  /// pool's workers in answering groups. Thread-safe: concurrent batches
+  /// interleave over the shared pool.
   std::vector<QueryResponse> ExecuteBatch(
       const std::vector<Query>& queries) const;
 
-  int num_threads() const { return static_cast<int>(workers_.size()); }
+  int num_threads() const { return pool_->parallelism(); }
 
  private:
-  void WorkerLoop();
-  void Submit(std::function<void()> task) const;
-
   std::shared_ptr<const QueryService> service_;
-
-  mutable std::mutex mu_;
-  mutable std::condition_variable work_available_;
-  mutable std::deque<std::function<void()>> tasks_;
-  bool shutting_down_ = false;
-  std::vector<std::thread> workers_;
+  std::unique_ptr<ThreadPool> owned_pool_;  // Only for the int ctor.
+  ThreadPool* pool_;
 };
 
 }  // namespace service

@@ -1,0 +1,215 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "service/serve_protocol.h"
+
+#include <cstdio>
+#include <exception>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace dpcube {
+namespace service {
+
+bool ParseSize(const std::string& text, std::size_t* out) {
+  if (text.empty() || text[0] == '-' || text[0] == '+') return false;
+  const bool hex = text.rfind("0x", 0) == 0 || text.rfind("0X", 0) == 0;
+  try {
+    std::size_t pos = 0;
+    *out = std::stoull(hex ? text.substr(2) : text, &pos, hex ? 16 : 10);
+    return pos == (hex ? text.size() - 2 : text.size()) &&
+           !(hex && text.size() == 2);
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::stringstream ss(line);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (ss >> token) tokens.push_back(token);
+  return tokens;
+}
+
+bool ParseServeQuery(const std::vector<std::string>& tokens, Query* q,
+                     std::string* error) {
+  if (tokens.size() < 3) {
+    *error = "query NAME marginal|cell|range MASK [CELL | LO HI]";
+    return false;
+  }
+  q->release = tokens[0];
+  const std::string& kind = tokens[1];
+  std::size_t beta = 0;
+  if (!ParseSize(tokens[2], &beta)) {
+    *error = "bad mask '" + tokens[2] + "'";
+    return false;
+  }
+  q->beta = beta;
+  if (kind == "marginal" && tokens.size() == 3) {
+    q->kind = QueryKind::kMarginal;
+  } else if (kind == "cell" && tokens.size() == 4) {
+    q->kind = QueryKind::kCell;
+    if (!ParseSize(tokens[3], &q->cell_lo)) {
+      *error = "bad cell '" + tokens[3] + "'";
+      return false;
+    }
+  } else if (kind == "range" && tokens.size() == 5) {
+    q->kind = QueryKind::kRange;
+    if (!ParseSize(tokens[3], &q->cell_lo) ||
+        !ParseSize(tokens[4], &q->cell_hi)) {
+      *error = "bad range bounds";
+      return false;
+    }
+  } else {
+    *error = "unknown query form '" + kind + "'";
+    return false;
+  }
+  return true;
+}
+
+std::string FormatResponse(const QueryResponse& response) {
+  if (!response.status.ok()) {
+    return "ERR " + response.status.ToString();
+  }
+  char head[96];
+  std::snprintf(head, sizeof(head),
+                "OK query mask=0x%llx var=%.6g hit=%d n=%zu values",
+                static_cast<unsigned long long>(response.beta),
+                response.variance, response.cache_hit ? 1 : 0,
+                response.values.size());
+  std::string line(head);
+  char field[32];
+  for (const double v : response.values) {
+    std::snprintf(field, sizeof(field), " %.17g", v);
+    line += field;
+  }
+  return line;
+}
+
+ServeSession::ServeSession(std::shared_ptr<ReleaseStore> store,
+                           std::shared_ptr<MarginalCache> cache,
+                           std::shared_ptr<const QueryService> service,
+                           const BatchExecutor* executor)
+    : store_(std::move(store)),
+      cache_(std::move(cache)),
+      service_(std::move(service)),
+      executor_(executor) {}
+
+void ServeSession::Run(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::vector<std::string> tokens = Tokenize(line);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "batch" && tokens.size() == 2) {
+      HandleBatch(tokens, in, out);
+    } else if (!HandleLine(line, tokens, out)) {
+      out.flush();
+      return;
+    }
+    out.flush();
+  }
+}
+
+bool ServeSession::HandleLine(const std::string& line,
+                              const std::vector<std::string>& tokens,
+                              std::ostream& out) {
+  const std::string& command = tokens[0];
+
+  if (command == "quit" || command == "exit") {
+    out << "OK bye\n";
+    return false;
+  } else if (command == "load" && tokens.size() == 3) {
+    const Status st = store_->LoadFromFile(tokens[1], tokens[2]);
+    if (st.ok()) {
+      out << "OK loaded " << tokens[1] << "\n";
+    } else {
+      out << "ERR " << st.ToString() << "\n";
+    }
+  } else if (command == "unload" && tokens.size() == 2) {
+    const Status st = service_->RemoveRelease(tokens[1]);
+    if (st.ok()) {
+      out << "OK unloaded " << tokens[1] << "\n";
+    } else {
+      out << "ERR " << st.ToString() << "\n";
+    }
+  } else if (command == "list" && tokens.size() == 1) {
+    const auto infos = store_->List();
+    out << "OK releases n=" << infos.size();
+    for (const auto& info : infos) {
+      out << " " << info.name << ":d=" << info.d
+          << ":marginals=" << info.num_marginals
+          << ":cells=" << info.total_cells;
+    }
+    out << "\n";
+  } else if (command == "query") {
+    Query q;
+    std::string error;
+    if (!ParseServeQuery(
+            std::vector<std::string>(tokens.begin() + 1, tokens.end()), &q,
+            &error)) {
+      out << "ERR " << error << "\n";
+    } else {
+      out << FormatResponse(service_->Answer(q)) << "\n";
+    }
+  } else if (command == "stats" && tokens.size() == 1) {
+    const CacheStats s = cache_->stats();
+    out << "OK stats hits=" << s.hits << " misses=" << s.misses
+        << " evictions=" << s.evictions << " entries=" << s.entries
+        << " cells=" << s.cells << " capacity=" << s.capacity_cells
+        << " releases=" << store_->size() << "\n";
+  } else {
+    out << "ERR unknown request '" << line << "'\n";
+  }
+  return true;
+}
+
+void ServeSession::HandleBatch(const std::vector<std::string>& tokens,
+                               std::istream& in, std::ostream& out) {
+  // Zero would emit zero response lines and stall a scripted client
+  // waiting for one; an unbounded count (or "-1" wrapping to 2^64-1)
+  // would swallow the rest of stdin.
+  constexpr std::size_t kMaxBatch = 100000;
+  std::size_t n = 0;
+  if (!ParseSize(tokens[1], &n) || n == 0 || n > kMaxBatch) {
+    out << "ERR batch expects a count in 1.." << kMaxBatch << "\n";
+    return;
+  }
+  std::vector<Query> batch;
+  std::string batch_error;
+  // Consume ALL n lines even after a bad one: stopping early would leave
+  // the rest to be re-read as top-level commands and desync every later
+  // request/response pair of a scripted client.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string request;
+    if (!std::getline(in, request)) {
+      batch_error = "unexpected EOF inside batch";
+      break;
+    }
+    if (!batch_error.empty()) continue;
+    const std::vector<std::string> rtokens = Tokenize(request);
+    if (rtokens.size() < 2 || rtokens[0] != "query") {
+      batch_error = "batch lines must be query requests";
+      continue;
+    }
+    Query q;
+    if (!ParseServeQuery(
+            std::vector<std::string>(rtokens.begin() + 1, rtokens.end()), &q,
+            &batch_error)) {
+      continue;
+    }
+    batch.push_back(std::move(q));
+  }
+  if (!batch_error.empty()) {
+    out << "ERR " << batch_error << "\n";
+  } else {
+    for (const auto& response : executor_->ExecuteBatch(batch)) {
+      out << FormatResponse(response) << "\n";
+    }
+  }
+}
+
+}  // namespace service
+}  // namespace dpcube

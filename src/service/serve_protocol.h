@@ -1,0 +1,88 @@
+// Copyright 2026 The dpcube Authors.
+//
+// The `dpcube serve` line protocol, factored out of the CLI so the
+// request loop can be driven in-process (stream in, stream out) by tests
+// — in particular the seeded fuzz harness in
+// tests/service/serve_protocol_fuzz_test.cc, which throws malformed
+// verbs, truncated arguments, and oversized batches at it.
+//
+// Protocol (one response line per request line):
+//   load NAME PATH            load a release CSV under NAME
+//   unload NAME               drop a release (and its cached tables)
+//   list                      enumerate loaded releases
+//   query NAME marginal MASK  full derived marginal over MASK
+//   query NAME cell MASK C    one cell of that marginal
+//   query NAME range MASK L H sum of local cells [L, H]
+//   batch N                   read next N query lines, run them
+//                             concurrently on the executor
+//   stats                     cache hit/miss/eviction counters
+//   quit                      exit
+// Responses are "OK ..." or "ERR <message>".
+
+#ifndef DPCUBE_SERVICE_SERVE_PROTOCOL_H_
+#define DPCUBE_SERVICE_SERVE_PROTOCOL_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/batch_executor.h"
+#include "service/marginal_cache.h"
+#include "service/query_service.h"
+#include "service/release_store.h"
+
+namespace dpcube {
+namespace service {
+
+/// Strict non-negative integer parse, decimal or 0x-hex ONLY (no octal:
+/// "010" means ten); rejects empty input, negatives, and trailing
+/// garbage, unlike strtoull/atof which would silently yield 0 (or wrap
+/// "-1" to 2^64-1).
+bool ParseSize(const std::string& text, std::size_t* out);
+
+/// Splits a request line on whitespace (the serve loop and its batch
+/// sub-loop share this, so the two parse identically).
+std::vector<std::string> Tokenize(const std::string& line);
+
+/// Parses "NAME kind MASK [args]" tokens (after the "query" verb) into q.
+/// On failure returns false and fills `error`.
+bool ParseServeQuery(const std::vector<std::string>& tokens, Query* q,
+                     std::string* error);
+
+/// Formats a response as the protocol's single line (no trailing newline).
+std::string FormatResponse(const QueryResponse& response);
+
+/// One serve conversation over a request/response stream pair. The
+/// session borrows its collaborators; the executor (and therefore its
+/// pool) must outlive it.
+class ServeSession {
+ public:
+  ServeSession(std::shared_ptr<ReleaseStore> store,
+               std::shared_ptr<MarginalCache> cache,
+               std::shared_ptr<const QueryService> service,
+               const BatchExecutor* executor);
+
+  /// Reads request lines from `in` until quit/EOF, writing responses to
+  /// `out` (flushed after every response, suitable for pipes).
+  void Run(std::istream& in, std::ostream& out);
+
+ private:
+  /// Handles one non-batch request line (pre-tokenized by Run; `line` is
+  /// only echoed in the unknown-request error). Returns false on quit.
+  bool HandleLine(const std::string& line,
+                  const std::vector<std::string>& tokens, std::ostream& out);
+  /// Handles "batch N": consumes the sub-lines from `in` and responds.
+  void HandleBatch(const std::vector<std::string>& tokens, std::istream& in,
+                   std::ostream& out);
+
+  std::shared_ptr<ReleaseStore> store_;
+  std::shared_ptr<MarginalCache> cache_;
+  std::shared_ptr<const QueryService> service_;
+  const BatchExecutor* executor_;
+};
+
+}  // namespace service
+}  // namespace dpcube
+
+#endif  // DPCUBE_SERVICE_SERVE_PROTOCOL_H_

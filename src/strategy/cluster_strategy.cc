@@ -8,6 +8,7 @@
 #include <limits>
 #include <set>
 
+#include "common/thread_pool.h"
 #include "dp/mechanisms.h"
 #include "marginal/query_matrix.h"
 
@@ -139,26 +140,39 @@ Result<Release> ClusterStrategy::Run(const data::SparseCounts& data,
   }
   DPCUBE_RETURN_NOT_OK(params.Validate());
 
-  // Measure the centroid marginals.
-  std::vector<marginal::MarginalTable> noisy;
-  noisy.reserve(materialized_.size());
-  for (std::size_t m = 0; m < materialized_.size(); ++m) {
-    const double eta = group_budgets[m];
+  for (const double eta : group_budgets) {
     if (!(eta > 0.0)) {
       return Status::InvalidArgument("group budgets must be positive");
     }
+  }
+
+  // Measure the centroid marginals: per-centroid fan-out, centroid m
+  // drawing its noise from child stream m of one master draw (Rng::Stream
+  // rule), so the release is bit-identical for every thread count.
+  ThreadPool& pool = ThreadPool::Shared();
+  const std::uint64_t noise_base = rng->NextUint64();
+  // 1-cell placeholders; every slot is move-assigned by its worker
+  // before the join returns.
+  std::vector<marginal::MarginalTable> noisy(materialized_.size(),
+                                             marginal::MarginalTable(0, 0));
+  pool.ParallelFor(0, materialized_.size(), 1, [&](std::size_t m) {
+    Rng child = Rng::Stream(noise_base, m);
     marginal::MarginalTable table =
         marginal::ComputeMarginal(data, materialized_[m]);
     for (std::size_t g = 0; g < table.num_cells(); ++g) {
-      table.value(g) += dp::SampleNoise(eta, params, rng);
+      table.value(g) += dp::SampleNoise(group_budgets[m], params, &child);
     }
-    noisy.push_back(std::move(table));
-  }
+    noisy[m] = std::move(table);
+  });
 
-  // Aggregate each query marginal from its cover.
+  // Aggregate each query marginal from its cover (pure post-processing of
+  // the noisy centroids; queries are independent of each other).
+  const std::size_t num_queries = workload_.num_marginals();
   Release release;
   release.consistent = false;
-  for (std::size_t q = 0; q < workload_.num_marginals(); ++q) {
+  release.cell_variances.assign(num_queries, 0.0);
+  release.marginals.assign(num_queries, marginal::MarginalTable(0, 0));
+  pool.ParallelFor(0, num_queries, 1, [&](std::size_t q) {
     const bits::Mask alpha = workload_.mask(q);
     const marginal::MarginalTable& cover = noisy[cover_of_[q]];
     marginal::MarginalTable out(alpha, workload_.d());
@@ -168,11 +182,11 @@ Result<Release> ClusterStrategy::Run(const data::SparseCounts& data,
     }
     const int spread = bits::Popcount(materialized_[cover_of_[q]]) -
                        bits::Popcount(alpha);
-    release.cell_variances.push_back(
+    release.cell_variances[q] =
         std::pow(2.0, spread) *
-        dp::MeasurementVariance(group_budgets[cover_of_[q]], params));
-    release.marginals.push_back(std::move(out));
-  }
+        dp::MeasurementVariance(group_budgets[cover_of_[q]], params);
+    release.marginals[q] = std::move(out);
+  });
   return release;
 }
 

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "dp/mechanisms.h"
 
 namespace dpcube {
@@ -34,35 +35,49 @@ Result<Release> FourierStrategy::Run(const data::SparseCounts& data,
   }
   DPCUBE_RETURN_NOT_OK(params.Validate());
 
-  // Measure every needed coefficient once.
-  linalg::Vector noisy(index_.size());
-  linalg::Vector coeff_variance(index_.size());
-  for (std::size_t i = 0; i < index_.size(); ++i) {
-    const double eta = group_budgets[i];
+  for (const double eta : group_budgets) {
     if (!(eta > 0.0)) {
       return Status::InvalidArgument("group budgets must be positive");
     }
-    noisy[i] = data.FourierCoefficient(index_.mask(i)) +
-               dp::SampleNoise(eta, params, rng);
-    coeff_variance[i] = dp::MeasurementVariance(eta, params);
   }
+
+  // Measure every needed coefficient once. Each coefficient scans the
+  // occupied cells independently, so the fan-out is embarrassingly
+  // parallel; coefficient i samples its noise from child stream i of one
+  // master draw (the Rng::Stream seed-derivation rule), which keeps the
+  // release bit-identical for every thread count.
+  ThreadPool& pool = ThreadPool::Shared();
+  const std::uint64_t noise_base = rng->NextUint64();
+  linalg::Vector noisy(index_.size());
+  linalg::Vector coeff_variance(index_.size());
+  pool.ParallelFor(0, index_.size(), 1, [&](std::size_t i) {
+    Rng child = Rng::Stream(noise_base, i);
+    noisy[i] = data.FourierCoefficient(index_.mask(i)) +
+               dp::SampleNoise(group_budgets[i], params, &child);
+    coeff_variance[i] = dp::MeasurementVariance(group_budgets[i], params);
+  });
 
   Release release;
   release.consistent = true;
   const int d = workload_.d();
-  for (std::size_t i = 0; i < workload_.num_marginals(); ++i) {
+  const std::size_t num_marginals = workload_.num_marginals();
+  release.cell_variances.assign(num_marginals, 0.0);
+  // 1-cell placeholders; every slot is move-assigned by its worker
+  // before the join returns.
+  release.marginals.assign(num_marginals, marginal::MarginalTable(0, 0));
+  pool.ParallelFor(0, num_marginals, 1, [&](std::size_t i) {
     const bits::Mask alpha = workload_.mask(i);
     const int k = bits::Popcount(alpha);
-    release.marginals.push_back(marginal::MarginalFromFourier(
+    release.marginals[i] = marginal::MarginalFromFourier(
         alpha, d,
-        [&](bits::Mask beta) { return noisy[index_.IndexOf(beta)]; }));
+        [&](bits::Mask beta) { return noisy[index_.IndexOf(beta)]; });
     // Var(cell) = 2^{d - 2k} * sum_{beta ⪯ alpha} Var(coefficient beta).
     double var_sum = 0.0;
     for (bits::SubmaskIterator it(alpha); !it.done(); it.Next()) {
       var_sum += coeff_variance[index_.IndexOf(it.mask())];
     }
-    release.cell_variances.push_back(std::pow(2.0, d - 2 * k) * var_sum);
-  }
+    release.cell_variances[i] = std::pow(2.0, d - 2 * k) * var_sum;
+  });
   return release;
 }
 

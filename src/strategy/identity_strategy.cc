@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "dp/mechanisms.h"
 
 namespace dpcube {
@@ -42,24 +43,31 @@ Result<Release> IdentityStrategy::Run(const data::SparseCounts& data,
   if (!(eta > 0.0)) {
     return Status::InvalidArgument("group budget must be positive");
   }
+  // Per-cuboid fan-out: marginal i derives and perturbs independently
+  // using child noise stream i of one master draw (Rng::Stream rule), so
+  // the release is bit-identical for every thread count.
+  const std::uint64_t noise_base = rng->NextUint64();
+  const std::size_t num_marginals = workload_.num_marginals();
   Release release;
   release.consistent = false;
-  release.cell_variances.reserve(workload_.num_marginals());
-  for (std::size_t i = 0; i < workload_.num_marginals(); ++i) {
+  release.cell_variances.assign(num_marginals, 0.0);
+  // 1-cell placeholders; every slot is move-assigned by its worker
+  // before the join returns.
+  release.marginals.assign(num_marginals, marginal::MarginalTable(0, 0));
+  ThreadPool::Shared().ParallelFor(0, num_marginals, 1, [&](std::size_t i) {
     const bits::Mask alpha = workload_.mask(i);
-    marginal::MarginalTable table =
-        marginal::ComputeMarginal(data, alpha);
+    Rng child = Rng::Stream(noise_base, i);
+    marginal::MarginalTable table = marginal::ComputeMarginal(data, alpha);
     const std::uint64_t base_cells_per_output =
         std::uint64_t{1} << (workload_.d() - bits::Popcount(alpha));
     for (std::size_t g = 0; g < table.num_cells(); ++g) {
       table.value(g) +=
-          dp::SampleNoiseSum(base_cells_per_output, eta, params, rng);
+          dp::SampleNoiseSum(base_cells_per_output, eta, params, &child);
     }
-    release.cell_variances.push_back(
-        static_cast<double>(base_cells_per_output) *
-        dp::MeasurementVariance(eta, params));
-    release.marginals.push_back(std::move(table));
-  }
+    release.cell_variances[i] = static_cast<double>(base_cells_per_output) *
+                                dp::MeasurementVariance(eta, params);
+    release.marginals[i] = std::move(table);
+  });
   return release;
 }
 

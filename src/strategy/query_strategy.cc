@@ -4,6 +4,7 @@
 
 #include <cassert>
 
+#include "common/thread_pool.h"
 #include "dp/mechanisms.h"
 #include "marginal/query_matrix.h"
 
@@ -35,21 +36,32 @@ Result<Release> QueryStrategy::Run(const data::SparseCounts& data,
     return Status::InvalidArgument("QueryStrategy: budget count mismatch");
   }
   DPCUBE_RETURN_NOT_OK(params.Validate());
-  Release release;
-  release.consistent = false;
-  for (std::size_t i = 0; i < workload_.num_marginals(); ++i) {
-    const double eta = group_budgets[i];
+  for (const double eta : group_budgets) {
     if (!(eta > 0.0)) {
       return Status::InvalidArgument("group budgets must be positive");
     }
+  }
+  // Per-cuboid fan-out with one child noise stream per marginal
+  // (Rng::Stream rule): bit-identical for every thread count.
+  const std::uint64_t noise_base = rng->NextUint64();
+  const std::size_t num_marginals = workload_.num_marginals();
+  Release release;
+  release.consistent = false;
+  release.cell_variances.assign(num_marginals, 0.0);
+  // 1-cell placeholders; every slot is move-assigned by its worker
+  // before the join returns.
+  release.marginals.assign(num_marginals, marginal::MarginalTable(0, 0));
+  ThreadPool::Shared().ParallelFor(0, num_marginals, 1, [&](std::size_t i) {
+    const double eta = group_budgets[i];
+    Rng child = Rng::Stream(noise_base, i);
     marginal::MarginalTable table =
         marginal::ComputeMarginal(data, workload_.mask(i));
     for (std::size_t g = 0; g < table.num_cells(); ++g) {
-      table.value(g) += dp::SampleNoise(eta, params, rng);
+      table.value(g) += dp::SampleNoise(eta, params, &child);
     }
-    release.cell_variances.push_back(dp::MeasurementVariance(eta, params));
-    release.marginals.push_back(std::move(table));
-  }
+    release.cell_variances[i] = dp::MeasurementVariance(eta, params);
+    release.marginals[i] = std::move(table);
+  });
   return release;
 }
 

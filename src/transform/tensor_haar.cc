@@ -4,6 +4,7 @@
 
 #include <cassert>
 
+#include "common/thread_pool.h"
 #include "transform/haar_wavelet.h"
 
 namespace dpcube {
@@ -12,7 +13,10 @@ namespace transform {
 namespace {
 
 // Applies `fn` (a 1-D in-place transform) along axis `axis` of the
-// row-major tensor x with the given log2 dimensions.
+// row-major tensor x with the given log2 dimensions. The lines are
+// pairwise disjoint, so they fan out over the shared pool (one scratch
+// buffer per chunk); per-line arithmetic is unchanged, keeping the result
+// bit-identical for every thread count.
 template <typename Fn>
 void ApplyAlongAxis(std::vector<double>* x, const std::vector<int>& log2_dims,
                     std::size_t axis, Fn fn) {
@@ -24,20 +28,28 @@ void ApplyAlongAxis(std::vector<double>* x, const std::vector<int>& log2_dims,
   for (std::size_t a = axis + 1; a < p; ++a) {
     stride <<= log2_dims[a];
   }
-  const std::size_t outer = x->size() / (n_axis * stride);
-  std::vector<double> line(n_axis);
-  for (std::size_t o = 0; o < outer; ++o) {
-    for (std::size_t s = 0; s < stride; ++s) {
-      const std::size_t base = o * n_axis * stride + s;
-      for (std::size_t i = 0; i < n_axis; ++i) {
-        line[i] = (*x)[base + i * stride];
-      }
-      fn(&line);
-      for (std::size_t i = 0; i < n_axis; ++i) {
-        (*x)[base + i * stride] = line[i];
-      }
-    }
-  }
+  const std::size_t num_lines = x->size() / n_axis;
+  constexpr std::size_t kParallelCutoffElements = std::size_t{1} << 14;
+  const std::size_t grain =
+      x->size() >= kParallelCutoffElements
+          ? std::max<std::size_t>(1, (std::size_t{1} << 14) / n_axis)
+          : num_lines;  // Small tensors stay on the calling thread.
+  ThreadPool::Shared().ParallelForBlocks(
+      0, num_lines, grain, [&](std::size_t lo, std::size_t hi) {
+        std::vector<double> line(n_axis);
+        for (std::size_t l = lo; l < hi; ++l) {
+          const std::size_t o = l / stride;
+          const std::size_t s = l - o * stride;
+          const std::size_t base = o * n_axis * stride + s;
+          for (std::size_t i = 0; i < n_axis; ++i) {
+            line[i] = (*x)[base + i * stride];
+          }
+          fn(&line);
+          for (std::size_t i = 0; i < n_axis; ++i) {
+            (*x)[base + i * stride] = line[i];
+          }
+        }
+      });
 }
 
 }  // namespace

@@ -1,0 +1,115 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dpcube {
+namespace {
+
+TEST(ThreadPoolTest, ParallelismClampedToAtLeastOne) {
+  ThreadPool zero(0);
+  EXPECT_EQ(zero.parallelism(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.parallelism(), 1);
+  ThreadPool four(4);
+  EXPECT_EQ(four.parallelism(), 4);
+}
+
+TEST(ThreadPoolTest, ParallelForVisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> visits(kN);
+  pool.ParallelFor(0, kN, 7, [&](std::size_t i) { visits[i]++; });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForBlocksPartitionsTheRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> visits(1000);
+  std::atomic<int> undersized_chunks{0};
+  pool.ParallelForBlocks(100, 1000, 64,
+                         [&](std::size_t lo, std::size_t hi) {
+                           ASSERT_LT(lo, hi);
+                           // `grain` is a lower bound on chunk size; only
+                           // the tail chunk may come up short.
+                           if (hi - lo < 64u) undersized_chunks++;
+                           for (std::size_t i = lo; i < hi; ++i) visits[i]++;
+                         });
+  EXPECT_LE(undersized_chunks.load(), 1);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(visits[i].load(), i >= 100 ? 1 : 0) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoOp) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(5, 5, 1, [&](std::size_t) { ++calls; });
+  pool.ParallelFor(7, 3, 1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  pool.ParallelFor(0, 100, 10, [&](std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);  // Fewer threads than outstanding loops.
+  std::atomic<int> total{0};
+  pool.ParallelFor(0, 8, 1, [&](std::size_t) {
+    pool.ParallelFor(0, 8, 1, [&](std::size_t) { total++; });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolTest, ParallelForFromSubmittedTaskJoins) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  std::atomic<bool> done{false};
+  pool.Submit([&] {
+    pool.ParallelFor(0, 100, 3, [&](std::size_t) { total++; });
+    done = true;
+  });
+  while (!done) std::this_thread::yield();
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPoolTest, ConcurrentLoopsFromManyCallersInterleave) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&] {
+      for (int rep = 0; rep < 20; ++rep) {
+        pool.ParallelFor(0, 500, 17, [&](std::size_t) { total++; });
+      }
+    });
+  }
+  for (auto& c : callers) c.join();
+  EXPECT_EQ(total.load(), 4L * 20 * 500);
+}
+
+TEST(ThreadPoolTest, SharedPoolRebuildsOnSetParallelism) {
+  ThreadPool::SetSharedParallelism(3);
+  EXPECT_EQ(ThreadPool::Shared().parallelism(), 3);
+  ThreadPool::SetSharedParallelism(1);
+  EXPECT_EQ(ThreadPool::Shared().parallelism(), 1);
+  // Restore a multi-thread default so later tests in this binary (none
+  // today) are not accidentally serialised.
+  ThreadPool::SetSharedParallelism(2);
+}
+
+}  // namespace
+}  // namespace dpcube

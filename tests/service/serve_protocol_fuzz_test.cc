@@ -1,0 +1,223 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Fuzz-style regression net for the `dpcube serve` line protocol: seeded
+// random command streams — malformed verbs, truncated arguments, absurd
+// masks, oversized and EOF-truncated batches, binary garbage — must never
+// crash the session, must answer every request with exactly "OK ..." or
+// "ERR ...", and must never leak the cache's cell-budget accounting (the
+// cache can never hold more cells than its capacity, and the store's
+// ledger must match the load/unload responses the session emitted).
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/synthetic.h"
+#include "engine/release_engine.h"
+#include "engine/release_io.h"
+#include "service/batch_executor.h"
+#include "service/marginal_cache.h"
+#include "service/query_service.h"
+#include "service/release_store.h"
+#include "service/serve_protocol.h"
+#include "strategy/fourier_strategy.h"
+
+namespace dpcube {
+namespace service {
+namespace {
+
+// A real archived release on disk so load/query paths go deep.
+const std::string& ReleasePath() {
+  static const std::string* path = [] {
+    Rng rng(5);
+    const data::Dataset dataset = data::MakeNltcsLike(1200, &rng);
+    const data::SparseCounts counts =
+        data::SparseCounts::FromDataset(dataset);
+    const marginal::Workload w = marginal::WorkloadQk(dataset.schema(), 2);
+    const strategy::FourierStrategy strat(w);
+    engine::ReleaseOptions options;
+    options.params.epsilon = 1.0;
+    Rng release_rng(6);
+    auto outcome = engine::ReleaseWorkload(strat, counts, options,
+                                           &release_rng);
+    EXPECT_TRUE(outcome.ok());
+    auto* p = new std::string(::testing::TempDir() + "/fuzz_release.csv");
+    EXPECT_TRUE(
+        engine::WriteReleaseCsv(*p, outcome.value().marginals).ok());
+    return p;
+  }();
+  return *path;
+}
+
+std::string RandomToken(Rng* rng) {
+  static const char* const kTokens[] = {
+      "load",  "unload", "list",   "query",   "batch", "stats", "quit",
+      "exit",  "r",      "ghost",  "marginal", "cell",  "range", "0",
+      "1",     "3",      "0x3",    "0xffffffffffffffff",
+      "99999999999999999999",  // Overflows uint64.
+      "-1",    "+7",     "0x",     "07",      "3.5",   "",      "NaN",
+      "batch", "100001", "\x01\x7f\xc3\x28",  // Invalid UTF-8 / control.
+  };
+  return kTokens[rng->NextBounded(sizeof(kTokens) / sizeof(kTokens[0]))];
+}
+
+std::string RandomLine(Rng* rng) {
+  const int shape = static_cast<int>(rng->NextBounded(10));
+  std::string line;
+  switch (shape) {
+    case 0:
+      return "load r " + ReleasePath();
+    case 1:
+      return "load ghost /nonexistent/release.csv";
+    case 2:
+      return "query r marginal " + RandomToken(rng);
+    case 3:
+      return "query " + RandomToken(rng) + " cell " + RandomToken(rng) +
+             " " + RandomToken(rng);
+    case 4:
+      return "unload " + RandomToken(rng);
+    case 5:
+      return rng->NextBernoulli(0.5) ? "list" : "stats";
+    case 6:
+      // Oversized / malformed batch counts answer with one error line.
+      return "batch " + RandomToken(rng);
+    default: {
+      const int len = static_cast<int>(rng->NextBounded(6));
+      for (int t = 0; t < len; ++t) {
+        if (t > 0) line += ' ';
+        line += RandomToken(rng);
+      }
+      return line;
+    }
+  }
+}
+
+// A well-formed batch block: header plus exactly n query sub-lines (some
+// of which may still be semantically invalid — wrong release, bad mask).
+void AppendBatchBlock(Rng* rng, std::ostringstream* in) {
+  const std::size_t n = 1 + rng->NextBounded(4);
+  *in << "batch " << n << "\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    *in << "query r " << (rng->NextBernoulli(0.7) ? "marginal" : "cell")
+        << " " << rng->NextBounded(1 << 17) << " "
+        << rng->NextBounded(8) << "\n";
+  }
+}
+
+struct SessionRun {
+  std::vector<std::string> responses;
+  CacheStats cache_stats;
+  std::size_t store_size = 0;
+};
+
+SessionRun RunStream(const std::string& input, std::size_t cache_cells) {
+  auto store = std::make_shared<ReleaseStore>();
+  auto cache = std::make_shared<MarginalCache>(cache_cells);
+  auto svc = std::make_shared<const QueryService>(store, cache);
+  BatchExecutor executor(svc, /*num_threads=*/4);
+  ServeSession session(store, cache, svc, &executor);
+
+  std::istringstream in(input);
+  std::ostringstream out;
+  session.Run(in, out);
+
+  SessionRun run;
+  std::istringstream lines(out.str());
+  std::string line;
+  while (std::getline(lines, line)) run.responses.push_back(line);
+  run.cache_stats = cache->stats();
+  run.store_size = store->size();
+  return run;
+}
+
+TEST(ServeProtocolFuzzTest, RandomStreamsNeverCrashNorLeakBudget) {
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    Rng rng(0xf00d + seed);
+    std::ostringstream in;
+    const int lines = 40 + static_cast<int>(rng.NextBounded(80));
+    for (int l = 0; l < lines; ++l) {
+      if (rng.NextBernoulli(0.15)) {
+        AppendBatchBlock(&rng, &in);
+      } else {
+        in << RandomLine(&rng) << "\n";
+      }
+    }
+    // Half the streams end with quit, half hit EOF mid-conversation (and
+    // occasionally mid-batch: a trailing truncated header).
+    if (rng.NextBernoulli(0.3)) in << "batch 5\nquery r marginal 1\n";
+    if (rng.NextBernoulli(0.5)) in << "quit\n";
+
+    // Tiny cache so the budget accounting is exercised under eviction.
+    const SessionRun run = RunStream(in.str(), /*cache_cells=*/16);
+
+    // Replay the load/unload responses into a ledger; the store must end
+    // up holding exactly the names the session admitted to holding.
+    std::set<std::string> ledger;
+    for (const std::string& response : run.responses) {
+      ASSERT_TRUE(response.rfind("OK", 0) == 0 ||
+                  response.rfind("ERR", 0) == 0)
+          << "seed " << seed << ": malformed response '" << response << "'";
+      if (response.rfind("OK loaded ", 0) == 0) {
+        ledger.insert(response.substr(sizeof("OK loaded ") - 1));
+      } else if (response.rfind("OK unloaded ", 0) == 0) {
+        ledger.erase(response.substr(sizeof("OK unloaded ") - 1));
+      }
+    }
+    // Budget accounting: the cache may never exceed its cell capacity.
+    EXPECT_LE(run.cache_stats.cells, run.cache_stats.capacity_cells)
+        << "seed " << seed;
+    EXPECT_EQ(run.store_size, ledger.size()) << "seed " << seed;
+  }
+}
+
+TEST(ServeProtocolFuzzTest, WellFormedStreamAnswersEveryRequest) {
+  std::ostringstream in;
+  in << "load r " << ReleasePath() << "\n"
+     << "list\n"
+     << "query r marginal 3\n"
+     << "batch 3\n"
+     << "query r marginal 5\n"
+     << "query r cell 5 0\n"
+     << "query r range 5 0 1\n"
+     << "stats\n"
+     << "quit\n";
+  const SessionRun run = RunStream(in.str(), 1 << 20);
+  // load, list, query, 3 batch responses, stats, bye.
+  ASSERT_EQ(run.responses.size(), 8u);
+  for (const std::string& response : run.responses) {
+    EXPECT_EQ(response.rfind("OK", 0), 0u) << response;
+  }
+  EXPECT_EQ(run.responses.back(), "OK bye");
+}
+
+TEST(ServeProtocolFuzzTest, TruncatedBatchReportsEofNotHang) {
+  std::ostringstream in;
+  in << "load r " << ReleasePath() << "\n"
+     << "batch 4\n"
+     << "query r marginal 1\n";  // EOF after 1 of 4 sub-lines.
+  const SessionRun run = RunStream(in.str(), 1 << 20);
+  ASSERT_EQ(run.responses.size(), 2u);
+  EXPECT_EQ(run.responses[1], "ERR unexpected EOF inside batch");
+}
+
+TEST(ServeProtocolFuzzTest, ParseSizeRejectsHostileNumerals) {
+  std::size_t out = 0;
+  EXPECT_FALSE(ParseSize("", &out));
+  EXPECT_FALSE(ParseSize("-1", &out));
+  EXPECT_FALSE(ParseSize("+1", &out));
+  EXPECT_FALSE(ParseSize("0x", &out));
+  EXPECT_FALSE(ParseSize("12junk", &out));
+  EXPECT_FALSE(ParseSize("99999999999999999999", &out));
+  EXPECT_TRUE(ParseSize("0x1F", &out));
+  EXPECT_EQ(out, 31u);
+  EXPECT_TRUE(ParseSize("010", &out));  // Decimal ten, not octal.
+  EXPECT_EQ(out, 10u);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace dpcube

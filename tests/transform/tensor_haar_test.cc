@@ -3,11 +3,13 @@
 #include "transform/tensor_haar.h"
 
 #include <cmath>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
 #include "budget/grouping.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "transform/haar_wavelet.h"
 
 namespace dpcube {
@@ -126,6 +128,31 @@ TEST(TensorHaarTest, ScalingCoefficientIsGridAverage) {
   TensorHaarForward(&x, dims);
   // Coefficient 0 = <x, 1/sqrt(N)> = sum / 4 for N = 16.
   EXPECT_NEAR(x[0], sum / 4.0, 1e-12);
+}
+
+// Above the parallel cutoff (2^14 elements) the per-axis line transforms
+// fan out over the shared pool; results must be bitwise identical to the
+// single-threaded sweep, and the round trip must still invert.
+TEST(TensorHaarTest, ParallelLinesMatchSequentialBitExact) {
+  Rng rng(99);
+  const std::vector<int> dims = {6, 5, 4};  // 2^15 elements.
+  const std::vector<double> x =
+      RandomVector(TensorDomainSize(dims), &rng);
+  ThreadPool::SetSharedParallelism(1);
+  std::vector<double> sequential = x;
+  TensorHaarForward(&sequential, dims);
+  ThreadPool::SetSharedParallelism(8);
+  std::vector<double> parallel = x;
+  TensorHaarForward(&parallel, dims);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&sequential[i], &parallel[i], sizeof(double)), 0)
+        << "index " << i;
+  }
+  TensorHaarInverse(&parallel, dims);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_NEAR(parallel[i], x[i], 1e-9);
+  }
+  ThreadPool::SetSharedParallelism(2);
 }
 
 }  // namespace

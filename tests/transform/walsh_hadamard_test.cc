@@ -3,10 +3,12 @@
 #include "transform/walsh_hadamard.h"
 
 #include <cmath>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace dpcube {
 namespace transform {
@@ -109,6 +111,32 @@ TEST_P(PointMassProperty, CoefficientSigns) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Cells, PointMassProperty, ::testing::Range(0, 16));
+
+// Above the blocking cutoff (2^14) the butterflies fan out over the
+// shared pool; the result must be bitwise identical to the sequential
+// sweep and still an involution.
+TEST(WalshHadamardTest, BlockedParallelPathMatchesSequentialBitExact) {
+  const std::size_t n = std::size_t{1} << 16;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(static_cast<double>(i)) * 3.25 + (i % 11);
+  }
+  ThreadPool::SetSharedParallelism(1);
+  std::vector<double> sequential = x;
+  WalshHadamard(&sequential);
+  ThreadPool::SetSharedParallelism(8);
+  std::vector<double> parallel = x;
+  WalshHadamard(&parallel);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(std::memcmp(&sequential[i], &parallel[i], sizeof(double)), 0)
+        << "index " << i;
+  }
+  WalshHadamard(&parallel);  // Involution, still on the parallel path.
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_NEAR(parallel[i], x[i], 1e-9);
+  }
+  ThreadPool::SetSharedParallelism(2);
+}
 
 }  // namespace
 }  // namespace transform

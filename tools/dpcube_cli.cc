@@ -66,6 +66,7 @@
 
 #include "common/bits.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "data/contingency_table.h"
 #include "data/dataset.h"
 #include "data/microdata.h"
@@ -79,6 +80,7 @@
 #include "service/marginal_cache.h"
 #include "service/query_service.h"
 #include "service/release_store.h"
+#include "service/serve_protocol.h"
 #include "strategy/factory.h"
 
 namespace {
@@ -93,7 +95,7 @@ int Usage() {
                "  dpcube release --schema SPEC --data F --workload W "
                "--method M --epsilon E --out F\n"
                "                 [--delta D] [--seed S] "
-               "[--no-consistency]\n"
+               "[--no-consistency] [--threads T]\n"
                "  dpcube inspect --release F\n"
                "  dpcube plan    --schema SPEC --workload W --method M "
                "--epsilon E [--delta D]\n"
@@ -102,8 +104,28 @@ int Usage() {
                "  dpcube query   --release F (--mask M | --bits I,J,...) "
                "[--cell C | --range LO:HI]\n"
                "  dpcube serve   [--release F [--name N]] [--threads T] "
-               "[--cache-cells N]\n");
+               "[--cache-cells N]\n"
+               "  (--threads T sizes the process-wide pool shared by the "
+               "release pipeline\n"
+               "   and the serve executor; default: hardware "
+               "concurrency)\n");
   return 2;
+}
+
+// Applies --threads (1..256) to the process-wide pool every pipeline hot
+// path and the serve executor run on. Returns false on a malformed value.
+bool ConfigureThreads(const std::map<std::string, std::string>& flags) {
+  const auto it = flags.find("threads");
+  if (it == flags.end()) return true;  // Default: hardware concurrency.
+  std::size_t threads = 0;
+  if (!service::ParseSize(it->second, &threads) || threads == 0 ||
+      threads > 256) {
+    std::fprintf(stderr, "bad --threads '%s' (want 1..256)\n",
+                 it->second.c_str());
+    return false;
+  }
+  ThreadPool::SetSharedParallelism(static_cast<int>(threads));
+  return true;
 }
 
 // Minimal flag parsing: --key value pairs plus boolean --no-consistency.
@@ -231,6 +253,12 @@ int RunRelease(const std::map<std::string, std::string>& flags) {
   std::printf("predicted total variance: %.4g; consistent: %s\n",
               outcome.value().predicted_variance,
               outcome.value().consistent ? "yes" : "no");
+  const engine::PhaseTimings& t = outcome.value().timings;
+  std::printf(
+      "phases: budget %.3fs, measure %.3fs, consistency %.3fs "
+      "(total %.3fs, threads=%d)\n",
+      t.budget_seconds, t.measure_seconds, t.consistency_seconds,
+      t.total_seconds, ThreadPool::Shared().parallelism());
   return 0;
 }
 
@@ -383,32 +411,9 @@ int RunInspect(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
-// Strict non-negative integer parse, decimal or 0x-hex ONLY (no octal:
-// "010" means ten); rejects empty input, negatives, and trailing
-// garbage, unlike strtoull/atof which would silently yield 0 (or wrap
-// "-1" to 2^64-1).
-bool ParseSize(const std::string& text, std::size_t* out) {
-  if (text.empty() || text[0] == '-' || text[0] == '+') return false;
-  const bool hex = text.rfind("0x", 0) == 0 || text.rfind("0X", 0) == 0;
-  try {
-    std::size_t pos = 0;
-    *out = std::stoull(hex ? text.substr(2) : text, &pos, hex ? 16 : 10);
-    return pos == (hex ? text.size() - 2 : text.size()) &&
-           !(hex && text.size() == 2);
-  } catch (const std::exception&) {
-    return false;
-  }
-}
-
-// Splits a request line on whitespace (shared by the serve loop and its
-// batch sub-loop, so the two parse identically).
-std::vector<std::string> Tokenize(const std::string& line) {
-  std::stringstream ss(line);
-  std::vector<std::string> tokens;
-  std::string token;
-  while (ss >> token) tokens.push_back(token);
-  return tokens;
-}
+// Size/mask parsing is shared with the serve protocol (service::ParseSize)
+// so flags and protocol lines accept the same syntax.
+using service::ParseSize;
 
 // Parses a marginal mask from --mask (decimal or 0x-hex) or --bits
 // (comma-separated bit indices). Returns false and prints on failure.
@@ -446,16 +451,7 @@ bool ParseMask(const std::map<std::string, std::string>& flags,
 }
 
 void PrintResponse(const service::QueryResponse& response) {
-  if (!response.status.ok()) {
-    std::printf("ERR %s\n", response.status.ToString().c_str());
-    return;
-  }
-  std::printf("OK query mask=0x%llx var=%.6g hit=%d n=%zu values",
-              static_cast<unsigned long long>(response.beta),
-              response.variance, response.cache_hit ? 1 : 0,
-              response.values.size());
-  for (const double v : response.values) std::printf(" %.17g", v);
-  std::printf("\n");
+  std::printf("%s\n", service::FormatResponse(response).c_str());
 }
 
 int RunQuery(const std::map<std::string, std::string>& flags) {
@@ -504,64 +500,20 @@ int RunQuery(const std::map<std::string, std::string>& flags) {
   return response.status.ok() ? 0 : 1;
 }
 
-// Parses "query NAME kind MASK [args]" tokens (after "query") into q.
-bool ParseServeQuery(const std::vector<std::string>& tokens,
-                     service::Query* q, std::string* error) {
-  if (tokens.size() < 3) {
-    *error = "query NAME marginal|cell|range MASK [CELL | LO HI]";
-    return false;
-  }
-  q->release = tokens[0];
-  const std::string& kind = tokens[1];
-  std::size_t beta = 0;
-  if (!ParseSize(tokens[2], &beta)) {
-    *error = "bad mask '" + tokens[2] + "'";
-    return false;
-  }
-  q->beta = beta;
-  if (kind == "marginal" && tokens.size() == 3) {
-    q->kind = service::QueryKind::kMarginal;
-  } else if (kind == "cell" && tokens.size() == 4) {
-    q->kind = service::QueryKind::kCell;
-    if (!ParseSize(tokens[3], &q->cell_lo)) {
-      *error = "bad cell '" + tokens[3] + "'";
-      return false;
-    }
-  } else if (kind == "range" && tokens.size() == 5) {
-    q->kind = service::QueryKind::kRange;
-    if (!ParseSize(tokens[3], &q->cell_lo) ||
-        !ParseSize(tokens[4], &q->cell_hi)) {
-      *error = "bad range bounds";
-      return false;
-    }
-  } else {
-    *error = "unknown query form '" + kind + "'";
-    return false;
-  }
-  return true;
-}
-
 int RunServe(const std::map<std::string, std::string>& flags) {
   std::size_t cache_cells = 1 << 20;
-  std::size_t threads = 2;
   const auto cache_it = flags.find("cache-cells");
   if (cache_it != flags.end() && !ParseSize(cache_it->second, &cache_cells)) {
     std::fprintf(stderr, "bad --cache-cells '%s'\n",
                  cache_it->second.c_str());
     return 2;
   }
-  const auto threads_it = flags.find("threads");
-  if (threads_it != flags.end() &&
-      (!ParseSize(threads_it->second, &threads) || threads == 0 ||
-       threads > 256)) {
-    std::fprintf(stderr, "bad --threads '%s' (want 1..256)\n",
-                 threads_it->second.c_str());
-    return 2;
-  }
   auto store = std::make_shared<service::ReleaseStore>();
   auto cache = std::make_shared<service::MarginalCache>(cache_cells);
   auto svc = std::make_shared<const service::QueryService>(store, cache);
-  service::BatchExecutor executor(svc, static_cast<int>(threads));
+  // Batches run on the same process-wide pool as the release pipeline
+  // (sized by --threads via ConfigureThreads in main).
+  service::BatchExecutor executor(svc, &ThreadPool::Shared());
 
   const auto release_it = flags.find("release");
   if (release_it != flags.end()) {
@@ -579,105 +531,8 @@ int RunServe(const std::map<std::string, std::string>& flags) {
   std::printf("OK dpcube serve ready (threads=%d)\n", executor.num_threads());
   std::fflush(stdout);
 
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    const std::vector<std::string> tokens = Tokenize(line);
-    if (tokens.empty()) continue;
-    const std::string& command = tokens[0];
-
-    if (command == "quit" || command == "exit") {
-      std::printf("OK bye\n");
-      break;
-    } else if (command == "load" && tokens.size() == 3) {
-      const Status st = store->LoadFromFile(tokens[1], tokens[2]);
-      if (st.ok()) {
-        std::printf("OK loaded %s\n", tokens[1].c_str());
-      } else {
-        std::printf("ERR %s\n", st.ToString().c_str());
-      }
-    } else if (command == "unload" && tokens.size() == 2) {
-      const Status st = svc->RemoveRelease(tokens[1]);
-      if (st.ok()) {
-        std::printf("OK unloaded %s\n", tokens[1].c_str());
-      } else {
-        std::printf("ERR %s\n", st.ToString().c_str());
-      }
-    } else if (command == "list" && tokens.size() == 1) {
-      const auto infos = store->List();
-      std::printf("OK releases n=%zu", infos.size());
-      for (const auto& info : infos) {
-        std::printf(" %s:d=%d:marginals=%zu:cells=%llu", info.name.c_str(),
-                    info.d, info.num_marginals,
-                    static_cast<unsigned long long>(info.total_cells));
-      }
-      std::printf("\n");
-    } else if (command == "query") {
-      service::Query q;
-      std::string error;
-      if (!ParseServeQuery(
-              std::vector<std::string>(tokens.begin() + 1, tokens.end()), &q,
-              &error)) {
-        std::printf("ERR %s\n", error.c_str());
-      } else {
-        PrintResponse(svc->Answer(q));
-      }
-    } else if (command == "batch" && tokens.size() == 2) {
-      // Zero would emit zero response lines and stall a scripted client
-      // waiting for one; an unbounded count (or "-1" wrapping to 2^64-1)
-      // would swallow the rest of stdin.
-      constexpr std::size_t kMaxBatch = 100000;
-      std::size_t n = 0;
-      if (!ParseSize(tokens[1], &n) || n == 0 || n > kMaxBatch) {
-        std::printf("ERR batch expects a count in 1..%zu\n", kMaxBatch);
-        std::fflush(stdout);
-        continue;
-      }
-      std::vector<service::Query> batch;
-      std::string batch_error;
-      // Consume ALL n lines even after a bad one: stopping early would
-      // leave the rest to be re-read as top-level commands and desync
-      // every later request/response pair of a scripted client.
-      for (std::size_t i = 0; i < n; ++i) {
-        std::string request;
-        if (!std::getline(std::cin, request)) {
-          batch_error = "unexpected EOF inside batch";
-          break;
-        }
-        if (!batch_error.empty()) continue;
-        const std::vector<std::string> rtokens = Tokenize(request);
-        if (rtokens.size() < 2 || rtokens[0] != "query") {
-          batch_error = "batch lines must be query requests";
-          continue;
-        }
-        service::Query q;
-        if (!ParseServeQuery(
-                std::vector<std::string>(rtokens.begin() + 1, rtokens.end()),
-                &q, &batch_error)) {
-          continue;
-        }
-        batch.push_back(std::move(q));
-      }
-      if (!batch_error.empty()) {
-        std::printf("ERR %s\n", batch_error.c_str());
-      } else {
-        for (const auto& response : executor.ExecuteBatch(batch)) {
-          PrintResponse(response);
-        }
-      }
-    } else if (command == "stats" && tokens.size() == 1) {
-      const service::CacheStats s = cache->stats();
-      std::printf(
-          "OK stats hits=%llu misses=%llu evictions=%llu entries=%zu "
-          "cells=%zu capacity=%zu releases=%zu\n",
-          static_cast<unsigned long long>(s.hits),
-          static_cast<unsigned long long>(s.misses),
-          static_cast<unsigned long long>(s.evictions), s.entries, s.cells,
-          s.capacity_cells, store->size());
-    } else {
-      std::printf("ERR unknown request '%s'\n", line.c_str());
-    }
-    std::fflush(stdout);
-  }
+  service::ServeSession session(store, cache, svc, &executor);
+  session.Run(std::cin, std::cout);
   return 0;
 }
 
@@ -688,6 +543,7 @@ int main(int argc, char** argv) {
   bool ok = false;
   const auto flags = ParseFlags(argc, argv, &ok);
   if (!ok) return Usage();
+  if (!ConfigureThreads(flags)) return 2;
   const std::string command = argv[1];
   if (command == "synth") return RunSynth(flags);
   if (command == "release") return RunRelease(flags);
