@@ -114,7 +114,7 @@ const data::SparseCounts& BigNltcsCounts() {
 // End-to-end private release (budgets + parallel per-cuboid measurement +
 // recovery) at state.range(0) threads.
 void BM_ReleaseThreadScaling(benchmark::State& state) {
-  ThreadPool::SetSharedParallelism(static_cast<int>(state.range(0)));
+  ThreadPool::ResetSharedPoolForTests(static_cast<int>(state.range(0)));
   static const strategy::FourierStrategy* strat = [] {
     return new strategy::FourierStrategy(
         marginal::WorkloadQk(data::NltcsSchema(), 3));
@@ -146,7 +146,7 @@ void BM_ReleaseThreadScaling(benchmark::State& state) {
 // Full-domain 2^22 Walsh–Hadamard butterflies (the transform kernel under
 // consistency recovery and witness materialisation).
 void BM_WalshHadamardThreadScaling(benchmark::State& state) {
-  ThreadPool::SetSharedParallelism(static_cast<int>(state.range(0)));
+  ThreadPool::ResetSharedPoolForTests(static_cast<int>(state.range(0)));
   std::vector<double> x(std::size_t{1} << 22);
   for (std::size_t i = 0; i < x.size(); ++i) {
     x[i] = static_cast<double>(i % 97);

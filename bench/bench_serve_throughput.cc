@@ -1,8 +1,11 @@
 // Copyright 2026 The dpcube Authors.
 //
 // Serving-layer throughput: queries/sec against a stored release with a
-// cold vs warm derived-marginal cache, and batch-executor scaling across
-// thread counts. The release is the k-way cuboid cube (the paper's
+// cold vs warm derived-marginal cache, batch-executor scaling across
+// thread counts, and the same workload pushed through the real TCP
+// serving subsystem on a loopback socket (N client threads × M
+// connections each), with client-observed p50/p99 latency next to the
+// in-process numbers. The release is the k-way cuboid cube (the paper's
 // serving story: one budgeted k-way release makes the entire lower
 // datacube derivable) and the query mix sweeps every derivable marginal,
 // re-requested each sweep — the repeated-query regime the MarginalCache
@@ -10,15 +13,21 @@
 //
 // Usage: bench_serve_throughput [d] [sweeps] [order]
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "common/rng.h"
+#include "common/stats.h"
+#include "common/thread_pool.h"
 #include "data/synthetic.h"
+#include "net/client.h"
+#include "net/socket_listener.h"
 #include "service/batch_executor.h"
 #include "service/marginal_cache.h"
 #include "service/query_service.h"
@@ -123,6 +132,98 @@ int main(int argc, char** argv) {
     });
     std::printf("  threads=%d: %10.0f q/s\n", threads,
                 static_cast<double>(answered) / seconds);
+  }
+
+  // The same service behind the real network stack: a loopback
+  // SocketListener, N client threads × M connections each, one-shot cell
+  // queries against the warm cache, latency observed from the client
+  // side (so it includes framing, the socket round-trip, admission, and
+  // the pool handoff).
+  {
+    ThreadPool pool(4);
+    auto tcp_executor =
+        std::make_shared<const service::BatchExecutor>(svc, &pool);
+    net::ServerOptions options;
+    options.admission.max_connections = 256;
+    options.admission.max_queue_depth = 4096;
+    net::SocketListener listener(
+        options,
+        net::ServeContext{store, cache, svc, tcp_executor, &pool});
+    if (!listener.Start().ok()) {
+      std::fprintf(stderr, "tcp bench: listen failed\n");
+      return 1;
+    }
+    std::thread serve_thread([&listener] { listener.Serve().ok(); });
+    const std::string address =
+        "127.0.0.1:" + std::to_string(listener.bound_port());
+
+    // Warm the cache once so the TCP numbers isolate serving overhead,
+    // matching the in-process "warm cache" row.
+    {
+      auto warm = net::Client::Connect(address);
+      if (warm.ok()) {
+        for (const auto& q : queries) {
+          warm.value().CallLines("query bench marginal " +
+                                 std::to_string(q.beta));
+        }
+      }
+    }
+
+    std::printf("tcp loopback serving (cell queries, warm cache):\n");
+    const struct {
+      int threads;
+      int conns;
+    } configs[] = {{1, 1}, {2, 2}, {4, 2}};
+    for (const auto& config : configs) {
+      const int requests_per_thread = 2000;
+      std::vector<double> latencies;
+      std::mutex latencies_mu;
+      std::atomic<int> errors{0};
+      double seconds = bench::TimeSeconds([&] {
+        std::vector<std::thread> workers;
+        for (int t = 0; t < config.threads; ++t) {
+          workers.emplace_back([&, t] {
+            std::vector<net::Client> conns;
+            for (int c = 0; c < config.conns; ++c) {
+              auto client = net::Client::Connect(address);
+              if (client.ok()) conns.push_back(std::move(client).value());
+            }
+            if (conns.empty()) {
+              errors.fetch_add(requests_per_thread);
+              return;
+            }
+            std::vector<double> local;
+            local.reserve(static_cast<std::size_t>(requests_per_thread));
+            for (int i = 0; i < requests_per_thread; ++i) {
+              const auto& q = queries[static_cast<std::size_t>(
+                  (t + i) % static_cast<int>(queries.size()))];
+              const std::string request =
+                  "query bench cell " + std::to_string(q.beta) + " 0";
+              auto& conn = conns[static_cast<std::size_t>(
+                  i % static_cast<int>(conns.size()))];
+              std::string payload;
+              const double rtt = bench::TimeSeconds([&] {
+                if (!conn.Call(request, &payload).ok()) errors.fetch_add(1);
+              });
+              local.push_back(rtt * 1e6);
+            }
+            std::lock_guard<std::mutex> lock(latencies_mu);
+            latencies.insert(latencies.end(), local.begin(), local.end());
+          });
+        }
+        for (auto& w : workers) w.join();
+      });
+      const double total =
+          static_cast<double>(config.threads) * requests_per_thread;
+      std::printf(
+          "  clients=%dx%d: %10.0f q/s  p50=%.0fus p99=%.0fus"
+          "  (errors=%d)\n",
+          config.threads, config.conns, total / seconds,
+          stats::Quantile(latencies, 0.5), stats::Quantile(latencies, 0.99),
+          errors.load());
+    }
+    listener.Shutdown();
+    serve_thread.join();
   }
   return 0;
 }

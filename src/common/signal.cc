@@ -1,0 +1,71 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "common/signal.h"
+
+#include <errno.h>
+#include <signal.h>
+#include <string.h>
+
+#include <atomic>
+#include <mutex>
+
+#include "common/fd.h"
+
+namespace dpcube {
+namespace {
+
+// The pipe outlives every caller (fds intentionally leaked at exit);
+// only the write end is touched from the handler, via an atomic int.
+std::atomic<int> g_signal_write_fd{-1};
+std::atomic<int> g_signal_number{0};
+int g_signal_read_fd = -1;  // Guarded by g_install_mu after install.
+std::mutex g_install_mu;
+
+void OnShutdownSignal(int signum) {
+  // A handler must leave errno untouched: it may interrupt code between
+  // a failing syscall and its errno check (poll/recv in the server's
+  // event loop), and WriteWakeByte's write() clobbers errno.
+  const int saved_errno = errno;
+  g_signal_number.store(signum, std::memory_order_relaxed);
+  const int fd = g_signal_write_fd.load(std::memory_order_acquire);
+  if (fd >= 0) WriteWakeByte(fd);
+  errno = saved_errno;
+}
+
+}  // namespace
+
+Result<int> InstallShutdownSignalFd() {
+  std::lock_guard<std::mutex> lock(g_install_mu);
+  if (g_signal_read_fd >= 0) return g_signal_read_fd;
+
+  auto pipe = MakePipe();
+  if (!pipe.ok()) return pipe.status();
+  // Publish the write end before installing handlers so a signal landing
+  // mid-install still finds a valid fd.
+  g_signal_write_fd.store(pipe.value().write_end.release(),
+                          std::memory_order_release);
+  g_signal_read_fd = pipe.value().read_end.release();
+
+  struct sigaction action;
+  ::memset(&action, 0, sizeof(action));
+  action.sa_handler = OnShutdownSignal;
+  ::sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  for (const int signum : {SIGINT, SIGTERM}) {
+    if (::sigaction(signum, &action, nullptr) != 0) {
+      return Status::Internal(std::string("sigaction: ") +
+                              ::strerror(errno));
+    }
+  }
+  return g_signal_read_fd;
+}
+
+bool ShutdownRequested() {
+  return g_signal_number.load(std::memory_order_relaxed) != 0;
+}
+
+int ShutdownSignalNumber() {
+  return g_signal_number.load(std::memory_order_relaxed);
+}
+
+}  // namespace dpcube

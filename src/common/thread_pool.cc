@@ -170,7 +170,24 @@ ThreadPool& ThreadPool::Shared() {
   return *pool;
 }
 
-void ThreadPool::SetSharedParallelism(int parallelism) {
+Status ThreadPool::SetSharedParallelism(int parallelism) {
+  const int wanted = std::max(1, parallelism);
+  std::lock_guard<std::mutex> lock(shared_pool_mu);
+  auto& pool = SharedPoolSlot();
+  if (!pool) {
+    pool = std::make_unique<ThreadPool>(wanted);
+    return Status::OK();
+  }
+  if (pool->parallelism() == wanted) return Status::OK();
+  return Status::FailedPrecondition(
+      "shared thread pool already sized to " +
+      std::to_string(pool->parallelism()) + " threads; cannot resize to " +
+      std::to_string(wanted) +
+      " (the size is sticky once the pool exists — set --threads before "
+      "any parallel work runs)");
+}
+
+void ThreadPool::ResetSharedPoolForTests(int parallelism) {
   std::lock_guard<std::mutex> lock(shared_pool_mu);
   auto& pool = SharedPoolSlot();
   if (pool && pool->parallelism() == std::max(1, parallelism)) return;

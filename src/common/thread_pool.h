@@ -30,6 +30,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace dpcube {
 
 class ThreadPool {
@@ -74,10 +76,22 @@ class ThreadPool {
   /// service. First use creates it with hardware_concurrency threads.
   static ThreadPool& Shared();
 
-  /// Rebuilds the shared pool with the given parallelism (the CLI's
-  /// --threads flag). Must only be called while no other thread is using
-  /// the shared pool; intended for process startup and tests.
-  static void SetSharedParallelism(int parallelism);
+  /// Sizes the shared pool (the CLI's --threads flag). The size is
+  /// sticky: the first sizing — whether by this call or by a plain
+  /// Shared() defaulting to hardware concurrency — wins for the life of
+  /// the process, because long-lived components (BatchExecutor, the
+  /// network server) hold references into the pool and a silent rebuild
+  /// would dangle them. A second call with the same size is a no-op; a
+  /// second call with a DIFFERENT size fails loudly with
+  /// FailedPrecondition and leaves the existing pool untouched.
+  static Status SetSharedParallelism(int parallelism);
+
+  /// Unconditionally rebuilds the shared pool at `parallelism`,
+  /// bypassing the sticky-size check. STRICTLY for tests and benchmarks
+  /// that sweep thread counts: the caller must guarantee no other thread
+  /// is running on — and no live object holds a reference to — the
+  /// current shared pool.
+  static void ResetSharedPoolForTests(int parallelism);
 
  private:
   void WorkerLoop();

@@ -1,0 +1,37 @@
+// Copyright 2026 The dpcube Authors.
+//
+// "host:port" parsing and the two blocking socket setup operations the
+// subsystem needs (IPv4 listen, IPv4 connect). Everything event-driven
+// lives in SocketListener; these helpers only ever run at startup or in
+// the blocking client.
+
+#ifndef DPCUBE_NET_ADDRESS_H_
+#define DPCUBE_NET_ADDRESS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/fd.h"
+#include "common/status.h"
+
+namespace dpcube {
+namespace net {
+
+/// Splits "host:port" (e.g. "127.0.0.1:8000"; port 0 = ephemeral).
+/// `host` must be a dotted-quad IPv4 literal or "localhost".
+Status ParseHostPort(const std::string& address, std::string* host,
+                     std::uint16_t* port);
+
+/// Creates a non-blocking listening TCP socket bound to host:port with
+/// SO_REUSEADDR. On success fills `*bound_port` with the actual port
+/// (meaningful when asked for port 0).
+Result<UniqueFd> ListenTcp(const std::string& host, std::uint16_t port,
+                           int backlog, std::uint16_t* bound_port);
+
+/// Blocking TCP connect to host:port (the client library's transport).
+Result<UniqueFd> ConnectTcp(const std::string& host, std::uint16_t port);
+
+}  // namespace net
+}  // namespace dpcube
+
+#endif  // DPCUBE_NET_ADDRESS_H_

@@ -1,0 +1,64 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "net/admission.h"
+
+#include <algorithm>
+
+namespace dpcube {
+namespace net {
+
+AdmissionConfig ClampAdmissionConfig(AdmissionConfig config) {
+  config.max_connections = std::max(1, config.max_connections);
+  config.max_inflight = std::max(1, config.max_inflight);
+  config.max_queue_depth = std::max(1, config.max_queue_depth);
+  return config;
+}
+
+bool AdmissionController::TryAdmitConnection(std::string* busy_reason) {
+  // CAS loop rather than blind increment so a refused attempt never
+  // transiently inflates the count another accept is checking against.
+  int current = active_connections_.load();
+  for (;;) {
+    if (current >= config_.max_connections) {
+      rejected_connections_.fetch_add(1);
+      *busy_reason = "BUSY connection limit (" +
+                     std::to_string(config_.max_connections) + ") reached";
+      return false;
+    }
+    if (active_connections_.compare_exchange_weak(current, current + 1)) {
+      accepted_total_.fetch_add(1);
+      return true;
+    }
+  }
+}
+
+void AdmissionController::ReleaseConnection() {
+  active_connections_.fetch_sub(1);
+}
+
+bool AdmissionController::TryAdmitRequest(int connection_inflight,
+                                          std::string* busy_reason) {
+  if (connection_inflight >= config_.max_inflight) {
+    shed_requests_.fetch_add(1);
+    *busy_reason = "BUSY per-connection in-flight limit (" +
+                   std::to_string(config_.max_inflight) + ") reached";
+    return false;
+  }
+  int current = queued_requests_.load();
+  for (;;) {
+    if (current >= config_.max_queue_depth) {
+      shed_requests_.fetch_add(1);
+      *busy_reason = "BUSY server queue depth (" +
+                     std::to_string(config_.max_queue_depth) + ") reached";
+      return false;
+    }
+    if (queued_requests_.compare_exchange_weak(current, current + 1)) {
+      return true;
+    }
+  }
+}
+
+void AdmissionController::ReleaseRequest() { queued_requests_.fetch_sub(1); }
+
+}  // namespace net
+}  // namespace dpcube

@@ -1,0 +1,75 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Admission control for the serving subsystem: fixed caps on accepted
+// connections, per-connection in-flight requests, and total queued work,
+// enforced at the network edge so overload degrades into fast structured
+// "BUSY <reason>" replies instead of unbounded queues, latency collapse,
+// or silent drops. Every shed request still gets exactly one response —
+// the one invariant a pipelining client needs to stay in sync.
+
+#ifndef DPCUBE_NET_ADMISSION_H_
+#define DPCUBE_NET_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace dpcube {
+namespace net {
+
+struct AdmissionConfig {
+  /// Accepted connections beyond this are answered with one BUSY frame
+  /// and closed.
+  int max_connections = 64;
+  /// Per-connection cap on requests admitted but not yet answered;
+  /// arrivals beyond it are shed with BUSY.
+  int max_inflight = 8;
+  /// Server-wide cap on admitted-but-unanswered requests across all
+  /// connections (the executor's queue depth); arrivals beyond it are
+  /// shed with BUSY even if their connection is under its own cap.
+  int max_queue_depth = 256;
+};
+
+/// Validated config (all caps clamped to >= 1).
+AdmissionConfig ClampAdmissionConfig(AdmissionConfig config);
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig config)
+      : config_(ClampAdmissionConfig(config)) {}
+
+  const AdmissionConfig& config() const { return config_; }
+
+  /// Accept-time gate. On refusal, bumps the rejected counter and fills
+  /// `*busy_reason` for the one-frame goodbye.
+  bool TryAdmitConnection(std::string* busy_reason);
+  void ReleaseConnection();
+
+  /// Frame-arrival gate; `connection_inflight` is the calling
+  /// connection's own admitted-but-unanswered count. On refusal, bumps
+  /// the shed counter and fills `*busy_reason`.
+  bool TryAdmitRequest(int connection_inflight, std::string* busy_reason);
+  void ReleaseRequest();
+
+  // Monitoring snapshot (STATS verb).
+  int active_connections() const { return active_connections_.load(); }
+  int queued_requests() const { return queued_requests_.load(); }
+  std::uint64_t accepted_total() const { return accepted_total_.load(); }
+  std::uint64_t rejected_connections() const {
+    return rejected_connections_.load();
+  }
+  std::uint64_t shed_requests() const { return shed_requests_.load(); }
+
+ private:
+  const AdmissionConfig config_;
+  std::atomic<int> active_connections_{0};
+  std::atomic<int> queued_requests_{0};
+  std::atomic<std::uint64_t> accepted_total_{0};
+  std::atomic<std::uint64_t> rejected_connections_{0};
+  std::atomic<std::uint64_t> shed_requests_{0};
+};
+
+}  // namespace net
+}  // namespace dpcube
+
+#endif  // DPCUBE_NET_ADMISSION_H_

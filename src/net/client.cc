@@ -1,0 +1,88 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "net/client.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <sstream>
+#include <utility>
+
+#include "net/address.h"
+
+namespace dpcube {
+namespace net {
+
+Result<Client> Client::Connect(const std::string& address) {
+  std::string host;
+  std::uint16_t port = 0;
+  DPCUBE_RETURN_NOT_OK(ParseHostPort(address, &host, &port));
+  auto fd = ConnectTcp(host, port);
+  if (!fd.ok()) return fd.status();
+  return Client(std::move(fd).value());
+}
+
+Status Client::Send(const std::string& request) {
+  const std::string frame = EncodeFrame(request);
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd_.get(), frame.data() + sent,
+                             frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("send: ") + ::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Client::Receive(std::string* payload) {
+  for (;;) {
+    switch (decoder_.Pop(payload)) {
+      case FrameDecoder::Next::kFrame:
+        return Status::OK();
+      case FrameDecoder::Next::kError:
+        return Status::Internal("response stream: " + decoder_.error());
+      case FrameDecoder::Next::kNeedMore:
+        break;
+    }
+    char buf[64 * 1024];
+    const ssize_t n = ::recv(fd_.get(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      decoder_.Append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return Status::NotFound(
+          "connection closed by server before a response frame");
+    }
+    if (errno == EINTR) continue;
+    return Status::Internal(std::string("recv: ") + ::strerror(errno));
+  }
+}
+
+Status Client::Call(const std::string& request, std::string* payload) {
+  DPCUBE_RETURN_NOT_OK(Send(request));
+  return Receive(payload);
+}
+
+Result<std::vector<std::string>> Client::CallLines(
+    const std::string& request) {
+  std::string payload;
+  DPCUBE_RETURN_NOT_OK(Call(request, &payload));
+  return SplitResponseLines(payload);
+}
+
+std::vector<std::string> SplitResponseLines(const std::string& payload) {
+  std::vector<std::string> lines;
+  std::istringstream in(payload);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+}  // namespace net
+}  // namespace dpcube

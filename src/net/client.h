@@ -1,0 +1,67 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Blocking client for the framed serve protocol — the library behind
+// `dpcube query --connect host:port`, the loopback tests, and the TCP
+// throughput bench. One Client is one connection; it is move-only and
+// NOT thread-safe (open one per thread — connections are cheap, and the
+// server's parallelism lives across connections).
+//
+// Two usage levels:
+//   Call()          — one request frame in, one response frame out (the
+//                     frame payload may hold several response lines,
+//                     e.g. a batch's).
+//   Send()/Receive()— explicit pipelining: queue many request frames,
+//                     then collect responses in order. Shed requests
+//                     come back as "BUSY <reason>" payloads.
+
+#ifndef DPCUBE_NET_CLIENT_H_
+#define DPCUBE_NET_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/fd.h"
+#include "common/status.h"
+#include "net/framing.h"
+
+namespace dpcube {
+namespace net {
+
+class Client {
+ public:
+  /// Connects to "host:port" (blocking).
+  static Result<Client> Connect(const std::string& address);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// Sends `request` (a self-contained protocol chunk: one line, several
+  /// pipelined lines, or a batch header plus sub-lines; trailing newline
+  /// optional) as one frame.
+  Status Send(const std::string& request);
+
+  /// Blocks for the next response frame; fills `*payload` verbatim
+  /// (newline-terminated response lines). A clean peer close yields
+  /// kUnavailable-style NotFound("connection closed").
+  Status Receive(std::string* payload);
+
+  /// Send + Receive.
+  Status Call(const std::string& request, std::string* payload);
+
+  /// Call() and split the payload into lines (the common case).
+  Result<std::vector<std::string>> CallLines(const std::string& request);
+
+ private:
+  explicit Client(UniqueFd fd) : fd_(std::move(fd)), decoder_() {}
+
+  UniqueFd fd_;
+  FrameDecoder decoder_;
+};
+
+/// Splits a response payload into its newline-terminated lines.
+std::vector<std::string> SplitResponseLines(const std::string& payload);
+
+}  // namespace net
+}  // namespace dpcube
+
+#endif  // DPCUBE_NET_CLIENT_H_

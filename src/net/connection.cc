@@ -1,0 +1,265 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "net/connection.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <sstream>
+#include <utility>
+
+namespace dpcube {
+namespace net {
+
+namespace {
+
+// A client that stops reading while pipelining can grow the write buffer
+// without bound; past this, the connection is dropped (standard
+// slow-consumer protection).
+constexpr std::size_t kMaxWriteBufferBytes = std::size_t{16} << 20;
+
+double SecondsSince(std::chrono::steady_clock::time_point start,
+                    std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace
+
+Connection::Connection(UniqueFd fd, std::uint64_t id,
+                       const ServeContext& context,
+                       std::shared_ptr<AdmissionController> admission,
+                       std::shared_ptr<ServerStats> stats,
+                       std::function<void()> wakeup,
+                       std::size_t max_frame_payload)
+    : id_(id),
+      fd_(std::move(fd)),
+      context_(context),
+      admission_(std::move(admission)),
+      stats_(std::move(stats)),
+      wakeup_(std::move(wakeup)),
+      session_(context.store, context.cache, context.service,
+               context.executor.get()),
+      decoder_(max_frame_payload) {}
+
+Connection::~Connection() {
+  // Slots admitted but never executed (connection died first) still hold
+  // a unit of the server-wide queue depth; return it. Executed slots
+  // released theirs at completion (admitted flips false there).
+  for (const auto& slot : slots_) {
+    if (slot->admitted && !slot->dispatched) admission_->ReleaseRequest();
+  }
+  admission_->ReleaseConnection();
+  // Graceful goodbye for orderly closes (quit / drain / decode error):
+  // FIN first and discard any bytes the peer already pipelined, because
+  // close() with unread inbound data sends an RST that can destroy the
+  // final flushed response before the peer reads it. Dead sockets skip
+  // this — an RST is exactly right for a slow-consumer drop.
+  if (fd_.valid() && !dead_) {
+    ::shutdown(fd_.get(), SHUT_WR);
+    char discard[4096];
+    while (::recv(fd_.get(), discard, sizeof(discard), 0) > 0) {
+    }
+  }
+}
+
+short Connection::PollEvents() const {
+  if (dead_) return 0;
+  short events = 0;
+  if (!draining_ && !read_eof_ && !sent_decode_error_) events |= POLLIN;
+  if (write_offset_ < write_buffer_.size()) events |= POLLOUT;
+  return events;
+}
+
+void Connection::OnReadable() {
+  if (dead_ || draining_ || read_eof_) return;
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd_.get(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      decoder_.Append(buf, static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) {
+      // Half-close: the client sent everything and shut down its write
+      // side; keep flushing responses for what is already admitted.
+      read_eof_ = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    dead_ = true;
+    return;
+  }
+  ProcessDecodedFrames();
+  Pump();
+}
+
+void Connection::ProcessDecodedFrames() {
+  std::string payload;
+  for (;;) {
+    const FrameDecoder::Next next = decoder_.Pop(&payload);
+    if (next == FrameDecoder::Next::kNeedMore) return;
+    if (next == FrameDecoder::Next::kError) {
+      if (!sent_decode_error_) {
+        sent_decode_error_ = true;
+        // One final structured goodbye, then no more reads: byte
+        // boundaries after a bad length prefix are meaningless. The
+        // goodbye rides the slot FIFO so it cannot overtake responses
+        // still owed for earlier frames.
+        auto goodbye = std::make_shared<Slot>();
+        goodbye->done = true;
+        goodbye->response = "ERR " + decoder_.error() + "\n";
+        std::lock_guard<std::mutex> lock(mu_);
+        slots_.push_back(std::move(goodbye));
+      }
+      return;
+    }
+    stats_->requests.fetch_add(1, std::memory_order_relaxed);
+    auto slot = std::make_shared<Slot>();
+    slot->arrival = std::chrono::steady_clock::now();
+    std::string busy_reason;
+    int inflight = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      inflight = admitted_inflight_;
+    }
+    if (!admission_->TryAdmitRequest(inflight, &busy_reason)) {
+      slot->done = true;
+      slot->response = busy_reason + "\n";
+    } else {
+      slot->admitted = true;
+      slot->request = std::move(payload);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++admitted_inflight_;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      slots_.push_back(std::move(slot));
+    }
+  }
+}
+
+void Connection::MaybeDispatch() {
+  std::shared_ptr<Slot> next;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (executing_ || quit_seen_) return;
+    for (const auto& slot : slots_) {
+      if (!slot->done && !slot->dispatched) {
+        next = slot;
+        break;
+      }
+    }
+    if (!next) return;
+    next->dispatched = true;
+    executing_ = true;
+  }
+  // Submit OUTSIDE the lock: on a 1-thread pool the task runs inline,
+  // and Execute takes mu_.
+  auto self = shared_from_this();
+  context_.pool->Submit([self, next] { self->Execute(next); });
+}
+
+void Connection::Execute(const std::shared_ptr<Slot>& slot) {
+  const auto exec_start = std::chrono::steady_clock::now();
+  std::istringstream in(slot->request);
+  std::ostringstream out;
+  const bool keep_going = session_.ProcessStream(in, out);
+  const auto exec_end = std::chrono::steady_clock::now();
+
+  stats_->frames_executed.fetch_add(1, std::memory_order_relaxed);
+  stats_->queue_latency.Record(SecondsSince(slot->arrival, exec_start));
+  stats_->exec_latency.Record(SecondsSince(exec_start, exec_end));
+  stats_->total_latency.Record(SecondsSince(slot->arrival, exec_end));
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    slot->response = out.str();
+    slot->request.clear();
+    slot->request.shrink_to_fit();
+    slot->done = true;
+    slot->admitted = false;  // Queue-depth unit returned below.
+    --admitted_inflight_;
+    executing_ = false;
+    if (!keep_going) quit_seen_ = true;
+  }
+  admission_->ReleaseRequest();
+  // The poll loop flushes the response and dispatches the next slot.
+  wakeup_();
+}
+
+void Connection::EnqueueResponseFrame(const std::string& payload) {
+  write_buffer_ += EncodeFrame(payload);
+  stats_->responses.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Connection::Pump() {
+  if (dead_) return;
+  MaybeDispatch();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (!slots_.empty() && slots_.front()->done) {
+      EnqueueResponseFrame(slots_.front()->response);
+      slots_.pop_front();
+    }
+    if (quit_seen_) {
+      // quit closes the conversation: frames pipelined past it are
+      // discarded unanswered (their admitted queue-depth units go back).
+      // No slot can be mid-execution here — quit_seen_ is only set by a
+      // completing Execute, and execution is serial per connection.
+      for (const auto& slot : slots_) {
+        if (slot->admitted && !slot->dispatched) {
+          slot->admitted = false;
+          --admitted_inflight_;
+          admission_->ReleaseRequest();
+        }
+      }
+      slots_.clear();
+      draining_ = true;
+    }
+  }
+  FlushWrites();
+  if (write_buffer_.size() - write_offset_ > kMaxWriteBufferBytes) {
+    dead_ = true;  // Slow consumer: pipelines requests, never reads.
+  }
+}
+
+void Connection::FlushWrites() {
+  while (write_offset_ < write_buffer_.size()) {
+    const ssize_t n =
+        ::send(fd_.get(), write_buffer_.data() + write_offset_,
+               write_buffer_.size() - write_offset_, MSG_NOSIGNAL);
+    if (n > 0) {
+      write_offset_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    dead_ = true;
+    return;
+  }
+  if (write_offset_ == write_buffer_.size()) {
+    write_buffer_.clear();
+    write_offset_ = 0;
+  }
+}
+
+void Connection::OnWritable() {
+  if (dead_) return;
+  FlushWrites();
+}
+
+void Connection::BeginDrain() { draining_ = true; }
+
+bool Connection::Finished() const {
+  if (dead_) return true;
+  if (!draining_ && !read_eof_ && !sent_decode_error_) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.empty() && write_offset_ >= write_buffer_.size();
+}
+
+}  // namespace net
+}  // namespace dpcube

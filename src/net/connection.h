@@ -1,0 +1,155 @@
+// Copyright 2026 The dpcube Authors.
+//
+// One accepted TCP connection: the read-side FrameDecoder, the FIFO of
+// request slots, the write buffer, and a private ServeSession. The
+// design splits work rigidly between two kinds of threads:
+//
+//   network thread (the SocketListener's poll loop) — reads bytes,
+//     decodes frames, runs admission, dispatches slots, flushes
+//     completed responses, closes the socket. Never computes.
+//   pool workers (ThreadPool::Shared via the ServeContext) — execute
+//     one admitted frame at a time per connection through the session
+//     (which may fan a batch out across the same pool), fill the slot,
+//     and wake the poll loop.
+//
+// Invariant the whole protocol rests on: every request frame gets
+// EXACTLY ONE response frame, and response frames leave in request
+// order. Shed requests complete instantly with a "BUSY <reason>" payload
+// in their ordinal position; execution is serial per connection
+// (cross-connection parallelism comes from many connections sharing the
+// pool, intra-request parallelism from the batch verb), so the FIFO
+// order is also execution order.
+
+#ifndef DPCUBE_NET_CONNECTION_H_
+#define DPCUBE_NET_CONNECTION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/fd.h"
+#include "common/thread_pool.h"
+#include "net/admission.h"
+#include "net/framing.h"
+#include "net/server_stats.h"
+#include "service/serve_protocol.h"
+
+namespace dpcube {
+namespace net {
+
+/// The shared serving collaborators a connection's session borrows.
+/// Everything a pool task can touch after the listener is gone is held
+/// by shared_ptr (each Connection keeps a copy of this context and each
+/// task keeps its Connection alive), so a query that outlives the drain
+/// timeout cannot dangle. `pool` alone stays raw: it is only
+/// dereferenced by the network thread while the listener is alive, and
+/// the production caller passes the process-static ThreadPool::Shared().
+struct ServeContext {
+  std::shared_ptr<service::ReleaseStore> store;
+  std::shared_ptr<service::MarginalCache> cache;
+  std::shared_ptr<const service::QueryService> service;
+  std::shared_ptr<const service::BatchExecutor> executor;
+  ThreadPool* pool = nullptr;
+};
+
+class Connection : public std::enable_shared_from_this<Connection> {
+ public:
+  /// `wakeup` must be callable from any thread for as long as any
+  /// Connection or its in-flight pool tasks exist (the listener hands
+  /// out a closure over a shared self-pipe).
+  Connection(UniqueFd fd, std::uint64_t id, const ServeContext& context,
+             std::shared_ptr<AdmissionController> admission,
+             std::shared_ptr<ServerStats> stats,
+             std::function<void()> wakeup, std::size_t max_frame_payload);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd() const { return fd_.get(); }
+  std::uint64_t id() const { return id_; }
+
+  /// POLLIN/POLLOUT interest for the next poll cycle. 0 = nothing to
+  /// wait for (the connection is finished or fully blocked on workers).
+  short PollEvents() const;
+
+  /// Network-thread entry points, driven by poll results.
+  void OnReadable();
+  void OnWritable();
+
+  /// Moves completed responses (in FIFO order) into the write buffer and
+  /// writes what the socket accepts. Called every loop iteration.
+  void Pump();
+
+  /// Enters drain: stop reading, let admitted work finish, flush, close.
+  void BeginDrain();
+
+  /// True when the connection can be destroyed: socket dead, or draining
+  /// /EOF with every slot answered and flushed. May be true while a pool
+  /// task still runs (the task keeps *this alive via shared_ptr).
+  bool Finished() const;
+
+  /// The session, exposed so the listener can install the STATS handler.
+  service::ServeSession& session() { return session_; }
+
+ private:
+  struct Slot {
+    std::string request;   ///< Cleared when handed to a worker.
+    std::string response;  ///< Valid once done.
+    bool done = false;
+    bool dispatched = false;
+    bool admitted = false;  ///< Shed slots never touched the executor.
+    std::chrono::steady_clock::time_point arrival;
+  };
+
+  /// Decodes and admits every complete frame buffered so far. Network
+  /// thread only.
+  void ProcessDecodedFrames();
+
+  /// Dispatches the next undispatched slot to the pool if no slot is
+  /// executing. Must NOT be called with mu_ held (a 1-thread pool runs
+  /// the task inline).
+  void MaybeDispatch();
+
+  /// Worker-side: runs `slot`'s payload through the session.
+  void Execute(const std::shared_ptr<Slot>& slot);
+
+  /// Appends one encoded response frame to the write buffer.
+  void EnqueueResponseFrame(const std::string& payload);
+
+  /// Writes as much buffered output as the socket accepts.
+  void FlushWrites();
+
+  const std::uint64_t id_;
+  UniqueFd fd_;
+  ServeContext context_;
+  std::shared_ptr<AdmissionController> admission_;
+  std::shared_ptr<ServerStats> stats_;
+  const std::function<void()> wakeup_;
+  service::ServeSession session_;
+  FrameDecoder decoder_;
+
+  // --- network-thread-only state ---
+  std::string write_buffer_;
+  std::size_t write_offset_ = 0;
+  bool read_eof_ = false;
+  bool draining_ = false;
+  bool dead_ = false;        ///< Socket error; discard everything.
+  bool sent_decode_error_ = false;
+
+  // --- cross-thread state (guarded by mu_) ---
+  mutable std::mutex mu_;
+  std::deque<std::shared_ptr<Slot>> slots_;
+  bool executing_ = false;
+  bool quit_seen_ = false;
+  int admitted_inflight_ = 0;  ///< Admitted slots not yet done.
+};
+
+}  // namespace net
+}  // namespace dpcube
+
+#endif  // DPCUBE_NET_CONNECTION_H_

@@ -1,0 +1,61 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "net/framing.h"
+
+#include <algorithm>
+
+namespace dpcube {
+namespace net {
+
+std::string EncodeFrame(std::string_view payload) {
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  frame.push_back(static_cast<char>((n >> 24) & 0xff));
+  frame.push_back(static_cast<char>((n >> 16) & 0xff));
+  frame.push_back(static_cast<char>((n >> 8) & 0xff));
+  frame.push_back(static_cast<char>(n & 0xff));
+  frame.append(payload.data(), payload.size());
+  return frame;
+}
+
+FrameDecoder::FrameDecoder(std::size_t max_payload)
+    : max_payload_(std::min(max_payload, kMaxFramePayload)) {}
+
+void FrameDecoder::Append(const char* data, std::size_t n) {
+  if (poisoned_) return;  // Bytes after a bad length are meaningless.
+  buffer_.append(data, n);
+}
+
+FrameDecoder::Next FrameDecoder::Pop(std::string* payload) {
+  if (poisoned_) return Next::kError;
+  // Compact lazily: drop consumed bytes once they dominate the buffer,
+  // so a long pipelined burst costs amortised O(bytes), not O(bytes^2).
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  if (buffer_.size() - consumed_ < 4) return Next::kNeedMore;
+  const unsigned char* head =
+      reinterpret_cast<const unsigned char*>(buffer_.data()) + consumed_;
+  const std::size_t length = (static_cast<std::size_t>(head[0]) << 24) |
+                             (static_cast<std::size_t>(head[1]) << 16) |
+                             (static_cast<std::size_t>(head[2]) << 8) |
+                             static_cast<std::size_t>(head[3]);
+  if (length > max_payload_) {
+    poisoned_ = true;
+    error_ = "frame payload of " + std::to_string(length) +
+             " bytes exceeds the " + std::to_string(max_payload_) +
+             "-byte cap";
+    buffer_.clear();
+    consumed_ = 0;
+    return Next::kError;
+  }
+  if (buffer_.size() - consumed_ < 4 + length) return Next::kNeedMore;
+  payload->assign(buffer_, consumed_ + 4, length);
+  consumed_ += 4 + length;
+  return Next::kFrame;
+}
+
+}  // namespace net
+}  // namespace dpcube

@@ -1,0 +1,86 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Length-delimited framing over the `dpcube serve` line protocol. TCP is
+// a byte stream: a single read() can deliver half a request or twenty of
+// them, so the wire format prefixes every payload with its length and
+// the decoder reassembles frames regardless of how the kernel split the
+// bytes.
+//
+// Wire format (both directions):
+//
+//   +--------------------+------------------------+
+//   | length: 4 bytes BE | payload: length bytes  |
+//   +--------------------+------------------------+
+//
+// A request payload is a self-contained chunk of the line protocol —
+// one request line, several pipelined lines, or a "batch N" header
+// followed by its N sub-lines — newline-separated, trailing newline
+// optional. The server answers every request frame with EXACTLY ONE
+// response frame whose payload carries one newline-terminated response
+// line per request line (empty payload in -> empty payload out), so a
+// client can correlate by counting frames even when pipelining. The one
+// exception: frames pipelined PAST a quit are discarded as the
+// connection closes, exactly as bytes after "quit\n" on stdin are never
+// read.
+//
+// The decoder enforces a maximum payload length; an oversized or
+// malformed length prefix poisons the stream (kError) because byte
+// boundaries after it are meaningless.
+
+#ifndef DPCUBE_NET_FRAMING_H_
+#define DPCUBE_NET_FRAMING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dpcube {
+namespace net {
+
+/// Hard cap a decoder will ever accept, independent of configuration.
+inline constexpr std::size_t kMaxFramePayload = std::size_t{1} << 24;
+
+/// Serializes one frame: 4-byte big-endian length + payload.
+std::string EncodeFrame(std::string_view payload);
+
+/// Incremental frame reassembly from arbitrarily-split byte chunks.
+class FrameDecoder {
+ public:
+  /// `max_payload` rejects hostile lengths before any buffering happens;
+  /// clamped to kMaxFramePayload.
+  explicit FrameDecoder(std::size_t max_payload = kMaxFramePayload);
+
+  enum class Next {
+    kFrame,     ///< A complete payload was produced.
+    kNeedMore,  ///< No complete frame buffered yet.
+    kError,     ///< Stream poisoned (oversized length); no recovery.
+  };
+
+  /// Buffers `n` more wire bytes.
+  void Append(const char* data, std::size_t n);
+  void Append(std::string_view bytes) { Append(bytes.data(), bytes.size()); }
+
+  /// Extracts the next complete frame payload into `*payload`. Call in a
+  /// loop until it stops returning kFrame — one Append can complete many
+  /// pipelined frames.
+  Next Pop(std::string* payload);
+
+  /// Human-readable reason after kError.
+  const std::string& error() const { return error_; }
+
+  /// Bytes buffered but not yet consumed as frames.
+  std::size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  const std::size_t max_payload_;
+  std::string buffer_;
+  std::size_t consumed_ = 0;  ///< Prefix of buffer_ already popped.
+  bool poisoned_ = false;
+  std::string error_;
+};
+
+}  // namespace net
+}  // namespace dpcube
+
+#endif  // DPCUBE_NET_FRAMING_H_

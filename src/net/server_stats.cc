@@ -1,0 +1,52 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "net/server_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dpcube {
+namespace net {
+
+void LatencyHistogram::Record(double seconds) {
+  const double micros = seconds * 1e6;
+  int bucket = 0;
+  if (micros >= 1.0) {
+    bucket = std::min(kBuckets - 1,
+                      static_cast<int>(std::log2(micros)));
+  }
+  buckets_[static_cast<std::size_t>(bucket)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double LatencyHistogram::QuantileMicros(double p) const {
+  std::array<std::uint64_t, kBuckets> snapshot;
+  std::uint64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    snapshot[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    total += snapshot[static_cast<std::size_t>(i)];
+  }
+  if (total == 0) return 0.0;
+  p = std::min(1.0, std::max(0.0, p));
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(p * static_cast<double>(total)));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += snapshot[static_cast<std::size_t>(i)];
+    if (seen >= std::max<std::uint64_t>(rank, 1)) {
+      // Geometric midpoint of [2^i, 2^(i+1)).
+      return std::exp2(i + 0.5);
+    }
+  }
+  return std::exp2(kBuckets - 1);
+}
+
+}  // namespace net
+}  // namespace dpcube

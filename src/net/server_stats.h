@@ -1,0 +1,62 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Server-side observability: lock-free counters plus per-phase latency
+// histograms, snapshotted by the "STATS" protocol verb. Latencies use
+// power-of-two microsecond buckets (one atomic add per sample on the
+// hot path, quantiles reconstructed from bucket counts on read), the
+// standard shape for always-on serving histograms.
+//
+// Phases per request frame:
+//   queue — arrival at the network thread to execution start on a pool
+//           worker (admission + executor queueing delay);
+//   exec  — time on the worker running the session (parse, derive or
+//           cache-hit, format);
+//   total — arrival to response enqueued for write (queue + exec; the
+//           final socket flush depends on the client draining and is
+//           deliberately excluded).
+
+#ifndef DPCUBE_NET_SERVER_STATS_H_
+#define DPCUBE_NET_SERVER_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace dpcube {
+namespace net {
+
+/// Thread-safe log2-bucketed latency histogram. Bucket i counts samples
+/// in [2^i, 2^(i+1)) microseconds (bucket 0 also absorbs sub-microsecond
+/// samples; the last bucket absorbs everything above ~2^30 us).
+class LatencyHistogram {
+ public:
+  static constexpr int kBuckets = 31;
+
+  void Record(double seconds);
+
+  std::uint64_t count() const;
+
+  /// Approximate p-quantile (0 <= p <= 1) in microseconds: the geometric
+  /// midpoint of the bucket holding the p-th sample. 0 when empty.
+  double QuantileMicros(double p) const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Counters owned by the SocketListener; connection/admission counts
+/// live in the AdmissionController and are merged at format time.
+struct ServerStats {
+  std::atomic<std::uint64_t> requests{0};   ///< Frames received (incl. shed).
+  std::atomic<std::uint64_t> responses{0};  ///< Response frames enqueued.
+  std::atomic<std::uint64_t> frames_executed{0};  ///< Reached a session.
+  LatencyHistogram queue_latency;
+  LatencyHistogram exec_latency;
+  LatencyHistogram total_latency;
+};
+
+}  // namespace net
+}  // namespace dpcube
+
+#endif  // DPCUBE_NET_SERVER_STATS_H_

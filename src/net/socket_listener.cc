@@ -1,0 +1,240 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "net/socket_listener.h"
+
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "net/address.h"
+#include "net/framing.h"
+#include "service/marginal_cache.h"
+#include "service/release_store.h"
+
+namespace dpcube {
+namespace net {
+
+namespace {
+
+// One snapshot line, shaped like every other protocol response. Takes
+// its collaborators as shared_ptrs so the closure installed into
+// sessions can outlive the listener (a pool task may answer STATS while
+// the server is tearing down).
+std::string FormatStats(
+    const std::shared_ptr<AdmissionController>& admission,
+    const std::shared_ptr<ServerStats>& stats,
+    const std::shared_ptr<service::MarginalCache>& cache,
+    const std::shared_ptr<service::ReleaseStore>& store) {
+  const service::CacheStats cs = cache->stats();
+  char line[512];
+  std::snprintf(
+      line, sizeof(line),
+      "OK STATS conns=%d accepted=%llu rejected=%llu inflight=%d "
+      "requests=%llu executed=%llu responses=%llu shed=%llu "
+      "releases=%zu cache_hits=%llu cache_misses=%llu "
+      "queue_us_p50=%.0f queue_us_p99=%.0f exec_us_p50=%.0f "
+      "exec_us_p99=%.0f total_us_p50=%.0f total_us_p99=%.0f",
+      admission->active_connections(),
+      static_cast<unsigned long long>(admission->accepted_total()),
+      static_cast<unsigned long long>(admission->rejected_connections()),
+      admission->queued_requests(),
+      static_cast<unsigned long long>(
+          stats->requests.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          stats->frames_executed.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          stats->responses.load(std::memory_order_relaxed)),
+      static_cast<unsigned long long>(admission->shed_requests()),
+      store->size(), static_cast<unsigned long long>(cs.hits),
+      static_cast<unsigned long long>(cs.misses),
+      stats->queue_latency.QuantileMicros(0.5),
+      stats->queue_latency.QuantileMicros(0.99),
+      stats->exec_latency.QuantileMicros(0.5),
+      stats->exec_latency.QuantileMicros(0.99),
+      stats->total_latency.QuantileMicros(0.5),
+      stats->total_latency.QuantileMicros(0.99));
+  return line;
+}
+
+}  // namespace
+
+SocketListener::SocketListener(ServerOptions options, ServeContext context)
+    : options_(std::move(options)),
+      context_(std::move(context)),
+      admission_(std::make_shared<AdmissionController>(options_.admission)),
+      stats_(std::make_shared<ServerStats>()) {}
+
+SocketListener::~SocketListener() = default;
+
+Status SocketListener::Start() {
+  DPCUBE_RETURN_NOT_OK(
+      ParseHostPort(options_.listen_address, &host_, &bound_port_));
+  auto pipe = MakePipe();
+  if (!pipe.ok()) return pipe.status();
+  wake_pipe_ = std::make_shared<Pipe>(std::move(pipe).value());
+  auto fd = ListenTcp(host_, bound_port_, /*backlog=*/128, &bound_port_);
+  if (!fd.ok()) return fd.status();
+  listen_fd_ = std::move(fd).value();
+  return Status::OK();
+}
+
+std::string SocketListener::bound_address() const {
+  return host_ + ":" + std::to_string(bound_port_);
+}
+
+std::string SocketListener::FormatStatsLine() const {
+  return FormatStats(admission_, stats_, context_.cache, context_.store);
+}
+
+void SocketListener::Shutdown() {
+  shutdown_requested_.store(true);
+  if (wake_pipe_) WriteWakeByte(wake_pipe_->write_end.get());
+}
+
+void SocketListener::AcceptPending() {
+  for (;;) {
+    const int raw = ::accept(listen_fd_.get(), nullptr, nullptr);
+    if (raw < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Fd/memory exhaustion: the pending connection stays in the
+        // backlog and the listener stays readable, so back off instead
+        // of spinning on accept failures.
+        accept_retry_after_ = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(100);
+      }
+      return;  // EAGAIN (drained) or a transient accept error.
+    }
+    UniqueFd fd(raw);
+    if (!SetNonBlocking(fd.get()).ok()) continue;  // Closes via RAII.
+    const int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    std::string busy_reason;
+    if (!admission_->TryAdmitConnection(&busy_reason)) {
+      // One structured goodbye, then close. The socket is fresh, so the
+      // tiny frame fits the send buffer even non-blocking. FIN first and
+      // drain whatever the client already pipelined: close() with unread
+      // inbound bytes would turn into an RST that could destroy the
+      // goodbye before the client reads it.
+      const std::string frame = EncodeFrame(busy_reason + "\n");
+      ::send(fd.get(), frame.data(), frame.size(), MSG_NOSIGNAL);
+      ::shutdown(fd.get(), SHUT_WR);
+      char discard[4096];
+      while (::recv(fd.get(), discard, sizeof(discard), 0) > 0) {
+      }
+      continue;
+    }
+
+    auto wake_pipe = wake_pipe_;
+    auto connection = std::make_shared<Connection>(
+        std::move(fd), next_connection_id_++, context_, admission_, stats_,
+        [wake_pipe] { WriteWakeByte(wake_pipe->write_end.get()); },
+        options_.max_frame_payload);
+    connection->session().SetServerStatsHandler(
+        [admission = admission_, stats = stats_, cache = context_.cache,
+         store = context_.store] {
+          return FormatStats(admission, stats, cache, store);
+        });
+    connections_.emplace(connection->fd(), std::move(connection));
+  }
+}
+
+Result<std::uint64_t> SocketListener::Serve() {
+  if (!listen_fd_.valid()) {
+    return Status::FailedPrecondition("Serve() before Start()");
+  }
+  using Clock = std::chrono::steady_clock;
+  bool draining = false;
+  Clock::time_point drain_deadline;
+
+  for (;;) {
+    std::vector<struct pollfd> fds;
+    std::vector<Connection*> polled;  // Parallel to fds from index base.
+    fds.push_back({wake_pipe_->read_end.get(), POLLIN, 0});
+    // The external shutdown fd is level-triggered and deliberately never
+    // drained, so it must leave the poll set once draining starts or
+    // every poll() would return instantly and busy-spin the drain
+    // window.
+    const bool poll_shutdown_fd = options_.shutdown_fd >= 0 && !draining;
+    if (poll_shutdown_fd) {
+      fds.push_back({options_.shutdown_fd, POLLIN, 0});
+    }
+    const bool poll_listener =
+        !draining && Clock::now() >= accept_retry_after_;
+    const std::size_t listen_index = fds.size();
+    if (poll_listener) fds.push_back({listen_fd_.get(), POLLIN, 0});
+    const std::size_t conn_base = fds.size();
+    for (auto& [fd, connection] : connections_) {
+      const short events = connection->PollEvents();
+      if (events == 0) continue;  // Blocked on a worker; wake pipe covers it.
+      fds.push_back({fd, events, 0});
+      polled.push_back(connection.get());
+    }
+
+    const int rc = ::poll(fds.data(), fds.size(), /*timeout_ms=*/100);
+    if (rc < 0 && errno != EINTR) {
+      return Status::Internal(std::string("poll: ") + ::strerror(errno));
+    }
+
+    if (fds[0].revents & POLLIN) {
+      DrainWakeBytes(wake_pipe_->read_end.get());
+    }
+    bool shutdown_now = shutdown_requested_.load();
+    if (poll_shutdown_fd && (fds[1].revents & POLLIN)) {
+      shutdown_now = true;  // Level-triggered; deliberately not drained.
+    }
+    if (!draining && shutdown_now) {
+      draining = true;
+      drain_deadline = Clock::now() + std::chrono::milliseconds(
+                                          options_.drain_timeout_ms);
+      listen_fd_.reset();  // Stop accepting; refuse new peers at the OS.
+      for (auto& [fd, connection] : connections_) connection->BeginDrain();
+    }
+    if (poll_listener && !draining &&
+        (fds[listen_index].revents & POLLIN)) {
+      AcceptPending();
+    }
+
+    if (rc > 0) {
+      for (std::size_t i = conn_base; i < fds.size(); ++i) {
+        Connection* connection = polled[i - conn_base];
+        if (fds[i].revents & (POLLIN | POLLERR | POLLHUP)) {
+          connection->OnReadable();
+        }
+        if (fds[i].revents & POLLOUT) connection->OnWritable();
+      }
+    }
+
+    // Pump everything each cycle: worker completions arrive via the
+    // wake pipe, not via socket readiness.
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      it->second->Pump();
+      if (it->second->Finished()) {
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    if (draining &&
+        (connections_.empty() || Clock::now() >= drain_deadline)) {
+      break;
+    }
+  }
+  connections_.clear();
+  return next_connection_id_ - 1;
+}
+
+}  // namespace net
+}  // namespace dpcube

@@ -1,0 +1,103 @@
+// Copyright 2026 The dpcube Authors.
+//
+// The poll-driven TCP front end of `dpcube serve`. One network thread
+// owns every socket: it accepts connections (subject to admission
+// control), pumps their read/decode/dispatch/flush cycles, and reacts
+// to two out-of-band readable fds — an internal self-pipe that pool
+// workers poke when a response completes, and an optional external
+// shutdown fd (the CLI wires the SIGINT/SIGTERM self-pipe here).
+// All query execution happens on the ServeContext's ThreadPool; this
+// thread never computes (see connection.h for the exact split).
+//
+// Shutdown is graceful: stop accepting, let every admitted request
+// finish and flush, then return from Serve() — bounded by
+// drain_timeout_ms so a hung peer cannot wedge process exit.
+
+#ifndef DPCUBE_NET_SOCKET_LISTENER_H_
+#define DPCUBE_NET_SOCKET_LISTENER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/fd.h"
+#include "common/status.h"
+#include "net/admission.h"
+#include "net/connection.h"
+#include "net/server_stats.h"
+
+namespace dpcube {
+namespace net {
+
+struct ServerOptions {
+  /// "host:port"; port 0 binds an ephemeral port (see bound_port()).
+  std::string listen_address = "127.0.0.1:0";
+  AdmissionConfig admission;
+  /// Per-frame payload cap handed to each connection's decoder.
+  std::size_t max_frame_payload = std::size_t{1} << 20;
+  /// When set (>= 0), Serve() also exits once this fd becomes readable
+  /// (level-triggered; the fd is polled, never read or closed).
+  int shutdown_fd = -1;
+  /// Grace period for in-flight work at shutdown.
+  int drain_timeout_ms = 10000;
+};
+
+class SocketListener {
+ public:
+  SocketListener(ServerOptions options, ServeContext context);
+  ~SocketListener();
+
+  SocketListener(const SocketListener&) = delete;
+  SocketListener& operator=(const SocketListener&) = delete;
+
+  /// Binds and listens. After OK, bound_port() is the real port.
+  Status Start();
+
+  /// Runs the event loop until Shutdown()/shutdown_fd, then drains.
+  /// Returns the count of connections served over the loop's lifetime.
+  /// Call from exactly one thread, after Start().
+  Result<std::uint64_t> Serve();
+
+  /// Thread-safe graceful-shutdown request (no-op before Serve()).
+  void Shutdown();
+
+  std::uint16_t bound_port() const { return bound_port_; }
+  std::string bound_address() const;
+
+  const AdmissionController& admission() const { return *admission_; }
+  const ServerStats& stats() const { return *stats_; }
+
+  /// The "OK STATS ..." line the per-connection sessions serve for the
+  /// STATS verb (public so the CLI/tests can print the same snapshot).
+  std::string FormatStatsLine() const;
+
+ private:
+  /// Accepts until EAGAIN; each accept passes admission or gets a
+  /// one-frame BUSY goodbye.
+  void AcceptPending();
+
+  const ServerOptions options_;
+  const ServeContext context_;
+  std::shared_ptr<AdmissionController> admission_;
+  std::shared_ptr<ServerStats> stats_;
+  std::shared_ptr<Pipe> wake_pipe_;  ///< Shared with worker closures.
+  UniqueFd listen_fd_;
+  std::uint16_t bound_port_ = 0;
+  std::string host_;
+  std::atomic<bool> shutdown_requested_{false};
+  /// After accept() fails on resource exhaustion (EMFILE/ENFILE/...),
+  /// the listen fd is left out of the poll set until this instant —
+  /// a level-triggered readable listener we cannot accept from would
+  /// otherwise busy-spin the loop at 100% CPU.
+  std::chrono::steady_clock::time_point accept_retry_after_{};
+  std::uint64_t next_connection_id_ = 1;
+  std::map<int, std::shared_ptr<Connection>> connections_;  ///< By fd.
+};
+
+}  // namespace net
+}  // namespace dpcube
+
+#endif  // DPCUBE_NET_SOCKET_LISTENER_H_

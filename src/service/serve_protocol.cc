@@ -99,6 +99,11 @@ ServeSession::ServeSession(std::shared_ptr<ReleaseStore> store,
       executor_(executor) {}
 
 void ServeSession::Run(std::istream& in, std::ostream& out) {
+  ProcessStream(in, out, /*flush_each=*/true);
+}
+
+bool ServeSession::ProcessStream(std::istream& in, std::ostream& out,
+                                 bool flush_each) {
   std::string line;
   while (std::getline(in, line)) {
     const std::vector<std::string> tokens = Tokenize(line);
@@ -107,10 +112,11 @@ void ServeSession::Run(std::istream& in, std::ostream& out) {
       HandleBatch(tokens, in, out);
     } else if (!HandleLine(line, tokens, out)) {
       out.flush();
-      return;
+      return false;
     }
-    out.flush();
+    if (flush_each) out.flush();
   }
+  return true;
 }
 
 bool ServeSession::HandleLine(const std::string& line,
@@ -154,6 +160,9 @@ bool ServeSession::HandleLine(const std::string& line,
     } else {
       out << FormatResponse(service_->Answer(q)) << "\n";
     }
+  } else if (command == "STATS" && tokens.size() == 1 &&
+             server_stats_handler_) {
+    out << server_stats_handler_() << "\n";
   } else if (command == "stats" && tokens.size() == 1) {
     const CacheStats s = cache_->stats();
     out << "OK stats hits=" << s.hits << " misses=" << s.misses

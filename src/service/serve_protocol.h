@@ -16,12 +16,17 @@
 //   batch N                   read next N query lines, run them
 //                             concurrently on the executor
 //   stats                     cache hit/miss/eviction counters
+//   STATS                     server-level counters + latency quantiles
+//                             (network mode only; see SetServerStatsHandler)
 //   quit                      exit
-// Responses are "OK ..." or "ERR <message>".
+// Responses are "OK ..." or "ERR <message>" ("BUSY <reason>" additionally
+// exists at the network layer when admission control sheds a request
+// before it ever reaches a session).
 
 #ifndef DPCUBE_SERVICE_SERVE_PROTOCOL_H_
 #define DPCUBE_SERVICE_SERVE_PROTOCOL_H_
 
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -67,6 +72,28 @@ class ServeSession {
   /// `out` (flushed after every response, suitable for pipes).
   void Run(std::istream& in, std::ostream& out);
 
+  /// Processes every complete request line in `in`, appending one
+  /// response line per request to `out`. This is Run without the
+  /// per-response flushing: the network server calls it once per decoded
+  /// frame (a frame payload is a self-contained chunk of protocol
+  /// conversation — possibly several pipelined lines, possibly a batch
+  /// header plus its sub-lines). Returns false iff a quit/exit request
+  /// was processed (remaining payload lines are not read, matching Run).
+  /// A "batch N" whose sub-lines are cut off by the end of `in` answers
+  /// "ERR unexpected EOF inside batch", bounding the error to the frame.
+  bool ProcessStream(std::istream& in, std::ostream& out,
+                     bool flush_each = false);
+
+  /// Installs a handler for the extended "STATS" verb (server-level
+  /// counters, as opposed to lowercase "stats" which reports the cache).
+  /// The callback returns one full response line without the trailing
+  /// newline; it runs on whatever thread drives the session, so it must
+  /// be thread-safe. Unset (the stdin/stdout CLI mode and tests), the
+  /// verb falls through to the unknown-request error.
+  void SetServerStatsHandler(std::function<std::string()> handler) {
+    server_stats_handler_ = std::move(handler);
+  }
+
  private:
   /// Handles one non-batch request line (pre-tokenized by Run; `line` is
   /// only echoed in the unknown-request error). Returns false on quit.
@@ -80,6 +107,7 @@ class ServeSession {
   std::shared_ptr<MarginalCache> cache_;
   std::shared_ptr<const QueryService> service_;
   const BatchExecutor* executor_;
+  std::function<std::string()> server_stats_handler_;
 };
 
 }  // namespace service

@@ -101,14 +101,23 @@ TEST(ThreadPoolTest, ConcurrentLoopsFromManyCallersInterleave) {
   EXPECT_EQ(total.load(), 4L * 20 * 500);
 }
 
-TEST(ThreadPoolTest, SharedPoolRebuildsOnSetParallelism) {
-  ThreadPool::SetSharedParallelism(3);
+TEST(ThreadPoolTest, SharedPoolSizeIsStickyAndResizeFailsLoudly) {
+  // First sizing wins (this test binary has not touched the shared pool
+  // before this point).
+  ASSERT_TRUE(ThreadPool::SetSharedParallelism(3).ok());
   EXPECT_EQ(ThreadPool::Shared().parallelism(), 3);
-  ThreadPool::SetSharedParallelism(1);
-  EXPECT_EQ(ThreadPool::Shared().parallelism(), 1);
-  // Restore a multi-thread default so later tests in this binary (none
-  // today) are not accidentally serialised.
-  ThreadPool::SetSharedParallelism(2);
+  // Same size again: no-op, still OK.
+  EXPECT_TRUE(ThreadPool::SetSharedParallelism(3).ok());
+  // A DIFFERENT size must fail loudly and leave the pool untouched —
+  // silently rebuilding would dangle every BatchExecutor/server holding
+  // a reference into the old pool.
+  const Status resize = ThreadPool::SetSharedParallelism(1);
+  EXPECT_FALSE(resize.ok());
+  EXPECT_EQ(resize.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ThreadPool::Shared().parallelism(), 3);
+  // The test-only escape hatch still sweeps sizes.
+  ThreadPool::ResetSharedPoolForTests(2);
+  EXPECT_EQ(ThreadPool::Shared().parallelism(), 2);
 }
 
 }  // namespace

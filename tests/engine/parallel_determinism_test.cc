@@ -55,7 +55,7 @@ template <typename StrategyT>
 ReleaseArtifacts RunAt(int parallelism, const data::Dataset& dataset,
                        const marginal::Workload& workload,
                        const std::string& tag) {
-  ThreadPool::SetSharedParallelism(parallelism);
+  ThreadPool::ResetSharedPoolForTests(parallelism);
   ReleaseArtifacts a;
   const data::SparseCounts counts =
       data::SparseCounts::FromDataset(dataset);
@@ -135,7 +135,7 @@ void CheckStrategy(const data::Dataset& dataset,
 class ParallelDeterminismTest : public ::testing::Test {
  protected:
   ~ParallelDeterminismTest() override {
-    ThreadPool::SetSharedParallelism(2);  // Don't serialise later tests.
+    ThreadPool::ResetSharedPoolForTests(2);  // Don't serialise later tests.
   }
 };
 
@@ -175,10 +175,10 @@ TEST_F(ParallelDeterminismTest, MixedSchemaQueryAndCluster) {
 TEST_F(ParallelDeterminismTest, ShardedContingencyBuildAtScale) {
   Rng rng(4);
   const data::Dataset dataset = data::MakeNltcsLike(100000, &rng);
-  ThreadPool::SetSharedParallelism(1);
+  ThreadPool::ResetSharedPoolForTests(1);
   const data::SparseCounts sequential =
       data::SparseCounts::FromDataset(dataset);
-  ThreadPool::SetSharedParallelism(8);
+  ThreadPool::ResetSharedPoolForTests(8);
   const data::SparseCounts sharded =
       data::SparseCounts::FromDataset(dataset);
   ASSERT_EQ(sequential.entries().size(), sharded.entries().size());

@@ -1,0 +1,144 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Unit coverage for the length-delimited framing codec: round-trips,
+// arbitrary byte-split reassembly, pipelined bursts, and hostile length
+// prefixes.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/framing.h"
+
+namespace dpcube {
+namespace net {
+namespace {
+
+TEST(FramingTest, EncodesLengthBigEndian) {
+  const std::string frame = EncodeFrame("abc");
+  ASSERT_EQ(frame.size(), 7u);
+  EXPECT_EQ(frame[0], '\0');
+  EXPECT_EQ(frame[1], '\0');
+  EXPECT_EQ(frame[2], '\0');
+  EXPECT_EQ(frame[3], '\x03');
+  EXPECT_EQ(frame.substr(4), "abc");
+}
+
+TEST(FramingTest, RoundTripsSingleFrame) {
+  FrameDecoder decoder;
+  decoder.Append(EncodeFrame("query r marginal 0x3\n"));
+  std::string payload;
+  ASSERT_EQ(decoder.Pop(&payload), FrameDecoder::Next::kFrame);
+  EXPECT_EQ(payload, "query r marginal 0x3\n");
+  EXPECT_EQ(decoder.Pop(&payload), FrameDecoder::Next::kNeedMore);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(FramingTest, EmptyPayloadIsAValidFrame) {
+  FrameDecoder decoder;
+  decoder.Append(EncodeFrame(""));
+  std::string payload = "sentinel";
+  ASSERT_EQ(decoder.Pop(&payload), FrameDecoder::Next::kFrame);
+  EXPECT_TRUE(payload.empty());
+}
+
+TEST(FramingTest, ReassemblesAcrossEveryByteBoundary) {
+  const std::string wire =
+      EncodeFrame("load r /tmp/x.csv\n") + EncodeFrame("") +
+      EncodeFrame("batch 2\nquery r cell 3 0\nquery r cell 3 1\n");
+  // Split the wire bytes at every single position; the decoded frame
+  // sequence must be identical regardless.
+  for (std::size_t split = 0; split <= wire.size(); ++split) {
+    FrameDecoder decoder;
+    decoder.Append(wire.data(), split);
+    std::vector<std::string> frames;
+    std::string payload;
+    while (decoder.Pop(&payload) == FrameDecoder::Next::kFrame) {
+      frames.push_back(payload);
+    }
+    decoder.Append(wire.data() + split, wire.size() - split);
+    while (decoder.Pop(&payload) == FrameDecoder::Next::kFrame) {
+      frames.push_back(payload);
+    }
+    ASSERT_EQ(frames.size(), 3u) << "split at " << split;
+    EXPECT_EQ(frames[0], "load r /tmp/x.csv\n") << "split at " << split;
+    EXPECT_EQ(frames[1], "") << "split at " << split;
+    EXPECT_EQ(frames[2], "batch 2\nquery r cell 3 0\nquery r cell 3 1\n")
+        << "split at " << split;
+  }
+}
+
+TEST(FramingTest, PipelinedBurstInOneAppend) {
+  FrameDecoder decoder;
+  std::string wire;
+  for (int i = 0; i < 100; ++i) {
+    wire += EncodeFrame("query r marginal " + std::to_string(i) + "\n");
+  }
+  decoder.Append(wire);
+  std::string payload;
+  int frames = 0;
+  while (decoder.Pop(&payload) == FrameDecoder::Next::kFrame) ++frames;
+  EXPECT_EQ(frames, 100);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(FramingTest, OversizedLengthPoisonsTheStream) {
+  FrameDecoder decoder(/*max_payload=*/1024);
+  // Length prefix claims 2^20 bytes.
+  const char hostile[4] = {0x00, 0x10, 0x00, 0x00};
+  decoder.Append(hostile, sizeof(hostile));
+  std::string payload;
+  EXPECT_EQ(decoder.Pop(&payload), FrameDecoder::Next::kError);
+  EXPECT_NE(decoder.error().find("exceeds"), std::string::npos);
+  // Poisoned for good: later appends and pops stay errors.
+  decoder.Append(EncodeFrame("ok"));
+  EXPECT_EQ(decoder.Pop(&payload), FrameDecoder::Next::kError);
+}
+
+TEST(FramingTest, MaxPayloadBoundaryIsExact) {
+  FrameDecoder decoder(/*max_payload=*/8);
+  decoder.Append(EncodeFrame("12345678"));  // Exactly at the cap: fine.
+  std::string payload;
+  ASSERT_EQ(decoder.Pop(&payload), FrameDecoder::Next::kFrame);
+  EXPECT_EQ(payload, "12345678");
+  decoder.Append(EncodeFrame("123456789"));  // One past: poisoned.
+  EXPECT_EQ(decoder.Pop(&payload), FrameDecoder::Next::kError);
+}
+
+TEST(FramingTest, RandomChunkingMatchesOneShotDecode) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string wire;
+    std::vector<std::string> expected;
+    const int n = 1 + static_cast<int>(rng.NextBounded(12));
+    for (int i = 0; i < n; ++i) {
+      std::string body;
+      const std::size_t len = rng.NextBounded(200);
+      for (std::size_t b = 0; b < len; ++b) {
+        body.push_back(static_cast<char>(rng.NextBounded(256)));
+      }
+      expected.push_back(body);
+      wire += EncodeFrame(body);
+    }
+    FrameDecoder decoder;
+    std::vector<std::string> got;
+    std::size_t offset = 0;
+    while (offset < wire.size()) {
+      const std::size_t chunk =
+          1 + rng.NextBounded(std::min<std::size_t>(64, wire.size() - offset));
+      decoder.Append(wire.data() + offset, chunk);
+      offset += chunk;
+      std::string payload;
+      while (decoder.Pop(&payload) == FrameDecoder::Next::kFrame) {
+        got.push_back(payload);
+      }
+    }
+    EXPECT_EQ(got, expected) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace dpcube

@@ -2,10 +2,16 @@
 
 #include "service/marginal_cache.h"
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
+
+#include "common/rng.h"
 
 namespace dpcube {
 namespace service {
@@ -124,6 +130,82 @@ TEST(MarginalCacheTest, HeldPointerSurvivesEviction) {
   EXPECT_EQ(cache.Get("r", 0x1), nullptr);
   ASSERT_NE(held, nullptr);
   EXPECT_EQ(held->table.value(0), 5.0);
+}
+
+// The serving regime the network subsystem creates: many concurrent
+// sessions hammering one cache, some on cuboids of their own (disjoint),
+// some contending for shared ones (overlapping), under a capacity small
+// enough that eviction runs constantly. Invariants: the cell budget is
+// never exceeded (checked live by a monitor thread, not just at the
+// end), hit/miss counters exactly account for every Get, and every hit
+// returns the entry its key promised.
+TEST(MarginalCacheTest, ConcurrentSessionsKeepBudgetAndCountersConsistent) {
+  constexpr std::size_t kCapacityCells = 48;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 600;
+  constexpr int kD = 6;
+  MarginalCache cache(kCapacityCells);
+
+  // Live budget monitor: capacity violations are transient by nature, so
+  // polling while the writers run is the only way to catch them.
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> budget_violations{0};
+  std::thread monitor([&] {
+    while (!stop.load()) {
+      const CacheStats s = cache.stats();
+      if (s.cells > s.capacity_cells) budget_violations.fetch_add(1);
+      std::this_thread::yield();
+    }
+  });
+
+  std::atomic<std::uint64_t> total_gets{0};
+  std::atomic<std::uint64_t> wrong_entries{0};
+  std::vector<std::thread> sessions;
+  for (int t = 0; t < kThreads; ++t) {
+    sessions.emplace_back([&, t] {
+      Rng rng(0xcafe + static_cast<std::uint64_t>(t));
+      std::uint64_t gets = 0;
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        // Half the traffic hits a shared overlapping set (masks 1..7),
+        // half a per-thread disjoint cuboid family.
+        bits::Mask mask;
+        if (rng.NextBernoulli(0.5)) {
+          mask = 1 + rng.NextBounded(7);
+        } else {
+          mask = (bits::Mask{1} << (t % kD)) |
+                 (bits::Mask{1} << ((t + 2) % kD)) |
+                 (rng.NextBernoulli(0.3) ? bits::Mask{1} << ((t + 4) % kD)
+                                         : 0);
+        }
+        const std::string release = (t % 2 == 0) ? "even" : "odd";
+        auto entry = cache.Get(release, mask);
+        ++gets;
+        if (entry != nullptr) {
+          // A hit must return the entry stored under this exact key.
+          if (entry->table.value(0) != static_cast<double>(mask)) {
+            wrong_entries.fetch_add(1);
+          }
+        } else {
+          cache.Put(release, mask,
+                    MakeEntry(mask, kD, static_cast<double>(mask)));
+        }
+      }
+      total_gets.fetch_add(gets);
+    });
+  }
+  for (auto& s : sessions) s.join();
+  stop.store(true);
+  monitor.join();
+
+  EXPECT_EQ(budget_violations.load(), 0u);
+  EXPECT_EQ(wrong_entries.load(), 0u);
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, total_gets.load());
+  EXPECT_LE(s.cells, s.capacity_cells);
+  EXPECT_EQ(total_gets.load(),
+            static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  // Eviction must have actually run for this to have tested anything.
+  EXPECT_GT(s.evictions, 0u);
 }
 
 TEST(MarginalCacheTest, ClearResetsContentsButKeepsCounters) {

@@ -8,6 +8,7 @@
 // cache can never hold more cells than its capacity, and the store's
 // ledger must match the load/unload responses the session emitted).
 
+#include <algorithm>
 #include <set>
 #include <sstream>
 #include <string>
@@ -19,6 +20,7 @@
 #include "data/synthetic.h"
 #include "engine/release_engine.h"
 #include "engine/release_io.h"
+#include "net/framing.h"
 #include "service/batch_executor.h"
 #include "service/marginal_cache.h"
 #include "service/query_service.h"
@@ -202,6 +204,147 @@ TEST(ServeProtocolFuzzTest, TruncatedBatchReportsEofNotHang) {
   const SessionRun run = RunStream(in.str(), 1 << 20);
   ASSERT_EQ(run.responses.size(), 2u);
   EXPECT_EQ(run.responses[1], "ERR unexpected EOF inside batch");
+}
+
+// ------------------------------------------------------------------
+// Framed-transport fuzzing: the network path wraps the same session in
+// the length-delimited codec, one ProcessStream call per decoded frame.
+// These streams exercise pipelined multi-line frames and byte splits at
+// arbitrary boundaries, so codec and session share one regression net.
+
+// Decodes `wire` with chunk sizes drawn from `rng`, running every
+// decoded frame through a fresh server stack. Returns one response
+// payload per decoded frame (stopping, like a connection, at a frame
+// whose processing reports quit).
+struct FramedRun {
+  std::vector<std::string> frames;     // Decoded request payloads.
+  std::vector<std::string> responses;  // One payload per processed frame.
+  bool decode_error = false;
+  CacheStats cache_stats;
+};
+
+FramedRun RunFramedStream(const std::string& wire, Rng* rng,
+                          std::size_t cache_cells) {
+  auto store = std::make_shared<ReleaseStore>();
+  auto cache = std::make_shared<MarginalCache>(cache_cells);
+  auto svc = std::make_shared<const QueryService>(store, cache);
+  BatchExecutor executor(svc, /*num_threads=*/4);
+  ServeSession session(store, cache, svc, &executor);
+
+  net::FrameDecoder decoder;
+  FramedRun run;
+  std::size_t offset = 0;
+  bool quit = false;
+  while (offset < wire.size() && !quit) {
+    const std::size_t remaining = wire.size() - offset;
+    const std::size_t chunk =
+        1 + static_cast<std::size_t>(
+                rng->NextBounded(std::min<std::size_t>(97, remaining)));
+    decoder.Append(wire.data() + offset, chunk);
+    offset += chunk;
+    std::string payload;
+    for (;;) {
+      const net::FrameDecoder::Next next = decoder.Pop(&payload);
+      if (next == net::FrameDecoder::Next::kNeedMore) break;
+      if (next == net::FrameDecoder::Next::kError) {
+        run.decode_error = true;
+        break;
+      }
+      run.frames.push_back(payload);
+      std::istringstream in(payload);
+      std::ostringstream out;
+      if (!session.ProcessStream(in, out)) quit = true;
+      run.responses.push_back(out.str());
+      if (quit) break;
+    }
+    if (run.decode_error) break;
+  }
+  run.cache_stats = cache->stats();
+  return run;
+}
+
+// A random request-frame payload: 1..4 pipelined lines, occasionally a
+// self-contained (or deliberately truncated) batch conversation.
+std::string RandomFramePayload(Rng* rng) {
+  std::ostringstream payload;
+  if (rng->NextBernoulli(0.25)) {
+    AppendBatchBlock(rng, &payload);
+    if (rng->NextBernoulli(0.3)) payload << "batch 3\nquery r marginal 1\n";
+    return payload.str();
+  }
+  const int lines = 1 + static_cast<int>(rng->NextBounded(4));
+  for (int l = 0; l < lines; ++l) payload << RandomLine(rng) << "\n";
+  return payload.str();
+}
+
+TEST(ServeProtocolFuzzTest, FramedStreamsSurviveArbitraryByteSplits) {
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    Rng build_rng(0xbeef + seed);
+    std::string wire;
+    const int frames = 10 + static_cast<int>(build_rng.NextBounded(30));
+    for (int f = 0; f < frames; ++f) {
+      wire += net::EncodeFrame(RandomFramePayload(&build_rng));
+    }
+
+    // Two decodes of the same wire bytes under different random chunk
+    // boundaries must see identical frames and produce identical
+    // response transcripts (tiny cache so eviction runs too).
+    Rng split_a(0xa + seed), split_b(0xb + seed);
+    const FramedRun a = RunFramedStream(wire, &split_a, /*cache_cells=*/16);
+    const FramedRun b = RunFramedStream(wire, &split_b, /*cache_cells=*/16);
+    EXPECT_FALSE(a.decode_error) << "seed " << seed;
+    EXPECT_EQ(a.frames, b.frames) << "seed " << seed;
+    EXPECT_EQ(a.responses, b.responses) << "seed " << seed;
+
+    // Exactly one response payload per processed frame, every line of
+    // every payload OK/ERR, and the cache budget invariant holds.
+    ASSERT_EQ(a.responses.size(), a.frames.size()) << "seed " << seed;
+    for (const std::string& payload : a.responses) {
+      std::istringstream lines(payload);
+      std::string line;
+      while (std::getline(lines, line)) {
+        EXPECT_TRUE(line.rfind("OK", 0) == 0 || line.rfind("ERR", 0) == 0)
+            << "seed " << seed << ": malformed response '" << line << "'";
+      }
+    }
+    EXPECT_LE(a.cache_stats.cells, a.cache_stats.capacity_cells)
+        << "seed " << seed;
+  }
+}
+
+TEST(ServeProtocolFuzzTest, PipelinedFrameAnswersOneLinePerRequestLine) {
+  // A frame with K well-formed single-line requests yields exactly K
+  // response lines (batch sub-lines collapse into their batch; no
+  // batches here).
+  Rng rng(0x51de);
+  std::ostringstream payload;
+  const int k = 7;
+  for (int i = 0; i < k; ++i) {
+    payload << "query r marginal " << rng.NextBounded(1 << 16) << "\n";
+  }
+  const std::string wire = net::EncodeFrame(payload.str());
+  Rng split(1);
+  const FramedRun run = RunFramedStream(wire, &split, 1 << 20);
+  ASSERT_EQ(run.responses.size(), 1u);
+  std::istringstream lines(run.responses[0]);
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) ++count;
+  EXPECT_EQ(count, k);
+}
+
+TEST(ServeProtocolFuzzTest, TruncatedBatchInsideFrameIsBoundedToFrame) {
+  // A batch header whose sub-lines are cut off by the END OF THE FRAME
+  // answers the EOF error for that frame; the next frame starts clean.
+  const std::string wire =
+      net::EncodeFrame("batch 4\nquery r marginal 1\n") +
+      net::EncodeFrame("list\n");
+  Rng split(2);
+  const FramedRun run = RunFramedStream(wire, &split, 1 << 20);
+  ASSERT_EQ(run.responses.size(), 2u);
+  EXPECT_EQ(run.responses[0], "ERR unexpected EOF inside batch\n");
+  EXPECT_EQ(run.responses[1].rfind("OK releases", 0), 0u)
+      << run.responses[1];
 }
 
 TEST(ServeProtocolFuzzTest, ParseSizeRejectsHostileNumerals) {

@@ -138,10 +138,10 @@ TEST(TensorHaarTest, ParallelLinesMatchSequentialBitExact) {
   const std::vector<int> dims = {6, 5, 4};  // 2^15 elements.
   const std::vector<double> x =
       RandomVector(TensorDomainSize(dims), &rng);
-  ThreadPool::SetSharedParallelism(1);
+  ThreadPool::ResetSharedPoolForTests(1);
   std::vector<double> sequential = x;
   TensorHaarForward(&sequential, dims);
-  ThreadPool::SetSharedParallelism(8);
+  ThreadPool::ResetSharedPoolForTests(8);
   std::vector<double> parallel = x;
   TensorHaarForward(&parallel, dims);
   for (std::size_t i = 0; i < x.size(); ++i) {
@@ -152,7 +152,7 @@ TEST(TensorHaarTest, ParallelLinesMatchSequentialBitExact) {
   for (std::size_t i = 0; i < x.size(); ++i) {
     ASSERT_NEAR(parallel[i], x[i], 1e-9);
   }
-  ThreadPool::SetSharedParallelism(2);
+  ThreadPool::ResetSharedPoolForTests(2);
 }
 
 }  // namespace

@@ -121,10 +121,10 @@ TEST(WalshHadamardTest, BlockedParallelPathMatchesSequentialBitExact) {
   for (std::size_t i = 0; i < n; ++i) {
     x[i] = std::sin(static_cast<double>(i)) * 3.25 + (i % 11);
   }
-  ThreadPool::SetSharedParallelism(1);
+  ThreadPool::ResetSharedPoolForTests(1);
   std::vector<double> sequential = x;
   WalshHadamard(&sequential);
-  ThreadPool::SetSharedParallelism(8);
+  ThreadPool::ResetSharedPoolForTests(8);
   std::vector<double> parallel = x;
   WalshHadamard(&parallel);
   for (std::size_t i = 0; i < n; ++i) {
@@ -135,7 +135,7 @@ TEST(WalshHadamardTest, BlockedParallelPathMatchesSequentialBitExact) {
   for (std::size_t i = 0; i < n; ++i) {
     ASSERT_NEAR(parallel[i], x[i], 1e-9);
   }
-  ThreadPool::SetSharedParallelism(2);
+  ThreadPool::ResetSharedPoolForTests(2);
 }
 
 }  // namespace

@@ -50,6 +50,18 @@
 //     responses: "OK ..." (answers carry mask=, var=, hit=, values) or
 //     "ERR <message>".
 //
+//   # The same server over TCP (length-delimited frames around the same
+//   # line protocol; see src/net/framing.h). Port 0 = ephemeral, printed
+//   # at startup. SIGINT/SIGTERM drain in-flight queries before exit;
+//   # overload sheds with structured "BUSY <reason>" replies:
+//   dpcube serve --listen 127.0.0.1:0 --release release.csv --name demo
+//     --max-conns 64 --max-inflight 8 --max-queue 256
+//
+//   # Remote one-shot queries against a --listen server ("STATS" with
+//   # --stats):
+//   dpcube query --connect 127.0.0.1:PORT --name demo --mask 0x5
+//   dpcube query --connect 127.0.0.1:PORT --stats
+//
 // Methods: I, Q, Q+, F, F+, C, C+ (the paper's Section 5 notation; "+"
 // means optimal non-uniform budgets). Workloads: Qk, Qk*, Qka.
 
@@ -66,6 +78,7 @@
 
 #include "common/bits.h"
 #include "common/rng.h"
+#include "common/signal.h"
 #include "common/thread_pool.h"
 #include "data/contingency_table.h"
 #include "data/dataset.h"
@@ -75,6 +88,8 @@
 #include "engine/release_io.h"
 #include "engine/variance_report.h"
 #include "marginal/workload.h"
+#include "net/client.h"
+#include "net/socket_listener.h"
 #include "recovery/integral.h"
 #include "service/batch_executor.h"
 #include "service/marginal_cache.h"
@@ -103,12 +118,21 @@ int Usage() {
                "--epsilon E --out F [--seed S] [--no-clamp] [--microdata F]\n"
                "  dpcube query   --release F (--mask M | --bits I,J,...) "
                "[--cell C | --range LO:HI]\n"
+               "  dpcube query   --connect HOST:PORT [--name N] "
+               "((--mask M | --bits I,J,...) [--cell C | --range LO:HI] "
+               "| --stats)\n"
                "  dpcube serve   [--release F [--name N]] [--threads T] "
                "[--cache-cells N]\n"
+               "                 [--listen HOST:PORT] [--max-conns N] "
+               "[--max-inflight N]\n"
+               "                 [--max-queue N] [--drain-ms N]\n"
                "  (--threads T sizes the process-wide pool shared by the "
                "release pipeline\n"
                "   and the serve executor; default: hardware "
-               "concurrency)\n");
+               "concurrency.\n"
+               "   --listen serves the framed TCP protocol instead of "
+               "stdin/stdout;\n"
+               "   port 0 picks an ephemeral port, printed at startup)\n");
   return 2;
 }
 
@@ -124,7 +148,11 @@ bool ConfigureThreads(const std::map<std::string, std::string>& flags) {
                  it->second.c_str());
     return false;
   }
-  ThreadPool::SetSharedParallelism(static_cast<int>(threads));
+  const Status st = ThreadPool::SetSharedParallelism(static_cast<int>(threads));
+  if (!st.ok()) {
+    std::fprintf(stderr, "--threads: %s\n", st.ToString().c_str());
+    return false;
+  }
   return true;
 }
 
@@ -139,7 +167,8 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv,
       *ok = false;
       return flags;
     }
-    if (arg == "--no-consistency" || arg == "--no-clamp") {
+    if (arg == "--no-consistency" || arg == "--no-clamp" ||
+        arg == "--stats") {
       flags[arg.substr(2)] = "true";
       continue;
     }
@@ -454,7 +483,69 @@ void PrintResponse(const service::QueryResponse& response) {
   std::printf("%s\n", service::FormatResponse(response).c_str());
 }
 
+// Remote one-shot: speak the framed TCP protocol to a running
+// `dpcube serve --listen` instance. Prints every response line; exit 0
+// iff the first line is an "OK ...".
+int RunRemoteQuery(const std::map<std::string, std::string>& flags) {
+  const std::string& address = flags.at("connect");
+  auto client = net::Client::Connect(address);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  std::string request;
+  if (flags.find("stats") != flags.end()) {
+    request = "STATS";
+  } else {
+    bits::Mask mask = 0;
+    if (!ParseMask(flags, &mask)) return 2;
+    const auto name_it = flags.find("name");
+    const std::string name =
+        name_it == flags.end() ? "default" : name_it->second;
+    char head[64];
+    std::snprintf(head, sizeof(head), "0x%llx",
+                  static_cast<unsigned long long>(mask));
+    const auto cell_it = flags.find("cell");
+    const auto range_it = flags.find("range");
+    if (cell_it != flags.end() && range_it != flags.end()) {
+      std::fprintf(stderr, "--cell and --range are mutually exclusive\n");
+      return 2;
+    }
+    if (cell_it != flags.end()) {
+      request = "query " + name + " cell " + head + " " + cell_it->second;
+    } else if (range_it != flags.end()) {
+      const auto colon = range_it->second.find(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "--range expects LO:HI, got '%s'\n",
+                     range_it->second.c_str());
+        return 2;
+      }
+      request = "query " + name + " range " + head + " " +
+                range_it->second.substr(0, colon) + " " +
+                range_it->second.substr(colon + 1);
+    } else {
+      request = "query " + name + " marginal " + head;
+    }
+  }
+
+  auto lines = client.value().CallLines(request);
+  if (!lines.ok()) {
+    std::fprintf(stderr, "call: %s\n", lines.status().ToString().c_str());
+    return 1;
+  }
+  for (const std::string& line : lines.value()) {
+    std::printf("%s\n", line.c_str());
+  }
+  return !lines.value().empty() &&
+                 lines.value().front().rfind("OK", 0) == 0
+             ? 0
+             : 1;
+}
+
 int RunQuery(const std::map<std::string, std::string>& flags) {
+  if (flags.find("connect") != flags.end()) return RunRemoteQuery(flags);
   const auto release_it = flags.find("release");
   if (release_it == flags.end()) return Usage();
   bits::Mask mask = 0;
@@ -512,8 +603,11 @@ int RunServe(const std::map<std::string, std::string>& flags) {
   auto cache = std::make_shared<service::MarginalCache>(cache_cells);
   auto svc = std::make_shared<const service::QueryService>(store, cache);
   // Batches run on the same process-wide pool as the release pipeline
-  // (sized by --threads via ConfigureThreads in main).
-  service::BatchExecutor executor(svc, &ThreadPool::Shared());
+  // (sized by --threads via ConfigureThreads in main). Shared ownership:
+  // in network mode a query still executing at drain-timeout holds the
+  // executor alive through its connection's ServeContext.
+  auto executor = std::make_shared<const service::BatchExecutor>(
+      svc, &ThreadPool::Shared());
 
   const auto release_it = flags.find("release");
   if (release_it != flags.end()) {
@@ -528,11 +622,75 @@ int RunServe(const std::map<std::string, std::string>& flags) {
     std::printf("OK loaded %s from %s\n", name.c_str(),
                 release_it->second.c_str());
   }
-  std::printf("OK dpcube serve ready (threads=%d)\n", executor.num_threads());
+  const auto listen_it = flags.find("listen");
+  if (listen_it == flags.end()) {
+    // Classic single-caller mode: the line protocol on stdin/stdout.
+    std::printf("OK dpcube serve ready (threads=%d)\n",
+                executor->num_threads());
+    std::fflush(stdout);
+    service::ServeSession session(store, cache, svc, executor.get());
+    session.Run(std::cin, std::cout);
+    return 0;
+  }
+
+  // Network mode: the framed TCP protocol, admission-controlled, with
+  // graceful drain on SIGINT/SIGTERM.
+  net::ServerOptions options;
+  options.listen_address = listen_it->second;
+  const struct {
+    const char* flag;
+    int* target;
+  } caps[] = {{"max-conns", &options.admission.max_connections},
+              {"max-inflight", &options.admission.max_inflight},
+              {"max-queue", &options.admission.max_queue_depth},
+              {"drain-ms", &options.drain_timeout_ms}};
+  for (const auto& cap : caps) {
+    const auto it = flags.find(cap.flag);
+    if (it == flags.end()) continue;
+    std::size_t value = 0;
+    if (!ParseSize(it->second, &value) || value == 0 ||
+        value > 1000000000) {
+      std::fprintf(stderr, "bad --%s '%s'\n", cap.flag,
+                   it->second.c_str());
+      return 2;
+    }
+    *cap.target = static_cast<int>(value);
+  }
+
+  auto signal_fd = InstallShutdownSignalFd();
+  if (!signal_fd.ok()) {
+    std::fprintf(stderr, "signals: %s\n",
+                 signal_fd.status().ToString().c_str());
+    return 1;
+  }
+  options.shutdown_fd = signal_fd.value();
+
+  net::ServeContext context{store, cache, svc, executor,
+                            &ThreadPool::Shared()};
+  net::SocketListener listener(options, context);
+  const Status st = listener.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "listen: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "OK dpcube serve listening on %s (threads=%d max-conns=%d "
+      "max-inflight=%d max-queue=%d)\n",
+      listener.bound_address().c_str(), executor->num_threads(),
+      options.admission.max_connections, options.admission.max_inflight,
+      options.admission.max_queue_depth);
   std::fflush(stdout);
 
-  service::ServeSession session(store, cache, svc, &executor);
-  session.Run(std::cin, std::cout);
+  auto served = listener.Serve();
+  if (!served.ok()) {
+    std::fprintf(stderr, "serve: %s\n",
+                 served.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("OK drained%s after %llu connections\n%s\n",
+              ShutdownRequested() ? " on signal" : "",
+              static_cast<unsigned long long>(served.value()),
+              listener.FormatStatsLine().c_str());
   return 0;
 }
 
