@@ -12,30 +12,51 @@
 // workload and report "speedup_vs_1t" (per-iteration time at 1 thread
 // divided by the current per-iteration time) plus the per-phase seconds
 // from engine::PhaseTimings, so a regression in parallel scaling is
-// attributable to a phase. Run on a machine with >= 8 cores to see the
-// full fan-out; the parallel determinism suite guarantees the released
-// values are bit-identical at every point of the sweep.
+// attributable to a phase. BM_ClusterConstructionThreadScaling isolates
+// strategy *construction* — the clustering search that dominates the
+// figure — and reports its own construction-phase speedup_vs_1t. Run on
+// a machine with >= 8 cores to see the full fan-out; the parallel
+// determinism suite guarantees the released values are bit-identical at
+// every point of the sweep.
+//
+// Set DPCUBE_BENCH_SMALL=1 to shrink every dataset/domain to a pinned
+// small configuration: that is what the CI bench-regression job runs
+// (with --benchmark_out) and what bench/baseline/BENCH_baseline.json was
+// generated from, so local full-size numbers and the CI trend line don't
+// get mixed up.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <map>
 #include <string>
 
 #include "bench/bench_common.h"
 #include "common/thread_pool.h"
 #include "data/synthetic.h"
+#include "strategy/cluster_strategy.h"
 #include "transform/walsh_hadamard.h"
 
 namespace {
 
 using namespace dpcube;
 
+// Pinned small configuration for CI (see header comment).
+bool SmallMode() {
+  static const bool small = [] {
+    const char* env = std::getenv("DPCUBE_BENCH_SMALL");
+    return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+  }();
+  return small;
+}
+
 const char* const kWorkloads[] = {"Q1", "Q1a", "Q1*", "Q2", "Q2a", "Q2*"};
 
 const data::SparseCounts& NltcsCounts() {
   static const data::SparseCounts* counts = [] {
     Rng rng(44);
-    const data::Dataset ds = data::MakeNltcsLike(21'576, &rng);
+    const data::Dataset ds =
+        data::MakeNltcsLike(SmallMode() ? 4'000 : 21'576, &rng);
     return new data::SparseCounts(data::SparseCounts::FromDataset(ds));
   }();
   return *counts;
@@ -105,7 +126,8 @@ void ReportScaling(benchmark::State& state, const std::string& family,
 const data::SparseCounts& BigNltcsCounts() {
   static const data::SparseCounts* counts = [] {
     Rng rng(45);
-    const data::Dataset ds = data::MakeNltcsLike(200'000, &rng);
+    const data::Dataset ds =
+        data::MakeNltcsLike(SmallMode() ? 30'000 : 200'000, &rng);
     return new data::SparseCounts(data::SparseCounts::FromDataset(ds));
   }();
   return *counts;
@@ -143,11 +165,46 @@ void BM_ReleaseThreadScaling(benchmark::State& state) {
   state.SetLabel("Q3 (largest cuboid fan-out)");
 }
 
+// Strategy construction in isolation: the clustering search behind C is
+// the phase Figure 6 is really about, and since this PR it fans its
+// candidate-merge evaluations out on the shared pool under the
+// work-stealing schedule. construction_s is the per-iteration wall time
+// of the ClusterStrategy constructor alone; speedup_vs_1t is the
+// construction-phase speedup the acceptance gate watches.
+void BM_ClusterConstructionThreadScaling(benchmark::State& state) {
+  ThreadPool::ResetSharedPoolForTests(static_cast<int>(state.range(0)));
+  static const marginal::Workload* workload = [] {
+    if (SmallMode()) {
+      // First 10 NLTCS attributes: the search keeps the same shape with
+      // ~1/6 the pair-evaluation cost, small enough for the CI gate.
+      std::vector<data::Attribute> attrs;
+      for (std::size_t i = 0; i < 10; ++i) {
+        attrs.push_back(data::NltcsSchema().attribute(i));
+      }
+      return new marginal::Workload(
+          marginal::WorkloadQk(data::Schema(std::move(attrs)), 2));
+    }
+    return new marginal::Workload(
+        marginal::WorkloadQk(data::NltcsSchema(), 2));
+  }();
+  double construction = 0.0;
+  for (auto _ : state) {
+    strategy::ClusterStrategy strat(*workload);
+    benchmark::DoNotOptimize(strat.materialized().data());
+    construction += strat.construction_seconds();
+  }
+  state.counters["construction_s"] =
+      construction / static_cast<double>(state.iterations());
+  ReportScaling(state, "construction_C", construction);
+  state.SetLabel(SmallMode() ? "Q2 (10 attrs, clustering search)"
+                             : "Q2 (clustering search)");
+}
+
 // Full-domain 2^22 Walsh–Hadamard butterflies (the transform kernel under
 // consistency recovery and witness materialisation).
 void BM_WalshHadamardThreadScaling(benchmark::State& state) {
   ThreadPool::ResetSharedPoolForTests(static_cast<int>(state.range(0)));
-  std::vector<double> x(std::size_t{1} << 22);
+  std::vector<double> x(std::size_t{1} << (SmallMode() ? 18 : 22));
   for (std::size_t i = 0; i < x.size(); ++i) {
     x[i] = static_cast<double>(i % 97);
   }
@@ -171,6 +228,17 @@ BENCHMARK(BM_Identity)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
 
 // Thread-scaling sweeps (registered last so the figure's single-thread
 // numbers above are unaffected by pool resizing).
+// MinTime (not a single iteration) because the 1/2-thread points are
+// gated by the CI bench-regression job: one-shot ms-scale wall times on
+// shared runners are too noisy to hold a 25% tolerance.
+BENCHMARK(BM_ClusterConstructionThreadScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MinTime(0.5);
 BENCHMARK(BM_ReleaseThreadScaling)
     ->Arg(1)
     ->Arg(2)

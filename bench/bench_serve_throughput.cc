@@ -12,13 +12,24 @@
 // targets.
 //
 // Usage: bench_serve_throughput [d] [sweeps] [order]
+//                               [--benchmark_out=FILE]
+//
+// --benchmark_out=FILE additionally writes the measurements as a
+// google-benchmark-compatible JSON document ({"context": ..,
+// "benchmarks": [{name, real_time, time_unit, <counters>}, ..]}) so the
+// CI bench-regression gate (tools/bench_compare.py) can track this bench
+// next to bench_fig6_runtime's native --benchmark_out. real_time is
+// seconds-per-operation scaled to `time_unit` (lower is better);
+// throughput lands in the `qps` counter.
 
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -60,12 +71,72 @@ double RunSweeps(const service::QueryService& svc,
   return static_cast<double>(answered) / *seconds;
 }
 
+// Accumulates rows for --benchmark_out. The schema mirrors what
+// google-benchmark emits so one comparison script handles both benches.
+class JsonReport {
+ public:
+  void Add(const std::string& name, double seconds_per_op,
+           std::vector<std::pair<std::string, double>> counters) {
+    Row row;
+    row.name = name;
+    row.real_time_us = seconds_per_op * 1e6;
+    row.counters = std::move(counters);
+    rows_.push_back(std::move(row));
+  }
+
+  bool WriteTo(const std::string& path) const {
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) return false;
+    std::fprintf(out,
+                 "{\n  \"context\": {\"executable\": "
+                 "\"bench_serve_throughput\"},\n  \"benchmarks\": [\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      std::fprintf(out,
+                   "    {\"name\": \"%s\", \"run_type\": \"iteration\", "
+                   "\"iterations\": 1, \"real_time\": %.17g, "
+                   "\"cpu_time\": %.17g, \"time_unit\": \"us\"",
+                   row.name.c_str(), row.real_time_us, row.real_time_us);
+      for (const auto& [key, value] : row.counters) {
+        std::fprintf(out, ", \"%s\": %.17g", key.c_str(), value);
+      }
+      std::fprintf(out, "}%s\n", i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    double real_time_us = 0.0;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+  std::vector<Row> rows_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int d = argc > 1 ? std::atoi(argv[1]) : 12;
-  const int sweeps = argc > 2 ? std::atoi(argv[2]) : 40;
-  const int order = argc > 3 ? std::atoi(argv[3]) : 4;
+  // Positional args first, flags (--benchmark_out=FILE) anywhere.
+  std::vector<const char*> positional;
+  std::string benchmark_out;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg.rfind("--benchmark_out=", 0) == 0) {
+      benchmark_out = arg.substr(std::string("--benchmark_out=").size());
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    } else {
+      positional.push_back(argv[a]);
+    }
+  }
+  const int d = positional.size() > 0 ? std::atoi(positional[0]) : 12;
+  const int sweeps = positional.size() > 1 ? std::atoi(positional[1]) : 40;
+  const int order = positional.size() > 2 ? std::atoi(positional[2]) : 4;
+  JsonReport report;
 
   Rng rng(99);
   const data::SparseCounts counts = data::SparseCounts::FromDataset(
@@ -108,6 +179,9 @@ int main(int argc, char** argv) {
   std::printf("  cold cache: %10.0f q/s  (%.3fs)\n", cold_qps, cold_seconds);
   std::printf("  warm cache: %10.0f q/s  (%.3fs)  speedup %.1fx\n", warm_qps,
               warm_seconds, warm_qps / cold_qps);
+  report.Add("serve/cold", 1.0 / cold_qps, {{"qps", cold_qps}});
+  report.Add("serve/warm", 1.0 / warm_qps,
+             {{"qps", warm_qps}, {"warm_speedup", warm_qps / cold_qps}});
   std::printf(
       "  cache: hits=%llu misses=%llu evictions=%llu entries=%zu\n",
       static_cast<unsigned long long>(stats.hits),
@@ -130,8 +204,10 @@ int main(int argc, char** argv) {
         answered += responses.size();
       }
     });
-    std::printf("  threads=%d: %10.0f q/s\n", threads,
-                static_cast<double>(answered) / seconds);
+    const double qps = static_cast<double>(answered) / seconds;
+    std::printf("  threads=%d: %10.0f q/s\n", threads, qps);
+    report.Add("batch/threads:" + std::to_string(threads), 1.0 / qps,
+               {{"qps", qps}});
   }
 
   // The same service behind the real network stack: a loopback
@@ -215,15 +291,24 @@ int main(int argc, char** argv) {
       });
       const double total =
           static_cast<double>(config.threads) * requests_per_thread;
+      const double p50 = stats::Quantile(latencies, 0.5);
+      const double p99 = stats::Quantile(latencies, 0.99);
       std::printf(
           "  clients=%dx%d: %10.0f q/s  p50=%.0fus p99=%.0fus"
           "  (errors=%d)\n",
-          config.threads, config.conns, total / seconds,
-          stats::Quantile(latencies, 0.5), stats::Quantile(latencies, 0.99),
+          config.threads, config.conns, total / seconds, p50, p99,
           errors.load());
+      report.Add("tcp/clients:" + std::to_string(config.threads) + "x" +
+                     std::to_string(config.conns),
+                 seconds / total,
+                 {{"qps", total / seconds}, {"p50_us", p50}, {"p99_us", p99}});
     }
     listener.Shutdown();
     serve_thread.join();
+  }
+  if (!benchmark_out.empty() && !report.WriteTo(benchmark_out)) {
+    std::fprintf(stderr, "cannot write %s\n", benchmark_out.c_str());
+    return 1;
   }
   return 0;
 }

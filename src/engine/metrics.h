@@ -24,6 +24,12 @@ namespace engine {
 /// consistency projection (Step 3). Benches report these so parallel
 /// speedups are attributable to a phase rather than to the aggregate.
 struct PhaseTimings {
+  /// Strategy construction (the clustering search for C, support scoring
+  /// for F, group summaries for I/Q). Construction happens in the
+  /// strategy constructor — before ReleaseWorkload is called — so this is
+  /// copied from MarginalStrategy::construction_seconds() and is NOT part
+  /// of total_seconds.
+  double construction_seconds = 0.0;
   double budget_seconds = 0.0;
   double measure_seconds = 0.0;
   double consistency_seconds = 0.0;

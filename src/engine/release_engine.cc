@@ -30,6 +30,7 @@ Result<ReleaseOutcome> ReleaseWorkload(const strategy::MarginalStrategy& strat,
   if (!budgets.ok()) return budgets.status();
 
   ReleaseOutcome outcome;
+  outcome.timings.construction_seconds = strat.construction_seconds();
   outcome.timings.budget_seconds = seconds_since(start);
 
   // Measure + default recovery.

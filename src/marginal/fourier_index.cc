@@ -4,6 +4,9 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdint>
+
+#include "common/thread_pool.h"
 
 namespace dpcube {
 namespace marginal {
@@ -53,16 +56,36 @@ linalg::Vector FourierBudgetWeights(const Workload& workload,
          query_weights.size() == workload.num_marginals());
   // b_beta = 2 sum_{i: beta ⪯ alpha_i} a_i (2^k_i cells) (2^{d/2-k_i})^2
   //        = 2 sum_{i: beta ⪯ alpha_i} a_i 2^{d - k_i}.
-  linalg::Vector b(index.size(), 0.0);
-  for (std::size_t i = 0; i < workload.num_marginals(); ++i) {
-    const bits::Mask alpha = workload.mask(i);
+  const std::size_t num_marginals = workload.num_marginals();
+  std::vector<double> contribution(num_marginals, 0.0);
+  for (std::size_t i = 0; i < num_marginals; ++i) {
     const double a = query_weights.empty() ? 1.0 : query_weights[i];
-    const double contribution =
-        2.0 * a * std::pow(2.0, workload.d() - bits::Popcount(alpha));
-    for (bits::SubmaskIterator it(alpha); !it.done(); it.Next()) {
-      b[index.IndexOf(it.mask())] += contribution;
+    contribution[i] =
+        2.0 * a *
+        std::pow(2.0, workload.d() - bits::Popcount(workload.mask(i)));
+  }
+  // Invert the scatter once: slot beta's contributor list holds the
+  // marginals covering it in increasing-i order (the outer loop order),
+  // so the parallel per-slot sums below add the exact values the
+  // sequential scatter added, in the same order — bit-identical output,
+  // O(sum_i 2^{k_i}) total work, and each slot written by exactly one
+  // work unit (thread-count-invariant). The index build itself stays
+  // serial (it costs about what the old scatter cost), so only the
+  // summation phase scales with threads; bit-compatibility with the
+  // committed golden snapshots is what rules out a repartitioned sum.
+  std::vector<std::vector<std::uint32_t>> contributors(index.size());
+  for (std::size_t i = 0; i < num_marginals; ++i) {
+    for (bits::SubmaskIterator it(workload.mask(i)); !it.done(); it.Next()) {
+      contributors[index.IndexOf(it.mask())].push_back(
+          static_cast<std::uint32_t>(i));
     }
   }
+  linalg::Vector b(index.size(), 0.0);
+  ThreadPool::Shared().ParallelFor(0, index.size(), 16, [&](std::size_t c) {
+    double sum = 0.0;
+    for (const std::uint32_t i : contributors[c]) sum += contribution[i];
+    b[c] = sum;
+  });
   return b;
 }
 

@@ -4,9 +4,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <set>
+#include <utility>
 
 #include "common/thread_pool.h"
 #include "dp/mechanisms.h"
@@ -20,6 +22,7 @@ ClusterStrategy::ClusterStrategy(marginal::Workload workload,
     : workload_(std::move(workload)) {
   assert(query_weights.empty() ||
          query_weights.size() == workload_.num_marginals());
+  const auto start = std::chrono::steady_clock::now();
   RunClustering();
   // Group summaries: one group per materialised marginal.
   std::vector<double> assigned_weight(materialized_.size(), 0.0);
@@ -38,6 +41,9 @@ ClusterStrategy::ClusterStrategy(marginal::Workload workload,
                    static_cast<double>(g.num_rows);
     groups_.push_back(g);
   }
+  construction_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
 }
 
 void ClusterStrategy::AssignCovers(const std::vector<bits::Mask>& centroids,
@@ -75,6 +81,34 @@ double ClusterStrategy::PredictedCost(
   return m * m * spread;
 }
 
+double ClusterStrategy::EvaluateMerge(
+    const std::vector<bits::Mask>& centroids, std::size_t i, std::size_t j,
+    std::vector<bits::Mask>* candidate_out,
+    std::vector<std::size_t>* cover_out) const {
+  std::set<bits::Mask> merged_set(centroids.begin(), centroids.end());
+  merged_set.erase(centroids[i]);
+  merged_set.erase(centroids[j]);
+  merged_set.insert(centroids[i] | centroids[j]);
+  std::vector<bits::Mask> candidate(merged_set.begin(), merged_set.end());
+  std::vector<std::size_t> candidate_cover;
+  AssignCovers(candidate, &candidate_cover);
+  // Drop centroids no query uses (a merge can strand them).
+  std::vector<bool> used(candidate.size(), false);
+  for (std::size_t c : candidate_cover) used[c] = true;
+  std::vector<bits::Mask> pruned;
+  for (std::size_t m = 0; m < candidate.size(); ++m) {
+    if (used[m]) pruned.push_back(candidate[m]);
+  }
+  if (pruned.size() != candidate.size()) {
+    AssignCovers(pruned, &candidate_cover);
+    candidate = std::move(pruned);
+  }
+  const double cost = PredictedCost(candidate, candidate_cover);
+  if (candidate_out != nullptr) *candidate_out = std::move(candidate);
+  if (cover_out != nullptr) *cover_out = std::move(candidate_cover);
+  return cost;
+}
+
 void ClusterStrategy::RunClustering() {
   // Start from the distinct query masks.
   std::set<bits::Mask> unique(workload_.masks().begin(),
@@ -84,47 +118,59 @@ void ClusterStrategy::RunClustering() {
   AssignCovers(centroids, &cover_of);
   double cost = PredictedCost(centroids, cover_of);
 
+  // Greedy descent; each round evaluates every pair merge in parallel.
+  // Candidate costs vary wildly (pruning changes |M|, cover search is
+  // O(Q * |M|)), which is exactly the heterogeneous profile the
+  // work-stealing schedule exists for. Each pair writes only its own
+  // cost slot; the winner is the argmin in pair-enumeration order
+  // (i outer, j inner) with ties to the lowest pair index — the same
+  // merge the sequential scan's strict `<` would have kept — so the
+  // clustering is bit-identical for every thread count and schedule.
+  ThreadPool& pool = ThreadPool::Shared();
   bool improved = true;
   while (improved && centroids.size() > 1) {
     improved = false;
+    const std::size_t k = centroids.size();
+    const std::size_t num_pairs = k * (k - 1) / 2;
+    // pair_first[i] = flat index of pair (i, i+1); pairs of a given i are
+    // contiguous, matching the sequential enumeration order.
+    std::vector<std::size_t> pair_first(k, 0);
+    for (std::size_t i = 1; i < k; ++i) {
+      pair_first[i] = pair_first[i - 1] + (k - i);  // k-1-(i-1) pairs at i-1.
+    }
+    auto pair_of = [&](std::size_t p) {
+      const std::size_t i =
+          static_cast<std::size_t>(
+              std::upper_bound(pair_first.begin(), pair_first.end(), p) -
+              pair_first.begin()) -
+          1;
+      return std::pair<std::size_t, std::size_t>(i, i + 1 + (p - pair_first[i]));
+    };
+    std::vector<double> pair_cost(num_pairs, 0.0);
+    pool.ParallelFor(
+        0, num_pairs, 1,
+        [&](std::size_t p) {
+          const auto [i, j] = pair_of(p);
+          pair_cost[p] = EvaluateMerge(centroids, i, j, nullptr, nullptr);
+        },
+        ThreadPool::Schedule::kWorkStealing);
+    std::size_t best_pair = num_pairs;
     double best_cost = cost;
-    std::vector<bits::Mask> best_centroids;
-    std::vector<std::size_t> best_cover;
-    for (std::size_t i = 0; i < centroids.size(); ++i) {
-      for (std::size_t j = i + 1; j < centroids.size(); ++j) {
-        std::set<bits::Mask> merged_set(centroids.begin(), centroids.end());
-        merged_set.erase(centroids[i]);
-        merged_set.erase(centroids[j]);
-        merged_set.insert(centroids[i] | centroids[j]);
-        std::vector<bits::Mask> candidate(merged_set.begin(),
-                                          merged_set.end());
-        std::vector<std::size_t> candidate_cover;
-        AssignCovers(candidate, &candidate_cover);
-        // Drop centroids no query uses (a merge can strand them).
-        std::vector<bool> used(candidate.size(), false);
-        for (std::size_t c : candidate_cover) used[c] = true;
-        std::vector<bits::Mask> pruned;
-        for (std::size_t m = 0; m < candidate.size(); ++m) {
-          if (used[m]) pruned.push_back(candidate[m]);
-        }
-        if (pruned.size() != candidate.size()) {
-          AssignCovers(pruned, &candidate_cover);
-          candidate = std::move(pruned);
-        }
-        const double candidate_cost = PredictedCost(candidate,
-                                                    candidate_cover);
-        if (candidate_cost < best_cost) {
-          best_cost = candidate_cost;
-          best_centroids = candidate;
-          best_cover = candidate_cover;
-          improved = true;
-        }
+    for (std::size_t p = 0; p < num_pairs; ++p) {
+      if (pair_cost[p] < best_cost) {
+        best_cost = pair_cost[p];
+        best_pair = p;
       }
     }
-    if (improved) {
+    if (best_pair != num_pairs) {
+      const auto [i, j] = pair_of(best_pair);
+      std::vector<bits::Mask> best_centroids;
+      std::vector<std::size_t> best_cover;
+      EvaluateMerge(centroids, i, j, &best_centroids, &best_cover);
       centroids = std::move(best_centroids);
       cover_of = std::move(best_cover);
       cost = best_cost;
+      improved = true;
     }
   }
   materialized_ = std::move(centroids);

@@ -2,7 +2,9 @@
 
 #include "strategy/identity_strategy.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 
 #include "common/thread_pool.h"
@@ -16,12 +18,25 @@ IdentityStrategy::IdentityStrategy(marginal::Workload workload,
     : workload_(std::move(workload)) {
   assert(query_weights.empty() ||
          query_weights.size() == workload_.num_marginals());
+  const auto start = std::chrono::steady_clock::now();
   // One group covering all N rows. Recovery R = Q: base cell j is used by
   // exactly one cell of every workload marginal with coefficient 1, so
   // b_j = 2 * sum_i a_i and s_1 = 2 * (sum_i a_i) * N.
+  //
+  // Unit weights sum to the (integer) marginal count exactly; weighted
+  // workloads reduce over fixed-size blocks merged in block order, so the
+  // sum is a pure function of the weights, never of the thread count.
   double weight_total = 0.0;
-  for (std::size_t i = 0; i < workload_.num_marginals(); ++i) {
-    weight_total += query_weights.empty() ? 1.0 : query_weights[i];
+  const std::size_t num_marginals = workload_.num_marginals();
+  if (query_weights.empty()) {
+    weight_total = static_cast<double>(num_marginals);
+  } else {
+    weight_total = ThreadPool::Shared().ParallelSumBlocks(
+        0, num_marginals, 1024, [&](std::size_t lo, std::size_t hi) {
+          double sum = 0.0;
+          for (std::size_t i = lo; i < hi; ++i) sum += query_weights[i];
+          return sum;
+        });
   }
   budget::GroupSummary g;
   g.column_norm = 1.0;
@@ -29,6 +44,9 @@ IdentityStrategy::IdentityStrategy(marginal::Workload workload,
   g.weight_sum = 2.0 * weight_total * n;
   g.num_rows = std::uint64_t{1} << workload_.d();
   groups_ = {g};
+  construction_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
 }
 
 Result<Release> IdentityStrategy::Run(const data::SparseCounts& data,

@@ -82,6 +82,16 @@ class MarginalStrategy {
     (void)row;
     return Status::Unimplemented("no dense materialisation");
   }
+
+  /// Wall-clock seconds the constructor spent building the strategy
+  /// (clustering search, Fourier support scoring, group summaries).
+  /// Construction runs on the shared pool, so this is the number the
+  /// construction-scaling benches track; engine::ReleaseWorkload copies
+  /// it into PhaseTimings for per-phase attribution.
+  double construction_seconds() const { return construction_seconds_; }
+
+ protected:
+  double construction_seconds_ = 0.0;  // Set once at the end of each ctor.
 };
 
 }  // namespace strategy

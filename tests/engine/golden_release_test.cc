@@ -25,6 +25,7 @@
 #include "data/synthetic.h"
 #include "engine/release_engine.h"
 #include "engine/release_io.h"
+#include "strategy/cluster_strategy.h"
 #include "strategy/fourier_strategy.h"
 #include "strategy/query_strategy.h"
 
@@ -133,6 +134,19 @@ TEST(GoldenReleaseTest, MixedQ1QueryConsistent) {
   RunGoldenCase<strategy::QueryStrategy>(
       dataset, marginal::WorkloadQk(schema, 2), 1.0,
       /*release_seed=*/9, "mixed_q2_qplus_seed9");
+}
+
+// Pins the C strategy's released bytes, clustering search included: the
+// parallel candidate-merge scan (work-stealing schedule, argmin
+// tie-broken by pair index) must keep choosing exactly the centroids the
+// sequential search chose, or this snapshot drifts.
+TEST(GoldenReleaseTest, MixedQ2ClusterOptimal) {
+  Rng data_rng(13);
+  const data::Schema schema({{"a", 4}, {"b", 2}, {"c", 8}});
+  const data::Dataset dataset = data::MakeUniform(schema, 1800, &data_rng);
+  RunGoldenCase<strategy::ClusterStrategy>(
+      dataset, marginal::WorkloadQk(schema, 2), 0.7,
+      /*release_seed=*/13, "mixed_q2_cplus_seed13");
 }
 
 }  // namespace

@@ -32,8 +32,28 @@ namespace dpcube {
 namespace engine {
 namespace {
 
-constexpr int kParallelisms[] = {1, 2, 8};
+// Every configuration a release must be bit-identical across: pool sizes
+// 1/2/8 under the FIFO schedule, plus the multi-thread points again under
+// work-stealing (sequential execution is schedule-blind, so (1, steal)
+// would duplicate the baseline).
+struct PoolConfig {
+  int parallelism;
+  ThreadPool::Schedule schedule;
+  const char* tag;
+};
+constexpr PoolConfig kPoolConfigs[] = {
+    {1, ThreadPool::Schedule::kFifo, "p1_fifo"},
+    {2, ThreadPool::Schedule::kFifo, "p2_fifo"},
+    {8, ThreadPool::Schedule::kFifo, "p8_fifo"},
+    {2, ThreadPool::Schedule::kWorkStealing, "p2_steal"},
+    {8, ThreadPool::Schedule::kWorkStealing, "p8_steal"},
+};
 constexpr std::uint64_t kSeed = 20260729;
+
+void UsePool(const PoolConfig& config) {
+  ThreadPool::ResetSharedPoolForTests(config.parallelism);
+  ThreadPool::Shared().set_default_schedule(config.schedule);
+}
 
 struct ReleaseArtifacts {
   std::vector<data::SparseCounts::Entry> counts;
@@ -49,13 +69,14 @@ std::string ReadFileBytes(const std::string& path) {
   return ss.str();
 }
 
-// One full pipeline run at the given pool size: dataset -> sharded
-// SparseCounts -> budgets -> measurement -> recovery -> archived CSV.
+// One full pipeline run under the given pool configuration: dataset ->
+// sharded SparseCounts -> strategy construction (parallel since PR 4) ->
+// budgets -> measurement -> recovery -> archived CSV.
 template <typename StrategyT>
-ReleaseArtifacts RunAt(int parallelism, const data::Dataset& dataset,
+ReleaseArtifacts RunAt(const PoolConfig& config, const data::Dataset& dataset,
                        const marginal::Workload& workload,
                        const std::string& tag) {
-  ThreadPool::ResetSharedPoolForTests(parallelism);
+  UsePool(config);
   ReleaseArtifacts a;
   const data::SparseCounts counts =
       data::SparseCounts::FromDataset(dataset);
@@ -74,7 +95,7 @@ ReleaseArtifacts RunAt(int parallelism, const data::Dataset& dataset,
   a.group_budgets = outcome.value().group_budgets;
 
   const std::string path = ::testing::TempDir() + "/determinism_" + tag +
-                           "_p" + std::to_string(parallelism) + ".csv";
+                           "_" + config.tag + ".csv";
   EXPECT_TRUE(WriteReleaseCsv(path, a.marginals).ok());
   a.csv_bytes = ReadFileBytes(path);
   return a;
@@ -120,15 +141,16 @@ void CheckStrategy(const data::Dataset& dataset,
                    const marginal::Workload& workload,
                    const std::string& tag) {
   ReleaseArtifacts base;
-  for (const int parallelism : kParallelisms) {
-    ReleaseArtifacts a =
-        RunAt<StrategyT>(parallelism, dataset, workload, tag);
-    if (parallelism == kParallelisms[0]) {
+  bool first = true;
+  for (const PoolConfig& config : kPoolConfigs) {
+    ReleaseArtifacts a = RunAt<StrategyT>(config, dataset, workload, tag);
+    if (first) {
       base = std::move(a);
+      first = false;
       continue;
     }
-    ExpectArtifactsBitIdentical(
-        base, a, tag + " @" + std::to_string(parallelism) + " threads");
+    ExpectArtifactsBitIdentical(base, a,
+                                tag + std::string(" @") + config.tag);
   }
 }
 
@@ -136,6 +158,7 @@ class ParallelDeterminismTest : public ::testing::Test {
  protected:
   ~ParallelDeterminismTest() override {
     ThreadPool::ResetSharedPoolForTests(2);  // Don't serialise later tests.
+    ThreadPool::Shared().set_default_schedule(ThreadPool::Schedule::kFifo);
   }
 };
 
@@ -168,6 +191,53 @@ TEST_F(ParallelDeterminismTest, MixedSchemaQueryAndCluster) {
   const marginal::Workload w = marginal::WorkloadQk(schema, 2);
   CheckStrategy<strategy::QueryStrategy>(dataset, w, "mixed_Q");
   CheckStrategy<strategy::ClusterStrategy>(dataset, w, "mixed_C");
+}
+
+// Strategy construction in isolation: the clustering search now fans its
+// candidate-merge evaluations out under the work-stealing schedule, and
+// the chosen centroids/covers must not depend on the pool configuration
+// (argmin with index tie-break, not first-done-wins).
+TEST_F(ParallelDeterminismTest, ClusterConstructionBitIdentical) {
+  const data::Schema schema({{"a", 4}, {"b", 2}, {"c", 8}, {"e", 3}});
+  const marginal::Workload w = marginal::WorkloadQk(schema, 2);
+  UsePool(kPoolConfigs[0]);
+  const strategy::ClusterStrategy base(w);
+  ASSERT_FALSE(base.materialized().empty());
+  for (std::size_t c = 1; c < std::size(kPoolConfigs); ++c) {
+    UsePool(kPoolConfigs[c]);
+    const strategy::ClusterStrategy other(w);
+    ASSERT_EQ(base.materialized(), other.materialized())
+        << "centroids drifted @" << kPoolConfigs[c].tag;
+    ASSERT_EQ(base.cover_of(), other.cover_of())
+        << "covers drifted @" << kPoolConfigs[c].tag;
+  }
+}
+
+// The blocked occupied-cell scan inside SparseCounts::FourierCoefficient
+// (single huge cuboid): above the parallel cutoff the block partition is
+// fixed, so the coefficient must be bit-identical at every pool size and
+// schedule.
+TEST_F(ParallelDeterminismTest, SparseFourierCoefficientBlockedScan) {
+  Rng rng(5);
+  const data::Dataset dataset = data::MakeNltcsLike(120000, &rng);
+  UsePool(kPoolConfigs[0]);
+  const data::SparseCounts counts = data::SparseCounts::FromDataset(dataset);
+  // The scan must actually cross the parallel cutoff (1 << 14 occupied
+  // cells) or this test exercises nothing.
+  ASSERT_GT(counts.num_occupied(), std::size_t{1} << 14);
+  const bits::Mask masks[] = {0x0, 0x1, 0x03, 0x15, 0x842, 0xffff};
+  double base[std::size(masks)];
+  for (std::size_t m = 0; m < std::size(masks); ++m) {
+    base[m] = counts.FourierCoefficient(masks[m]);
+  }
+  for (std::size_t c = 1; c < std::size(kPoolConfigs); ++c) {
+    UsePool(kPoolConfigs[c]);
+    for (std::size_t m = 0; m < std::size(masks); ++m) {
+      const double got = counts.FourierCoefficient(masks[m]);
+      ASSERT_TRUE(BitIdentical(base[m], got))
+          << "mask " << masks[m] << " @" << kPoolConfigs[c].tag;
+    }
+  }
 }
 
 // The sharded-sort construction itself, at a size that crosses the shard

@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+# Copyright 2026 The dpcube Authors.
+"""Benchmark-regression gate for the CI bench job.
+
+Compares one or more --benchmark_out JSON files (google-benchmark's
+native format, also emitted by bench_serve_throughput) against the
+committed baseline and fails on regressions:
+
+  * wall time (real_time): fails when a benchmark got more than
+    --tolerance slower than its baseline entry (default 25%);
+  * watched counters (--counters, comma-separated, higher-is-better,
+    e.g. qps): fails when a counter dropped by more than
+    --counter-tolerance (default 25%).
+
+A benchmark present in the baseline but missing from the current run
+also fails — otherwise deleting a bench would silently retire its gate.
+Benchmarks only present in the current run are reported but never fail;
+they start gating once they land in the baseline.
+
+Updating the committed baseline (after an intentional perf change, or
+to adopt fresher CI-runner numbers — say so in the commit message):
+either download the BENCH_pr JSON artifact from a green CI run of this
+job, or reproduce its pinned config locally, then:
+
+  tools/bench_compare.py --merge bench/baseline/BENCH_baseline.json \
+      BENCH_fig6.json BENCH_serve.json
+
+Usage:
+  bench_compare.py BASELINE CURRENT [CURRENT...] [--tolerance 0.25]
+      [--counters qps] [--counter-tolerance 0.25]
+  bench_compare.py --merge OUT IN [IN...]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+# Counter keys that are never gated or merged as user counters.
+RESERVED_KEYS = {
+    "name", "run_name", "run_type", "repetitions", "repetition_index",
+    "threads", "iterations", "real_time", "cpu_time", "time_unit",
+    "family_index", "per_family_instance_index", "aggregate_name",
+}
+
+
+def load_benchmarks(path):
+    """Returns {name: row} for the iteration rows of one JSON file."""
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("benchmarks", []):
+        if row.get("run_type", "iteration") != "iteration":
+            continue  # Aggregates (mean/median/stddev) are not gated.
+        rows[row["name"]] = row
+    return rows
+
+
+def real_time_ns(row):
+    return row["real_time"] * TIME_UNIT_NS[row.get("time_unit", "ns")]
+
+
+def fmt_time(ns):
+    for unit, factor in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= factor:
+            return f"{ns / factor:.3g}{unit}"
+    return f"{ns:.3g}ns"
+
+
+def merge(out_path, in_paths):
+    benchmarks = []
+    seen = set()
+    for path in in_paths:
+        with open(path) as f:
+            doc = json.load(f)
+        for row in doc.get("benchmarks", []):
+            if row["name"] in seen:
+                print(f"error: duplicate benchmark {row['name']!r} in {path}",
+                      file=sys.stderr)
+                return 1
+            seen.add(row["name"])
+            benchmarks.append(row)
+    with open(out_path, "w") as f:
+        json.dump({"context": {"note": "merged baseline; see "
+                               "tools/bench_compare.py --merge"},
+                   "benchmarks": benchmarks}, f, indent=1)
+        f.write("\n")
+    print(f"wrote {out_path} ({len(benchmarks)} benchmarks)")
+    return 0
+
+
+def compare(baseline_path, current_paths, tolerance, counters,
+            counter_tolerance):
+    baseline = load_benchmarks(baseline_path)
+    current = {}
+    for path in current_paths:
+        for name, row in load_benchmarks(path).items():
+            if name in current:
+                print(f"error: benchmark {name!r} appears in more than one "
+                      "current file", file=sys.stderr)
+                return 1
+            current[name] = row
+
+    failures = []
+    lines = [
+        "| benchmark | metric | baseline | current | delta | status |",
+        "|---|---|---|---|---|---|",
+    ]
+
+    def record(name, metric, base_text, cur_text, delta, bad, why=None):
+        status = "**FAIL**" if bad else "ok"
+        lines.append(f"| {name} | {metric} | {base_text} | {cur_text} "
+                     f"| {delta:+.1%} | {status} |")
+        if bad:
+            failures.append(f"{name} [{metric}]: {why}")
+
+    for name in sorted(baseline):
+        base = baseline[name]
+        cur = current.get(name)
+        if cur is None:
+            lines.append(f"| {name} | — | — | missing | — | **FAIL** |")
+            failures.append(f"{name}: present in baseline but not in the "
+                            "current run (was the bench or its filter "
+                            "removed?)")
+            continue
+        base_ns, cur_ns = real_time_ns(base), real_time_ns(cur)
+        delta = cur_ns / base_ns - 1.0 if base_ns > 0 else 0.0
+        record(name, "real_time", fmt_time(base_ns), fmt_time(cur_ns), delta,
+               delta > tolerance,
+               f"wall time regressed {delta:+.1%} "
+               f"(tolerance {tolerance:.0%})")
+        for counter in counters:
+            if counter in RESERVED_KEYS or counter not in base:
+                continue
+            if counter not in cur:
+                record(name, counter, f"{base[counter]:.4g}", "missing",
+                       -1.0, True, "counter disappeared")
+                continue
+            cdelta = (cur[counter] / base[counter] - 1.0
+                      if base[counter] else 0.0)
+            record(name, counter, f"{base[counter]:.4g}",
+                   f"{cur[counter]:.4g}", cdelta,
+                   cdelta < -counter_tolerance,
+                   f"counter dropped {cdelta:+.1%} "
+                   f"(tolerance {counter_tolerance:.0%})")
+
+    for name in sorted(set(current) - set(baseline)):
+        ns = real_time_ns(current[name])
+        lines.append(f"| {name} | real_time | (new) | {fmt_time(ns)} "
+                     "| — | ok |")
+
+    table = "\n".join(lines)
+    print(table)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as f:
+            f.write("## Benchmark regression gate\n\n" + table + "\n")
+
+    if failures:
+        print("\nbench_compare: FAILED", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nbench_compare: OK ({len(baseline)} gated benchmarks, "
+          f"tolerance {tolerance:.0%})")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("files", nargs="+",
+                        help="BASELINE CURRENT... (or OUT IN... with --merge)")
+    parser.add_argument("--merge", action="store_true",
+                        help="merge IN files' benchmarks into OUT")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="max allowed wall-time regression (default .25)")
+    parser.add_argument("--counters", default="",
+                        help="comma-separated higher-is-better counters to "
+                             "gate (e.g. qps)")
+    parser.add_argument("--counter-tolerance", type=float, default=0.25,
+                        help="max allowed watched-counter drop (default .25)")
+    args = parser.parse_args()
+    if len(args.files) < 2:
+        parser.error("need at least two files")
+    if args.merge:
+        return merge(args.files[0], args.files[1:])
+    counters = [c for c in args.counters.split(",") if c]
+    return compare(args.files[0], args.files[1:], args.tolerance, counters,
+                   args.counter_tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
