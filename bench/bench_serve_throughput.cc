@@ -159,6 +159,22 @@ int main(int argc, char** argv) {
   });
   auto svc = std::make_shared<const service::QueryService>(store, cache);
 
+  // A second release holding the single full-order marginal (2^d
+  // cells): the payload shape the v2 binary codec targets, used by the
+  // text-vs-binary comparison below.
+  const bits::Mask full_mask = (bits::Mask{1} << d) - 1;
+  {
+    marginal::MarginalTable wide = marginal::ComputeMarginal(counts,
+                                                             full_mask);
+    for (auto& v : wide.mutable_values()) v += rng.NextLaplace(2.0);
+    if (!store
+             ->Add("wide", marginal::Workload(d, {full_mask}),
+                   {std::move(wide)})
+             .ok()) {
+      std::exit(1);
+    }
+  }
+
   // The repeated-query workload: every derivable marginal (orders 0..order).
   std::vector<service::Query> queries;
   for (const bits::Mask beta : bits::MasksOfWeightAtMost(d, order)) {
@@ -302,6 +318,73 @@ int main(int argc, char** argv) {
                      std::to_string(config.conns),
                  seconds / total,
                  {{"qps", total / seconds}, {"p50_us", p50}, {"p99_us", p99}});
+    }
+    // Protocol v2 payload comparison: the same full-marginal query over
+    // one connection per codec. Text pays ~19-25 bytes per cell of
+    // %.17g; binary pays exactly 8 — bytes/query and the client-side
+    // latency quantiles make the trade measurable (and CI-gated once
+    // merged into the baseline).
+    std::printf(
+        "full-marginal payloads, text vs binary codec (2^%d cells):\n", d);
+    const std::string wide_request =
+        "query wide marginal " + std::to_string(full_mask);
+    const int marginal_requests = 300;
+    double text_bytes_per_query = 0.0;
+    for (const bool binary : {false, true}) {
+      auto client = net::Client::Connect(address);
+      if (!client.ok()) {
+        std::fprintf(stderr, "tcp bench: connect failed\n");
+        return 1;
+      }
+      if (binary &&
+          !client.value()
+               .Negotiate(service::kProtocolVersionV2,
+                          service::Codec::kBinary)
+               .ok()) {
+        std::fprintf(stderr, "tcp bench: HELLO v2 binary failed\n");
+        return 1;
+      }
+      std::vector<double> latencies;
+      latencies.reserve(marginal_requests);
+      std::size_t payload_bytes = 0;
+      int errors = 0;
+      const double seconds = bench::TimeSeconds([&] {
+        for (int i = 0; i < marginal_requests; ++i) {
+          std::string payload;
+          const double rtt = bench::TimeSeconds([&] {
+            if (!client.value().Call(wide_request, &payload).ok()) {
+              ++errors;
+            }
+          });
+          payload_bytes += payload.size();
+          latencies.push_back(rtt * 1e6);
+        }
+      });
+      const double bytes_per_query =
+          static_cast<double>(payload_bytes) / marginal_requests;
+      if (!binary) text_bytes_per_query = bytes_per_query;
+      const double qps = marginal_requests / seconds;
+      const double p50 = stats::Quantile(latencies, 0.5);
+      const double p99 = stats::Quantile(latencies, 0.99);
+      const char* codec_name = binary ? "binary" : "text";
+      std::printf(
+          "  %-6s: %8.0f bytes/query  %8.0f q/s  p50=%.0fus p99=%.0fus"
+          "  (errors=%d)\n",
+          codec_name, bytes_per_query, qps, p50, p99, errors);
+      std::vector<std::pair<std::string, double>> counters = {
+          {"bytes_per_query", bytes_per_query},
+          {"p50_us", p50},
+          {"p99_us", p99}};
+      if (binary) {
+        counters.push_back(
+            {"text_to_binary_ratio", text_bytes_per_query / bytes_per_query});
+      }
+      report.Add(std::string("tcp_marginal/") + codec_name,
+                 seconds / marginal_requests, std::move(counters));
+      if (binary) {
+        std::printf("  binary payload is %.2fx smaller than text\n",
+                    text_bytes_per_query / bytes_per_query);
+      }
     }
     listener.Shutdown();
     serve_thread.join();

@@ -21,7 +21,7 @@ bool AdmissionController::TryAdmitConnection(std::string* busy_reason) {
   for (;;) {
     if (current >= config_.max_connections) {
       rejected_connections_.fetch_add(1);
-      *busy_reason = "BUSY connection limit (" +
+      *busy_reason = "connection limit (" +
                      std::to_string(config_.max_connections) + ") reached";
       return false;
     }
@@ -40,7 +40,7 @@ bool AdmissionController::TryAdmitRequest(int connection_inflight,
                                           std::string* busy_reason) {
   if (connection_inflight >= config_.max_inflight) {
     shed_requests_.fetch_add(1);
-    *busy_reason = "BUSY per-connection in-flight limit (" +
+    *busy_reason = "per-connection in-flight limit (" +
                    std::to_string(config_.max_inflight) + ") reached";
     return false;
   }
@@ -48,7 +48,7 @@ bool AdmissionController::TryAdmitRequest(int connection_inflight,
   for (;;) {
     if (current >= config_.max_queue_depth) {
       shed_requests_.fetch_add(1);
-      *busy_reason = "BUSY server queue depth (" +
+      *busy_reason = "server queue depth (" +
                      std::to_string(config_.max_queue_depth) + ") reached";
       return false;
     }
@@ -59,6 +59,45 @@ bool AdmissionController::TryAdmitRequest(int connection_inflight,
 }
 
 void AdmissionController::ReleaseRequest() { queued_requests_.fetch_sub(1); }
+
+bool AdmissionController::TryChargeQuery(const std::string& release,
+                                         std::string* denial) {
+  if (config_.max_queries_per_release == 0) return true;
+  {
+    std::lock_guard<std::mutex> lock(quota_mu_);
+    const auto it = quota_used_.find(release);
+    if (it == quota_used_.end()) {
+      // Hard bound on the ledger itself: even if a caller charges
+      // attacker-chosen names (the serving gate pre-validates against
+      // the store, but this type must be safe on its own), the map can
+      // never grow past kMaxTrackedReleases entries.
+      if (quota_used_.size() >= kMaxTrackedReleases) {
+        quota_denied_.fetch_add(1);
+        *denial = "quota ledger full (" +
+                  std::to_string(kMaxTrackedReleases) +
+                  " releases tracked)";
+        return false;
+      }
+      quota_used_.emplace(release, 1);
+      return true;
+    }
+    if (it->second < config_.max_queries_per_release) {
+      ++it->second;
+      return true;
+    }
+  }
+  quota_denied_.fetch_add(1);
+  *denial = "release '" + release + "' exhausted its query quota (" +
+            std::to_string(config_.max_queries_per_release) + ")";
+  return false;
+}
+
+std::uint64_t AdmissionController::quota_used(
+    const std::string& release) const {
+  std::lock_guard<std::mutex> lock(quota_mu_);
+  const auto it = quota_used_.find(release);
+  return it == quota_used_.end() ? 0 : it->second;
+}
 
 }  // namespace net
 }  // namespace dpcube

@@ -1,18 +1,22 @@
 // Copyright 2026 The dpcube Authors.
 //
 // Admission control for the serving subsystem: fixed caps on accepted
-// connections, per-connection in-flight requests, and total queued work,
-// enforced at the network edge so overload degrades into fast structured
-// "BUSY <reason>" replies instead of unbounded queues, latency collapse,
-// or silent drops. Every shed request still gets exactly one response —
-// the one invariant a pipelining client needs to stay in sync.
+// connections, per-connection in-flight requests, total queued work,
+// and per-release query quotas, enforced at the network edge so
+// overload degrades into fast structured replies ("BUSY <reason>" for
+// shed work, kQuotaExceeded for exhausted quotas) instead of unbounded
+// queues, latency collapse, or silent drops. Every shed request still
+// gets exactly one response — the one invariant a pipelining client
+// needs to stay in sync.
 
 #ifndef DPCUBE_NET_ADMISSION_H_
 #define DPCUBE_NET_ADMISSION_H_
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 
 namespace dpcube {
 namespace net {
@@ -28,9 +32,14 @@ struct AdmissionConfig {
   /// connections (the executor's queue depth); arrivals beyond it are
   /// shed with BUSY even if their connection is under its own cap.
   int max_queue_depth = 256;
+  /// Lifetime cap on queries charged against any one release name
+  /// (batch sub-queries each count); queries beyond it are answered
+  /// with a structured kQuotaExceeded error. 0 = unmetered.
+  std::uint64_t max_queries_per_release = 0;
 };
 
-/// Validated config (all caps clamped to >= 1).
+/// Validated config (connection/inflight/queue caps clamped to >= 1;
+/// the quota keeps 0 as "unmetered").
 AdmissionConfig ClampAdmissionConfig(AdmissionConfig config);
 
 class AdmissionController {
@@ -41,15 +50,31 @@ class AdmissionController {
   const AdmissionConfig& config() const { return config_; }
 
   /// Accept-time gate. On refusal, bumps the rejected counter and fills
-  /// `*busy_reason` for the one-frame goodbye.
+  /// `*busy_reason` (no "BUSY " prefix; the caller's codec adds it) for
+  /// the one-frame goodbye.
   bool TryAdmitConnection(std::string* busy_reason);
   void ReleaseConnection();
 
   /// Frame-arrival gate; `connection_inflight` is the calling
   /// connection's own admitted-but-unanswered count. On refusal, bumps
-  /// the shed counter and fills `*busy_reason`.
+  /// the shed counter and fills `*busy_reason` (no "BUSY " prefix).
   bool TryAdmitRequest(int connection_inflight, std::string* busy_reason);
   void ReleaseRequest();
+
+  /// Hard bound on distinct release names the quota ledger tracks; a
+  /// charge for a NEW name beyond it is denied, so hostile name churn
+  /// cannot grow the map without bound. Callers should additionally
+  /// pre-validate names against the store (the serving gate does) so
+  /// misspelled queries neither charge quota nor occupy ledger slots.
+  static constexpr std::size_t kMaxTrackedReleases = 65536;
+
+  /// Per-release query-quota gate: charges one query against `release`
+  /// and returns true, or — once the release's lifetime spend reaches
+  /// max_queries_per_release (or the ledger is full, see above) —
+  /// bumps the denial counter, fills `*denial`, and returns false.
+  /// Always true when unmetered. Thread-safe (sessions call this from
+  /// pool workers).
+  bool TryChargeQuery(const std::string& release, std::string* denial);
 
   // Monitoring snapshot (STATS verb).
   int active_connections() const { return active_connections_.load(); }
@@ -59,6 +84,9 @@ class AdmissionController {
     return rejected_connections_.load();
   }
   std::uint64_t shed_requests() const { return shed_requests_.load(); }
+  std::uint64_t quota_denied() const { return quota_denied_.load(); }
+  /// Lifetime queries charged against `release` so far.
+  std::uint64_t quota_used(const std::string& release) const;
 
  private:
   const AdmissionConfig config_;
@@ -67,6 +95,9 @@ class AdmissionController {
   std::atomic<std::uint64_t> accepted_total_{0};
   std::atomic<std::uint64_t> rejected_connections_{0};
   std::atomic<std::uint64_t> shed_requests_{0};
+  std::atomic<std::uint64_t> quota_denied_{0};
+  mutable std::mutex quota_mu_;
+  std::unordered_map<std::string, std::uint64_t> quota_used_;
 };
 
 }  // namespace net

@@ -76,6 +76,62 @@ Result<std::vector<std::string>> Client::CallLines(
   return SplitResponseLines(payload);
 }
 
+Status Client::Negotiate(int version, service::Codec codec) {
+  DPCUBE_RETURN_NOT_OK(
+      Send("HELLO v" + std::to_string(version) + " " +
+           service::CodecName(codec)));
+  // The ack is encoded in the codec in effect before the switch, so
+  // decode it with the current setting.
+  auto ack = ReceiveRecords();
+  if (!ack.ok()) return ack.status();
+  if (ack.value().size() != 1) {
+    return Status::Internal("HELLO expected one ack record, got " +
+                            std::to_string(ack.value().size()));
+  }
+  const service::WireRecord& record = ack.value().front();
+  if (record.code != service::ErrorCode::kOk) {
+    return Status::InvalidArgument("HELLO refused: " + record.message);
+  }
+  codec_ = codec;
+  return Status::OK();
+}
+
+Result<std::vector<service::WireRecord>> Client::ReceiveRecords() {
+  std::string payload;
+  DPCUBE_RETURN_NOT_OK(Receive(&payload));
+  if (codec_ == service::Codec::kBinary) {
+    return service::DecodeRecordStream(payload);
+  }
+  return WrapTextLines(SplitResponseLines(payload));
+}
+
+Result<std::vector<service::WireRecord>> Client::CallRecords(
+    const std::string& request) {
+  DPCUBE_RETURN_NOT_OK(Send(request));
+  return ReceiveRecords();
+}
+
+std::vector<service::WireRecord> WrapTextLines(
+    const std::vector<std::string>& lines) {
+  std::vector<service::WireRecord> records;
+  records.reserve(lines.size());
+  for (const std::string& line : lines) {
+    service::WireRecord record;
+    if (line.rfind("ERR ", 0) == 0) {
+      record.code = service::ErrorCode::kInternal;
+      record.message = line.substr(4);
+    } else if (line.rfind("BUSY ", 0) == 0) {
+      record.code = service::ErrorCode::kBusy;
+      record.message = line.substr(5);
+    } else {
+      record.code = service::ErrorCode::kOk;
+      record.message = line;
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
 std::vector<std::string> SplitResponseLines(const std::string& payload) {
   std::vector<std::string> lines;
   std::istringstream in(payload);

@@ -6,13 +6,20 @@
 // NOT thread-safe (open one per thread — connections are cheap, and the
 // server's parallelism lives across connections).
 //
-// Two usage levels:
-//   Call()          — one request frame in, one response frame out (the
-//                     frame payload may hold several response lines,
-//                     e.g. a batch's).
-//   Send()/Receive()— explicit pipelining: queue many request frames,
-//                     then collect responses in order. Shed requests
-//                     come back as "BUSY <reason>" payloads.
+// Three usage levels:
+//   Call()            — one request frame in, one raw response frame out
+//                       (the frame payload may hold several response
+//                       lines, e.g. a batch's).
+//   Send()/Receive()  — explicit pipelining: queue many request frames,
+//                       then collect responses in order. Shed requests
+//                       come back as "BUSY <reason>" payloads (or kBusy
+//                       records once binary is negotiated).
+//   Negotiate()/CallRecords() — protocol v2: negotiate a response codec
+//                       with the HELLO handshake, then exchange typed
+//                       WireRecords. Under the text codec each response
+//                       line is wrapped in a record; under the binary
+//                       codec the records are decoded from the wire, so
+//                       callers handle both uniformly.
 
 #ifndef DPCUBE_NET_CLIENT_H_
 #define DPCUBE_NET_CLIENT_H_
@@ -23,6 +30,7 @@
 #include "common/fd.h"
 #include "common/status.h"
 #include "net/framing.h"
+#include "service/wire_codec.h"
 
 namespace dpcube {
 namespace net {
@@ -41,25 +49,54 @@ class Client {
   Status Send(const std::string& request);
 
   /// Blocks for the next response frame; fills `*payload` verbatim
-  /// (newline-terminated response lines). A clean peer close yields
+  /// (newline-terminated response lines, or binary records once the
+  /// binary codec is negotiated). A clean peer close yields
   /// kUnavailable-style NotFound("connection closed").
   Status Receive(std::string* payload);
 
   /// Send + Receive.
   Status Call(const std::string& request, std::string* payload);
 
-  /// Call() and split the payload into lines (the common case).
+  /// Call() and split the payload into lines (the common v1 case).
   Result<std::vector<std::string>> CallLines(const std::string& request);
+
+  /// Performs the "HELLO v<version> <codec>" handshake and, on an OK
+  /// ack, switches this client's response decoding to `codec`. The ack
+  /// arrives in the codec in effect BEFORE the switch (always readable).
+  /// On an ERR ack the negotiation failed, the server's codec is
+  /// unchanged, and the returned status carries the server's diagnosis.
+  Status Negotiate(int version, service::Codec codec);
+
+  /// The response codec this client currently decodes (kText until a
+  /// Negotiate succeeds).
+  service::Codec codec() const { return codec_; }
+
+  /// Blocks for the next response frame and decodes it into typed
+  /// records: binary records under the binary codec, one wrapped record
+  /// per response line under text.
+  Result<std::vector<service::WireRecord>> ReceiveRecords();
+
+  /// Send + ReceiveRecords.
+  Result<std::vector<service::WireRecord>> CallRecords(
+      const std::string& request);
 
  private:
   explicit Client(UniqueFd fd) : fd_(std::move(fd)), decoder_() {}
 
   UniqueFd fd_;
   FrameDecoder decoder_;
+  service::Codec codec_ = service::Codec::kText;
 };
 
 /// Splits a response payload into its newline-terminated lines.
 std::vector<std::string> SplitResponseLines(const std::string& payload);
+
+/// Wraps text response lines into WireRecords ("OK ..." -> kOk with the
+/// full line as message, "ERR x" -> kInternal with message "x",
+/// "BUSY x" -> kBusy with message "x"), so FormatWireRecord round-trips
+/// the original line exactly.
+std::vector<service::WireRecord> WrapTextLines(
+    const std::vector<std::string>& lines);
 
 }  // namespace net
 }  // namespace dpcube

@@ -108,10 +108,13 @@ void Connection::ProcessDecodedFrames() {
         // One final structured goodbye, then no more reads: byte
         // boundaries after a bad length prefix are meaningless. The
         // goodbye rides the slot FIFO so it cannot overtake responses
-        // still owed for earlier frames.
+        // still owed for earlier frames, and stays typed so it leaves
+        // in whatever codec the conversation has negotiated by then.
         auto goodbye = std::make_shared<Slot>();
         goodbye->done = true;
-        goodbye->response = "ERR " + decoder_.error() + "\n";
+        goodbye->typed_pending = true;
+        goodbye->typed = service::Response::Error(
+            service::ErrorCode::kBadRequest, decoder_.error());
         std::lock_guard<std::mutex> lock(mu_);
         slots_.push_back(std::move(goodbye));
       }
@@ -128,7 +131,8 @@ void Connection::ProcessDecodedFrames() {
     }
     if (!admission_->TryAdmitRequest(inflight, &busy_reason)) {
       slot->done = true;
-      slot->response = busy_reason + "\n";
+      slot->typed_pending = true;
+      slot->typed = service::Response::Busy(std::move(busy_reason));
     } else {
       slot->admitted = true;
       slot->request = std::move(payload);
@@ -191,18 +195,27 @@ void Connection::Execute(const std::shared_ptr<Slot>& slot) {
   wakeup_();
 }
 
-void Connection::EnqueueResponseFrame(const std::string& payload) {
-  write_buffer_ += EncodeFrame(payload);
+void Connection::EnqueueResponseFrame(const Slot& slot) {
+  // Typed slots (shed BUSY, decode goodbye) are encoded here — at
+  // dequeue time, after every earlier slot flushed — so they pick up
+  // the codec the session had negotiated at this point in the stream.
+  write_buffer_ += EncodeFrame(
+      slot.typed_pending
+          ? service::EncodeResponseToString(slot.typed, session_.codec())
+          : slot.response);
   stats_->responses.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Connection::Pump() {
   if (dead_) return;
-  MaybeDispatch();
+  // Flush completed responses BEFORE dispatching the next slot: on a
+  // 1-thread pool Submit runs the task inline, and a HELLO executing
+  // there must not switch the codec under a typed slot that is already
+  // ahead of it in the FIFO.
   {
     std::lock_guard<std::mutex> lock(mu_);
     while (!slots_.empty() && slots_.front()->done) {
-      EnqueueResponseFrame(slots_.front()->response);
+      EnqueueResponseFrame(*slots_.front());
       slots_.pop_front();
     }
     if (quit_seen_) {
@@ -221,6 +234,7 @@ void Connection::Pump() {
       draining_ = true;
     }
   }
+  MaybeDispatch();
   FlushWrites();
   if (write_buffer_.size() - write_offset_ > kMaxWriteBufferBytes) {
     dead_ = true;  // Slow consumer: pipelines requests, never reads.

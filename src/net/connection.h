@@ -99,7 +99,17 @@ class Connection : public std::enable_shared_from_this<Connection> {
  private:
   struct Slot {
     std::string request;   ///< Cleared when handed to a worker.
-    std::string response;  ///< Valid once done.
+    std::string response;  ///< Encoded payload, valid once done (unless
+                           ///< typed_pending).
+    /// Shed/goodbye slots never reach the session, so they carry a
+    /// typed Response instead of encoded bytes; the network thread
+    /// encodes it with the session's negotiated codec when the slot
+    /// reaches the front of the FIFO — by which point every earlier
+    /// request (and therefore any HELLO codec switch) has executed, so
+    /// the codec is exactly the one the client expects at that point in
+    /// the stream.
+    service::Response typed;
+    bool typed_pending = false;
     bool done = false;
     bool dispatched = false;
     bool admitted = false;  ///< Shed slots never touched the executor.
@@ -118,8 +128,9 @@ class Connection : public std::enable_shared_from_this<Connection> {
   /// Worker-side: runs `slot`'s payload through the session.
   void Execute(const std::shared_ptr<Slot>& slot);
 
-  /// Appends one encoded response frame to the write buffer.
-  void EnqueueResponseFrame(const std::string& payload);
+  /// Encodes `slot`'s response (typed or pre-encoded) and appends one
+  /// response frame to the write buffer.
+  void EnqueueResponseFrame(const Slot& slot);
 
   /// Writes as much buffered output as the socket accepts.
   void FlushWrites();

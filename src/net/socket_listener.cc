@@ -40,7 +40,7 @@ std::string FormatStats(
       line, sizeof(line),
       "OK STATS conns=%d accepted=%llu rejected=%llu inflight=%d "
       "requests=%llu executed=%llu responses=%llu shed=%llu "
-      "releases=%zu cache_hits=%llu cache_misses=%llu "
+      "quota_denied=%llu releases=%zu cache_hits=%llu cache_misses=%llu "
       "queue_us_p50=%.0f queue_us_p99=%.0f exec_us_p50=%.0f "
       "exec_us_p99=%.0f total_us_p50=%.0f total_us_p99=%.0f",
       admission->active_connections(),
@@ -54,6 +54,7 @@ std::string FormatStats(
       static_cast<unsigned long long>(
           stats->responses.load(std::memory_order_relaxed)),
       static_cast<unsigned long long>(admission->shed_requests()),
+      static_cast<unsigned long long>(admission->quota_denied()),
       store->size(), static_cast<unsigned long long>(cs.hits),
       static_cast<unsigned long long>(cs.misses),
       stats->queue_latency.QuantileMicros(0.5),
@@ -127,7 +128,7 @@ void SocketListener::AcceptPending() {
       // drain whatever the client already pipelined: close() with unread
       // inbound bytes would turn into an RST that could destroy the
       // goodbye before the client reads it.
-      const std::string frame = EncodeFrame(busy_reason + "\n");
+      const std::string frame = EncodeFrame("BUSY " + busy_reason + "\n");
       ::send(fd.get(), frame.data(), frame.size(), MSG_NOSIGNAL);
       ::shutdown(fd.get(), SHUT_WR);
       char discard[4096];
@@ -146,6 +147,17 @@ void SocketListener::AcceptPending() {
          store = context_.store] {
           return FormatStats(admission, stats, cache, store);
         });
+    if (admission_->config().max_queries_per_release > 0) {
+      connection->session().SetQueryQuotaGate(
+          [admission = admission_, store = context_.store](
+              const std::string& release, std::string* denial) {
+            // Only loaded releases are metered: a query for an unknown
+            // name answers NotFound without charging quota, so hostile
+            // made-up names can never grow the quota ledger.
+            if (!store->Get(release).ok()) return true;
+            return admission->TryChargeQuery(release, denial);
+          });
+    }
     connections_.emplace(connection->fd(), std::move(connection));
   }
 }

@@ -2,92 +2,12 @@
 
 #include "service/serve_protocol.h"
 
-#include <cstdio>
-#include <exception>
 #include <istream>
 #include <ostream>
-#include <sstream>
-#include <stdexcept>
 #include <utility>
 
 namespace dpcube {
 namespace service {
-
-bool ParseSize(const std::string& text, std::size_t* out) {
-  if (text.empty() || text[0] == '-' || text[0] == '+') return false;
-  const bool hex = text.rfind("0x", 0) == 0 || text.rfind("0X", 0) == 0;
-  try {
-    std::size_t pos = 0;
-    *out = std::stoull(hex ? text.substr(2) : text, &pos, hex ? 16 : 10);
-    return pos == (hex ? text.size() - 2 : text.size()) &&
-           !(hex && text.size() == 2);
-  } catch (const std::exception&) {
-    return false;
-  }
-}
-
-std::vector<std::string> Tokenize(const std::string& line) {
-  std::stringstream ss(line);
-  std::vector<std::string> tokens;
-  std::string token;
-  while (ss >> token) tokens.push_back(token);
-  return tokens;
-}
-
-bool ParseServeQuery(const std::vector<std::string>& tokens, Query* q,
-                     std::string* error) {
-  if (tokens.size() < 3) {
-    *error = "query NAME marginal|cell|range MASK [CELL | LO HI]";
-    return false;
-  }
-  q->release = tokens[0];
-  const std::string& kind = tokens[1];
-  std::size_t beta = 0;
-  if (!ParseSize(tokens[2], &beta)) {
-    *error = "bad mask '" + tokens[2] + "'";
-    return false;
-  }
-  q->beta = beta;
-  if (kind == "marginal" && tokens.size() == 3) {
-    q->kind = QueryKind::kMarginal;
-  } else if (kind == "cell" && tokens.size() == 4) {
-    q->kind = QueryKind::kCell;
-    if (!ParseSize(tokens[3], &q->cell_lo)) {
-      *error = "bad cell '" + tokens[3] + "'";
-      return false;
-    }
-  } else if (kind == "range" && tokens.size() == 5) {
-    q->kind = QueryKind::kRange;
-    if (!ParseSize(tokens[3], &q->cell_lo) ||
-        !ParseSize(tokens[4], &q->cell_hi)) {
-      *error = "bad range bounds";
-      return false;
-    }
-  } else {
-    *error = "unknown query form '" + kind + "'";
-    return false;
-  }
-  return true;
-}
-
-std::string FormatResponse(const QueryResponse& response) {
-  if (!response.status.ok()) {
-    return "ERR " + response.status.ToString();
-  }
-  char head[96];
-  std::snprintf(head, sizeof(head),
-                "OK query mask=0x%llx var=%.6g hit=%d n=%zu values",
-                static_cast<unsigned long long>(response.beta),
-                response.variance, response.cache_hit ? 1 : 0,
-                response.values.size());
-  std::string line(head);
-  char field[32];
-  for (const double v : response.values) {
-    std::snprintf(field, sizeof(field), " %.17g", v);
-    line += field;
-  }
-  return line;
-}
 
 ServeSession::ServeSession(std::shared_ptr<ReleaseStore> store,
                            std::shared_ptr<MarginalCache> cache,
@@ -108,115 +28,151 @@ bool ServeSession::ProcessStream(std::istream& in, std::ostream& out,
   while (std::getline(in, line)) {
     const std::vector<std::string> tokens = Tokenize(line);
     if (tokens.empty()) continue;
-    if (tokens[0] == "batch" && tokens.size() == 2) {
-      HandleBatch(tokens, in, out);
-    } else if (!HandleLine(line, tokens, out)) {
-      out.flush();
-      return false;
+    const Request request = ParseRequestLine(line, tokens);
+    if (request.kind == RequestKind::kBatch) {
+      HandleBatch(request, in, out);
+    } else if (request.kind == RequestKind::kHello) {
+      HandleHello(request, out);
+    } else {
+      const Response response = ExecuteRequest(request);
+      EncodeResponse(response, codec(), out);
+      if (request.kind == RequestKind::kQuit) {
+        out.flush();
+        return false;
+      }
     }
     if (flush_each) out.flush();
   }
   return true;
 }
 
-bool ServeSession::HandleLine(const std::string& line,
-                              const std::vector<std::string>& tokens,
-                              std::ostream& out) {
-  const std::string& command = tokens[0];
-
-  if (command == "quit" || command == "exit") {
-    out << "OK bye\n";
-    return false;
-  } else if (command == "load" && tokens.size() == 3) {
-    const Status st = store_->LoadFromFile(tokens[1], tokens[2]);
-    if (st.ok()) {
-      out << "OK loaded " << tokens[1] << "\n";
-    } else {
-      out << "ERR " << st.ToString() << "\n";
-    }
-  } else if (command == "unload" && tokens.size() == 2) {
-    const Status st = service_->RemoveRelease(tokens[1]);
-    if (st.ok()) {
-      out << "OK unloaded " << tokens[1] << "\n";
-    } else {
-      out << "ERR " << st.ToString() << "\n";
-    }
-  } else if (command == "list" && tokens.size() == 1) {
-    const auto infos = store_->List();
-    out << "OK releases n=" << infos.size();
-    for (const auto& info : infos) {
-      out << " " << info.name << ":d=" << info.d
-          << ":marginals=" << info.num_marginals
-          << ":cells=" << info.total_cells;
-    }
-    out << "\n";
-  } else if (command == "query") {
-    Query q;
-    std::string error;
-    if (!ParseServeQuery(
-            std::vector<std::string>(tokens.begin() + 1, tokens.end()), &q,
-            &error)) {
-      out << "ERR " << error << "\n";
-    } else {
-      out << FormatResponse(service_->Answer(q)) << "\n";
-    }
-  } else if (command == "STATS" && tokens.size() == 1 &&
-             server_stats_handler_) {
-    out << server_stats_handler_() << "\n";
-  } else if (command == "stats" && tokens.size() == 1) {
-    const CacheStats s = cache_->stats();
-    out << "OK stats hits=" << s.hits << " misses=" << s.misses
-        << " evictions=" << s.evictions << " entries=" << s.entries
-        << " cells=" << s.cells << " capacity=" << s.capacity_cells
-        << " releases=" << store_->size() << "\n";
-  } else {
-    out << "ERR unknown request '" << line << "'\n";
-  }
-  return true;
+void ServeSession::HandleHello(const Request& request, std::ostream& out) {
+  // The ack leaves in the codec in effect BEFORE the switch, so a
+  // client reading the stream under the old codec can always parse it;
+  // every later response (including this frame's subsequent lines) uses
+  // the negotiated one.
+  Response ack;
+  ack.request = RequestKind::kHello;
+  ack.version = request.version;
+  ack.codec = request.codec;
+  EncodeResponse(ack, codec(), out);
+  codec_.store(request.codec, std::memory_order_release);
 }
 
-void ServeSession::HandleBatch(const std::vector<std::string>& tokens,
-                               std::istream& in, std::ostream& out) {
-  // Zero would emit zero response lines and stall a scripted client
-  // waiting for one; an unbounded count (or "-1" wrapping to 2^64-1)
-  // would swallow the rest of stdin.
-  constexpr std::size_t kMaxBatch = 100000;
-  std::size_t n = 0;
-  if (!ParseSize(tokens[1], &n) || n == 0 || n > kMaxBatch) {
-    out << "ERR batch expects a count in 1.." << kMaxBatch << "\n";
-    return;
+bool ServeSession::CheckQuota(const Query& query, Response* denied) const {
+  if (!quota_gate_) return true;
+  std::string denial;
+  if (quota_gate_(query.release, &denial)) return true;
+  *denied = Response::Error(ErrorCode::kQuotaExceeded,
+                            "QuotaExceeded: " + denial);
+  denied->request = RequestKind::kQuery;
+  return false;
+}
+
+Response ServeSession::ExecuteRequest(const Request& request) {
+  Response response;
+  response.request = request.kind;
+  switch (request.kind) {
+    case RequestKind::kQuit:
+      return response;
+    case RequestKind::kLoad: {
+      const Status st = store_->LoadFromFile(request.name, request.path);
+      if (!st.ok()) {
+        return Response::Error(ErrorCodeFromStatus(st), st.ToString());
+      }
+      response.name = request.name;
+      return response;
+    }
+    case RequestKind::kUnload: {
+      const Status st = service_->RemoveRelease(request.name);
+      if (!st.ok()) {
+        return Response::Error(ErrorCodeFromStatus(st), st.ToString());
+      }
+      response.name = request.name;
+      return response;
+    }
+    case RequestKind::kList:
+      response.releases = store_->List();
+      return response;
+    case RequestKind::kQuery: {
+      Response denied;
+      if (!CheckQuota(request.query, &denied)) return denied;
+      return Response::FromQuery(service_->Answer(request.query));
+    }
+    case RequestKind::kServerStats:
+      if (server_stats_handler_) {
+        response.message = server_stats_handler_();
+        return response;
+      }
+      // Without a handler the verb is unknown, exactly as in v1.
+      return Response::Error(ErrorCode::kBadRequest,
+                             "unknown request '" + request.raw + "'");
+    case RequestKind::kCacheStats:
+      response.cache = cache_->stats();
+      response.store_releases = store_->size();
+      return response;
+    case RequestKind::kInvalid:
+    default:
+      return Response::Error(request.error_code, request.error);
   }
+}
+
+void ServeSession::HandleBatch(const Request& request, std::istream& in,
+                               std::ostream& out) {
+  const std::size_t n = request.batch_count;
   std::vector<Query> batch;
   std::string batch_error;
   // Consume ALL n lines even after a bad one: stopping early would leave
   // the rest to be re-read as top-level commands and desync every later
   // request/response pair of a scripted client.
   for (std::size_t i = 0; i < n; ++i) {
-    std::string request;
-    if (!std::getline(in, request)) {
+    std::string sub_line;
+    if (!std::getline(in, sub_line)) {
       batch_error = "unexpected EOF inside batch";
       break;
     }
     if (!batch_error.empty()) continue;
-    const std::vector<std::string> rtokens = Tokenize(request);
-    if (rtokens.size() < 2 || rtokens[0] != "query") {
+    const std::vector<std::string> sub_tokens = Tokenize(sub_line);
+    if (sub_tokens.size() < 2 || sub_tokens[0] != "query") {
       batch_error = "batch lines must be query requests";
       continue;
     }
     Query q;
     if (!ParseServeQuery(
-            std::vector<std::string>(rtokens.begin() + 1, rtokens.end()), &q,
-            &batch_error)) {
+            std::vector<std::string>(sub_tokens.begin() + 1,
+                                     sub_tokens.end()),
+            &q, &batch_error)) {
       continue;
     }
     batch.push_back(std::move(q));
   }
   if (!batch_error.empty()) {
-    out << "ERR " << batch_error << "\n";
-  } else {
-    for (const auto& response : executor_->ExecuteBatch(batch)) {
-      out << FormatResponse(response) << "\n";
+    EncodeResponse(
+        Response::Error(ErrorCode::kBadRequest, std::move(batch_error)),
+        codec(), out);
+    return;
+  }
+  // Quota-denied sub-queries answer kQuotaExceeded in their ordinal
+  // position; only the admitted remainder reaches the executor.
+  std::vector<Response> responses(batch.size());
+  std::vector<std::size_t> admitted;
+  std::vector<Query> admitted_queries;
+  admitted.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (CheckQuota(batch[i], &responses[i])) {
+      admitted.push_back(i);
+      admitted_queries.push_back(batch[i]);
     }
+  }
+  const std::vector<QueryResponse> answers =
+      admitted_queries.empty()
+          ? std::vector<QueryResponse>{}
+          : executor_->ExecuteBatch(admitted_queries);
+  for (std::size_t j = 0; j < admitted.size(); ++j) {
+    responses[admitted[j]] = Response::FromQuery(answers[j]);
+  }
+  for (const Response& response : responses) {
+    EncodeResponse(response, codec(), out);
   }
 }
 

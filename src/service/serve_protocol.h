@@ -1,12 +1,14 @@
 // Copyright 2026 The dpcube Authors.
 //
-// The `dpcube serve` line protocol, factored out of the CLI so the
-// request loop can be driven in-process (stream in, stream out) by tests
-// — in particular the seeded fuzz harness in
-// tests/service/serve_protocol_fuzz_test.cc, which throws malformed
-// verbs, truncated arguments, and oversized batches at it.
+// The `dpcube serve` session: one conversation over a request/response
+// stream pair, factored out of the CLI so the request loop can be driven
+// in-process (stream in, stream out) by tests — in particular the seeded
+// fuzz harness in tests/service/serve_protocol_fuzz_test.cc.
 //
-// Protocol (one response line per request line):
+// Requests are text lines in every protocol version (one response per
+// request line):
+//   HELLO v1|v2 [text|binary]  negotiate protocol version and response
+//                             codec (v2; see service/request.h)
 //   load NAME PATH            load a release CSV under NAME
 //   unload NAME               drop a release (and its cached tables)
 //   list                      enumerate loaded releases
@@ -19,13 +21,19 @@
 //   STATS                     server-level counters + latency quantiles
 //                             (network mode only; see SetServerStatsHandler)
 //   quit                      exit
-// Responses are "OK ..." or "ERR <message>" ("BUSY <reason>" additionally
-// exists at the network layer when admission control sheds a request
-// before it ever reaches a session).
+//
+// Responses are typed (service::Response) and leave through the
+// negotiated codec: under text (the default, bit-compatible with v1)
+// they are "OK ..." / "ERR <message>" lines; under the v2 binary codec
+// they are the records of service/wire_codec.h. "BUSY <reason>"
+// additionally exists at the network layer when admission control sheds
+// a request before it ever reaches a session, and "ERR QuotaExceeded:
+// ..." when a per-release query quota (SetQueryQuotaGate) runs out.
 
 #ifndef DPCUBE_SERVICE_SERVE_PROTOCOL_H_
 #define DPCUBE_SERVICE_SERVE_PROTOCOL_H_
 
+#include <atomic>
 #include <functional>
 #include <iosfwd>
 #include <memory>
@@ -36,27 +44,11 @@
 #include "service/marginal_cache.h"
 #include "service/query_service.h"
 #include "service/release_store.h"
+#include "service/request.h"
+#include "service/wire_codec.h"
 
 namespace dpcube {
 namespace service {
-
-/// Strict non-negative integer parse, decimal or 0x-hex ONLY (no octal:
-/// "010" means ten); rejects empty input, negatives, and trailing
-/// garbage, unlike strtoull/atof which would silently yield 0 (or wrap
-/// "-1" to 2^64-1).
-bool ParseSize(const std::string& text, std::size_t* out);
-
-/// Splits a request line on whitespace (the serve loop and its batch
-/// sub-loop share this, so the two parse identically).
-std::vector<std::string> Tokenize(const std::string& line);
-
-/// Parses "NAME kind MASK [args]" tokens (after the "query" verb) into q.
-/// On failure returns false and fills `error`.
-bool ParseServeQuery(const std::vector<std::string>& tokens, Query* q,
-                     std::string* error);
-
-/// Formats a response as the protocol's single line (no trailing newline).
-std::string FormatResponse(const QueryResponse& response);
 
 /// One serve conversation over a request/response stream pair. The
 /// session borrows its collaborators; the executor (and therefore its
@@ -73,7 +65,7 @@ class ServeSession {
   void Run(std::istream& in, std::ostream& out);
 
   /// Processes every complete request line in `in`, appending one
-  /// response line per request to `out`. This is Run without the
+  /// encoded response per request to `out`. This is Run without the
   /// per-response flushing: the network server calls it once per decoded
   /// frame (a frame payload is a self-contained chunk of protocol
   /// conversation — possibly several pipelined lines, possibly a batch
@@ -83,6 +75,13 @@ class ServeSession {
   /// "ERR unexpected EOF inside batch", bounding the error to the frame.
   bool ProcessStream(std::istream& in, std::ostream& out,
                      bool flush_each = false);
+
+  /// The response codec currently in effect (mutated by HELLO requests
+  /// on whatever thread drives the session; readable from any thread —
+  /// the network thread uses it to encode shed/goodbye responses it
+  /// flushes AFTER all earlier requests completed, which is exactly when
+  /// this value reflects every preceding HELLO).
+  Codec codec() const { return codec_.load(std::memory_order_acquire); }
 
   /// Installs a handler for the extended "STATS" verb (server-level
   /// counters, as opposed to lowercase "stats" which reports the cache).
@@ -94,20 +93,37 @@ class ServeSession {
     server_stats_handler_ = std::move(handler);
   }
 
+  /// Installs the per-release query-quota gate. Called once per query
+  /// (batch sub-queries included) with the release name BEFORE any work
+  /// happens; returning false denies the query, and `*denial` supplies
+  /// the human text of the resulting kQuotaExceeded error. Runs on
+  /// whatever thread drives the session, so it must be thread-safe.
+  /// Unset, queries are unmetered (the v1 behavior).
+  void SetQueryQuotaGate(
+      std::function<bool(const std::string& release, std::string* denial)>
+          gate) {
+    quota_gate_ = std::move(gate);
+  }
+
  private:
-  /// Handles one non-batch request line (pre-tokenized by Run; `line` is
-  /// only echoed in the unknown-request error). Returns false on quit.
-  bool HandleLine(const std::string& line,
-                  const std::vector<std::string>& tokens, std::ostream& out);
+  /// Executes one non-batch, non-HELLO typed request.
+  Response ExecuteRequest(const Request& request);
+  /// Handles "HELLO ...": returns the ack and, on success, switches the
+  /// codec AFTER the ack was encoded in the previous one.
+  void HandleHello(const Request& request, std::ostream& out);
   /// Handles "batch N": consumes the sub-lines from `in` and responds.
-  void HandleBatch(const std::vector<std::string>& tokens, std::istream& in,
+  void HandleBatch(const Request& request, std::istream& in,
                    std::ostream& out);
+  /// Quota check for one query; fills `*denied` when the gate refuses.
+  bool CheckQuota(const Query& query, Response* denied) const;
 
   std::shared_ptr<ReleaseStore> store_;
   std::shared_ptr<MarginalCache> cache_;
   std::shared_ptr<const QueryService> service_;
   const BatchExecutor* executor_;
   std::function<std::string()> server_stats_handler_;
+  std::function<bool(const std::string&, std::string*)> quota_gate_;
+  std::atomic<Codec> codec_{Codec::kText};
 };
 
 }  // namespace service

@@ -1,0 +1,207 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "service/wire_codec.h"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace dpcube {
+namespace service {
+
+namespace {
+
+void AppendU32(std::string* out, std::uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void AppendU64(std::string* out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void AppendF64(std::string* out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+std::uint32_t ReadU32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t ReadU64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+double ReadF64(const unsigned char* p) {
+  const std::uint64_t bits = ReadU64(p);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+std::string EncodeBinaryRecord(const Response& response) {
+  const bool has_values = response.has_query && response.query.status.ok();
+  std::uint8_t flags = 0;
+  std::uint64_t mask = 0;
+  double variance = 0.0;
+  const std::vector<double>* values = nullptr;
+  std::string message;
+  ErrorCode code = response.code;
+  if (has_values) {
+    flags |= kRecordFlagHasValues;
+    if (response.query.cache_hit) flags |= kRecordFlagCacheHit;
+    mask = response.query.beta;
+    variance = response.query.variance;
+    values = &response.query.values;
+  } else if (response.has_query) {
+    // A typed query answer whose status is an error: code byte + the
+    // status text (the "ERR " prefix is implied by the code).
+    code = ErrorCodeFromStatus(response.query.status);
+    message = response.query.status.ToString();
+  } else if (response.code != ErrorCode::kOk) {
+    message = response.message;
+  } else {
+    // Successful non-query response: carry the full v1 line.
+    message = FormatResponseLine(response);
+  }
+
+  std::string record;
+  const std::size_t n = values != nullptr ? values->size() : 0;
+  record.reserve(kBinaryRecordHeaderBytes + 8 * n + message.size());
+  record.push_back(static_cast<char>(kBinaryRecordMagic));
+  record.push_back(static_cast<char>(code));
+  record.push_back(static_cast<char>(flags));
+  record.push_back('\0');  // reserved
+  AppendU32(&record, static_cast<std::uint32_t>(message.size()));
+  AppendU64(&record, mask);
+  AppendF64(&record, variance);
+  AppendU32(&record, static_cast<std::uint32_t>(n));
+  if (values != nullptr) {
+    for (const double v : *values) AppendF64(&record, v);
+  }
+  record += message;
+  return record;
+}
+
+void EncodeResponse(const Response& response, Codec codec,
+                    std::ostream& out) {
+  if (codec == Codec::kBinary) {
+    const std::string record = EncodeBinaryRecord(response);
+    out.write(record.data(), static_cast<std::streamsize>(record.size()));
+  } else {
+    out << FormatResponseLine(response) << "\n";
+  }
+}
+
+std::string EncodeResponseToString(const Response& response, Codec codec) {
+  if (codec == Codec::kBinary) return EncodeBinaryRecord(response);
+  return FormatResponseLine(response) + "\n";
+}
+
+DecodeRecordResult DecodeBinaryRecord(std::string_view data,
+                                      WireRecord* record,
+                                      std::size_t* consumed,
+                                      std::string* error) {
+  if (data.empty()) return DecodeRecordResult::kNeedMore;
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(data.data());
+  if (p[0] != kBinaryRecordMagic) {
+    if (error != nullptr) {
+      char hex[8];
+      std::snprintf(hex, sizeof(hex), "0x%02x", p[0]);
+      *error = std::string("bad record magic ") + hex;
+    }
+    return DecodeRecordResult::kError;
+  }
+  if (data.size() < kBinaryRecordHeaderBytes) {
+    return DecodeRecordResult::kNeedMore;
+  }
+  const std::uint8_t code_byte = p[1];
+  if (code_byte > static_cast<std::uint8_t>(ErrorCode::kInternal)) {
+    if (error != nullptr) {
+      *error = "bad record code " + std::to_string(code_byte);
+    }
+    return DecodeRecordResult::kError;
+  }
+  const std::uint8_t flags = p[2];
+  const std::uint64_t message_len = ReadU32(p + 4);
+  const std::uint64_t value_count = ReadU32(p + 24);
+  // Bounds first, allocation after: the claimed sizes are attacker-
+  // controlled, but they can never exceed the enclosing frame payload,
+  // which the FrameDecoder already capped.
+  const std::uint64_t need =
+      kBinaryRecordHeaderBytes + 8 * value_count + message_len;
+  if (data.size() < need) return DecodeRecordResult::kNeedMore;
+
+  record->code = static_cast<ErrorCode>(code_byte);
+  record->cache_hit = (flags & kRecordFlagCacheHit) != 0;
+  record->has_values = (flags & kRecordFlagHasValues) != 0;
+  record->mask = ReadU64(p + 8);
+  record->variance = ReadF64(p + 16);
+  record->values.clear();
+  record->values.reserve(value_count);
+  const unsigned char* cursor = p + kBinaryRecordHeaderBytes;
+  for (std::uint64_t i = 0; i < value_count; ++i, cursor += 8) {
+    record->values.push_back(ReadF64(cursor));
+  }
+  record->message.assign(reinterpret_cast<const char*>(cursor),
+                         message_len);
+  *consumed = static_cast<std::size_t>(need);
+  return DecodeRecordResult::kRecord;
+}
+
+Result<std::vector<WireRecord>> DecodeRecordStream(
+    std::string_view payload) {
+  std::vector<WireRecord> records;
+  std::size_t offset = 0;
+  while (offset < payload.size()) {
+    WireRecord record;
+    std::size_t consumed = 0;
+    std::string error;
+    switch (DecodeBinaryRecord(payload.substr(offset), &record, &consumed,
+                               &error)) {
+      case DecodeRecordResult::kRecord:
+        records.push_back(std::move(record));
+        offset += consumed;
+        break;
+      case DecodeRecordResult::kNeedMore:
+        return Status::InvalidArgument(
+            "truncated binary record at payload offset " +
+            std::to_string(offset));
+      case DecodeRecordResult::kError:
+        return Status::InvalidArgument("binary record stream: " + error);
+    }
+  }
+  return records;
+}
+
+std::string FormatWireRecord(const WireRecord& record) {
+  if (record.has_values) {
+    QueryResponse query;
+    query.beta = record.mask;
+    query.variance = record.variance;
+    query.cache_hit = record.cache_hit;
+    query.values = record.values;
+    return FormatResponse(query);
+  }
+  if (record.code == ErrorCode::kBusy) return "BUSY " + record.message;
+  if (record.code != ErrorCode::kOk) return "ERR " + record.message;
+  return record.message;
+}
+
+}  // namespace service
+}  // namespace dpcube

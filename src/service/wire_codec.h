@@ -1,0 +1,103 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Response codecs for the serve protocol. The text codec reproduces the
+// v1 newline-terminated lines byte for byte; the v2 binary codec packs
+// each Response into one self-delimiting record so a full-marginal
+// answer costs 8 bytes per cell instead of ~19 bytes of %.17g text.
+// Records ride the existing 4-byte frame layer unchanged — a response
+// frame's payload is simply a concatenation of records instead of a
+// concatenation of lines.
+//
+// Binary record layout (all multi-byte fields little-endian):
+//
+//   +----+------+-------+------+----------+---------+----------+
+//   | u8 | u8   | u8    | u8   | u32      | u64     | f64      |
+//   |0xD7| code | flags | rsvd | msg len M| mask    | variance |
+//   +----+------+-------+------+----------+---------+----------+
+//   | u32 value count N | f64 x N values | M message bytes     |
+//   +-------------------+----------------+---------------------+
+//
+//   flags: bit0 = cache_hit, bit1 = has_values (a query answer; the
+//   mask/variance/values fields are meaningful).
+//
+// For query answers the message is empty and the payload is the raw
+// value array. For everything else (load/list/stats/HELLO acks, errors,
+// BUSY sheds) the record carries `code` plus the response text in
+// `message`: successes hold the full v1 "OK ..." line, failures hold
+// the v1 error text without its "ERR "/"BUSY " prefix (the code byte
+// replaces it). The magic byte 0xD7 can never begin a text response
+// (those start with 'O', 'E', or 'B'), which lets diagnostics and the
+// fuzz net walk mixed-codec transcripts unambiguously.
+
+#ifndef DPCUBE_SERVICE_WIRE_CODEC_H_
+#define DPCUBE_SERVICE_WIRE_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "service/request.h"
+
+namespace dpcube {
+namespace service {
+
+inline constexpr unsigned char kBinaryRecordMagic = 0xD7;
+inline constexpr std::size_t kBinaryRecordHeaderBytes = 28;
+
+inline constexpr std::uint8_t kRecordFlagCacheHit = 0x01;
+inline constexpr std::uint8_t kRecordFlagHasValues = 0x02;
+
+/// Serializes one Response as one binary record.
+std::string EncodeBinaryRecord(const Response& response);
+
+/// Encodes a Response under `codec`: the exact v1 line plus '\n' for
+/// kText, one binary record for kBinary.
+void EncodeResponse(const Response& response, Codec codec,
+                    std::ostream& out);
+std::string EncodeResponseToString(const Response& response, Codec codec);
+
+/// A decoded binary record (the client-side mirror of Response; in text
+/// mode the client wraps each response line in one of these so callers
+/// handle both codecs uniformly).
+struct WireRecord {
+  ErrorCode code = ErrorCode::kOk;
+  bool cache_hit = false;
+  bool has_values = false;
+  std::uint64_t mask = 0;
+  double variance = 0.0;
+  std::vector<double> values;
+  std::string message;
+};
+
+enum class DecodeRecordResult {
+  kRecord,    ///< One complete record decoded; *consumed advanced.
+  kNeedMore,  ///< `data` ends mid-record (prefix of a valid record).
+  kError,     ///< Not a record (bad magic / bad code byte).
+};
+
+/// Decodes the record at the front of `data`. On kRecord, `*consumed`
+/// is the record's encoded size. Validates bounds BEFORE allocating, so
+/// a hostile length field cannot trigger a giant allocation.
+DecodeRecordResult DecodeBinaryRecord(std::string_view data,
+                                      WireRecord* record,
+                                      std::size_t* consumed,
+                                      std::string* error);
+
+/// Decodes a whole response-frame payload as a record sequence. A
+/// truncated trailing record is an error: frames are atomic, so a
+/// partial record cannot be completed by later bytes.
+Result<std::vector<WireRecord>> DecodeRecordStream(std::string_view payload);
+
+/// Renders a WireRecord back into its v1-style text line (no trailing
+/// newline) — what `dpcube query --binary` prints, keeping the CLI's
+/// output identical under either codec.
+std::string FormatWireRecord(const WireRecord& record);
+
+}  // namespace service
+}  // namespace dpcube
+
+#endif  // DPCUBE_SERVICE_WIRE_CODEC_H_

@@ -97,6 +97,43 @@ TEST(FramingTest, OversizedLengthPoisonsTheStream) {
   EXPECT_EQ(decoder.Pop(&payload), FrameDecoder::Next::kError);
 }
 
+TEST(FramingTest, FourGigabytePrefixRejectedBeforeAnyAllocation) {
+  // A hostile length prefix claiming ~4 GiB must poison the stream with
+  // a structured error the moment the 4 prefix bytes arrive — before
+  // any payload is buffered — and must hold no memory afterwards.
+  FrameDecoder decoder;  // Default cap: kMaxFramePayload (16 MiB).
+  const unsigned char hostile[4] = {0xff, 0xff, 0xff, 0xff};
+  decoder.Append(reinterpret_cast<const char*>(hostile), sizeof(hostile));
+  std::string payload;
+  EXPECT_EQ(decoder.Pop(&payload), FrameDecoder::Next::kError);
+  EXPECT_NE(decoder.error().find("4294967295"), std::string::npos)
+      << decoder.error();
+  EXPECT_NE(decoder.error().find("exceeds"), std::string::npos);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);  // Nothing retained.
+  // Whatever the attacker streams afterwards is dropped, not buffered.
+  decoder.Append(std::string(1 << 16, 'x'));
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  EXPECT_EQ(decoder.Pop(&payload), FrameDecoder::Next::kError);
+}
+
+TEST(FramingTest, ConfiguredCapAppliesAndClampsToHardMax) {
+  // The per-server knob (ServerOptions.max_frame_payload / --max-frame)
+  // reaches the decoder as a constructor cap; values beyond the hard
+  // kMaxFramePayload clamp down to it.
+  FrameDecoder small(/*max_payload=*/16);
+  small.Append(EncodeFrame("0123456789abcdef"));  // Exactly 16: fine.
+  std::string payload;
+  ASSERT_EQ(small.Pop(&payload), FrameDecoder::Next::kFrame);
+  small.Append(EncodeFrame("0123456789abcdef!"));  // 17: poisoned.
+  EXPECT_EQ(small.Pop(&payload), FrameDecoder::Next::kError);
+
+  FrameDecoder clamped(/*max_payload=*/std::size_t{1} << 40);
+  const unsigned char above_hard_cap[4] = {0x01, 0x00, 0x00, 0x01};
+  clamped.Append(reinterpret_cast<const char*>(above_hard_cap), 4);
+  EXPECT_EQ(clamped.Pop(&payload), FrameDecoder::Next::kError)
+      << "hard cap must hold even when the configured cap is larger";
+}
+
 TEST(FramingTest, MaxPayloadBoundaryIsExact) {
   FrameDecoder decoder(/*max_payload=*/8);
   decoder.Append(EncodeFrame("12345678"));  // Exactly at the cap: fine.

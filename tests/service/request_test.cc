@@ -1,0 +1,289 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Unit coverage for the typed request/response surface (protocol v2):
+// line parsing must mirror the v1 dispatch exactly (arity fallthrough,
+// quit-with-garbage, batch count bounds), the text codec must reproduce
+// the v1 lines byte for byte, the binary codec must round-trip every
+// Response variant, and ParseSize must reject hostile magnitudes
+// uniformly across its decimal and hex paths.
+
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/request.h"
+#include "service/wire_codec.h"
+
+namespace dpcube {
+namespace service {
+namespace {
+
+Request Parse(const std::string& line) {
+  return ParseRequestLine(line, Tokenize(line));
+}
+
+TEST(RequestParseTest, DispatchMatchesV1Exactly) {
+  EXPECT_EQ(Parse("quit").kind, RequestKind::kQuit);
+  EXPECT_EQ(Parse("exit").kind, RequestKind::kQuit);
+  // v1 matched quit/exit with no arity check; preserve that.
+  EXPECT_EQ(Parse("quit now please").kind, RequestKind::kQuit);
+
+  const Request load = Parse("load demo /tmp/r.csv");
+  EXPECT_EQ(load.kind, RequestKind::kLoad);
+  EXPECT_EQ(load.name, "demo");
+  EXPECT_EQ(load.path, "/tmp/r.csv");
+  // Wrong arity falls through to unknown-request, echoing the line.
+  const Request bad_load = Parse("load demo");
+  EXPECT_EQ(bad_load.kind, RequestKind::kInvalid);
+  EXPECT_EQ(bad_load.error, "unknown request 'load demo'");
+  EXPECT_EQ(bad_load.error_code, ErrorCode::kBadRequest);
+
+  EXPECT_EQ(Parse("unload demo").kind, RequestKind::kUnload);
+  EXPECT_EQ(Parse("list").kind, RequestKind::kList);
+  EXPECT_EQ(Parse("list all").kind, RequestKind::kInvalid);
+  EXPECT_EQ(Parse("stats").kind, RequestKind::kCacheStats);
+  EXPECT_EQ(Parse("STATS").kind, RequestKind::kServerStats);
+
+  const Request query = Parse("query demo range 0x5 0 3");
+  EXPECT_EQ(query.kind, RequestKind::kQuery);
+  EXPECT_EQ(query.query.release, "demo");
+  EXPECT_EQ(query.query.kind, QueryKind::kRange);
+  EXPECT_EQ(query.query.beta, 0x5u);
+  EXPECT_EQ(query.query.cell_lo, 0u);
+  EXPECT_EQ(query.query.cell_hi, 3u);
+  const Request bad_query = Parse("query demo marginal nope");
+  EXPECT_EQ(bad_query.kind, RequestKind::kInvalid);
+  EXPECT_EQ(bad_query.error, "bad mask 'nope'");
+
+  const Request batch = Parse("batch 17");
+  EXPECT_EQ(batch.kind, RequestKind::kBatch);
+  EXPECT_EQ(batch.batch_count, 17u);
+  const Request bad_batch = Parse("batch 0");
+  EXPECT_EQ(bad_batch.kind, RequestKind::kInvalid);
+  EXPECT_EQ(bad_batch.error, "batch expects a count in 1..100000");
+  // "batch" with the wrong arity is an unknown request, as in v1 where
+  // only ProcessStream's two-token match reached HandleBatch.
+  EXPECT_EQ(Parse("batch").error, "unknown request 'batch'");
+  EXPECT_EQ(Parse("batch 3 4").error, "unknown request 'batch 3 4'");
+}
+
+TEST(RequestParseTest, HelloHandshakeForms) {
+  const Request v2b = Parse("HELLO v2 binary");
+  EXPECT_EQ(v2b.kind, RequestKind::kHello);
+  EXPECT_EQ(v2b.version, kProtocolVersionV2);
+  EXPECT_EQ(v2b.codec, Codec::kBinary);
+
+  const Request v2 = Parse("HELLO v2");
+  EXPECT_EQ(v2.kind, RequestKind::kHello);
+  EXPECT_EQ(v2.codec, Codec::kText);
+
+  const Request v1 = Parse("HELLO v1 text");
+  EXPECT_EQ(v1.kind, RequestKind::kHello);
+  EXPECT_EQ(v1.version, kProtocolVersionV1);
+
+  EXPECT_EQ(Parse("HELLO v3 binary").error,
+            "unsupported protocol version 'v3'");
+  EXPECT_EQ(Parse("HELLO v2 gzip").error, "unknown codec 'gzip'");
+  EXPECT_EQ(Parse("HELLO v1 binary").error,
+            "protocol v1 has no binary codec");
+  EXPECT_EQ(Parse("HELLO").error, "HELLO expects 'HELLO v1|v2 [text|binary]'");
+  EXPECT_EQ(Parse("HELLO v2 binary extra").error,
+            "HELLO expects 'HELLO v1|v2 [text|binary]'");
+  // Lowercase is NOT the verb (v1 treats it as unknown).
+  EXPECT_EQ(Parse("hello v2").error, "unknown request 'hello v2'");
+}
+
+TEST(ResponseTextTest, RendersV1LinesByteForByte) {
+  Response loaded;
+  loaded.request = RequestKind::kLoad;
+  loaded.name = "demo";
+  EXPECT_EQ(FormatResponseLine(loaded), "OK loaded demo");
+
+  Response listing;
+  listing.request = RequestKind::kList;
+  listing.releases.push_back({"a", 16, 3, 12});
+  EXPECT_EQ(FormatResponseLine(listing),
+            "OK releases n=1 a:d=16:marginals=3:cells=12");
+
+  Response stats;
+  stats.request = RequestKind::kCacheStats;
+  stats.cache.hits = 2;
+  stats.cache.misses = 3;
+  stats.cache.evictions = 1;
+  stats.cache.entries = 4;
+  stats.cache.cells = 20;
+  stats.cache.capacity_cells = 64;
+  stats.store_releases = 5;
+  EXPECT_EQ(FormatResponseLine(stats),
+            "OK stats hits=2 misses=3 evictions=1 entries=4 cells=20 "
+            "capacity=64 releases=5");
+
+  Response quit;
+  quit.request = RequestKind::kQuit;
+  EXPECT_EQ(FormatResponseLine(quit), "OK bye");
+
+  EXPECT_EQ(FormatResponseLine(
+                Response::Error(ErrorCode::kBadRequest, "bad mask 'x'")),
+            "ERR bad mask 'x'");
+  EXPECT_EQ(FormatResponseLine(Response::Busy("server queue depth (4)")),
+            "BUSY server queue depth (4)");
+
+  Response hello;
+  hello.request = RequestKind::kHello;
+  hello.version = kProtocolVersionV2;
+  hello.codec = Codec::kBinary;
+  EXPECT_EQ(FormatResponseLine(hello), "OK HELLO v2 codec=binary");
+
+  // A typed query answer renders through the v1 query formatter.
+  QueryResponse qr;
+  qr.beta = 0x3;
+  qr.variance = 2.5;
+  qr.cache_hit = true;
+  qr.values = {1.0, -2.25};
+  EXPECT_EQ(FormatResponseLine(Response::FromQuery(qr)),
+            FormatResponse(qr));
+  QueryResponse err;
+  err.status = Status::NotFound("no release named 'x'");
+  EXPECT_EQ(FormatResponseLine(Response::FromQuery(err)),
+            "ERR NotFound: no release named 'x'");
+}
+
+TEST(WireCodecTest, BinaryQueryRecordRoundTripsBitExactly) {
+  QueryResponse qr;
+  qr.beta = 0xdeadbeefULL;
+  qr.variance = 1234.5678;
+  qr.cache_hit = true;
+  qr.values = {0.0, -0.0, 1.5, -2.2250738585072014e-308,
+               std::numeric_limits<double>::max(),
+               123456789.12345678};
+  const std::string record_bytes =
+      EncodeBinaryRecord(Response::FromQuery(qr));
+  EXPECT_EQ(record_bytes.size(),
+            kBinaryRecordHeaderBytes + 8 * qr.values.size());
+
+  WireRecord record;
+  std::size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(DecodeBinaryRecord(record_bytes, &record, &consumed, &error),
+            DecodeRecordResult::kRecord);
+  EXPECT_EQ(consumed, record_bytes.size());
+  EXPECT_EQ(record.code, ErrorCode::kOk);
+  EXPECT_TRUE(record.has_values);
+  EXPECT_TRUE(record.cache_hit);
+  EXPECT_EQ(record.mask, qr.beta);
+  EXPECT_EQ(record.variance, qr.variance);
+  ASSERT_EQ(record.values.size(), qr.values.size());
+  for (std::size_t i = 0; i < qr.values.size(); ++i) {
+    // Bit-level equality, including signed zero.
+    std::uint64_t got = 0, want = 0;
+    std::memcpy(&got, &record.values[i], 8);
+    std::memcpy(&want, &qr.values[i], 8);
+    EXPECT_EQ(got, want) << "value " << i;
+  }
+  // The record renders back to the exact v1 text line.
+  EXPECT_EQ(FormatWireRecord(record), FormatResponse(qr));
+}
+
+TEST(WireCodecTest, BinaryMessageRecordsCarryCodeAndText) {
+  const std::string busy =
+      EncodeBinaryRecord(Response::Busy("queue full"));
+  WireRecord record;
+  std::size_t consumed = 0;
+  ASSERT_EQ(DecodeBinaryRecord(busy, &record, &consumed, nullptr),
+            DecodeRecordResult::kRecord);
+  EXPECT_EQ(record.code, ErrorCode::kBusy);
+  EXPECT_FALSE(record.has_values);
+  EXPECT_EQ(record.message, "queue full");
+  EXPECT_EQ(FormatWireRecord(record), "BUSY queue full");
+
+  Response loaded;
+  loaded.request = RequestKind::kLoad;
+  loaded.name = "demo";
+  const std::string ok = EncodeBinaryRecord(loaded);
+  ASSERT_EQ(DecodeBinaryRecord(ok, &record, &consumed, nullptr),
+            DecodeRecordResult::kRecord);
+  EXPECT_EQ(record.code, ErrorCode::kOk);
+  EXPECT_EQ(record.message, "OK loaded demo");
+  EXPECT_EQ(FormatWireRecord(record), "OK loaded demo");
+
+  const std::string quota = EncodeBinaryRecord(Response::Error(
+      ErrorCode::kQuotaExceeded,
+      "QuotaExceeded: release 'demo' exhausted its query quota (3)"));
+  ASSERT_EQ(DecodeBinaryRecord(quota, &record, &consumed, nullptr),
+            DecodeRecordResult::kRecord);
+  EXPECT_EQ(record.code, ErrorCode::kQuotaExceeded);
+  EXPECT_EQ(FormatWireRecord(record),
+            "ERR QuotaExceeded: release 'demo' exhausted its query "
+            "quota (3)");
+}
+
+TEST(WireCodecTest, TruncatedRecordsNeverDecodeAndNeverOverread) {
+  QueryResponse qr;
+  qr.beta = 0x7;
+  qr.values = {1.0, 2.0, 3.0};
+  const std::string full = EncodeBinaryRecord(Response::FromQuery(qr));
+  // Every strict prefix is incomplete, not an error and not a record.
+  for (std::size_t cut = 1; cut < full.size(); ++cut) {
+    WireRecord record;
+    std::size_t consumed = 0;
+    EXPECT_EQ(DecodeBinaryRecord(std::string_view(full).substr(0, cut),
+                                 &record, &consumed, nullptr),
+              DecodeRecordResult::kNeedMore)
+        << "cut " << cut;
+  }
+  // A frame payload ending mid-record is a stream error.
+  auto truncated = DecodeRecordStream(full.substr(0, full.size() - 1));
+  EXPECT_FALSE(truncated.ok());
+  // Garbage magic is an immediate error.
+  std::string bad = full;
+  bad[0] = 'O';
+  WireRecord record;
+  std::size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(DecodeBinaryRecord(bad, &record, &consumed, &error),
+            DecodeRecordResult::kError);
+  // A record stream of several concatenated records decodes in order.
+  auto stream = DecodeRecordStream(full + full + full);
+  ASSERT_TRUE(stream.ok());
+  EXPECT_EQ(stream.value().size(), 3u);
+}
+
+TEST(ParseSizeTest, RejectsAboveHalfSizeMaxUniformly) {
+  // SIZE_MAX/2 itself is the largest accepted value, in both bases.
+  const std::size_t half = SIZE_MAX / 2;  // 2^63 - 1 on LP64.
+  std::size_t out = 0;
+  EXPECT_TRUE(ParseSize(std::to_string(half), &out));
+  EXPECT_EQ(out, half);
+  EXPECT_TRUE(ParseSize("0x7fffffffffffffff", &out));
+  EXPECT_EQ(out, half);
+
+  // One past the cap fails identically on the decimal and hex paths —
+  // the regression: stoull accepts anything below 2^64, so hex
+  // "0x8000000000000000" and decimal "9223372036854775808" used to
+  // parse fine and overflow the first `2 * n` downstream.
+  EXPECT_FALSE(ParseSize("9223372036854775808", &out));
+  EXPECT_FALSE(ParseSize("0x8000000000000000", &out));
+  EXPECT_FALSE(ParseSize("18446744073709551615", &out));  // SIZE_MAX.
+  EXPECT_FALSE(ParseSize("0xffffffffffffffff", &out));
+  EXPECT_FALSE(ParseSize("0xFFFFFFFFFFFFFFFF", &out));
+
+  // The original strictness is unchanged.
+  EXPECT_FALSE(ParseSize("", &out));
+  EXPECT_FALSE(ParseSize("-1", &out));
+  EXPECT_FALSE(ParseSize("+1", &out));
+  EXPECT_FALSE(ParseSize("0x", &out));
+  EXPECT_FALSE(ParseSize("12junk", &out));
+  EXPECT_TRUE(ParseSize("0x1F", &out));
+  EXPECT_EQ(out, 31u);
+  EXPECT_TRUE(ParseSize("010", &out));  // Decimal ten, not octal.
+  EXPECT_EQ(out, 10u);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace dpcube

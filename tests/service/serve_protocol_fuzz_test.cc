@@ -9,9 +9,11 @@
 // ledger must match the load/unload responses the session emitted).
 
 #include <algorithm>
+#include <cstdint>
 #include <set>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -355,10 +357,205 @@ TEST(ServeProtocolFuzzTest, ParseSizeRejectsHostileNumerals) {
   EXPECT_FALSE(ParseSize("0x", &out));
   EXPECT_FALSE(ParseSize("12junk", &out));
   EXPECT_FALSE(ParseSize("99999999999999999999", &out));
+  // Values above SIZE_MAX/2 are rejected uniformly in BOTH bases
+  // (regression: the hex path used to accept up to 2^64-1).
+  EXPECT_FALSE(ParseSize("9223372036854775808", &out));   // 2^63.
+  EXPECT_FALSE(ParseSize("0x8000000000000000", &out));    // 2^63.
+  EXPECT_FALSE(ParseSize("0xffffffffffffffff", &out));
+  EXPECT_TRUE(ParseSize("9223372036854775807", &out));    // 2^63 - 1.
+  EXPECT_EQ(out, SIZE_MAX / 2);
+  EXPECT_TRUE(ParseSize("0x7fffffffffffffff", &out));
+  EXPECT_EQ(out, SIZE_MAX / 2);
   EXPECT_TRUE(ParseSize("0x1F", &out));
   EXPECT_EQ(out, 31u);
   EXPECT_TRUE(ParseSize("010", &out));  // Decimal ten, not octal.
   EXPECT_EQ(out, 10u);
+}
+
+// ------------------------------------------------------------------
+// Protocol v2 fuzzing: the HELLO handshake, codec switches at arbitrary
+// points of a conversation, and the binary record codec under
+// truncation. Responses in a mixed-codec transcript are walked
+// structurally: a chunk starting with the record magic byte (0xD7 —
+// which can never begin a text response) is decoded as one binary
+// record, anything else must be a well-formed OK/ERR/BUSY line.
+
+bool WalkMixedTranscript(const std::string& out, std::size_t* responses) {
+  std::size_t offset = 0;
+  while (offset < out.size()) {
+    if (static_cast<unsigned char>(out[offset]) == kBinaryRecordMagic) {
+      WireRecord record;
+      std::size_t consumed = 0;
+      std::string error;
+      if (DecodeBinaryRecord(std::string_view(out).substr(offset), &record,
+                             &consumed, &error) !=
+          DecodeRecordResult::kRecord) {
+        ADD_FAILURE() << "bad record at offset " << offset << ": " << error;
+        return false;
+      }
+      offset += consumed;
+    } else {
+      const std::size_t end = out.find('\n', offset);
+      if (end == std::string::npos) {
+        ADD_FAILURE() << "unterminated text line at offset " << offset;
+        return false;
+      }
+      const std::string line = out.substr(offset, end - offset);
+      if (line.rfind("OK", 0) != 0 && line.rfind("ERR", 0) != 0 &&
+          line.rfind("BUSY", 0) != 0) {
+        ADD_FAILURE() << "malformed response line '" << line << "'";
+        return false;
+      }
+      offset = end + 1;
+    }
+    ++*responses;
+  }
+  return true;
+}
+
+// Valid and malformed handshakes, weighted toward the hostile ones.
+std::string RandomHello(Rng* rng) {
+  static const char* const kHellos[] = {
+      "HELLO v2 binary",     "HELLO v2 text",   "HELLO v1",
+      "HELLO v2",            "HELLO",           "HELLO v3 binary",
+      "HELLO v2 gzip",       "HELLO v1 binary", "HELLO v2 binary extra",
+      "HELLO vv2 binary",    "HELLO 2",         "hello v2 binary",
+  };
+  return kHellos[rng->NextBounded(sizeof(kHellos) / sizeof(kHellos[0]))];
+}
+
+// Replays the session's dispatch over the raw lines to predict the
+// final negotiated codec: batch headers consume their sub-lines as
+// data, quit stops the conversation, HELLO switches.
+Codec PredictFinalCodec(const std::vector<std::string>& lines) {
+  Codec codec = Codec::kText;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::vector<std::string> tokens = Tokenize(lines[i]);
+    if (tokens.empty()) continue;
+    const Request request = ParseRequestLine(lines[i], tokens);
+    if (request.kind == RequestKind::kBatch) {
+      i += request.batch_count;  // Sub-lines are data, not commands.
+    } else if (request.kind == RequestKind::kHello) {
+      codec = request.codec;
+    } else if (request.kind == RequestKind::kQuit) {
+      break;
+    }
+  }
+  return codec;
+}
+
+TEST(ServeProtocolFuzzTest, SeededHandshakesAndCodecSwitchesMidStream) {
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    Rng rng(0xe110 + seed);
+    auto store = std::make_shared<ReleaseStore>();
+    auto cache = std::make_shared<MarginalCache>(16);
+    auto svc = std::make_shared<const QueryService>(store, cache);
+    BatchExecutor executor(svc, /*num_threads=*/4);
+    ServeSession session(store, cache, svc, &executor);
+
+    std::ostringstream in;
+    const int lines = 30 + static_cast<int>(rng.NextBounded(50));
+    for (int l = 0; l < lines; ++l) {
+      if (rng.NextBernoulli(0.25)) {
+        in << RandomHello(&rng) << "\n";
+      } else if (rng.NextBernoulli(0.15)) {
+        AppendBatchBlock(&rng, &in);
+      } else {
+        in << RandomLine(&rng) << "\n";
+      }
+    }
+    std::vector<std::string> raw_lines;
+    {
+      std::istringstream split(in.str());
+      std::string raw;
+      while (std::getline(split, raw)) raw_lines.push_back(raw);
+    }
+    const Codec expected = PredictFinalCodec(raw_lines);
+
+    std::istringstream input(in.str());
+    std::ostringstream output;
+    session.Run(input, output);
+
+    // The transcript must be walkable as a mixed line/record stream,
+    // and the session must land on exactly the codec the last
+    // successful HELLO negotiated.
+    std::size_t responses = 0;
+    EXPECT_TRUE(WalkMixedTranscript(output.str(), &responses))
+        << "seed " << seed;
+    EXPECT_GT(responses, 0u) << "seed " << seed;
+    EXPECT_EQ(static_cast<int>(session.codec()),
+              static_cast<int>(expected))
+        << "seed " << seed;
+    const CacheStats stats = cache->stats();
+    EXPECT_LE(stats.cells, stats.capacity_cells) << "seed " << seed;
+  }
+}
+
+TEST(ServeProtocolFuzzTest, MalformedHandshakeAnswersErrAndKeepsCodec) {
+  auto store = std::make_shared<ReleaseStore>();
+  auto cache = std::make_shared<MarginalCache>(1 << 20);
+  auto svc = std::make_shared<const QueryService>(store, cache);
+  BatchExecutor executor(svc, /*num_threads=*/2);
+  ServeSession session(store, cache, svc, &executor);
+
+  std::istringstream in(
+      "HELLO v3 binary\nHELLO v2 gzip\nHELLO v1 binary\nHELLO\nlist\n");
+  std::ostringstream out;
+  session.Run(in, out);
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<std::string> responses;
+  while (std::getline(lines, line)) responses.push_back(line);
+  ASSERT_EQ(responses.size(), 5u);
+  EXPECT_EQ(responses[0], "ERR unsupported protocol version 'v3'");
+  EXPECT_EQ(responses[1], "ERR unknown codec 'gzip'");
+  EXPECT_EQ(responses[2], "ERR protocol v1 has no binary codec");
+  EXPECT_EQ(responses[3], "ERR HELLO expects 'HELLO v1|v2 [text|binary]'");
+  EXPECT_EQ(responses[4], "OK releases n=0");  // Still the text codec.
+  EXPECT_EQ(static_cast<int>(session.codec()),
+            static_cast<int>(Codec::kText));
+}
+
+TEST(ServeProtocolFuzzTest, TruncatedBinaryPayloadsFailCleanly) {
+  // Random record streams truncated at every byte boundary must decode
+  // to "truncated" errors, never crash, and never allocate from the
+  // claimed (unreachable) lengths.
+  Rng rng(0xb17a47);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::string wire;
+    const int records = 1 + static_cast<int>(rng.NextBounded(4));
+    for (int r = 0; r < records; ++r) {
+      if (rng.NextBernoulli(0.5)) {
+        QueryResponse qr;
+        qr.beta = rng.NextBounded(1 << 16);
+        qr.variance = 1.5;
+        const std::size_t n = rng.NextBounded(40);
+        for (std::size_t i = 0; i < n; ++i) {
+          qr.values.push_back(rng.NextLaplace(3.0));
+        }
+        wire += EncodeBinaryRecord(Response::FromQuery(qr));
+      } else {
+        wire += EncodeBinaryRecord(Response::Error(
+            ErrorCode::kQuotaExceeded, "quota text " + std::to_string(r)));
+      }
+    }
+    ASSERT_TRUE(DecodeRecordStream(wire).ok()) << "trial " << trial;
+    for (std::size_t cut = 1; cut < wire.size();
+         cut += 1 + rng.NextBounded(7)) {
+      const auto result = DecodeRecordStream(wire.substr(0, cut));
+      // Either the cut landed exactly on a record boundary (fine) or
+      // the stream reports truncation; it must never succeed with a
+      // short record and never throw.
+      if (!result.ok()) {
+        EXPECT_NE(result.status().ToString().find("truncated"),
+                  std::string::npos)
+            << "trial " << trial << " cut " << cut;
+      }
+    }
+    // Garbage prepended to a valid stream poisons it immediately.
+    auto garbage = DecodeRecordStream("\x01" + wire);
+    EXPECT_FALSE(garbage.ok());
+  }
 }
 
 }  // namespace

@@ -37,6 +37,7 @@
 //   # response line per request line, suitable for scripting):
 //   dpcube serve --threads 4 [--release release.csv --name adult]
 //     protocol:
+//       HELLO v1|v2 [text|binary] negotiate version + response codec
 //       load NAME PATH            load a release CSV under NAME
 //       unload NAME               drop a release (and its cached tables)
 //       list                      enumerate loaded releases
@@ -53,13 +54,19 @@
 //   # The same server over TCP (length-delimited frames around the same
 //   # line protocol; see src/net/framing.h). Port 0 = ephemeral, printed
 //   # at startup. SIGINT/SIGTERM drain in-flight queries before exit;
-//   # overload sheds with structured "BUSY <reason>" replies:
+//   # overload sheds with structured "BUSY <reason>" replies,
+//   # --query-quota N caps lifetime queries per release (answered with
+//   # structured QuotaExceeded errors past the cap), and --max-frame
+//   # bounds a request frame's payload bytes:
 //   dpcube serve --listen 127.0.0.1:0 --release release.csv --name demo
-//     --max-conns 64 --max-inflight 8 --max-queue 256
+//     --max-conns 64 --max-inflight 8 --max-queue 256 --query-quota 10000
 //
 //   # Remote one-shot queries against a --listen server ("STATS" with
-//   # --stats):
+//   # --stats). --binary negotiates protocol v2's binary response codec
+//   # (HELLO handshake; full marginals cost 8 bytes/cell on the wire
+//   # instead of decimal text) — the printed output is identical:
 //   dpcube query --connect 127.0.0.1:PORT --name demo --mask 0x5
+//   dpcube query --connect 127.0.0.1:PORT --name demo --mask 0x5 --binary
 //   dpcube query --connect 127.0.0.1:PORT --stats
 //
 // Methods: I, Q, Q+, F, F+, C, C+ (the paper's Section 5 notation; "+"
@@ -118,14 +125,15 @@ int Usage() {
                "--epsilon E --out F [--seed S] [--no-clamp] [--microdata F]\n"
                "  dpcube query   --release F (--mask M | --bits I,J,...) "
                "[--cell C | --range LO:HI]\n"
-               "  dpcube query   --connect HOST:PORT [--name N] "
+               "  dpcube query   --connect HOST:PORT [--name N] [--binary] "
                "((--mask M | --bits I,J,...) [--cell C | --range LO:HI] "
                "| --stats)\n"
                "  dpcube serve   [--release F [--name N]] [--threads T] "
                "[--cache-cells N]\n"
                "                 [--listen HOST:PORT] [--max-conns N] "
                "[--max-inflight N]\n"
-               "                 [--max-queue N] [--drain-ms N]\n"
+               "                 [--max-queue N] [--drain-ms N] "
+               "[--query-quota N] [--max-frame BYTES]\n"
                "  (--threads T sizes the process-wide pool shared by the "
                "release pipeline\n"
                "   and the serve executor; default: hardware "
@@ -168,7 +176,7 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv,
       return flags;
     }
     if (arg == "--no-consistency" || arg == "--no-clamp" ||
-        arg == "--stats") {
+        arg == "--stats" || arg == "--binary") {
       flags[arg.substr(2)] = "true";
       continue;
     }
@@ -485,7 +493,9 @@ void PrintResponse(const service::QueryResponse& response) {
 
 // Remote one-shot: speak the framed TCP protocol to a running
 // `dpcube serve --listen` instance. Prints every response line; exit 0
-// iff the first line is an "OK ...".
+// iff the first line is an "OK ...". With --binary, negotiates protocol
+// v2's binary response codec first; the printed lines are identical
+// (records are rendered through the same formatter).
 int RunRemoteQuery(const std::map<std::string, std::string>& flags) {
   const std::string& address = flags.at("connect");
   auto client = net::Client::Connect(address);
@@ -493,6 +503,14 @@ int RunRemoteQuery(const std::map<std::string, std::string>& flags) {
     std::fprintf(stderr, "connect: %s\n",
                  client.status().ToString().c_str());
     return 1;
+  }
+  if (flags.find("binary") != flags.end()) {
+    const Status st = client.value().Negotiate(service::kProtocolVersionV2,
+                                               service::Codec::kBinary);
+    if (!st.ok()) {
+      std::fprintf(stderr, "handshake: %s\n", st.ToString().c_str());
+      return 1;
+    }
   }
 
   std::string request;
@@ -530,16 +548,17 @@ int RunRemoteQuery(const std::map<std::string, std::string>& flags) {
     }
   }
 
-  auto lines = client.value().CallLines(request);
-  if (!lines.ok()) {
-    std::fprintf(stderr, "call: %s\n", lines.status().ToString().c_str());
+  auto records = client.value().CallRecords(request);
+  if (!records.ok()) {
+    std::fprintf(stderr, "call: %s\n",
+                 records.status().ToString().c_str());
     return 1;
   }
-  for (const std::string& line : lines.value()) {
-    std::printf("%s\n", line.c_str());
+  for (const service::WireRecord& record : records.value()) {
+    std::printf("%s\n", service::FormatWireRecord(record).c_str());
   }
-  return !lines.value().empty() &&
-                 lines.value().front().rfind("OK", 0) == 0
+  return !records.value().empty() &&
+                 records.value().front().code == service::ErrorCode::kOk
              ? 0
              : 1;
 }
@@ -656,6 +675,27 @@ int RunServe(const std::map<std::string, std::string>& flags) {
     }
     *cap.target = static_cast<int>(value);
   }
+  const auto quota_it = flags.find("query-quota");
+  if (quota_it != flags.end()) {
+    std::size_t quota = 0;
+    if (!ParseSize(quota_it->second, &quota) || quota == 0) {
+      std::fprintf(stderr, "bad --query-quota '%s'\n",
+                   quota_it->second.c_str());
+      return 2;
+    }
+    options.admission.max_queries_per_release = quota;
+  }
+  const auto frame_it = flags.find("max-frame");
+  if (frame_it != flags.end()) {
+    std::size_t max_frame = 0;
+    if (!ParseSize(frame_it->second, &max_frame) || max_frame < 64 ||
+        max_frame > net::kMaxFramePayload) {
+      std::fprintf(stderr, "bad --max-frame '%s' (want 64..%zu)\n",
+                   frame_it->second.c_str(), net::kMaxFramePayload);
+      return 2;
+    }
+    options.max_frame_payload = max_frame;
+  }
 
   auto signal_fd = InstallShutdownSignalFd();
   if (!signal_fd.ok()) {
@@ -673,12 +713,18 @@ int RunServe(const std::map<std::string, std::string>& flags) {
     std::fprintf(stderr, "listen: %s\n", st.ToString().c_str());
     return 1;
   }
+  std::string quota_note;
+  if (options.admission.max_queries_per_release > 0) {
+    quota_note =
+        " query-quota=" +
+        std::to_string(options.admission.max_queries_per_release);
+  }
   std::printf(
       "OK dpcube serve listening on %s (threads=%d max-conns=%d "
-      "max-inflight=%d max-queue=%d)\n",
+      "max-inflight=%d max-queue=%d%s)\n",
       listener.bound_address().c_str(), executor->num_threads(),
       options.admission.max_connections, options.admission.max_inflight,
-      options.admission.max_queue_depth);
+      options.admission.max_queue_depth, quota_note.c_str());
   std::fflush(stdout);
 
   auto served = listener.Serve();
