@@ -22,7 +22,10 @@
 // seconds-per-operation scaled to `time_unit` (lower is better);
 // throughput lands in the `qps` counter.
 
+#include <sys/socket.h>
+
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -37,6 +40,7 @@
 #include "common/stats.h"
 #include "common/thread_pool.h"
 #include "data/synthetic.h"
+#include "net/address.h"
 #include "net/client.h"
 #include "net/socket_listener.h"
 #include "service/batch_executor.h"
@@ -238,6 +242,7 @@ int main(int argc, char** argv) {
     net::ServerOptions options;
     options.admission.max_connections = 256;
     options.admission.max_queue_depth = 4096;
+    options.http_listen_address = "127.0.0.1:0";
     net::SocketListener listener(
         options,
         net::ServeContext{store, cache, svc, tcp_executor, &pool});
@@ -385,6 +390,71 @@ int main(int argc, char** argv) {
         std::printf("  binary payload is %.2fx smaller than text\n",
                     text_bytes_per_query / bytes_per_query);
       }
+    }
+    // Observability tax: full /metrics scrapes over the HTTP endpoint
+    // that rides the same poll loop. Latency and exposition size are
+    // CI-gated next to the serving rows — a scrape must stay cheap
+    // enough to run on a tight interval without denting query traffic.
+    {
+      std::uint16_t http_port = 0;
+      {
+        const std::string http_address = listener.http_bound_address();
+        const std::size_t colon = http_address.rfind(':');
+        if (colon != std::string::npos) {
+          http_port = static_cast<std::uint16_t>(
+              std::atoi(http_address.c_str() + colon + 1));
+        }
+      }
+      const int scrapes = 200;
+      std::vector<double> latencies;
+      latencies.reserve(scrapes);
+      std::size_t body_bytes = 0;
+      int errors = 0;
+      const double seconds = bench::TimeSeconds([&] {
+        for (int i = 0; i < scrapes; ++i) {
+          const double rtt = bench::TimeSeconds([&] {
+            auto fd = net::ConnectTcp("127.0.0.1", http_port);
+            if (!fd.ok()) {
+              ++errors;
+              return;
+            }
+            static const char kScrape[] = "GET /metrics HTTP/1.0\r\n\r\n";
+            if (::send(fd.value().get(), kScrape, sizeof(kScrape) - 1,
+                       MSG_NOSIGNAL) != sizeof(kScrape) - 1) {
+              ++errors;
+              return;
+            }
+            std::string response;
+            char buf[8192];
+            for (;;) {
+              const ssize_t n =
+                  ::recv(fd.value().get(), buf, sizeof(buf), 0);
+              if (n <= 0) break;
+              response.append(buf, static_cast<std::size_t>(n));
+            }
+            if (response.rfind("HTTP/1.0 200", 0) != 0) {
+              ++errors;
+              return;
+            }
+            body_bytes += response.size();
+          });
+          latencies.push_back(rtt * 1e6);
+        }
+      });
+      const double qps = scrapes / seconds;
+      const double bytes_per_scrape =
+          static_cast<double>(body_bytes) / scrapes;
+      const double p50 = stats::Quantile(latencies, 0.5);
+      const double p99 = stats::Quantile(latencies, 0.99);
+      std::printf(
+          "http /metrics scrape: %8.0f scrapes/s  %8.0f bytes/scrape  "
+          "p50=%.0fus p99=%.0fus  (errors=%d)\n",
+          qps, bytes_per_scrape, p50, p99, errors);
+      report.Add("http/metrics_scrape", seconds / scrapes,
+                 {{"qps", qps},
+                  {"bytes_per_scrape", bytes_per_scrape},
+                  {"p50_us", p50},
+                  {"p99_us", p99}});
     }
     listener.Shutdown();
     serve_thread.join();

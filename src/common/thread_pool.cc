@@ -38,8 +38,19 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop_front();
     }
+    busy_workers_.fetch_add(1, std::memory_order_relaxed);
     task();
+    busy_workers_.fetch_sub(1, std::memory_order_relaxed);
   }
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_.size();
+}
+
+int ThreadPool::busy_workers() const {
+  return busy_workers_.load(std::memory_order_relaxed);
 }
 
 void ThreadPool::Submit(std::function<void()> task) {

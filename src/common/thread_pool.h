@@ -83,6 +83,14 @@ class ThreadPool {
   /// Enqueues a fire-and-forget task. Thread-safe.
   void Submit(std::function<void()> task);
 
+  /// Tasks queued but not yet claimed by a worker. Thread-safe; a point
+  /// sample for gauges, already stale by the time the caller reads it.
+  std::size_t queue_depth() const;
+
+  /// Workers currently inside a task body (excludes caller threads
+  /// participating in a ParallelFor). Thread-safe point sample.
+  int busy_workers() const;
+
   /// Runs body(lo, hi) over a partition of [begin, end) into contiguous
   /// chunks. `grain` is a lower bound on chunk size (the smallest range
   /// worth forking for); the pool may enlarge chunks to bound scheduling
@@ -159,6 +167,7 @@ class ThreadPool {
   std::condition_variable work_available_;
   std::deque<std::function<void()>> tasks_;
   bool shutting_down_ = false;
+  std::atomic<int> busy_workers_{0};
   std::atomic<int> default_schedule_{0};  // 0 = kFifo, 1 = kWorkStealing.
   std::vector<std::thread> workers_;
 };

@@ -3,6 +3,7 @@
 #include "net/admission.h"
 
 #include <algorithm>
+#include <chrono>
 
 namespace dpcube {
 namespace net {
@@ -11,6 +12,8 @@ AdmissionConfig ClampAdmissionConfig(AdmissionConfig config) {
   config.max_connections = std::max(1, config.max_connections);
   config.max_inflight = std::max(1, config.max_inflight);
   config.max_queue_depth = std::max(1, config.max_queue_depth);
+  config.query_rate_window_seconds =
+      std::min(3600, std::max(1, config.query_rate_window_seconds));
   return config;
 }
 
@@ -60,12 +63,35 @@ bool AdmissionController::TryAdmitRequest(int connection_inflight,
 
 void AdmissionController::ReleaseRequest() { queued_requests_.fetch_sub(1); }
 
+std::uint64_t AdmissionController::NowSeconds() const {
+  if (clock_) return clock_();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void AdmissionController::EvictExpiredLocked(QuotaEntry* entry,
+                                             std::uint64_t now_seconds) {
+  const std::uint64_t window =
+      static_cast<std::uint64_t>(config_.query_rate_window_seconds);
+  // A bucket stamped `s` covers charges in second s; it leaves the
+  // trailing window once s + window <= now.
+  while (!entry->buckets.empty() &&
+         entry->buckets.front().first + window <= now_seconds) {
+    entry->window_total -= entry->buckets.front().second;
+    entry->buckets.pop_front();
+  }
+}
+
 bool AdmissionController::TryChargeQuery(const std::string& release,
                                          std::string* denial) {
-  if (config_.max_queries_per_release == 0) return true;
+  const bool lifetime_metered = config_.max_queries_per_release > 0;
+  const bool rate_metered = config_.query_rate_limit > 0;
+  if (!lifetime_metered && !rate_metered) return true;
   {
     std::lock_guard<std::mutex> lock(quota_mu_);
-    const auto it = quota_used_.find(release);
+    auto it = quota_used_.find(release);
     if (it == quota_used_.end()) {
       // Hard bound on the ledger itself: even if a caller charges
       // attacker-chosen names (the serving gate pre-validates against
@@ -78,11 +104,30 @@ bool AdmissionController::TryChargeQuery(const std::string& release,
                   " releases tracked)";
         return false;
       }
-      quota_used_.emplace(release, 1);
-      return true;
+      it = quota_used_.emplace(release, QuotaEntry{}).first;
     }
-    if (it->second < config_.max_queries_per_release) {
-      ++it->second;
+    QuotaEntry& entry = it->second;
+    if (lifetime_metered && entry.lifetime >= config_.max_queries_per_release) {
+      // Fall through to the unlocked denial below.
+    } else {
+      const std::uint64_t now = NowSeconds();
+      if (rate_metered) EvictExpiredLocked(&entry, now);
+      if (rate_metered && entry.window_total >= config_.query_rate_limit) {
+        rate_denied_.fetch_add(1);
+        *denial = "release '" + release + "' exceeded its query rate (" +
+                  std::to_string(config_.query_rate_limit) + "/" +
+                  std::to_string(config_.query_rate_window_seconds) +
+                  "s); retry after the window passes";
+        return false;
+      }
+      ++entry.lifetime;
+      if (rate_metered) {
+        if (entry.buckets.empty() || entry.buckets.back().first != now) {
+          entry.buckets.emplace_back(now, 0);
+        }
+        ++entry.buckets.back().second;
+        ++entry.window_total;
+      }
       return true;
     }
   }
@@ -96,7 +141,39 @@ std::uint64_t AdmissionController::quota_used(
     const std::string& release) const {
   std::lock_guard<std::mutex> lock(quota_mu_);
   const auto it = quota_used_.find(release);
-  return it == quota_used_.end() ? 0 : it->second;
+  return it == quota_used_.end() ? 0 : it->second.lifetime;
+}
+
+std::vector<AdmissionController::QuotaEntrySnapshot>
+AdmissionController::QuotaLedger() const {
+  std::lock_guard<std::mutex> lock(quota_mu_);
+  const std::uint64_t window =
+      static_cast<std::uint64_t>(config_.query_rate_window_seconds);
+  const std::uint64_t now = NowSeconds();
+  std::vector<QuotaEntrySnapshot> ledger;
+  ledger.reserve(quota_used_.size());
+  for (const auto& [release, entry] : quota_used_) {
+    QuotaEntrySnapshot row;
+    row.release = release;
+    row.lifetime_used = entry.lifetime;
+    // Recompute the live window total without mutating (this is const):
+    // skip buckets that have aged out since the last charge.
+    for (const auto& [second, count] : entry.buckets) {
+      if (second + window > now) row.window_used += count;
+    }
+    ledger.push_back(std::move(row));
+  }
+  std::sort(ledger.begin(), ledger.end(),
+            [](const QuotaEntrySnapshot& a, const QuotaEntrySnapshot& b) {
+              return a.release < b.release;
+            });
+  return ledger;
+}
+
+void AdmissionController::SetClockForTests(
+    std::function<std::uint64_t()> clock) {
+  std::lock_guard<std::mutex> lock(quota_mu_);
+  clock_ = std::move(clock);
 }
 
 }  // namespace net

@@ -2,21 +2,26 @@
 //
 // Admission control for the serving subsystem: fixed caps on accepted
 // connections, per-connection in-flight requests, total queued work,
-// and per-release query quotas, enforced at the network edge so
-// overload degrades into fast structured replies ("BUSY <reason>" for
-// shed work, kQuotaExceeded for exhausted quotas) instead of unbounded
-// queues, latency collapse, or silent drops. Every shed request still
-// gets exactly one response — the one invariant a pipelining client
-// needs to stay in sync.
+// and per-release query quotas — both a lifetime ledger and a
+// sliding-window rate limit — enforced at the network edge so overload
+// degrades into fast structured replies ("BUSY <reason>" for shed work,
+// kQuotaExceeded for exhausted quotas) instead of unbounded queues,
+// latency collapse, or silent drops. Every shed request still gets
+// exactly one response — the one invariant a pipelining client needs to
+// stay in sync.
 
 #ifndef DPCUBE_NET_ADMISSION_H_
 #define DPCUBE_NET_ADMISSION_H_
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace dpcube {
 namespace net {
@@ -36,10 +41,19 @@ struct AdmissionConfig {
   /// (batch sub-queries each count); queries beyond it are answered
   /// with a structured kQuotaExceeded error. 0 = unmetered.
   std::uint64_t max_queries_per_release = 0;
+  /// Sliding-window rate cap per release: at most this many queries in
+  /// any trailing `query_rate_window_seconds` window. Charged alongside
+  /// the lifetime ledger; denials also answer kQuotaExceeded. The
+  /// window recovers on its own, so a rate denial is retryable where a
+  /// lifetime denial is terminal. 0 = unmetered.
+  std::uint64_t query_rate_limit = 0;
+  /// Window length for query_rate_limit (clamped to [1, 3600]).
+  int query_rate_window_seconds = 60;
 };
 
 /// Validated config (connection/inflight/queue caps clamped to >= 1;
-/// the quota keeps 0 as "unmetered").
+/// the quotas keep 0 as "unmetered"; the rate window is clamped to
+/// [1, 3600] seconds).
 AdmissionConfig ClampAdmissionConfig(AdmissionConfig config);
 
 class AdmissionController {
@@ -69,14 +83,16 @@ class AdmissionController {
   static constexpr std::size_t kMaxTrackedReleases = 65536;
 
   /// Per-release query-quota gate: charges one query against `release`
-  /// and returns true, or — once the release's lifetime spend reaches
-  /// max_queries_per_release (or the ledger is full, see above) —
-  /// bumps the denial counter, fills `*denial`, and returns false.
-  /// Always true when unmetered. Thread-safe (sessions call this from
+  /// and returns true, or denies — once the release's lifetime spend
+  /// reaches max_queries_per_release, its trailing-window spend reaches
+  /// query_rate_limit, or the ledger is full (see above) — bumping the
+  /// matching denial counter, filling `*denial`, and returning false.
+  /// A denied charge leaves both ledgers untouched. Always true when
+  /// both quotas are unmetered. Thread-safe (sessions call this from
   /// pool workers).
   bool TryChargeQuery(const std::string& release, std::string* denial);
 
-  // Monitoring snapshot (STATS verb).
+  // Monitoring snapshot (STATS verb + /metrics).
   int active_connections() const { return active_connections_.load(); }
   int queued_requests() const { return queued_requests_.load(); }
   std::uint64_t accepted_total() const { return accepted_total_.load(); }
@@ -84,11 +100,42 @@ class AdmissionController {
     return rejected_connections_.load();
   }
   std::uint64_t shed_requests() const { return shed_requests_.load(); }
+  /// Denials from the lifetime ledger (or a full ledger).
   std::uint64_t quota_denied() const { return quota_denied_.load(); }
+  /// Denials from the sliding-window rate limit.
+  std::uint64_t rate_denied() const { return rate_denied_.load(); }
   /// Lifetime queries charged against `release` so far.
   std::uint64_t quota_used(const std::string& release) const;
 
+  /// One ledger row per metered release, for /statusz.
+  struct QuotaEntrySnapshot {
+    std::string release;
+    std::uint64_t lifetime_used = 0;
+    std::uint64_t window_used = 0;  ///< Charges in the trailing window.
+  };
+  std::vector<QuotaEntrySnapshot> QuotaLedger() const;
+
+  /// Replaces the rate window's wall clock (whole seconds, monotonic
+  /// non-decreasing) so tests can march time forward deterministically.
+  void SetClockForTests(std::function<std::uint64_t()> clock);
+
  private:
+  /// Per-release quota state: lifetime spend plus a deque of
+  /// (second, count) buckets covering the trailing rate window, with
+  /// the bucket total maintained incrementally so a charge is O(expired
+  /// buckets), not O(window).
+  struct QuotaEntry {
+    std::uint64_t lifetime = 0;
+    std::uint64_t window_total = 0;
+    std::deque<std::pair<std::uint64_t, std::uint64_t>> buckets;
+  };
+
+  /// Now in whole seconds (test clock when installed).
+  std::uint64_t NowSeconds() const;
+  /// Drops buckets older than the window from `entry` (must hold
+  /// quota_mu_).
+  void EvictExpiredLocked(QuotaEntry* entry, std::uint64_t now_seconds);
+
   const AdmissionConfig config_;
   std::atomic<int> active_connections_{0};
   std::atomic<int> queued_requests_{0};
@@ -96,8 +143,10 @@ class AdmissionController {
   std::atomic<std::uint64_t> rejected_connections_{0};
   std::atomic<std::uint64_t> shed_requests_{0};
   std::atomic<std::uint64_t> quota_denied_{0};
+  std::atomic<std::uint64_t> rate_denied_{0};
   mutable std::mutex quota_mu_;
-  std::unordered_map<std::string, std::uint64_t> quota_used_;
+  std::unordered_map<std::string, QuotaEntry> quota_used_;
+  std::function<std::uint64_t()> clock_;  // Guarded by quota_mu_.
 };
 
 }  // namespace net

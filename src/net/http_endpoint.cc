@@ -1,0 +1,244 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "net/http_endpoint.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+
+#include <utility>
+
+#include "net/address.h"
+
+namespace dpcube {
+namespace net {
+
+namespace {
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+std::string EncodeHttpResponse(const HttpResponse& response) {
+  std::string out;
+  out.reserve(response.body.size() + 128);
+  out += "HTTP/1.0 " + std::to_string(response.status) + " " +
+         ReasonPhrase(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+}  // namespace
+
+HttpEndpoint::HttpEndpoint(std::string listen_address)
+    : listen_address_(std::move(listen_address)) {}
+
+HttpEndpoint::~HttpEndpoint() = default;
+
+void HttpEndpoint::AddRoute(const std::string& path, Handler handler) {
+  routes_[path] = std::move(handler);
+}
+
+Status HttpEndpoint::Start() {
+  DPCUBE_RETURN_NOT_OK(ParseHostPort(listen_address_, &host_, &bound_port_));
+  auto fd = ListenTcp(host_, bound_port_, /*backlog=*/16, &bound_port_);
+  if (!fd.ok()) return fd.status();
+  listen_fd_ = std::move(fd).value();
+  return Status::OK();
+}
+
+std::string HttpEndpoint::bound_address() const {
+  return host_ + ":" + std::to_string(bound_port_);
+}
+
+void HttpEndpoint::AppendPollFds(std::vector<struct pollfd>* fds) {
+  poll_base_ = fds->size();
+  listener_polled_ = listen_fd_.valid() &&
+                     connections_.size() <
+                         static_cast<std::size_t>(kMaxConnections);
+  if (listener_polled_) fds->push_back({listen_fd_.get(), POLLIN, 0});
+  for (const auto& [fd, conn] : connections_) {
+    fds->push_back(
+        {fd, static_cast<short>(conn->responding ? POLLOUT : POLLIN), 0});
+  }
+  poll_count_ = fds->size() - poll_base_;
+}
+
+void HttpEndpoint::DispatchEvents(const std::vector<struct pollfd>& fds) {
+  std::size_t i = poll_base_;
+  const std::size_t end = poll_base_ + poll_count_;
+  if (listener_polled_ && i < end) {
+    if (fds[i].revents & POLLIN) AcceptPending();
+    ++i;
+  }
+  for (; i < end && i < fds.size(); ++i) {
+    const auto it = connections_.find(fds[i].fd);
+    if (it == connections_.end()) continue;
+    Conn* conn = it->second.get();
+    const short revents = fds[i].revents;
+    if (revents & (POLLERR | POLLHUP | POLLNVAL)) {
+      if (!(revents & POLLIN)) {  // Dead with nothing left to read.
+        connections_.erase(it);
+        continue;
+      }
+    }
+    if (!conn->responding && (revents & POLLIN)) OnReadable(conn);
+    if (conn->responding && (revents & (POLLOUT | POLLIN))) OnWritable(conn);
+    if (conn->responding && conn->written >= conn->out.size()) {
+      // FIN first and drain whatever the peer already buffered: closing
+      // with unread inbound bytes (an early answer to an oversized
+      // request) would RST and could destroy the response in flight.
+      ::shutdown(conn->fd.get(), SHUT_WR);
+      char discard[4096];
+      while (::recv(conn->fd.get(), discard, sizeof(discard), 0) > 0) {
+      }
+      connections_.erase(it);
+    }
+  }
+}
+
+void HttpEndpoint::PumpTimeouts() {
+  const auto now = std::chrono::steady_clock::now();
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (now >= it->second->deadline) {
+      // Too slow, whether mid-request or mid-response: close without
+      // ceremony. A half-open peer cannot hold a slot past the budget.
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void HttpEndpoint::AcceptPending() {
+  while (connections_.size() < static_cast<std::size_t>(kMaxConnections)) {
+    const int raw = ::accept(listen_fd_.get(), nullptr, nullptr);
+    if (raw < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (drained) or a transient error; poll retries.
+    }
+    UniqueFd fd(raw);
+    if (!SetNonBlocking(fd.get()).ok()) continue;  // Closes via RAII.
+    auto conn = std::make_unique<Conn>();
+    const int key = fd.get();
+    conn->fd = std::move(fd);
+    conn->deadline = std::chrono::steady_clock::now() + kRequestTimeout;
+    connections_.emplace(key, std::move(conn));
+  }
+}
+
+void HttpEndpoint::OnReadable(Conn* conn) {
+  char buf[2048];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd.get(), buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->in.append(buf, static_cast<std::size_t>(n));
+      if (conn->in.size() > kMaxRequestBytes) {
+        BeginResponse(conn, HttpResponse{431, "text/plain; charset=utf-8",
+                                         "request too large\n"});
+        return;
+      }
+      if (conn->in.find("\r\n\r\n") != std::string::npos ||
+          conn->in.find("\n\n") != std::string::npos) {
+        BeginResponse(conn, RouteRequest(*conn));
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {
+      // Peer half-closed before completing the request. If a full
+      // request line is there anyway (bare "GET /x HTTP/1.0\n" without
+      // the blank line), answer it; otherwise just drop the socket.
+      if (conn->in.find('\n') != std::string::npos) {
+        BeginResponse(conn, RouteRequest(*conn));
+      } else {
+        conn->responding = true;  // Empty out => erased by the caller.
+      }
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    conn->responding = true;  // Read error: drop.
+    return;
+  }
+}
+
+HttpResponse HttpEndpoint::RouteRequest(const Conn& conn) const {
+  // Request line: METHOD SP TARGET SP VERSION. Tolerate a bare LF line
+  // ending and a missing version (HTTP/0.9-style "GET /path").
+  const std::size_t eol = conn.in.find('\n');
+  std::string line = conn.in.substr(0, eol == std::string::npos
+                                           ? conn.in.size()
+                                           : eol);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos || sp1 == 0) {
+    return HttpResponse{400, "text/plain; charset=utf-8", "bad request\n"};
+  }
+  const std::string method = line.substr(0, sp1);
+  std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) sp2 = line.size();
+  std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (target.empty() || target[0] != '/') {
+    return HttpResponse{400, "text/plain; charset=utf-8", "bad request\n"};
+  }
+  if (method != "GET") {
+    return HttpResponse{405, "text/plain; charset=utf-8",
+                        "only GET is supported\n"};
+  }
+  const std::size_t query = target.find('?');
+  if (query != std::string::npos) target.resize(query);
+
+  HttpRequest request;
+  request.method = method;
+  request.path = std::move(target);
+  const auto it = routes_.find(request.path);
+  if (it == routes_.end()) {
+    return HttpResponse{404, "text/plain; charset=utf-8",
+                        "no such endpoint\n"};
+  }
+  return it->second(request);
+}
+
+void HttpEndpoint::BeginResponse(Conn* conn, const HttpResponse& response) {
+  conn->out = EncodeHttpResponse(response);
+  conn->written = 0;
+  conn->responding = true;
+  OnWritable(conn);  // Opportunistic first flush; poll covers the rest.
+}
+
+void HttpEndpoint::OnWritable(Conn* conn) {
+  while (conn->written < conn->out.size()) {
+    const ssize_t n =
+        ::send(conn->fd.get(), conn->out.data() + conn->written,
+               conn->out.size() - conn->written, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    conn->written = conn->out.size();  // Peer gone: count as flushed.
+    return;
+  }
+}
+
+}  // namespace net
+}  // namespace dpcube

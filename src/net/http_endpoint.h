@@ -1,0 +1,131 @@
+// Copyright 2026 The dpcube Authors.
+//
+// A deliberately minimal HTTP/1.0 observability endpoint — just enough
+// protocol for `curl`, a Prometheus scraper, or a load balancer's
+// health probe, and nothing more. GET only, exact-path routes,
+// Connection: close on every response; no keep-alive, chunking, TLS, or
+// content negotiation.
+//
+// It owns no thread: SocketListener splices the endpoint's fds into its
+// existing poll set each cycle (AppendPollFds / DispatchEvents /
+// PumpTimeouts), so HTTP is served by the network thread between
+// protocol frames and NEVER touches the compute pool — a scrape can
+// observe an overloaded server precisely because it does not queue
+// behind the overload. Handlers therefore must be cheap and
+// non-blocking (render a string, read atomics).
+//
+// Hostility budget: at most kMaxConnections sockets, kMaxRequestBytes
+// of buffered request, and kRequestTimeout of wall time per connection;
+// a peer exceeding any of these is answered (where possible) and
+// closed, without ever stalling the poll loop.
+
+#ifndef DPCUBE_NET_HTTP_ENDPOINT_H_
+#define DPCUBE_NET_HTTP_ENDPOINT_H_
+
+#include <poll.h>
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/fd.h"
+#include "common/status.h"
+
+namespace dpcube {
+namespace net {
+
+struct HttpRequest {
+  std::string method;  ///< Uppercase as sent ("GET").
+  std::string path;    ///< Absolute path with any "?query" stripped.
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class HttpEndpoint {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  static constexpr int kMaxConnections = 32;
+  static constexpr std::size_t kMaxRequestBytes = 8192;
+  static constexpr std::chrono::milliseconds kRequestTimeout{5000};
+
+  /// `listen_address` is "host:port" (port 0 = ephemeral).
+  explicit HttpEndpoint(std::string listen_address);
+  ~HttpEndpoint();
+
+  HttpEndpoint(const HttpEndpoint&) = delete;
+  HttpEndpoint& operator=(const HttpEndpoint&) = delete;
+
+  /// Registers `handler` for exact path `path` ("/metrics"). Handlers
+  /// run on the polling thread; register everything before Start().
+  void AddRoute(const std::string& path, Handler handler);
+
+  /// Binds and listens. After OK, bound_port() is the real port.
+  Status Start();
+
+  std::uint16_t bound_port() const { return bound_port_; }
+  std::string bound_address() const;
+
+  // --- Poll-loop splice (single-threaded with the caller's loop) ---
+
+  /// Appends the listen fd and every live connection's fd (with the
+  /// events each currently needs) to `fds`, remembering the range so
+  /// DispatchEvents can find its entries after poll() returns.
+  void AppendPollFds(std::vector<struct pollfd>* fds);
+
+  /// Consumes the readiness poll() reported for the fds appended by the
+  /// matching AppendPollFds call: accepts, reads, routes, writes, and
+  /// closes as far as each socket allows without blocking.
+  void DispatchEvents(const std::vector<struct pollfd>& fds);
+
+  /// Closes connections that outlived kRequestTimeout. Call once per
+  /// loop cycle; the caller's poll timeout bounds the enforcement lag.
+  void PumpTimeouts();
+
+  /// Live connection count (tests).
+  std::size_t connection_count() const { return connections_.size(); }
+
+ private:
+  struct Conn {
+    UniqueFd fd;
+    std::string in;        ///< Bytes read so far (until CRLFCRLF).
+    std::string out;       ///< Encoded response being flushed.
+    std::size_t written = 0;
+    bool responding = false;  ///< Response built; now write-and-close.
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  void AcceptPending();
+  /// Reads what is available; on a complete (or hopeless) request,
+  /// builds the response and flips the connection to writing.
+  void OnReadable(Conn* conn);
+  void OnWritable(Conn* conn);
+  /// Parses `conn->in` and routes it; any parse failure becomes 400/404/
+  /// 405 — every syntactically complete request gets SOME response.
+  HttpResponse RouteRequest(const Conn& conn) const;
+  void BeginResponse(Conn* conn, const HttpResponse& response);
+
+  const std::string listen_address_;
+  std::string host_;
+  std::uint16_t bound_port_ = 0;
+  UniqueFd listen_fd_;
+  std::map<std::string, Handler> routes_;
+  std::map<int, std::unique_ptr<Conn>> connections_;  ///< By fd.
+  // Range of `fds` this endpoint appended in the current cycle.
+  std::size_t poll_base_ = 0;
+  std::size_t poll_count_ = 0;
+  bool listener_polled_ = false;
+};
+
+}  // namespace net
+}  // namespace dpcube
+
+#endif  // DPCUBE_NET_HTTP_ENDPOINT_H_

@@ -1,10 +1,9 @@
 // Copyright 2026 The dpcube Authors.
 //
 // Server-side observability: lock-free counters plus per-phase latency
-// histograms, snapshotted by the "STATS" protocol verb. Latencies use
-// power-of-two microsecond buckets (one atomic add per sample on the
-// hot path, quantiles reconstructed from bucket counts on read), the
-// standard shape for always-on serving histograms.
+// histograms, snapshotted by the "STATS" protocol verb and exported
+// verbatim on /metrics (the histograms live in common/metrics.h so both
+// consumers read the same buckets — one source of truth).
 //
 // Phases per request frame:
 //   queue — arrival at the network thread to execution start on a pool
@@ -18,32 +17,17 @@
 #ifndef DPCUBE_NET_SERVER_STATS_H_
 #define DPCUBE_NET_SERVER_STATS_H_
 
-#include <array>
 #include <atomic>
 #include <cstdint>
-#include <string>
+
+#include "common/metrics.h"
 
 namespace dpcube {
 namespace net {
 
-/// Thread-safe log2-bucketed latency histogram. Bucket i counts samples
-/// in [2^i, 2^(i+1)) microseconds (bucket 0 also absorbs sub-microsecond
-/// samples; the last bucket absorbs everything above ~2^30 us).
-class LatencyHistogram {
- public:
-  static constexpr int kBuckets = 31;
-
-  void Record(double seconds);
-
-  std::uint64_t count() const;
-
-  /// Approximate p-quantile (0 <= p <= 1) in microseconds: the geometric
-  /// midpoint of the bucket holding the p-th sample. 0 when empty.
-  double QuantileMicros(double p) const;
-
- private:
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-};
+/// The log2-bucketed histogram now lives in common/metrics.h; this alias
+/// keeps every existing net:: call site source-compatible.
+using LatencyHistogram = metrics::LatencyHistogram;
 
 /// Counters owned by the SocketListener; connection/admission counts
 /// live in the AdmissionController and are merged at format time.

@@ -28,21 +28,25 @@ namespace {
 // One snapshot line, shaped like every other protocol response. Takes
 // its collaborators as shared_ptrs so the closure installed into
 // sessions can outlive the listener (a pool task may answer STATS while
-// the server is tearing down).
+// the server is tearing down). `verbs` reads the SAME registry-owned
+// counters /metrics exports, so the two views can never disagree.
 std::string FormatStats(
     const std::shared_ptr<AdmissionController>& admission,
     const std::shared_ptr<ServerStats>& stats,
     const std::shared_ptr<service::MarginalCache>& cache,
-    const std::shared_ptr<service::ReleaseStore>& store) {
+    const std::shared_ptr<service::ReleaseStore>& store,
+    const std::shared_ptr<const service::SessionMetrics>& verbs) {
   const service::CacheStats cs = cache->stats();
-  char line[512];
-  std::snprintf(
+  const double lookups = static_cast<double>(cs.hits + cs.misses);
+  char line[1024];
+  int len = std::snprintf(
       line, sizeof(line),
       "OK STATS conns=%d accepted=%llu rejected=%llu inflight=%d "
       "requests=%llu executed=%llu responses=%llu shed=%llu "
       "quota_denied=%llu releases=%zu cache_hits=%llu cache_misses=%llu "
       "queue_us_p50=%.0f queue_us_p99=%.0f exec_us_p50=%.0f "
-      "exec_us_p99=%.0f total_us_p50=%.0f total_us_p99=%.0f",
+      "exec_us_p99=%.0f total_us_p50=%.0f total_us_p99=%.0f "
+      "rate_denied=%llu cache_hit_rate=%.3f",
       admission->active_connections(),
       static_cast<unsigned long long>(admission->accepted_total()),
       static_cast<unsigned long long>(admission->rejected_connections()),
@@ -62,7 +66,23 @@ std::string FormatStats(
       stats->exec_latency.QuantileMicros(0.5),
       stats->exec_latency.QuantileMicros(0.99),
       stats->total_latency.QuantileMicros(0.5),
-      stats->total_latency.QuantileMicros(0.99));
+      stats->total_latency.QuantileMicros(0.99),
+      static_cast<unsigned long long>(admission->rate_denied()),
+      lookups > 0.0 ? static_cast<double>(cs.hits) / lookups : 0.0);
+  if (verbs && len > 0 && static_cast<std::size_t>(len) < sizeof(line)) {
+    using service::RequestKind;
+    for (const RequestKind kind :
+         {RequestKind::kLoad, RequestKind::kUnload, RequestKind::kList,
+          RequestKind::kQuery, RequestKind::kBatch,
+          RequestKind::kCacheStats}) {
+      len += std::snprintf(
+          line + len, sizeof(line) - static_cast<std::size_t>(len),
+          " verb_%s=%llu", service::VerbName(kind),
+          static_cast<unsigned long long>(
+              verbs->request_count(kind)->value()));
+      if (len <= 0 || static_cast<std::size_t>(len) >= sizeof(line)) break;
+    }
+  }
   return line;
 }
 
@@ -72,9 +92,219 @@ SocketListener::SocketListener(ServerOptions options, ServeContext context)
     : options_(std::move(options)),
       context_(std::move(context)),
       admission_(std::make_shared<AdmissionController>(options_.admission)),
-      stats_(std::make_shared<ServerStats>()) {}
+      stats_(std::make_shared<ServerStats>()),
+      registry_(std::make_shared<metrics::Registry>()),
+      draining_flag_(std::make_shared<std::atomic<bool>>(false)),
+      started_at_(std::chrono::steady_clock::now()) {
+  RegisterServerMetrics();
+}
 
 SocketListener::~SocketListener() = default;
+
+void SocketListener::RegisterServerMetrics() {
+  auto table = service::SessionMetrics::Create(registry_.get());
+  // The no-op deleter's captures pin the registry (and the table's own
+  // control block) for as long as any session holds the pointer table.
+  session_metrics_ = std::shared_ptr<const service::SessionMetrics>(
+      table.get(),
+      [registry = registry_, table](const service::SessionMetrics*) {});
+
+  // Frame-level counters: the ServerStats atomics stay authoritative
+  // (the connections bump them); the registry exports live views.
+  auto stats = stats_;
+  registry_->RegisterCallbackCounter(
+      "dpcube_frames_received_total", "",
+      "Protocol frames received, including shed ones.", [stats] {
+        return static_cast<double>(
+            stats->requests.load(std::memory_order_relaxed));
+      });
+  registry_->RegisterCallbackCounter(
+      "dpcube_frames_executed_total", "",
+      "Protocol frames that reached a session.", [stats] {
+        return static_cast<double>(
+            stats->frames_executed.load(std::memory_order_relaxed));
+      });
+  registry_->RegisterCallbackCounter(
+      "dpcube_responses_total", "", "Response frames enqueued for write.",
+      [stats] {
+        return static_cast<double>(
+            stats->responses.load(std::memory_order_relaxed));
+      });
+  // The per-phase histograms are owned by ServerStats; aliasing
+  // shared_ptrs export them without copying a sample.
+  registry_->RegisterExternalHistogram(
+      "dpcube_frame_latency_microseconds", "phase=\"queue\"",
+      "Frame latency by phase: queue (admission to worker), exec (on the "
+      "worker), total (arrival to response enqueued).",
+      std::shared_ptr<const LatencyHistogram>(stats_,
+                                              &stats_->queue_latency));
+  registry_->RegisterExternalHistogram(
+      "dpcube_frame_latency_microseconds", "phase=\"exec\"", "",
+      std::shared_ptr<const LatencyHistogram>(stats_,
+                                              &stats_->exec_latency));
+  registry_->RegisterExternalHistogram(
+      "dpcube_frame_latency_microseconds", "phase=\"total\"", "",
+      std::shared_ptr<const LatencyHistogram>(stats_,
+                                              &stats_->total_latency));
+
+  // Admission state and spill counters.
+  auto admission = admission_;
+  registry_->RegisterGauge(
+      "dpcube_connections_active", "", "Currently admitted connections.",
+      [admission] {
+        return static_cast<double>(admission->active_connections());
+      });
+  registry_->RegisterCallbackCounter(
+      "dpcube_connections_accepted_total", "",
+      "Connections admitted over the server's lifetime.", [admission] {
+        return static_cast<double>(admission->accepted_total());
+      });
+  registry_->RegisterCallbackCounter(
+      "dpcube_connections_rejected_total", "",
+      "Connections refused at the admission gate.", [admission] {
+        return static_cast<double>(admission->rejected_connections());
+      });
+  registry_->RegisterCallbackCounter(
+      "dpcube_requests_shed_total", "",
+      "Requests shed by in-flight or queue-depth limits.", [admission] {
+        return static_cast<double>(admission->shed_requests());
+      });
+  registry_->RegisterGauge(
+      "dpcube_queue_depth", "",
+      "Admitted-but-unanswered requests across all connections.",
+      [admission] {
+        return static_cast<double>(admission->queued_requests());
+      });
+  registry_->RegisterCallbackCounter(
+      "dpcube_quota_denied_total", "kind=\"lifetime\"",
+      "Query denials by quota kind: lifetime ledger vs sliding-window "
+      "rate.",
+      [admission] { return static_cast<double>(admission->quota_denied()); });
+  registry_->RegisterCallbackCounter(
+      "dpcube_quota_denied_total", "kind=\"rate\"", "",
+      [admission] { return static_cast<double>(admission->rate_denied()); });
+
+  // Cache and store state (the cache's own counters stay authoritative).
+  auto cache = context_.cache;
+  registry_->RegisterCallbackCounter(
+      "dpcube_cache_hits_total", "", "Marginal-cache hits.",
+      [cache] { return static_cast<double>(cache->stats().hits); });
+  registry_->RegisterCallbackCounter(
+      "dpcube_cache_misses_total", "", "Marginal-cache misses.",
+      [cache] { return static_cast<double>(cache->stats().misses); });
+  registry_->RegisterCallbackCounter(
+      "dpcube_cache_evictions_total", "", "Marginal-cache evictions.",
+      [cache] { return static_cast<double>(cache->stats().evictions); });
+  registry_->RegisterGauge(
+      "dpcube_cache_entries", "", "Marginals currently cached.",
+      [cache] { return static_cast<double>(cache->stats().entries); });
+  registry_->RegisterGauge(
+      "dpcube_cache_resident_cells", "",
+      "Cells resident in the marginal cache.",
+      [cache] { return static_cast<double>(cache->stats().cells); });
+  auto store = context_.store;
+  registry_->RegisterGauge(
+      "dpcube_releases_loaded", "", "Releases currently loaded.",
+      [store] { return static_cast<double>(store->size()); });
+
+  // Compute-pool state. The pool outlives the listener (the CLI owns
+  // the process-wide pool), so a raw pointer capture is safe here.
+  if (ThreadPool* pool = context_.pool) {
+    registry_->RegisterGauge(
+        "dpcube_pool_queue_depth", "",
+        "Tasks queued in the compute pool, not yet claimed by a worker.",
+        [pool] { return static_cast<double>(pool->queue_depth()); });
+    registry_->RegisterGauge(
+        "dpcube_pool_busy_workers", "",
+        "Pool workers currently inside a task.",
+        [pool] { return static_cast<double>(pool->busy_workers()); });
+    registry_->RegisterGauge(
+        "dpcube_pool_threads", "",
+        "Total compute threads (workers plus the caller slot).",
+        [pool] { return static_cast<double>(pool->parallelism()); });
+  }
+
+  resource_tracker_ = metrics::RegisterResourceTracker(registry_.get());
+}
+
+void SocketListener::InstallHttpRoutes() {
+  auto registry = registry_;
+  auto http_hits = [registry](const char* path) {
+    return registry->GetCounter("dpcube_http_requests_total",
+                                std::string("path=\"") + path + "\"",
+                                "HTTP observability requests, by path.");
+  };
+  metrics::Counter* metrics_hits = http_hits("/metrics");
+  metrics::Counter* healthz_hits = http_hits("/healthz");
+  metrics::Counter* statusz_hits = http_hits("/statusz");
+
+  http_->AddRoute("/metrics",
+                  [registry, metrics_hits](const HttpRequest&) {
+                    metrics_hits->Increment();
+                    HttpResponse response;
+                    // The exposition-format content type Prometheus
+                    // scrapers expect.
+                    response.content_type =
+                        "text/plain; version=0.0.4; charset=utf-8";
+                    response.body = registry->RenderPrometheus();
+                    return response;
+                  });
+
+  auto draining = draining_flag_;
+  auto admission = admission_;
+  http_->AddRoute(
+      "/healthz",
+      [draining, admission, healthz_hits](const HttpRequest&) {
+        healthz_hits->Increment();
+        HttpResponse response;
+        if (draining->load(std::memory_order_relaxed)) {
+          response.status = 503;
+          response.body = "draining\n";
+        } else if (admission->queued_requests() >=
+                   admission->config().max_queue_depth) {
+          response.status = 503;
+          response.body = "overloaded\n";
+        } else {
+          response.body = "ok\n";
+        }
+        return response;
+      });
+
+  auto store = context_.store;
+  const auto started = started_at_;
+  const std::string protocol_address = bound_address();
+  http_->AddRoute(
+      "/statusz",
+      [store, admission, started, protocol_address,
+       statusz_hits](const HttpRequest&) {
+        statusz_hits->Increment();
+        std::string body = "dpcube serve\n";
+        body += "compiler: " __VERSION__ "\n";
+        body += "protocol: " + protocol_address + "\n";
+        const double uptime =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          started)
+                .count();
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "uptime_seconds: %.1f\n", uptime);
+        body += buf;
+        body += "releases:\n";
+        for (const auto& info : store->List()) {
+          std::snprintf(buf, sizeof(buf), " d=%d cells=%llu\n", info.d,
+                        static_cast<unsigned long long>(info.total_cells));
+          body += "  " + info.name + buf;
+        }
+        body += "quota_ledger:\n";
+        for (const auto& row : admission->QuotaLedger()) {
+          std::snprintf(buf, sizeof(buf), " lifetime=%llu window=%llu\n",
+                        static_cast<unsigned long long>(row.lifetime_used),
+                        static_cast<unsigned long long>(row.window_used));
+          body += "  " + row.release + buf;
+        }
+        return HttpResponse{200, "text/plain; charset=utf-8",
+                            std::move(body)};
+      });
+}
 
 Status SocketListener::Start() {
   DPCUBE_RETURN_NOT_OK(
@@ -85,6 +315,11 @@ Status SocketListener::Start() {
   auto fd = ListenTcp(host_, bound_port_, /*backlog=*/128, &bound_port_);
   if (!fd.ok()) return fd.status();
   listen_fd_ = std::move(fd).value();
+  if (!options_.http_listen_address.empty()) {
+    http_ = std::make_unique<HttpEndpoint>(options_.http_listen_address);
+    DPCUBE_RETURN_NOT_OK(http_->Start());
+    InstallHttpRoutes();  // After both binds so /statusz knows the port.
+  }
   return Status::OK();
 }
 
@@ -92,8 +327,13 @@ std::string SocketListener::bound_address() const {
   return host_ + ":" + std::to_string(bound_port_);
 }
 
+std::string SocketListener::http_bound_address() const {
+  return http_ ? http_->bound_address() : std::string();
+}
+
 std::string SocketListener::FormatStatsLine() const {
-  return FormatStats(admission_, stats_, context_.cache, context_.store);
+  return FormatStats(admission_, stats_, context_.cache, context_.store,
+                     session_metrics_);
 }
 
 void SocketListener::Shutdown() {
@@ -144,10 +384,12 @@ void SocketListener::AcceptPending() {
         options_.max_frame_payload);
     connection->session().SetServerStatsHandler(
         [admission = admission_, stats = stats_, cache = context_.cache,
-         store = context_.store] {
-          return FormatStats(admission, stats, cache, store);
+         store = context_.store, verbs = session_metrics_] {
+          return FormatStats(admission, stats, cache, store, verbs);
         });
-    if (admission_->config().max_queries_per_release > 0) {
+    connection->session().SetMetrics(session_metrics_);
+    if (admission_->config().max_queries_per_release > 0 ||
+        admission_->config().query_rate_limit > 0) {
       connection->session().SetQueryQuotaGate(
           [admission = admission_, store = context_.store](
               const std::string& release, std::string* denial) {
@@ -193,6 +435,10 @@ Result<std::uint64_t> SocketListener::Serve() {
       fds.push_back({fd, events, 0});
       polled.push_back(connection.get());
     }
+    const std::size_t conn_end = fds.size();
+    // HTTP rides the same poll set — even while draining, so health
+    // probes observe the 503 rather than a refused connection.
+    if (http_) http_->AppendPollFds(&fds);
 
     const int rc = ::poll(fds.data(), fds.size(), /*timeout_ms=*/100);
     if (rc < 0 && errno != EINTR) {
@@ -208,6 +454,7 @@ Result<std::uint64_t> SocketListener::Serve() {
     }
     if (!draining && shutdown_now) {
       draining = true;
+      draining_flag_->store(true, std::memory_order_relaxed);
       drain_deadline = Clock::now() + std::chrono::milliseconds(
                                           options_.drain_timeout_ms);
       listen_fd_.reset();  // Stop accepting; refuse new peers at the OS.
@@ -219,14 +466,16 @@ Result<std::uint64_t> SocketListener::Serve() {
     }
 
     if (rc > 0) {
-      for (std::size_t i = conn_base; i < fds.size(); ++i) {
+      for (std::size_t i = conn_base; i < conn_end; ++i) {
         Connection* connection = polled[i - conn_base];
         if (fds[i].revents & (POLLIN | POLLERR | POLLHUP)) {
           connection->OnReadable();
         }
         if (fds[i].revents & POLLOUT) connection->OnWritable();
       }
+      if (http_) http_->DispatchEvents(fds);
     }
+    if (http_) http_->PumpTimeouts();
 
     // Pump everything each cycle: worker completions arrive via the
     // wake pipe, not via socket readiness.

@@ -9,6 +9,14 @@
 // All query execution happens on the ServeContext's ThreadPool; this
 // thread never computes (see connection.h for the exact split).
 //
+// The listener also owns the observability surface: a metrics::Registry
+// every collaborator registers into (per-verb counters and latency from
+// the sessions, callback gauges over admission/cache/pool state, a
+// /proc resource tracker) and — when http_listen_address is set — an
+// HttpEndpoint spliced into the same poll loop serving /metrics,
+// /healthz, and /statusz. HTTP stays polled during drain so probes see
+// the 503 instead of a refused connection.
+//
 // Shutdown is graceful: stop accepting, let every admitted request
 // finish and flush, then return from Serve() — bounded by
 // drain_timeout_ms so a hung peer cannot wedge process exit.
@@ -24,10 +32,13 @@
 #include <string>
 
 #include "common/fd.h"
+#include "common/metrics.h"
 #include "common/status.h"
 #include "net/admission.h"
 #include "net/connection.h"
+#include "net/http_endpoint.h"
 #include "net/server_stats.h"
+#include "service/service_metrics.h"
 
 namespace dpcube {
 namespace net {
@@ -35,6 +46,9 @@ namespace net {
 struct ServerOptions {
   /// "host:port"; port 0 binds an ephemeral port (see bound_port()).
   std::string listen_address = "127.0.0.1:0";
+  /// "host:port" for the HTTP observability endpoint (/metrics,
+  /// /healthz, /statusz); empty disables HTTP entirely.
+  std::string http_listen_address;
   AdmissionConfig admission;
   /// Per-frame payload cap handed to each connection's decoder.
   std::size_t max_frame_payload = std::size_t{1} << 20;
@@ -53,7 +67,8 @@ class SocketListener {
   SocketListener(const SocketListener&) = delete;
   SocketListener& operator=(const SocketListener&) = delete;
 
-  /// Binds and listens. After OK, bound_port() is the real port.
+  /// Binds and listens (the protocol port, and the HTTP port when
+  /// configured). After OK, bound_port()/http_bound_address() are real.
   Status Start();
 
   /// Runs the event loop until Shutdown()/shutdown_fd, then drains.
@@ -66,9 +81,14 @@ class SocketListener {
 
   std::uint16_t bound_port() const { return bound_port_; }
   std::string bound_address() const;
+  /// "" when HTTP is disabled; the real host:port after Start().
+  std::string http_bound_address() const;
 
   const AdmissionController& admission() const { return *admission_; }
   const ServerStats& stats() const { return *stats_; }
+  /// The registry every server metric lives in (valid for the
+  /// listener's lifetime; sessions keep it alive past that).
+  const metrics::Registry& registry() const { return *registry_; }
 
   /// The "OK STATS ..." line the per-connection sessions serve for the
   /// STATS verb (public so the CLI/tests can print the same snapshot).
@@ -78,11 +98,28 @@ class SocketListener {
   /// Accepts until EAGAIN; each accept passes admission or gets a
   /// one-frame BUSY goodbye.
   void AcceptPending();
+  /// Registers every listener-level metric family (frame counters,
+  /// admission gauges, cache/pool/store stats, resource tracker) into
+  /// registry_ and resolves the sessions' per-verb table.
+  void RegisterServerMetrics();
+  /// Installs the /metrics, /healthz, and /statusz routes on http_.
+  void InstallHttpRoutes();
 
   const ServerOptions options_;
   const ServeContext context_;
   std::shared_ptr<AdmissionController> admission_;
   std::shared_ptr<ServerStats> stats_;
+  std::shared_ptr<metrics::Registry> registry_;
+  /// Per-verb pointer table shared by every session; its control block
+  /// keeps registry_ alive, so a pool task finishing after teardown can
+  /// still bump its counters safely.
+  std::shared_ptr<const service::SessionMetrics> session_metrics_;
+  std::shared_ptr<metrics::ResourceTracker> resource_tracker_;
+  std::unique_ptr<HttpEndpoint> http_;
+  /// Set when drain begins; /healthz flips to 503 on it. shared_ptr so
+  /// the health handler outlives nothing it doesn't own.
+  std::shared_ptr<std::atomic<bool>> draining_flag_;
+  std::chrono::steady_clock::time_point started_at_;
   std::shared_ptr<Pipe> wake_pipe_;  ///< Shared with worker closures.
   UniqueFd listen_fd_;
   std::uint16_t bound_port_ = 0;

@@ -2,6 +2,7 @@
 
 #include "service/serve_protocol.h"
 
+#include <chrono>
 #include <istream>
 #include <ostream>
 #include <utility>
@@ -29,21 +30,38 @@ bool ServeSession::ProcessStream(std::istream& in, std::ostream& out,
     const std::vector<std::string> tokens = Tokenize(line);
     if (tokens.empty()) continue;
     const Request request = ParseRequestLine(line, tokens);
+    const auto started = metrics_ ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point();
+    bool quit = false;
     if (request.kind == RequestKind::kBatch) {
       HandleBatch(request, in, out);
     } else if (request.kind == RequestKind::kHello) {
       HandleHello(request, out);
     } else {
-      const Response response = ExecuteRequest(request);
-      EncodeResponse(response, codec(), out);
-      if (request.kind == RequestKind::kQuit) {
-        out.flush();
-        return false;
-      }
+      Emit(ExecuteRequest(request), out);
+      quit = request.kind == RequestKind::kQuit;
+    }
+    if (metrics_) {
+      metrics_->request_count(request.kind)->Increment();
+      metrics_->request_latency(request.kind)
+          ->Record(std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - started)
+                       .count());
+    }
+    if (quit) {
+      out.flush();
+      return false;
     }
     if (flush_each) out.flush();
   }
   return true;
+}
+
+void ServeSession::Emit(const Response& response, std::ostream& out) {
+  if (metrics_ && response.code != ErrorCode::kOk) {
+    metrics_->error_count(response.code)->Increment();
+  }
+  EncodeResponse(response, codec(), out);
 }
 
 void ServeSession::HandleHello(const Request& request, std::ostream& out) {
@@ -147,9 +165,8 @@ void ServeSession::HandleBatch(const Request& request, std::istream& in,
     batch.push_back(std::move(q));
   }
   if (!batch_error.empty()) {
-    EncodeResponse(
-        Response::Error(ErrorCode::kBadRequest, std::move(batch_error)),
-        codec(), out);
+    Emit(Response::Error(ErrorCode::kBadRequest, std::move(batch_error)),
+         out);
     return;
   }
   // Quota-denied sub-queries answer kQuotaExceeded in their ordinal
@@ -172,7 +189,7 @@ void ServeSession::HandleBatch(const Request& request, std::istream& in,
     responses[admitted[j]] = Response::FromQuery(answers[j]);
   }
   for (const Response& response : responses) {
-    EncodeResponse(response, codec(), out);
+    Emit(response, out);
   }
 }
 

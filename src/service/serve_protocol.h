@@ -45,6 +45,7 @@
 #include "service/query_service.h"
 #include "service/release_store.h"
 #include "service/request.h"
+#include "service/service_metrics.h"
 #include "service/wire_codec.h"
 
 namespace dpcube {
@@ -105,6 +106,15 @@ class ServeSession {
     quota_gate_ = std::move(gate);
   }
 
+  /// Installs the per-verb telemetry table (resolved once against the
+  /// server's registry; see service/service_metrics.h). Every processed
+  /// request bumps its verb's counter and latency histogram, and every
+  /// non-kOk response bumps its error-code counter. Unset (CLI mode and
+  /// most tests), the session records nothing.
+  void SetMetrics(std::shared_ptr<const SessionMetrics> metrics) {
+    metrics_ = std::move(metrics);
+  }
+
  private:
   /// Executes one non-batch, non-HELLO typed request.
   Response ExecuteRequest(const Request& request);
@@ -116,6 +126,10 @@ class ServeSession {
                    std::ostream& out);
   /// Quota check for one query; fills `*denied` when the gate refuses.
   bool CheckQuota(const Query& query, Response* denied) const;
+  /// Encodes `response` under the current codec, counting any non-kOk
+  /// code in the error telemetry first. Every response leaves through
+  /// here so the error counters can never miss a path.
+  void Emit(const Response& response, std::ostream& out);
 
   std::shared_ptr<ReleaseStore> store_;
   std::shared_ptr<MarginalCache> cache_;
@@ -123,6 +137,7 @@ class ServeSession {
   const BatchExecutor* executor_;
   std::function<std::string()> server_stats_handler_;
   std::function<bool(const std::string&, std::string*)> quota_gate_;
+  std::shared_ptr<const SessionMetrics> metrics_;
   std::atomic<Codec> codec_{Codec::kText};
 };
 

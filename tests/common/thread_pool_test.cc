@@ -6,6 +6,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <future>
 #include <mutex>
 #include <numeric>
 #include <stdexcept>
@@ -313,6 +314,54 @@ TEST(ThreadPoolTest, SharedPoolSizeIsStickyAndResizeFailsLoudly) {
   // The test-only escape hatch still sweeps sizes.
   ThreadPool::ResetSharedPoolForTests(2);
   EXPECT_EQ(ThreadPool::Shared().parallelism(), 2);
+}
+
+TEST(ThreadPoolTest, QueueDepthAndBusyWorkersObservableUnderBlockedPool) {
+  ThreadPool pool(3);  // 2 workers + the caller slot.
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.busy_workers(), 0);
+
+  // Park both workers on a gate, then pile tasks behind them: the
+  // parked tasks show up as busy workers, the waiting ones as depth.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::atomic<int> parked{0};
+  for (int w = 0; w < 2; ++w) {
+    pool.Submit([gate, &parked] {
+      parked.fetch_add(1);
+      gate.wait();
+    });
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (parked.load() < 2 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(parked.load(), 2);
+  EXPECT_EQ(pool.busy_workers(), 2);
+
+  constexpr int kQueued = 5;
+  std::atomic<int> done{0};
+  for (int i = 0; i < kQueued; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  // Every worker is parked, so nothing can claim the queued tasks yet.
+  EXPECT_EQ(pool.queue_depth(), static_cast<std::size_t>(kQueued));
+  EXPECT_EQ(done.load(), 0);
+
+  release.set_value();
+  while (done.load() < kQueued &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(done.load(), kQueued);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  // Workers are idle again once the drain settles.
+  while (pool.busy_workers() != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(pool.busy_workers(), 0);
 }
 
 }  // namespace

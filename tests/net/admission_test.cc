@@ -1,0 +1,168 @@
+// Copyright 2026 The dpcube Authors.
+//
+// The admission controller's quota ledgers under a deterministic test
+// clock: the lifetime cap, the sliding-window rate cap, their
+// interaction, and the ledger snapshot /statusz renders.
+
+#include "net/admission.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dpcube {
+namespace net {
+namespace {
+
+TEST(AdmissionConfigTest, ClampsRateWindowToSaneRange) {
+  AdmissionConfig config;
+  config.query_rate_window_seconds = 0;
+  EXPECT_EQ(ClampAdmissionConfig(config).query_rate_window_seconds, 1);
+  config.query_rate_window_seconds = 99999;
+  EXPECT_EQ(ClampAdmissionConfig(config).query_rate_window_seconds, 3600);
+  config.query_rate_window_seconds = 60;
+  EXPECT_EQ(ClampAdmissionConfig(config).query_rate_window_seconds, 60);
+}
+
+TEST(AdmissionTest, UnmeteredChargesAlwaysPass) {
+  AdmissionController admission({});
+  std::string denial;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(admission.TryChargeQuery("demo", &denial));
+  }
+  EXPECT_EQ(admission.quota_denied(), 0u);
+  EXPECT_EQ(admission.rate_denied(), 0u);
+  // Unmetered charges keep no ledger at all.
+  EXPECT_TRUE(admission.QuotaLedger().empty());
+}
+
+TEST(AdmissionTest, RateLimitDeniesAtCapAndRecoversAfterWindow) {
+  AdmissionConfig config;
+  config.query_rate_limit = 3;
+  config.query_rate_window_seconds = 10;
+  AdmissionController admission(config);
+  std::uint64_t now = 1000;
+  admission.SetClockForTests([&now] { return now; });
+
+  std::string denial;
+  // Three charges in the same second fill the window.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(admission.TryChargeQuery("demo", &denial)) << i;
+  }
+  EXPECT_FALSE(admission.TryChargeQuery("demo", &denial));
+  EXPECT_NE(denial.find("rate"), std::string::npos) << denial;
+  EXPECT_EQ(admission.rate_denied(), 1u);
+  EXPECT_EQ(admission.quota_denied(), 0u);
+
+  // Mid-window: still full.
+  now = 1005;
+  EXPECT_FALSE(admission.TryChargeQuery("demo", &denial));
+  EXPECT_EQ(admission.rate_denied(), 2u);
+
+  // One second past the window the bucket at t=1000 expires.
+  now = 1010;
+  EXPECT_TRUE(admission.TryChargeQuery("demo", &denial));
+  // Denied charges were not counted against the window: exactly one
+  // charge (the one at t=1010) occupies it, so two more fit.
+  EXPECT_TRUE(admission.TryChargeQuery("demo", &denial));
+  EXPECT_TRUE(admission.TryChargeQuery("demo", &denial));
+  EXPECT_FALSE(admission.TryChargeQuery("demo", &denial));
+}
+
+TEST(AdmissionTest, SlidingWindowExpiresBucketsIndividually) {
+  AdmissionConfig config;
+  config.query_rate_limit = 2;
+  config.query_rate_window_seconds = 10;
+  AdmissionController admission(config);
+  std::uint64_t now = 100;
+  admission.SetClockForTests([&now] { return now; });
+
+  std::string denial;
+  EXPECT_TRUE(admission.TryChargeQuery("demo", &denial));  // t=100
+  now = 105;
+  EXPECT_TRUE(admission.TryChargeQuery("demo", &denial));  // t=105
+  EXPECT_FALSE(admission.TryChargeQuery("demo", &denial));
+  // t=110: the t=100 bucket has aged out, the t=105 one has not — the
+  // window slides, it does not reset wholesale.
+  now = 110;
+  EXPECT_TRUE(admission.TryChargeQuery("demo", &denial));
+  EXPECT_FALSE(admission.TryChargeQuery("demo", &denial));
+  // t=115: now the t=105 bucket is out too, t=110 remains.
+  now = 115;
+  EXPECT_TRUE(admission.TryChargeQuery("demo", &denial));
+  EXPECT_FALSE(admission.TryChargeQuery("demo", &denial));
+}
+
+TEST(AdmissionTest, RateLimitIsPerRelease) {
+  AdmissionConfig config;
+  config.query_rate_limit = 1;
+  config.query_rate_window_seconds = 60;
+  AdmissionController admission(config);
+  std::uint64_t now = 7;
+  admission.SetClockForTests([&now] { return now; });
+
+  std::string denial;
+  EXPECT_TRUE(admission.TryChargeQuery("a", &denial));
+  EXPECT_FALSE(admission.TryChargeQuery("a", &denial));
+  // Release "b" has its own window.
+  EXPECT_TRUE(admission.TryChargeQuery("b", &denial));
+  EXPECT_FALSE(admission.TryChargeQuery("b", &denial));
+  EXPECT_EQ(admission.rate_denied(), 2u);
+}
+
+TEST(AdmissionTest, LifetimeAndRateQuotasComposeAndLedgerReportsBoth) {
+  AdmissionConfig config;
+  config.max_queries_per_release = 4;  // Lifetime.
+  config.query_rate_limit = 2;         // Per 10-second window.
+  config.query_rate_window_seconds = 10;
+  AdmissionController admission(config);
+  std::uint64_t now = 0;
+  admission.SetClockForTests([&now] { return now; });
+
+  std::string denial;
+  EXPECT_TRUE(admission.TryChargeQuery("demo", &denial));
+  EXPECT_TRUE(admission.TryChargeQuery("demo", &denial));
+  // Rate bound hits first; the lifetime ledger is untouched by denials.
+  EXPECT_FALSE(admission.TryChargeQuery("demo", &denial));
+  EXPECT_EQ(admission.rate_denied(), 1u);
+  EXPECT_EQ(admission.quota_used("demo"), 2u);
+
+  auto ledger = admission.QuotaLedger();
+  ASSERT_EQ(ledger.size(), 1u);
+  EXPECT_EQ(ledger[0].release, "demo");
+  EXPECT_EQ(ledger[0].lifetime_used, 2u);
+  EXPECT_EQ(ledger[0].window_used, 2u);
+
+  // New window: two more pass, exhausting the lifetime cap of 4.
+  now = 10;
+  EXPECT_TRUE(admission.TryChargeQuery("demo", &denial));
+  EXPECT_TRUE(admission.TryChargeQuery("demo", &denial));
+  now = 20;
+  // A fresh window, but the lifetime ledger is spent: kQuotaExceeded
+  // with the LIFETIME denial text, counted in quota_denied.
+  EXPECT_FALSE(admission.TryChargeQuery("demo", &denial));
+  EXPECT_NE(denial.find("exhausted"), std::string::npos) << denial;
+  EXPECT_EQ(admission.quota_denied(), 1u);
+  EXPECT_EQ(admission.rate_denied(), 1u);
+
+  ledger = admission.QuotaLedger();
+  ASSERT_EQ(ledger.size(), 1u);
+  EXPECT_EQ(ledger[0].lifetime_used, 4u);
+  EXPECT_EQ(ledger[0].window_used, 0u);  // t=10's bucket aged out at 20.
+}
+
+TEST(AdmissionTest, LifetimeQuotaStillWorksWithoutRateLimit) {
+  AdmissionConfig config;
+  config.max_queries_per_release = 2;
+  AdmissionController admission(config);
+  std::string denial;
+  EXPECT_TRUE(admission.TryChargeQuery("demo", &denial));
+  EXPECT_TRUE(admission.TryChargeQuery("demo", &denial));
+  EXPECT_FALSE(admission.TryChargeQuery("demo", &denial));
+  EXPECT_EQ(admission.quota_denied(), 1u);
+  EXPECT_EQ(admission.quota_used("demo"), 2u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace dpcube

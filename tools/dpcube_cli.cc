@@ -134,13 +134,21 @@ int Usage() {
                "[--max-inflight N]\n"
                "                 [--max-queue N] [--drain-ms N] "
                "[--query-quota N] [--max-frame BYTES]\n"
+               "                 [--query-rate-limit N[/WINDOWs]] "
+               "[--http-listen HOST:PORT]\n"
                "  (--threads T sizes the process-wide pool shared by the "
                "release pipeline\n"
                "   and the serve executor; default: hardware "
                "concurrency.\n"
                "   --listen serves the framed TCP protocol instead of "
                "stdin/stdout;\n"
-               "   port 0 picks an ephemeral port, printed at startup)\n");
+               "   port 0 picks an ephemeral port, printed at startup.\n"
+               "   --http-listen adds an HTTP observability port serving "
+               "/metrics,\n"
+               "   /healthz, and /statusz; --query-rate-limit caps queries "
+               "per release\n"
+               "   over a sliding window, e.g. 100/60s — default window "
+               "60s)\n");
   return 2;
 }
 
@@ -685,6 +693,37 @@ int RunServe(const std::map<std::string, std::string>& flags) {
     }
     options.admission.max_queries_per_release = quota;
   }
+  const auto rate_it = flags.find("query-rate-limit");
+  if (rate_it != flags.end()) {
+    // "N" or "N/WINDOW" with an optional trailing 's' on the window
+    // ("100/60s" = 100 queries per trailing 60 seconds).
+    std::string limit_text = rate_it->second;
+    std::string window_text;
+    const std::size_t slash = limit_text.find('/');
+    if (slash != std::string::npos) {
+      window_text = limit_text.substr(slash + 1);
+      limit_text.resize(slash);
+      if (!window_text.empty() && window_text.back() == 's') {
+        window_text.pop_back();
+      }
+    }
+    std::size_t limit = 0;
+    std::size_t window = 60;
+    if (!ParseSize(limit_text, &limit) || limit == 0 ||
+        (!window_text.empty() &&
+         (!ParseSize(window_text, &window) || window == 0 ||
+          window > 3600))) {
+      std::fprintf(stderr,
+                   "bad --query-rate-limit '%s' (want N or N/WINDOWs, "
+                   "window 1..3600 seconds)\n",
+                   rate_it->second.c_str());
+      return 2;
+    }
+    options.admission.query_rate_limit = limit;
+    options.admission.query_rate_window_seconds = static_cast<int>(window);
+  }
+  const auto http_it = flags.find("http-listen");
+  if (http_it != flags.end()) options.http_listen_address = http_it->second;
   const auto frame_it = flags.find("max-frame");
   if (frame_it != flags.end()) {
     std::size_t max_frame = 0;
@@ -718,6 +757,15 @@ int RunServe(const std::map<std::string, std::string>& flags) {
     quota_note =
         " query-quota=" +
         std::to_string(options.admission.max_queries_per_release);
+  }
+  if (options.admission.query_rate_limit > 0) {
+    quota_note +=
+        " query-rate-limit=" +
+        std::to_string(options.admission.query_rate_limit) + "/" +
+        std::to_string(options.admission.query_rate_window_seconds) + "s";
+  }
+  if (!listener.http_bound_address().empty()) {
+    quota_note += " http=" + listener.http_bound_address();
   }
   std::printf(
       "OK dpcube serve listening on %s (threads=%d max-conns=%d "
