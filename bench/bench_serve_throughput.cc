@@ -22,9 +22,12 @@
 // seconds-per-operation scaled to `time_unit` (lower is better);
 // throughput lands in the `qps` counter.
 
+#include <sys/resource.h>
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -458,6 +461,153 @@ int main(int argc, char** argv) {
     }
     listener.Shutdown();
     serve_thread.join();
+  }
+
+  // Connection-scale serving: a thousand idle connections parked on the
+  // poller fleet while two hot clients keep querying through the crowd.
+  // Idle sockets are pure poll-set weight — this leg measures what that
+  // weight costs the hot path (p50/p99) and how fast the acceptor can
+  // fill the fleet (accept_per_s), with one poller vs four. On a
+  // single-core host the poller counts differ only in coordination
+  // overhead; the rows exist so a multi-core CI run shows the spread.
+  {
+    // The fd budget: 1000 idle conns (bench side + server side) plus
+    // headroom. Raise the soft limit if the hard limit allows; scale
+    // the crowd down honestly if it does not.
+    std::size_t idle_target = 1000;
+    struct rlimit nofile {};
+    if (::getrlimit(RLIMIT_NOFILE, &nofile) == 0) {
+      const rlim_t wanted =
+          static_cast<rlim_t>(2 * idle_target + 256);
+      if (nofile.rlim_cur < wanted) {
+        struct rlimit raised = nofile;
+        raised.rlim_cur = std::min(wanted, nofile.rlim_max);
+        (void)::setrlimit(RLIMIT_NOFILE, &raised);
+        (void)::getrlimit(RLIMIT_NOFILE, &nofile);
+      }
+      if (nofile.rlim_cur < wanted) {
+        idle_target = static_cast<std::size_t>(
+            nofile.rlim_cur > 512 ? (nofile.rlim_cur - 256) / 2 : 128);
+        std::printf(
+            "tcp many-conns: fd limit %llu, scaling idle crowd to %zu\n",
+            static_cast<unsigned long long>(nofile.rlim_cur), idle_target);
+      }
+    }
+    std::printf("tcp many-conns (%zu idle + 2 hot clients, warm cache):\n",
+                idle_target);
+    for (const int pollers : {1, 4}) {
+      ThreadPool pool(4);
+      auto mc_executor =
+          std::make_shared<const service::BatchExecutor>(svc, &pool);
+      net::ServerOptions options;
+      options.net_threads = pollers;
+      options.admission.max_connections =
+          static_cast<int>(idle_target) + 64;
+      net::SocketListener listener(
+          options,
+          net::ServeContext{store, cache, svc, mc_executor, &pool});
+      if (!listener.Start().ok()) {
+        std::fprintf(stderr, "tcp many-conns bench: listen failed\n");
+        return 1;
+      }
+      std::thread serve_thread([&listener] { listener.Serve().ok(); });
+      const std::string address =
+          "127.0.0.1:" + std::to_string(listener.bound_port());
+
+      // Accept phase, timed: fill the fleet in backlog-sized batches,
+      // waiting for the pollers to adopt each batch before the next.
+      std::vector<UniqueFd> idle;
+      idle.reserve(idle_target);
+      bool accept_failed = false;
+      const double accept_seconds = bench::TimeSeconds([&] {
+        while (idle.size() < idle_target && !accept_failed) {
+          const std::size_t batch =
+              std::min<std::size_t>(100, idle_target - idle.size());
+          for (std::size_t i = 0; i < batch; ++i) {
+            auto fd = net::ConnectTcp("127.0.0.1", listener.bound_port());
+            if (!fd.ok()) {
+              accept_failed = true;
+              break;
+            }
+            idle.push_back(std::move(fd).value());
+          }
+          auto pinned = [&listener] {
+            std::size_t total = 0;
+            for (int p = 0; p < listener.net_threads(); ++p) {
+              total += listener.poller_connections(p);
+            }
+            return total;
+          };
+          while (pinned() < idle.size()) {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          }
+        }
+      });
+      if (accept_failed) {
+        std::fprintf(stderr, "tcp many-conns bench: connect failed\n");
+        return 1;
+      }
+      const double accept_per_s =
+          static_cast<double>(idle.size()) / accept_seconds;
+
+      // Hot phase: two clients doing one-shot cell queries through the
+      // idle crowd.
+      const int hot_threads = 2;
+      const int requests_per_thread = 1000;
+      std::vector<double> latencies;
+      std::mutex latencies_mu;
+      std::atomic<int> errors{0};
+      const double seconds = bench::TimeSeconds([&] {
+        std::vector<std::thread> workers;
+        for (int t = 0; t < hot_threads; ++t) {
+          workers.emplace_back([&, t] {
+            auto client = net::Client::Connect(address);
+            if (!client.ok()) {
+              errors.fetch_add(requests_per_thread);
+              return;
+            }
+            std::vector<double> local;
+            local.reserve(static_cast<std::size_t>(requests_per_thread));
+            for (int i = 0; i < requests_per_thread; ++i) {
+              const auto& q = queries[static_cast<std::size_t>(
+                  (t + i) % static_cast<int>(queries.size()))];
+              const std::string request =
+                  "query bench cell " + std::to_string(q.beta) + " 0";
+              std::string payload;
+              const double rtt = bench::TimeSeconds([&] {
+                if (!client.value().Call(request, &payload).ok()) {
+                  errors.fetch_add(1);
+                }
+              });
+              local.push_back(rtt * 1e6);
+            }
+            std::lock_guard<std::mutex> lock(latencies_mu);
+            latencies.insert(latencies.end(), local.begin(), local.end());
+          });
+        }
+        for (auto& w : workers) w.join();
+      });
+      const double total =
+          static_cast<double>(hot_threads) * requests_per_thread;
+      const double p50 = stats::Quantile(latencies, 0.5);
+      const double p99 = stats::Quantile(latencies, 0.99);
+      std::printf(
+          "  pollers=%d: %10.0f q/s  p50=%.0fus p99=%.0fus  "
+          "accepts=%.0f/s  (errors=%d)\n",
+          pollers, total / seconds, p50, p99, accept_per_s, errors.load());
+      report.Add("tcp_many_conns/" + std::to_string(pollers) + "p",
+                 seconds / total,
+                 {{"qps", total / seconds},
+                  {"p50_us", p50},
+                  {"p99_us", p99},
+                  {"accept_per_s", accept_per_s}});
+
+      // Close the crowd before shutdown so drain reaps EOFs instead of
+      // waiting out a thousand linger deadlines.
+      idle.clear();
+      listener.Shutdown();
+      serve_thread.join();
+    }
   }
   if (!benchmark_out.empty() && !report.WriteTo(benchmark_out)) {
     std::fprintf(stderr, "cannot write %s\n", benchmark_out.c_str());

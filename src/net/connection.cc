@@ -32,13 +32,15 @@ Connection::Connection(UniqueFd fd, std::uint64_t id,
                        std::shared_ptr<AdmissionController> admission,
                        std::shared_ptr<ServerStats> stats,
                        std::function<void()> wakeup,
-                       std::size_t max_frame_payload)
+                       std::size_t max_frame_payload,
+                       std::shared_ptr<LingerSet> linger)
     : id_(id),
       fd_(std::move(fd)),
       context_(context),
       admission_(std::move(admission)),
       stats_(std::move(stats)),
       wakeup_(std::move(wakeup)),
+      linger_(std::move(linger)),
       session_(context.store, context.cache, context.service,
                context.executor.get()),
       decoder_(max_frame_payload) {}
@@ -52,15 +54,15 @@ Connection::~Connection() {
   }
   admission_->ReleaseConnection();
   // Graceful goodbye for orderly closes (quit / drain / decode error):
-  // FIN first and discard any bytes the peer already pipelined, because
-  // close() with unread inbound data sends an RST that can destroy the
-  // final flushed response before the peer reads it. Dead sockets skip
-  // this — an RST is exactly right for a slow-consumer drop.
-  if (fd_.valid() && !dead_) {
-    ::shutdown(fd_.get(), SHUT_WR);
-    char discard[4096];
-    while (::recv(fd_.get(), discard, sizeof(discard), 0) > 0) {
-    }
+  // the fd moves to the owning poller's linger set, which FINs and then
+  // waits (bounded) for the peer's FIN before closing — close() with
+  // unread pipelined input would RST and could destroy the final
+  // flushed response before the peer reads it. Dead sockets skip this —
+  // an RST is exactly right for a slow-consumer drop. This destructor
+  // may run on a pool worker (a task holding the last reference), which
+  // is why LingerSet::Add is thread-safe.
+  if (fd_.valid() && !dead_ && linger_) {
+    linger_->Add(std::move(fd_));
   }
 }
 

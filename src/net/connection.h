@@ -4,7 +4,8 @@
 // request slots, the write buffer, and a private ServeSession. The
 // design splits work rigidly between two kinds of threads:
 //
-//   network thread (the SocketListener's poll loop) — reads bytes,
+//   network thread (the owning Poller's loop — each connection is
+//     pinned to exactly one poller for its lifetime) — reads bytes,
 //     decodes frames, runs admission, dispatches slots, flushes
 //     completed responses, closes the socket. Never computes.
 //   pool workers (ThreadPool::Shared via the ServeContext) — execute
@@ -35,6 +36,7 @@
 #include "common/thread_pool.h"
 #include "net/admission.h"
 #include "net/framing.h"
+#include "net/linger.h"
 #include "net/server_stats.h"
 #include "service/serve_protocol.h"
 
@@ -59,12 +61,17 @@ struct ServeContext {
 class Connection : public std::enable_shared_from_this<Connection> {
  public:
   /// `wakeup` must be callable from any thread for as long as any
-  /// Connection or its in-flight pool tasks exist (the listener hands
-  /// out a closure over a shared self-pipe).
+  /// Connection or its in-flight pool tasks exist (the owning poller
+  /// hands out a closure over its shared wake pipe). `linger` is the
+  /// owning poller's linger set: on an orderly close the destructor
+  /// parks the fd there so the final flushed response survives
+  /// pipelined input (see linger.h); nullptr falls back to a plain
+  /// close.
   Connection(UniqueFd fd, std::uint64_t id, const ServeContext& context,
              std::shared_ptr<AdmissionController> admission,
              std::shared_ptr<ServerStats> stats,
-             std::function<void()> wakeup, std::size_t max_frame_payload);
+             std::function<void()> wakeup, std::size_t max_frame_payload,
+             std::shared_ptr<LingerSet> linger = nullptr);
   ~Connection();
 
   Connection(const Connection&) = delete;
@@ -141,6 +148,7 @@ class Connection : public std::enable_shared_from_this<Connection> {
   std::shared_ptr<AdmissionController> admission_;
   std::shared_ptr<ServerStats> stats_;
   const std::function<void()> wakeup_;
+  const std::shared_ptr<LingerSet> linger_;
   service::ServeSession session_;
   FrameDecoder decoder_;
 

@@ -72,13 +72,16 @@ void HttpEndpoint::AppendPollFds(std::vector<struct pollfd>* fds) {
   poll_base_ = fds->size();
   listener_polled_ = listen_fd_.valid() &&
                      connections_.size() <
-                         static_cast<std::size_t>(kMaxConnections);
+                         static_cast<std::size_t>(kMaxConnections) &&
+                     std::chrono::steady_clock::now() >=
+                         accept_retry_after_;
   if (listener_polled_) fds->push_back({listen_fd_.get(), POLLIN, 0});
   for (const auto& [fd, conn] : connections_) {
     fds->push_back(
         {fd, static_cast<short>(conn->responding ? POLLOUT : POLLIN), 0});
   }
   poll_count_ = fds->size() - poll_base_;
+  linger_.AppendPollFds(fds);  // Tracks its own range past ours.
 }
 
 void HttpEndpoint::DispatchEvents(const std::vector<struct pollfd>& fds) {
@@ -102,16 +105,15 @@ void HttpEndpoint::DispatchEvents(const std::vector<struct pollfd>& fds) {
     if (!conn->responding && (revents & POLLIN)) OnReadable(conn);
     if (conn->responding && (revents & (POLLOUT | POLLIN))) OnWritable(conn);
     if (conn->responding && conn->written >= conn->out.size()) {
-      // FIN first and drain whatever the peer already buffered: closing
-      // with unread inbound bytes (an early answer to an oversized
-      // request) would RST and could destroy the response in flight.
-      ::shutdown(conn->fd.get(), SHUT_WR);
-      char discard[4096];
-      while (::recv(conn->fd.get(), discard, sizeof(discard), 0) > 0) {
-      }
+      // Lingering close: FIN first and wait (bounded, polled) for the
+      // peer's FIN before closing, so an early answer to a request the
+      // peer is still sending (431, bare request line) is never
+      // destroyed by the RST a close-with-unread-bytes would send.
+      if (!conn->out.empty()) linger_.Add(std::move(conn->fd));
       connections_.erase(it);
     }
   }
+  linger_.DispatchEvents(fds);
 }
 
 void HttpEndpoint::PumpTimeouts() {
@@ -125,6 +127,7 @@ void HttpEndpoint::PumpTimeouts() {
       ++it;
     }
   }
+  linger_.PumpTimeouts();
 }
 
 void HttpEndpoint::AcceptPending() {
@@ -132,6 +135,15 @@ void HttpEndpoint::AcceptPending() {
     const int raw = ::accept(listen_fd_.get(), nullptr, nullptr);
     if (raw < 0) {
       if (errno == EINTR) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Fd/memory exhaustion: the pending connection stays in the
+        // backlog and the listener stays readable, so back off instead
+        // of spinning on accept failures (mirrors the protocol
+        // listener's accept_retry_after_).
+        accept_retry_after_ = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(100);
+      }
       return;  // EAGAIN (drained) or a transient error; poll retries.
     }
     UniqueFd fd(raw);

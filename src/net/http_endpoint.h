@@ -34,6 +34,7 @@
 
 #include "common/fd.h"
 #include "common/status.h"
+#include "net/linger.h"
 
 namespace dpcube {
 namespace net {
@@ -92,6 +93,16 @@ class HttpEndpoint {
 
   /// Live connection count (tests).
   std::size_t connection_count() const { return connections_.size(); }
+  /// Fds in lingering close, FIN sent and waiting for the peer's
+  /// (tests).
+  std::size_t lingering_count() const { return linger_.size(); }
+
+  /// Forces the accept-backoff window (tests exercise the EMFILE path
+  /// without exhausting real fds).
+  void set_accept_retry_after_for_tests(
+      std::chrono::steady_clock::time_point instant) {
+    accept_retry_after_ = instant;
+  }
 
  private:
   struct Conn {
@@ -119,10 +130,18 @@ class HttpEndpoint {
   UniqueFd listen_fd_;
   std::map<std::string, Handler> routes_;
   std::map<int, std::unique_ptr<Conn>> connections_;  ///< By fd.
+  /// Fully-responded sockets waiting out their FIN-before-close grace
+  /// (see linger.h); spliced into the same poll cycle.
+  LingerSet linger_;
   // Range of `fds` this endpoint appended in the current cycle.
   std::size_t poll_base_ = 0;
   std::size_t poll_count_ = 0;
   bool listener_polled_ = false;
+  /// After accept() fails on fd/memory exhaustion, the listen fd is
+  /// left out of the poll set until this instant — the same 100ms
+  /// backoff the protocol listener applies, because a level-triggered
+  /// readable listener we cannot accept from would busy-spin the loop.
+  std::chrono::steady_clock::time_point accept_retry_after_{};
 };
 
 }  // namespace net

@@ -1,0 +1,93 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "net/linger.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace dpcube {
+namespace net {
+
+bool LingerSet::DrainToEof(int fd) {
+  char discard[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, discard, sizeof(discard), 0);
+    if (n > 0) continue;
+    if (n == 0) return true;  // Peer FIN: receive buffer is empty now.
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
+    return true;  // Real error; nothing left to protect.
+  }
+}
+
+void LingerSet::Add(UniqueFd fd) {
+  if (!fd.valid()) return;
+  ::shutdown(fd.get(), SHUT_WR);  // FIN rides behind the flushed bytes.
+  if (DrainToEof(fd.get())) return;  // Peer already FIN'd: close via RAII.
+  const auto deadline = std::chrono::steady_clock::now() + timeout_;
+  std::lock_guard<std::mutex> lock(mu_);
+  const int key = fd.get();
+  entries_[key] = Entry{std::move(fd), deadline};
+}
+
+void LingerSet::AppendPollFds(std::vector<struct pollfd>* fds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  poll_base_ = fds->size();
+  for (const auto& [fd, entry] : entries_) {
+    fds->push_back({fd, POLLIN, 0});
+  }
+  poll_count_ = fds->size() - poll_base_;
+}
+
+void LingerSet::DispatchEvents(const std::vector<struct pollfd>& fds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t end = poll_base_ + poll_count_;
+  for (std::size_t i = poll_base_; i < end && i < fds.size(); ++i) {
+    if (!(fds[i].revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL))) {
+      continue;
+    }
+    const auto it = entries_.find(fds[i].fd);
+    if (it == entries_.end()) continue;  // Added after the append; skip.
+    if (DrainToEof(it->second.fd.get())) entries_.erase(it);
+  }
+}
+
+void LingerSet::PumpTimeouts() {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (now >= it->second.deadline) {
+      // The peer never FIN'd inside the window: close anyway (a
+      // possible RST, but bounded — the linger is a grace period, not
+      // a hostage situation).
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void LingerSet::DrainBlocking() {
+  for (;;) {
+    std::vector<struct pollfd> fds;
+    AppendPollFds(&fds);
+    if (fds.empty()) return;
+    // Short slices keep the deadline enforcement responsive even if
+    // the peer trickles bytes without ever closing.
+    const int rc = ::poll(fds.data(), fds.size(), /*timeout_ms=*/50);
+    if (rc < 0 && errno != EINTR) return;
+    if (rc > 0) DispatchEvents(fds);
+    PumpTimeouts();
+  }
+}
+
+std::size_t LingerSet::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace net
+}  // namespace dpcube

@@ -1,0 +1,109 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Bounded lingering close for sockets that owe the peer already-flushed
+// bytes. Calling close() on a TCP socket whose receive buffer still
+// holds unread data makes the kernel send an RST — and an RST can
+// destroy data the peer has not read yet, including the final response
+// or BUSY goodbye this server just flushed. The historical "fix" was
+//
+//   ::shutdown(fd, SHUT_WR);
+//   while (::recv(fd, buf, sizeof(buf), 0) > 0) {}
+//   ::close(fd);
+//
+// which is a no-op on the non-blocking sockets this server uses: recv
+// returns EAGAIN immediately, the loop exits, and the close-with-unread
+// -data RST happens anyway whenever the peer pipelined past the goodbye.
+//
+// A LingerSet upholds the contract for real, without blocking the event
+// loop: Add() sends the FIN (SHUT_WR) and parks the fd in a small set
+// the owning poll loop keeps readable; inbound bytes are read and
+// discarded until the peer FINs in turn (recv returns 0) — only then is
+// the socket closed, with an empty receive buffer and no RST. A peer
+// that never FINs is cut off at a deadline (default 1s), so a hostile
+// client can hold at most one fd for one linger window.
+//
+// Threading: Add() is safe from any thread (a Connection's destructor
+// may run on a pool worker holding the last reference); the poll-splice
+// methods (AppendPollFds / DispatchEvents / PumpTimeouts /
+// DrainBlocking) must all be called from the single owning loop thread.
+
+#ifndef DPCUBE_NET_LINGER_H_
+#define DPCUBE_NET_LINGER_H_
+
+#include <poll.h>
+
+#include <chrono>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/fd.h"
+
+namespace dpcube {
+namespace net {
+
+/// How long a lingering socket may wait for the peer's FIN.
+inline constexpr std::chrono::milliseconds kLingerTimeout{1000};
+
+class LingerSet {
+ public:
+  explicit LingerSet(std::chrono::milliseconds timeout = kLingerTimeout)
+      : timeout_(timeout) {}
+  /// Closes every still-lingering fd (a set destroyed mid-linger gives
+  /// up the no-RST guarantee; callers that care run DrainBlocking
+  /// first).
+  ~LingerSet() = default;
+
+  LingerSet(const LingerSet&) = delete;
+  LingerSet& operator=(const LingerSet&) = delete;
+
+  /// Half-closes `fd` (FIN after everything already written) and parks
+  /// it until the peer FINs or the deadline passes. May close
+  /// immediately when the peer's FIN already arrived. Thread-safe.
+  void Add(UniqueFd fd);
+
+  // --- Poll-loop splice (owner thread only; same shape as
+  // HttpEndpoint's) ---
+
+  /// Appends every lingering fd with POLLIN interest.
+  void AppendPollFds(std::vector<struct pollfd>* fds);
+
+  /// Consumes readiness for the fds appended by the matching
+  /// AppendPollFds call: discards inbound bytes, closes on FIN/error.
+  void DispatchEvents(const std::vector<struct pollfd>& fds);
+
+  /// Closes entries whose deadline passed. Call once per loop cycle.
+  void PumpTimeouts();
+
+  /// Loop epilogue: polls the remaining entries by itself until all are
+  /// closed or timed out, so sockets still lingering when the owning
+  /// loop exits keep their no-RST guarantee. Bounded by the per-entry
+  /// deadlines (worst case one full linger timeout).
+  void DrainBlocking();
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+
+ private:
+  struct Entry {
+    UniqueFd fd;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  /// Reads-and-discards until EAGAIN. True when the fd is finished
+  /// (peer FIN or error) and should be closed.
+  static bool DrainToEof(int fd);
+
+  const std::chrono::milliseconds timeout_;
+  mutable std::mutex mu_;
+  std::map<int, Entry> entries_;
+  // Range of `fds` this set appended in the current cycle.
+  std::size_t poll_base_ = 0;
+  std::size_t poll_count_ = 0;
+};
+
+}  // namespace net
+}  // namespace dpcube
+
+#endif  // DPCUBE_NET_LINGER_H_

@@ -1,0 +1,153 @@
+// Copyright 2026 The dpcube Authors.
+//
+// One event-loop poller thread of the multi-poller front end. The
+// SocketListener's accept loop admits sockets and hands each resulting
+// Connection to one Poller chosen round-robin; from that moment the
+// connection is PINNED to that poller for its whole life — the poller's
+// thread is the only "network thread" that ever touches its read/decode
+// /dispatch/flush state, so the single-threaded discipline connection.h
+// documents still holds, just per poller instead of per process.
+//
+// Each poller owns:
+//   * a wake pipe — pool workers finishing a response (and the acceptor
+//     handing off a socket, and drain) poke it to interrupt poll();
+//   * the connections_ map for its pinned connections;
+//   * a LingerSet, shared with its connections, so a closing connection
+//     parks its fd there and this loop polls it to FIN (see linger.h);
+//   * optionally (poller 0 only) the HTTP observability endpoint,
+//     spliced into the loop exactly as it was spliced into the old
+//     single poll loop.
+//
+// Compute still never runs here: sessions execute on the ServeContext's
+// ThreadPool, and a poller blocked in poll() costs nothing. Cross-
+// thread handoff of a new connection goes through a mutex-guarded inbox
+// (adopted at the top of each cycle), which is also the happens-before
+// edge that publishes the Connection's construction to the poller
+// thread.
+//
+// Drain: the acceptor broadcasts BeginDrain(deadline) to every poller;
+// each drains its own connections (stop reading, finish admitted work,
+// flush, linger-close) and exits when they are gone or the deadline
+// passes. A poller carrying the HTTP endpoint keeps serving probes
+// until the acceptor calls RequestStop() after the other pollers have
+// drained — so /healthz returns the 503 for the whole drain window
+// instead of a refused connection.
+
+#ifndef DPCUBE_NET_POLLER_H_
+#define DPCUBE_NET_POLLER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/fd.h"
+#include "common/status.h"
+#include "net/connection.h"
+#include "net/http_endpoint.h"
+#include "net/linger.h"
+
+namespace dpcube {
+namespace net {
+
+class Poller {
+ public:
+  explicit Poller(int id);
+  /// Joins the thread if the owner never drained it (sets an immediate
+  /// deadline first, so destruction is bounded).
+  ~Poller();
+
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  int id() const { return id_; }
+
+  /// Creates the wake pipe and spawns the loop thread. Call once.
+  Status Start();
+
+  /// Hands a freshly admitted connection to this poller (acceptor
+  /// thread). The connection must have been built with this poller's
+  /// MakeWakeup() closure and linger() set.
+  void Adopt(std::shared_ptr<Connection> connection);
+
+  /// Splices `http` into this poller's loop (poller 0). Set before
+  /// Start(); `http` must outlive the poller thread.
+  void AttachHttp(HttpEndpoint* http) { http_ = http; }
+
+  /// Thread-safe: stop reading, finish admitted work, flush, exit by
+  /// `deadline` at the latest. Idempotent.
+  void BeginDrain(std::chrono::steady_clock::time_point deadline);
+
+  /// Lets a drained HTTP-carrying poller exit (see file comment).
+  /// No-op for pollers without the endpoint.
+  void RequestStop();
+
+  void Join();
+
+  /// A closure any thread may call to interrupt this poller's poll()
+  /// (valid after Start(); safe to call for as long as the returned
+  /// copy of the pipe lives, even past the poller itself).
+  std::function<void()> MakeWakeup() const;
+
+  /// The linger set this poller polls; connections park closing fds
+  /// here. Shared so a connection destroyed after the poller (a pool
+  /// task holding the last reference) still has somewhere safe to put
+  /// its fd — the set then closes it on destruction.
+  const std::shared_ptr<LingerSet>& linger() const { return linger_; }
+
+  /// Connections currently pinned here (relaxed; exported as the
+  /// dpcube_poller_connections{poller=} gauge). The counting atomic is
+  /// shared so the metrics registry can outlive the poller.
+  const std::shared_ptr<std::atomic<std::size_t>>& connection_gauge()
+      const {
+    return connection_count_;
+  }
+  std::size_t connection_count() const {
+    return connection_count_->load(std::memory_order_relaxed);
+  }
+
+  /// Connections ever handed to this poller (round-robin visibility).
+  const std::shared_ptr<std::atomic<std::uint64_t>>& adopted_counter()
+      const {
+    return adopted_total_;
+  }
+  std::uint64_t adopted_total() const {
+    return adopted_total_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Run();
+  void Wake() const;
+
+  const int id_;
+  std::shared_ptr<Pipe> wake_pipe_;  ///< Shared with wakeup closures.
+  std::shared_ptr<LingerSet> linger_ = std::make_shared<LingerSet>();
+  HttpEndpoint* http_ = nullptr;
+  std::thread thread_;
+
+  // Acceptor -> poller handoff (and drain signalling).
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Connection>> inbox_;  ///< Guarded by mu_.
+  std::chrono::steady_clock::time_point drain_deadline_;  ///< By mu_.
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stop_requested_{false};
+
+  // Loop-thread-only state.
+  std::map<int, std::shared_ptr<Connection>> connections_;  ///< By fd.
+
+  std::shared_ptr<std::atomic<std::size_t>> connection_count_ =
+      std::make_shared<std::atomic<std::size_t>>(0);
+  std::shared_ptr<std::atomic<std::uint64_t>> adopted_total_ =
+      std::make_shared<std::atomic<std::uint64_t>>(0);
+};
+
+}  // namespace net
+}  // namespace dpcube
+
+#endif  // DPCUBE_NET_POLLER_H_

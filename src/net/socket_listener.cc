@@ -12,6 +12,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -88,6 +89,16 @@ std::string FormatStats(
 
 }  // namespace
 
+int ResolveNetThreads(int net_threads) {
+  int resolved = net_threads;
+  if (resolved <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    resolved = static_cast<int>(hw < 1 ? 1 : (hw > 4 ? 4 : hw));
+  }
+  if (resolved > 64) resolved = 64;
+  return resolved;
+}
+
 SocketListener::SocketListener(ServerOptions options, ServeContext context)
     : options_(std::move(options)),
       context_(std::move(context)),
@@ -95,7 +106,13 @@ SocketListener::SocketListener(ServerOptions options, ServeContext context)
       stats_(std::make_shared<ServerStats>()),
       registry_(std::make_shared<metrics::Registry>()),
       draining_flag_(std::make_shared<std::atomic<bool>>(false)),
-      started_at_(std::chrono::steady_clock::now()) {
+      started_at_(std::chrono::steady_clock::now()),
+      busy_linger_(std::make_shared<LingerSet>()) {
+  const int pollers = ResolveNetThreads(options_.net_threads);
+  pollers_.reserve(static_cast<std::size_t>(pollers));
+  for (int i = 0; i < pollers; ++i) {
+    pollers_.push_back(std::make_unique<Poller>(i));
+  }
   RegisterServerMetrics();
 }
 
@@ -222,6 +239,36 @@ void SocketListener::RegisterServerMetrics() {
         "dpcube_pool_threads", "",
         "Total compute threads (workers plus the caller slot).",
         [pool] { return static_cast<double>(pool->parallelism()); });
+  }
+
+  // Per-poller connection gauges. The counting atomics are shared with
+  // the pollers, so a registry outliving the listener (sessions pin it)
+  // still reads from live memory.
+  registry_->RegisterGauge(
+      "dpcube_net_pollers", "", "Event-loop poller threads serving "
+      "protocol connections (--net-threads).",
+      [n = pollers_.size()] { return static_cast<double>(n); });
+  for (const auto& poller : pollers_) {
+    const std::string label =
+        "poller=\"" + std::to_string(poller->id()) + "\"";
+    registry_->RegisterGauge(
+        "dpcube_poller_connections", label,
+        poller->id() == 0
+            ? "Connections currently pinned to each poller thread."
+            : "",
+        [count = poller->connection_gauge()] {
+          return static_cast<double>(
+              count->load(std::memory_order_relaxed));
+        });
+    registry_->RegisterCallbackCounter(
+        "dpcube_poller_connections_adopted_total", label,
+        poller->id() == 0
+            ? "Connections ever handed to each poller (round-robin)."
+            : "",
+        [total = poller->adopted_counter()] {
+          return static_cast<double>(
+              total->load(std::memory_order_relaxed));
+        });
   }
 
   resource_tracker_ = metrics::RegisterResourceTracker(registry_.get());
@@ -363,25 +410,25 @@ void SocketListener::AcceptPending() {
 
     std::string busy_reason;
     if (!admission_->TryAdmitConnection(&busy_reason)) {
-      // One structured goodbye, then close. The socket is fresh, so the
-      // tiny frame fits the send buffer even non-blocking. FIN first and
-      // drain whatever the client already pipelined: close() with unread
-      // inbound bytes would turn into an RST that could destroy the
-      // goodbye before the client reads it.
+      // One structured goodbye, then a lingering close. The socket is
+      // fresh, so the tiny frame always fits the empty send buffer even
+      // non-blocking (a failed send still linger-closes; there is
+      // nothing more to say to a peer we cannot write). The linger set
+      // holds the FIN-before-close contract a pipelining client needs:
+      // close() with unread inbound bytes would turn into an RST that
+      // could destroy the goodbye before the client reads it.
       const std::string frame = EncodeFrame("BUSY " + busy_reason + "\n");
-      ::send(fd.get(), frame.data(), frame.size(), MSG_NOSIGNAL);
-      ::shutdown(fd.get(), SHUT_WR);
-      char discard[4096];
-      while (::recv(fd.get(), discard, sizeof(discard), 0) > 0) {
-      }
+      (void)::send(fd.get(), frame.data(), frame.size(), MSG_NOSIGNAL);
+      busy_linger_->Add(std::move(fd));
       continue;
     }
 
-    auto wake_pipe = wake_pipe_;
+    // Pin the connection to the next poller round-robin: its wake pipe
+    // carries worker completions, its linger set the eventual close.
+    Poller& poller = *pollers_[next_poller_++ % pollers_.size()];
     auto connection = std::make_shared<Connection>(
         std::move(fd), next_connection_id_++, context_, admission_, stats_,
-        [wake_pipe] { WriteWakeByte(wake_pipe->write_end.get()); },
-        options_.max_frame_payload);
+        poller.MakeWakeup(), options_.max_frame_payload, poller.linger());
     connection->session().SetServerStatsHandler(
         [admission = admission_, stats = stats_, cache = context_.cache,
          store = context_.store, verbs = session_metrics_] {
@@ -400,7 +447,7 @@ void SocketListener::AcceptPending() {
             return admission->TryChargeQuery(release, denial);
           });
     }
-    connections_.emplace(connection->fd(), std::move(connection));
+    poller.Adopt(std::move(connection));
   }
 }
 
@@ -409,40 +456,50 @@ Result<std::uint64_t> SocketListener::Serve() {
     return Status::FailedPrecondition("Serve() before Start()");
   }
   using Clock = std::chrono::steady_clock;
+
+  // Spawn the poller fleet. HTTP rides poller 0's loop (and stays
+  // polled through drain, so probes observe the 503 rather than a
+  // refused connection).
+  if (http_) pollers_[0]->AttachHttp(http_.get());
+  for (auto& poller : pollers_) {
+    const Status started = poller->Start();
+    if (!started.ok()) {
+      // Unwind whatever did start so no thread outlives Serve().
+      const auto now = Clock::now();
+      for (auto& p : pollers_) {
+        p->BeginDrain(now);
+        p->RequestStop();
+        p->Join();
+      }
+      return started;
+    }
+  }
+
+  // The accept loop: the listen fd, the shutdown plumbing, and the
+  // lingering closes of refused (BUSY) peers. Everything admitted lives
+  // on a poller.
+  Status failure = Status::OK();
   bool draining = false;
   Clock::time_point drain_deadline;
-
   for (;;) {
     std::vector<struct pollfd> fds;
-    std::vector<Connection*> polled;  // Parallel to fds from index base.
     fds.push_back({wake_pipe_->read_end.get(), POLLIN, 0});
     // The external shutdown fd is level-triggered and deliberately never
-    // drained, so it must leave the poll set once draining starts or
-    // every poll() would return instantly and busy-spin the drain
-    // window.
-    const bool poll_shutdown_fd = options_.shutdown_fd >= 0 && !draining;
+    // drained, so a second readable edge must end the loop, not spin it.
+    const bool poll_shutdown_fd = options_.shutdown_fd >= 0;
     if (poll_shutdown_fd) {
       fds.push_back({options_.shutdown_fd, POLLIN, 0});
     }
-    const bool poll_listener =
-        !draining && Clock::now() >= accept_retry_after_;
+    const bool poll_listener = Clock::now() >= accept_retry_after_;
     const std::size_t listen_index = fds.size();
     if (poll_listener) fds.push_back({listen_fd_.get(), POLLIN, 0});
-    const std::size_t conn_base = fds.size();
-    for (auto& [fd, connection] : connections_) {
-      const short events = connection->PollEvents();
-      if (events == 0) continue;  // Blocked on a worker; wake pipe covers it.
-      fds.push_back({fd, events, 0});
-      polled.push_back(connection.get());
-    }
-    const std::size_t conn_end = fds.size();
-    // HTTP rides the same poll set — even while draining, so health
-    // probes observe the 503 rather than a refused connection.
-    if (http_) http_->AppendPollFds(&fds);
+    busy_linger_->AppendPollFds(&fds);
 
     const int rc = ::poll(fds.data(), fds.size(), /*timeout_ms=*/100);
     if (rc < 0 && errno != EINTR) {
-      return Status::Internal(std::string("poll: ") + ::strerror(errno));
+      failure =
+          Status::Internal(std::string("poll: ") + ::strerror(errno));
+      break;
     }
 
     if (fds[0].revents & POLLIN) {
@@ -452,48 +509,42 @@ Result<std::uint64_t> SocketListener::Serve() {
     if (poll_shutdown_fd && (fds[1].revents & POLLIN)) {
       shutdown_now = true;  // Level-triggered; deliberately not drained.
     }
-    if (!draining && shutdown_now) {
+    if (shutdown_now) {
       draining = true;
       draining_flag_->store(true, std::memory_order_relaxed);
       drain_deadline = Clock::now() + std::chrono::milliseconds(
                                           options_.drain_timeout_ms);
       listen_fd_.reset();  // Stop accepting; refuse new peers at the OS.
-      for (auto& [fd, connection] : connections_) connection->BeginDrain();
-    }
-    if (poll_listener && !draining &&
-        (fds[listen_index].revents & POLLIN)) {
-      AcceptPending();
-    }
-
-    if (rc > 0) {
-      for (std::size_t i = conn_base; i < conn_end; ++i) {
-        Connection* connection = polled[i - conn_base];
-        if (fds[i].revents & (POLLIN | POLLERR | POLLHUP)) {
-          connection->OnReadable();
-        }
-        if (fds[i].revents & POLLOUT) connection->OnWritable();
-      }
-      if (http_) http_->DispatchEvents(fds);
-    }
-    if (http_) http_->PumpTimeouts();
-
-    // Pump everything each cycle: worker completions arrive via the
-    // wake pipe, not via socket readiness.
-    for (auto it = connections_.begin(); it != connections_.end();) {
-      it->second->Pump();
-      if (it->second->Finished()) {
-        it = connections_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-
-    if (draining &&
-        (connections_.empty() || Clock::now() >= drain_deadline)) {
+      for (auto& poller : pollers_) poller->BeginDrain(drain_deadline);
       break;
     }
+    if (poll_listener && (fds[listen_index].revents & POLLIN)) {
+      AcceptPending();
+    }
+    if (rc > 0) busy_linger_->DispatchEvents(fds);
+    busy_linger_->PumpTimeouts();
   }
-  connections_.clear();
+
+  if (!failure.ok() && !draining) {
+    // The accept loop died: drain the fleet with an immediate deadline
+    // so no poller thread outlives the error return.
+    draining_flag_->store(true, std::memory_order_relaxed);
+    const auto now = Clock::now();
+    for (auto& poller : pollers_) poller->BeginDrain(now);
+  }
+
+  // Shared drain barrier: every plain poller exits once its connections
+  // are answered, flushed, and linger-closed (or the deadline passes);
+  // the HTTP-carrying poller is released last so probes stay answered
+  // through the whole drain window.
+  for (auto& poller : pollers_) {
+    if (http_ && poller->id() == 0) continue;
+    poller->Join();
+  }
+  pollers_[0]->RequestStop();
+  pollers_[0]->Join();
+  busy_linger_->DrainBlocking();
+  if (!failure.ok()) return failure;
   return next_connection_id_ - 1;
 }
 

@@ -1,25 +1,31 @@
 // Copyright 2026 The dpcube Authors.
 //
-// The poll-driven TCP front end of `dpcube serve`. One network thread
-// owns every socket: it accepts connections (subject to admission
-// control), pumps their read/decode/dispatch/flush cycles, and reacts
-// to two out-of-band readable fds — an internal self-pipe that pool
-// workers poke when a response completes, and an optional external
-// shutdown fd (the CLI wires the SIGINT/SIGTERM self-pipe here).
-// All query execution happens on the ServeContext's ThreadPool; this
-// thread never computes (see connection.h for the exact split).
+// The TCP front end of `dpcube serve`, split acceptor/poller since the
+// multi-poller refactor:
+//
+//   * Serve()'s thread is the ACCEPTOR: it owns the listen fd, runs
+//     admission (refused peers get a one-frame BUSY goodbye and a
+//     lingering close), and hands each admitted socket to one of N
+//     event-loop POLLER threads chosen round-robin (`net_threads`,
+//     default min(4, hardware threads)).
+//   * Each Connection is pinned to its poller for life: the poller owns
+//     its wake pipe, its connections map, and its poll loop (see
+//     poller.h), so no connection state is ever shared between network
+//     threads. All query execution still happens on the ServeContext's
+//     ThreadPool; no network thread ever computes.
 //
 // The listener also owns the observability surface: a metrics::Registry
 // every collaborator registers into (per-verb counters and latency from
-// the sessions, callback gauges over admission/cache/pool state, a
-// /proc resource tracker) and — when http_listen_address is set — an
-// HttpEndpoint spliced into the same poll loop serving /metrics,
-// /healthz, and /statusz. HTTP stays polled during drain so probes see
-// the 503 instead of a refused connection.
+// the sessions, callback gauges over admission/cache/pool state and the
+// per-poller connection counts, a /proc resource tracker) and — when
+// http_listen_address is set — an HttpEndpoint spliced into poller 0's
+// loop serving /metrics, /healthz, and /statusz. HTTP stays polled
+// during drain so probes see the 503 instead of a refused connection.
 //
-// Shutdown is graceful: stop accepting, let every admitted request
-// finish and flush, then return from Serve() — bounded by
-// drain_timeout_ms so a hung peer cannot wedge process exit.
+// Shutdown is graceful: stop accepting, broadcast BeginDrain to every
+// poller, let every admitted request finish and flush (bounded by
+// drain_timeout_ms), then join the pollers — Serve() returns only after
+// every poller thread has exited and every lingering close resolved.
 
 #ifndef DPCUBE_NET_SOCKET_LISTENER_H_
 #define DPCUBE_NET_SOCKET_LISTENER_H_
@@ -27,9 +33,9 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/fd.h"
 #include "common/metrics.h"
@@ -37,6 +43,8 @@
 #include "net/admission.h"
 #include "net/connection.h"
 #include "net/http_endpoint.h"
+#include "net/linger.h"
+#include "net/poller.h"
 #include "net/server_stats.h"
 #include "service/service_metrics.h"
 
@@ -57,7 +65,15 @@ struct ServerOptions {
   int shutdown_fd = -1;
   /// Grace period for in-flight work at shutdown.
   int drain_timeout_ms = 10000;
+  /// Event-loop poller threads. Each accepted connection is pinned to
+  /// one for its lifetime; 0 resolves to min(4, hardware threads),
+  /// clamped to [1, 64].
+  int net_threads = 0;
 };
+
+/// The poller count `net_threads` resolves to (exposed for the CLI's
+/// startup banner and tests).
+int ResolveNetThreads(int net_threads);
 
 class SocketListener {
  public:
@@ -71,9 +87,10 @@ class SocketListener {
   /// configured). After OK, bound_port()/http_bound_address() are real.
   Status Start();
 
-  /// Runs the event loop until Shutdown()/shutdown_fd, then drains.
-  /// Returns the count of connections served over the loop's lifetime.
-  /// Call from exactly one thread, after Start().
+  /// Spawns the poller threads and runs the accept loop until
+  /// Shutdown()/shutdown_fd, then drains and joins them. Returns the
+  /// count of connections served over the loop's lifetime. Call from
+  /// exactly one thread, after Start().
   Result<std::uint64_t> Serve();
 
   /// Thread-safe graceful-shutdown request (no-op before Serve()).
@@ -90,17 +107,26 @@ class SocketListener {
   /// listener's lifetime; sessions keep it alive past that).
   const metrics::Registry& registry() const { return *registry_; }
 
+  /// The resolved poller count.
+  int net_threads() const { return static_cast<int>(pollers_.size()); }
+  /// Connections currently pinned to poller `i` (tests/metrics).
+  std::size_t poller_connections(int i) const {
+    return pollers_[static_cast<std::size_t>(i)]->connection_count();
+  }
+
   /// The "OK STATS ..." line the per-connection sessions serve for the
   /// STATS verb (public so the CLI/tests can print the same snapshot).
   std::string FormatStatsLine() const;
 
  private:
-  /// Accepts until EAGAIN; each accept passes admission or gets a
-  /// one-frame BUSY goodbye.
+  /// Accepts until EAGAIN; each accept passes admission (and is handed
+  /// to the next poller round-robin) or gets a one-frame BUSY goodbye
+  /// and a lingering close.
   void AcceptPending();
   /// Registers every listener-level metric family (frame counters,
-  /// admission gauges, cache/pool/store stats, resource tracker) into
-  /// registry_ and resolves the sessions' per-verb table.
+  /// admission gauges, cache/pool/store stats, per-poller connection
+  /// gauges, resource tracker) into registry_ and resolves the
+  /// sessions' per-verb table.
   void RegisterServerMetrics();
   /// Installs the /metrics, /healthz, and /statusz routes on http_.
   void InstallHttpRoutes();
@@ -120,7 +146,14 @@ class SocketListener {
   /// the health handler outlives nothing it doesn't own.
   std::shared_ptr<std::atomic<bool>> draining_flag_;
   std::chrono::steady_clock::time_point started_at_;
-  std::shared_ptr<Pipe> wake_pipe_;  ///< Shared with worker closures.
+  /// The event-loop fleet; constructed with the listener (so metrics
+  /// can register over them), threads spawned by Serve().
+  std::vector<std::unique_ptr<Poller>> pollers_;
+  std::size_t next_poller_ = 0;  ///< Round-robin cursor.
+  /// Lingering closes for refused (BUSY) accepts, polled by the accept
+  /// loop itself — these sockets never become Connections.
+  std::shared_ptr<LingerSet> busy_linger_;
+  std::shared_ptr<Pipe> wake_pipe_;  ///< Interrupts the accept loop.
   UniqueFd listen_fd_;
   std::uint16_t bound_port_ = 0;
   std::string host_;
@@ -131,7 +164,6 @@ class SocketListener {
   /// otherwise busy-spin the loop at 100% CPU.
   std::chrono::steady_clock::time_point accept_retry_after_{};
   std::uint64_t next_connection_id_ = 1;
-  std::map<int, std::shared_ptr<Connection>> connections_;  ///< By fd.
 };
 
 }  // namespace net

@@ -1,0 +1,219 @@
+// Copyright 2026 The dpcube Authors.
+//
+// The multi-poller front end at connection scale: a thousand idle
+// connections spread round-robin across the poller fleet while a hot
+// mix of querying clients stays responsive, and the answers are
+// bit-identical whether one poller or four carries the load — the
+// poller count is a deployment knob, never an observable.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fd.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "data/synthetic.h"
+#include "engine/release_engine.h"
+#include "engine/release_io.h"
+#include "net/address.h"
+#include "net/client.h"
+#include "net/socket_listener.h"
+#include "service/batch_executor.h"
+#include "service/marginal_cache.h"
+#include "service/query_service.h"
+#include "service/release_store.h"
+#include "strategy/fourier_strategy.h"
+
+namespace dpcube {
+namespace net {
+namespace {
+
+constexpr int kIdleConnections = 1000;
+constexpr int kHotClients = 4;
+constexpr int kQueriesPerClient = 40;
+
+// A real archived release on disk (same recipe as server_loopback_test).
+const std::string& ReleasePath() {
+  static const std::string* path = [] {
+    Rng rng(5);
+    const data::Dataset dataset = data::MakeNltcsLike(1200, &rng);
+    const data::SparseCounts counts =
+        data::SparseCounts::FromDataset(dataset);
+    const marginal::Workload w = marginal::WorkloadQk(dataset.schema(), 2);
+    const strategy::FourierStrategy strat(w);
+    engine::ReleaseOptions options;
+    options.params.epsilon = 1.0;
+    Rng release_rng(6);
+    auto outcome =
+        engine::ReleaseWorkload(strat, counts, options, &release_rng);
+    EXPECT_TRUE(outcome.ok());
+    auto* p =
+        new std::string(::testing::TempDir() + "/many_conns_release.csv");
+    EXPECT_TRUE(engine::WriteReleaseCsv(*p, outcome.value().marginals).ok());
+    return p;
+  }();
+  return *path;
+}
+
+class LoopbackServer {
+ public:
+  explicit LoopbackServer(ServerOptions options)
+      : pool_(4),
+        store_(std::make_shared<service::ReleaseStore>()),
+        cache_(std::make_shared<service::MarginalCache>()),
+        service_(std::make_shared<const service::QueryService>(store_,
+                                                               cache_)),
+        executor_(std::make_shared<const service::BatchExecutor>(service_,
+                                                                 &pool_)),
+        listener_(std::move(options),
+                  ServeContext{store_, cache_, service_, executor_,
+                               &pool_}) {
+    EXPECT_TRUE(store_->LoadFromFile("demo", ReleasePath()).ok());
+    EXPECT_TRUE(listener_.Start().ok());
+    serve_thread_ = std::thread([this] {
+      auto served = listener_.Serve();
+      EXPECT_TRUE(served.ok()) << served.status();
+    });
+  }
+
+  ~LoopbackServer() {
+    if (serve_thread_.joinable()) {
+      listener_.Shutdown();
+      serve_thread_.join();
+    }
+  }
+
+  std::string address() const {
+    return "127.0.0.1:" + std::to_string(listener_.bound_port());
+  }
+  SocketListener& listener() { return listener_; }
+
+ private:
+  ThreadPool pool_;
+  std::shared_ptr<service::ReleaseStore> store_;
+  std::shared_ptr<service::MarginalCache> cache_;
+  std::shared_ptr<const service::QueryService> service_;
+  std::shared_ptr<const service::BatchExecutor> executor_;
+  SocketListener listener_;
+  std::thread serve_thread_;
+};
+
+// cache_hit depends on execution interleaving, so the bit-identical
+// comparison strips it (same as server_loopback_test).
+std::string StripCacheHit(std::string line) {
+  const auto pos = line.find(" hit=");
+  if (pos != std::string::npos) line.erase(pos, 6);  // " hit=X"
+  return line;
+}
+
+std::size_t TotalPinned(const SocketListener& listener) {
+  std::size_t total = 0;
+  for (int i = 0; i < listener.net_threads(); ++i) {
+    total += listener.poller_connections(i);
+  }
+  return total;
+}
+
+// Runs the whole scenario against a server with `net_threads` pollers
+// and fills `*out` with every hot-client response in a deterministic
+// order (client-major, query-minor). Out-param because gtest ASSERTs
+// only compile in void functions.
+void RunScenario(int net_threads, std::vector<std::string>* out) {
+  ServerOptions options;
+  options.net_threads = net_threads;
+  options.admission.max_connections = kIdleConnections + kHotClients + 8;
+  LoopbackServer server(options);
+  EXPECT_EQ(server.listener().net_threads(), net_threads);
+
+  // A thousand idle connections, opened in batches so the accept
+  // backlog (128) never overflows: each batch waits until the pollers
+  // have adopted it before the next goes out.
+  std::vector<UniqueFd> idle;
+  idle.reserve(kIdleConnections);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::minutes(5);
+  while (static_cast<int>(idle.size()) < kIdleConnections) {
+    const int batch =
+        std::min(100, kIdleConnections - static_cast<int>(idle.size()));
+    for (int i = 0; i < batch; ++i) {
+      auto fd = ConnectTcp("127.0.0.1", server.listener().bound_port());
+      ASSERT_TRUE(fd.ok()) << "after " << idle.size() << " connections";
+      idle.push_back(std::move(fd).value());
+    }
+    while (TotalPinned(server.listener()) < idle.size() &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_GE(TotalPinned(server.listener()), idle.size());
+  }
+
+  // Round-robin pinning spreads them near-evenly: every poller carries
+  // its share (exact up to the hot clients still to come).
+  for (int i = 0; i < net_threads; ++i) {
+    EXPECT_GE(server.listener().poller_connections(i),
+              static_cast<std::size_t>(kIdleConnections / net_threads))
+        << "poller " << i;
+  }
+
+  // The hot mix: concurrent clients querying through the idle crowd.
+  std::vector<std::vector<std::string>> responses(kHotClients);
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kHotClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = Client::Connect(server.address());
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      Rng rng(7000 + static_cast<std::uint64_t>(c));
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        const int b1 = static_cast<int>(rng.NextBounded(16));
+        const int b2 = static_cast<int>(rng.NextBounded(16));
+        const bits::Mask mask =
+            (bits::Mask{1} << b1) | (bits::Mask{1} << b2);
+        auto lines = client.value().CallLines(
+            "query demo marginal " + std::to_string(mask));
+        if (!lines.ok() || lines.value().size() != 1) {
+          failures.fetch_add(1);
+          continue;
+        }
+        responses[static_cast<std::size_t>(c)].push_back(
+            StripCacheHit(lines.value()[0]));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0) << "net_threads=" << net_threads;
+
+  // Close the idle crowd before teardown so drain reaps EOFs instead of
+  // waiting out a thousand linger deadlines.
+  idle.clear();
+
+  for (auto& per_client : responses) {
+    for (auto& line : per_client) out->push_back(std::move(line));
+  }
+}
+
+TEST(ManyConnsTest, ThousandIdleConnectionsAcrossPollersBitIdentical) {
+  std::vector<std::string> one, four;
+  RunScenario(1, &one);
+  RunScenario(4, &four);
+  ASSERT_EQ(one.size(),
+            static_cast<std::size_t>(kHotClients * kQueriesPerClient));
+  ASSERT_EQ(one.size(), four.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i], four[i]) << "response " << i;
+  }
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace dpcube

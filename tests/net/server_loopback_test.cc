@@ -185,6 +185,70 @@ TEST(ServerLoopbackTest, ConcurrentClientsMatchInProcessBitForBit) {
   EXPECT_EQ(mismatches.load(), 0);
 }
 
+// The same cross-check with a multi-poller fleet: connections land on
+// different pollers round-robin, and the answers must not depend on
+// which poller carries which client. Runs under the PR sanitizer
+// matrix, so TSan sees the acceptor→poller handoff and the per-poller
+// loops with net_threads >= 2.
+TEST(ServerLoopbackTest, MultiPollerFleetMatchesInProcessBitForBit) {
+  ServerOptions options;
+  options.net_threads = 2;
+  LoopbackServer server(options);
+  ASSERT_EQ(server.listener().net_threads(), 2);
+
+  auto ref_store = std::make_shared<service::ReleaseStore>();
+  ASSERT_TRUE(ref_store->LoadFromFile("demo", ReleasePath()).ok());
+  auto ref_cache = std::make_shared<service::MarginalCache>();
+  const service::QueryService reference(ref_store, ref_cache);
+
+  constexpr int kClients = 4;
+  constexpr int kQueriesPerClient = 20;
+  std::vector<std::thread> clients;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = Client::Connect(server.address());
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      Rng rng(3000 + static_cast<std::uint64_t>(c));
+      for (int q = 0; q < kQueriesPerClient; ++q) {
+        const int b1 = static_cast<int>(rng.NextBounded(16));
+        const int b2 = static_cast<int>(rng.NextBounded(16));
+        const bits::Mask mask =
+            (bits::Mask{1} << b1) | (bits::Mask{1} << b2);
+        service::Query query;
+        query.release = "demo";
+        query.beta = mask;
+        query.kind = service::QueryKind::kMarginal;
+        auto lines = client.value().CallLines("query demo marginal " +
+                                              std::to_string(mask));
+        if (!lines.ok() || lines.value().size() != 1) {
+          failures.fetch_add(1);
+          continue;
+        }
+        const std::string expected =
+            service::FormatResponse(reference.Answer(query));
+        if (StripCacheHit(lines.value()[0]) != StripCacheHit(expected)) {
+          mismatches.fetch_add(1);
+        }
+      }
+      std::string goodbye;
+      if (!client.value().Call("quit", &goodbye).ok() ||
+          goodbye != "OK bye\n") {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  // Both pollers saw traffic: 4 clients round-robin over 2 pollers.
+  EXPECT_EQ(server.listener().net_threads(), 2);
+}
+
 TEST(ServerLoopbackTest, PipelinedAndBatchFramesComeBackInOrder) {
   LoopbackServer server({});
   auto client = Client::Connect(server.address());

@@ -136,6 +136,7 @@ int Usage() {
                "[--query-quota N] [--max-frame BYTES]\n"
                "                 [--query-rate-limit N[/WINDOWs]] "
                "[--http-listen HOST:PORT]\n"
+               "                 [--net-threads N]\n"
                "  (--threads T sizes the process-wide pool shared by the "
                "release pipeline\n"
                "   and the serve executor; default: hardware "
@@ -670,7 +671,8 @@ int RunServe(const std::map<std::string, std::string>& flags) {
   } caps[] = {{"max-conns", &options.admission.max_connections},
               {"max-inflight", &options.admission.max_inflight},
               {"max-queue", &options.admission.max_queue_depth},
-              {"drain-ms", &options.drain_timeout_ms}};
+              {"drain-ms", &options.drain_timeout_ms},
+              {"net-threads", &options.net_threads}};
   for (const auto& cap : caps) {
     const auto it = flags.find(cap.flag);
     if (it == flags.end()) continue;
@@ -768,11 +770,12 @@ int RunServe(const std::map<std::string, std::string>& flags) {
     quota_note += " http=" + listener.http_bound_address();
   }
   std::printf(
-      "OK dpcube serve listening on %s (threads=%d max-conns=%d "
-      "max-inflight=%d max-queue=%d%s)\n",
+      "OK dpcube serve listening on %s (threads=%d net-threads=%d "
+      "max-conns=%d max-inflight=%d max-queue=%d%s)\n",
       listener.bound_address().c_str(), executor->num_threads(),
-      options.admission.max_connections, options.admission.max_inflight,
-      options.admission.max_queue_depth, quota_note.c_str());
+      listener.net_threads(), options.admission.max_connections,
+      options.admission.max_inflight, options.admission.max_queue_depth,
+      quota_note.c_str());
   std::fflush(stdout);
 
   auto served = listener.Serve();
