@@ -609,6 +609,171 @@ int main(int argc, char** argv) {
       serve_thread.join();
     }
   }
+  // Tracing tax: the same one-shot cell workload against an untraced
+  // listener (trace ring disabled) and a fully traced one (ring +
+  // per-span histograms + JSONL access log to /dev/null), best of seven
+  // interleaved repetitions each. The traced row is hard-gated in-bench
+  // at <= 1.25x the untraced per-query time so a tracing-cost
+  // regression fails this binary directly, before
+  // tools/bench_compare.py ever sees a baseline for the new rows.
+  {
+    struct Leg {
+      double seconds_per_query = 0.0;
+      double p50 = 0.0;
+      double p99 = 0.0;
+    };
+    struct Server {
+      std::unique_ptr<ThreadPool> pool;
+      std::shared_ptr<const service::BatchExecutor> executor;
+      std::unique_ptr<net::SocketListener> listener;
+      std::thread serve_thread;
+      std::string address;
+    };
+    auto start_server = [&](bool traced, Server* server) -> bool {
+      server->pool = std::make_unique<ThreadPool>(4);
+      server->executor = std::make_shared<const service::BatchExecutor>(
+          svc, server->pool.get());
+      net::ServerOptions options;
+      options.admission.max_connections = 64;
+      options.admission.max_queue_depth = 4096;
+      options.trace_ring_capacity = traced ? 256 : 0;
+      if (traced) {
+        // Everything the traced path can cost: span stamping, ring
+        // publication, metric recording, and a formatted access-log
+        // line per request (sunk into /dev/null so only the formatting
+        // and buffered write are measured).
+        options.access_log_path = "/dev/null";
+        options.slow_query_ms = 1000;
+      }
+      server->listener = std::make_unique<net::SocketListener>(
+          options, net::ServeContext{store, cache, svc, server->executor,
+                                     server->pool.get()});
+      if (!server->listener->Start().ok()) return false;
+      server->serve_thread =
+          std::thread([l = server->listener.get()] { l->Serve().ok(); });
+      server->address =
+          "127.0.0.1:" + std::to_string(server->listener->bound_port());
+      return true;
+    };
+    const int leg_threads = 2;
+    const int leg_conns = 2;
+    const int requests_per_thread = 1500;
+    auto run_rep = [&](const std::string& address, int rep, Leg* leg,
+                       double* rep_seconds_per_query) -> bool {
+      std::vector<double> latencies;
+      std::mutex latencies_mu;
+      std::atomic<int> errors{0};
+      const double seconds = bench::TimeSeconds([&] {
+        std::vector<std::thread> workers;
+        for (int t = 0; t < leg_threads; ++t) {
+          workers.emplace_back([&, t] {
+            std::vector<net::Client> conns;
+            for (int c = 0; c < leg_conns; ++c) {
+              auto client = net::Client::Connect(address);
+              if (client.ok()) conns.push_back(std::move(client).value());
+            }
+            if (conns.empty()) {
+              errors.fetch_add(requests_per_thread);
+              return;
+            }
+            std::vector<double> local;
+            local.reserve(static_cast<std::size_t>(requests_per_thread));
+            for (int i = 0; i < requests_per_thread; ++i) {
+              const auto& q = queries[static_cast<std::size_t>(
+                  (t + i) % static_cast<int>(queries.size()))];
+              const std::string request =
+                  "query bench cell " + std::to_string(q.beta) + " 0";
+              auto& conn = conns[static_cast<std::size_t>(
+                  i % static_cast<int>(conns.size()))];
+              std::string payload;
+              const double rtt = bench::TimeSeconds([&] {
+                if (!conn.Call(request, &payload).ok()) {
+                  errors.fetch_add(1);
+                }
+              });
+              local.push_back(rtt * 1e6);
+            }
+            std::lock_guard<std::mutex> lock(latencies_mu);
+            latencies.insert(latencies.end(), local.begin(), local.end());
+          });
+        }
+        for (auto& w : workers) w.join();
+      });
+      if (errors.load() > 0) return false;
+      const double total =
+          static_cast<double>(leg_threads) * requests_per_thread;
+      const double per_query = seconds / total;
+      *rep_seconds_per_query = per_query;
+      if (rep == 0 || per_query < leg->seconds_per_query) {
+        leg->seconds_per_query = per_query;
+        leg->p50 = stats::Quantile(latencies, 0.5);
+        leg->p99 = stats::Quantile(latencies, 0.99);
+      }
+      return true;
+    };
+    Server untraced_server, traced_server;
+    bool ok = start_server(false, &untraced_server) &&
+              start_server(true, &traced_server);
+    Leg untraced, traced;
+    // Interleave the legs rep by rep rather than running one leg to
+    // completion before the other: shared machines drift by double-digit
+    // percentages over the seconds a leg takes, and back-to-back leg
+    // blocks turn that drift straight into a phantom overhead (or a
+    // phantom speedup). Each rep pair runs under near-identical host
+    // conditions, so its traced/untraced ratio isolates tracing; the
+    // gate takes the median of the per-pair ratios, which a single
+    // noisy rep cannot move. Within a pair the order alternates across
+    // reps — a monotone host slowdown would otherwise bias every pair
+    // the same way.
+    std::vector<double> pair_ratios;
+    for (int rep = 0; rep < 7 && ok; ++rep) {
+      double untraced_rep = 0.0;
+      double traced_rep = 0.0;
+      if (rep % 2 == 0) {
+        ok = run_rep(untraced_server.address, rep, &untraced, &untraced_rep) &&
+             run_rep(traced_server.address, rep, &traced, &traced_rep);
+      } else {
+        ok = run_rep(traced_server.address, rep, &traced, &traced_rep) &&
+             run_rep(untraced_server.address, rep, &untraced, &untraced_rep);
+      }
+      if (ok) pair_ratios.push_back(traced_rep / untraced_rep);
+    }
+    for (Server* server : {&untraced_server, &traced_server}) {
+      if (server->listener) server->listener->Shutdown();
+      if (server->serve_thread.joinable()) server->serve_thread.join();
+    }
+    if (!ok) {
+      std::fprintf(stderr, "tcp_cell tracing bench: leg failed\n");
+      return 1;
+    }
+    const double overhead = stats::Quantile(pair_ratios, 0.5);
+    std::printf(
+        "tcp cell queries, tracing off vs on (best of 7 interleaved "
+        "reps; overhead = median per-rep ratio):\n");
+    std::printf("  untraced: %10.0f q/s  p50=%.0fus p99=%.0fus\n",
+                1.0 / untraced.seconds_per_query, untraced.p50,
+                untraced.p99);
+    std::printf(
+        "  traced:   %10.0f q/s  p50=%.0fus p99=%.0fus  (%.2fx untraced)\n",
+        1.0 / traced.seconds_per_query, traced.p50, traced.p99, overhead);
+    report.Add("tcp_cell/untraced", untraced.seconds_per_query,
+               {{"qps", 1.0 / untraced.seconds_per_query},
+                {"p50_us", untraced.p50},
+                {"p99_us", untraced.p99}});
+    report.Add("tcp_cell/traced", traced.seconds_per_query,
+               {{"qps", 1.0 / traced.seconds_per_query},
+                {"p50_us", traced.p50},
+                {"p99_us", traced.p99},
+                {"traced_overhead", overhead}});
+    if (overhead > 1.25) {
+      std::fprintf(stderr,
+                   "FAIL: tracing overhead %.2fx exceeds the 1.25x gate "
+                   "(untraced %.1fus/query, traced %.1fus/query)\n",
+                   overhead, untraced.seconds_per_query * 1e6,
+                   traced.seconds_per_query * 1e6);
+      return 1;
+    }
+  }
   if (!benchmark_out.empty() && !report.WriteTo(benchmark_out)) {
     std::fprintf(stderr, "cannot write %s\n", benchmark_out.c_str());
     return 1;

@@ -1,0 +1,203 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "common/log.h"
+
+#include <errno.h>
+#include <sys/time.h>
+#include <time.h>
+
+#include <cstring>
+
+namespace dpcube {
+namespace logging {
+
+namespace {
+
+// Appends "2026-08-07T12:00:00.123Z" — UTC wall time with millisecond
+// resolution, enough to correlate an access-log record with external
+// monitoring without pretending to microsecond clock sync. The
+// second-resolution prefix is cached per thread: gmtime_r + strftime
+// cost ~1us, and a busy access log emits thousands of records per
+// second that share the same prefix.
+void AppendIso8601Now(std::string* out) {
+  struct timeval tv;
+  ::gettimeofday(&tv, nullptr);
+  thread_local time_t cached_sec = 0;
+  thread_local char cached_prefix[24] = {0};
+  thread_local std::size_t cached_len = 0;
+  if (tv.tv_sec != cached_sec || cached_len == 0) {
+    struct tm utc;
+    ::gmtime_r(&tv.tv_sec, &utc);
+    cached_len = ::strftime(cached_prefix, sizeof(cached_prefix),
+                            "%Y-%m-%dT%H:%M:%S", &utc);
+    cached_sec = tv.tv_sec;
+  }
+  out->append(cached_prefix, cached_len);
+  char millis[8];
+  std::snprintf(millis, sizeof(millis), ".%03dZ",
+                static_cast<int>(tv.tv_usec / 1000));
+  out->append(millis);
+}
+
+// Escapes `text` straight into `out` — the fast path (no byte needs
+// escaping, the overwhelmingly common case for access-log fields)
+// is a single append with no temporary string.
+void AppendJsonEscaped(std::string* out, const std::string& text) {
+  std::size_t clean = 0;
+  while (clean < text.size()) {
+    const unsigned char c = static_cast<unsigned char>(text[clean]);
+    if (c == '"' || c == '\\' || c < 0x20) break;
+    ++clean;
+  }
+  if (clean == text.size()) {
+    out->append(text);
+    return;
+  }
+  out->append(text, 0, clean);
+  *out += JsonEscape(text.substr(clean));
+}
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO";
+    case Level::kWarn:
+      return "WARN";
+    case Level::kError:
+      return "ERROR";
+  }
+  return "UNKNOWN";
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof(esc), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += esc;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Logger::Logger(std::FILE* stream, Format format, Level min_level)
+    : Logger(stream, format, min_level, /*owns=*/false) {}
+
+Logger::Logger(std::FILE* stream, Format format, Level min_level, bool owns)
+    : stream_(stream),
+      format_(format),
+      min_level_(min_level),
+      owns_stream_(owns),
+      flush_through_(!owns) {}
+
+Result<std::shared_ptr<Logger>> Logger::Open(const std::string& path,
+                                             Format format, Level min_level) {
+  std::FILE* stream = std::fopen(path.c_str(), "a");
+  if (stream == nullptr) {
+    return Status::NotFound("cannot open log file '" + path +
+                            "': " + std::strerror(errno));
+  }
+  return std::shared_ptr<Logger>(
+      new Logger(stream, format, min_level, /*owns=*/true));
+}
+
+Logger::~Logger() {
+  if (owns_stream_ && stream_ != nullptr) std::fclose(stream_);
+}
+
+std::string Logger::FormatRecord(Level level, const std::string& event,
+                                 const Field* fields, std::size_t n) const {
+  std::string line;
+  line.reserve(96 + 24 * n);
+  if (format_ == Format::kJson) {
+    line += "{\"ts\":\"";
+    AppendIso8601Now(&line);
+    line += "\",\"level\":\"";
+    line += LevelName(level);
+    line += "\",\"event\":\"";
+    AppendJsonEscaped(&line, event);
+    line += '"';
+    for (std::size_t i = 0; i < n; ++i) {
+      const Field& field = fields[i];
+      line += ",\"";
+      AppendJsonEscaped(&line, field.key);
+      line += "\":";
+      if (field.raw) {
+        line += field.value;
+      } else {
+        line += '"';
+        AppendJsonEscaped(&line, field.value);
+        line += '"';
+      }
+    }
+    line += "}\n";
+    return line;
+  }
+  AppendIso8601Now(&line);
+  line += ' ';
+  line += LevelName(level);
+  line += ' ';
+  line += event;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Field& field = fields[i];
+    line += ' ';
+    line += field.key;
+    line += '=';
+    line += field.value;
+  }
+  line += '\n';
+  return line;
+}
+
+void Logger::Emit(Level level, const std::string& event, const Field* fields,
+                  std::size_t n) {
+  const std::string line = FormatRecord(level, event, fields, n);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fwrite(line.data(), 1, line.size(), stream_);
+  // Owned file streams ride stdio's buffer for routine records — a
+  // per-request fflush is a serialised write syscall on the poller
+  // thread and shows up directly in the tcp_cell/traced bench row.
+  // WARN and above (slow queries, errors) still write through so a
+  // tail -f sees them immediately; the rest lands when the buffer
+  // fills or the logger closes.
+  if (flush_through_ ||
+      static_cast<int>(level) >= static_cast<int>(Level::kWarn)) {
+    std::fflush(stream_);
+  }
+}
+
+void Logger::Log(Level level, const std::string& event,
+                 const std::vector<Field>& fields) {
+  if (static_cast<int>(level) < static_cast<int>(min_level_)) return;
+  Emit(level, event, fields.data(), fields.size());
+}
+
+}  // namespace logging
+}  // namespace dpcube

@@ -1,0 +1,149 @@
+// Copyright 2026 The dpcube Authors.
+//
+// A small leveled, structured logger with two output formats:
+//
+//   kHuman — "2026-08-07T12:00:00.123Z INFO serve: listening addr=..."
+//            for stderr (the serve banner and diagnostics migrate here
+//            from ad-hoc fprintf sites);
+//   kJson  — one JSON object per line (JSONL) for machine-read logs,
+//            in particular the request/slow-query access log
+//            (`serve --access-log PATH`).
+//
+// Fields are explicit key/value pairs; values marked as raw render
+// unquoted in JSON (numbers, booleans) and bare in the human format.
+// Writes are mutex-serialised and each record is a single write-through
+// line, so concurrent pollers never interleave partial records.
+//
+// The logger deliberately owns no background thread and performs no
+// buffering beyond stdio's: a request trace costs one formatted line
+// and one flocked fwrite. Borrowed streams (stderr/stdout banners)
+// flush every record; owned log files flush write-through only at
+// WARN and above — routine INFO access records ride stdio's buffer
+// and land when it fills or the logger closes, so the hot path never
+// pays a per-request write syscall.
+
+#ifndef DPCUBE_COMMON_LOG_H_
+#define DPCUBE_COMMON_LOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dpcube {
+namespace logging {
+
+enum class Level : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+const char* LevelName(Level level);  ///< "DEBUG", "INFO", ...
+
+/// One structured field. `raw` values are emitted without quotes in
+/// JSON — the caller vouches they are valid JSON scalars (numbers,
+/// true/false); quoted values are escaped.
+struct Field {
+  std::string key;
+  std::string value;
+  bool raw = false;
+
+  Field(std::string k, std::string v)
+      : key(std::move(k)), value(std::move(v)) {}
+  static Field Num(std::string k, std::uint64_t v) {
+    return Field(std::move(k), std::to_string(v), true);
+  }
+  static Field Bool(std::string k, bool v) {
+    return Field(std::move(k), v ? "true" : "false", true);
+  }
+  static Field Raw(std::string k, std::string v) {
+    return Field(std::move(k), std::move(v), true);
+  }
+
+ private:
+  Field(std::string k, std::string v, bool is_raw)
+      : key(std::move(k)), value(std::move(v)), raw(is_raw) {}
+};
+
+/// Escapes `text` for inclusion inside a JSON string literal (quotes,
+/// backslashes, control bytes). Exposed for tests.
+std::string JsonEscape(const std::string& text);
+
+class Logger {
+ public:
+  enum class Format { kHuman, kJson };
+
+  /// Logger over a borrowed stream (not closed on destruction) —
+  /// stderr diagnostics.
+  Logger(std::FILE* stream, Format format, Level min_level = Level::kInfo);
+
+  /// Opens (appends to) `path`. The returned logger owns the FILE;
+  /// WARN/ERROR records flush write-through, INFO/DEBUG are buffered
+  /// until the buffer fills or the logger is destroyed.
+  static Result<std::shared_ptr<Logger>> Open(const std::string& path,
+                                              Format format,
+                                              Level min_level = Level::kInfo);
+
+  ~Logger();
+
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  /// Emits one record: a short event name ("listening", "request") plus
+  /// structured fields. Below min_level, a no-op.
+  void Log(Level level, const std::string& event,
+           const std::vector<Field>& fields = {});
+
+  /// Hot-path overload: a braced field list binds here and is formatted
+  /// straight off the stack — no vector allocation, no Field copies.
+  /// The per-request access-log record goes through this.
+  void Log(Level level, const std::string& event,
+           std::initializer_list<Field> fields) {
+    if (static_cast<int>(level) < static_cast<int>(min_level_)) return;
+    Emit(level, event, fields.begin(), fields.size());
+  }
+
+  void Debug(const std::string& event, const std::vector<Field>& fields = {}) {
+    Log(Level::kDebug, event, fields);
+  }
+  void Info(const std::string& event, const std::vector<Field>& fields = {}) {
+    Log(Level::kInfo, event, fields);
+  }
+  void Warn(const std::string& event, const std::vector<Field>& fields = {}) {
+    Log(Level::kWarn, event, fields);
+  }
+  void Error(const std::string& event, const std::vector<Field>& fields = {}) {
+    Log(Level::kError, event, fields);
+  }
+
+  Level min_level() const { return min_level_; }
+  Format format() const { return format_; }
+
+ private:
+  Logger(std::FILE* stream, Format format, Level min_level, bool owns);
+
+  std::string FormatRecord(Level level, const std::string& event,
+                           const Field* fields, std::size_t n) const;
+  void Emit(Level level, const std::string& event, const Field* fields,
+            std::size_t n);
+
+  std::FILE* stream_;
+  const Format format_;
+  const Level min_level_;
+  const bool owns_stream_;
+  const bool flush_through_;
+  std::mutex mu_;
+};
+
+}  // namespace logging
+}  // namespace dpcube
+
+#endif  // DPCUBE_COMMON_LOG_H_

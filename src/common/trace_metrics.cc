@@ -1,0 +1,82 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "common/trace_metrics.h"
+
+namespace dpcube {
+namespace trace {
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+ServingTraceMetrics::ServingTraceMetrics(metrics::Registry* registry,
+                                         std::size_t max_releases)
+    : registry_(registry), max_releases_(max_releases) {
+  for (int i = 0; i < kNumSpans; ++i) {
+    const Span span = static_cast<Span>(i);
+    spans_[static_cast<std::size_t>(i)] = registry_->GetHistogram(
+        "dpcube_span_microseconds",
+        std::string("span=\"") + SpanName(span) + "\"",
+        "Request time by pipeline span: decode, admit, queue, compute, "
+        "encode, flush.");
+  }
+}
+
+void ServingTraceMetrics::RecordSpans(const RequestTrace& trace) const {
+  for (int i = 0; i < kNumSpans; ++i) {
+    const std::uint64_t micros = trace.span_micros[static_cast<std::size_t>(i)];
+    if (micros == 0) continue;
+    spans_[static_cast<std::size_t>(i)]->Record(
+        static_cast<double>(micros) * 1e-6);
+  }
+}
+
+ServingTraceMetrics::PerRelease ServingTraceMetrics::ResolveLocked(
+    const std::string& release) const {
+  PerRelease series;
+  const std::string labels =
+      "release=\"" + EscapeLabelValue(release) + "\"";
+  series.queries = registry_->GetCounter(
+      "dpcube_release_queries_total", labels,
+      "Queries answered, by release (capped cardinality; overflow lands "
+      "on release=\"__other__\").");
+  series.latency = registry_->GetHistogram(
+      "dpcube_release_query_latency_microseconds", labels,
+      "Per-query (and per batch-group) compute latency, by release.");
+  return series;
+}
+
+ServingTraceMetrics::PerRelease ServingTraceMetrics::Release(
+    const std::string& release) const {
+  {
+    // Fast path: every query after the first for a release takes a
+    // shared lock only — pool workers resolving the same hot release
+    // never serialise on the map.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = releases_.find(release);
+    if (it != releases_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = releases_.find(release);
+  if (it != releases_.end()) return it->second;
+  if (releases_.size() >= max_releases_) {
+    auto other = releases_.find("__other__");
+    if (other != releases_.end()) return other->second;
+    return releases_.emplace("__other__", ResolveLocked("__other__"))
+        .first->second;
+  }
+  return releases_.emplace(release, ResolveLocked(release)).first->second;
+}
+
+}  // namespace trace
+}  // namespace dpcube

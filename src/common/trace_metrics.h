@@ -1,0 +1,74 @@
+// Copyright 2026 The dpcube Authors.
+//
+// The registry-facing half of request tracing: per-span duration
+// histograms (dpcube_span_microseconds{span=...}) resolved once at
+// server startup, and per-release query telemetry
+// (dpcube_release_queries_total{release=...} and
+// dpcube_release_query_latency_microseconds{release=...}) resolved
+// lazily as releases are first queried — with a hard cardinality cap,
+// because release names arrive on the wire and a hostile client must
+// not be able to mint unbounded label sets. Past the cap, every new
+// name lands on release="__other__".
+
+#ifndef DPCUBE_COMMON_TRACE_METRICS_H_
+#define DPCUBE_COMMON_TRACE_METRICS_H_
+
+#include <array>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace dpcube {
+namespace trace {
+
+/// Escapes a value for use inside a Prometheus label ("a\"b" etc.).
+std::string EscapeLabelValue(const std::string& value);
+
+class ServingTraceMetrics {
+ public:
+  /// Resolves the span histograms against `registry` (which must
+  /// outlive this object; the serving stack pins it via shared_ptr).
+  explicit ServingTraceMetrics(metrics::Registry* registry,
+                               std::size_t max_releases = 64);
+
+  ServingTraceMetrics(const ServingTraceMetrics&) = delete;
+  ServingTraceMetrics& operator=(const ServingTraceMetrics&) = delete;
+
+  metrics::LatencyHistogram* span_histogram(Span span) const {
+    return spans_[static_cast<std::size_t>(span)];
+  }
+
+  /// Records every non-zero span of a completed trace into the span
+  /// histograms.
+  void RecordSpans(const RequestTrace& trace) const;
+
+  struct PerRelease {
+    metrics::Counter* queries = nullptr;
+    metrics::LatencyHistogram* latency = nullptr;
+  };
+  /// The per-release series for `release`, creating them on first use.
+  /// Thread-safe; past `max_releases` distinct names, returns the
+  /// shared "__other__" series.
+  PerRelease Release(const std::string& release) const;
+
+  std::size_t max_releases() const { return max_releases_; }
+
+ private:
+  PerRelease ResolveLocked(const std::string& release) const;
+
+  metrics::Registry* const registry_;
+  std::array<metrics::LatencyHistogram*, kNumSpans> spans_{};
+  const std::size_t max_releases_;
+  mutable std::shared_mutex mu_;
+  mutable std::map<std::string, PerRelease> releases_;
+};
+
+}  // namespace trace
+}  // namespace dpcube
+
+#endif  // DPCUBE_COMMON_TRACE_METRICS_H_

@@ -12,7 +12,8 @@ namespace engine {
 
 Status WriteReleaseCsv(const std::string& path,
                        const std::vector<marginal::MarginalTable>& marginals,
-                       const linalg::Vector& cell_variances) {
+                       const linalg::Vector& cell_variances,
+                       const PhaseTimings* build_timings) {
   if (!cell_variances.empty() && cell_variances.size() != marginals.size()) {
     return Status::InvalidArgument(
         "cell_variances must be empty or have one entry per marginal");
@@ -35,6 +36,18 @@ Status WriteReleaseCsv(const std::string& path,
       out << field;
     }
     out << "\n";
+  }
+  if (build_timings != nullptr) {
+    char header[192];
+    std::snprintf(header, sizeof(header),
+                  "# dpcube-build-seconds construction=%.6f budget=%.6f "
+                  "measure=%.6f consistency=%.6f total=%.6f\n",
+                  build_timings->construction_seconds,
+                  build_timings->budget_seconds,
+                  build_timings->measure_seconds,
+                  build_timings->consistency_seconds,
+                  build_timings->total_seconds);
+    out << header;
   }
   out << "mask,cell,value\n";
   char line[96];
@@ -72,6 +85,37 @@ Result<LoadedRelease> ReadReleaseCsv(const std::string& path) {
     std::stringstream vs(line.substr(kVarianceHeader.size()));
     double v = 0.0;
     while (vs >> v) release.cell_variances.push_back(v);
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument("'" + path + "': missing column header");
+    }
+  }
+  const std::string kBuildHeader = "# dpcube-build-seconds";
+  if (line.rfind(kBuildHeader, 0) == 0) {
+    std::stringstream ts(line.substr(kBuildHeader.size()));
+    std::string field;
+    while (ts >> field) {
+      const std::size_t eq = field.find('=');
+      if (eq == std::string::npos) continue;
+      const std::string key = field.substr(0, eq);
+      double value = 0.0;
+      try {
+        value = std::stod(field.substr(eq + 1));
+      } catch (const std::exception&) {
+        continue;  // Tolerated, like any unknown comment content.
+      }
+      if (key == "construction") {
+        release.build_timings.construction_seconds = value;
+      } else if (key == "budget") {
+        release.build_timings.budget_seconds = value;
+      } else if (key == "measure") {
+        release.build_timings.measure_seconds = value;
+      } else if (key == "consistency") {
+        release.build_timings.consistency_seconds = value;
+      } else if (key == "total") {
+        release.build_timings.total_seconds = value;
+      }
+    }
+    release.has_build_timings = true;
     if (!std::getline(in, line)) {
       return Status::InvalidArgument("'" + path + "': missing column header");
     }

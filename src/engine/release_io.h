@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "engine/metrics.h"
 #include "linalg/matrix.h"
 #include "marginal/marginal_table.h"
 #include "marginal/workload.h"
@@ -22,23 +23,32 @@ namespace engine {
 /// Writes released marginals as CSV:
 ///   # dpcube-release d=<d>
 ///   # dpcube-cell-variances <v1> <v2> ...        (optional)
+///   # dpcube-build-seconds construction=<s> budget=<s> measure=<s>
+///       consistency=<s> total=<s>                (optional, one line)
 ///   mask,cell,value
 ///   5,0,123.4
 ///   ...
 /// `cell_variances` (one per marginal, the release mechanism's predicted
 /// per-cell noise variance) is archived so downstream serving can report
 /// true accuracy; empty omits the line, preserving the legacy format.
+/// `build_timings` (the pipeline's per-phase wall-clock) is likewise
+/// opt-in: nullptr omits the line, so goldens against the legacy format
+/// keep passing byte-for-byte.
 Status WriteReleaseCsv(const std::string& path,
                        const std::vector<marginal::MarginalTable>& marginals,
-                       const linalg::Vector& cell_variances = {});
+                       const linalg::Vector& cell_variances = {},
+                       const PhaseTimings* build_timings = nullptr);
 
 /// Reads a release written by WriteReleaseCsv. The reconstructed workload
 /// preserves the file's marginal order. `cell_variances` is empty when
-/// the file predates the variance header.
+/// the file predates the variance header; `has_build_timings` is false
+/// when it predates the build-seconds header.
 struct LoadedRelease {
   marginal::Workload workload{0, {}};
   std::vector<marginal::MarginalTable> marginals;
   linalg::Vector cell_variances;
+  bool has_build_timings = false;
+  PhaseTimings build_timings;
 };
 Result<LoadedRelease> ReadReleaseCsv(const std::string& path);
 

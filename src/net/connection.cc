@@ -25,6 +25,14 @@ double SecondsSince(std::chrono::steady_clock::time_point start,
   return std::chrono::duration<double>(end - start).count();
 }
 
+std::uint64_t MicrosSince(std::chrono::steady_clock::time_point start,
+                          std::chrono::steady_clock::time_point end) {
+  if (end <= start) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+          .count());
+}
+
 }  // namespace
 
 Connection::Connection(UniqueFd fd, std::uint64_t id,
@@ -43,7 +51,10 @@ Connection::Connection(UniqueFd fd, std::uint64_t id,
       linger_(std::move(linger)),
       session_(context.store, context.cache, context.service,
                context.executor.get()),
-      decoder_(max_frame_payload) {}
+      decoder_(max_frame_payload),
+      traced_(context.trace_ring != nullptr) {
+  if (context_.trace_metrics) session_.SetTraceMetrics(context_.trace_metrics);
+}
 
 Connection::~Connection() {
   // Slots admitted but never executed (connection died first) still hold
@@ -76,6 +87,7 @@ short Connection::PollEvents() const {
 
 void Connection::OnReadable() {
   if (dead_ || draining_ || read_eof_) return;
+  if (traced_) read_start_ = std::chrono::steady_clock::now();
   char buf[64 * 1024];
   for (;;) {
     const ssize_t n = ::recv(fd_.get(), buf, sizeof(buf), 0);
@@ -117,6 +129,14 @@ void Connection::ProcessDecodedFrames() {
         goodbye->typed_pending = true;
         goodbye->typed = service::Response::Error(
             service::ErrorCode::kBadRequest, decoder_.error());
+        if (traced_) {
+          goodbye->trace.context.trace_id = trace::NextTraceId();
+          goodbye->trace.context.connection_id = id_;
+          goodbye->trace.verb = "(decode-error)";
+          goodbye->trace.span_micros[static_cast<std::size_t>(
+              trace::Span::kDecode)] =
+              MicrosSince(read_start_, std::chrono::steady_clock::now());
+        }
         std::lock_guard<std::mutex> lock(mu_);
         slots_.push_back(std::move(goodbye));
       }
@@ -125,16 +145,29 @@ void Connection::ProcessDecodedFrames() {
     stats_->requests.fetch_add(1, std::memory_order_relaxed);
     auto slot = std::make_shared<Slot>();
     slot->arrival = std::chrono::steady_clock::now();
+    if (traced_) {
+      slot->trace.context.trace_id = trace::NextTraceId();
+      slot->trace.context.connection_id = id_;
+      slot->trace.request_bytes = payload.size();
+      slot->trace.span_micros[static_cast<std::size_t>(
+          trace::Span::kDecode)] = MicrosSince(read_start_, slot->arrival);
+    }
     std::string busy_reason;
     int inflight = 0;
     {
       std::lock_guard<std::mutex> lock(mu_);
       inflight = admitted_inflight_;
     }
-    if (!admission_->TryAdmitRequest(inflight, &busy_reason)) {
+    const bool admitted = admission_->TryAdmitRequest(inflight, &busy_reason);
+    if (traced_) {
+      slot->trace.span_micros[static_cast<std::size_t>(trace::Span::kAdmit)] =
+          MicrosSince(slot->arrival, std::chrono::steady_clock::now());
+    }
+    if (!admitted) {
       slot->done = true;
       slot->typed_pending = true;
       slot->typed = service::Response::Busy(std::move(busy_reason));
+      if (traced_) slot->trace.verb = "(shed)";
     } else {
       slot->admitted = true;
       slot->request = std::move(payload);
@@ -171,9 +204,14 @@ void Connection::MaybeDispatch() {
 
 void Connection::Execute(const std::shared_ptr<Slot>& slot) {
   const auto exec_start = std::chrono::steady_clock::now();
+  if (traced_) {
+    slot->trace.span_micros[static_cast<std::size_t>(trace::Span::kQueue)] =
+        MicrosSince(slot->arrival, exec_start);
+  }
   std::istringstream in(slot->request);
   std::ostringstream out;
-  const bool keep_going = session_.ProcessStream(in, out);
+  const bool keep_going = session_.ProcessStream(
+      in, out, /*flush_each=*/false, traced_ ? &slot->trace : nullptr);
   const auto exec_end = std::chrono::steady_clock::now();
 
   stats_->frames_executed.fetch_add(1, std::memory_order_relaxed);
@@ -197,15 +235,33 @@ void Connection::Execute(const std::shared_ptr<Slot>& slot) {
   wakeup_();
 }
 
-void Connection::EnqueueResponseFrame(const Slot& slot) {
+void Connection::EnqueueResponseFrame(Slot& slot) {
   // Typed slots (shed BUSY, decode goodbye) are encoded here — at
   // dequeue time, after every earlier slot flushed — so they pick up
   // the codec the session had negotiated at this point in the stream.
-  write_buffer_ += EncodeFrame(
+  const std::string& payload =
       slot.typed_pending
-          ? service::EncodeResponseToString(slot.typed, session_.codec())
-          : slot.response);
+          ? (slot.response =
+                 service::EncodeResponseToString(slot.typed, session_.codec()))
+          : slot.response;
+  const std::size_t before = write_buffer_.size();
+  write_buffer_ += EncodeFrame(payload);
   stats_->responses.fetch_add(1, std::memory_order_relaxed);
+  if (!traced_) return;
+  trace::RequestTrace& t = slot.trace;
+  t.response_bytes = payload.size();
+  t.codec = service::CodecName(session_.codec());
+  if (t.outcome.empty()) {
+    t.outcome = slot.typed_pending && slot.typed.code != service::ErrorCode::kOk
+                    ? service::ErrorCodeName(slot.typed.code)
+                    : "Ok";
+  }
+  bytes_enqueued_ += write_buffer_.size() - before;
+  PendingTrace pending;
+  pending.target_bytes = bytes_enqueued_;
+  pending.enqueued = std::chrono::steady_clock::now();
+  pending.trace = std::move(t);
+  pending_flush_.push_back(std::move(pending));
 }
 
 void Connection::Pump() {
@@ -238,6 +294,7 @@ void Connection::Pump() {
   }
   MaybeDispatch();
   FlushWrites();
+  FinalizeFlushedTraces();
   if (write_buffer_.size() - write_offset_ > kMaxWriteBufferBytes) {
     dead_ = true;  // Slow consumer: pipelines requests, never reads.
   }
@@ -250,6 +307,7 @@ void Connection::FlushWrites() {
                write_buffer_.size() - write_offset_, MSG_NOSIGNAL);
     if (n > 0) {
       write_offset_ += static_cast<std::size_t>(n);
+      bytes_flushed_ += static_cast<std::uint64_t>(n);
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
@@ -266,6 +324,50 @@ void Connection::FlushWrites() {
 void Connection::OnWritable() {
   if (dead_) return;
   FlushWrites();
+  FinalizeFlushedTraces();
+}
+
+void Connection::FinalizeFlushedTraces() {
+  if (!traced_ || dead_) return;
+  const auto now = std::chrono::steady_clock::now();
+  while (!pending_flush_.empty() &&
+         bytes_flushed_ >= pending_flush_.front().target_bytes) {
+    PendingTrace& pending = pending_flush_.front();
+    pending.trace.span_micros[static_cast<std::size_t>(trace::Span::kFlush)] =
+        MicrosSince(pending.enqueued, now);
+    PublishTrace(pending.trace);
+    pending_flush_.pop_front();
+  }
+}
+
+void Connection::PublishTrace(trace::RequestTrace& finished) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t micros : finished.span_micros) total += micros;
+  finished.total_micros = total;
+  finished.slow = context_.slow_query_micros > 0 &&
+                  total >= context_.slow_query_micros;
+  context_.trace_ring->Record(finished);
+  if (context_.trace_metrics) context_.trace_metrics->RecordSpans(finished);
+  if (context_.access_log == nullptr) return;
+  using logging::Field;
+  context_.access_log->Log(
+      finished.slow ? logging::Level::kWarn : logging::Level::kInfo, "request",
+      {Field::Num("trace_id", finished.context.trace_id),
+       Field::Num("conn", finished.context.connection_id),
+       Field("verb", finished.verb), Field("release", finished.release),
+       Field("codec", finished.codec), Field("outcome", finished.outcome),
+       Field::Num("bytes_in", finished.request_bytes),
+       Field::Num("bytes_out", finished.response_bytes),
+       Field::Num("total_us", finished.total_micros),
+       Field::Num("decode_us", finished.span(trace::Span::kDecode)),
+       Field::Num("admit_us", finished.span(trace::Span::kAdmit)),
+       Field::Num("queue_us", finished.span(trace::Span::kQueue)),
+       Field::Num("compute_us", finished.span(trace::Span::kCompute)),
+       Field::Num("encode_us", finished.span(trace::Span::kEncode)),
+       Field::Num("flush_us", finished.span(trace::Span::kFlush)),
+       Field::Num("batch_n", finished.batch_queries),
+       Field::Num("batch_max_group_us", finished.batch_max_group_micros),
+       Field::Bool("slow", finished.slow)});
 }
 
 void Connection::BeginDrain() { draining_ = true; }

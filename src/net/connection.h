@@ -33,7 +33,10 @@
 #include <string>
 
 #include "common/fd.h"
+#include "common/log.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
+#include "common/trace_metrics.h"
 #include "net/admission.h"
 #include "net/framing.h"
 #include "net/linger.h"
@@ -56,6 +59,16 @@ struct ServeContext {
   std::shared_ptr<const service::QueryService> service;
   std::shared_ptr<const service::BatchExecutor> executor;
   ThreadPool* pool = nullptr;
+  /// Request tracing (all optional). A non-null `trace_ring` switches
+  /// tracing on: every completed request then finalises a RequestTrace
+  /// into the ring, into the span/per-release metric families when
+  /// `trace_metrics` is set, and as one structured line to `access_log`
+  /// when that is set. `slow_query_micros` > 0 marks traces at or above
+  /// it as slow (reservoir candidates, WARN-level log lines).
+  std::shared_ptr<trace::TraceRing> trace_ring;
+  std::shared_ptr<const trace::ServingTraceMetrics> trace_metrics;
+  std::shared_ptr<logging::Logger> access_log;
+  std::uint64_t slow_query_micros = 0;
 };
 
 class Connection : public std::enable_shared_from_this<Connection> {
@@ -121,6 +134,13 @@ class Connection : public std::enable_shared_from_this<Connection> {
     bool dispatched = false;
     bool admitted = false;  ///< Shed slots never touched the executor.
     std::chrono::steady_clock::time_point arrival;
+    /// Per-request trace (only filled when the context carries a trace
+    /// ring). Written by the network thread before dispatch (identity,
+    /// decode/admit spans) and by the worker during Execute (queue,
+    /// compute, encode); the network thread reads it back only after
+    /// observing `done` under mu_, so the hand-off needs no extra
+    /// synchronisation.
+    trace::RequestTrace trace;
   };
 
   /// Decodes and admits every complete frame buffered so far. Network
@@ -136,11 +156,21 @@ class Connection : public std::enable_shared_from_this<Connection> {
   void Execute(const std::shared_ptr<Slot>& slot);
 
   /// Encodes `slot`'s response (typed or pre-encoded) and appends one
-  /// response frame to the write buffer.
-  void EnqueueResponseFrame(const Slot& slot);
+  /// response frame to the write buffer; when tracing, stamps the
+  /// response identity and moves the trace onto the pending-flush queue.
+  void EnqueueResponseFrame(Slot& slot);
 
   /// Writes as much buffered output as the socket accepts.
   void FlushWrites();
+
+  /// Completes (flush span, total, slow flag) and publishes every
+  /// pending trace whose response bytes have fully left the socket.
+  /// Network thread only.
+  void FinalizeFlushedTraces();
+
+  /// Publishes one finished trace to the ring, the metric families, and
+  /// the access log.
+  void PublishTrace(trace::RequestTrace& finished);
 
   const std::uint64_t id_;
   UniqueFd fd_;
@@ -152,6 +182,8 @@ class Connection : public std::enable_shared_from_this<Connection> {
   service::ServeSession session_;
   FrameDecoder decoder_;
 
+  const bool traced_;  ///< context_.trace_ring != nullptr, cached.
+
   // --- network-thread-only state ---
   std::string write_buffer_;
   std::size_t write_offset_ = 0;
@@ -159,6 +191,21 @@ class Connection : public std::enable_shared_from_this<Connection> {
   bool draining_ = false;
   bool dead_ = false;        ///< Socket error; discard everything.
   bool sent_decode_error_ = false;
+  /// When the current OnReadable pass pulled its bytes off the socket;
+  /// frames decoded in that pass stamp their decode span against it.
+  std::chrono::steady_clock::time_point read_start_;
+  /// Traces whose response frames sit in the write buffer, FIFO. Each
+  /// finalises (flush span = enqueue -> last byte accepted by the
+  /// kernel) once `bytes_flushed_` reaches its cumulative byte target.
+  /// Dropped unpublished if the connection dies mid-flush.
+  struct PendingTrace {
+    std::uint64_t target_bytes = 0;
+    std::chrono::steady_clock::time_point enqueued;
+    trace::RequestTrace trace;
+  };
+  std::deque<PendingTrace> pending_flush_;
+  std::uint64_t bytes_enqueued_ = 0;  ///< Response bytes ever buffered.
+  std::uint64_t bytes_flushed_ = 0;   ///< Response bytes ever sent.
 
   // --- cross-thread state (guarded by mu_) ---
   mutable std::mutex mu_;

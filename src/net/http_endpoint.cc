@@ -3,8 +3,11 @@
 #include "net/http_endpoint.h"
 
 #include <errno.h>
+#include <stdio.h>
 #include <sys/socket.h>
+#include <time.h>
 
+#include <cctype>
 #include <utility>
 
 #include "net/address.h"
@@ -20,6 +23,8 @@ const char* ReasonPhrase(int status) {
       return "OK";
     case 400:
       return "Bad Request";
+    case 401:
+      return "Unauthorized";
     case 404:
       return "Not Found";
     case 405:
@@ -33,16 +38,64 @@ const char* ReasonPhrase(int status) {
   }
 }
 
+// IMF-fixdate (RFC 9110), e.g. "Thu, 07 Aug 2026 12:00:00 GMT".
+std::string HttpDateNow() {
+  const time_t now = ::time(nullptr);
+  struct tm parts;
+  if (::gmtime_r(&now, &parts) == nullptr) return "";
+  char buf[64];
+  if (::strftime(buf, sizeof(buf), "%a, %d %b %Y %H:%M:%S GMT", &parts) == 0) {
+    return "";
+  }
+  return buf;
+}
+
 std::string EncodeHttpResponse(const HttpResponse& response) {
   std::string out;
-  out.reserve(response.body.size() + 128);
+  out.reserve(response.body.size() + 192);
   out += "HTTP/1.0 " + std::to_string(response.status) + " " +
          ReasonPhrase(response.status) + "\r\n";
+  const std::string date = HttpDateNow();
+  if (!date.empty()) out += "Date: " + date + "\r\n";
   out += "Content-Type: " + response.content_type + "\r\n";
   out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
   out += "Connection: close\r\n\r\n";
   out += response.body;
   return out;
+}
+
+// The value of header `name` (case-insensitive) in the raw request
+// bytes, leading/trailing whitespace trimmed; "" when absent.
+std::string HeaderValue(const std::string& raw, const std::string& name) {
+  std::size_t pos = raw.find('\n');  // Skip the request line.
+  while (pos != std::string::npos && pos + 1 < raw.size()) {
+    const std::size_t start = pos + 1;
+    std::size_t eol = raw.find('\n', start);
+    if (eol == std::string::npos) eol = raw.size();
+    std::string line = raw.substr(start, eol - start);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) break;  // End of headers.
+    const std::size_t colon = line.find(':');
+    if (colon != std::string::npos && colon == name.size()) {
+      bool match = true;
+      for (std::size_t i = 0; i < name.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(line[i])) !=
+            std::tolower(static_cast<unsigned char>(name[i]))) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        std::size_t v = colon + 1;
+        while (v < line.size() && (line[v] == ' ' || line[v] == '\t')) ++v;
+        std::size_t e = line.size();
+        while (e > v && (line[e - 1] == ' ' || line[e - 1] == '\t')) --e;
+        return line.substr(v, e - v);
+      }
+    }
+    pos = eol;
+  }
+  return "";
 }
 
 }  // namespace
@@ -52,8 +105,9 @@ HttpEndpoint::HttpEndpoint(std::string listen_address)
 
 HttpEndpoint::~HttpEndpoint() = default;
 
-void HttpEndpoint::AddRoute(const std::string& path, Handler handler) {
-  routes_[path] = std::move(handler);
+void HttpEndpoint::AddRoute(const std::string& path, Handler handler,
+                            bool requires_auth) {
+  routes_[path] = Route{std::move(handler), requires_auth};
 }
 
 Status HttpEndpoint::Start() {
@@ -215,18 +269,24 @@ HttpResponse HttpEndpoint::RouteRequest(const Conn& conn) const {
     return HttpResponse{405, "text/plain; charset=utf-8",
                         "only GET is supported\n"};
   }
-  const std::size_t query = target.find('?');
-  if (query != std::string::npos) target.resize(query);
-
   HttpRequest request;
   request.method = method;
+  const std::size_t query = target.find('?');
+  if (query != std::string::npos) {
+    request.query = target.substr(query + 1);
+    target.resize(query);
+  }
   request.path = std::move(target);
   const auto it = routes_.find(request.path);
   if (it == routes_.end()) {
     return HttpResponse{404, "text/plain; charset=utf-8",
                         "no such endpoint\n"};
   }
-  return it->second(request);
+  if (it->second.requires_auth && !bearer_token_.empty() &&
+      HeaderValue(conn.in, "Authorization") != "Bearer " + bearer_token_) {
+    return HttpResponse{401, "text/plain; charset=utf-8", "unauthorized\n"};
+  }
+  return it->second.handler(request);
 }
 
 void HttpEndpoint::BeginResponse(Conn* conn, const HttpResponse& response) {

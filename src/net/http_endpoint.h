@@ -42,6 +42,7 @@ namespace net {
 struct HttpRequest {
   std::string method;  ///< Uppercase as sent ("GET").
   std::string path;    ///< Absolute path with any "?query" stripped.
+  std::string query;   ///< The raw "?query" remainder, without the "?".
 };
 
 struct HttpResponse {
@@ -67,7 +68,17 @@ class HttpEndpoint {
 
   /// Registers `handler` for exact path `path` ("/metrics"). Handlers
   /// run on the polling thread; register everything before Start().
-  void AddRoute(const std::string& path, Handler handler);
+  /// With `requires_auth` and a bearer token configured, requests must
+  /// carry "Authorization: Bearer <token>" or are answered 401 without
+  /// reaching the handler (no token configured = route stays open).
+  void AddRoute(const std::string& path, Handler handler,
+                bool requires_auth = false);
+
+  /// Sets the bearer token that guards requires_auth routes. Empty
+  /// (the default) disables the check. Call before Start().
+  void set_bearer_token(std::string token) {
+    bearer_token_ = std::move(token);
+  }
 
   /// Binds and listens. After OK, bound_port() is the real port.
   Status Start();
@@ -124,11 +135,17 @@ class HttpEndpoint {
   HttpResponse RouteRequest(const Conn& conn) const;
   void BeginResponse(Conn* conn, const HttpResponse& response);
 
+  struct Route {
+    Handler handler;
+    bool requires_auth = false;
+  };
+
   const std::string listen_address_;
   std::string host_;
   std::uint16_t bound_port_ = 0;
   UniqueFd listen_fd_;
-  std::map<std::string, Handler> routes_;
+  std::map<std::string, Route> routes_;
+  std::string bearer_token_;
   std::map<int, std::unique_ptr<Conn>> connections_;  ///< By fd.
   /// Fully-responded sockets waiting out their FIN-before-close grace
   /// (see linger.h); spliced into the same poll cycle.

@@ -16,6 +16,10 @@
 #include <utility>
 #include <vector>
 
+#include "common/log.h"
+#include "common/trace.h"
+#include "common/trace_metrics.h"
+#include "engine/metrics.h"
 #include "net/address.h"
 #include "net/framing.h"
 #include "service/marginal_cache.h"
@@ -87,6 +91,89 @@ std::string FormatStats(
   return line;
 }
 
+/// Registers the five dpcube_release_build_seconds{phase=,release=}
+/// gauges for one release. Each gauge reads the store at render time, so
+/// an unloaded release reports 0 and a reloaded one its fresh timings
+/// (Registry::RegisterGauge overwrites the callback on re-registration).
+void RegisterReleaseBuildGauges(
+    metrics::Registry* registry,
+    const std::shared_ptr<service::ReleaseStore>& store,
+    const std::string& name) {
+  struct Phase {
+    const char* label;
+    double engine::PhaseTimings::*field;
+  };
+  const Phase phases[] = {
+      {"construction", &engine::PhaseTimings::construction_seconds},
+      {"budget", &engine::PhaseTimings::budget_seconds},
+      {"measure", &engine::PhaseTimings::measure_seconds},
+      {"consistency", &engine::PhaseTimings::consistency_seconds},
+      {"total", &engine::PhaseTimings::total_seconds},
+  };
+  for (const Phase& phase : phases) {
+    registry->RegisterGauge(
+        "dpcube_release_build_seconds",
+        std::string("phase=\"") + phase.label + "\",release=\"" +
+            trace::EscapeLabelValue(name) + "\"",
+        "Release build wall-clock by pipeline phase, from the release "
+        "CSV's build metadata (or the load-time consistency fit when the "
+        "CSV predates it).",
+        [store, name, field = phase.field] {
+          const auto release = store->Get(name);
+          if (!release.ok()) return 0.0;
+          return release.value()->build_timings().*field;
+        });
+  }
+}
+
+const char* OrDash(const std::string& value) {
+  return value.empty() ? "-" : value.c_str();
+}
+
+/// One grep-able /tracez row per completed request.
+std::string FormatTraceRow(const trace::RequestTrace& t) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "trace id=%llu conn=%llu verb=%s release=%s codec=%s outcome=%s "
+      "bytes_in=%llu bytes_out=%llu total_us=%llu decode_us=%llu "
+      "admit_us=%llu queue_us=%llu compute_us=%llu encode_us=%llu "
+      "flush_us=%llu batch_n=%u batch_max_group_us=%llu slow=%d",
+      static_cast<unsigned long long>(t.context.trace_id),
+      static_cast<unsigned long long>(t.context.connection_id),
+      OrDash(t.verb), OrDash(t.release), OrDash(t.codec), OrDash(t.outcome),
+      static_cast<unsigned long long>(t.request_bytes),
+      static_cast<unsigned long long>(t.response_bytes),
+      static_cast<unsigned long long>(t.total_micros),
+      static_cast<unsigned long long>(t.span(trace::Span::kDecode)),
+      static_cast<unsigned long long>(t.span(trace::Span::kAdmit)),
+      static_cast<unsigned long long>(t.span(trace::Span::kQueue)),
+      static_cast<unsigned long long>(t.span(trace::Span::kCompute)),
+      static_cast<unsigned long long>(t.span(trace::Span::kEncode)),
+      static_cast<unsigned long long>(t.span(trace::Span::kFlush)),
+      t.batch_queries,
+      static_cast<unsigned long long>(t.batch_max_group_micros),
+      t.slow ? 1 : 0);
+  return buf;
+}
+
+/// The value of `key` in an (un-decoded) "a=b&c=d" query string.
+std::string QueryParam(const std::string& query, const std::string& key) {
+  std::size_t pos = 0;
+  while (pos <= query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0) {
+      return query.substr(eq + 1, amp - eq - 1);
+    }
+    if (amp >= query.size()) break;
+    pos = amp + 1;
+  }
+  return "";
+}
+
 }  // namespace
 
 int ResolveNetThreads(int net_threads) {
@@ -114,6 +201,28 @@ SocketListener::SocketListener(ServerOptions options, ServeContext context)
     pollers_.push_back(std::make_unique<Poller>(i));
   }
   RegisterServerMetrics();
+  if (options_.trace_ring_capacity > 0) {
+    trace_ring_ = std::make_shared<trace::TraceRing>(
+        options_.trace_ring_capacity, options_.trace_slowest_capacity);
+    context_.trace_ring = trace_ring_;
+    // The deleter pins the registry: a connection (and its pool tasks)
+    // can outlive the listener, and RecordSpans dereferences
+    // registry-owned histograms.
+    context_.trace_metrics = std::shared_ptr<const trace::ServingTraceMetrics>(
+        new trace::ServingTraceMetrics(registry_.get()),
+        [registry = registry_](const trace::ServingTraceMetrics* p) {
+          delete p;
+        });
+    context_.slow_query_micros =
+        options_.slow_query_ms > 0
+            ? static_cast<std::uint64_t>(options_.slow_query_ms) * 1000
+            : 0;
+  }
+  // Build-phase gauges for everything loaded before the server started;
+  // the release-loaded hook covers runtime loads.
+  for (const auto& info : context_.store->List()) {
+    RegisterReleaseBuildGauges(registry_.get(), context_.store, info.name);
+  }
 }
 
 SocketListener::~SocketListener() = default;
@@ -284,6 +393,11 @@ void SocketListener::InstallHttpRoutes() {
   metrics::Counter* metrics_hits = http_hits("/metrics");
   metrics::Counter* healthz_hits = http_hits("/healthz");
   metrics::Counter* statusz_hits = http_hits("/statusz");
+  metrics::Counter* tracez_hits = http_hits("/tracez");
+
+  // Everything except the health probe sits behind the bearer token
+  // when one is configured (an empty token leaves every route open).
+  http_->set_bearer_token(options_.http_token);
 
   http_->AddRoute("/metrics",
                   [registry, metrics_hits](const HttpRequest&) {
@@ -295,7 +409,50 @@ void SocketListener::InstallHttpRoutes() {
                         "text/plain; version=0.0.4; charset=utf-8";
                     response.body = registry->RenderPrometheus();
                     return response;
-                  });
+                  },
+                  /*requires_auth=*/true);
+
+  auto ring = trace_ring_;
+  http_->AddRoute(
+      "/tracez",
+      [ring, tracez_hits](const HttpRequest& request) {
+        tracez_hits->Increment();
+        HttpResponse response;
+        if (!ring) {
+          response.body = "tracing disabled (trace ring capacity 0)\n";
+          return response;
+        }
+        // ?verb=query&release=census filter both views (exact match).
+        const std::string verb = QueryParam(request.query, "verb");
+        const std::string release = QueryParam(request.query, "release");
+        const auto matches = [&verb, &release](const trace::RequestTrace& t) {
+          if (!verb.empty() && t.verb != verb) return false;
+          if (!release.empty() && t.release != release) return false;
+          return true;
+        };
+        std::string body = "dpcube request traces\n";
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "ring: capacity=%zu slowest_capacity=%zu "
+                      "recorded_total=%llu\n",
+                      ring->capacity(), ring->slowest_capacity(),
+                      static_cast<unsigned long long>(ring->recorded_total()));
+        body += line;
+        body +=
+            "spans: decode -> admit -> queue -> compute -> encode -> "
+            "flush (microseconds)\n";
+        body += "\nslowest:\n";
+        for (const auto& t : ring->Slowest()) {
+          if (matches(t)) body += FormatTraceRow(t) + "\n";
+        }
+        body += "\nrecent:\n";
+        for (const auto& t : ring->Recent(64)) {
+          if (matches(t)) body += FormatTraceRow(t) + "\n";
+        }
+        response.body = std::move(body);
+        return response;
+      },
+      /*requires_auth=*/true);
 
   auto draining = draining_flag_;
   auto admission = admission_;
@@ -350,7 +507,8 @@ void SocketListener::InstallHttpRoutes() {
         }
         return HttpResponse{200, "text/plain; charset=utf-8",
                             std::move(body)};
-      });
+      },
+      /*requires_auth=*/true);
 }
 
 Status SocketListener::Start() {
@@ -362,6 +520,12 @@ Status SocketListener::Start() {
   auto fd = ListenTcp(host_, bound_port_, /*backlog=*/128, &bound_port_);
   if (!fd.ok()) return fd.status();
   listen_fd_ = std::move(fd).value();
+  if (!options_.access_log_path.empty()) {
+    auto logger = logging::Logger::Open(options_.access_log_path,
+                                        logging::Logger::Format::kJson);
+    if (!logger.ok()) return logger.status();
+    context_.access_log = std::move(logger).value();
+  }
   if (!options_.http_listen_address.empty()) {
     http_ = std::make_unique<HttpEndpoint>(options_.http_listen_address);
     DPCUBE_RETURN_NOT_OK(http_->Start());
@@ -435,6 +599,14 @@ void SocketListener::AcceptPending() {
           return FormatStats(admission, stats, cache, store, verbs);
         });
     connection->session().SetMetrics(session_metrics_);
+    // Runtime `load` requests register their release's build-phase
+    // gauges too. Captures shared_ptrs only: the hook runs on pool
+    // workers and may fire after the listener is gone.
+    connection->session().SetReleaseLoadedHook(
+        [registry = registry_, store = context_.store](
+            const std::string& name) {
+          RegisterReleaseBuildGauges(registry.get(), store, name);
+        });
     if (admission_->config().max_queries_per_release > 0 ||
         admission_->config().query_rate_limit > 0) {
       connection->session().SetQueryQuotaGate(

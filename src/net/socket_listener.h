@@ -55,8 +55,24 @@ struct ServerOptions {
   /// "host:port"; port 0 binds an ephemeral port (see bound_port()).
   std::string listen_address = "127.0.0.1:0";
   /// "host:port" for the HTTP observability endpoint (/metrics,
-  /// /healthz, /statusz); empty disables HTTP entirely.
+  /// /healthz, /statusz, /tracez); empty disables HTTP entirely.
   std::string http_listen_address;
+  /// When non-empty, /metrics, /statusz, and /tracez require
+  /// "Authorization: Bearer <token>" (401 otherwise). /healthz stays
+  /// open so load balancers need no secret.
+  std::string http_token;
+  /// Completed-request traces kept for /tracez (the "recent" view);
+  /// 0 disables request tracing entirely (no ring, no spans, no access
+  /// log records).
+  std::size_t trace_ring_capacity = 256;
+  /// Keep-slowest reservoir size for /tracez's "slowest" view.
+  std::size_t trace_slowest_capacity = 16;
+  /// When non-empty, every completed request appends one JSONL record
+  /// here (opened in Start(); open failure fails Start()).
+  std::string access_log_path;
+  /// Traces at or above this total latency are flagged slow (WARN log
+  /// level, slow=1 in /tracez). 0 flags nothing.
+  int slow_query_ms = 0;
   AdmissionConfig admission;
   /// Per-frame payload cap handed to each connection's decoder.
   std::size_t max_frame_payload = std::size_t{1} << 20;
@@ -118,6 +134,12 @@ class SocketListener {
   /// STATS verb (public so the CLI/tests can print the same snapshot).
   std::string FormatStatsLine() const;
 
+  /// The completed-request trace ring (null when trace_ring_capacity
+  /// was 0). Thread-safe to read while serving.
+  std::shared_ptr<const trace::TraceRing> trace_ring() const {
+    return trace_ring_;
+  }
+
  private:
   /// Accepts until EAGAIN; each accept passes admission (and is handed
   /// to the next poller round-robin) or gets a one-frame BUSY goodbye
@@ -128,11 +150,16 @@ class SocketListener {
   /// gauges, resource tracker) into registry_ and resolves the
   /// sessions' per-verb table.
   void RegisterServerMetrics();
-  /// Installs the /metrics, /healthz, and /statusz routes on http_.
+  /// Installs the /metrics, /healthz, /statusz, and /tracez routes on
+  /// http_ (the first and last two behind the bearer token, when set).
   void InstallHttpRoutes();
 
   const ServerOptions options_;
-  const ServeContext context_;
+  /// Mutable (unlike before the tracing spine): the constructor and
+  /// Start() splice the trace ring, trace metrics, and access log into
+  /// the context BEFORE any connection copies it.
+  ServeContext context_;
+  std::shared_ptr<trace::TraceRing> trace_ring_;
   std::shared_ptr<AdmissionController> admission_;
   std::shared_ptr<ServerStats> stats_;
   std::shared_ptr<metrics::Registry> registry_;

@@ -3,6 +3,7 @@
 #include "service/batch_executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <string>
 #include <utility>
@@ -21,7 +22,7 @@ BatchExecutor::BatchExecutor(std::shared_ptr<const QueryService> service,
       pool_(owned_pool_.get()) {}
 
 std::vector<QueryResponse> BatchExecutor::ExecuteBatch(
-    const std::vector<Query>& queries) const {
+    const std::vector<Query>& queries, BatchTiming* timing) const {
   std::vector<QueryResponse> responses(queries.size());
   if (queries.empty()) return responses;
 
@@ -37,13 +38,39 @@ std::vector<QueryResponse> BatchExecutor::ExecuteBatch(
     groups.push_back(std::move(indices));
   }
 
+  // One pre-sized slot per group: each worker writes only its own index
+  // and the slots are read after the ParallelFor join, so the timing
+  // never adds a cross-thread write.
+  std::vector<std::uint64_t> group_micros(timing ? groups.size() : 0, 0);
+
   pool_->ParallelFor(0, groups.size(), 1, [&](std::size_t g) {
+    const auto started = timing ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point();
     // The first Answer derives (and caches) the group's parent marginal;
     // the rest are cache hits against it.
     for (const std::size_t i : groups[g]) {
       responses[i] = service_->Answer(queries[i]);
     }
+    if (timing) {
+      group_micros[g] = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - started)
+              .count());
+    }
   });
+
+  if (timing) {
+    timing->groups.reserve(groups.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      BatchGroupTiming row;
+      row.release = queries[groups[g].front()].release;
+      row.queries = groups[g].size();
+      row.micros = group_micros[g];
+      timing->groups.push_back(std::move(row));
+      timing->max_group_micros =
+          std::max(timing->max_group_micros, group_micros[g]);
+    }
+  }
   return responses;
 }
 

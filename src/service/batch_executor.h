@@ -17,7 +17,9 @@
 #ifndef DPCUBE_SERVICE_BATCH_EXECUTOR_H_
 #define DPCUBE_SERVICE_BATCH_EXECUTOR_H_
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -25,6 +27,22 @@
 
 namespace dpcube {
 namespace service {
+
+/// Wall-clock of one batch group (all queries sharing a parent
+/// marginal), measured on the worker that answered it. Each entry is
+/// written by exactly one worker into its own pre-sized vector slot and
+/// only read after the batch's join barrier, so the timing costs no
+/// synchronisation beyond the barrier the batch already pays.
+struct BatchGroupTiming {
+  std::string release;
+  std::size_t queries = 0;       ///< Sub-queries answered by the group.
+  std::uint64_t micros = 0;      ///< Group wall-clock on its worker.
+};
+
+struct BatchTiming {
+  std::vector<BatchGroupTiming> groups;
+  std::uint64_t max_group_micros = 0;  ///< Slowest group (critical path).
+};
 
 class BatchExecutor {
  public:
@@ -43,9 +61,11 @@ class BatchExecutor {
   /// Answers all queries; `result[i]` corresponds to `queries[i]`.
   /// Blocks until the whole batch is done; the calling thread joins the
   /// pool's workers in answering groups. Thread-safe: concurrent batches
-  /// interleave over the shared pool.
-  std::vector<QueryResponse> ExecuteBatch(
-      const std::vector<Query>& queries) const;
+  /// interleave over the shared pool. When `timing` is non-null it is
+  /// filled (after the join) with per-group wall-clock spans for the
+  /// request-tracing spine.
+  std::vector<QueryResponse> ExecuteBatch(const std::vector<Query>& queries,
+                                          BatchTiming* timing = nullptr) const;
 
   int num_threads() const { return pool_->parallelism(); }
 

@@ -3,6 +3,7 @@
 #include "service/release_store.h"
 
 #include <atomic>
+#include <chrono>
 #include <utility>
 
 #include "engine/release_io.h"
@@ -20,7 +21,7 @@ std::uint64_t NextEpoch() {
 Result<std::shared_ptr<const StoredRelease>> StoredRelease::Create(
     std::string name, marginal::Workload workload,
     std::vector<marginal::MarginalTable> marginals,
-    linalg::Vector cell_variances) {
+    linalg::Vector cell_variances, const engine::PhaseTimings* build_timings) {
   if (name.empty()) {
     return Status::InvalidArgument("release name must be non-empty");
   }
@@ -31,12 +32,26 @@ Result<std::shared_ptr<const StoredRelease>> StoredRelease::Create(
   if (cell_variances.empty()) {
     cell_variances.assign(workload.num_marginals(), 1.0);
   }
+  const auto fit_start = std::chrono::steady_clock::now();
   auto cube = recovery::DerivedCube::Fit(workload, marginals, cell_variances);
+  const double fit_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    fit_start)
+          .count();
   if (!cube.ok()) return cube.status();
   auto stored = std::shared_ptr<StoredRelease>(
       new StoredRelease(std::move(name), std::move(workload),
                         std::move(marginals), std::move(cube).value()));
   stored->epoch_ = NextEpoch();
+  stored->fit_seconds_ = fit_seconds;
+  if (build_timings != nullptr) {
+    stored->build_timings_ = *build_timings;
+  } else {
+    // No archived pipeline timings: the load-time fit is the only build
+    // work this process performed for the release.
+    stored->build_timings_.consistency_seconds = fit_seconds;
+    stored->build_timings_.total_seconds = fit_seconds;
+  }
   return std::shared_ptr<const StoredRelease>(std::move(stored));
 }
 
@@ -51,7 +66,8 @@ ReleaseInfo StoredRelease::Info() const {
 
 Status ReleaseStore::Add(const std::string& name, marginal::Workload workload,
                          std::vector<marginal::MarginalTable> marginals,
-                         linalg::Vector cell_variances) {
+                         linalg::Vector cell_variances,
+                         const engine::PhaseTimings* build_timings) {
   {
     // Reject taken names before the (expensive) coefficient fit. A
     // concurrent Add can still win the name in between, so the insert
@@ -64,7 +80,8 @@ Status ReleaseStore::Add(const std::string& name, marginal::Workload workload,
   }
   auto stored = StoredRelease::Create(name, std::move(workload),
                                       std::move(marginals),
-                                      std::move(cell_variances));
+                                      std::move(cell_variances),
+                                      build_timings);
   if (!stored.ok()) return stored.status();
   std::lock_guard<std::mutex> lock(mu_);
   if (releases_.count(name) > 0) {
@@ -93,7 +110,9 @@ Status ReleaseStore::LoadFromFile(const std::string& name,
     cell_variances = std::move(loaded.value().cell_variances);
   }
   return Add(name, std::move(loaded.value().workload),
-             std::move(loaded.value().marginals), std::move(cell_variances));
+             std::move(loaded.value().marginals), std::move(cell_variances),
+             loaded.value().has_build_timings ? &loaded.value().build_timings
+                                              : nullptr);
 }
 
 Status ReleaseStore::Remove(const std::string& name) {

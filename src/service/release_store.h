@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "engine/metrics.h"
 #include "marginal/marginal_table.h"
 #include "marginal/workload.h"
 #include "recovery/derive.h"
@@ -42,10 +43,15 @@ class StoredRelease {
   /// empty means uniform weight 1.0, which yields the plain L2
   /// consistency fit and variance predictions in units of one released
   /// cell's variance.
+  /// `build_timings`, when provided (archives written with the
+  /// build-seconds header), records the original pipeline's per-phase
+  /// wall-clock; without it the load-time fit measured here stands in
+  /// (consistency and total phases only).
   static Result<std::shared_ptr<const StoredRelease>> Create(
       std::string name, marginal::Workload workload,
       std::vector<marginal::MarginalTable> marginals,
-      linalg::Vector cell_variances = {});
+      linalg::Vector cell_variances = {},
+      const engine::PhaseTimings* build_timings = nullptr);
 
   const std::string& name() const { return name_; }
 
@@ -64,6 +70,14 @@ class StoredRelease {
   /// True iff the release determines the marginal over `beta`.
   bool Covers(bits::Mask beta) const { return cube_.CanDerive(beta); }
 
+  /// Per-phase build wall-clock: the archived pipeline timings when the
+  /// release CSV carried them, otherwise the load-time consistency fit
+  /// measured by Create (exported as
+  /// dpcube_release_build_seconds{phase=,release=}).
+  const engine::PhaseTimings& build_timings() const { return build_timings_; }
+  /// The load-time DerivedCube fit, always measured here.
+  double fit_seconds() const { return fit_seconds_; }
+
   ReleaseInfo Info() const;
 
  private:
@@ -80,6 +94,8 @@ class StoredRelease {
   marginal::Workload workload_;
   std::vector<marginal::MarginalTable> marginals_;
   recovery::DerivedCube cube_;
+  engine::PhaseTimings build_timings_;
+  double fit_seconds_ = 0.0;
 };
 
 /// Thread-safe name -> release map.
@@ -89,7 +105,8 @@ class ReleaseStore {
   /// FailedPrecondition if the name is already taken.
   Status Add(const std::string& name, marginal::Workload workload,
              std::vector<marginal::MarginalTable> marginals,
-             linalg::Vector cell_variances = {});
+             linalg::Vector cell_variances = {},
+             const engine::PhaseTimings* build_timings = nullptr);
 
   /// Loads a release archived by engine::WriteReleaseCsv. When the
   /// archive carries per-marginal cell variances, those are used unless

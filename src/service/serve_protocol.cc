@@ -5,6 +5,7 @@
 #include <chrono>
 #include <istream>
 #include <ostream>
+#include <set>
 #include <utility>
 
 namespace dpcube {
@@ -24,14 +25,30 @@ void ServeSession::Run(std::istream& in, std::ostream& out) {
 }
 
 bool ServeSession::ProcessStream(std::istream& in, std::ostream& out,
-                                 bool flush_each) {
+                                 bool flush_each,
+                                 trace::RequestTrace* frame_trace) {
+  active_trace_ = frame_trace;
   std::string line;
   while (std::getline(in, line)) {
     const std::vector<std::string> tokens = Tokenize(line);
     if (tokens.empty()) continue;
     const Request request = ParseRequestLine(line, tokens);
-    const auto started = metrics_ ? std::chrono::steady_clock::now()
-                                  : std::chrono::steady_clock::time_point();
+    const bool timed = metrics_ != nullptr || active_trace_ != nullptr;
+    const auto started = timed ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point();
+    if (active_trace_) {
+      // The frame's identity is its first request; a pipelined frame
+      // keeps the first line's verb/release (and adds their spans up).
+      if (active_trace_->verb.empty()) {
+        active_trace_->verb = VerbName(request.kind);
+      }
+      if (active_trace_->release.empty() &&
+          request.kind == RequestKind::kQuery) {
+        active_trace_->release = request.query.release;
+      }
+    }
+    const std::uint64_t encode_before =
+        active_trace_ ? active_trace_->span(trace::Span::kEncode) : 0;
     bool quit = false;
     if (request.kind == RequestKind::kBatch) {
       HandleBatch(request, in, out);
@@ -41,19 +58,34 @@ bool ServeSession::ProcessStream(std::istream& in, std::ostream& out,
       Emit(ExecuteRequest(request), out);
       quit = request.kind == RequestKind::kQuit;
     }
-    if (metrics_) {
-      metrics_->request_count(request.kind)->Increment();
-      metrics_->request_latency(request.kind)
-          ->Record(std::chrono::duration<double>(
-                       std::chrono::steady_clock::now() - started)
-                       .count());
+    if (timed) {
+      const double seconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - started)
+                                 .count();
+      if (metrics_) {
+        metrics_->request_count(request.kind)->Increment();
+        metrics_->request_latency(request.kind)->Record(seconds);
+      }
+      if (active_trace_) {
+        // Compute is the line's wall-clock minus whatever Emit spent
+        // encoding, so the two spans partition the session's work.
+        const std::uint64_t line_micros =
+            static_cast<std::uint64_t>(seconds * 1e6);
+        const std::uint64_t encode_micros =
+            active_trace_->span(trace::Span::kEncode) - encode_before;
+        active_trace_->span_micros[static_cast<std::size_t>(
+            trace::Span::kCompute)] +=
+            line_micros > encode_micros ? line_micros - encode_micros : 0;
+      }
     }
     if (quit) {
       out.flush();
+      active_trace_ = nullptr;
       return false;
     }
     if (flush_each) out.flush();
   }
+  active_trace_ = nullptr;
   return true;
 }
 
@@ -61,7 +93,23 @@ void ServeSession::Emit(const Response& response, std::ostream& out) {
   if (metrics_ && response.code != ErrorCode::kOk) {
     metrics_->error_count(response.code)->Increment();
   }
+  if (active_trace_ == nullptr) {
+    EncodeResponse(response, codec(), out);
+    return;
+  }
+  // The frame's outcome is its first non-kOk response (or "Ok", filled
+  // in by the connection when the trace finalises with none recorded).
+  if (response.code != ErrorCode::kOk && active_trace_->outcome.empty()) {
+    active_trace_->outcome = ErrorCodeName(response.code);
+  }
+  const auto started = std::chrono::steady_clock::now();
   EncodeResponse(response, codec(), out);
+  active_trace_->span_micros[static_cast<std::size_t>(
+      trace::Span::kEncode)] +=
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - started)
+              .count());
 }
 
 void ServeSession::HandleHello(const Request& request, std::ostream& out) {
@@ -98,6 +146,7 @@ Response ServeSession::ExecuteRequest(const Request& request) {
       if (!st.ok()) {
         return Response::Error(ErrorCodeFromStatus(st), st.ToString());
       }
+      if (release_loaded_hook_) release_loaded_hook_(request.name);
       response.name = request.name;
       return response;
     }
@@ -115,7 +164,22 @@ Response ServeSession::ExecuteRequest(const Request& request) {
     case RequestKind::kQuery: {
       Response denied;
       if (!CheckQuota(request.query, &denied)) return denied;
-      return Response::FromQuery(service_->Answer(request.query));
+      if (!trace_metrics_) {
+        return Response::FromQuery(service_->Answer(request.query));
+      }
+      const auto started = std::chrono::steady_clock::now();
+      Response answered = Response::FromQuery(service_->Answer(request.query));
+      // Unknown releases never mint per-release series: the name came
+      // off the wire and only the cardinality cap would bound it.
+      if (answered.code != ErrorCode::kNotFound) {
+        const trace::ServingTraceMetrics::PerRelease series =
+            trace_metrics_->Release(request.query.release);
+        series.queries->Increment();
+        series.latency->Record(std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - started)
+                                   .count());
+      }
+      return answered;
     }
     case RequestKind::kServerStats:
       if (server_stats_handler_) {
@@ -181,12 +245,40 @@ void ServeSession::HandleBatch(const Request& request, std::istream& in,
       admitted_queries.push_back(batch[i]);
     }
   }
+  const bool want_timing =
+      active_trace_ != nullptr || trace_metrics_ != nullptr;
+  BatchTiming timing;
   const std::vector<QueryResponse> answers =
       admitted_queries.empty()
           ? std::vector<QueryResponse>{}
-          : executor_->ExecuteBatch(admitted_queries);
+          : executor_->ExecuteBatch(admitted_queries,
+                                    want_timing ? &timing : nullptr);
+  // Releases that answered NotFound must not mint per-release series:
+  // the names came off the wire.
+  std::set<std::string> missing;
   for (std::size_t j = 0; j < admitted.size(); ++j) {
     responses[admitted[j]] = Response::FromQuery(answers[j]);
+    if (responses[admitted[j]].code == ErrorCode::kNotFound) {
+      missing.insert(admitted_queries[j].release);
+    }
+  }
+  if (active_trace_) {
+    active_trace_->batch_queries += static_cast<std::uint32_t>(batch.size());
+    if (timing.max_group_micros > active_trace_->batch_max_group_micros) {
+      active_trace_->batch_max_group_micros = timing.max_group_micros;
+    }
+    if (active_trace_->release.empty() && !batch.empty()) {
+      active_trace_->release = batch.front().release;
+    }
+  }
+  if (trace_metrics_) {
+    for (const BatchGroupTiming& group : timing.groups) {
+      if (missing.count(group.release) != 0) continue;
+      const trace::ServingTraceMetrics::PerRelease series =
+          trace_metrics_->Release(group.release);
+      series.queries->Increment(group.queries);
+      series.latency->Record(static_cast<double>(group.micros) * 1e-6);
+    }
   }
   for (const Response& response : responses) {
     Emit(response, out);

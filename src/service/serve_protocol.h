@@ -40,6 +40,8 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.h"
+#include "common/trace_metrics.h"
 #include "service/batch_executor.h"
 #include "service/marginal_cache.h"
 #include "service/query_service.h"
@@ -74,8 +76,14 @@ class ServeSession {
   /// was processed (remaining payload lines are not read, matching Run).
   /// A "batch N" whose sub-lines are cut off by the end of `in` answers
   /// "ERR unexpected EOF inside batch", bounding the error to the frame.
+  ///
+  /// `frame_trace`, when non-null, accumulates the frame's compute and
+  /// encode spans plus verb/release/outcome/batch identity (the network
+  /// connection owns the trace and its other spans). The session never
+  /// shares a trace across threads: one frame executes on one worker.
   bool ProcessStream(std::istream& in, std::ostream& out,
-                     bool flush_each = false);
+                     bool flush_each = false,
+                     trace::RequestTrace* frame_trace = nullptr);
 
   /// The response codec currently in effect (mutated by HELLO requests
   /// on whatever thread drives the session; readable from any thread —
@@ -115,6 +123,23 @@ class ServeSession {
     metrics_ = std::move(metrics);
   }
 
+  /// Installs the tracing-side metric table (span histograms plus the
+  /// capped per-release series; see common/trace_metrics.h). With it
+  /// set, every answered query also records into its release's
+  /// labelled counter/latency series. Unset, nothing is recorded.
+  void SetTraceMetrics(
+      std::shared_ptr<const trace::ServingTraceMetrics> trace_metrics) {
+    trace_metrics_ = std::move(trace_metrics);
+  }
+
+  /// Called after every successful `load NAME PATH` with the release
+  /// name, on the thread driving the session (must be thread-safe).
+  /// The listener uses it to register the release's build-phase gauges
+  /// the moment a release appears at runtime.
+  void SetReleaseLoadedHook(std::function<void(const std::string&)> hook) {
+    release_loaded_hook_ = std::move(hook);
+  }
+
  private:
   /// Executes one non-batch, non-HELLO typed request.
   Response ExecuteRequest(const Request& request);
@@ -138,6 +163,11 @@ class ServeSession {
   std::function<std::string()> server_stats_handler_;
   std::function<bool(const std::string&, std::string*)> quota_gate_;
   std::shared_ptr<const SessionMetrics> metrics_;
+  std::shared_ptr<const trace::ServingTraceMetrics> trace_metrics_;
+  std::function<void(const std::string&)> release_loaded_hook_;
+  /// The frame trace currently being filled (only while ProcessStream
+  /// runs; a session executes one frame at a time, so no sharing).
+  trace::RequestTrace* active_trace_ = nullptr;
   std::atomic<Codec> codec_{Codec::kText};
 };
 

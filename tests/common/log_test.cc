@@ -1,0 +1,132 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "common/log.h"
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dpcube {
+namespace logging {
+namespace {
+
+// Log into a tmpfile through the borrowed-stream constructor and hand
+// back everything written.
+std::string Capture(Logger::Format format, Level min_level,
+                    const std::function<void(Logger&)>& fn) {
+  std::FILE* stream = std::tmpfile();
+  EXPECT_NE(stream, nullptr);
+  {
+    Logger logger(stream, format, min_level);
+    fn(logger);
+  }
+  std::fflush(stream);
+  std::rewind(stream);
+  std::string out;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), stream)) > 0) {
+    out.append(buf, n);
+  }
+  std::fclose(stream);
+  return out;
+}
+
+TEST(LogTest, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(JsonEscape(std::string("a\x01z", 3)), "a\\u0001z");
+}
+
+TEST(LogTest, LevelNames) {
+  EXPECT_STREQ(LevelName(Level::kDebug), "DEBUG");
+  EXPECT_STREQ(LevelName(Level::kInfo), "INFO");
+  EXPECT_STREQ(LevelName(Level::kWarn), "WARN");
+  EXPECT_STREQ(LevelName(Level::kError), "ERROR");
+}
+
+TEST(LogTest, HumanFormatCarriesEventAndFields) {
+  const std::string out =
+      Capture(Logger::Format::kHuman, Level::kInfo, [](Logger& log) {
+        log.Info("request", {Field("verb", "query"), Field::Num("us", 42)});
+      });
+  // "<ts> INFO request verb=query us=42\n"
+  EXPECT_NE(out.find(" INFO request verb=query us=42\n"), std::string::npos);
+  // The timestamp prefix is ISO-8601 UTC.
+  EXPECT_EQ(out.find("20"), 0u);
+  EXPECT_NE(out.find("T"), std::string::npos);
+  EXPECT_NE(out.find("Z "), std::string::npos);
+}
+
+TEST(LogTest, JsonFormatIsOneObjectPerLine) {
+  const std::string out =
+      Capture(Logger::Format::kJson, Level::kInfo, [](Logger& log) {
+        log.Warn("request", {Field("verb", "qu\"ery"), Field::Num("us", 42),
+                             Field::Bool("slow", true)});
+      });
+  EXPECT_EQ(out.find("{\"ts\":\""), 0u);
+  EXPECT_NE(out.find("\"level\":\"WARN\""), std::string::npos);
+  EXPECT_NE(out.find("\"event\":\"request\""), std::string::npos);
+  // Quoted + escaped string field, raw numeric, raw boolean.
+  EXPECT_NE(out.find("\"verb\":\"qu\\\"ery\""), std::string::npos);
+  EXPECT_NE(out.find("\"us\":42"), std::string::npos);
+  EXPECT_NE(out.find("\"slow\":true"), std::string::npos);
+  EXPECT_EQ(out.back(), '\n');
+  EXPECT_EQ(out.find('\n'), out.size() - 1);
+}
+
+TEST(LogTest, MinLevelFilters) {
+  const std::string out =
+      Capture(Logger::Format::kHuman, Level::kWarn, [](Logger& log) {
+        log.Debug("dropped-debug");
+        log.Info("dropped-info");
+        log.Warn("kept-warn");
+        log.Error("kept-error");
+      });
+  EXPECT_EQ(out.find("dropped"), std::string::npos);
+  EXPECT_NE(out.find("kept-warn"), std::string::npos);
+  EXPECT_NE(out.find("kept-error"), std::string::npos);
+}
+
+TEST(LogTest, OpenAppendsToFile) {
+  const std::string path =
+      ::testing::TempDir() + "/dpcube_log_test_access.jsonl";
+  std::remove(path.c_str());
+  {
+    auto logger = Logger::Open(path, Logger::Format::kJson);
+    ASSERT_TRUE(logger.ok()) << logger.status().ToString();
+    logger.value()->Info("first", {Field::Num("n", 1)});
+  }
+  {
+    // Reopening appends rather than truncating.
+    auto logger = Logger::Open(path, Logger::Format::kJson);
+    ASSERT_TRUE(logger.ok()) << logger.status().ToString();
+    logger.value()->Info("second", {Field::Num("n", 2)});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"event\":\"first\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"event\":\"second\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(LogTest, OpenFailsOnBadPath) {
+  auto logger =
+      Logger::Open("/nonexistent-dir/definitely/not/here.log",
+                   Logger::Format::kJson);
+  EXPECT_FALSE(logger.ok());
+}
+
+}  // namespace
+}  // namespace logging
+}  // namespace dpcube

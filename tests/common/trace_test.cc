@@ -1,0 +1,189 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dpcube {
+namespace trace {
+namespace {
+
+RequestTrace MakeTrace(std::uint64_t id, std::uint64_t total_micros,
+                       const std::string& verb = "query") {
+  RequestTrace t;
+  t.context.trace_id = id;
+  t.context.connection_id = 7;
+  t.verb = verb;
+  t.release = "demo";
+  t.codec = "text";
+  t.outcome = "Ok";
+  t.total_micros = total_micros;
+  t.set_span(Span::kCompute, total_micros);
+  return t;
+}
+
+TEST(TraceTest, SpanNamesAreStable) {
+  EXPECT_STREQ(SpanName(Span::kDecode), "decode");
+  EXPECT_STREQ(SpanName(Span::kAdmit), "admit");
+  EXPECT_STREQ(SpanName(Span::kQueue), "queue");
+  EXPECT_STREQ(SpanName(Span::kCompute), "compute");
+  EXPECT_STREQ(SpanName(Span::kEncode), "encode");
+  EXPECT_STREQ(SpanName(Span::kFlush), "flush");
+}
+
+TEST(TraceTest, NextTraceIdIsUniqueAndNonZero) {
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t id = NextTraceId();
+    EXPECT_NE(id, 0u);
+    EXPECT_TRUE(seen.insert(id).second);
+  }
+}
+
+TEST(TraceTest, SpanAccessorsRoundTrip) {
+  RequestTrace t;
+  for (int s = 0; s < kNumSpans; ++s) {
+    EXPECT_EQ(t.span(static_cast<Span>(s)), 0u);
+  }
+  t.set_span(Span::kQueue, 42);
+  EXPECT_EQ(t.span(Span::kQueue), 42u);
+  EXPECT_EQ(t.span(Span::kCompute), 0u);
+}
+
+TEST(TraceRingTest, RecentIsNewestFirst) {
+  TraceRing ring(8);
+  for (std::uint64_t i = 1; i <= 5; ++i) ring.Record(MakeTrace(i, i * 10));
+  const auto recent = ring.Recent(16);
+  ASSERT_EQ(recent.size(), 5u);
+  for (std::size_t i = 0; i < recent.size(); ++i) {
+    EXPECT_EQ(recent[i].context.trace_id, 5 - i);
+  }
+  EXPECT_EQ(ring.recorded_total(), 5u);
+}
+
+TEST(TraceRingTest, RecentRespectsMax) {
+  TraceRing ring(8);
+  for (std::uint64_t i = 1; i <= 6; ++i) ring.Record(MakeTrace(i, 10));
+  const auto recent = ring.Recent(2);
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_EQ(recent[0].context.trace_id, 6u);
+  EXPECT_EQ(recent[1].context.trace_id, 5u);
+}
+
+TEST(TraceRingTest, WrapKeepsOnlyTheLastCapacityTraces) {
+  TraceRing ring(4);
+  for (std::uint64_t i = 1; i <= 10; ++i) ring.Record(MakeTrace(i, 10));
+  const auto recent = ring.Recent(16);
+  ASSERT_EQ(recent.size(), 4u);
+  for (std::size_t i = 0; i < recent.size(); ++i) {
+    EXPECT_EQ(recent[i].context.trace_id, 10 - i);
+  }
+  EXPECT_EQ(ring.recorded_total(), 10u);
+}
+
+TEST(TraceRingTest, PayloadSurvivesTheCopy) {
+  TraceRing ring(2);
+  RequestTrace t = MakeTrace(3, 123, "batch");
+  t.request_bytes = 55;
+  t.response_bytes = 99;
+  t.batch_queries = 4;
+  t.batch_max_group_micros = 77;
+  t.slow = true;
+  ring.Record(t);
+  const auto recent = ring.Recent(1);
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].verb, "batch");
+  EXPECT_EQ(recent[0].release, "demo");
+  EXPECT_EQ(recent[0].request_bytes, 55u);
+  EXPECT_EQ(recent[0].response_bytes, 99u);
+  EXPECT_EQ(recent[0].batch_queries, 4u);
+  EXPECT_EQ(recent[0].batch_max_group_micros, 77u);
+  EXPECT_TRUE(recent[0].slow);
+  EXPECT_EQ(recent[0].span(Span::kCompute), 123u);
+}
+
+TEST(TraceRingTest, ReservoirKeepsTheSlowest) {
+  // 100 traces, total_micros == trace id. A 4-entry reservoir must end
+  // up holding exactly the four slowest, slowest-first, regardless of
+  // arrival order.
+  TraceRing ring(4, 4);
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t i = 1; i <= 100; ++i) ids.push_back(i);
+  // Interleave slow and fast arrivals so the reservoir churns.
+  std::reverse(ids.begin() + 50, ids.end());
+  for (const std::uint64_t id : ids) ring.Record(MakeTrace(id, id));
+  const auto slowest = ring.Slowest();
+  ASSERT_EQ(slowest.size(), 4u);
+  EXPECT_EQ(slowest[0].total_micros, 100u);
+  EXPECT_EQ(slowest[1].total_micros, 99u);
+  EXPECT_EQ(slowest[2].total_micros, 98u);
+  EXPECT_EQ(slowest[3].total_micros, 97u);
+}
+
+TEST(TraceRingTest, ReservoirDisabledWhenCapacityZero) {
+  TraceRing ring(4, 0);
+  for (std::uint64_t i = 1; i <= 10; ++i) ring.Record(MakeTrace(i, i * 100));
+  EXPECT_TRUE(ring.Slowest().empty());
+  EXPECT_EQ(ring.slowest_capacity(), 0u);
+}
+
+// Concurrent writers racing a reader over a ring far smaller than the
+// write volume. The assertions are the read-side contract: every
+// returned trace is internally consistent (payload matches its id) and
+// the reservoir holds genuinely slow entries. Under TSan this is also
+// the data-race gate for the ticket/per-slot-mutex scheme.
+TEST(TraceRingTest, ConcurrentWritersAndReaders) {
+  TraceRing ring(16, 8);
+  constexpr int kWriters = 4;
+  constexpr int kPerWriter = 2000;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&ring, w] {
+      for (int i = 0; i < kPerWriter; ++i) {
+        const std::uint64_t id =
+            static_cast<std::uint64_t>(w) * kPerWriter + i + 1;
+        RequestTrace t = MakeTrace(id, id);
+        t.verb = "verb-" + std::to_string(id);
+        ring.Record(t);
+      }
+    });
+  }
+  std::thread reader([&ring] {
+    for (int i = 0; i < 200; ++i) {
+      for (const RequestTrace& t : ring.Recent(16)) {
+        ASSERT_NE(t.context.trace_id, 0u);
+        ASSERT_EQ(t.verb, "verb-" + std::to_string(t.context.trace_id));
+        ASSERT_EQ(t.total_micros, t.context.trace_id);
+      }
+      for (const RequestTrace& t : ring.Slowest()) {
+        ASSERT_EQ(t.verb, "verb-" + std::to_string(t.context.trace_id));
+      }
+    }
+  });
+  for (auto& w : writers) w.join();
+  reader.join();
+  EXPECT_EQ(ring.recorded_total(),
+            static_cast<std::uint64_t>(kWriters) * kPerWriter);
+  // With ids == total_micros, the slowest entries must all come from
+  // the top of the id range once all writers are done.
+  const auto slowest = ring.Slowest();
+  ASSERT_EQ(slowest.size(), 8u);
+  for (const RequestTrace& t : slowest) {
+    EXPECT_GT(t.total_micros,
+              static_cast<std::uint64_t>(kWriters) * kPerWriter - 100);
+  }
+  for (std::size_t i = 1; i < slowest.size(); ++i) {
+    EXPECT_GE(slowest[i - 1].total_micros, slowest[i].total_micros);
+  }
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace dpcube

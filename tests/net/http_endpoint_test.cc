@@ -345,6 +345,61 @@ TEST(HttpEndpointTest, HostileAndPartialRequestsNeverStallTheLoop) {
   EXPECT_TRUE(client.value().CallLines("list").ok());
 }
 
+TEST(HttpEndpointTest, ResponsesCarryDateAndConnectionClose) {
+  LoopbackServer server(WithHttp());
+  for (const char* path : {"/healthz", "/metrics", "/nope"}) {
+    const std::string response = HttpGet(server.http_port(), path);
+    EXPECT_NE(response.find("\r\nDate: "), std::string::npos)
+        << path << ": " << response;
+    EXPECT_NE(response.find(" GMT\r\n"), std::string::npos) << path;
+    EXPECT_NE(response.find("\r\nConnection: close\r\n"), std::string::npos)
+        << path;
+  }
+}
+
+TEST(HttpEndpointTest, BearerTokenGuardsEverythingButHealthz) {
+  ServerOptions options = WithHttp();
+  options.http_token = "s3kret";
+  LoopbackServer server(options);
+  const std::uint16_t port = server.http_port();
+
+  // No token / wrong token: 401 on the guarded pages.
+  for (const char* path : {"/metrics", "/statusz", "/tracez"}) {
+    std::string response = HttpGet(port, path);
+    EXPECT_EQ(response.rfind("HTTP/1.0 401", 0), 0u)
+        << path << ": " << response;
+    response = HttpExchange(
+        port, std::string("GET ") + path +
+                  " HTTP/1.0\r\nAuthorization: Bearer wrong\r\n\r\n");
+    EXPECT_EQ(response.rfind("HTTP/1.0 401", 0), 0u) << path;
+  }
+  // The liveness probe stays open: load balancers have no secrets.
+  EXPECT_EQ(HttpGet(port, "/healthz").rfind("HTTP/1.0 200 OK\r\n", 0), 0u);
+
+  // The right token unlocks every guarded page.
+  for (const char* path : {"/metrics", "/statusz", "/tracez"}) {
+    const std::string response = HttpExchange(
+        port, std::string("GET ") + path +
+                  " HTTP/1.0\r\nAuthorization: Bearer s3kret\r\n\r\n");
+    EXPECT_EQ(response.rfind("HTTP/1.0 200 OK\r\n", 0), 0u)
+        << path << ": " << response;
+  }
+  // Header names match case-insensitively per RFC 7230.
+  const std::string lower = HttpExchange(
+      port, "GET /metrics HTTP/1.0\r\nauthorization: Bearer s3kret\r\n\r\n");
+  EXPECT_EQ(lower.rfind("HTTP/1.0 200 OK\r\n", 0), 0u) << lower;
+}
+
+TEST(HttpEndpointTest, NoTokenConfiguredLeavesEndpointsOpen) {
+  LoopbackServer server(WithHttp());
+  for (const char* path : {"/metrics", "/statusz", "/tracez", "/healthz"}) {
+    EXPECT_EQ(HttpGet(server.http_port(), path)
+                  .rfind("HTTP/1.0 200 OK\r\n", 0),
+              0u)
+        << path;
+  }
+}
+
 TEST(HttpEndpointTest, RateQuotaDenialVisibleInStatsAndMetrics) {
   ServerOptions options = WithHttp();
   options.admission.query_rate_limit = 1;

@@ -19,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/trace.h"
 #include "data/synthetic.h"
 #include "engine/release_engine.h"
 #include "engine/release_io.h"
@@ -555,6 +556,87 @@ TEST(ServeProtocolFuzzTest, TruncatedBinaryPayloadsFailCleanly) {
     // Garbage prepended to a valid stream poisons it immediately.
     auto garbage = DecodeRecordStream("\x01" + wire);
     EXPECT_FALSE(garbage.ok());
+  }
+}
+
+// ------------------------------------------------------------------
+// Tracing under hostile input. Attaching a RequestTrace to ProcessStream
+// must never change the response transcript, and every frame — however
+// malformed — must leave the trace either untouched or well-formed:
+// verb from the fixed verb table, outcome empty or a real error-code
+// name, and only the session-owned span slots (compute, encode)
+// written; decode/admit/queue/flush belong to the connection layer and
+// must stay zero here.
+
+TEST(ServeProtocolFuzzTest, HostileFramesProduceWellFormedTraces) {
+  const std::set<std::string> kVerbs = {"invalid", "hello", "load",
+                                        "unload",  "list",  "query",
+                                        "batch",   "stats", "server_stats",
+                                        "quit"};
+  const std::set<std::string> kErrorOutcomes = {
+      "BadRequest", "NotFound", "Busy", "QuotaExceeded", "Internal"};
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    Rng build_rng(0xace + seed);
+    std::vector<std::string> payloads;
+    for (int f = 0; f < 20; ++f) {
+      payloads.push_back(RandomFramePayload(&build_rng));
+    }
+
+    auto run_stack = [&](bool traced, std::vector<trace::RequestTrace>* out)
+        -> std::vector<std::string> {
+      auto store = std::make_shared<ReleaseStore>();
+      auto cache = std::make_shared<MarginalCache>(16);
+      auto svc = std::make_shared<const QueryService>(store, cache);
+      BatchExecutor executor(svc, /*num_threads=*/4);
+      ServeSession session(store, cache, svc, &executor);
+      std::vector<std::string> transcript;
+      for (const std::string& payload : payloads) {
+        std::istringstream in(payload);
+        std::ostringstream response;
+        trace::RequestTrace frame_trace;
+        const bool keep_going = session.ProcessStream(
+            in, response, /*flush_each=*/false,
+            traced ? &frame_trace : nullptr);
+        transcript.push_back(response.str());
+        if (out != nullptr) out->push_back(frame_trace);
+        if (!keep_going) break;
+      }
+      return transcript;
+    };
+
+    std::vector<trace::RequestTrace> traces;
+    const std::vector<std::string> traced_run = run_stack(true, &traces);
+    const std::vector<std::string> untraced_run = run_stack(false, nullptr);
+    EXPECT_EQ(traced_run, untraced_run) << "seed " << seed;
+
+    ASSERT_EQ(traces.size(), traced_run.size());
+    for (std::size_t f = 0; f < traces.size(); ++f) {
+      const trace::RequestTrace& t = traces[f];
+      if (!t.verb.empty()) {
+        EXPECT_EQ(kVerbs.count(t.verb), 1u)
+            << "seed " << seed << " frame " << f << ": verb '" << t.verb
+            << "'";
+      }
+      if (!t.outcome.empty()) {
+        EXPECT_EQ(kErrorOutcomes.count(t.outcome), 1u)
+            << "seed " << seed << " frame " << f << ": outcome '"
+            << t.outcome << "'";
+      }
+      EXPECT_EQ(t.span(trace::Span::kDecode), 0u) << "seed " << seed;
+      EXPECT_EQ(t.span(trace::Span::kAdmit), 0u) << "seed " << seed;
+      EXPECT_EQ(t.span(trace::Span::kQueue), 0u) << "seed " << seed;
+      EXPECT_EQ(t.span(trace::Span::kFlush), 0u) << "seed " << seed;
+      // Sanity ceiling, not a perf bound: a fuzz frame is sub-second.
+      EXPECT_LT(t.span(trace::Span::kCompute), 60u * 1000 * 1000);
+      EXPECT_LT(t.span(trace::Span::kEncode), 60u * 1000 * 1000);
+      // A batch header that parsed stamps its sub-query count; a frame
+      // with no batch lines leaves it zero.
+      if (t.verb != "batch" && t.batch_queries > 0) {
+        // Pipelined frames can mix batch with other verbs; the verb
+        // records the FIRST line, so only assert the pure cases.
+        EXPECT_NE(payloads[f].find("batch"), std::string::npos);
+      }
+    }
   }
 }
 

@@ -84,6 +84,7 @@
 #include <vector>
 
 #include "common/bits.h"
+#include "common/log.h"
 #include "common/rng.h"
 #include "common/signal.h"
 #include "common/thread_pool.h"
@@ -136,7 +137,9 @@ int Usage() {
                "[--query-quota N] [--max-frame BYTES]\n"
                "                 [--query-rate-limit N[/WINDOWs]] "
                "[--http-listen HOST:PORT]\n"
-               "                 [--net-threads N]\n"
+               "                 [--net-threads N] [--http-token TOKEN]\n"
+               "                 [--access-log PATH] [--slow-query-ms N] "
+               "[--trace-ring N]\n"
                "  (--threads T sizes the process-wide pool shared by the "
                "release pipeline\n"
                "   and the serve executor; default: hardware "
@@ -146,10 +149,17 @@ int Usage() {
                "   port 0 picks an ephemeral port, printed at startup.\n"
                "   --http-listen adds an HTTP observability port serving "
                "/metrics,\n"
-               "   /healthz, and /statusz; --query-rate-limit caps queries "
-               "per release\n"
-               "   over a sliding window, e.g. 100/60s — default window "
-               "60s)\n");
+               "   /healthz, /statusz, and /tracez; --http-token guards "
+               "everything but\n"
+               "   /healthz behind 'Authorization: Bearer TOKEN'; "
+               "--query-rate-limit caps\n"
+               "   queries per release over a sliding window, e.g. 100/60s "
+               "— default\n"
+               "   window 60s. --access-log appends one JSON line per "
+               "completed request,\n"
+               "   --slow-query-ms flags requests at/above N ms as slow, "
+               "--trace-ring\n"
+               "   sizes the /tracez ring — 0 disables tracing)\n");
   return 2;
 }
 
@@ -283,7 +293,8 @@ int RunRelease(const std::map<std::string, std::string>& flags) {
       outcome.value().group_budgets, options.params);
   if (predicted.ok()) cell_variances = std::move(predicted).value();
   const Status st = engine::WriteReleaseCsv(
-      flags.at("out"), outcome.value().marginals, cell_variances);
+      flags.at("out"), outcome.value().marginals, cell_variances,
+      &outcome.value().timings);
   if (!st.ok()) {
     std::fprintf(stderr, "write: %s\n", st.ToString().c_str());
     return 1;
@@ -726,6 +737,31 @@ int RunServe(const std::map<std::string, std::string>& flags) {
   }
   const auto http_it = flags.find("http-listen");
   if (http_it != flags.end()) options.http_listen_address = http_it->second;
+  const auto token_it = flags.find("http-token");
+  if (token_it != flags.end()) options.http_token = token_it->second;
+  const auto access_it = flags.find("access-log");
+  if (access_it != flags.end()) options.access_log_path = access_it->second;
+  const auto slow_it = flags.find("slow-query-ms");
+  if (slow_it != flags.end()) {
+    std::size_t slow_ms = 0;
+    if (!ParseSize(slow_it->second, &slow_ms) || slow_ms == 0 ||
+        slow_ms > 3600000) {
+      std::fprintf(stderr, "bad --slow-query-ms '%s' (want 1..3600000)\n",
+                   slow_it->second.c_str());
+      return 2;
+    }
+    options.slow_query_ms = static_cast<int>(slow_ms);
+  }
+  const auto ring_it = flags.find("trace-ring");
+  if (ring_it != flags.end()) {
+    std::size_t ring = 0;
+    if (!ParseSize(ring_it->second, &ring) || ring > 1000000) {
+      std::fprintf(stderr, "bad --trace-ring '%s' (want 0..1000000)\n",
+                   ring_it->second.c_str());
+      return 2;
+    }
+    options.trace_ring_capacity = ring;
+  }
   const auto frame_it = flags.find("max-frame");
   if (frame_it != flags.end()) {
     std::size_t max_frame = 0;
@@ -738,10 +774,18 @@ int RunServe(const std::map<std::string, std::string>& flags) {
     options.max_frame_payload = max_frame;
   }
 
+  // Serve-path diagnostics go through the leveled logger from here on
+  // (the flag-parsing errors above keep bare fprintf: they are usage
+  // errors, not serving events). The banner and drain lines move to the
+  // stdout logger too — scripts that scrape them match on embedded
+  // substrings ("listening on HOST:PORT", "OK drained on signal"), which
+  // the timestamp/level prefix preserves.
+  logging::Logger out_log(stdout, logging::Logger::Format::kHuman);
+  logging::Logger err_log(stderr, logging::Logger::Format::kHuman);
+
   auto signal_fd = InstallShutdownSignalFd();
   if (!signal_fd.ok()) {
-    std::fprintf(stderr, "signals: %s\n",
-                 signal_fd.status().ToString().c_str());
+    err_log.Error("signals: " + signal_fd.status().ToString());
     return 1;
   }
   options.shutdown_fd = signal_fd.value();
@@ -751,7 +795,7 @@ int RunServe(const std::map<std::string, std::string>& flags) {
   net::SocketListener listener(options, context);
   const Status st = listener.Start();
   if (!st.ok()) {
-    std::fprintf(stderr, "listen: %s\n", st.ToString().c_str());
+    err_log.Error("listen: " + st.ToString());
     return 1;
   }
   std::string quota_note;
@@ -769,25 +813,32 @@ int RunServe(const std::map<std::string, std::string>& flags) {
   if (!listener.http_bound_address().empty()) {
     quota_note += " http=" + listener.http_bound_address();
   }
-  std::printf(
+  if (options.slow_query_ms > 0) {
+    quota_note += " slow-query-ms=" + std::to_string(options.slow_query_ms);
+  }
+  if (!options.access_log_path.empty()) {
+    quota_note += " access-log=" + options.access_log_path;
+  }
+  char banner[512];
+  std::snprintf(
+      banner, sizeof(banner),
       "OK dpcube serve listening on %s (threads=%d net-threads=%d "
-      "max-conns=%d max-inflight=%d max-queue=%d%s)\n",
+      "max-conns=%d max-inflight=%d max-queue=%d%s)",
       listener.bound_address().c_str(), executor->num_threads(),
       listener.net_threads(), options.admission.max_connections,
       options.admission.max_inflight, options.admission.max_queue_depth,
       quota_note.c_str());
-  std::fflush(stdout);
+  out_log.Info(banner);
 
   auto served = listener.Serve();
   if (!served.ok()) {
-    std::fprintf(stderr, "serve: %s\n",
-                 served.status().ToString().c_str());
+    err_log.Error("serve: " + served.status().ToString());
     return 1;
   }
-  std::printf("OK drained%s after %llu connections\n%s\n",
-              ShutdownRequested() ? " on signal" : "",
-              static_cast<unsigned long long>(served.value()),
-              listener.FormatStatsLine().c_str());
+  out_log.Info(std::string("OK drained") +
+               (ShutdownRequested() ? " on signal" : "") + " after " +
+               std::to_string(served.value()) + " connections");
+  out_log.Info(listener.FormatStatsLine());
   return 0;
 }
 
