@@ -1,0 +1,120 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Durable-log throughput: append+fsync cost of the WAL that backs
+// `serve --state-dir`, measured three ways —
+//
+//   * solo        — one thread, one Sync per Append (the worst case a
+//                   lone quota charge pays on the query path);
+//   * group[N]    — N threads appending concurrently, so the changelog's
+//                   group commit coalesces their fsyncs (the serving
+//                   regime: concurrent charges share a flush);
+//   * replay      — cold-boot replay rate over the records the other
+//                   legs wrote (bounds recovery time per record).
+//
+// Usage: bench_wal_append [records_per_leg]
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/wal.h"
+#include "service/mutation.h"
+
+namespace {
+
+using namespace dpcube;
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// One thread's share of a leg: append+sync `count` quota-charge records
+// (the mutation the serving hot path logs).
+void AppendLoop(wal::Changelog* log, int count, std::atomic<int>* failures) {
+  const std::string payload = service::EncodeMutation(
+      service::Mutation::QuotaCharge("bench", 1, 0, 0));
+  for (int i = 0; i < count; ++i) {
+    auto lsn = log->Append(payload);
+    if (!lsn.ok() || !log->Sync(lsn.value()).ok()) {
+      failures->fetch_add(1);
+      return;
+    }
+  }
+}
+
+double RunLeg(const std::string& path, std::uint64_t next_lsn, int threads,
+              int records) {
+  auto opened = wal::Changelog::Open(path, next_lsn);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open %s: %s\n", path.c_str(),
+                 opened.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::atomic<int> failures{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back(AppendLoop, opened->get(), records / threads,
+                         &failures);
+  }
+  for (auto& worker : workers) worker.join();
+  const double seconds = SecondsSince(start);
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "append failures: %d\n", failures.load());
+    std::exit(1);
+  }
+  return seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int records = 2000;
+  if (argc > 1) records = std::atoi(argv[1]);
+  if (records < 8) records = 8;
+
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string dir =
+      std::string(tmpdir != nullptr ? tmpdir : "/tmp") + "/dpcube_wal_bench";
+  if (!wal::MakeDirs(dir).ok()) {
+    std::fprintf(stderr, "cannot create %s\n", dir.c_str());
+    return 1;
+  }
+
+  std::printf("%-10s %10s %12s %12s\n", "leg", "records", "seconds",
+              "records/s");
+  const int thread_counts[] = {1, 2, 8};
+  for (const int threads : thread_counts) {
+    const std::string path =
+        dir + "/changelog.t" + std::to_string(threads);
+    std::remove(path.c_str());
+    const double seconds = RunLeg(path, 1, threads, records);
+    std::printf("%s[%d] %9d %12.4f %12.0f\n", threads == 1 ? "solo" : "group",
+                threads, records, seconds, records / seconds);
+    // Replay the leg's records to measure cold-boot recovery rate.
+    std::uint64_t replayed = 0;
+    const auto start = std::chrono::steady_clock::now();
+    auto result = wal::ReplayChangelog(
+        path, [&replayed](std::uint64_t, std::string_view payload) {
+          service::Mutation mutation;
+          if (service::DecodeMutation(payload, &mutation).ok()) replayed += 1;
+        });
+    const double replay_seconds = SecondsSince(start);
+    if (!result.ok() || replayed == 0) {
+      std::fprintf(stderr, "replay failed\n");
+      return 1;
+    }
+    std::printf("%-10s %9llu %12.4f %12.0f\n", "  replay",
+                static_cast<unsigned long long>(replayed), replay_seconds,
+                replayed / replay_seconds);
+    std::remove(path.c_str());
+  }
+  return 0;
+}

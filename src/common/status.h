@@ -25,6 +25,8 @@ enum class StatusCode {
   kUnimplemented = 5,
   kInternal = 6,
   kNumericalError = 7,  ///< Singular matrix, non-convergence, infeasible LP...
+  kUnavailable = 8,     ///< Shed/busy/overloaded; the caller may retry.
+  kResourceExhausted = 9,  ///< A quota or budget is spent; retrying won't help.
 };
 
 /// Returns a human-readable name for a StatusCode.
@@ -38,6 +40,8 @@ inline const char* StatusCodeName(StatusCode code) {
     case StatusCode::kUnimplemented: return "Unimplemented";
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kNumericalError: return "NumericalError";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
   }
   return "Unknown";
 }
@@ -72,6 +76,12 @@ class Status {
   }
   static Status NumericalError(std::string msg) {
     return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

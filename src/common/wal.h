@@ -1,0 +1,164 @@
+// Copyright 2026 The dpcube Authors.
+//
+// A minimal write-ahead-log layer for the durable serving state: CRC-
+// guarded self-delimiting records appended to a changelog file, group-
+// committed fsyncs, torn-tail-tolerant replay, and the atomic-write /
+// directory-fsync primitives snapshots are built from. The layer knows
+// nothing about what the payloads mean — the service layer's typed
+// Mutation codec (service/mutation.h) sits on top.
+//
+// On-disk record layout (all multi-byte fields little-endian):
+//
+//   +-----------+-------------+---------+-----------------+---------+
+//   | u32 magic | u32 pay_len | u64 lsn | u32 crc32(lsn ||| payload |
+//   |           |             |         |     payload)    | bytes   |
+//   +-----------+-------------+---------+-----------------+---------+
+//
+// Records carry monotonically increasing LSNs assigned at append time.
+// Replay walks records front to back and stops at the first byte
+// sequence that is not a complete, CRC-valid record; the caller decides
+// whether that tail is a torn final append (legal on the newest
+// changelog — truncate and continue) or mid-chain corruption (fatal).
+//
+// Durability contract: Append() writes the record into the OS page
+// cache and returns its LSN; Sync(lsn) returns once every record up to
+// `lsn` is fdatasync'd. Concurrent Sync callers coalesce: one becomes
+// the leader and issues a single fsync covering every record appended
+// before it started (group commit), the rest wait on the watermark —
+// so N threads charging quota concurrently cost ~1 fsync, not N.
+
+#ifndef DPCUBE_COMMON_WAL_H_
+#define DPCUBE_COMMON_WAL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/fd.h"
+#include "common/metrics.h"
+#include "common/status.h"
+
+namespace dpcube {
+namespace wal {
+
+inline constexpr std::uint32_t kRecordMagic = 0xD75A11ADu;
+inline constexpr std::size_t kRecordHeaderBytes = 20;
+/// Hard cap on one record's payload — a hostile or corrupt length field
+/// can never trigger a giant allocation during replay.
+inline constexpr std::size_t kMaxRecordPayload = std::size_t{1} << 24;
+
+/// IEEE 802.3 CRC-32 (the zlib polynomial), table-driven.
+std::uint32_t Crc32(const void* data, std::size_t size);
+inline std::uint32_t Crc32(std::string_view data) {
+  return Crc32(data.data(), data.size());
+}
+
+/// Serializes one record (header + payload) — exposed for tests and for
+/// crafting torn/corrupt tails.
+std::string EncodeRecord(std::uint64_t lsn, std::string_view payload);
+
+/// What ReplayChangelog saw. `valid_bytes < file_bytes` means the file
+/// ends in bytes that do not form a complete CRC-valid record.
+struct ReplayResult {
+  std::uint64_t records = 0;     ///< Complete records delivered.
+  std::uint64_t last_lsn = 0;    ///< LSN of the last delivered record.
+  std::uint64_t valid_bytes = 0; ///< Offset of the first invalid byte.
+  std::uint64_t file_bytes = 0;  ///< Total file size.
+};
+
+/// Walks `path` front to back, calling `apply(lsn, payload)` for every
+/// complete CRC-valid record, stopping at the first invalid byte.
+/// An invalid tail is NOT an error here — the caller compares
+/// valid_bytes to file_bytes and decides (torn final append vs fatal
+/// mid-chain corruption). NotFound when the file does not exist.
+Result<ReplayResult> ReplayChangelog(
+    const std::string& path,
+    const std::function<void(std::uint64_t lsn, std::string_view payload)>&
+        apply);
+
+/// An append-only changelog file. Append() is thread-safe (internally
+/// serialized); Sync() group-commits as documented above.
+class Changelog {
+ public:
+  /// Opens (creates if absent) `path` for appending. `next_lsn` seeds
+  /// the LSN counter — the caller derives it from replay. `fsync_hist`,
+  /// when non-null, records each fsync's wall-clock (seconds).
+  static Result<std::shared_ptr<Changelog>> Open(
+      std::string path, std::uint64_t next_lsn,
+      std::shared_ptr<metrics::LatencyHistogram> fsync_hist = nullptr);
+
+  /// Appends one record, returning its LSN. The record is in the page
+  /// cache only — call Sync(lsn) before acting on its durability.
+  Result<std::uint64_t> Append(std::string_view payload);
+
+  /// Returns once every record with LSN <= `lsn` is fdatasync'd (group
+  /// commit: concurrent callers coalesce onto one leader fsync).
+  Status Sync(std::uint64_t lsn);
+
+  const std::string& path() const { return path_; }
+  std::uint64_t next_lsn() const {
+    return next_lsn_.load(std::memory_order_acquire);
+  }
+  /// Highest LSN known durable (watermark published by Sync leaders).
+  std::uint64_t last_synced() const {
+    std::lock_guard<std::mutex> lock(sync_mu_);
+    return last_synced_;
+  }
+
+ private:
+  Changelog(std::string path, UniqueFd fd, std::uint64_t next_lsn,
+            std::shared_ptr<metrics::LatencyHistogram> fsync_hist)
+      : path_(std::move(path)),
+        fd_(std::move(fd)),
+        next_lsn_(next_lsn),
+        last_appended_(next_lsn > 0 ? next_lsn - 1 : 0),
+        fsync_hist_(std::move(fsync_hist)) {}
+
+  const std::string path_;
+  UniqueFd fd_;
+  std::mutex append_mu_;
+  std::atomic<std::uint64_t> next_lsn_;
+  /// Highest LSN whose bytes are fully written (readable by a Sync
+  /// leader without holding append_mu_).
+  std::atomic<std::uint64_t> last_appended_;
+  mutable std::mutex sync_mu_;
+  std::condition_variable sync_cv_;
+  bool sync_in_progress_ = false;   // Guarded by sync_mu_.
+  std::uint64_t last_synced_ = 0;   // Guarded by sync_mu_.
+  std::shared_ptr<metrics::LatencyHistogram> fsync_hist_;
+};
+
+// ------------------------------------------------------- fs primitives
+
+/// mkdir -p: creates `dir` and any missing parents (0755).
+Status MakeDirs(const std::string& dir);
+
+/// Entry names (not paths) in `dir`, unsorted, "." and ".." excluded.
+Result<std::vector<std::string>> ListDir(const std::string& dir);
+
+/// Whole-file read (snapshot loads are small).
+Result<std::string> ReadFile(const std::string& path);
+
+/// Crash-atomic publish: writes `data` to `path + ".tmp"`, fsyncs the
+/// file, renames over `path`, then fsyncs the directory so the rename
+/// itself is durable. Readers see either the old file or the complete
+/// new one, never a partial write.
+Status AtomicWriteFile(const std::string& path, std::string_view data);
+
+/// fsync on the directory fd — makes creations/renames/unlinks durable.
+Status FsyncDir(const std::string& dir);
+
+/// truncate(2) — used to drop a torn tail before reopening for append.
+Status TruncateFile(const std::string& path, std::uint64_t size);
+
+}  // namespace wal
+}  // namespace dpcube
+
+#endif  // DPCUBE_COMMON_WAL_H_

@@ -84,11 +84,11 @@ void AdmissionController::EvictExpiredLocked(QuotaEntry* entry,
   }
 }
 
-bool AdmissionController::TryChargeQuery(const std::string& release,
-                                         std::string* denial) {
+AdmissionController::QuotaDecision AdmissionController::ChargeQuery(
+    const std::string& release, std::string* denial) {
   const bool lifetime_metered = config_.max_queries_per_release > 0;
   const bool rate_metered = config_.query_rate_limit > 0;
-  if (!lifetime_metered && !rate_metered) return true;
+  if (!lifetime_metered && !rate_metered) return QuotaDecision::kCharged;
   {
     std::lock_guard<std::mutex> lock(quota_mu_);
     auto it = quota_used_.find(release);
@@ -102,7 +102,7 @@ bool AdmissionController::TryChargeQuery(const std::string& release,
         *denial = "quota ledger full (" +
                   std::to_string(kMaxTrackedReleases) +
                   " releases tracked)";
-        return false;
+        return QuotaDecision::kDeniedLifetime;
       }
       it = quota_used_.emplace(release, QuotaEntry{}).first;
     }
@@ -118,7 +118,7 @@ bool AdmissionController::TryChargeQuery(const std::string& release,
                   std::to_string(config_.query_rate_limit) + "/" +
                   std::to_string(config_.query_rate_window_seconds) +
                   "s); retry after the window passes";
-        return false;
+        return QuotaDecision::kDeniedRate;
       }
       ++entry.lifetime;
       if (rate_metered) {
@@ -128,13 +128,29 @@ bool AdmissionController::TryChargeQuery(const std::string& release,
         ++entry.buckets.back().second;
         ++entry.window_total;
       }
-      return true;
+      return QuotaDecision::kCharged;
     }
   }
   quota_denied_.fetch_add(1);
   *denial = "release '" + release + "' exhausted its query quota (" +
             std::to_string(config_.max_queries_per_release) + ")";
-  return false;
+  return QuotaDecision::kDeniedLifetime;
+}
+
+void AdmissionController::RestoreQuota(const std::string& release,
+                                       std::uint64_t lifetime_used) {
+  std::lock_guard<std::mutex> lock(quota_mu_);
+  if (quota_used_.size() >= kMaxTrackedReleases &&
+      quota_used_.count(release) == 0) {
+    return;  // Same hard bound as the charge path.
+  }
+  quota_used_[release].lifetime = lifetime_used;
+}
+
+void AdmissionController::RestoreDenials(std::uint64_t lifetime_denied,
+                                         std::uint64_t rate_denied) {
+  quota_denied_.store(lifetime_denied);
+  rate_denied_.store(rate_denied);
 }
 
 std::uint64_t AdmissionController::quota_used(

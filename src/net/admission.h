@@ -82,15 +82,37 @@ class AdmissionController {
   /// misspelled queries neither charge quota nor occupy ledger slots.
   static constexpr std::size_t kMaxTrackedReleases = 65536;
 
-  /// Per-release query-quota gate: charges one query against `release`
-  /// and returns true, or denies — once the release's lifetime spend
-  /// reaches max_queries_per_release, its trailing-window spend reaches
+  /// Outcome of one quota-gate pass, so callers that must record the
+  /// decision (the durable state machine) can tell WHY a query was
+  /// denied, not just that it was.
+  enum class QuotaDecision {
+    kCharged,          ///< Charged against the lifetime + rate ledgers.
+    kDeniedLifetime,   ///< Lifetime quota spent (or ledger full) — terminal.
+    kDeniedRate,       ///< Trailing-window rate cap hit — retryable.
+  };
+
+  /// Per-release query-quota gate: charges one query against `release`,
+  /// or denies — once the release's lifetime spend reaches
+  /// max_queries_per_release, its trailing-window spend reaches
   /// query_rate_limit, or the ledger is full (see above) — bumping the
-  /// matching denial counter, filling `*denial`, and returning false.
-  /// A denied charge leaves both ledgers untouched. Always true when
-  /// both quotas are unmetered. Thread-safe (sessions call this from
-  /// pool workers).
-  bool TryChargeQuery(const std::string& release, std::string* denial);
+  /// matching denial counter and filling `*denial`. A denied charge
+  /// leaves both ledgers untouched. Always kCharged when both quotas
+  /// are unmetered. Thread-safe (sessions call this from pool workers).
+  QuotaDecision ChargeQuery(const std::string& release, std::string* denial);
+
+  /// ChargeQuery collapsed to charged / not-charged.
+  bool TryChargeQuery(const std::string& release, std::string* denial) {
+    return ChargeQuery(release, denial) == QuotaDecision::kCharged;
+  }
+
+  /// Replay-time restore: sets `release`'s lifetime spend outright
+  /// (no denial checks, no rate buckets — the sliding window is
+  /// deliberately transient across restarts). Boot-time only.
+  void RestoreQuota(const std::string& release, std::uint64_t lifetime_used);
+
+  /// Replay-time restore of the denial counters surfaced in STATS and
+  /// /metrics, so quota_denied/rate_denied survive a restart too.
+  void RestoreDenials(std::uint64_t lifetime_denied, std::uint64_t rate_denied);
 
   // Monitoring snapshot (STATS verb + /metrics).
   int active_connections() const { return active_connections_.load(); }

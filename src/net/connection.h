@@ -44,6 +44,11 @@
 #include "service/serve_protocol.h"
 
 namespace dpcube {
+
+namespace service {
+class DurableState;
+}  // namespace service
+
 namespace net {
 
 /// The shared serving collaborators a connection's session borrows.
@@ -69,6 +74,10 @@ struct ServeContext {
   std::shared_ptr<const trace::ServingTraceMetrics> trace_metrics;
   std::shared_ptr<logging::Logger> access_log;
   std::uint64_t slow_query_micros = 0;
+  /// Non-null when `serve --state-dir` is in effect: sessions route
+  /// mutations (load/unload) through it, and the quota gate records
+  /// every charge/denial durably before the response leaves.
+  std::shared_ptr<service::DurableState> durable;
 };
 
 class Connection : public std::enable_shared_from_this<Connection> {

@@ -22,11 +22,19 @@
 #include "engine/metrics.h"
 #include "net/address.h"
 #include "net/framing.h"
+#include "service/durable_state.h"
 #include "service/marginal_cache.h"
 #include "service/release_store.h"
 
 namespace dpcube {
 namespace net {
+
+// serve_config.cc restates the frame-size ceiling as a local constant
+// (the service layer must not include net/); this pins the two values
+// together so they cannot drift.
+static_assert(kMaxFramePayload == (std::size_t{1} << 24),
+              "net::kMaxFramePayload moved; update the ceiling in "
+              "service/serve_config.cc to match");
 
 namespace {
 
@@ -186,6 +194,27 @@ int ResolveNetThreads(int net_threads) {
   return resolved;
 }
 
+ServerOptions ServerOptionsFromConfig(const service::ServeConfig& config) {
+  ServerOptions options;
+  options.listen_address = config.listen_address;
+  options.http_listen_address = config.http_listen_address;
+  options.http_token = config.http_token;
+  options.trace_ring_capacity = config.trace_ring_capacity;
+  options.access_log_path = config.access_log_path;
+  options.slow_query_ms = config.slow_query_ms;
+  options.admission.max_connections = config.max_connections;
+  options.admission.max_inflight = config.max_inflight;
+  options.admission.max_queue_depth = config.max_queue_depth;
+  options.admission.max_queries_per_release = config.query_quota;
+  options.admission.query_rate_limit = config.query_rate_limit;
+  options.admission.query_rate_window_seconds =
+      config.query_rate_window_seconds;
+  options.max_frame_payload = config.max_frame_payload;
+  options.drain_timeout_ms = config.drain_timeout_ms;
+  options.net_threads = config.net_threads;
+  return options;
+}
+
 SocketListener::SocketListener(ServerOptions options, ServeContext context)
     : options_(std::move(options)),
       context_(std::move(context)),
@@ -199,6 +228,17 @@ SocketListener::SocketListener(ServerOptions options, ServeContext context)
   pollers_.reserve(static_cast<std::size_t>(pollers));
   for (int i = 0; i < pollers; ++i) {
     pollers_.push_back(std::make_unique<Poller>(i));
+  }
+  // With a durable state machine attached, the admission controller's
+  // quota ledger and denial counters start from the replayed state, so
+  // STATS/metrics/quota enforcement all pick up exactly where the
+  // previous process stopped.
+  if (context_.durable) {
+    for (const auto& row : context_.durable->QuotaLedger()) {
+      admission_->RestoreQuota(row.first, row.second);
+    }
+    admission_->RestoreDenials(context_.durable->quota_denied(),
+                               context_.durable->rate_denied());
   }
   RegisterServerMetrics();
   if (options_.trace_ring_capacity > 0) {
@@ -380,6 +420,13 @@ void SocketListener::RegisterServerMetrics() {
         });
   }
 
+  // The dpcube_wal_* families. The durable state outlives the registry
+  // (the CLI holds it past the listener's destruction), so the raw
+  // `this` captures inside RegisterMetrics stay valid.
+  if (context_.durable) {
+    context_.durable->RegisterMetrics(registry_.get());
+  }
+
   resource_tracker_ = metrics::RegisterResourceTracker(registry_.get());
 }
 
@@ -475,11 +522,12 @@ void SocketListener::InstallHttpRoutes() {
       });
 
   auto store = context_.store;
+  auto durable = context_.durable;
   const auto started = started_at_;
   const std::string protocol_address = bound_address();
   http_->AddRoute(
       "/statusz",
-      [store, admission, started, protocol_address,
+      [store, admission, durable, started, protocol_address,
        statusz_hits](const HttpRequest&) {
         statusz_hits->Increment();
         std::string body = "dpcube serve\n";
@@ -505,6 +553,10 @@ void SocketListener::InstallHttpRoutes() {
                         static_cast<unsigned long long>(row.window_used));
           body += "  " + row.release + buf;
         }
+        // The durable "durability:" + "recovery:" blocks come LAST so a
+        // crash-recovery check can byte-diff everything up to the
+        // volatile "recovery:" delimiter.
+        if (durable) body += durable->FormatStatusz();
         return HttpResponse{200, "text/plain; charset=utf-8",
                             std::move(body)};
       },
@@ -607,16 +659,49 @@ void SocketListener::AcceptPending() {
             const std::string& name) {
           RegisterReleaseBuildGauges(registry.get(), store, name);
         });
+    // With --state-dir, the mutating verbs (load/unload) route through
+    // the durable state machine: changelog-appended and fsync'd before
+    // they take effect. Captures shared_ptrs only (pool workers may run
+    // the handler after the listener is gone).
+    if (context_.durable) {
+      connection->session().SetMutationHandler(
+          [durable = context_.durable](const service::Mutation& mutation) {
+            return durable->Apply(mutation);
+          });
+    }
     if (admission_->config().max_queries_per_release > 0 ||
         admission_->config().query_rate_limit > 0) {
       connection->session().SetQueryQuotaGate(
-          [admission = admission_, store = context_.store](
-              const std::string& release, std::string* denial) {
+          [admission = admission_, store = context_.store,
+           durable = context_.durable](const std::string& release,
+                                       std::string* denial) {
             // Only loaded releases are metered: a query for an unknown
             // name answers NotFound without charging quota, so hostile
             // made-up names can never grow the quota ledger.
             if (!store->Get(release).ok()) return true;
-            return admission->TryChargeQuery(release, denial);
+            using QuotaDecision = AdmissionController::QuotaDecision;
+            const QuotaDecision decision =
+                admission->ChargeQuery(release, denial);
+            if (durable) {
+              // Charges AND denials are logged: quota_used and the
+              // denial counters both survive kill -9. If the append or
+              // fsync fails, a charge must fail the query — answering
+              // from a ledger that cannot persist would let a crash
+              // refund spent privacy budget.
+              const Status logged = durable->Apply(
+                  service::Mutation::QuotaCharge(
+                      release,
+                      decision == QuotaDecision::kCharged ? 1 : 0,
+                      decision == QuotaDecision::kDeniedLifetime ? 1 : 0,
+                      decision == QuotaDecision::kDeniedRate ? 1 : 0));
+              if (!logged.ok() && decision == QuotaDecision::kCharged) {
+                *denial =
+                    "durable quota ledger append failed: " +
+                    logged.ToString();
+                return false;
+              }
+            }
+            return decision == QuotaDecision::kCharged;
           });
     }
     poller.Adopt(std::move(connection));

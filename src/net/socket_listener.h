@@ -46,6 +46,7 @@
 #include "net/linger.h"
 #include "net/poller.h"
 #include "net/server_stats.h"
+#include "service/serve_config.h"
 #include "service/service_metrics.h"
 
 namespace dpcube {
@@ -90,6 +91,12 @@ struct ServerOptions {
 /// The poller count `net_threads` resolves to (exposed for the CLI's
 /// startup banner and tests).
 int ResolveNetThreads(int net_threads);
+
+/// The one translation from the validated serve configuration to the
+/// listener's options. Every knob a ServeConfig carries for the network
+/// layer is consumed here, so the CLI cannot drift from the server: a
+/// new flag either lands in this function or it does nothing.
+ServerOptions ServerOptionsFromConfig(const service::ServeConfig& config);
 
 class SocketListener {
  public:

@@ -1,0 +1,182 @@
+// Copyright 2026 The dpcube Authors.
+//
+// The durable state machine behind `serve --state-dir DIR`. Every
+// mutation of serving state — release load/unload, lifetime quota
+// charge or denial, quota-config change — is expressed as one typed
+// Mutation record (service/mutation.h), appended to a CRC-guarded,
+// fsync'd changelog (common/wal.h) BEFORE being applied to the
+// in-memory structures. Periodic snapshots bound replay time and let
+// old changelog segments be truncated away.
+//
+// Directory layout (`LSN` rendered as a zero-padded 20-digit decimal so
+// lexicographic order is numeric order):
+//
+//   state/
+//     snapshot.00000000000000000042   <- state as of LSN 42 (CRC'd)
+//     changelog.00000000000000000043  <- records with LSN >= 43
+//
+// Snapshot/rotation lifecycle (SnapshotNow): encode the full state at
+// LSN S -> AtomicWriteFile snapshot.S (write-temp + fsync + rename +
+// dir fsync) -> open changelog.(S+1) for subsequent appends -> fsync
+// the directory -> unlink changelog segments whose base LSN <= S. A
+// crash between any two steps is safe: boot always loads the newest
+// CRC-valid snapshot and replays only records with LSN > S, so a stale
+// segment that escaped truncation merely replays records the snapshot
+// already covers (each is skipped by the LSN watermark).
+//
+// Recovery (Open): load the newest CRC-valid snapshot (a corrupt one
+// falls back to the next older), then replay remaining changelog
+// segments in LSN order. A torn tail on the NEWEST segment — the bytes
+// a crash mid-append leaves — is truncated and boot continues; invalid
+// bytes anywhere else are mid-chain corruption and boot fails loudly.
+//
+// Threading: Apply is safe from any thread. Quota charges serialize
+// only the append + ledger bump under one mutex and fsync OUTSIDE it
+// via the changelog's group commit, so concurrent charges coalesce into
+// ~1 fsync. Loads run the expensive cube fit outside every lock. Reads
+// (query serving) never touch this class — the store's lock-free
+// shared_ptr snapshots are unchanged.
+
+#ifndef DPCUBE_SERVICE_DURABLE_STATE_H_
+#define DPCUBE_SERVICE_DURABLE_STATE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/log.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "common/wal.h"
+#include "service/mutation.h"
+#include "service/query_service.h"
+#include "service/release_store.h"
+
+namespace dpcube {
+namespace service {
+
+struct DurableOptions {
+  std::string dir;  ///< State directory (created if missing).
+  /// Snapshot + rotate after this many appended records.
+  std::uint64_t snapshot_every = 1024;
+  // The quota configuration the server runs under, recorded into the
+  // log (kQuotaConfig) whenever it differs from the restored one.
+  std::uint64_t lifetime_quota = 0;
+  std::uint64_t rate_limit = 0;
+  int rate_window_seconds = 60;
+};
+
+/// What boot-time recovery saw (surfaced in /statusz and logs).
+struct ReplaySummary {
+  std::uint64_t snapshot_lsn = 0;   ///< 0 = booted without a snapshot.
+  std::uint64_t records = 0;        ///< Changelog records replayed.
+  std::uint64_t torn_bytes = 0;     ///< Truncated torn-tail bytes.
+  std::uint64_t skipped_releases = 0;  ///< Releases whose CSV failed to load.
+  std::uint64_t last_lsn = 0;       ///< Highest LSN restored.
+  double seconds = 0.0;             ///< Wall-clock spent in recovery.
+};
+
+class DurableState {
+ public:
+  /// Recovers from `options.dir` (creating it on first boot): loads the
+  /// newest valid snapshot, replays the changelog into `store` /
+  /// `service`, truncates a torn tail, and opens the log for appending.
+  /// Fails on mid-chain corruption rather than serving partial state.
+  static Result<std::shared_ptr<DurableState>> Open(
+      const DurableOptions& options, std::shared_ptr<ReleaseStore> store,
+      std::shared_ptr<const QueryService> service);
+
+  /// The single mutating entry point: logs `mutation` durably, then
+  /// applies it in memory. For kLoadRelease the expensive cube fit runs
+  /// first (outside all locks) so a failed load never reaches the log;
+  /// for kQuotaCharge the ledger bump and append share one short
+  /// critical section and the fsync group-commits outside it. An error
+  /// means the mutation is NOT durable and was NOT applied (callers
+  /// must fail the triggering operation — a charge that cannot be
+  /// logged must deny the query).
+  Status Apply(const Mutation& mutation);
+
+  /// Forces a snapshot + changelog rotation now (also runs
+  /// automatically every `snapshot_every` records).
+  Status SnapshotNow();
+
+  // Recovery + monitoring surface.
+  const ReplaySummary& replay_summary() const { return replay_; }
+  std::uint64_t last_lsn() const;
+  std::uint64_t snapshot_count() const;
+  std::uint64_t quota_denied() const;
+  std::uint64_t rate_denied() const;
+  /// name -> lifetime charges, sorted by name (the durable ledger).
+  std::vector<std::pair<std::string, std::uint64_t>> QuotaLedger() const;
+  /// name -> source CSV path for every restored/loaded release.
+  std::vector<std::pair<std::string, std::string>> ReleasePaths() const;
+
+  /// Registers the dpcube_wal_* families (appended records, fsync
+  /// latency, snapshot count/age, replay duration, last LSN).
+  void RegisterMetrics(metrics::Registry* registry);
+
+  /// The "durability:" block appended to /statusz — deliberately stable
+  /// and byte-exact across a crash + replay (CI diffs it).
+  std::string FormatStatusz() const;
+
+ private:
+  DurableState(DurableOptions options, std::shared_ptr<ReleaseStore> store,
+               std::shared_ptr<const QueryService> service);
+
+  Status Recover();
+  Status ApplyReplayed(const Mutation& mutation);
+  Status LoadSnapshot(const std::string& path);
+  std::string EncodeSnapshotLocked(std::uint64_t last_lsn) const;
+
+  Status ApplyLoad(const Mutation& mutation);
+  Status ApplyUnload(const Mutation& mutation);
+  Status ApplyCharge(const Mutation& mutation);
+  Status ApplyConfig(const Mutation& mutation);
+
+  /// Appends to the live changelog under mu_ and snapshots/rotates if
+  /// due. Returns the record's LSN via *lsn and the changelog it landed
+  /// in via *log (so the caller can Sync outside mu_ even if a
+  /// concurrent rotation swaps changelog_).
+  Status AppendLocked(const Mutation& mutation, std::uint64_t* lsn,
+                      std::shared_ptr<wal::Changelog>* log);
+  Status SnapshotLocked();
+
+  const DurableOptions options_;
+  const std::shared_ptr<ReleaseStore> store_;
+  const std::shared_ptr<const QueryService> service_;
+  logging::Logger log_;  ///< stderr diagnostics (boot, replay, warnings).
+
+  /// Serializes load/unload so their multi-step sequences (fit ->
+  /// append -> insert) do not interleave; never held during the fit's
+  /// expensive linear algebra... the fit runs before acquiring it.
+  std::mutex load_mu_;
+
+  mutable std::mutex mu_;  // Guards everything below.
+  std::shared_ptr<wal::Changelog> changelog_;
+  std::uint64_t changelog_base_lsn_ = 1;  ///< First LSN in the live segment.
+  std::uint64_t records_since_snapshot_ = 0;
+  std::uint64_t snapshot_lsn_ = 0;  ///< LSN the newest snapshot covers.
+  std::uint64_t snapshots_taken_ = 0;
+  double last_snapshot_walltime_ = 0.0;  ///< For the age gauge.
+  std::map<std::string, std::string> paths_;  ///< Loaded release -> CSV path.
+  std::map<std::string, std::uint64_t> ledger_;  ///< Lifetime quota charges.
+  std::uint64_t quota_denied_ = 0;
+  std::uint64_t rate_denied_ = 0;
+  std::uint64_t lifetime_quota_ = 0;
+  std::uint64_t rate_limit_ = 0;
+  std::uint32_t rate_window_seconds_ = 60;
+
+  ReplaySummary replay_;
+  std::shared_ptr<metrics::LatencyHistogram> fsync_hist_;
+  std::atomic<std::uint64_t> appended_records_{0};
+};
+
+}  // namespace service
+}  // namespace dpcube
+
+#endif  // DPCUBE_SERVICE_DURABLE_STATE_H_

@@ -1,0 +1,199 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "service/mutation.h"
+
+#include <utility>
+
+namespace dpcube {
+namespace service {
+
+namespace {
+
+// Names and paths in mutation payloads are bounded so a corrupt length
+// field can never drive a giant allocation during replay.
+constexpr std::size_t kMaxStringBytes = 1 << 16;
+
+void PutU16(std::string* out, std::uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void PutU32(std::string* out, std::uint32_t v) {
+  PutU16(out, static_cast<std::uint16_t>(v & 0xFFFF));
+  PutU16(out, static_cast<std::uint16_t>(v >> 16));
+}
+
+void PutU64(std::string* out, std::uint64_t v) {
+  PutU32(out, static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+  PutU32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+/// A bounds-checked little-endian reader over the payload.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool ReadU8(std::uint8_t* v) {
+    if (data_.size() - pos_ < 1) return false;
+    *v = static_cast<std::uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool ReadU16(std::uint16_t* v) {
+    std::uint8_t lo, hi;
+    if (!ReadU8(&lo) || !ReadU8(&hi)) return false;
+    *v = static_cast<std::uint16_t>(lo | (hi << 8));
+    return true;
+  }
+  bool ReadU32(std::uint32_t* v) {
+    std::uint16_t lo, hi;
+    if (!ReadU16(&lo) || !ReadU16(&hi)) return false;
+    *v = static_cast<std::uint32_t>(lo) | (static_cast<std::uint32_t>(hi) << 16);
+    return true;
+  }
+  bool ReadU64(std::uint64_t* v) {
+    std::uint32_t lo, hi;
+    if (!ReadU32(&lo) || !ReadU32(&hi)) return false;
+    *v = static_cast<std::uint64_t>(lo) | (static_cast<std::uint64_t>(hi) << 32);
+    return true;
+  }
+  bool ReadString(std::size_t len, std::string* v) {
+    if (len > kMaxStringBytes || data_.size() - pos_ < len) return false;
+    v->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  bool exhausted() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const char* MutationKindName(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kLoadRelease: return "load_release";
+    case MutationKind::kUnloadRelease: return "unload_release";
+    case MutationKind::kQuotaCharge: return "quota_charge";
+    case MutationKind::kQuotaConfig: return "quota_config";
+  }
+  return "unknown";
+}
+
+Mutation Mutation::LoadRelease(std::string name, std::string path) {
+  Mutation m;
+  m.kind = MutationKind::kLoadRelease;
+  m.name = std::move(name);
+  m.path = std::move(path);
+  return m;
+}
+
+Mutation Mutation::UnloadRelease(std::string name) {
+  Mutation m;
+  m.kind = MutationKind::kUnloadRelease;
+  m.name = std::move(name);
+  return m;
+}
+
+Mutation Mutation::QuotaCharge(std::string name, std::uint32_t charged,
+                               std::uint32_t denied_lifetime,
+                               std::uint32_t denied_rate) {
+  Mutation m;
+  m.kind = MutationKind::kQuotaCharge;
+  m.name = std::move(name);
+  m.charged = charged;
+  m.denied_lifetime = denied_lifetime;
+  m.denied_rate = denied_rate;
+  return m;
+}
+
+Mutation Mutation::QuotaConfig(std::uint64_t lifetime_limit,
+                               std::uint64_t rate_limit,
+                               std::uint32_t rate_window_seconds) {
+  Mutation m;
+  m.kind = MutationKind::kQuotaConfig;
+  m.lifetime_limit = lifetime_limit;
+  m.rate_limit = rate_limit;
+  m.rate_window_seconds = rate_window_seconds;
+  return m;
+}
+
+std::string EncodeMutation(const Mutation& mutation) {
+  std::string out;
+  out.reserve(32 + mutation.name.size() + mutation.path.size());
+  out.push_back(static_cast<char>(mutation.kind));
+  PutU16(&out, static_cast<std::uint16_t>(mutation.name.size()));
+  out.append(mutation.name);
+  switch (mutation.kind) {
+    case MutationKind::kLoadRelease:
+      PutU32(&out, static_cast<std::uint32_t>(mutation.path.size()));
+      out.append(mutation.path);
+      break;
+    case MutationKind::kUnloadRelease:
+      break;
+    case MutationKind::kQuotaCharge:
+      PutU32(&out, mutation.charged);
+      PutU32(&out, mutation.denied_lifetime);
+      PutU32(&out, mutation.denied_rate);
+      break;
+    case MutationKind::kQuotaConfig:
+      PutU64(&out, mutation.lifetime_limit);
+      PutU64(&out, mutation.rate_limit);
+      PutU32(&out, mutation.rate_window_seconds);
+      break;
+  }
+  return out;
+}
+
+Status DecodeMutation(std::string_view payload, Mutation* out) {
+  Reader reader(payload);
+  std::uint8_t kind_byte = 0;
+  if (!reader.ReadU8(&kind_byte)) {
+    return Status::InvalidArgument("mutation payload truncated: kind");
+  }
+  if (kind_byte < 1 || kind_byte > 4) {
+    return Status::InvalidArgument("unknown mutation kind " +
+                                   std::to_string(kind_byte));
+  }
+  Mutation m;
+  m.kind = static_cast<MutationKind>(kind_byte);
+  std::uint16_t name_len = 0;
+  if (!reader.ReadU16(&name_len) || !reader.ReadString(name_len, &m.name)) {
+    return Status::InvalidArgument("mutation payload truncated: name");
+  }
+  switch (m.kind) {
+    case MutationKind::kLoadRelease: {
+      std::uint32_t path_len = 0;
+      if (!reader.ReadU32(&path_len) ||
+          !reader.ReadString(path_len, &m.path)) {
+        return Status::InvalidArgument("mutation payload truncated: path");
+      }
+      break;
+    }
+    case MutationKind::kUnloadRelease:
+      break;
+    case MutationKind::kQuotaCharge:
+      if (!reader.ReadU32(&m.charged) || !reader.ReadU32(&m.denied_lifetime) ||
+          !reader.ReadU32(&m.denied_rate)) {
+        return Status::InvalidArgument("mutation payload truncated: counters");
+      }
+      break;
+    case MutationKind::kQuotaConfig:
+      if (!reader.ReadU64(&m.lifetime_limit) ||
+          !reader.ReadU64(&m.rate_limit) ||
+          !reader.ReadU32(&m.rate_window_seconds)) {
+        return Status::InvalidArgument("mutation payload truncated: config");
+      }
+      break;
+  }
+  if (!reader.exhausted()) {
+    return Status::InvalidArgument("mutation payload has trailing bytes");
+  }
+  *out = std::move(m);
+  return Status::OK();
+}
+
+}  // namespace service
+}  // namespace dpcube

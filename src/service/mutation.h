@@ -1,0 +1,81 @@
+// Copyright 2026 The dpcube Authors.
+//
+// The typed mutation record — the single vocabulary every durable state
+// change speaks. The serving tier has exactly four mutating verbs:
+//
+//   kLoadRelease   — a release CSV was loaded under a name;
+//   kUnloadRelease — a release was removed;
+//   kQuotaCharge   — the admission controller charged (or denied) a
+//                    query against a release's lifetime quota;
+//   kQuotaConfig   — the quota configuration the server runs under
+//                    (recorded so a replayed ledger is interpreted
+//                    against the limits that produced it).
+//
+// Each mutation encodes to a self-delimiting binary payload (the same
+// little-endian, bounds-check-before-allocate idioms as
+// service/wire_codec) which the WAL layer wraps in a CRC-guarded
+// record. Decode rejects unknown kinds, truncated buffers, and
+// trailing bytes, so replay can never misinterpret a corrupt payload
+// that happened to pass the CRC.
+
+#ifndef DPCUBE_SERVICE_MUTATION_H_
+#define DPCUBE_SERVICE_MUTATION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace dpcube {
+namespace service {
+
+enum class MutationKind : std::uint8_t {
+  kLoadRelease = 1,
+  kUnloadRelease = 2,
+  kQuotaCharge = 3,
+  kQuotaConfig = 4,
+};
+
+/// "load_release", "unload_release", ... ("unknown" for invalid values).
+const char* MutationKindName(MutationKind kind);
+
+/// One state change. Which fields are meaningful depends on `kind`;
+/// the factories below construct each verb with exactly its fields.
+struct Mutation {
+  MutationKind kind = MutationKind::kLoadRelease;
+
+  std::string name;  ///< Release name (load/unload/charge).
+  std::string path;  ///< Source CSV path (load only).
+
+  // kQuotaCharge: exactly one of the three counters is 1.
+  std::uint32_t charged = 0;
+  std::uint32_t denied_lifetime = 0;
+  std::uint32_t denied_rate = 0;
+
+  // kQuotaConfig.
+  std::uint64_t lifetime_limit = 0;
+  std::uint64_t rate_limit = 0;
+  std::uint32_t rate_window_seconds = 0;
+
+  static Mutation LoadRelease(std::string name, std::string path);
+  static Mutation UnloadRelease(std::string name);
+  static Mutation QuotaCharge(std::string name, std::uint32_t charged,
+                              std::uint32_t denied_lifetime,
+                              std::uint32_t denied_rate);
+  static Mutation QuotaConfig(std::uint64_t lifetime_limit,
+                              std::uint64_t rate_limit,
+                              std::uint32_t rate_window_seconds);
+};
+
+/// Serializes `mutation` to its binary payload.
+std::string EncodeMutation(const Mutation& mutation);
+
+/// Parses a payload produced by EncodeMutation. InvalidArgument on
+/// unknown kind, truncation, oversized strings, or trailing bytes.
+Status DecodeMutation(std::string_view payload, Mutation* out);
+
+}  // namespace service
+}  // namespace dpcube
+
+#endif  // DPCUBE_SERVICE_MUTATION_H_

@@ -102,6 +102,14 @@ Status ReleaseStore::LoadFromFile(const std::string& name,
                                         "' already loaded");
     }
   }
+  auto stored = CreateFromFile(name, path, std::move(cell_variances));
+  if (!stored.ok()) return stored.status();
+  return Insert(std::move(stored).value());
+}
+
+Result<std::shared_ptr<const StoredRelease>> ReleaseStore::CreateFromFile(
+    const std::string& name, const std::string& path,
+    linalg::Vector cell_variances) {
   auto loaded = engine::ReadReleaseCsv(path);
   if (!loaded.ok()) return loaded.status();
   // Prefer the variances archived in the file (written by the release
@@ -109,10 +117,25 @@ Status ReleaseStore::LoadFromFile(const std::string& name,
   if (cell_variances.empty()) {
     cell_variances = std::move(loaded.value().cell_variances);
   }
-  return Add(name, std::move(loaded.value().workload),
-             std::move(loaded.value().marginals), std::move(cell_variances),
-             loaded.value().has_build_timings ? &loaded.value().build_timings
-                                              : nullptr);
+  return StoredRelease::Create(
+      name, std::move(loaded.value().workload),
+      std::move(loaded.value().marginals), std::move(cell_variances),
+      loaded.value().has_build_timings ? &loaded.value().build_timings
+                                       : nullptr);
+}
+
+Status ReleaseStore::Insert(std::shared_ptr<const StoredRelease> release) {
+  if (release == nullptr) {
+    return Status::InvalidArgument("null release");
+  }
+  const std::string name = release->name();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (releases_.count(name) > 0) {
+    return Status::FailedPrecondition("release '" + name +
+                                      "' already loaded");
+  }
+  releases_.emplace(name, std::move(release));
+  return Status::OK();
 }
 
 Status ReleaseStore::Remove(const std::string& name) {

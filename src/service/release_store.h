@@ -115,6 +115,18 @@ class ReleaseStore {
   Status LoadFromFile(const std::string& name, const std::string& path,
                       linalg::Vector cell_variances = {});
 
+  /// Reads + fits `path` as LoadFromFile does, but returns the release
+  /// without inserting it — the durable-state layer runs the expensive
+  /// fit outside its lock, logs the mutation, then publishes via
+  /// Insert.
+  static Result<std::shared_ptr<const StoredRelease>> CreateFromFile(
+      const std::string& name, const std::string& path,
+      linalg::Vector cell_variances = {});
+
+  /// Publishes an already-constructed release under its own name.
+  /// FailedPrecondition if the name is taken.
+  Status Insert(std::shared_ptr<const StoredRelease> release);
+
   Status Remove(const std::string& name);
 
   /// The release named `name`, or NotFound.

@@ -30,7 +30,7 @@ const char* ErrorCodeName(ErrorCode code) {
   return "Unknown";
 }
 
-ErrorCode ErrorCodeFromStatus(const Status& status) {
+ErrorCode ToErrorCode(const Status& status) {
   switch (status.code()) {
     case StatusCode::kOk:
       return ErrorCode::kOk;
@@ -39,9 +39,31 @@ ErrorCode ErrorCodeFromStatus(const Status& status) {
       return ErrorCode::kBadRequest;
     case StatusCode::kNotFound:
       return ErrorCode::kNotFound;
+    case StatusCode::kUnavailable:
+      return ErrorCode::kBusy;
+    case StatusCode::kResourceExhausted:
+      return ErrorCode::kQuotaExceeded;
     default:
       return ErrorCode::kInternal;
   }
+}
+
+Status ToStatus(ErrorCode code, std::string message) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return Status::OK();
+    case ErrorCode::kBadRequest:
+      return Status::InvalidArgument(std::move(message));
+    case ErrorCode::kNotFound:
+      return Status::NotFound(std::move(message));
+    case ErrorCode::kBusy:
+      return Status::Unavailable(std::move(message));
+    case ErrorCode::kQuotaExceeded:
+      return Status::ResourceExhausted(std::move(message));
+    case ErrorCode::kInternal:
+      return Status::Internal(std::move(message));
+  }
+  return Status::Internal(std::move(message));
 }
 
 bool ParseSize(const std::string& text, std::size_t* out) {

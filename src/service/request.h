@@ -61,8 +61,18 @@ enum class ErrorCode : std::uint8_t {
 };
 const char* ErrorCodeName(ErrorCode code);
 
-/// Maps a library Status onto the wire's error taxonomy.
-ErrorCode ErrorCodeFromStatus(const Status& status);
+/// Maps a library Status onto the wire's error taxonomy. This is the
+/// ONE Status -> ErrorCode conversion in the codebase (serve_protocol
+/// and wire_codec both route through it). The wire taxonomy is coarser
+/// than StatusCode, so several codes fold into each arm; ToStatus picks
+/// one canonical preimage per ErrorCode, and ToErrorCode(ToStatus(e))
+/// == e for every e (the round trip the tests pin down).
+ErrorCode ToErrorCode(const Status& status);
+
+/// Lifts a wire error back into a Status carrying `message` — the
+/// canonical inverse of ToErrorCode (used by clients and by replay
+/// paths that must reconstruct a Status from a logged code).
+Status ToStatus(ErrorCode code, std::string message);
 
 enum class RequestKind {
   kInvalid = 0,  ///< Unparseable; `error` holds the v1 message.
@@ -146,7 +156,7 @@ struct Response {
   static Response FromQuery(QueryResponse query_response) {
     Response response;
     response.request = RequestKind::kQuery;
-    response.code = ErrorCodeFromStatus(query_response.status);
+    response.code = ToErrorCode(query_response.status);
     response.has_query = true;
     response.query = std::move(query_response);
     return response;

@@ -1,0 +1,198 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "service/serve_config.h"
+
+#include <set>
+
+#include "service/request.h"
+
+namespace dpcube {
+namespace service {
+
+namespace {
+
+// The serve layer cannot include net/framing.h (service must stay
+// net-free), so the frame ceiling is restated here; a static_assert in
+// net/socket_listener.cc pins it to net::kMaxFramePayload.
+constexpr std::size_t kMaxFrameCeiling = std::size_t{1} << 24;
+
+Status BadFlag(const char* flag, const std::string& value,
+               const char* want) {
+  std::string msg = std::string("bad --") + flag + " '" + value + "'";
+  if (want != nullptr && want[0] != '\0') {
+    msg += std::string(" (want ") + want + ")";
+  }
+  return Status::InvalidArgument(msg);
+}
+
+}  // namespace
+
+Result<ServeConfig> ParseServeConfig(
+    const std::map<std::string, std::string>& flags) {
+  static const std::set<std::string> kKnown = {
+      "threads",  // Global, consumed by the CLI before dispatch.
+      "cache-cells", "release", "name", "state-dir", "snapshot-every",
+      "listen", "max-conns", "max-inflight", "max-queue", "drain-ms",
+      "net-threads", "query-quota", "query-rate-limit", "http-listen",
+      "http-token", "access-log", "slow-query-ms", "trace-ring",
+      "max-frame"};
+  for (const auto& [flag, value] : flags) {
+    (void)value;
+    if (kKnown.count(flag) == 0) {
+      return Status::InvalidArgument("unknown serve flag --" + flag);
+    }
+  }
+
+  ServeConfig config;
+
+  const auto cache_it = flags.find("cache-cells");
+  if (cache_it != flags.end() &&
+      !ParseSize(cache_it->second, &config.cache_cells)) {
+    return BadFlag("cache-cells", cache_it->second, "");
+  }
+  const auto release_it = flags.find("release");
+  if (release_it != flags.end()) config.release_path = release_it->second;
+  const auto name_it = flags.find("name");
+  if (name_it != flags.end()) {
+    if (config.release_path.empty()) {
+      return Status::InvalidArgument("--name requires --release");
+    }
+    config.release_name = name_it->second;
+  }
+
+  const auto state_it = flags.find("state-dir");
+  if (state_it != flags.end()) {
+    if (state_it->second.empty()) {
+      return Status::InvalidArgument("--state-dir must not be empty");
+    }
+    config.state_dir = state_it->second;
+  }
+  const auto snap_it = flags.find("snapshot-every");
+  if (snap_it != flags.end()) {
+    if (config.state_dir.empty()) {
+      return Status::InvalidArgument("--snapshot-every requires --state-dir");
+    }
+    std::size_t every = 0;
+    if (!ParseSize(snap_it->second, &every) || every == 0 ||
+        every > 1000000000) {
+      return BadFlag("snapshot-every", snap_it->second, "1..1000000000");
+    }
+    config.snapshot_every = every;
+  }
+
+  const auto listen_it = flags.find("listen");
+  if (listen_it != flags.end()) config.listen_address = listen_it->second;
+  if (!config.network()) {
+    // Every remaining flag only means something on the TCP path; a
+    // user passing one without --listen almost certainly expected a
+    // network server, so refuse rather than silently ignore.
+    static const char* kNetworkOnly[] = {
+        "max-conns", "max-inflight", "max-queue", "drain-ms",
+        "net-threads", "query-quota", "query-rate-limit", "http-listen",
+        "http-token", "access-log", "slow-query-ms", "trace-ring",
+        "max-frame"};
+    for (const char* flag : kNetworkOnly) {
+      if (flags.count(flag) != 0) {
+        return Status::InvalidArgument(std::string("--") + flag +
+                                       " requires --listen");
+      }
+    }
+    return config;
+  }
+
+  const struct {
+    const char* flag;
+    int* target;
+  } caps[] = {{"max-conns", &config.max_connections},
+              {"max-inflight", &config.max_inflight},
+              {"max-queue", &config.max_queue_depth},
+              {"drain-ms", &config.drain_timeout_ms},
+              {"net-threads", &config.net_threads}};
+  for (const auto& cap : caps) {
+    const auto it = flags.find(cap.flag);
+    if (it == flags.end()) continue;
+    std::size_t value = 0;
+    if (!ParseSize(it->second, &value) || value == 0 || value > 1000000000) {
+      return BadFlag(cap.flag, it->second, "1..1000000000");
+    }
+    *cap.target = static_cast<int>(value);
+  }
+
+  const auto quota_it = flags.find("query-quota");
+  if (quota_it != flags.end()) {
+    std::size_t quota = 0;
+    if (!ParseSize(quota_it->second, &quota) || quota == 0) {
+      return BadFlag("query-quota", quota_it->second, "a positive count");
+    }
+    config.query_quota = quota;
+  }
+  const auto rate_it = flags.find("query-rate-limit");
+  if (rate_it != flags.end()) {
+    // "N" or "N/WINDOW" with an optional trailing 's' on the window
+    // ("100/60s" = 100 queries per trailing 60 seconds).
+    std::string limit_text = rate_it->second;
+    std::string window_text;
+    const std::size_t slash = limit_text.find('/');
+    if (slash != std::string::npos) {
+      window_text = limit_text.substr(slash + 1);
+      limit_text.resize(slash);
+      if (!window_text.empty() && window_text.back() == 's') {
+        window_text.pop_back();
+      }
+    }
+    std::size_t limit = 0;
+    std::size_t window = 60;
+    if (!ParseSize(limit_text, &limit) || limit == 0 ||
+        (!window_text.empty() &&
+         (!ParseSize(window_text, &window) || window == 0 ||
+          window > 3600))) {
+      return BadFlag("query-rate-limit", rate_it->second,
+                     "N or N/WINDOWs, window 1..3600 seconds");
+    }
+    config.query_rate_limit = limit;
+    config.query_rate_window_seconds = static_cast<int>(window);
+  }
+
+  const auto http_it = flags.find("http-listen");
+  if (http_it != flags.end()) config.http_listen_address = http_it->second;
+  const auto token_it = flags.find("http-token");
+  if (token_it != flags.end()) {
+    if (config.http_listen_address.empty()) {
+      return Status::InvalidArgument("--http-token requires --http-listen");
+    }
+    config.http_token = token_it->second;
+  }
+  const auto access_it = flags.find("access-log");
+  if (access_it != flags.end()) config.access_log_path = access_it->second;
+  const auto slow_it = flags.find("slow-query-ms");
+  if (slow_it != flags.end()) {
+    std::size_t slow_ms = 0;
+    if (!ParseSize(slow_it->second, &slow_ms) || slow_ms == 0 ||
+        slow_ms > 3600000) {
+      return BadFlag("slow-query-ms", slow_it->second, "1..3600000");
+    }
+    config.slow_query_ms = static_cast<int>(slow_ms);
+  }
+  const auto ring_it = flags.find("trace-ring");
+  if (ring_it != flags.end()) {
+    std::size_t ring = 0;
+    if (!ParseSize(ring_it->second, &ring) || ring > 1000000) {
+      return BadFlag("trace-ring", ring_it->second, "0..1000000");
+    }
+    config.trace_ring_capacity = ring;
+  }
+  const auto frame_it = flags.find("max-frame");
+  if (frame_it != flags.end()) {
+    std::size_t max_frame = 0;
+    if (!ParseSize(frame_it->second, &max_frame) || max_frame < 64 ||
+        max_frame > kMaxFrameCeiling) {
+      return BadFlag("max-frame", frame_it->second, "64..16777216");
+    }
+    config.max_frame_payload = max_frame;
+  }
+
+  return config;
+}
+
+}  // namespace service
+}  // namespace dpcube

@@ -1,0 +1,71 @@
+// Copyright 2026 The dpcube Authors.
+//
+// ServeConfig — the single source of truth for `dpcube serve`. The
+// ~15 serve flags used to be parsed piecemeal inside RunServe, each
+// with its own error handling and silent interactions (an --http-token
+// with no --http-listen simply did nothing). ParseServeConfig gathers
+// them into one struct, validated in one place, with every bad
+// combination rejected loudly BEFORE any socket is bound or state
+// directory touched. net::ServerOptions, the HTTP endpoint, and the
+// durable-state layer are all constructed from this one struct
+// (net::ServerOptionsFromConfig), so a flag can never reach one
+// subsystem but miss another.
+
+#ifndef DPCUBE_SERVICE_SERVE_CONFIG_H_
+#define DPCUBE_SERVICE_SERVE_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace dpcube {
+namespace service {
+
+struct ServeConfig {
+  // Shared by stdin and network mode.
+  std::size_t cache_cells = std::size_t{1} << 20;
+  std::string release_path;            ///< --release (optional preload).
+  std::string release_name = "default";  ///< --name (requires --release).
+
+  // Durable state (both modes).
+  std::string state_dir;               ///< --state-dir (empty = volatile).
+  std::uint64_t snapshot_every = 1024; ///< --snapshot-every (records).
+
+  // Network mode (--listen present).
+  std::string listen_address;
+  int max_connections = 64;
+  int max_inflight = 8;
+  int max_queue_depth = 256;
+  int drain_timeout_ms = 10000;
+  int net_threads = 0;  ///< 0 = auto (min(4, hardware)).
+  std::uint64_t query_quota = 0;       ///< --query-quota (0 = unmetered).
+  std::uint64_t query_rate_limit = 0;  ///< --query-rate-limit N[/WINDOWs].
+  int query_rate_window_seconds = 60;
+  std::string http_listen_address;
+  std::string http_token;
+  std::string access_log_path;
+  int slow_query_ms = 0;
+  std::size_t trace_ring_capacity = 256;
+  std::size_t max_frame_payload = std::size_t{1} << 20;
+
+  bool network() const { return !listen_address.empty(); }
+  bool durable() const { return !state_dir.empty(); }
+};
+
+/// Parses and cross-validates the serve flag map (as produced by the
+/// CLI's ParseFlags). Rejects unknown serve flags, out-of-range values,
+/// and incoherent combinations — network-only flags without --listen,
+/// --http-token without --http-listen, --name without --release,
+/// --snapshot-every without --state-dir — so misconfiguration fails
+/// before any side effect. The global --threads flag is handled by the
+/// CLI before dispatch and ignored here.
+Result<ServeConfig> ParseServeConfig(
+    const std::map<std::string, std::string>& flags);
+
+}  // namespace service
+}  // namespace dpcube
+
+#endif  // DPCUBE_SERVICE_SERVE_CONFIG_H_

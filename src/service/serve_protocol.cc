@@ -135,6 +135,21 @@ bool ServeSession::CheckQuota(const Query& query, Response* denied) const {
   return false;
 }
 
+Status ServeSession::ApplyMutation(const Mutation& mutation) {
+  if (mutation_handler_) return mutation_handler_(mutation);
+  // Volatile path: apply straight to the in-memory structures.
+  switch (mutation.kind) {
+    case MutationKind::kLoadRelease:
+      return store_->LoadFromFile(mutation.name, mutation.path);
+    case MutationKind::kUnloadRelease:
+      return service_->RemoveRelease(mutation.name);
+    default:
+      return Status::Unimplemented(
+          std::string("mutation '") + MutationKindName(mutation.kind) +
+          "' needs a durable handler");
+  }
+}
+
 Response ServeSession::ExecuteRequest(const Request& request) {
   Response response;
   response.request = request.kind;
@@ -142,18 +157,19 @@ Response ServeSession::ExecuteRequest(const Request& request) {
     case RequestKind::kQuit:
       return response;
     case RequestKind::kLoad: {
-      const Status st = store_->LoadFromFile(request.name, request.path);
+      const Status st =
+          ApplyMutation(Mutation::LoadRelease(request.name, request.path));
       if (!st.ok()) {
-        return Response::Error(ErrorCodeFromStatus(st), st.ToString());
+        return Response::Error(ToErrorCode(st), st.ToString());
       }
       if (release_loaded_hook_) release_loaded_hook_(request.name);
       response.name = request.name;
       return response;
     }
     case RequestKind::kUnload: {
-      const Status st = service_->RemoveRelease(request.name);
+      const Status st = ApplyMutation(Mutation::UnloadRelease(request.name));
       if (!st.ok()) {
-        return Response::Error(ErrorCodeFromStatus(st), st.ToString());
+        return Response::Error(ToErrorCode(st), st.ToString());
       }
       response.name = request.name;
       return response;

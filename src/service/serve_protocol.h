@@ -44,6 +44,7 @@
 #include "common/trace_metrics.h"
 #include "service/batch_executor.h"
 #include "service/marginal_cache.h"
+#include "service/mutation.h"
 #include "service/query_service.h"
 #include "service/release_store.h"
 #include "service/request.h"
@@ -140,9 +141,23 @@ class ServeSession {
     release_loaded_hook_ = std::move(hook);
   }
 
+  /// Routes the mutating verbs (load/unload) through an external state
+  /// machine instead of the in-memory store. With `serve --state-dir`
+  /// the listener installs DurableState::Apply here, so a wire-driven
+  /// load is changelog-appended and fsync'd before it takes effect.
+  /// Runs on whatever thread drives the session (must be thread-safe).
+  /// Unset, mutations apply directly to the store/service (the
+  /// volatile behavior).
+  void SetMutationHandler(std::function<Status(const Mutation&)> handler) {
+    mutation_handler_ = std::move(handler);
+  }
+
  private:
   /// Executes one non-batch, non-HELLO typed request.
   Response ExecuteRequest(const Request& request);
+  /// Applies a mutating verb: through the installed handler (durable
+  /// path) or directly to the in-memory structures.
+  Status ApplyMutation(const Mutation& mutation);
   /// Handles "HELLO ...": returns the ack and, on success, switches the
   /// codec AFTER the ack was encoded in the previous one.
   void HandleHello(const Request& request, std::ostream& out);
@@ -165,6 +180,7 @@ class ServeSession {
   std::shared_ptr<const SessionMetrics> metrics_;
   std::shared_ptr<const trace::ServingTraceMetrics> trace_metrics_;
   std::function<void(const std::string&)> release_loaded_hook_;
+  std::function<Status(const Mutation&)> mutation_handler_;
   /// The frame trace currently being filled (only while ProcessStream
   /// runs; a session executes one frame at a time, so no sharing).
   trace::RequestTrace* active_trace_ = nullptr;

@@ -70,7 +70,7 @@ std::string EncodeBinaryRecord(const Response& response) {
   } else if (response.has_query) {
     // A typed query answer whose status is an error: code byte + the
     // status text (the "ERR " prefix is implied by the code).
-    code = ErrorCodeFromStatus(response.query.status);
+    code = ToErrorCode(response.query.status);
     message = response.query.status.ToString();
   } else if (response.code != ErrorCode::kOk) {
     message = response.message;

@@ -1,0 +1,270 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "common/wal.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dpcube {
+namespace wal {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteRaw(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+std::string ReadRaw(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+TEST(Crc32Test, MatchesTheIeeeCheckValue) {
+  // The canonical CRC-32 check value: crc32("123456789") = 0xCBF43926.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_NE(Crc32("123456788"), Crc32("123456789"));
+}
+
+TEST(Crc32Test, CoversTheLsnSoRecordsCannotRelocate) {
+  // The record CRC is over lsn || payload, so the same payload under a
+  // different LSN must produce different record bytes.
+  const std::string a = EncodeRecord(1, "payload");
+  const std::string b = EncodeRecord(2, "payload");
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_NE(a, b);
+}
+
+TEST(ReplayChangelogTest, RoundTripsRecords) {
+  const std::string path = TempPath("wal_roundtrip.log");
+  std::string bytes;
+  bytes += EncodeRecord(1, "alpha");
+  bytes += EncodeRecord(2, "");
+  bytes += EncodeRecord(3, std::string(1000, 'x'));
+  WriteRaw(path, bytes);
+
+  std::vector<std::pair<std::uint64_t, std::string>> seen;
+  auto result = ReplayChangelog(
+      path, [&](std::uint64_t lsn, std::string_view payload) {
+        seen.emplace_back(lsn, std::string(payload));
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->records, 3u);
+  EXPECT_EQ(result->last_lsn, 3u);
+  EXPECT_EQ(result->valid_bytes, result->file_bytes);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::pair<std::uint64_t, std::string>{1, "alpha"}));
+  EXPECT_EQ(seen[1].second, "");
+  EXPECT_EQ(seen[2].second, std::string(1000, 'x'));
+  std::remove(path.c_str());
+}
+
+TEST(ReplayChangelogTest, MissingFileIsNotFound) {
+  auto result = ReplayChangelog(TempPath("wal_missing.log"),
+                                [](std::uint64_t, std::string_view) {});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ReplayChangelogTest, TornTailStopsCleanly) {
+  // A crash mid-append leaves a prefix of a record; replay must deliver
+  // everything before it and report where the valid bytes end.
+  const std::string path = TempPath("wal_torn.log");
+  const std::string good = EncodeRecord(1, "kept") + EncodeRecord(2, "kept2");
+  const std::string torn = EncodeRecord(3, "lost-in-the-crash");
+  WriteRaw(path, good + torn.substr(0, torn.size() - 5));
+
+  std::uint64_t records = 0;
+  auto result = ReplayChangelog(
+      path, [&](std::uint64_t, std::string_view) { records += 1; });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(records, 2u);
+  EXPECT_EQ(result->last_lsn, 2u);
+  EXPECT_EQ(result->valid_bytes, good.size());
+  EXPECT_GT(result->file_bytes, result->valid_bytes);
+
+  // Truncating the tail (what recovery does) yields a clean log again.
+  ASSERT_TRUE(TruncateFile(path, result->valid_bytes).ok());
+  auto again = ReplayChangelog(path, [](std::uint64_t, std::string_view) {});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->valid_bytes, again->file_bytes);
+  EXPECT_EQ(again->records, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(ReplayChangelogTest, CorruptMiddleRecordStopsReplay) {
+  const std::string path = TempPath("wal_corrupt.log");
+  const std::string first = EncodeRecord(1, "first");
+  std::string second = EncodeRecord(2, "second");
+  second[second.size() - 1] ^= 0x40;  // Flip a payload bit: CRC fails.
+  WriteRaw(path, first + second + EncodeRecord(3, "third"));
+
+  std::uint64_t records = 0;
+  auto result = ReplayChangelog(
+      path, [&](std::uint64_t, std::string_view) { records += 1; });
+  ASSERT_TRUE(result.ok());
+  // Replay must stop AT the corruption, not resync past it: record 3 is
+  // unreachable even though its own bytes are intact.
+  EXPECT_EQ(records, 1u);
+  EXPECT_EQ(result->valid_bytes, first.size());
+  EXPECT_GT(result->file_bytes, result->valid_bytes);
+  std::remove(path.c_str());
+}
+
+TEST(ReplayChangelogTest, HostileLengthFieldIsRejected) {
+  // A corrupt pay_len > kMaxRecordPayload must stop replay, not drive a
+  // giant allocation.
+  const std::string path = TempPath("wal_hostile_len.log");
+  std::string record = EncodeRecord(1, "x");
+  record[4] = '\xFF';  // pay_len bytes 4..7 (little-endian).
+  record[5] = '\xFF';
+  record[6] = '\xFF';
+  record[7] = '\x7F';
+  WriteRaw(path, record);
+  auto result = ReplayChangelog(path, [](std::uint64_t, std::string_view) {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->records, 0u);
+  EXPECT_EQ(result->valid_bytes, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(ChangelogTest, AppendAssignsMonotonicLsns) {
+  const std::string path = TempPath("wal_append.log");
+  std::remove(path.c_str());
+  auto log = Changelog::Open(path, /*next_lsn=*/1);
+  ASSERT_TRUE(log.ok());
+  for (std::uint64_t want = 1; want <= 5; ++want) {
+    auto lsn = (*log)->Append("r" + std::to_string(want));
+    ASSERT_TRUE(lsn.ok());
+    EXPECT_EQ(lsn.value(), want);
+  }
+  ASSERT_TRUE((*log)->Sync(5).ok());
+  EXPECT_EQ((*log)->last_synced(), 5u);
+  EXPECT_EQ((*log)->next_lsn(), 6u);
+
+  auto replayed = ReplayChangelog(path, [](std::uint64_t, std::string_view) {});
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed->records, 5u);
+  EXPECT_EQ(replayed->last_lsn, 5u);
+  std::remove(path.c_str());
+}
+
+TEST(ChangelogTest, ReopenContinuesTheLsnSequence) {
+  const std::string path = TempPath("wal_reopen.log");
+  std::remove(path.c_str());
+  {
+    auto log = Changelog::Open(path, 1);
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE((*log)->Append("one").ok());
+    ASSERT_TRUE((*log)->Sync(1).ok());
+  }
+  auto replayed = ReplayChangelog(path, [](std::uint64_t, std::string_view) {});
+  ASSERT_TRUE(replayed.ok());
+  auto log = Changelog::Open(path, replayed->last_lsn + 1);
+  ASSERT_TRUE(log.ok());
+  auto lsn = (*log)->Append("two");
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(lsn.value(), 2u);
+  ASSERT_TRUE((*log)->Sync(2).ok());
+
+  std::vector<std::uint64_t> lsns;
+  ASSERT_TRUE(ReplayChangelog(path, [&](std::uint64_t l, std::string_view) {
+                lsns.push_back(l);
+              }).ok());
+  EXPECT_EQ(lsns, (std::vector<std::uint64_t>{1, 2}));
+  std::remove(path.c_str());
+}
+
+TEST(ChangelogTest, ConcurrentAppendSyncGroupCommits) {
+  const std::string path = TempPath("wal_group_commit.log");
+  std::remove(path.c_str());
+  auto opened = Changelog::Open(path, 1);
+  ASSERT_TRUE(opened.ok());
+  auto log = *opened;
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, &failures] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto lsn = log->Append("payload");
+        if (!lsn.ok() || !log->Sync(lsn.value()).ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(log->last_synced(), kThreads * kPerThread);
+
+  // Every record must be present exactly once, LSNs 1..200 with no gaps
+  // — concurrent appends may interleave but never tear or duplicate.
+  std::map<std::uint64_t, int> seen;
+  auto replayed = ReplayChangelog(
+      path, [&](std::uint64_t lsn, std::string_view payload) {
+        EXPECT_EQ(payload, "payload");
+        seen[lsn] += 1;
+      });
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed->valid_bytes, replayed->file_bytes);
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  for (std::uint64_t lsn = 1; lsn <= kThreads * kPerThread; ++lsn) {
+    EXPECT_EQ(seen[lsn], 1) << "lsn " << lsn;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FsPrimitivesTest, MakeDirsIsRecursiveAndIdempotent) {
+  const std::string root = TempPath("wal_mkdirs");
+  const std::string nested = root + "/a/b/c";
+  ASSERT_TRUE(MakeDirs(nested).ok());
+  ASSERT_TRUE(MakeDirs(nested).ok());  // Second call: EEXIST tolerated.
+  auto entries = ListDir(root + "/a/b");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0], "c");
+  // A file where a directory is wanted must fail, not silently pass.
+  WriteRaw(root + "/file", "x");
+  EXPECT_FALSE(MakeDirs(root + "/file").ok());
+}
+
+TEST(FsPrimitivesTest, AtomicWriteFilePublishesAllOrNothing) {
+  const std::string dir = TempPath("wal_atomic");
+  ASSERT_TRUE(MakeDirs(dir).ok());
+  const std::string path = dir + "/state";
+  ASSERT_TRUE(AtomicWriteFile(path, "v1").ok());
+  EXPECT_EQ(ReadRaw(path), "v1");
+  ASSERT_TRUE(AtomicWriteFile(path, "version-two").ok());
+  EXPECT_EQ(ReadRaw(path), "version-two");
+  // No ".tmp" intermediate survives a successful publish.
+  auto entries = ListDir(dir);
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries->size(), 1u);
+  EXPECT_EQ((*entries)[0], "state");
+
+  auto contents = ReadFile(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "version-two");
+  EXPECT_EQ(ReadFile(dir + "/nope").status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace wal
+}  // namespace dpcube

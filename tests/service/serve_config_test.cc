@@ -1,0 +1,193 @@
+// Copyright 2026 The dpcube Authors.
+
+#include "service/serve_config.h"
+
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dpcube {
+namespace service {
+namespace {
+
+using Flags = std::map<std::string, std::string>;
+
+void ExpectRejects(const Flags& flags, const std::string& message) {
+  auto config = ParseServeConfig(flags);
+  ASSERT_FALSE(config.ok()) << "flags unexpectedly accepted";
+  EXPECT_EQ(config.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(config.status().message(), message);
+}
+
+TEST(ServeConfigTest, DefaultsWithNoFlags) {
+  auto config = ParseServeConfig({});
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->cache_cells, std::size_t{1} << 20);
+  EXPECT_TRUE(config->release_path.empty());
+  EXPECT_EQ(config->release_name, "default");
+  EXPECT_FALSE(config->durable());
+  EXPECT_EQ(config->snapshot_every, 1024u);
+  EXPECT_FALSE(config->network());
+  EXPECT_EQ(config->max_connections, 64);
+  EXPECT_EQ(config->max_inflight, 8);
+  EXPECT_EQ(config->max_queue_depth, 256);
+  EXPECT_EQ(config->drain_timeout_ms, 10000);
+  EXPECT_EQ(config->net_threads, 0);
+  EXPECT_EQ(config->query_quota, 0u);
+  EXPECT_EQ(config->query_rate_limit, 0u);
+  EXPECT_EQ(config->trace_ring_capacity, 256u);
+  EXPECT_EQ(config->max_frame_payload, std::size_t{1} << 20);
+}
+
+TEST(ServeConfigTest, FullNetworkConfigParses) {
+  auto config = ParseServeConfig({{"cache-cells", "4096"},
+                                  {"release", "/tmp/r.csv"},
+                                  {"name", "adult"},
+                                  {"state-dir", "/tmp/state"},
+                                  {"snapshot-every", "64"},
+                                  {"listen", "127.0.0.1:0"},
+                                  {"max-conns", "10"},
+                                  {"max-inflight", "3"},
+                                  {"max-queue", "40"},
+                                  {"drain-ms", "1500"},
+                                  {"net-threads", "2"},
+                                  {"query-quota", "100"},
+                                  {"query-rate-limit", "50/30s"},
+                                  {"http-listen", "127.0.0.1:0"},
+                                  {"http-token", "secret"},
+                                  {"access-log", "/tmp/access.jsonl"},
+                                  {"slow-query-ms", "250"},
+                                  {"trace-ring", "1000"},
+                                  {"max-frame", "65536"}});
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->cache_cells, 4096u);
+  EXPECT_EQ(config->release_path, "/tmp/r.csv");
+  EXPECT_EQ(config->release_name, "adult");
+  EXPECT_TRUE(config->durable());
+  EXPECT_EQ(config->state_dir, "/tmp/state");
+  EXPECT_EQ(config->snapshot_every, 64u);
+  EXPECT_TRUE(config->network());
+  EXPECT_EQ(config->listen_address, "127.0.0.1:0");
+  EXPECT_EQ(config->max_connections, 10);
+  EXPECT_EQ(config->max_inflight, 3);
+  EXPECT_EQ(config->max_queue_depth, 40);
+  EXPECT_EQ(config->drain_timeout_ms, 1500);
+  EXPECT_EQ(config->net_threads, 2);
+  EXPECT_EQ(config->query_quota, 100u);
+  EXPECT_EQ(config->query_rate_limit, 50u);
+  EXPECT_EQ(config->query_rate_window_seconds, 30);
+  EXPECT_EQ(config->http_listen_address, "127.0.0.1:0");
+  EXPECT_EQ(config->http_token, "secret");
+  EXPECT_EQ(config->access_log_path, "/tmp/access.jsonl");
+  EXPECT_EQ(config->slow_query_ms, 250);
+  EXPECT_EQ(config->trace_ring_capacity, 1000u);
+  EXPECT_EQ(config->max_frame_payload, 65536u);
+}
+
+TEST(ServeConfigTest, RateLimitVariants) {
+  auto bare = ParseServeConfig(
+      {{"listen", ":0"}, {"query-rate-limit", "100"}});
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->query_rate_limit, 100u);
+  EXPECT_EQ(bare->query_rate_window_seconds, 60);  // Default window.
+
+  auto no_suffix = ParseServeConfig(
+      {{"listen", ":0"}, {"query-rate-limit", "5/10"}});
+  ASSERT_TRUE(no_suffix.ok());
+  EXPECT_EQ(no_suffix->query_rate_limit, 5u);
+  EXPECT_EQ(no_suffix->query_rate_window_seconds, 10);
+}
+
+TEST(ServeConfigTest, RejectsUnknownFlag) {
+  ExpectRejects({{"stat-dir", "x"}}, "unknown serve flag --stat-dir");
+}
+
+TEST(ServeConfigTest, RejectsNameWithoutRelease) {
+  ExpectRejects({{"name", "adult"}}, "--name requires --release");
+}
+
+TEST(ServeConfigTest, RejectsEmptyStateDir) {
+  ExpectRejects({{"state-dir", ""}}, "--state-dir must not be empty");
+}
+
+TEST(ServeConfigTest, RejectsSnapshotEveryWithoutStateDir) {
+  ExpectRejects({{"snapshot-every", "8"}},
+                "--snapshot-every requires --state-dir");
+}
+
+TEST(ServeConfigTest, RejectsBadSnapshotEvery) {
+  ExpectRejects({{"state-dir", "s"}, {"snapshot-every", "0"}},
+                "bad --snapshot-every '0' (want 1..1000000000)");
+  ExpectRejects({{"state-dir", "s"}, {"snapshot-every", "nope"}},
+                "bad --snapshot-every 'nope' (want 1..1000000000)");
+}
+
+TEST(ServeConfigTest, EveryNetworkFlagRequiresListen) {
+  const char* kNetworkOnly[] = {
+      "max-conns", "max-inflight", "max-queue", "drain-ms",
+      "net-threads", "query-quota", "query-rate-limit", "http-listen",
+      "http-token", "access-log", "slow-query-ms", "trace-ring",
+      "max-frame"};
+  for (const char* flag : kNetworkOnly) {
+    ExpectRejects({{flag, "1"}},
+                  std::string("--") + flag + " requires --listen");
+  }
+}
+
+TEST(ServeConfigTest, RejectsHttpTokenWithoutHttpListen) {
+  ExpectRejects({{"listen", ":0"}, {"http-token", "t"}},
+                "--http-token requires --http-listen");
+}
+
+TEST(ServeConfigTest, RejectsBadCaps) {
+  ExpectRejects({{"listen", ":0"}, {"max-conns", "0"}},
+                "bad --max-conns '0' (want 1..1000000000)");
+  ExpectRejects({{"listen", ":0"}, {"net-threads", "2000000000"}},
+                "bad --net-threads '2000000000' (want 1..1000000000)");
+  ExpectRejects({{"listen", ":0"}, {"drain-ms", "-5"}},
+                "bad --drain-ms '-5' (want 1..1000000000)");
+}
+
+TEST(ServeConfigTest, RejectsBadQuotaAndRate) {
+  ExpectRejects({{"listen", ":0"}, {"query-quota", "0"}},
+                "bad --query-quota '0' (want a positive count)");
+  ExpectRejects(
+      {{"listen", ":0"}, {"query-rate-limit", "0"}},
+      "bad --query-rate-limit '0' (want N or N/WINDOWs, window 1..3600 "
+      "seconds)");
+  ExpectRejects(
+      {{"listen", ":0"}, {"query-rate-limit", "10/0s"}},
+      "bad --query-rate-limit '10/0s' (want N or N/WINDOWs, window 1..3600 "
+      "seconds)");
+  ExpectRejects(
+      {{"listen", ":0"}, {"query-rate-limit", "10/4000"}},
+      "bad --query-rate-limit '10/4000' (want N or N/WINDOWs, window 1..3600 "
+      "seconds)");
+}
+
+TEST(ServeConfigTest, RejectsBadObservabilityKnobs) {
+  ExpectRejects({{"listen", ":0"}, {"slow-query-ms", "0"}},
+                "bad --slow-query-ms '0' (want 1..3600000)");
+  ExpectRejects({{"listen", ":0"}, {"trace-ring", "1000001"}},
+                "bad --trace-ring '1000001' (want 0..1000000)");
+  ExpectRejects({{"listen", ":0"}, {"max-frame", "63"}},
+                "bad --max-frame '63' (want 64..16777216)");
+  ExpectRejects({{"listen", ":0"}, {"max-frame", "16777217"}},
+                "bad --max-frame '16777217' (want 64..16777216)");
+}
+
+TEST(ServeConfigTest, TraceRingZeroDisablesTracing) {
+  auto config = ParseServeConfig({{"listen", ":0"}, {"trace-ring", "0"}});
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->trace_ring_capacity, 0u);
+}
+
+TEST(ServeConfigTest, GlobalThreadsFlagIsIgnored) {
+  auto config = ParseServeConfig({{"threads", "4"}});
+  ASSERT_TRUE(config.ok());
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace dpcube

@@ -1,0 +1,75 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Pins down the one Status <-> wire ErrorCode translation: every
+// ErrorCode survives the ToStatus -> ToErrorCode round trip, and every
+// StatusCode folds into the documented wire arm.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+#include "service/request.h"
+
+namespace dpcube {
+namespace service {
+namespace {
+
+TEST(StatusErrorCodeTest, EveryErrorCodeRoundTrips) {
+  const ErrorCode all[] = {ErrorCode::kOk,       ErrorCode::kBadRequest,
+                           ErrorCode::kNotFound, ErrorCode::kBusy,
+                           ErrorCode::kQuotaExceeded, ErrorCode::kInternal};
+  for (const ErrorCode code : all) {
+    const Status status = ToStatus(code, "round trip");
+    EXPECT_EQ(ToErrorCode(status), code) << ErrorCodeName(code);
+    if (code == ErrorCode::kOk) {
+      EXPECT_TRUE(status.ok());
+    } else {
+      EXPECT_FALSE(status.ok());
+      EXPECT_EQ(status.message(), "round trip");
+    }
+  }
+}
+
+TEST(StatusErrorCodeTest, CanonicalPreimages) {
+  EXPECT_EQ(ToStatus(ErrorCode::kOk, "").code(), StatusCode::kOk);
+  EXPECT_EQ(ToStatus(ErrorCode::kBadRequest, "m").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ToStatus(ErrorCode::kNotFound, "m").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ToStatus(ErrorCode::kBusy, "m").code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(ToStatus(ErrorCode::kQuotaExceeded, "m").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(ToStatus(ErrorCode::kInternal, "m").code(),
+            StatusCode::kInternal);
+}
+
+TEST(StatusErrorCodeTest, StatusCodesFoldIntoTheWireTaxonomy) {
+  EXPECT_EQ(ToErrorCode(Status::OK()), ErrorCode::kOk);
+  EXPECT_EQ(ToErrorCode(Status::InvalidArgument("m")),
+            ErrorCode::kBadRequest);
+  EXPECT_EQ(ToErrorCode(Status::OutOfRange("m")), ErrorCode::kBadRequest);
+  EXPECT_EQ(ToErrorCode(Status::NotFound("m")), ErrorCode::kNotFound);
+  EXPECT_EQ(ToErrorCode(Status::Unavailable("m")), ErrorCode::kBusy);
+  EXPECT_EQ(ToErrorCode(Status::ResourceExhausted("m")),
+            ErrorCode::kQuotaExceeded);
+  // Everything else is an internal fault as far as the wire cares.
+  EXPECT_EQ(ToErrorCode(Status::Internal("m")), ErrorCode::kInternal);
+  EXPECT_EQ(ToErrorCode(Status::FailedPrecondition("m")),
+            ErrorCode::kInternal);
+  EXPECT_EQ(ToErrorCode(Status::Unimplemented("m")), ErrorCode::kInternal);
+  EXPECT_EQ(ToErrorCode(Status::NumericalError("m")), ErrorCode::kInternal);
+}
+
+TEST(StatusErrorCodeTest, NamesForTheNewStatusCodes) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kBusy), "Busy");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kQuotaExceeded), "QuotaExceeded");
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace dpcube

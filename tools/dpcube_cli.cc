@@ -100,9 +100,11 @@
 #include "net/socket_listener.h"
 #include "recovery/integral.h"
 #include "service/batch_executor.h"
+#include "service/durable_state.h"
 #include "service/marginal_cache.h"
 #include "service/query_service.h"
 #include "service/release_store.h"
+#include "service/serve_config.h"
 #include "service/serve_protocol.h"
 #include "strategy/factory.h"
 
@@ -131,6 +133,7 @@ int Usage() {
                "| --stats)\n"
                "  dpcube serve   [--release F [--name N]] [--threads T] "
                "[--cache-cells N]\n"
+               "                 [--state-dir DIR] [--snapshot-every N]\n"
                "                 [--listen HOST:PORT] [--max-conns N] "
                "[--max-inflight N]\n"
                "                 [--max-queue N] [--drain-ms N] "
@@ -159,7 +162,15 @@ int Usage() {
                "completed request,\n"
                "   --slow-query-ms flags requests at/above N ms as slow, "
                "--trace-ring\n"
-               "   sizes the /tracez ring — 0 disables tracing)\n");
+               "   sizes the /tracez ring — 0 disables tracing.\n"
+               "   --state-dir makes serving state durable: every "
+               "load/unload and quota\n"
+               "   charge is logged to DIR before taking effect, and a "
+               "restart with the\n"
+               "   same DIR restores releases and the quota ledger "
+               "exactly; --snapshot-every\n"
+               "   bounds replay by snapshotting after N records "
+               "(default 1024))\n");
   return 2;
 }
 
@@ -218,19 +229,23 @@ int RunSynth(const std::map<std::string, std::string>& flags) {
   const auto dataset_it = flags.find("dataset");
   const auto out_it = flags.find("out");
   if (dataset_it == flags.end() || out_it == flags.end()) return Usage();
+  // Pipeline diagnostics share the serve path's leveled logger (usage
+  // errors above stay bare fprintf).
+  logging::Logger err_log(stderr, logging::Logger::Format::kHuman);
   const std::size_t rows =
       static_cast<std::size_t>(FlagDouble(flags, "rows", 10000));
   Rng rng(static_cast<std::uint64_t>(FlagDouble(flags, "seed", 42)));
   data::Dataset dataset = [&] {
     if (dataset_it->second == "adult") return data::MakeAdultLike(rows, &rng);
     if (dataset_it->second == "nltcs") return data::MakeNltcsLike(rows, &rng);
-    std::fprintf(stderr, "unknown dataset '%s'\n",
-                 dataset_it->second.c_str());
+    err_log.Error("synth: unknown dataset",
+                  {logging::Field("dataset", dataset_it->second)});
     std::exit(2);
   }();
   const Status st = data::WriteCsv(dataset, out_it->second);
   if (!st.ok()) {
-    std::fprintf(stderr, "write failed: %s\n", st.ToString().c_str());
+    err_log.Error("synth: write failed: " + st.ToString(),
+                  {logging::Field("path", out_it->second)});
     return 1;
   }
   std::printf("wrote %zu rows to %s\n", dataset.num_rows(),
@@ -246,26 +261,27 @@ int RunRelease(const std::map<std::string, std::string>& flags) {
       return Usage();
     }
   }
+  logging::Logger err_log(stderr, logging::Logger::Format::kHuman);
   auto schema = data::ParseSchemaSpec(flags.at("schema"));
   if (!schema.ok()) {
-    std::fprintf(stderr, "schema: %s\n", schema.status().ToString().c_str());
+    err_log.Error("release: schema: " + schema.status().ToString());
     return 1;
   }
   auto dataset = data::ReadCsv(schema.value(), flags.at("data"));
   if (!dataset.ok()) {
-    std::fprintf(stderr, "data: %s\n", dataset.status().ToString().c_str());
+    err_log.Error("release: data: " + dataset.status().ToString(),
+                  {logging::Field("path", flags.at("data"))});
     return 1;
   }
   auto workload = marginal::WorkloadByName(schema.value(),
                                            flags.at("workload"));
   if (!workload.ok()) {
-    std::fprintf(stderr, "workload: %s\n",
-                 workload.status().ToString().c_str());
+    err_log.Error("release: workload: " + workload.status().ToString());
     return 1;
   }
   auto method = strategy::MakeMethod(flags.at("method"), workload.value());
   if (!method.ok()) {
-    std::fprintf(stderr, "method: %s\n", method.status().ToString().c_str());
+    err_log.Error("release: method: " + method.status().ToString());
     return 1;
   }
 
@@ -281,8 +297,9 @@ int RunRelease(const std::map<std::string, std::string>& flags) {
   auto outcome = engine::ReleaseWorkload(*method.value().strategy, counts,
                                          options, &rng);
   if (!outcome.ok()) {
-    std::fprintf(stderr, "release: %s\n",
-                 outcome.status().ToString().c_str());
+    err_log.Error("release: " + outcome.status().ToString(),
+                  {logging::Field("method", flags.at("method")),
+                   logging::Field("workload", flags.at("workload"))});
     return 1;
   }
   // Archive the mechanism's predicted per-cell variances alongside the
@@ -296,7 +313,8 @@ int RunRelease(const std::map<std::string, std::string>& flags) {
       flags.at("out"), outcome.value().marginals, cell_variances,
       &outcome.value().timings);
   if (!st.ok()) {
-    std::fprintf(stderr, "write: %s\n", st.ToString().c_str());
+    err_log.Error("release: write: " + st.ToString(),
+                  {logging::Field("path", flags.at("out"))});
     return 1;
   }
   std::printf(
@@ -376,21 +394,22 @@ int RunIntegral(const std::map<std::string, std::string>& flags) {
       return Usage();
     }
   }
+  logging::Logger err_log(stderr, logging::Logger::Format::kHuman);
   auto schema = data::ParseSchemaSpec(flags.at("schema"));
   if (!schema.ok()) {
-    std::fprintf(stderr, "schema: %s\n", schema.status().ToString().c_str());
+    err_log.Error("integral: schema: " + schema.status().ToString());
     return 1;
   }
   auto dataset = data::ReadCsv(schema.value(), flags.at("data"));
   if (!dataset.ok()) {
-    std::fprintf(stderr, "data: %s\n", dataset.status().ToString().c_str());
+    err_log.Error("integral: data: " + dataset.status().ToString(),
+                  {logging::Field("path", flags.at("data"))});
     return 1;
   }
   auto workload =
       marginal::WorkloadByName(schema.value(), flags.at("workload"));
   if (!workload.ok()) {
-    std::fprintf(stderr, "workload: %s\n",
-                 workload.status().ToString().c_str());
+    err_log.Error("integral: workload: " + workload.status().ToString());
     return 1;
   }
   dp::PrivacyParams params;
@@ -403,14 +422,14 @@ int RunIntegral(const std::map<std::string, std::string>& flags) {
   auto release = recovery::IntegralBaseCountRelease(workload.value(), counts,
                                                     params, &rng, int_options);
   if (!release.ok()) {
-    std::fprintf(stderr, "integral: %s\n",
-                 release.status().ToString().c_str());
+    err_log.Error("integral: " + release.status().ToString());
     return 1;
   }
   const Status st =
       engine::WriteReleaseCsv(flags.at("out"), release.value().marginals);
   if (!st.ok()) {
-    std::fprintf(stderr, "write: %s\n", st.ToString().c_str());
+    err_log.Error("integral: write: " + st.ToString(),
+                  {logging::Field("path", flags.at("out"))});
     return 1;
   }
   std::printf(
@@ -631,15 +650,20 @@ int RunQuery(const std::map<std::string, std::string>& flags) {
 }
 
 int RunServe(const std::map<std::string, std::string>& flags) {
-  std::size_t cache_cells = 1 << 20;
-  const auto cache_it = flags.find("cache-cells");
-  if (cache_it != flags.end() && !ParseSize(cache_it->second, &cache_cells)) {
-    std::fprintf(stderr, "bad --cache-cells '%s'\n",
-                 cache_it->second.c_str());
+  // One parse, one validation pass, one source of truth: ServeConfig
+  // feeds the durable-state layer, the session, and (via
+  // ServerOptionsFromConfig) the whole network stack. Every bad flag or
+  // incoherent combination fails here, before any socket is bound or
+  // state directory touched.
+  auto parsed = service::ParseServeConfig(flags);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "serve: %s\n", parsed.status().ToString().c_str());
     return 2;
   }
+  const service::ServeConfig config = std::move(parsed).value();
+
   auto store = std::make_shared<service::ReleaseStore>();
-  auto cache = std::make_shared<service::MarginalCache>(cache_cells);
+  auto cache = std::make_shared<service::MarginalCache>(config.cache_cells);
   auto svc = std::make_shared<const service::QueryService>(store, cache);
   // Batches run on the same process-wide pool as the release pipeline
   // (sized by --threads via ConfigureThreads in main). Shared ownership:
@@ -648,140 +672,72 @@ int RunServe(const std::map<std::string, std::string>& flags) {
   auto executor = std::make_shared<const service::BatchExecutor>(
       svc, &ThreadPool::Shared());
 
-  const auto release_it = flags.find("release");
-  if (release_it != flags.end()) {
-    const auto name_it = flags.find("name");
-    const std::string name =
-        name_it == flags.end() ? "default" : name_it->second;
-    const Status st = store->LoadFromFile(name, release_it->second);
-    if (!st.ok()) {
-      std::fprintf(stderr, "load: %s\n", st.ToString().c_str());
+  // Serve-path diagnostics go through the leveled logger (the config
+  // errors above keep bare fprintf: they are usage errors, not serving
+  // events). Scripts that scrape serve output match on embedded
+  // substrings ("listening on HOST:PORT", "OK drained on signal"), which
+  // the timestamp/level prefix preserves.
+  logging::Logger out_log(stdout, logging::Logger::Format::kHuman);
+  logging::Logger err_log(stderr, logging::Logger::Format::kHuman);
+
+  // --state-dir: recover the durable state (releases + quota ledger)
+  // before anything binds or answers, so the process either serves the
+  // replayed state or fails loudly.
+  std::shared_ptr<service::DurableState> durable;
+  if (config.durable()) {
+    service::DurableOptions durable_options;
+    durable_options.dir = config.state_dir;
+    durable_options.snapshot_every = config.snapshot_every;
+    durable_options.lifetime_quota = config.query_quota;
+    durable_options.rate_limit = config.query_rate_limit;
+    durable_options.rate_window_seconds = config.query_rate_window_seconds;
+    auto opened = service::DurableState::Open(durable_options, store, svc);
+    if (!opened.ok()) {
+      err_log.Error("state-dir: " + opened.status().ToString());
       return 1;
     }
-    std::printf("OK loaded %s from %s\n", name.c_str(),
-                release_it->second.c_str());
+    durable = std::move(opened).value();
   }
-  const auto listen_it = flags.find("listen");
-  if (listen_it == flags.end()) {
+
+  if (!config.release_path.empty()) {
+    // Replay may already have restored this name, in which case the
+    // restored release IS the preload; re-loading would double-log it.
+    if (durable && store->Get(config.release_name).ok()) {
+      std::printf("OK restored %s from %s\n", config.release_name.c_str(),
+                  config.state_dir.c_str());
+    } else {
+      const Status st =
+          durable ? durable->Apply(service::Mutation::LoadRelease(
+                        config.release_name, config.release_path))
+                  : store->LoadFromFile(config.release_name,
+                                        config.release_path);
+      if (!st.ok()) {
+        err_log.Error("load: " + st.ToString());
+        return 1;
+      }
+      std::printf("OK loaded %s from %s\n", config.release_name.c_str(),
+                  config.release_path.c_str());
+    }
+  }
+  if (!config.network()) {
     // Classic single-caller mode: the line protocol on stdin/stdout.
     std::printf("OK dpcube serve ready (threads=%d)\n",
                 executor->num_threads());
     std::fflush(stdout);
     service::ServeSession session(store, cache, svc, executor.get());
+    if (durable) {
+      session.SetMutationHandler(
+          [durable](const service::Mutation& mutation) {
+            return durable->Apply(mutation);
+          });
+    }
     session.Run(std::cin, std::cout);
     return 0;
   }
 
   // Network mode: the framed TCP protocol, admission-controlled, with
   // graceful drain on SIGINT/SIGTERM.
-  net::ServerOptions options;
-  options.listen_address = listen_it->second;
-  const struct {
-    const char* flag;
-    int* target;
-  } caps[] = {{"max-conns", &options.admission.max_connections},
-              {"max-inflight", &options.admission.max_inflight},
-              {"max-queue", &options.admission.max_queue_depth},
-              {"drain-ms", &options.drain_timeout_ms},
-              {"net-threads", &options.net_threads}};
-  for (const auto& cap : caps) {
-    const auto it = flags.find(cap.flag);
-    if (it == flags.end()) continue;
-    std::size_t value = 0;
-    if (!ParseSize(it->second, &value) || value == 0 ||
-        value > 1000000000) {
-      std::fprintf(stderr, "bad --%s '%s'\n", cap.flag,
-                   it->second.c_str());
-      return 2;
-    }
-    *cap.target = static_cast<int>(value);
-  }
-  const auto quota_it = flags.find("query-quota");
-  if (quota_it != flags.end()) {
-    std::size_t quota = 0;
-    if (!ParseSize(quota_it->second, &quota) || quota == 0) {
-      std::fprintf(stderr, "bad --query-quota '%s'\n",
-                   quota_it->second.c_str());
-      return 2;
-    }
-    options.admission.max_queries_per_release = quota;
-  }
-  const auto rate_it = flags.find("query-rate-limit");
-  if (rate_it != flags.end()) {
-    // "N" or "N/WINDOW" with an optional trailing 's' on the window
-    // ("100/60s" = 100 queries per trailing 60 seconds).
-    std::string limit_text = rate_it->second;
-    std::string window_text;
-    const std::size_t slash = limit_text.find('/');
-    if (slash != std::string::npos) {
-      window_text = limit_text.substr(slash + 1);
-      limit_text.resize(slash);
-      if (!window_text.empty() && window_text.back() == 's') {
-        window_text.pop_back();
-      }
-    }
-    std::size_t limit = 0;
-    std::size_t window = 60;
-    if (!ParseSize(limit_text, &limit) || limit == 0 ||
-        (!window_text.empty() &&
-         (!ParseSize(window_text, &window) || window == 0 ||
-          window > 3600))) {
-      std::fprintf(stderr,
-                   "bad --query-rate-limit '%s' (want N or N/WINDOWs, "
-                   "window 1..3600 seconds)\n",
-                   rate_it->second.c_str());
-      return 2;
-    }
-    options.admission.query_rate_limit = limit;
-    options.admission.query_rate_window_seconds = static_cast<int>(window);
-  }
-  const auto http_it = flags.find("http-listen");
-  if (http_it != flags.end()) options.http_listen_address = http_it->second;
-  const auto token_it = flags.find("http-token");
-  if (token_it != flags.end()) options.http_token = token_it->second;
-  const auto access_it = flags.find("access-log");
-  if (access_it != flags.end()) options.access_log_path = access_it->second;
-  const auto slow_it = flags.find("slow-query-ms");
-  if (slow_it != flags.end()) {
-    std::size_t slow_ms = 0;
-    if (!ParseSize(slow_it->second, &slow_ms) || slow_ms == 0 ||
-        slow_ms > 3600000) {
-      std::fprintf(stderr, "bad --slow-query-ms '%s' (want 1..3600000)\n",
-                   slow_it->second.c_str());
-      return 2;
-    }
-    options.slow_query_ms = static_cast<int>(slow_ms);
-  }
-  const auto ring_it = flags.find("trace-ring");
-  if (ring_it != flags.end()) {
-    std::size_t ring = 0;
-    if (!ParseSize(ring_it->second, &ring) || ring > 1000000) {
-      std::fprintf(stderr, "bad --trace-ring '%s' (want 0..1000000)\n",
-                   ring_it->second.c_str());
-      return 2;
-    }
-    options.trace_ring_capacity = ring;
-  }
-  const auto frame_it = flags.find("max-frame");
-  if (frame_it != flags.end()) {
-    std::size_t max_frame = 0;
-    if (!ParseSize(frame_it->second, &max_frame) || max_frame < 64 ||
-        max_frame > net::kMaxFramePayload) {
-      std::fprintf(stderr, "bad --max-frame '%s' (want 64..%zu)\n",
-                   frame_it->second.c_str(), net::kMaxFramePayload);
-      return 2;
-    }
-    options.max_frame_payload = max_frame;
-  }
-
-  // Serve-path diagnostics go through the leveled logger from here on
-  // (the flag-parsing errors above keep bare fprintf: they are usage
-  // errors, not serving events). The banner and drain lines move to the
-  // stdout logger too — scripts that scrape them match on embedded
-  // substrings ("listening on HOST:PORT", "OK drained on signal"), which
-  // the timestamp/level prefix preserves.
-  logging::Logger out_log(stdout, logging::Logger::Format::kHuman);
-  logging::Logger err_log(stderr, logging::Logger::Format::kHuman);
+  net::ServerOptions options = net::ServerOptionsFromConfig(config);
 
   auto signal_fd = InstallShutdownSignalFd();
   if (!signal_fd.ok()) {
@@ -792,6 +748,7 @@ int RunServe(const std::map<std::string, std::string>& flags) {
 
   net::ServeContext context{store, cache, svc, executor,
                             &ThreadPool::Shared()};
+  context.durable = durable;
   net::SocketListener listener(options, context);
   const Status st = listener.Start();
   if (!st.ok()) {
@@ -809,6 +766,9 @@ int RunServe(const std::map<std::string, std::string>& flags) {
         " query-rate-limit=" +
         std::to_string(options.admission.query_rate_limit) + "/" +
         std::to_string(options.admission.query_rate_window_seconds) + "s";
+  }
+  if (durable) {
+    quota_note += " state-dir=" + config.state_dir;
   }
   if (!listener.http_bound_address().empty()) {
     quota_note += " http=" + listener.http_bound_address();
