@@ -32,7 +32,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -41,6 +40,7 @@
 #include "bench/bench_common.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "data/synthetic.h"
 #include "net/address.h"
@@ -277,7 +277,7 @@ int main(int argc, char** argv) {
     for (const auto& config : configs) {
       const int requests_per_thread = 2000;
       std::vector<double> latencies;
-      std::mutex latencies_mu;
+      sync::Mutex latencies_mu;
       std::atomic<int> errors{0};
       double seconds = bench::TimeSeconds([&] {
         std::vector<std::thread> workers;
@@ -307,7 +307,7 @@ int main(int argc, char** argv) {
               });
               local.push_back(rtt * 1e6);
             }
-            std::lock_guard<std::mutex> lock(latencies_mu);
+            sync::MutexLock lock(&latencies_mu);
             latencies.insert(latencies.end(), local.begin(), local.end());
           });
         }
@@ -555,7 +555,7 @@ int main(int argc, char** argv) {
       const int hot_threads = 2;
       const int requests_per_thread = 1000;
       std::vector<double> latencies;
-      std::mutex latencies_mu;
+      sync::Mutex latencies_mu;
       std::atomic<int> errors{0};
       const double seconds = bench::TimeSeconds([&] {
         std::vector<std::thread> workers;
@@ -581,7 +581,7 @@ int main(int argc, char** argv) {
               });
               local.push_back(rtt * 1e6);
             }
-            std::lock_guard<std::mutex> lock(latencies_mu);
+            sync::MutexLock lock(&latencies_mu);
             latencies.insert(latencies.end(), local.begin(), local.end());
           });
         }
@@ -661,7 +661,7 @@ int main(int argc, char** argv) {
     auto run_rep = [&](const std::string& address, int rep, Leg* leg,
                        double* rep_seconds_per_query) -> bool {
       std::vector<double> latencies;
-      std::mutex latencies_mu;
+      sync::Mutex latencies_mu;
       std::atomic<int> errors{0};
       const double seconds = bench::TimeSeconds([&] {
         std::vector<std::thread> workers;
@@ -693,7 +693,7 @@ int main(int argc, char** argv) {
               });
               local.push_back(rtt * 1e6);
             }
-            std::lock_guard<std::mutex> lock(latencies_mu);
+            sync::MutexLock lock(&latencies_mu);
             latencies.insert(latencies.end(), local.begin(), local.end());
           });
         }

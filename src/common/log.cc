@@ -179,7 +179,7 @@ std::string Logger::FormatRecord(Level level, const std::string& event,
 void Logger::Emit(Level level, const std::string& event, const Field* fields,
                   std::size_t n) {
   const std::string line = FormatRecord(level, event, fields, n);
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   std::fwrite(line.data(), 1, line.size(), stream_);
   // Owned file streams ride stdio's buffer for routine records — a
   // per-request fflush is a serialised write syscall on the poller

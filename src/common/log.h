@@ -30,12 +30,12 @@
 #include <cstdio>
 #include <initializer_list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace dpcube {
 namespace logging {
@@ -135,12 +135,14 @@ class Logger {
   void Emit(Level level, const std::string& event, const Field* fields,
             std::size_t n);
 
+  /// Set in the constructor, closed in the destructor; mu_ serialises
+  /// the stream I/O in between (never the pointer itself).
   std::FILE* stream_;
   const Format format_;
   const Level min_level_;
   const bool owns_stream_;
   const bool flush_through_;
-  std::mutex mu_;
+  sync::Mutex mu_;
 };
 
 }  // namespace logging

@@ -176,7 +176,7 @@ Registry::Child* Registry::ChildLocked(Family* family,
 Counter* Registry::GetCounter(const std::string& family,
                               const std::string& labels,
                               const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   Family* f = FamilyLocked(family, Type::kCounter, help);
   if (f == nullptr) {
     sink_counters_.push_back(std::make_unique<Counter>());
@@ -194,7 +194,7 @@ Counter* Registry::GetCounter(const std::string& family,
 LatencyHistogram* Registry::GetHistogram(const std::string& family,
                                          const std::string& labels,
                                          const std::string& help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   Family* f = FamilyLocked(family, Type::kHistogram, help);
   if (f == nullptr) {
     sink_histograms_.push_back(std::make_unique<LatencyHistogram>());
@@ -213,7 +213,7 @@ void Registry::RegisterGauge(const std::string& family,
                              const std::string& labels,
                              const std::string& help,
                              std::function<double()> read) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   Family* f = FamilyLocked(family, Type::kGauge, help);
   if (f == nullptr) return;
   Child* child = ChildLocked(f, labels);
@@ -224,7 +224,7 @@ void Registry::RegisterCallbackCounter(const std::string& family,
                                        const std::string& labels,
                                        const std::string& help,
                                        std::function<double()> read) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   Family* f = FamilyLocked(family, Type::kCounter, help);
   if (f == nullptr) return;
   Child* child = ChildLocked(f, labels);
@@ -236,7 +236,7 @@ void Registry::RegisterExternalHistogram(
     const std::string& family, const std::string& labels,
     const std::string& help,
     std::shared_ptr<const LatencyHistogram> histogram) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   Family* f = FamilyLocked(family, Type::kHistogram, help);
   if (f == nullptr) return;
   Child* child = ChildLocked(f, labels);
@@ -293,7 +293,7 @@ void AppendHistogram(std::string* out, const std::string& name,
 }  // namespace
 
 std::string Registry::RenderPrometheus() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   std::string out;
   out.reserve(4096);
   for (const auto& [name, family] : families_) {
@@ -334,7 +334,7 @@ std::string Registry::RenderPrometheus() const {
 }
 
 std::size_t Registry::family_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return families_.size();
 }
 

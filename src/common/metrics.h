@@ -31,9 +31,10 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace dpcube {
 namespace metrics {
@@ -198,18 +199,20 @@ class Registry {
     std::vector<std::unique_ptr<Child>> children;
   };
 
-  /// Must hold mu_. Returns the family, creating it with `type` if new;
-  /// nullptr on a type mismatch.
+  /// Returns the family, creating it with `type` if new; nullptr on a
+  /// type mismatch.
   Family* FamilyLocked(const std::string& name, Type type,
-                       const std::string& help);
-  /// Must hold mu_. Returns the child for `labels`, creating it if new.
-  Child* ChildLocked(Family* family, const std::string& labels);
+                       const std::string& help) REQUIRES(mu_);
+  /// Returns the child for `labels`, creating it if new.
+  Child* ChildLocked(Family* family, const std::string& labels)
+      REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Family> families_;
+  mutable sync::Mutex mu_;
+  std::map<std::string, Family> families_ GUARDED_BY(mu_);
   // Sinks handed out on type mismatches; never rendered.
-  std::vector<std::unique_ptr<Counter>> sink_counters_;
-  std::vector<std::unique_ptr<LatencyHistogram>> sink_histograms_;
+  std::vector<std::unique_ptr<Counter>> sink_counters_ GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<LatencyHistogram>> sink_histograms_
+      GUARDED_BY(mu_);
 };
 
 /// Registers the ResourceTracker's gauges (RSS, vsize, fd count, CPU

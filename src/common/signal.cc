@@ -7,9 +7,9 @@
 #include <string.h>
 
 #include <atomic>
-#include <mutex>
 
 #include "common/fd.h"
+#include "common/sync.h"
 
 namespace dpcube {
 namespace {
@@ -18,8 +18,8 @@ namespace {
 // only the write end is touched from the handler, via an atomic int.
 std::atomic<int> g_signal_write_fd{-1};
 std::atomic<int> g_signal_number{0};
-int g_signal_read_fd = -1;  // Guarded by g_install_mu after install.
-std::mutex g_install_mu;
+sync::Mutex g_install_mu;
+int g_signal_read_fd GUARDED_BY(g_install_mu) = -1;
 
 void OnShutdownSignal(int signum) {
   // A handler must leave errno untouched: it may interrupt code between
@@ -35,7 +35,7 @@ void OnShutdownSignal(int signum) {
 }  // namespace
 
 Result<int> InstallShutdownSignalFd() {
-  std::lock_guard<std::mutex> lock(g_install_mu);
+  sync::MutexLock lock(&g_install_mu);
   if (g_signal_read_fd >= 0) return g_signal_read_fd;
 
   auto pipe = MakePipe();

@@ -1,0 +1,341 @@
+// Copyright 2026 The dpcube Authors.
+//
+// The one synchronization layer for the whole tree: annotated drop-in
+// wrappers over <mutex>/<shared_mutex>/<condition_variable> that carry
+// Clang Thread Safety Analysis attributes, so every locking invariant
+// that used to live in a comment ("guarded by mu_", "must hold mu_")
+// is machine-checked at compile time under
+// `-Wthread-safety -Werror=thread-safety-analysis` (the CI
+// static-analysis job). Under GCC every attribute macro expands to
+// nothing and the wrappers compile to the underlying std primitive.
+//
+// Conventions (enforced by tools/lint_sync.py — naked std::mutex /
+// std::lock_guard / std::unique_lock are banned outside this header):
+//
+//   * Guard data, not code: every cross-thread member is declared with
+//     GUARDED_BY(mu_) next to the mutex that protects it.
+//   * Private helpers that expect the caller to hold a lock are
+//     annotated REQUIRES(mu_) instead of being named `...Locked` only
+//     by convention (the names stay as documentation).
+//   * Scoped locking is the default (`sync::MutexLock lock(&mu_)`);
+//     explicit Lock()/Unlock() pairs are reserved for hand-over-hand
+//     sections (the WAL group-commit leader) where the analysis still
+//     checks the pairing within the function.
+//   * NO_THREAD_SAFETY_ANALYSIS is a last resort, budgeted at <= 10
+//     uses tree-wide, and every use states the invariant that makes
+//     the escape sound in one line.
+//
+// Debug builds (!NDEBUG) additionally track the owning thread of every
+// sync::Mutex / exclusive SharedMutex hold, so AssertHeld() aborts the
+// process when called off-lock — turning "works under TSan luck" into
+// a deterministic unit-test failure. Release builds compile the owner
+// word and every assertion out entirely: the wrappers are zero-cost,
+// which the bench gate's tcp_cell/{untraced,traced} ratio depends on.
+
+#ifndef DPCUBE_COMMON_SYNC_H_
+#define DPCUBE_COMMON_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <shared_mutex>
+
+#ifndef NDEBUG
+#include <atomic>
+#include <thread>
+#endif
+
+// ---------------------------------------------------------------------
+// Thread-safety attribute macros (abseil-style spellings). Real only
+// under Clang; GCC and MSVC see empty expansions.
+// ---------------------------------------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define DPCUBE_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef DPCUBE_THREAD_ANNOTATION_
+#define DPCUBE_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+#define CAPABILITY(x) DPCUBE_THREAD_ANNOTATION_(capability(x))
+#define SCOPED_CAPABILITY DPCUBE_THREAD_ANNOTATION_(scoped_lockable)
+#define GUARDED_BY(x) DPCUBE_THREAD_ANNOTATION_(guarded_by(x))
+#define PT_GUARDED_BY(x) DPCUBE_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) \
+  DPCUBE_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  DPCUBE_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) \
+  DPCUBE_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  DPCUBE_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) \
+  DPCUBE_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  DPCUBE_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  DPCUBE_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  DPCUBE_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define RELEASE_GENERIC(...) \
+  DPCUBE_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  DPCUBE_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE_SHARED(...) \
+  DPCUBE_THREAD_ANNOTATION_(try_acquire_shared_capability(__VA_ARGS__))
+#define EXCLUDES(...) DPCUBE_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) DPCUBE_THREAD_ANNOTATION_(assert_capability(x))
+#define ASSERT_SHARED_CAPABILITY(x) \
+  DPCUBE_THREAD_ANNOTATION_(assert_shared_capability(x))
+#define RETURN_CAPABILITY(x) DPCUBE_THREAD_ANNOTATION_(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  DPCUBE_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace dpcube {
+namespace sync {
+
+namespace internal {
+
+[[noreturn]] inline void AssertionFailure(const char* what) {
+  std::fprintf(stderr, "sync: %s\n", what);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+
+/// std::mutex with thread-safety annotations and (debug-only) owner
+/// tracking. Capitalized Lock/Unlock are the project spelling; the
+/// debug AssertHeld() aborts when the calling thread is not the owner.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() {
+    mu_.lock();
+    SetOwner();
+  }
+
+  void Unlock() RELEASE() {
+    ClearOwner();
+    mu_.unlock();
+  }
+
+  bool TryLock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    SetOwner();
+    return true;
+  }
+
+  /// Debug builds: aborts unless the calling thread holds the lock.
+  /// Release builds: no-op (still tells the static analysis the lock
+  /// is held, so it is meaningful on both sides).
+  void AssertHeld() const ASSERT_CAPABILITY(this) {
+#ifndef NDEBUG
+    if (owner_.load(std::memory_order_relaxed) !=
+        std::this_thread::get_id()) {
+      internal::AssertionFailure(
+          "Mutex::AssertHeld failed: calling thread does not hold the "
+          "lock");
+    }
+#endif
+  }
+
+  /// The wrapped std::mutex, for CondVar's adopt/release dance only.
+  std::mutex& native() { return mu_; }
+
+ private:
+  friend class CondVar;
+
+#ifndef NDEBUG
+  void SetOwner() {
+    owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  }
+  void ClearOwner() {
+    owner_.store(std::thread::id(), std::memory_order_relaxed);
+  }
+#else
+  void SetOwner() {}
+  void ClearOwner() {}
+#endif
+
+  std::mutex mu_;
+#ifndef NDEBUG
+  /// Written only by the holder (under the lock), read by AssertHeld;
+  /// relaxed is enough — the lock itself orders the handoff.
+  std::atomic<std::thread::id> owner_{};
+#endif
+};
+
+/// std::shared_mutex wrapper. Exclusive holds are owner-tracked in
+/// debug builds (AssertHeld); shared holds are not (any number of
+/// threads may hold them, so there is no single owner to record).
+class CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() {
+    mu_.lock();
+    SetOwner();
+  }
+
+  void Unlock() RELEASE() {
+    ClearOwner();
+    mu_.unlock();
+  }
+
+  bool TryLock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    SetOwner();
+    return true;
+  }
+
+  void ReaderLock() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void ReaderUnlock() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  bool ReaderTryLock() TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+  /// Debug builds: aborts unless the calling thread holds the lock
+  /// EXCLUSIVELY.
+  void AssertHeld() const ASSERT_CAPABILITY(this) {
+#ifndef NDEBUG
+    if (owner_.load(std::memory_order_relaxed) !=
+        std::this_thread::get_id()) {
+      internal::AssertionFailure(
+          "SharedMutex::AssertHeld failed: calling thread does not hold "
+          "the lock exclusively");
+    }
+#endif
+  }
+
+ private:
+#ifndef NDEBUG
+  void SetOwner() {
+    owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  }
+  void ClearOwner() {
+    owner_.store(std::thread::id(), std::memory_order_relaxed);
+  }
+#else
+  void SetOwner() {}
+  void ClearOwner() {}
+#endif
+
+  std::shared_mutex mu_;
+#ifndef NDEBUG
+  std::atomic<std::thread::id> owner_{};
+#endif
+};
+
+/// Scoped exclusive hold of a Mutex (the default way to lock).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Scoped exclusive hold of a SharedMutex (the writer side).
+class SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex* mu) ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterLock() RELEASE() { mu_->Unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// Scoped shared (reader) hold of a SharedMutex.
+class SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex* mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->ReaderLock();
+  }
+  ~ReaderLock() RELEASE() { mu_->ReaderUnlock(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// Condition variable bound to sync::Mutex. Waits re-enter the wrapped
+/// std::mutex via adopt/release so the underlying primitive is the
+/// plain std::condition_variable (no condition_variable_any overhead);
+/// debug owner tracking is handed off across the wait exactly like an
+/// unlock/relock pair.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) {
+    mu.ClearOwner();
+    std::unique_lock<std::mutex> native(mu.native(), std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+    mu.SetOwner();
+  }
+
+  template <typename Predicate>
+  void Wait(Mutex& mu, Predicate pred) REQUIRES(mu) {
+    while (!pred()) Wait(mu);
+  }
+
+  /// Returns false on timeout (like std::condition_variable).
+  template <typename Clock, typename Duration, typename Predicate>
+  bool WaitUntil(Mutex& mu,
+                 const std::chrono::time_point<Clock, Duration>& deadline,
+                 Predicate pred) REQUIRES(mu) {
+    while (!pred()) {
+      mu.ClearOwner();
+      std::unique_lock<std::mutex> native(mu.native(), std::adopt_lock);
+      const std::cv_status status = cv_.wait_until(native, deadline);
+      native.release();
+      mu.SetOwner();
+      if (status == std::cv_status::timeout) return pred();
+    }
+    return true;
+  }
+
+  template <typename Rep, typename Period, typename Predicate>
+  bool WaitFor(Mutex& mu,
+               const std::chrono::duration<Rep, Period>& timeout,
+               Predicate pred) REQUIRES(mu) {
+    return WaitUntil(mu, std::chrono::steady_clock::now() + timeout,
+                     std::move(pred));
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace sync
+}  // namespace dpcube
+
+#endif  // DPCUBE_COMMON_SYNC_H_

@@ -20,10 +20,10 @@ ThreadPool::ThreadPool(int parallelism) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.SignalAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -31,9 +31,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(lock,
-                           [this] { return shutting_down_ || !tasks_.empty(); });
+      sync::MutexLock lock(&mu_);
+      work_available_.Wait(mu_, [this]() REQUIRES(mu_) {
+        return shutting_down_ || !tasks_.empty();
+      });
       if (tasks_.empty()) return;  // Shutting down and drained.
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -45,7 +46,7 @@ void ThreadPool::WorkerLoop() {
 }
 
 std::size_t ThreadPool::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return tasks_.size();
 }
 
@@ -60,10 +61,10 @@ void ThreadPool::Submit(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     tasks_.push_back(std::move(task));
   }
-  work_available_.notify_one();
+  work_available_.Signal();
 }
 
 namespace {
@@ -81,9 +82,9 @@ struct LoopState {
   std::size_t end = 0;
   std::size_t grain = 0;
   const std::function<void(std::size_t, std::size_t)>* body = nullptr;
-  std::mutex mu;
-  std::condition_variable all_done;
-  std::exception_ptr first_exception;  // Guarded by mu.
+  sync::Mutex mu;
+  sync::CondVar all_done;
+  std::exception_ptr first_exception GUARDED_BY(mu);
 };
 
 // Claims and runs chunks until none remain. Returns after contributing.
@@ -100,14 +101,14 @@ void RunChunks(const std::shared_ptr<LoopState>& state) {
     try {
       (*state->body)(lo, hi);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(state->mu);
+      sync::MutexLock lock(&state->mu);
       if (!state->first_exception) {
         state->first_exception = std::current_exception();
       }
     }
     if (state->chunks_done.fetch_add(1) + 1 == state->num_chunks) {
-      std::lock_guard<std::mutex> lock(state->mu);
-      state->all_done.notify_all();
+      sync::MutexLock lock(&state->mu);
+      state->all_done.SignalAll();
     }
   }
 }
@@ -127,8 +128,8 @@ struct StealState {
   // held at a time — and steals are rare enough that contention is not
   // the bottleneck the lock-free literature optimises for.
   struct alignas(64) Deque {
-    std::mutex mu;
-    std::deque<Chunk> chunks;
+    sync::Mutex mu;
+    std::deque<Chunk> chunks GUARDED_BY(mu);
   };
   explicit StealState(std::size_t participants) : deques(participants) {}
 
@@ -136,9 +137,9 @@ struct StealState {
   std::atomic<std::size_t> chunks_done{0};
   std::size_t num_chunks = 0;
   const std::function<void(std::size_t, std::size_t)>* body = nullptr;
-  std::mutex mu;
-  std::condition_variable all_done;
-  std::exception_ptr first_exception;  // Guarded by mu.
+  sync::Mutex mu;
+  sync::CondVar all_done;
+  std::exception_ptr first_exception GUARDED_BY(mu);
 };
 
 void RunOneChunk(const std::shared_ptr<StealState>& state,
@@ -146,14 +147,14 @@ void RunOneChunk(const std::shared_ptr<StealState>& state,
   try {
     (*state->body)(chunk.lo, chunk.hi);
   } catch (...) {
-    std::lock_guard<std::mutex> lock(state->mu);
+    sync::MutexLock lock(&state->mu);
     if (!state->first_exception) {
       state->first_exception = std::current_exception();
     }
   }
   if (state->chunks_done.fetch_add(1) + 1 == state->num_chunks) {
-    std::lock_guard<std::mutex> lock(state->mu);
-    state->all_done.notify_all();
+    sync::MutexLock lock(&state->mu);
+    state->all_done.SignalAll();
   }
 }
 
@@ -171,7 +172,7 @@ void RunStealingChunks(const std::shared_ptr<StealState>& state,
     bool got = false;
     StealState::Chunk chunk;
     {
-      std::lock_guard<std::mutex> lock(own.mu);
+      sync::MutexLock lock(&own.mu);
       if (!own.chunks.empty()) {
         chunk = own.chunks.front();
         own.chunks.pop_front();
@@ -184,7 +185,7 @@ void RunStealingChunks(const std::shared_ptr<StealState>& state,
             state->deques[(slot + k) % participants];
         std::vector<StealState::Chunk> stolen;
         {
-          std::lock_guard<std::mutex> lock(victim.mu);
+          sync::MutexLock lock(&victim.mu);
           const std::size_t n = victim.chunks.size();
           if (n == 0) continue;
           const std::size_t take = (n + 1) / 2;  // Steal half, rounded up.
@@ -197,7 +198,7 @@ void RunStealingChunks(const std::shared_ptr<StealState>& state,
         chunk = stolen.front();
         got = true;
         if (stolen.size() > 1) {
-          std::lock_guard<std::mutex> lock(own.mu);
+          sync::MutexLock lock(&own.mu);
           own.chunks.insert(own.chunks.end(), stolen.begin() + 1,
                             stolen.end());
         }
@@ -228,8 +229,8 @@ void ThreadPool::RunFifo(
   }
   RunChunks(state);  // The caller is one of the compute threads.
 
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->all_done.wait(lock, [&] {
+  sync::MutexLock lock(&state->mu);
+  state->all_done.Wait(state->mu, [&] {
     return state->chunks_done.load() == state->num_chunks;
   });
   if (state->first_exception) std::rethrow_exception(state->first_exception);
@@ -247,13 +248,15 @@ void ThreadPool::RunStealing(
 
   // Seed each participant's deque with a contiguous run of chunks (good
   // initial locality; stealing rebalances from there). The partition is
-  // a pure function of the loop geometry, so no locks are needed yet —
-  // helpers only see the deques after the Submit fence below.
+  // a pure function of the loop geometry and helpers only see the deques
+  // after the Submit fence below, but each uncontended per-deque lock is
+  // cheap enough to keep the seeding inside the lock discipline.
   const std::size_t per =
       (num_chunks + participants - 1) / participants;
   for (std::size_t p = 0; p < participants; ++p) {
     const std::size_t first = p * per;
     const std::size_t last = std::min(num_chunks, first + per);
+    sync::MutexLock seed_lock(&state->deques[p].mu);
     for (std::size_t c = first; c < last; ++c) {
       const std::size_t lo = begin + c * grain;
       const std::size_t hi = std::min(end, lo + grain);
@@ -266,8 +269,8 @@ void ThreadPool::RunStealing(
   }
   RunStealingChunks(state, 0);  // The caller is participant 0.
 
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->all_done.wait(lock, [&] {
+  sync::MutexLock lock(&state->mu);
+  state->all_done.Wait(state->mu, [&] {
     return state->chunks_done.load() == state->num_chunks;
   });
   if (state->first_exception) std::rethrow_exception(state->first_exception);
@@ -342,7 +345,7 @@ ThreadPool::Schedule ThreadPool::default_schedule() const {
 
 namespace {
 
-std::mutex shared_pool_mu;
+sync::Mutex shared_pool_mu;
 std::unique_ptr<ThreadPool>& SharedPoolSlot() {
   static std::unique_ptr<ThreadPool> pool;
   return pool;
@@ -351,7 +354,7 @@ std::unique_ptr<ThreadPool>& SharedPoolSlot() {
 }  // namespace
 
 ThreadPool& ThreadPool::Shared() {
-  std::lock_guard<std::mutex> lock(shared_pool_mu);
+  sync::MutexLock lock(&shared_pool_mu);
   auto& pool = SharedPoolSlot();
   if (!pool) {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -362,7 +365,7 @@ ThreadPool& ThreadPool::Shared() {
 
 Status ThreadPool::SetSharedParallelism(int parallelism) {
   const int wanted = std::max(1, parallelism);
-  std::lock_guard<std::mutex> lock(shared_pool_mu);
+  sync::MutexLock lock(&shared_pool_mu);
   auto& pool = SharedPoolSlot();
   if (!pool) {
     pool = std::make_unique<ThreadPool>(wanted);
@@ -378,7 +381,7 @@ Status ThreadPool::SetSharedParallelism(int parallelism) {
 }
 
 void ThreadPool::ResetSharedPoolForTests(int parallelism) {
-  std::lock_guard<std::mutex> lock(shared_pool_mu);
+  sync::MutexLock lock(&shared_pool_mu);
   auto& pool = SharedPoolSlot();
   if (pool && pool->parallelism() == std::max(1, parallelism)) return;
   pool.reset();  // Join the old workers before replacing them.

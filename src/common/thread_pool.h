@@ -36,15 +36,14 @@
 #define DPCUBE_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace dpcube {
 
@@ -163,10 +162,10 @@ class ThreadPool {
                    std::size_t num_chunks,
                    const std::function<void(std::size_t, std::size_t)>& body);
 
-  mutable std::mutex mu_;
-  std::condition_variable work_available_;
-  std::deque<std::function<void()>> tasks_;
-  bool shutting_down_ = false;
+  mutable sync::Mutex mu_;
+  sync::CondVar work_available_;
+  std::deque<std::function<void()>> tasks_ GUARDED_BY(mu_);
+  bool shutting_down_ GUARDED_BY(mu_) = false;
   std::atomic<int> busy_workers_{0};
   std::atomic<int> default_schedule_{0};  // 0 = kFifo, 1 = kWorkStealing.
   std::vector<std::thread> workers_;

@@ -39,7 +39,7 @@ void TraceRing::Record(const RequestTrace& trace) {
       next_ticket_.fetch_add(1, std::memory_order_relaxed) + 1;
   Slot& slot = slots_[(ticket - 1) % slots_.size()];
   {
-    std::lock_guard<std::mutex> lock(slot.mu);
+    sync::MutexLock lock(&slot.mu);
     slot.trace = trace;
     slot.ticket = ticket;
   }
@@ -52,7 +52,7 @@ void TraceRing::Record(const RequestTrace& trace) {
   if (trace.total_micros < slow_threshold_.load(std::memory_order_relaxed)) {
     return;
   }
-  std::lock_guard<std::mutex> lock(slow_mu_);
+  sync::MutexLock lock(&slow_mu_);
   if (slowest_.size() >= slowest_capacity_ &&
       trace.total_micros <= slowest_.back().total_micros) {
     return;
@@ -79,7 +79,7 @@ std::vector<RequestTrace> TraceRing::Recent(std::size_t max) const {
   out.reserve(static_cast<std::size_t>(span));
   for (std::uint64_t t = newest; t + span > newest && t >= 1; --t) {
     const Slot& slot = slots_[(t - 1) % slots_.size()];
-    std::lock_guard<std::mutex> lock(slot.mu);
+    sync::MutexLock lock(&slot.mu);
     // A concurrent writer may have lapped this slot (newer ticket) or
     // not written it yet (older ticket from a previous incarnation was
     // expected but a racing claim is still copying). Either way the
@@ -90,7 +90,7 @@ std::vector<RequestTrace> TraceRing::Recent(std::size_t max) const {
 }
 
 std::vector<RequestTrace> TraceRing::Slowest() const {
-  std::lock_guard<std::mutex> lock(slow_mu_);
+  sync::MutexLock lock(&slow_mu_);
   return slowest_;
 }
 

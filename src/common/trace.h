@@ -35,9 +35,10 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace dpcube {
 namespace trace {
@@ -131,9 +132,9 @@ class TraceRing {
 
  private:
   struct Slot {
-    mutable std::mutex mu;
-    std::uint64_t ticket = 0;  ///< 1-based ticket of the held trace.
-    RequestTrace trace;
+    mutable sync::Mutex mu;
+    std::uint64_t ticket GUARDED_BY(mu) = 0;  ///< 1-based ticket held.
+    RequestTrace trace GUARDED_BY(mu);
   };
 
   std::vector<Slot> slots_;
@@ -144,8 +145,9 @@ class TraceRing {
   // current minimum take the lock and re-check.
   const std::size_t slowest_capacity_;
   std::atomic<std::uint64_t> slow_threshold_{0};
-  mutable std::mutex slow_mu_;
-  std::vector<RequestTrace> slowest_;  ///< Sorted slowest-first.
+  mutable sync::Mutex slow_mu_;
+  /// Sorted slowest-first.
+  std::vector<RequestTrace> slowest_ GUARDED_BY(slow_mu_);
 };
 
 }  // namespace trace

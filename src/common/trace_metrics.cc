@@ -62,11 +62,11 @@ ServingTraceMetrics::PerRelease ServingTraceMetrics::Release(
     // Fast path: every query after the first for a release takes a
     // shared lock only — pool workers resolving the same hot release
     // never serialise on the map.
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    sync::ReaderLock lock(&mu_);
     auto it = releases_.find(release);
     if (it != releases_.end()) return it->second;
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  sync::WriterLock lock(&mu_);
   auto it = releases_.find(release);
   if (it != releases_.end()) return it->second;
   if (releases_.size() >= max_releases_) {

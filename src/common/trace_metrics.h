@@ -16,11 +16,10 @@
 #include <array>
 #include <cstddef>
 #include <map>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 
 #include "common/metrics.h"
+#include "common/sync.h"
 #include "common/trace.h"
 
 namespace dpcube {
@@ -59,13 +58,16 @@ class ServingTraceMetrics {
   std::size_t max_releases() const { return max_releases_; }
 
  private:
-  PerRelease ResolveLocked(const std::string& release) const;
+  /// Mints the registry series for one release label. Only touches
+  /// registry_ (which locks itself), but is called exclusively from the
+  /// insert path, so it inherits the writer hold.
+  PerRelease ResolveLocked(const std::string& release) const REQUIRES(mu_);
 
   metrics::Registry* const registry_;
   std::array<metrics::LatencyHistogram*, kNumSpans> spans_{};
   const std::size_t max_releases_;
-  mutable std::shared_mutex mu_;
-  mutable std::map<std::string, PerRelease> releases_;
+  mutable sync::SharedMutex mu_;
+  mutable std::map<std::string, PerRelease> releases_ GUARDED_BY(mu_);
 };
 
 }  // namespace trace

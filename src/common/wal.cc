@@ -164,7 +164,7 @@ Result<std::uint64_t> Changelog::Append(std::string_view payload) {
   if (payload.size() > kMaxRecordPayload) {
     return Status::InvalidArgument("wal record payload too large");
   }
-  std::lock_guard<std::mutex> lock(append_mu_);
+  sync::MutexLock lock(&append_mu_);
   const std::uint64_t lsn = next_lsn_.load(std::memory_order_relaxed);
   const std::string record = EncodeRecord(lsn, payload);
   if (!WriteAll(fd_.get(), record.data(), record.size())) {
@@ -176,17 +176,24 @@ Result<std::uint64_t> Changelog::Append(std::string_view payload) {
 }
 
 Status Changelog::Sync(std::uint64_t lsn) {
-  std::unique_lock<std::mutex> lock(sync_mu_);
+  // Hand-over-hand locking (the group-commit leader drops sync_mu_
+  // around the fdatasync) is written as explicit Lock()/Unlock() pairs
+  // so the thread-safety analysis checks every path's pairing instead
+  // of being escaped around.
+  sync_mu_.Lock();
   for (;;) {
-    if (last_synced_ >= lsn) return Status::OK();
+    if (last_synced_ >= lsn) {
+      sync_mu_.Unlock();
+      return Status::OK();
+    }
     if (!sync_in_progress_) break;
-    sync_cv_.wait(lock);
+    sync_cv_.Wait(sync_mu_);
   }
   // This thread becomes the group-commit leader: fsync everything
   // appended so far, covering every waiter whose LSN predates the call.
   sync_in_progress_ = true;
   const std::uint64_t covered = last_appended_.load(std::memory_order_acquire);
-  lock.unlock();
+  sync_mu_.Unlock();
 
   const auto start = std::chrono::steady_clock::now();
   int rc;
@@ -200,20 +207,20 @@ Status Changelog::Sync(std::uint64_t lsn) {
             .count());
   }
 
-  lock.lock();
+  sync_mu_.Lock();
   sync_in_progress_ = false;
   if (rc == 0 && covered > last_synced_) last_synced_ = covered;
-  sync_cv_.notify_all();
+  sync_cv_.SignalAll();
   if (rc != 0) {
+    sync_mu_.Unlock();
     errno = saved_errno;
     return Status::Internal(ErrnoText("fdatasync", path_));
   }
   // A failed leader leaves last_synced_ untouched; waiters loop and one
   // of them retries the fsync.
-  if (last_synced_ < lsn) {
-    lock.unlock();
-    return Sync(lsn);
-  }
+  const bool covered_caller = last_synced_ >= lsn;
+  sync_mu_.Unlock();
+  if (!covered_caller) return Sync(lsn);
   return Status::OK();
 }
 

@@ -31,12 +31,10 @@
 #define DPCUBE_COMMON_WAL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -44,6 +42,7 @@
 #include "common/fd.h"
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace dpcube {
 namespace wal {
@@ -108,7 +107,7 @@ class Changelog {
   }
   /// Highest LSN known durable (watermark published by Sync leaders).
   std::uint64_t last_synced() const {
-    std::lock_guard<std::mutex> lock(sync_mu_);
+    sync::MutexLock lock(&sync_mu_);
     return last_synced_;
   }
 
@@ -122,16 +121,18 @@ class Changelog {
         fsync_hist_(std::move(fsync_hist)) {}
 
   const std::string path_;
+  /// Written under append_mu_; fdatasync'd by Sync leaders off-lock
+  /// (fdatasync needs no serialisation against concurrent writes).
   UniqueFd fd_;
-  std::mutex append_mu_;
+  sync::Mutex append_mu_;
   std::atomic<std::uint64_t> next_lsn_;
   /// Highest LSN whose bytes are fully written (readable by a Sync
   /// leader without holding append_mu_).
   std::atomic<std::uint64_t> last_appended_;
-  mutable std::mutex sync_mu_;
-  std::condition_variable sync_cv_;
-  bool sync_in_progress_ = false;   // Guarded by sync_mu_.
-  std::uint64_t last_synced_ = 0;   // Guarded by sync_mu_.
+  mutable sync::Mutex sync_mu_;
+  sync::CondVar sync_cv_;
+  bool sync_in_progress_ GUARDED_BY(sync_mu_) = false;
+  std::uint64_t last_synced_ GUARDED_BY(sync_mu_) = 0;
   std::shared_ptr<metrics::LatencyHistogram> fsync_hist_;
 };
 

@@ -90,7 +90,7 @@ AdmissionController::QuotaDecision AdmissionController::ChargeQuery(
   const bool rate_metered = config_.query_rate_limit > 0;
   if (!lifetime_metered && !rate_metered) return QuotaDecision::kCharged;
   {
-    std::lock_guard<std::mutex> lock(quota_mu_);
+    sync::MutexLock lock(&quota_mu_);
     auto it = quota_used_.find(release);
     if (it == quota_used_.end()) {
       // Hard bound on the ledger itself: even if a caller charges
@@ -139,7 +139,7 @@ AdmissionController::QuotaDecision AdmissionController::ChargeQuery(
 
 void AdmissionController::RestoreQuota(const std::string& release,
                                        std::uint64_t lifetime_used) {
-  std::lock_guard<std::mutex> lock(quota_mu_);
+  sync::MutexLock lock(&quota_mu_);
   if (quota_used_.size() >= kMaxTrackedReleases &&
       quota_used_.count(release) == 0) {
     return;  // Same hard bound as the charge path.
@@ -155,14 +155,14 @@ void AdmissionController::RestoreDenials(std::uint64_t lifetime_denied,
 
 std::uint64_t AdmissionController::quota_used(
     const std::string& release) const {
-  std::lock_guard<std::mutex> lock(quota_mu_);
+  sync::MutexLock lock(&quota_mu_);
   const auto it = quota_used_.find(release);
   return it == quota_used_.end() ? 0 : it->second.lifetime;
 }
 
 std::vector<AdmissionController::QuotaEntrySnapshot>
 AdmissionController::QuotaLedger() const {
-  std::lock_guard<std::mutex> lock(quota_mu_);
+  sync::MutexLock lock(&quota_mu_);
   const std::uint64_t window =
       static_cast<std::uint64_t>(config_.query_rate_window_seconds);
   const std::uint64_t now = NowSeconds();
@@ -188,7 +188,7 @@ AdmissionController::QuotaLedger() const {
 
 void AdmissionController::SetClockForTests(
     std::function<std::uint64_t()> clock) {
-  std::lock_guard<std::mutex> lock(quota_mu_);
+  sync::MutexLock lock(&quota_mu_);
   clock_ = std::move(clock);
 }
 

@@ -17,11 +17,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace dpcube {
 namespace net {
@@ -152,11 +153,11 @@ class AdmissionController {
     std::deque<std::pair<std::uint64_t, std::uint64_t>> buckets;
   };
 
-  /// Now in whole seconds (test clock when installed).
-  std::uint64_t NowSeconds() const;
-  /// Drops buckets older than the window from `entry` (must hold
-  /// quota_mu_).
-  void EvictExpiredLocked(QuotaEntry* entry, std::uint64_t now_seconds);
+  /// Now in whole seconds (test clock when installed; reads clock_).
+  std::uint64_t NowSeconds() const REQUIRES(quota_mu_);
+  /// Drops buckets older than the window from `entry`.
+  void EvictExpiredLocked(QuotaEntry* entry, std::uint64_t now_seconds)
+      REQUIRES(quota_mu_);
 
   const AdmissionConfig config_;
   std::atomic<int> active_connections_{0};
@@ -166,9 +167,10 @@ class AdmissionController {
   std::atomic<std::uint64_t> shed_requests_{0};
   std::atomic<std::uint64_t> quota_denied_{0};
   std::atomic<std::uint64_t> rate_denied_{0};
-  mutable std::mutex quota_mu_;
-  std::unordered_map<std::string, QuotaEntry> quota_used_;
-  std::function<std::uint64_t()> clock_;  // Guarded by quota_mu_.
+  mutable sync::Mutex quota_mu_;
+  std::unordered_map<std::string, QuotaEntry> quota_used_
+      GUARDED_BY(quota_mu_);
+  std::function<std::uint64_t()> clock_ GUARDED_BY(quota_mu_);
 };
 
 }  // namespace net

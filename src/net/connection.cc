@@ -59,9 +59,14 @@ Connection::Connection(UniqueFd fd, std::uint64_t id,
 Connection::~Connection() {
   // Slots admitted but never executed (connection died first) still hold
   // a unit of the server-wide queue depth; return it. Executed slots
-  // released theirs at completion (admitted flips false there).
-  for (const auto& slot : slots_) {
-    if (slot->admitted && !slot->dispatched) admission_->ReleaseRequest();
+  // released theirs at completion (admitted flips false there). We hold
+  // the last reference here, but slots_ is mu_-guarded state, so take
+  // the (uncontended) lock anyway and keep one discipline.
+  {
+    sync::MutexLock lock(&mu_);
+    for (const auto& slot : slots_) {
+      if (slot->admitted && !slot->dispatched) admission_->ReleaseRequest();
+    }
   }
   admission_->ReleaseConnection();
   // Graceful goodbye for orderly closes (quit / drain / decode error):
@@ -137,7 +142,7 @@ void Connection::ProcessDecodedFrames() {
               trace::Span::kDecode)] =
               MicrosSince(read_start_, std::chrono::steady_clock::now());
         }
-        std::lock_guard<std::mutex> lock(mu_);
+        sync::MutexLock lock(&mu_);
         slots_.push_back(std::move(goodbye));
       }
       return;
@@ -155,7 +160,7 @@ void Connection::ProcessDecodedFrames() {
     std::string busy_reason;
     int inflight = 0;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      sync::MutexLock lock(&mu_);
       inflight = admitted_inflight_;
     }
     const bool admitted = admission_->TryAdmitRequest(inflight, &busy_reason);
@@ -171,11 +176,11 @@ void Connection::ProcessDecodedFrames() {
     } else {
       slot->admitted = true;
       slot->request = std::move(payload);
-      std::lock_guard<std::mutex> lock(mu_);
+      sync::MutexLock lock(&mu_);
       ++admitted_inflight_;
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      sync::MutexLock lock(&mu_);
       slots_.push_back(std::move(slot));
     }
   }
@@ -184,7 +189,7 @@ void Connection::ProcessDecodedFrames() {
 void Connection::MaybeDispatch() {
   std::shared_ptr<Slot> next;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     if (executing_ || quit_seen_) return;
     for (const auto& slot : slots_) {
       if (!slot->done && !slot->dispatched) {
@@ -220,7 +225,7 @@ void Connection::Execute(const std::shared_ptr<Slot>& slot) {
   stats_->total_latency.Record(SecondsSince(slot->arrival, exec_end));
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     slot->response = out.str();
     slot->request.clear();
     slot->request.shrink_to_fit();
@@ -271,7 +276,7 @@ void Connection::Pump() {
   // there must not switch the codec under a typed slot that is already
   // ahead of it in the FIFO.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     while (!slots_.empty() && slots_.front()->done) {
       EnqueueResponseFrame(*slots_.front());
       slots_.pop_front();
@@ -375,7 +380,7 @@ void Connection::BeginDrain() { draining_ = true; }
 bool Connection::Finished() const {
   if (dead_) return true;
   if (!draining_ && !read_eof_ && !sent_decode_error_) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return slots_.empty() && write_offset_ >= write_buffer_.size();
 }
 

@@ -29,11 +29,11 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/fd.h"
 #include "common/log.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "common/trace_metrics.h"
@@ -59,6 +59,20 @@ namespace net {
 /// dereferenced by the network thread while the listener is alive, and
 /// the production caller passes the process-static ThreadPool::Shared().
 struct ServeContext {
+  ServeContext() = default;
+  /// The common five collaborators; tracing and durability members stay
+  /// default (callers set them individually when enabled).
+  ServeContext(std::shared_ptr<service::ReleaseStore> store_in,
+               std::shared_ptr<service::MarginalCache> cache_in,
+               std::shared_ptr<const service::QueryService> service_in,
+               std::shared_ptr<const service::BatchExecutor> executor_in,
+               ThreadPool* pool_in)
+      : store(std::move(store_in)),
+        cache(std::move(cache_in)),
+        service(std::move(service_in)),
+        executor(std::move(executor_in)),
+        pool(pool_in) {}
+
   std::shared_ptr<service::ReleaseStore> store;
   std::shared_ptr<service::MarginalCache> cache;
   std::shared_ptr<const service::QueryService> service;
@@ -167,7 +181,9 @@ class Connection : public std::enable_shared_from_this<Connection> {
   /// Encodes `slot`'s response (typed or pre-encoded) and appends one
   /// response frame to the write buffer; when tracing, stamps the
   /// response identity and moves the trace onto the pending-flush queue.
-  void EnqueueResponseFrame(Slot& slot);
+  /// Pump calls it while walking slots_, so it runs under mu_ even
+  /// though the write buffer itself is network-thread-only.
+  void EnqueueResponseFrame(Slot& slot) REQUIRES(mu_);
 
   /// Writes as much buffered output as the socket accepts.
   void FlushWrites();
@@ -217,11 +233,12 @@ class Connection : public std::enable_shared_from_this<Connection> {
   std::uint64_t bytes_flushed_ = 0;   ///< Response bytes ever sent.
 
   // --- cross-thread state (guarded by mu_) ---
-  mutable std::mutex mu_;
-  std::deque<std::shared_ptr<Slot>> slots_;
-  bool executing_ = false;
-  bool quit_seen_ = false;
-  int admitted_inflight_ = 0;  ///< Admitted slots not yet done.
+  mutable sync::Mutex mu_;
+  std::deque<std::shared_ptr<Slot>> slots_ GUARDED_BY(mu_);
+  bool executing_ GUARDED_BY(mu_) = false;
+  bool quit_seen_ GUARDED_BY(mu_) = false;
+  /// Admitted slots not yet done.
+  int admitted_inflight_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace net

@@ -28,13 +28,13 @@ void LingerSet::Add(UniqueFd fd) {
   ::shutdown(fd.get(), SHUT_WR);  // FIN rides behind the flushed bytes.
   if (DrainToEof(fd.get())) return;  // Peer already FIN'd: close via RAII.
   const auto deadline = std::chrono::steady_clock::now() + timeout_;
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   const int key = fd.get();
   entries_[key] = Entry{std::move(fd), deadline};
 }
 
 void LingerSet::AppendPollFds(std::vector<struct pollfd>* fds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   poll_base_ = fds->size();
   for (const auto& [fd, entry] : entries_) {
     fds->push_back({fd, POLLIN, 0});
@@ -43,7 +43,7 @@ void LingerSet::AppendPollFds(std::vector<struct pollfd>* fds) {
 }
 
 void LingerSet::DispatchEvents(const std::vector<struct pollfd>& fds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   const std::size_t end = poll_base_ + poll_count_;
   for (std::size_t i = poll_base_; i < end && i < fds.size(); ++i) {
     if (!(fds[i].revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL))) {
@@ -57,7 +57,7 @@ void LingerSet::DispatchEvents(const std::vector<struct pollfd>& fds) {
 
 void LingerSet::PumpTimeouts() {
   const auto now = std::chrono::steady_clock::now();
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (now >= it->second.deadline) {
       // The peer never FIN'd inside the window: close anyway (a
@@ -85,7 +85,7 @@ void LingerSet::DrainBlocking() {
 }
 
 std::size_t LingerSet::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return entries_.size();
 }
 

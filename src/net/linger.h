@@ -35,10 +35,10 @@
 #include <chrono>
 #include <cstddef>
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "common/fd.h"
+#include "common/sync.h"
 
 namespace dpcube {
 namespace net {
@@ -96,11 +96,13 @@ class LingerSet {
   static bool DrainToEof(int fd);
 
   const std::chrono::milliseconds timeout_;
-  mutable std::mutex mu_;
-  std::map<int, Entry> entries_;
-  // Range of `fds` this set appended in the current cycle.
-  std::size_t poll_base_ = 0;
-  std::size_t poll_count_ = 0;
+  mutable sync::Mutex mu_;
+  std::map<int, Entry> entries_ GUARDED_BY(mu_);
+  // Range of `fds` this set appended in the current cycle. Only the
+  // owning loop thread writes these, but they share mu_ with the map
+  // so cross-thread Add() and the splice methods stay one discipline.
+  std::size_t poll_base_ GUARDED_BY(mu_) = 0;
+  std::size_t poll_count_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace net

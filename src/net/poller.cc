@@ -40,7 +40,7 @@ std::function<void()> Poller::MakeWakeup() const {
 void Poller::Adopt(std::shared_ptr<Connection> connection) {
   adopted_total_->fetch_add(1, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     inbox_.push_back(std::move(connection));
   }
   Wake();
@@ -48,7 +48,7 @@ void Poller::Adopt(std::shared_ptr<Connection> connection) {
 
 void Poller::BeginDrain(std::chrono::steady_clock::time_point deadline) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     if (draining_.load(std::memory_order_relaxed)) return;
     drain_deadline_ = deadline;
     draining_.store(true, std::memory_order_release);
@@ -72,7 +72,7 @@ void Poller::Run() {
     // drained below like everyone else (the acceptor stops handing off
     // before it broadcasts drain, but the inbox may already hold some).
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      sync::MutexLock lock(&mu_);
       for (auto& connection : inbox_) {
         connections_.emplace(connection->fd(), std::move(connection));
       }
@@ -82,7 +82,7 @@ void Poller::Run() {
     Clock::time_point drain_deadline;
     if (draining) {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        sync::MutexLock lock(&mu_);
         drain_deadline = drain_deadline_;
       }
       // Idempotent per connection; repeating each cycle catches ones

@@ -43,12 +43,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/fd.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "net/connection.h"
 #include "net/http_endpoint.h"
 #include "net/linger.h"
@@ -132,9 +132,9 @@ class Poller {
   std::thread thread_;
 
   // Acceptor -> poller handoff (and drain signalling).
-  mutable std::mutex mu_;
-  std::vector<std::shared_ptr<Connection>> inbox_;  ///< Guarded by mu_.
-  std::chrono::steady_clock::time_point drain_deadline_;  ///< By mu_.
+  mutable sync::Mutex mu_;
+  std::vector<std::shared_ptr<Connection>> inbox_ GUARDED_BY(mu_);
+  std::chrono::steady_clock::time_point drain_deadline_ GUARDED_BY(mu_);
   std::atomic<bool> draining_{false};
   std::atomic<bool> stop_requested_{false};
 

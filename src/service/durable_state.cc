@@ -126,13 +126,15 @@ Result<std::shared_ptr<DurableState>> DurableState::Open(
   }
   auto state = std::shared_ptr<DurableState>(
       new DurableState(options, std::move(store), std::move(service)));
-  DPCUBE_RETURN_NOT_OK(state->Recover());
-  // Record the configured quota limits whenever they differ from the
-  // restored ones, so a replayed ledger always knows the limits it was
-  // charged under.
+  // Boot is single-threaded, but recovery writes mu_-guarded state, so
+  // the whole sequence runs under the lock to keep one discipline.
   bool config_changed;
   {
-    std::lock_guard<std::mutex> lock(state->mu_);
+    sync::MutexLock boot_lock(&state->mu_);
+    DPCUBE_RETURN_NOT_OK(state->Recover());
+    // Record the configured quota limits whenever they differ from the
+    // restored ones, so a replayed ledger always knows the limits it
+    // was charged under.
     config_changed =
         state->lifetime_quota_ != options.lifetime_quota ||
         state->rate_limit_ != options.rate_limit ||
@@ -424,7 +426,7 @@ Status DurableState::AppendLocked(const Mutation& mutation,
 Status DurableState::ApplyLoad(const Mutation& mutation) {
   // load_mu_ serializes the whole check-fit-log-insert sequence; the
   // expensive cube fit runs before mu_ so charges never stall behind it.
-  std::lock_guard<std::mutex> load_lock(load_mu_);
+  sync::MutexLock load_lock(&load_mu_);
   if (store_->Get(mutation.name).ok()) {
     return Status::FailedPrecondition("release '" + mutation.name +
                                       "' already loaded");
@@ -435,7 +437,7 @@ Status DurableState::ApplyLoad(const Mutation& mutation) {
   std::uint64_t lsn = 0;
   std::shared_ptr<wal::Changelog> log;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     DPCUBE_RETURN_NOT_OK(AppendLocked(mutation, &lsn, &log));
     paths_[mutation.name] = mutation.path;
     if (records_since_snapshot_ >= options_.snapshot_every) {
@@ -445,7 +447,7 @@ Status DurableState::ApplyLoad(const Mutation& mutation) {
   }
   Status synced = log->Sync(lsn);
   if (!synced.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     paths_.erase(mutation.name);
     return synced;
   }
@@ -453,14 +455,14 @@ Status DurableState::ApplyLoad(const Mutation& mutation) {
 }
 
 Status DurableState::ApplyUnload(const Mutation& mutation) {
-  std::lock_guard<std::mutex> load_lock(load_mu_);
+  sync::MutexLock load_lock(&load_mu_);
   if (!store_->Get(mutation.name).ok()) {
     return Status::NotFound("release '" + mutation.name + "' not loaded");
   }
   std::uint64_t lsn = 0;
   std::shared_ptr<wal::Changelog> log;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     DPCUBE_RETURN_NOT_OK(AppendLocked(mutation, &lsn, &log));
     paths_.erase(mutation.name);
     // The quota ledger deliberately survives an unload: re-loading the
@@ -478,7 +480,7 @@ Status DurableState::ApplyCharge(const Mutation& mutation) {
   std::uint64_t lsn = 0;
   std::shared_ptr<wal::Changelog> log;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     DPCUBE_RETURN_NOT_OK(AppendLocked(mutation, &lsn, &log));
     if (mutation.charged > 0) ledger_[mutation.name] += mutation.charged;
     quota_denied_ += mutation.denied_lifetime;
@@ -497,7 +499,7 @@ Status DurableState::ApplyConfig(const Mutation& mutation) {
   std::uint64_t lsn = 0;
   std::shared_ptr<wal::Changelog> log;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     DPCUBE_RETURN_NOT_OK(AppendLocked(mutation, &lsn, &log));
     lifetime_quota_ = mutation.lifetime_limit;
     rate_limit_ = mutation.rate_limit;
@@ -507,7 +509,7 @@ Status DurableState::ApplyConfig(const Mutation& mutation) {
 }
 
 Status DurableState::SnapshotNow() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return SnapshotLocked();
 }
 
@@ -572,34 +574,34 @@ Status DurableState::SnapshotLocked() {
 }
 
 std::uint64_t DurableState::last_lsn() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return changelog_->next_lsn() - 1;
 }
 
 std::uint64_t DurableState::snapshot_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return snapshots_taken_;
 }
 
 std::uint64_t DurableState::quota_denied() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return quota_denied_;
 }
 
 std::uint64_t DurableState::rate_denied() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return rate_denied_;
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> DurableState::QuotaLedger()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return {ledger_.begin(), ledger_.end()};
 }
 
 std::vector<std::pair<std::string, std::string>> DurableState::ReleasePaths()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return {paths_.begin(), paths_.end()};
 }
 
@@ -624,7 +626,7 @@ void DurableState::RegisterMetrics(metrics::Registry* registry) {
       "dpcube_wal_snapshot_age_seconds", "",
       "Seconds since the newest durable snapshot (0 before the first).",
       [this] {
-        std::lock_guard<std::mutex> lock(mu_);
+        sync::MutexLock lock(&mu_);
         if (last_snapshot_walltime_ == 0.0) return 0.0;
         return NowWallSeconds() - last_snapshot_walltime_;
       });
@@ -643,7 +645,7 @@ void DurableState::RegisterMetrics(metrics::Registry* registry) {
 }
 
 std::string DurableState::FormatStatusz() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   // The "durability:" block holds only fields that are byte-identical
   // across a kill -9 + replay (CI diffs it); volatile recovery details
   // go under "recovery:", which always renders LAST so scrapers can use

@@ -44,7 +44,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -52,6 +51,7 @@
 #include "common/log.h"
 #include "common/metrics.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/wal.h"
 #include "service/mutation.h"
 #include "service/query_service.h"
@@ -128,10 +128,14 @@ class DurableState {
   DurableState(DurableOptions options, std::shared_ptr<ReleaseStore> store,
                std::shared_ptr<const QueryService> service);
 
-  Status Recover();
-  Status ApplyReplayed(const Mutation& mutation);
-  Status LoadSnapshot(const std::string& path);
-  std::string EncodeSnapshotLocked(std::uint64_t last_lsn) const;
+  // Boot-time recovery runs under mu_ for the whole sequence (Open takes
+  // the lock once); there is no concurrency yet, but one discipline
+  // keeps the analysis airtight.
+  Status Recover() REQUIRES(mu_);
+  Status ApplyReplayed(const Mutation& mutation) REQUIRES(mu_);
+  Status LoadSnapshot(const std::string& path) REQUIRES(mu_);
+  std::string EncodeSnapshotLocked(std::uint64_t last_lsn) const
+      REQUIRES(mu_);
 
   Status ApplyLoad(const Mutation& mutation);
   Status ApplyUnload(const Mutation& mutation);
@@ -143,8 +147,8 @@ class DurableState {
   /// in via *log (so the caller can Sync outside mu_ even if a
   /// concurrent rotation swaps changelog_).
   Status AppendLocked(const Mutation& mutation, std::uint64_t* lsn,
-                      std::shared_ptr<wal::Changelog>* log);
-  Status SnapshotLocked();
+                      std::shared_ptr<wal::Changelog>* log) REQUIRES(mu_);
+  Status SnapshotLocked() REQUIRES(mu_);
 
   const DurableOptions options_;
   const std::shared_ptr<ReleaseStore> store_;
@@ -154,22 +158,28 @@ class DurableState {
   /// Serializes load/unload so their multi-step sequences (fit ->
   /// append -> insert) do not interleave; never held during the fit's
   /// expensive linear algebra... the fit runs before acquiring it.
-  std::mutex load_mu_;
+  /// Ordered before mu_ (ApplyLoad/ApplyUnload take load_mu_ -> mu_).
+  sync::Mutex load_mu_ ACQUIRED_BEFORE(mu_);
 
-  mutable std::mutex mu_;  // Guards everything below.
-  std::shared_ptr<wal::Changelog> changelog_;
-  std::uint64_t changelog_base_lsn_ = 1;  ///< First LSN in the live segment.
-  std::uint64_t records_since_snapshot_ = 0;
-  std::uint64_t snapshot_lsn_ = 0;  ///< LSN the newest snapshot covers.
-  std::uint64_t snapshots_taken_ = 0;
-  double last_snapshot_walltime_ = 0.0;  ///< For the age gauge.
-  std::map<std::string, std::string> paths_;  ///< Loaded release -> CSV path.
-  std::map<std::string, std::uint64_t> ledger_;  ///< Lifetime quota charges.
-  std::uint64_t quota_denied_ = 0;
-  std::uint64_t rate_denied_ = 0;
-  std::uint64_t lifetime_quota_ = 0;
-  std::uint64_t rate_limit_ = 0;
-  std::uint32_t rate_window_seconds_ = 60;
+  mutable sync::Mutex mu_;
+  std::shared_ptr<wal::Changelog> changelog_ GUARDED_BY(mu_);
+  /// First LSN in the live segment.
+  std::uint64_t changelog_base_lsn_ GUARDED_BY(mu_) = 1;
+  std::uint64_t records_since_snapshot_ GUARDED_BY(mu_) = 0;
+  /// LSN the newest snapshot covers.
+  std::uint64_t snapshot_lsn_ GUARDED_BY(mu_) = 0;
+  std::uint64_t snapshots_taken_ GUARDED_BY(mu_) = 0;
+  /// For the age gauge.
+  double last_snapshot_walltime_ GUARDED_BY(mu_) = 0.0;
+  /// Loaded release -> CSV path.
+  std::map<std::string, std::string> paths_ GUARDED_BY(mu_);
+  /// Lifetime quota charges.
+  std::map<std::string, std::uint64_t> ledger_ GUARDED_BY(mu_);
+  std::uint64_t quota_denied_ GUARDED_BY(mu_) = 0;
+  std::uint64_t rate_denied_ GUARDED_BY(mu_) = 0;
+  std::uint64_t lifetime_quota_ GUARDED_BY(mu_) = 0;
+  std::uint64_t rate_limit_ GUARDED_BY(mu_) = 0;
+  std::uint32_t rate_window_seconds_ GUARDED_BY(mu_) = 60;
 
   ReplaySummary replay_;
   std::shared_ptr<metrics::LatencyHistogram> fsync_hist_;

@@ -7,7 +7,7 @@ namespace service {
 
 std::shared_ptr<const CachedMarginal> MarginalCache::Get(
     const std::string& release, bits::Mask beta, std::uint64_t epoch) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   auto it = index_.find(Key{release, beta});
   if (it == index_.end() || it->second->epoch != epoch) {
     ++misses_;
@@ -24,7 +24,7 @@ void MarginalCache::Put(const std::string& release, bits::Mask beta,
   if (value == nullptr) return;
   const std::size_t size = value->table.num_cells();
   if (size > capacity_cells_) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   const Key key{release, beta};
   auto it = index_.find(key);
   if (it != index_.end()) {
@@ -49,7 +49,7 @@ void MarginalCache::EvictToCapacityLocked() {
 }
 
 void MarginalCache::EraseRelease(const std::string& release) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->key.first == release) {
       cells_ -= it->value->table.num_cells();
@@ -62,14 +62,14 @@ void MarginalCache::EraseRelease(const std::string& release) {
 }
 
 void MarginalCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   lru_.clear();
   index_.clear();
   cells_ = 0;
 }
 
 CacheStats MarginalCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   CacheStats s;
   s.hits = hits_;
   s.misses = misses_;

@@ -15,12 +15,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "common/bits.h"
+#include "common/sync.h"
 #include "marginal/marginal_table.h"
 
 namespace dpcube {
@@ -90,17 +90,18 @@ class MarginalCache {
     std::shared_ptr<const CachedMarginal> value;
   };
 
-  /// Must hold mu_. Evicts from the LRU tail until cells_ <= capacity.
-  void EvictToCapacityLocked();
+  /// Evicts from the LRU tail until cells_ <= capacity.
+  void EvictToCapacityLocked() REQUIRES(mu_);
 
   const std::size_t capacity_cells_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  ///< Front = most recent.
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
-  std::size_t cells_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  mutable sync::Mutex mu_;
+  std::list<Entry> lru_ GUARDED_BY(mu_);  ///< Front = most recent.
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_
+      GUARDED_BY(mu_);
+  std::size_t cells_ GUARDED_BY(mu_) = 0;
+  std::uint64_t hits_ GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ GUARDED_BY(mu_) = 0;
+  std::uint64_t evictions_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace service

@@ -72,7 +72,7 @@ Status ReleaseStore::Add(const std::string& name, marginal::Workload workload,
     // Reject taken names before the (expensive) coefficient fit. A
     // concurrent Add can still win the name in between, so the insert
     // below re-checks under the same lock.
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     if (releases_.count(name) > 0) {
       return Status::FailedPrecondition("release '" + name +
                                         "' already loaded");
@@ -83,7 +83,7 @@ Status ReleaseStore::Add(const std::string& name, marginal::Workload workload,
                                       std::move(cell_variances),
                                       build_timings);
   if (!stored.ok()) return stored.status();
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   if (releases_.count(name) > 0) {
     return Status::FailedPrecondition("release '" + name +
                                       "' already loaded");
@@ -96,7 +96,7 @@ Status ReleaseStore::LoadFromFile(const std::string& name,
                                   const std::string& path,
                                   linalg::Vector cell_variances) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    sync::MutexLock lock(&mu_);
     if (releases_.count(name) > 0) {
       return Status::FailedPrecondition("release '" + name +
                                         "' already loaded");
@@ -129,7 +129,7 @@ Status ReleaseStore::Insert(std::shared_ptr<const StoredRelease> release) {
     return Status::InvalidArgument("null release");
   }
   const std::string name = release->name();
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   if (releases_.count(name) > 0) {
     return Status::FailedPrecondition("release '" + name +
                                       "' already loaded");
@@ -139,7 +139,7 @@ Status ReleaseStore::Insert(std::shared_ptr<const StoredRelease> release) {
 }
 
 Status ReleaseStore::Remove(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   if (releases_.erase(name) == 0) {
     return Status::NotFound("release '" + name + "' not loaded");
   }
@@ -148,7 +148,7 @@ Status ReleaseStore::Remove(const std::string& name) {
 
 Result<std::shared_ptr<const StoredRelease>> ReleaseStore::Get(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   auto it = releases_.find(name);
   if (it == releases_.end()) {
     return Status::NotFound("release '" + name + "' not loaded");
@@ -157,7 +157,7 @@ Result<std::shared_ptr<const StoredRelease>> ReleaseStore::Get(
 }
 
 std::vector<ReleaseInfo> ReleaseStore::List() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   std::vector<ReleaseInfo> out;
   out.reserve(releases_.size());
   for (const auto& [name, release] : releases_) out.push_back(release->Info());
@@ -165,7 +165,7 @@ std::vector<ReleaseInfo> ReleaseStore::List() const {
 }
 
 std::size_t ReleaseStore::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::MutexLock lock(&mu_);
   return releases_.size();
 }
 

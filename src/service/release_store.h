@@ -13,11 +13,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 #include "engine/metrics.h"
 #include "marginal/marginal_table.h"
 #include "marginal/workload.h"
@@ -139,8 +139,9 @@ class ReleaseStore {
   std::size_t size() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<const StoredRelease>> releases_;
+  mutable sync::Mutex mu_;
+  std::map<std::string, std::shared_ptr<const StoredRelease>> releases_
+      GUARDED_BY(mu_);
 };
 
 }  // namespace service

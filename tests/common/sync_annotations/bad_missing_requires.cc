@@ -1,0 +1,34 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Negative-compile snippet: calling a REQUIRES(mu_) helper without
+// holding the lock MUST fail under Clang's
+// -Werror=thread-safety-analysis. The `...Locked` naming convention is
+// documentation; this check proves the attribute is what enforces it.
+
+#include "common/sync.h"
+
+namespace {
+
+class Ledger {
+ public:
+  void Charge() { ChargeLocked(); }  // BAD: caller does not hold mu_.
+
+  int total() {
+    dpcube::sync::MutexLock lock(&mu_);
+    return total_;
+  }
+
+ private:
+  void ChargeLocked() REQUIRES(mu_) { ++total_; }
+
+  dpcube::sync::Mutex mu_;
+  int total_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Ledger ledger;
+  ledger.Charge();
+  return ledger.total();
+}

@@ -1,0 +1,32 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Negative-compile snippet: writing a GUARDED_BY member without holding
+// its mutex MUST fail under Clang's -Werror=thread-safety-analysis.
+// If this file ever compiles under the static-analysis job, the
+// annotation layer has stopped proving anything.
+
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() { ++value_; }  // BAD: mu_ is not held here.
+
+  int Read() {
+    dpcube::sync::MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  dpcube::sync::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Increment();
+  return counter.Read();
+}

@@ -1,0 +1,66 @@
+// Copyright 2026 The dpcube Authors.
+//
+// Control snippet for the negative-compile check: the same shapes as
+// the bad_* snippets, locked correctly, MUST compile warning-free. This
+// proves the bad snippets fail because of their specific locking bugs,
+// not because the harness or the header is broken.
+
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    dpcube::sync::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  int Drain() {
+    dpcube::sync::MutexLock lock(&mu_);
+    changed_.Wait(mu_, [this]() REQUIRES(mu_) { return value_ > 0; });
+    const int drained = value_;
+    value_ = 0;
+    return drained;
+  }
+
+  void ChargeBoth() {
+    dpcube::sync::MutexLock lock(&mu_);
+    ChargeLocked();
+    changed_.Signal();
+  }
+
+ private:
+  void ChargeLocked() REQUIRES(mu_) { ++value_; }
+
+  dpcube::sync::Mutex mu_;
+  dpcube::sync::CondVar changed_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+class Snapshot {
+ public:
+  int Read() {
+    dpcube::sync::ReaderLock lock(&mu_);
+    return cached_;
+  }
+
+  void Write(int value) {
+    dpcube::sync::WriterLock lock(&mu_);
+    cached_ = value;
+  }
+
+ private:
+  dpcube::sync::SharedMutex mu_;
+  int cached_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.ChargeBoth();
+  Snapshot snapshot;
+  snapshot.Write(counter.Drain());
+  return snapshot.Read();
+}

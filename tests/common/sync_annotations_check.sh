@@ -1,0 +1,78 @@
+#!/bin/sh
+# Copyright 2026 The dpcube Authors.
+#
+# Negative-compile proof for the thread-safety annotations in
+# common/sync.h. Each tests/common/sync_annotations/bad_*.cc snippet
+# contains exactly one locking bug and MUST fail to compile with a
+# thread-safety diagnostic; good_control.cc locks the same shapes
+# correctly and MUST compile warning-free. Registered with ctest as
+# `sync_negative_compile` (SKIP_RETURN_CODE 77: the analysis only
+# exists under Clang, so other compilers skip rather than pass
+# vacuously).
+#
+# Usage: sync_annotations_check.sh <cxx> <cxx-id> <include-dir> <snippet-dir>
+
+set -u
+
+CXX="$1"
+CXX_ID="$2"
+INCLUDE_DIR="$3"
+SNIPPET_DIR="$4"
+
+case "$CXX_ID" in
+  *Clang*) ;;
+  *)
+    echo "sync_negative_compile: thread-safety analysis needs Clang" \
+         "(compiler is ${CXX_ID}); skipping"
+    exit 77
+    ;;
+esac
+
+FLAGS="-std=c++20 -fsyntax-only -I${INCLUDE_DIR} \
+       -Wthread-safety -Wthread-safety-beta -Werror=thread-safety-analysis"
+
+failures=0
+
+check_bad() {
+  snippet="$1"
+  out=$("$CXX" $FLAGS "$snippet" 2>&1)
+  status=$?
+  if [ "$status" -eq 0 ]; then
+    echo "FAIL: $snippet compiled, but its locking bug must be rejected"
+    failures=$((failures + 1))
+    return
+  fi
+  # The failure must come from the thread-safety analysis, not from an
+  # unrelated compile error masking a broken snippet.
+  if ! printf '%s' "$out" | grep -q 'thread-safety'; then
+    echo "FAIL: $snippet failed without a thread-safety diagnostic:"
+    printf '%s\n' "$out"
+    failures=$((failures + 1))
+    return
+  fi
+  echo "ok: $snippet rejected with a thread-safety diagnostic"
+}
+
+check_good() {
+  snippet="$1"
+  out=$("$CXX" $FLAGS -Werror "$snippet" 2>&1)
+  status=$?
+  if [ "$status" -ne 0 ]; then
+    echo "FAIL: $snippet must compile warning-free:"
+    printf '%s\n' "$out"
+    failures=$((failures + 1))
+    return
+  fi
+  echo "ok: $snippet compiles warning-free"
+}
+
+for snippet in "$SNIPPET_DIR"/bad_*.cc; do
+  check_bad "$snippet"
+done
+check_good "$SNIPPET_DIR/good_control.cc"
+
+if [ "$failures" -ne 0 ]; then
+  echo "sync_negative_compile: $failures check(s) failed"
+  exit 1
+fi
+echo "sync_negative_compile: all checks passed"

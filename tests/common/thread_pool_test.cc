@@ -7,7 +7,6 @@
 #include <chrono>
 #include <cstring>
 #include <future>
-#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
@@ -17,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/sync.h"
 
 namespace dpcube {
 namespace {
@@ -134,7 +134,7 @@ TEST(WorkStealingTest, BlocksPartitionIdenticallyToFifo) {
                               ThreadPool::Schedule::kWorkStealing}) {
     std::vector<std::atomic<int>> visits(1000);
     std::atomic<int> undersized_chunks{0};
-    std::mutex chunks_mu;
+    sync::Mutex chunks_mu;
     std::vector<std::pair<std::size_t, std::size_t>> chunks;
     pool.ParallelForBlocks(
         100, 1000, 64,
@@ -142,7 +142,7 @@ TEST(WorkStealingTest, BlocksPartitionIdenticallyToFifo) {
           ASSERT_LT(lo, hi);
           if (hi - lo < 64u) undersized_chunks++;
           for (std::size_t i = lo; i < hi; ++i) visits[i]++;
-          std::lock_guard<std::mutex> lock(chunks_mu);
+          sync::MutexLock lock(&chunks_mu);
           chunks.emplace_back(lo, hi);
         },
         schedule);
@@ -204,6 +204,31 @@ TEST(WorkStealingTest, StructuredJoinUnderImbalance) {
       ThreadPool::Schedule::kWorkStealing);
   for (std::size_t i = 0; i < kN; ++i) {
     ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+// Regression: the steal path once seeded the per-participant deques
+// WITHOUT their locks, relying on Submit()'s fence to publish them —
+// correct only while seeding strictly precedes every helper submit. The
+// thread-safety annotations flagged the unguarded writes and seeding now
+// happens under each deque's mutex, so the exactly-once guarantee is
+// carried by the locks rather than by call ordering. This hammers the
+// smallest chunks (maximum steal pressure, every deque mutated by
+// several participants) across repeated rounds: any re-introduced
+// unlocked publication shows up as a lost or double-run chunk.
+TEST(WorkStealingTest, SeededChunksSurviveMaximalStealChurn) {
+  ThreadPool pool(8);
+  constexpr std::size_t kN = 64;   // Chunk count ≈ participant count,
+  constexpr int kRounds = 200;     // so most deques get stolen from.
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<std::atomic<int>> visits(kN);
+    pool.ParallelFor(
+        0, kN, 1, [&](std::size_t i) { visits[i]++; },
+        ThreadPool::Schedule::kWorkStealing);
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(visits[i].load(), 1)
+          << "round " << round << " index " << i;
+    }
   }
 }
 

@@ -84,14 +84,17 @@ std::vector<Case> AllCases() {
 
 INSTANTIATE_TEST_SUITE_P(
     AllMethods, PrivacyInvariant, ::testing::ValuesIn(AllCases()),
-    [](const ::testing::TestParamInfo<Case>& info) {
-      std::string name = info.param.method;
+    // `param_info`, not gtest's customary `info`: the INSTANTIATE macro
+    // expands around this lambda with its own `info` parameter, which
+    // -Wshadow flags.
+    [](const ::testing::TestParamInfo<Case>& param_info) {
+      std::string name = param_info.param.method;
       // '+' is not a valid test-name character.
       for (char& ch : name) {
         if (ch == '+') ch = 'p';
       }
-      name += info.param.pure ? "_pure" : "_approx";
-      name += info.param.neighbour == dp::NeighbourModel::kAddRemove
+      name += param_info.param.pure ? "_pure" : "_approx";
+      name += param_info.param.neighbour == dp::NeighbourModel::kAddRemove
                   ? "_addremove"
                   : "_replace";
       return name;

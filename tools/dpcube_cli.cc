@@ -746,8 +746,12 @@ int RunServe(const std::map<std::string, std::string>& flags) {
   }
   options.shutdown_fd = signal_fd.value();
 
-  net::ServeContext context{store, cache, svc, executor,
-                            &ThreadPool::Shared()};
+  net::ServeContext context;
+  context.store = store;
+  context.cache = cache;
+  context.service = svc;
+  context.executor = executor;
+  context.pool = &ThreadPool::Shared();
   context.durable = durable;
   net::SocketListener listener(options, context);
   const Status st = listener.Start();

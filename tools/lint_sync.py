@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+# Copyright 2026 The dpcube Authors.
+"""Bans naked standard-library synchronization outside common/sync.h.
+
+The thread-safety proofs in the static-analysis CI job are only as
+strong as their coverage: one naked std::mutex is a lock the analysis
+cannot see. This linter keeps the whole tree on the annotated wrappers
+(sync::Mutex / sync::MutexLock / sync::CondVar / ...) by rejecting any
+use of the raw primitives - or an include of their headers - anywhere
+except src/common/sync.h, which is the one place allowed to wrap them.
+
+Usage: tools/lint_sync.py [repo-root]
+Exit status: 0 clean, 1 offenders found (listed one per line).
+"""
+
+import pathlib
+import re
+import sys
+
+SCAN_DIRS = ("src", "tools", "tests", "bench", "examples")
+ALLOWED = {pathlib.PurePosixPath("src/common/sync.h")}
+EXTENSIONS = {".h", ".hpp", ".cc", ".cpp"}
+
+BANNED = re.compile(
+    r"std::(?:mutex|shared_mutex|timed_mutex|recursive_mutex"
+    r"|lock_guard|unique_lock|shared_lock|scoped_lock"
+    r"|condition_variable(?:_any)?)\b"
+    r"|#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>"
+)
+
+
+def strip_comments(text: str) -> str:
+    """Drops // and /* */ comments (prose may mention the primitives)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                # Keep newlines so reported line numbers stay right.
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2
+        elif ch in "\"'":
+            quote = ch
+            out.append(ch)
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out.append(text[i])
+                    i += 1
+                if i < n:
+                    out.append(text[i])
+                    i += 1
+            if i < n:
+                out.append(text[i])
+                i += 1
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    offenders = []
+    for scan_dir in SCAN_DIRS:
+        base = root / scan_dir
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in EXTENSIONS or not path.is_file():
+                continue
+            rel = pathlib.PurePosixPath(path.relative_to(root).as_posix())
+            if rel in ALLOWED:
+                continue
+            text = strip_comments(path.read_text(encoding="utf-8"))
+            for line_no, line in enumerate(text.splitlines(), start=1):
+                match = BANNED.search(line)
+                if match:
+                    offenders.append(f"{rel}:{line_no}: {match.group(0)}")
+    if offenders:
+        print("naked synchronization primitives (use common/sync.h):")
+        for offender in offenders:
+            print(f"  {offender}")
+        return 1
+    print(f"lint_sync: clean ({', '.join(SCAN_DIRS)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
